@@ -1,0 +1,67 @@
+// Ablation A3: does the convolution execution strategy change the leak?
+//
+// Frameworks lower convolutions to im2col + GEMM (the code path targeted
+// by GEMM-shape attacks like Cache Telepathy); our reference kernels use
+// the direct loop nest.  This bench swaps the strategy on the trained
+// MNIST model and compares the category-leakage profile and the cost.
+#include <cstdio>
+
+#include "core/evaluator.hpp"
+#include "nn/conv.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace sce;
+
+void set_algorithm(nn::Sequential& model, nn::ConvAlgorithm algorithm) {
+  for (std::size_t i = 0; i < model.layer_count(); ++i)
+    if (auto* conv = dynamic_cast<nn::Conv2D*>(&model.layer(i)))
+      conv->set_algorithm(algorithm);
+}
+
+void run(bench::Workload& workload, nn::ConvAlgorithm algorithm,
+         std::size_t samples) {
+  set_algorithm(workload.trained.model, algorithm);
+  const core::CampaignResult campaign =
+      bench::run_workload(workload, samples);
+  const core::LeakageAssessment assessment = core::evaluate(campaign);
+
+  double misses = 0.0;
+  double instructions = 0.0;
+  std::size_t n = 0;
+  for (std::size_t c = 0; c < campaign.category_count(); ++c) {
+    for (std::size_t s = 0;
+         s < campaign.of(hpc::HpcEvent::kCacheMisses, c).size(); ++s) {
+      misses += campaign.of(hpc::HpcEvent::kCacheMisses, c)[s];
+      instructions += campaign.of(hpc::HpcEvent::kInstructions, c)[s];
+      ++n;
+    }
+  }
+  const auto& cm = assessment.analysis_of(hpc::HpcEvent::kCacheMisses);
+  const auto& br = assessment.analysis_of(hpc::HpcEvent::kBranches);
+  std::printf("  %-8s alarms=%3zu  cache pairs=%zu/6  branch pairs=%zu/6  "
+              "mean misses=%8.0f  mean instructions=%10.0f\n",
+              nn::to_string(algorithm).c_str(), assessment.alarms.size(),
+              cm.significant_pairs(0.05), br.significant_pairs(0.05),
+              misses / static_cast<double>(n),
+              instructions / static_cast<double>(n));
+}
+
+}  // namespace
+
+int main() {
+  using namespace sce;
+  const std::size_t samples = bench::bench_samples();
+  std::printf("== Ablation A3: convolution execution strategy ==\n");
+  std::printf("(MNIST, data-dependent kernels, %zu samples/category)\n\n",
+              samples);
+  bench::Workload mnist = bench::mnist_workload();
+  run(mnist, nn::ConvAlgorithm::kDirect, samples);
+  run(mnist, nn::ConvAlgorithm::kIm2col, samples);
+  std::printf("\nim2col adds patch-matrix traffic (larger footprint, more\n"
+              "instructions) but the zero-skipping GEMM leaks the input\n"
+              "sparsity just the same — switching the lowering strategy is\n"
+              "not a countermeasure.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation A1: data-dependent vs constant-flow kernels (the paper's
+// conclusion asks for "indistinguishable CPU footprints"; this bench
+// quantifies that the constant-flow implementation achieves it and what
+// it costs).
+//
+// Expected result: the alarm count collapses to ~the false-positive
+// budget (alpha * #tests) under constant flow, while mean cycles rise.
+#include <cstdio>
+
+#include "core/evaluator.hpp"
+#include "common.hpp"
+
+namespace {
+
+void run_mode(const sce::bench::Workload& workload, sce::nn::KernelMode mode,
+              std::size_t samples) {
+  using namespace sce;
+  const core::CampaignResult campaign =
+      bench::run_workload(workload, samples, mode);
+  const core::LeakageAssessment assessment = core::evaluate(campaign);
+
+  double cycles_sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t c = 0; c < campaign.category_count(); ++c)
+    for (double v : campaign.of(hpc::HpcEvent::kCycles, c)) {
+      cycles_sum += v;
+      ++n;
+    }
+
+  const auto& cm = assessment.analysis_of(hpc::HpcEvent::kCacheMisses);
+  const auto& br = assessment.analysis_of(hpc::HpcEvent::kBranches);
+  std::printf("  %-16s alarms=%3zu  cache-miss pairs=%zu/6  "
+              "branch pairs=%zu/6  mean cycles=%.0f\n",
+              nn::to_string(mode).c_str(), assessment.alarms.size(),
+              cm.significant_pairs(0.05), br.significant_pairs(0.05),
+              cycles_sum / static_cast<double>(n));
+}
+
+}  // namespace
+
+int main() {
+  using namespace sce;
+  const std::size_t samples = bench::bench_samples();
+  std::printf("== Ablation A1: kernel implementation vs leakage ==\n\n");
+
+  const bench::Workload mnist = bench::mnist_workload();
+  std::printf("MNIST (%zu samples/category):\n", samples);
+  run_mode(mnist, nn::KernelMode::kDataDependent, samples);
+  run_mode(mnist, nn::KernelMode::kConstantFlow, samples);
+
+  const bench::Workload cifar = bench::cifar_workload();
+  std::printf("\nCIFAR-10 (%zu samples/category):\n", samples);
+  run_mode(cifar, nn::KernelMode::kDataDependent, samples);
+  run_mode(cifar, nn::KernelMode::kConstantFlow, samples);
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Ablation A2: which microarchitectural structure carries the leak?
+//
+// Sweeps the simulated PMU configuration with the environment model
+// disabled, so the numbers isolate the architectural signal:
+//  * cache replacement policy (LRU / tree-PLRU / FIFO / random),
+//  * branch predictor (static / bimodal / gshare / two-level local),
+//  * warm vs cold cache state per measurement,
+//  * next-line prefetcher on/off.
+// For each configuration it reports the largest |t| over category pairs
+// for cache-misses and branch-misses.
+#include <cmath>
+#include <cstdio>
+
+#include "core/evaluator.hpp"
+#include "hpc/multiplexed.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace sce;
+
+double max_abs_t(const core::LeakageAssessment& assessment,
+                 hpc::HpcEvent event) {
+  double best = 0.0;
+  for (const auto& pair : assessment.analysis_of(event).pairs) {
+    const double t = std::fabs(pair.t_test.t);
+    if (std::isfinite(t) && t > best) best = t;
+  }
+  return best;
+}
+
+void run_config(const char* label, const bench::Workload& workload,
+                hpc::SimulatedPmuConfig pmu_cfg, std::size_t samples) {
+  pmu_cfg.environment = hpc::SimulatedPmuConfig::no_environment();
+  hpc::SimulatedPmu pmu(pmu_cfg);
+  core::CampaignConfig cfg;
+  cfg.samples_per_category = samples;
+  const core::CampaignResult campaign =
+      core::run_campaign(workload.trained.model, workload.trained.test_set,
+                         core::make_instrument(pmu), cfg);
+  core::EvaluatorConfig eval_cfg;
+  eval_cfg.anova_screen = false;
+  eval_cfg.holm_correction = false;
+  const core::LeakageAssessment assessment = core::evaluate(campaign, eval_cfg);
+  std::printf("  %-34s max|t| cache-misses=%8.2f   branch-misses=%8.2f\n",
+              label, max_abs_t(assessment, hpc::HpcEvent::kCacheMisses),
+              max_abs_t(assessment, hpc::HpcEvent::kBranchMisses));
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t samples = bench::bench_samples(60);
+  std::printf("== Ablation A2: microarchitectural source of the leak ==\n");
+  std::printf("(environment model disabled; MNIST workload; %zu samples "
+              "per category)\n\n",
+              samples);
+  const bench::Workload mnist = bench::mnist_workload();
+
+  std::printf("cache replacement policy:\n");
+  for (auto policy :
+       {uarch::ReplacementPolicy::kLru, uarch::ReplacementPolicy::kTreePlru,
+        uarch::ReplacementPolicy::kFifo, uarch::ReplacementPolicy::kRandom}) {
+    hpc::SimulatedPmuConfig cfg;
+    cfg.hierarchy.l1d.policy = policy;
+    cfg.hierarchy.l2.policy = policy;
+    cfg.hierarchy.llc.policy = policy;
+    run_config(uarch::to_string(policy).c_str(), mnist, cfg, samples);
+  }
+
+  std::printf("\nbranch predictor:\n");
+  for (auto kind :
+       {uarch::PredictorKind::kStaticTaken, uarch::PredictorKind::kBimodal,
+        uarch::PredictorKind::kGShare,
+        uarch::PredictorKind::kTwoLevelLocal}) {
+    hpc::SimulatedPmuConfig cfg;
+    cfg.predictor = kind;
+    run_config(uarch::to_string(kind).c_str(), mnist, cfg, samples);
+  }
+
+  std::printf("\ncache state per measurement:\n");
+  {
+    hpc::SimulatedPmuConfig cold;
+    run_config("cold (flush per classification)", mnist, cold, samples);
+    hpc::SimulatedPmuConfig warm;
+    warm.cold_start_per_measurement = false;
+    run_config("warm (state persists)", mnist, warm, samples);
+    hpc::SimulatedPmuConfig polluted;
+    polluted.cold_start_per_measurement = false;
+    polluted.pollution_period = 64;
+    run_config("warm + co-tenant pollution", mnist, polluted, samples);
+    hpc::SimulatedPmuConfig partitioned = polluted;
+    // Way-partitioned caches (Intel CAT style): co-tenant evictions are
+    // fenced out of the model's partition.
+    partitioned.hierarchy.l1d.protected_ways =
+        partitioned.hierarchy.l1d.associativity;
+    partitioned.hierarchy.l2.protected_ways =
+        partitioned.hierarchy.l2.associativity;
+    partitioned.hierarchy.llc.protected_ways =
+        partitioned.hierarchy.llc.associativity;
+    run_config("warm + pollution + partitioning", mnist, partitioned,
+               samples);
+  }
+
+  std::printf("\nprefetcher:\n");
+  {
+    hpc::SimulatedPmuConfig off;
+    run_config("prefetch off", mnist, off, samples);
+    hpc::SimulatedPmuConfig next_line;
+    next_line.hierarchy.enable_next_line_prefetch = true;
+    run_config("next-line prefetch", mnist, next_line, samples);
+    hpc::SimulatedPmuConfig streamer;
+    streamer.hierarchy.enable_stride_prefetch = true;
+    run_config("stride streamer", mnist, streamer, samples);
+  }
+
+  std::printf("\ncounter multiplexing (evaluator-side degradation):\n");
+  for (std::size_t counters : {std::size_t{8}, std::size_t{4},
+                               std::size_t{2}}) {
+    hpc::SimulatedPmuConfig pmu_cfg;
+    pmu_cfg.environment = hpc::SimulatedPmuConfig::no_environment();
+    hpc::SimulatedPmu pmu(pmu_cfg);
+    hpc::MultiplexConfig mux_cfg;
+    mux_cfg.hardware_counters = counters;
+    hpc::MultiplexedPmu mux(pmu, mux_cfg);
+    core::CampaignConfig cfg;
+    cfg.samples_per_category = samples;
+    const core::CampaignResult campaign =
+        core::run_campaign(mnist.trained.model, mnist.trained.test_set,
+                           core::Instrument{mux, pmu}, cfg);
+    core::EvaluatorConfig eval_cfg;
+    eval_cfg.anova_screen = false;
+    eval_cfg.holm_correction = false;
+    const core::LeakageAssessment assessment =
+        core::evaluate(campaign, eval_cfg);
+    std::printf("  %zu hardware counters for 8 events     "
+                "max|t| cache-misses=%8.2f   branch-misses=%8.2f\n",
+                counters,
+                max_abs_t(assessment, hpc::HpcEvent::kCacheMisses),
+                max_abs_t(assessment, hpc::HpcEvent::kBranchMisses));
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Attack bench: input-category recovery accuracy from the measured
+// counters, per attack model and per feature set — quantifies how
+// exploitable the leak that Tables 1/2 detect actually is.
+#include <cstdio>
+
+#include "core/attack.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace sce;
+
+void attack_suite(const char* tag, const core::CampaignResult& campaign) {
+  std::printf("\n%s:\n", tag);
+  for (auto model : {core::AttackModel::kNearestCentroid,
+                     core::AttackModel::kGaussianNaiveBayes}) {
+    core::AttackConfig cfg;
+    cfg.model = model;
+    const core::AttackResult all = core::recover_inputs(campaign, cfg);
+
+    cfg.features = {hpc::HpcEvent::kCacheMisses};
+    const core::AttackResult cm_only = core::recover_inputs(campaign, cfg);
+
+    cfg.features = {hpc::HpcEvent::kBranches};
+    const core::AttackResult br_only = core::recover_inputs(campaign, cfg);
+
+    std::printf("  %-22s all events: %5.1f%%   cache-misses only: %5.1f%%   "
+                "branches only: %5.1f%%   (chance %4.1f%%)\n",
+                to_string(model).c_str(), all.accuracy() * 100.0,
+                cm_only.accuracy() * 100.0, br_only.accuracy() * 100.0,
+                all.chance_level() * 100.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t samples = bench::bench_samples(200);
+  std::printf("== Attack bench: recovering the input category from HPCs ==\n");
+  std::printf("(%zu measurements per category, half used for templates)\n",
+              samples);
+
+  const bench::Workload mnist = bench::mnist_workload();
+  attack_suite("MNIST", bench::run_workload(mnist, samples));
+
+  const bench::Workload cifar = bench::cifar_workload();
+  attack_suite("CIFAR-10", bench::run_workload(cifar, samples));
+  return 0;
+}

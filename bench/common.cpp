@@ -1,0 +1,50 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sce::bench {
+
+Workload mnist_workload() {
+  Workload w;
+  w.tag = "MNIST";
+  w.trained = nn::get_or_train_mnist();
+  w.pmu_config.environment =
+      hpc::SimulatedPmuConfig::default_environment();
+  std::printf("[setup] %s model ready (test accuracy %.1f%%)\n",
+              w.tag.c_str(), w.trained.test_accuracy * 100.0);
+  return w;
+}
+
+Workload cifar_workload() {
+  Workload w;
+  w.tag = "CIFAR-10";
+  w.trained = nn::get_or_train_cifar();
+  w.pmu_config.environment =
+      hpc::SimulatedPmuConfig::large_workload_environment();
+  std::printf("[setup] %s model ready (test accuracy %.1f%%)\n",
+              w.tag.c_str(), w.trained.test_accuracy * 100.0);
+  return w;
+}
+
+core::CampaignResult run_workload(const Workload& workload,
+                                  std::size_t samples, nn::KernelMode mode,
+                                  const std::vector<int>& categories) {
+  hpc::SimulatedPmu pmu(workload.pmu_config);
+  core::CampaignConfig cfg;
+  cfg.samples_per_category = samples;
+  cfg.kernel_mode = mode;
+  cfg.categories = categories;
+  return core::run_campaign(workload.trained.model, workload.trained.test_set,
+                            core::make_instrument(pmu), cfg);
+}
+
+std::size_t bench_samples(std::size_t default_samples) {
+  if (const char* env = std::getenv("SCE_BENCH_SAMPLES")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return default_samples;
+}
+
+}  // namespace sce::bench

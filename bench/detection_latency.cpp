@@ -1,0 +1,62 @@
+// Detection latency of the run-time monitor: how many classifications
+// does the online evaluator need before each event's leak becomes
+// decisive?  Complements Tables 1/2 (which fix n=100 and report t): here
+// n is the measured quantity.
+#include <cstdio>
+
+#include "core/online.hpp"
+#include "hpc/simulated_pmu.hpp"
+#include "util/rng.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace sce;
+
+void run(const bench::Workload& workload, double alpha,
+         std::size_t max_stream) {
+  hpc::SimulatedPmu pmu(workload.pmu_config);
+  core::OnlineConfig cfg;
+  cfg.num_categories = 4;
+  cfg.alpha = alpha;
+  core::OnlineEvaluator monitor(cfg);
+  util::Rng stream_rng(77);
+
+  std::size_t first_alarm = 0;
+  while (monitor.measurements_seen() < max_stream) {
+    const auto category = static_cast<std::size_t>(stream_rng.below(4));
+    const auto pool = workload.trained.test_set.examples_of(
+        static_cast<int>(category));
+    const data::Example& example = *pool[stream_rng.below(pool.size())];
+    pmu.start();
+    (void)workload.trained.model.forward(
+        nn::image_to_tensor(example.image), pmu.sink(),
+        nn::KernelMode::kDataDependent);
+    pmu.stop();
+    const auto alarm = monitor.observe(category, pmu.read());
+    if (alarm && first_alarm == 0) first_alarm = alarm->measurements_seen;
+  }
+
+  std::printf("  alpha=%-6g first alarm after %4zu classifications, "
+              "%zu leak(s) found in %zu:\n",
+              alpha, first_alarm, monitor.alarms().size(),
+              monitor.measurements_seen());
+  for (const auto& alarm : monitor.alarms())
+    std::printf("    @%4zu  %-16s categories %zu vs %zu (t=%.2f)\n",
+                alarm.measurements_seen,
+                hpc::to_string(alarm.event).c_str(), alarm.category_a + 1,
+                alarm.category_b + 1, alarm.t);
+}
+
+}  // namespace
+
+int main() {
+  using namespace sce;
+  const std::size_t stream = bench::bench_samples(100) * 6;
+  std::printf("== Detection latency of the run-time monitor ==\n");
+  std::printf("(MNIST stream of %zu classifications, random categories)\n\n",
+              stream);
+  const bench::Workload mnist = bench::mnist_workload();
+  for (double alpha : {0.05, 0.01, 0.001}) run(mnist, alpha, stream);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 1: average number of cache-misses during the classification of
+// different categories, for (a) MNIST and (b) CIFAR-10.
+//
+// Paper shape to reproduce: the per-category means differ visibly —
+// enough that the bar chart alone motivates the leakage hypothesis.
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace sce;
+  const std::size_t samples = bench::bench_samples();
+
+  std::printf("== Figure 1: average cache-misses per input category ==\n\n");
+
+  const bench::Workload mnist = bench::mnist_workload();
+  const core::CampaignResult mnist_campaign =
+      bench::run_workload(mnist, samples);
+  std::printf("\n(a) MNIST, %zu classifications per category\n%s\n", samples,
+              core::render_category_means(mnist_campaign,
+                                          hpc::HpcEvent::kCacheMisses)
+                  .c_str());
+
+  const bench::Workload cifar = bench::cifar_workload();
+  const core::CampaignResult cifar_campaign =
+      bench::run_workload(cifar, samples);
+  std::printf("\n(b) CIFAR-10, %zu classifications per category\n%s\n",
+              samples,
+              core::render_category_means(cifar_campaign,
+                                          hpc::HpcEvent::kCacheMisses)
+                  .c_str());
+  return 0;
+}

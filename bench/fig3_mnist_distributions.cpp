@@ -1,0 +1,27 @@
+// Figure 3: distributions of (a) cache-misses and (b) branches during the
+// testing operation for different categories of MNIST images.
+//
+// Paper shape: the four cache-misses histograms sit at clearly separated
+// locations (overlapping tails at most); the four branches histograms
+// overlap almost completely.
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace sce;
+  const std::size_t samples = bench::bench_samples();
+  std::printf("== Figure 3: per-category HPC distributions, MNIST ==\n\n");
+
+  const bench::Workload mnist = bench::mnist_workload();
+  const core::CampaignResult campaign = bench::run_workload(mnist, samples);
+
+  std::printf("\n(a) %s\n",
+              core::render_distributions(campaign, hpc::HpcEvent::kCacheMisses)
+                  .c_str());
+  std::printf("\n(b) %s\n",
+              core::render_distributions(campaign, hpc::HpcEvent::kBranches)
+                  .c_str());
+  return 0;
+}

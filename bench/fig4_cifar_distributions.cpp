@@ -1,0 +1,23 @@
+// Figure 4: distributions of (a) cache-misses and (b) branches during the
+// testing operation for different categories of CIFAR-10 images.
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace sce;
+  const std::size_t samples = bench::bench_samples();
+  std::printf("== Figure 4: per-category HPC distributions, CIFAR-10 ==\n\n");
+
+  const bench::Workload cifar = bench::cifar_workload();
+  const core::CampaignResult campaign = bench::run_workload(cifar, samples);
+
+  std::printf("\n(a) %s\n",
+              core::render_distributions(campaign, hpc::HpcEvent::kCacheMisses)
+                  .c_str());
+  std::printf("\n(b) %s\n",
+              core::render_distributions(campaign, hpc::HpcEvent::kBranches)
+                  .c_str());
+  return 0;
+}

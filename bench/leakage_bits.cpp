@@ -1,0 +1,43 @@
+// Leakage quantification in bits: mutual information I(category; counter)
+// per single observation, for both reference models and both kernel
+// modes.  Complements the t-test tables (Tables 1/2) with an adversary-
+// centric measure: bits/observation bounds the number of observations an
+// attacker needs to identify the category.
+#include <cstdio>
+
+#include "core/information.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace sce;
+
+void run(const bench::Workload& workload, nn::KernelMode mode,
+         std::size_t samples) {
+  const core::CampaignResult campaign =
+      bench::run_workload(workload, samples, mode);
+  const core::InformationProfile profile =
+      core::information_profile(campaign);
+  std::printf("%s, %s kernels:\n%s\n", workload.tag.c_str(),
+              nn::to_string(mode).c_str(),
+              core::render_information(profile).c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace sce;
+  const std::size_t samples = bench::bench_samples(150);
+  std::printf("== Leakage in bits per observation ==\n");
+  std::printf("(%zu classifications per category; 4 categories -> capacity "
+              "2 bits)\n\n",
+              samples);
+
+  const bench::Workload mnist = bench::mnist_workload();
+  run(mnist, nn::KernelMode::kDataDependent, samples);
+  run(mnist, nn::KernelMode::kConstantFlow, samples);
+
+  const bench::Workload cifar = bench::cifar_workload();
+  run(cifar, nn::KernelMode::kDataDependent, samples);
+  return 0;
+}

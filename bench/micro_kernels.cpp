@@ -1,0 +1,129 @@
+// Microbenchmarks (google-benchmark): throughput of the simulator and
+// kernel building blocks.  These are engineering benches, not paper
+// artifacts — they track the cost of the instrumentation machinery.
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.hpp"
+#include "hpc/simulated_pmu.hpp"
+#include "nn/zoo.hpp"
+#include "stats/t_test.hpp"
+#include "uarch/branch_predictor.hpp"
+#include "uarch/cache.hpp"
+#include "uarch/hierarchy.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sce;
+
+void BM_CacheAccess(benchmark::State& state) {
+  uarch::CacheConfig cfg;
+  cfg.policy = static_cast<uarch::ReplacementPolicy>(state.range(0));
+  uarch::CacheLevel cache(cfg);
+  util::Rng rng(1);
+  std::uintptr_t addr = 0;
+  for (auto _ : state) {
+    addr = (addr + 64 * (1 + rng.below(64))) & ((1u << 20) - 1);
+    benchmark::DoNotOptimize(cache.access(addr, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)
+    ->Arg(static_cast<int>(uarch::ReplacementPolicy::kLru))
+    ->Arg(static_cast<int>(uarch::ReplacementPolicy::kTreePlru))
+    ->Arg(static_cast<int>(uarch::ReplacementPolicy::kFifo))
+    ->Arg(static_cast<int>(uarch::ReplacementPolicy::kRandom));
+
+void BM_HierarchyAccess(benchmark::State& state) {
+  uarch::MemoryHierarchy hierarchy;
+  util::Rng rng(2);
+  std::uintptr_t addr = 0;
+  for (auto _ : state) {
+    addr = (addr + 64 * (1 + rng.below(256))) & ((1u << 24) - 1);
+    benchmark::DoNotOptimize(hierarchy.access(addr, 4, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void BM_BranchPredictor(benchmark::State& state) {
+  auto predictor = uarch::make_predictor(
+      static_cast<uarch::PredictorKind>(state.range(0)));
+  util::Rng rng(3);
+  for (auto _ : state) {
+    predictor->resolve(0x400000 + 16 * rng.below(64), rng.chance(0.7));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredictor)
+    ->Arg(static_cast<int>(uarch::PredictorKind::kBimodal))
+    ->Arg(static_cast<int>(uarch::PredictorKind::kGShare))
+    ->Arg(static_cast<int>(uarch::PredictorKind::kTwoLevelLocal));
+
+void BM_MnistInference(benchmark::State& state) {
+  // Uninstrumented forward pass of the untrained reference CNN.
+  nn::Sequential model = nn::build_mnist_cnn();
+  util::Rng rng(4);
+  model.initialize(rng);
+  data::SyntheticConfig cfg;
+  cfg.examples_per_class = 1;
+  cfg.num_classes = 1;
+  const data::Dataset ds = data::make_mnist_like(cfg);
+  const nn::Tensor input = nn::image_to_tensor(ds[0].image);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(input));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MnistInference);
+
+void BM_MnistInferenceTraced(benchmark::State& state) {
+  // Same forward pass but streaming the trace through the simulated PMU —
+  // the ratio to BM_MnistInference is the instrumentation overhead.
+  nn::Sequential model = nn::build_mnist_cnn();
+  util::Rng rng(4);
+  model.initialize(rng);
+  data::SyntheticConfig cfg;
+  cfg.examples_per_class = 1;
+  cfg.num_classes = 1;
+  const data::Dataset ds = data::make_mnist_like(cfg);
+  const nn::Tensor input = nn::image_to_tensor(ds[0].image);
+  hpc::SimulatedPmu pmu;
+  for (auto _ : state) {
+    pmu.start();
+    benchmark::DoNotOptimize(
+        model.forward(input, pmu.sink(), nn::KernelMode::kDataDependent));
+    pmu.stop();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MnistInferenceTraced);
+
+void BM_WelchTTest(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<double> a(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> b(a.size());
+  for (auto& x : a) x = rng.normal(100.0, 5.0);
+  for (auto& x : b) x = rng.normal(101.0, 5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::welch_t_test(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WelchTTest)->Arg(100)->Arg(1000);
+
+void BM_SynthesizeDigit(benchmark::State& state) {
+  data::SyntheticConfig cfg;
+  util::Rng rng(6);
+  int digit = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::render_digit(digit, cfg, rng));
+    digit = (digit + 1) % 10;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SynthesizeDigit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Future-work experiment: recurrent models (paper Section 6 — "we would
+// also like to explore the vulnerabilities in other deep learning
+// models").
+//
+// A recurrent classifier adds a channel CNNs do not have: its counters
+// scale linearly with the number of timesteps, so variable-length inputs
+// broadcast their length through EVERY event.  This bench trains the
+// Elman RNN on the synthetic waveform dataset (class-dependent length
+// distributions, as in real workloads where e.g. utterance length
+// correlates with content) and runs the paper's evaluator over it.
+#include <cstdio>
+
+#include "core/evaluator.hpp"
+#include "core/report.hpp"
+#include "hpc/simulated_pmu.hpp"
+#include "nn/zoo.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace sce;
+  const std::size_t samples = bench::bench_samples();
+  std::printf("== RNN sequence-classification leakage (future work) ==\n\n");
+
+  nn::TrainedModel rnn = nn::get_or_train_sequence();
+  std::printf("[setup] sequence RNN ready (test accuracy %.1f%%)\n\n",
+              rnn.test_accuracy * 100.0);
+
+  hpc::SimulatedPmu pmu;  // default environment
+  core::CampaignConfig cfg;
+  cfg.samples_per_category = samples;
+  const core::CampaignResult campaign = core::run_campaign(
+      rnn.model, rnn.test_set, core::make_instrument(pmu), cfg);
+
+  std::printf("per-class mean sequence length drives every counter:\n");
+  for (std::size_t c = 0; c < campaign.category_count(); ++c) {
+    double mean_len = 0.0;
+    const auto pool =
+        rnn.test_set.examples_of(campaign.categories[c]);
+    for (const data::Example* e : pool)
+      mean_len += static_cast<double>(e->image.height()) /
+                  static_cast<double>(pool.size());
+    std::printf("  %-9s mean length %5.1f  mean instructions %12.0f  "
+                "mean cache-misses %8.0f\n",
+                campaign.category_names[c].c_str(), mean_len,
+                campaign.mean(hpc::HpcEvent::kInstructions, c),
+                campaign.mean(hpc::HpcEvent::kCacheMisses, c));
+  }
+
+  const core::LeakageAssessment assessment = core::evaluate(campaign);
+  std::printf("\n%s\n",
+              core::render_paper_table(
+                  assessment,
+                  {hpc::HpcEvent::kCacheMisses, hpc::HpcEvent::kBranches,
+                   hpc::HpcEvent::kInstructions})
+                  .c_str());
+  std::printf("verdict: %s\n",
+              assessment.alarm_raised()
+                  ? "ALARM — the RNN leaks its input class (and length) "
+                    "through every counter"
+                  : "no alarm");
+  return 0;
+}

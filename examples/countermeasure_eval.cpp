@@ -1,0 +1,103 @@
+// Countermeasure evaluation: constant-flow kernels silence the alarm.
+//
+// The paper concludes that privacy-preserving classifiers need
+// "indistinguishable CPU footprints while classifying different image
+// categories".  This example evaluates the constructive answer shipped in
+// this library: KernelMode::kConstantFlow replaces every data-dependent
+// shortcut (ReLU branches, zero-skipping GEMM rows, max-pool compare
+// branches) with branchless always-touch code.  The same evaluator that
+// flags the optimized kernels passes the hardened ones — at a measurable
+// inference-cost overhead, which is also reported.
+#include <cstdio>
+#include <exception>
+
+#include "core/campaign.hpp"
+#include "core/evaluator.hpp"
+#include "core/report.hpp"
+#include "hpc/simulated_pmu.hpp"
+#include "nn/zoo.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+struct ModeOutcome {
+  std::size_t alarms = 0;
+  double mean_cycles = 0.0;
+};
+
+ModeOutcome evaluate_mode(const sce::nn::TrainedModel& trained,
+                          sce::nn::KernelMode mode, std::size_t samples) {
+  using namespace sce;
+  hpc::SimulatedPmu pmu;
+  core::CampaignConfig cfg;
+  cfg.samples_per_category = samples;
+  cfg.kernel_mode = mode;
+  const core::CampaignResult campaign = core::run_campaign(
+      trained.model, trained.test_set, core::make_instrument(pmu), cfg);
+  const core::LeakageAssessment assessment = core::evaluate(campaign);
+
+  ModeOutcome outcome;
+  outcome.alarms = assessment.alarms.size();
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t c = 0; c < campaign.category_count(); ++c) {
+    for (double v : campaign.of(hpc::HpcEvent::kCycles, c)) {
+      sum += v;
+      ++n;
+    }
+  }
+  outcome.mean_cycles = sum / static_cast<double>(n);
+
+  std::printf("%s\n", core::render_paper_table(
+                          assessment, {hpc::HpcEvent::kCacheMisses,
+                                       hpc::HpcEvent::kBranches})
+                          .c_str());
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sce;
+  util::CliParser cli;
+  cli.add_option("samples", "classifications measured per category", "100");
+  try {
+    cli.parse(argc, argv);
+    const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
+
+    std::printf("== countermeasure evaluation ==\n\n");
+    nn::TrainedModel trained = nn::get_or_train_mnist();
+
+    std::printf("--- data-dependent (optimized, leaky) kernels ---\n");
+    const ModeOutcome leaky =
+        evaluate_mode(trained, nn::KernelMode::kDataDependent, samples);
+
+    std::printf("--- constant-flow (hardened) kernels ---\n");
+    const ModeOutcome hardened =
+        evaluate_mode(trained, nn::KernelMode::kConstantFlow, samples);
+
+    std::printf("summary:\n");
+    std::printf("  alarms, optimized kernels: %zu\n", leaky.alarms);
+    std::printf("  alarms, hardened kernels:  %zu\n", hardened.alarms);
+    std::printf("  inference cost overhead:   %.1f%% (mean cycles %.0f -> %.0f)\n",
+                (hardened.mean_cycles / leaky.mean_cycles - 1.0) * 100.0,
+                leaky.mean_cycles, hardened.mean_cycles);
+    // 8 events x 6 pairs at alpha = 0.05 budget ~2.4 chance rejections per
+    // campaign even with zero leakage; judge against that false-positive
+    // budget rather than demanding literally zero.
+    const std::size_t chance_budget = 5;
+    if (hardened.alarms <= chance_budget &&
+        leaky.alarms > hardened.alarms + chance_budget) {
+      std::printf("\ncountermeasure effective: the evaluator that flags the "
+                  "optimized kernels passes the hardened ones (hardened "
+                  "alarms within the alpha budget).\n");
+      return 0;
+    }
+    std::printf("\nunexpected outcome: check the noise configuration.\n");
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(),
+                 cli.usage("countermeasure_eval").c_str());
+    return 2;
+  }
+}

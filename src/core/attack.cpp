@@ -1,0 +1,171 @@
+#include "core/attack.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace sce::core {
+
+std::string to_string(AttackModel model) {
+  switch (model) {
+    case AttackModel::kNearestCentroid:
+      return "nearest-centroid";
+    case AttackModel::kGaussianNaiveBayes:
+      return "gaussian-naive-bayes";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Template {
+  std::vector<double> mean;      // per feature
+  std::vector<double> variance;  // per feature
+};
+
+// Feature matrix of one category: rows = measurements, cols = features.
+std::vector<std::vector<double>> feature_rows(
+    const CampaignResult& campaign, std::size_t category,
+    const std::vector<hpc::HpcEvent>& features) {
+  const std::size_t n = campaign.of(features.front(), category).size();
+  std::vector<std::vector<double>> rows(n,
+                                        std::vector<double>(features.size()));
+  for (std::size_t f = 0; f < features.size(); ++f) {
+    const auto& xs = campaign.of(features[f], category);
+    if (xs.size() != n)
+      throw InvalidArgument("recover_inputs: ragged campaign data");
+    for (std::size_t i = 0; i < n; ++i) rows[i][f] = xs[i];
+  }
+  return rows;
+}
+
+Template fit_template(const std::vector<std::vector<double>>& rows,
+                      std::size_t begin, std::size_t end) {
+  const std::size_t n_features = rows.front().size();
+  Template t;
+  t.mean.assign(n_features, 0.0);
+  t.variance.assign(n_features, 0.0);
+  const double n = static_cast<double>(end - begin);
+  for (std::size_t i = begin; i < end; ++i)
+    for (std::size_t f = 0; f < n_features; ++f) t.mean[f] += rows[i][f];
+  for (double& m : t.mean) m /= n;
+  for (std::size_t i = begin; i < end; ++i)
+    for (std::size_t f = 0; f < n_features; ++f) {
+      const double d = rows[i][f] - t.mean[f];
+      t.variance[f] += d * d;
+    }
+  for (double& v : t.variance) {
+    v /= std::max(1.0, n - 1.0);
+    // Variance floor keeps degenerate (constant) features usable.
+    if (v < 1e-9) v = 1e-9;
+  }
+  return t;
+}
+
+double nb_log_likelihood(const Template& t, const std::vector<double>& x) {
+  double ll = 0.0;
+  for (std::size_t f = 0; f < x.size(); ++f) {
+    const double d = x[f] - t.mean[f];
+    ll += -0.5 * std::log(2.0 * M_PI * t.variance[f]) -
+          d * d / (2.0 * t.variance[f]);
+  }
+  return ll;
+}
+
+double centroid_distance(const Template& t, const std::vector<double>& x) {
+  // z-scored Euclidean distance (per-feature scale from the template).
+  double d2 = 0.0;
+  for (std::size_t f = 0; f < x.size(); ++f) {
+    const double z = (x[f] - t.mean[f]) / std::sqrt(t.variance[f]);
+    d2 += z * z;
+  }
+  return d2;
+}
+
+}  // namespace
+
+AttackResult recover_inputs(const CampaignResult& campaign,
+                            const AttackConfig& config) {
+  if (config.features.empty())
+    throw InvalidArgument("recover_inputs: no feature events");
+  if (!(config.train_fraction > 0.0) || !(config.train_fraction < 1.0))
+    throw InvalidArgument("recover_inputs: train_fraction must be in (0,1)");
+
+  const std::size_t k = campaign.category_count();
+  if (k < 2) throw InvalidArgument("recover_inputs: need >= 2 categories");
+
+  std::vector<std::vector<std::vector<double>>> rows_per_cat;
+  std::vector<Template> templates;
+  std::vector<std::size_t> split_at;
+  for (std::size_t c = 0; c < k; ++c) {
+    auto rows = feature_rows(campaign, c, config.features);
+    const std::size_t split = static_cast<std::size_t>(
+        config.train_fraction * static_cast<double>(rows.size()));
+    if (split < 2 || split + 1 > rows.size())
+      throw InvalidArgument(
+          "recover_inputs: not enough measurements per category");
+    templates.push_back(fit_template(rows, 0, split));
+    split_at.push_back(split);
+    rows_per_cat.push_back(std::move(rows));
+  }
+
+  AttackResult result;
+  result.config = config;
+  result.confusion.assign(k, std::vector<std::size_t>(k, 0));
+  for (std::size_t actual = 0; actual < k; ++actual) {
+    const auto& rows = rows_per_cat[actual];
+    for (std::size_t i = split_at[actual]; i < rows.size(); ++i) {
+      std::size_t best = 0;
+      double best_score = 0.0;
+      for (std::size_t candidate = 0; candidate < k; ++candidate) {
+        double score = 0.0;
+        switch (config.model) {
+          case AttackModel::kGaussianNaiveBayes:
+            score = nb_log_likelihood(templates[candidate], rows[i]);
+            break;
+          case AttackModel::kNearestCentroid:
+            score = -centroid_distance(templates[candidate], rows[i]);
+            break;
+        }
+        if (candidate == 0 || score > best_score) {
+          best = candidate;
+          best_score = score;
+        }
+      }
+      ++result.confusion[actual][best];
+      ++result.test_count;
+      if (best == actual) ++result.correct;
+    }
+  }
+  return result;
+}
+
+std::string render_attack(const AttackResult& result,
+                          const std::vector<std::string>& category_names) {
+  std::ostringstream os;
+  os << "input-recovery attack (" << to_string(result.config.model) << ", "
+     << result.config.features.size() << " counter features)\n";
+  os << "accuracy: " << util::fixed(result.accuracy() * 100.0, 1) << "% on "
+     << result.test_count << " unseen classifications (chance "
+     << util::fixed(result.chance_level() * 100.0, 1) << "%)\n";
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{"actual\\predicted"};
+  for (std::size_t c = 0; c < result.confusion.size(); ++c)
+    header.push_back(c < category_names.size() ? category_names[c]
+                                               : std::to_string(c + 1));
+  rows.push_back(header);
+  for (std::size_t a = 0; a < result.confusion.size(); ++a) {
+    std::vector<std::string> row;
+    row.push_back(a < category_names.size() ? category_names[a]
+                                            : std::to_string(a + 1));
+    for (std::size_t p = 0; p < result.confusion[a].size(); ++p)
+      row.push_back(std::to_string(result.confusion[a][p]));
+    rows.push_back(std::move(row));
+  }
+  os << util::render_table(rows);
+  return os.str();
+}
+
+}  // namespace sce::core

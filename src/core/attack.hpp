@@ -1,0 +1,64 @@
+// Input-recovery attack: demonstrates that an alarm is not hypothetical.
+//
+// The paper argues that distinguishable HPC distributions let an adversary
+// "determine the input even treating the CNN implementation as a
+// black-box".  This module closes the loop: from the same passive counter
+// measurements the evaluator collects, it trains simple template
+// classifiers (nearest centroid on z-scored features and diagonal Gaussian
+// naive Bayes) and reports how accurately the *input category* of unseen
+// classifications can be recovered.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace sce::core {
+
+enum class AttackModel { kNearestCentroid, kGaussianNaiveBayes };
+
+std::string to_string(AttackModel model);
+
+struct AttackConfig {
+  AttackModel model = AttackModel::kGaussianNaiveBayes;
+  /// Events used as features; default all eight.
+  std::vector<hpc::HpcEvent> features{hpc::all_events().begin(),
+                                      hpc::all_events().end()};
+  /// Fraction of each category's measurements used to build templates;
+  /// the remainder is attacked.
+  double train_fraction = 0.5;
+};
+
+struct AttackResult {
+  AttackConfig config;
+  std::size_t test_count = 0;
+  std::size_t correct = 0;
+  /// confusion[actual][predicted]
+  std::vector<std::vector<std::size_t>> confusion;
+
+  double accuracy() const {
+    return test_count == 0
+               ? 0.0
+               : static_cast<double>(correct) /
+                     static_cast<double>(test_count);
+  }
+  /// Chance accuracy for this many categories.
+  double chance_level() const {
+    return confusion.empty()
+               ? 0.0
+               : 1.0 / static_cast<double>(confusion.size());
+  }
+};
+
+/// Train templates on the first part of each category's measurements and
+/// attack the rest.  Measurements are interleaved chronologically, so this
+/// is an honest train/test split.
+AttackResult recover_inputs(const CampaignResult& campaign,
+                            const AttackConfig& config = {});
+
+/// Render accuracy + confusion matrix.
+std::string render_attack(const AttackResult& result,
+                          const std::vector<std::string>& category_names);
+
+}  // namespace sce::core

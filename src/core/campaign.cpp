@@ -1,0 +1,95 @@
+#include "core/campaign.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace sce::core {
+
+const std::vector<double>& CampaignResult::of(
+    hpc::HpcEvent event, std::size_t category_index) const {
+  const auto& per_event = samples[static_cast<std::size_t>(event)];
+  if (category_index >= per_event.size())
+    throw InvalidArgument("CampaignResult::of: category index out of range");
+  return per_event[category_index];
+}
+
+double CampaignResult::mean(hpc::HpcEvent event,
+                            std::size_t category_index) const {
+  const auto& xs = of(event, category_index);
+  if (xs.empty()) throw InvalidArgument("CampaignResult::mean: empty cell");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+CampaignResult run_campaign(const nn::Sequential& model,
+                            const data::Dataset& dataset,
+                            Instrument instrument,
+                            const CampaignConfig& config) {
+  if (config.categories.empty())
+    throw InvalidArgument("run_campaign: no categories");
+  if (config.samples_per_category == 0)
+    throw InvalidArgument("run_campaign: samples_per_category must be > 0");
+
+  CampaignResult result;
+  result.categories = config.categories;
+  for (int label : config.categories) {
+    if (label < 0 ||
+        static_cast<std::size_t>(label) >= dataset.num_classes())
+      throw InvalidArgument("run_campaign: category label out of range");
+    result.category_names.push_back(
+        dataset.class_names()[static_cast<std::size_t>(label)]);
+  }
+  for (auto& per_event : result.samples)
+    per_event.assign(config.categories.size(), {});
+
+  std::vector<std::vector<const data::Example*>> pools;
+  for (std::size_t c = 0; c < config.categories.size(); ++c) {
+    const int label = config.categories[c];
+    pools.push_back(dataset.examples_of(label));
+    if (pools.back().empty())
+      throw InvalidArgument("run_campaign: no examples of category " +
+                            std::to_string(label));
+    if (pools.back().size() < config.samples_per_category &&
+        !config.allow_image_reuse)
+      throw InvalidArgument("run_campaign: not enough images of category " +
+                            std::to_string(label));
+  }
+
+  auto measure = [&](std::size_t c, std::size_t s, bool record) {
+    const auto& pool = pools[c];
+    const data::Example& example = *pool[s % pool.size()];
+    const nn::Tensor input = nn::image_to_tensor(example.image);
+    instrument.provider.start();
+    // The evaluator observes the classification of the user's input.
+    (void)model.forward(input, instrument.sink, config.kernel_mode);
+    instrument.provider.stop();
+    const hpc::CounterSample sample = instrument.provider.read();
+    if (!record) return;
+    for (hpc::HpcEvent e : hpc::all_events())
+      result.samples[static_cast<std::size_t>(e)][c].push_back(
+          static_cast<double>(sample[e]));
+  };
+
+  // Warm-up: bring the process (heap layout, lazy initialization) to a
+  // steady state before the recorded acquisition starts.
+  for (std::size_t w = 0; w < config.warmup_measurements; ++w)
+    measure(w % pools.size(), 0, /*record=*/false);
+
+  if (config.interleave_categories) {
+    for (std::size_t s = 0; s < config.samples_per_category; ++s)
+      for (std::size_t c = 0; c < config.categories.size(); ++c)
+        measure(c, s, /*record=*/true);
+  } else {
+    for (std::size_t c = 0; c < config.categories.size(); ++c) {
+      util::log_debug("campaign: category ", config.categories[c], " (",
+                      result.category_names[c], "), ",
+                      config.samples_per_category, " measurements");
+      for (std::size_t s = 0; s < config.samples_per_category; ++s)
+        measure(c, s, /*record=*/true);
+    }
+  }
+  return result;
+}
+
+}  // namespace sce::core

@@ -1,0 +1,81 @@
+// Measurement campaign: the data-acquisition half of the paper's
+// evaluator (Section 4, step 1).
+//
+// For each input category the campaign classifies N images of that
+// category while a CounterProvider measures the hardware events of each
+// classification, yielding one distribution per (event, category) cell.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "hpc/counter_provider.hpp"
+#include "nn/model.hpp"
+#include "uarch/trace.hpp"
+
+namespace sce::core {
+
+struct CampaignConfig {
+  /// Class labels to profile (the paper uses four categories per dataset).
+  std::vector<int> categories = {0, 1, 2, 3};
+  /// Classifications measured per category.
+  std::size_t samples_per_category = 100;
+  /// Kernel implementation under evaluation.
+  nn::KernelMode kernel_mode = nn::KernelMode::kDataDependent;
+  /// Reuse images cyclically if the dataset has fewer than
+  /// samples_per_category examples of a class.
+  bool allow_image_reuse = true;
+  /// Acquire measurements round-robin across categories instead of one
+  /// category block at a time.  Interleaving cancels slow environmental
+  /// drift (allocator warm-up, frequency ramps) that would otherwise
+  /// masquerade as a between-category difference — the same reason the
+  /// TVLA protocol interleaves its fixed and random populations.
+  bool interleave_categories = true;
+  /// Classifications run and discarded before recording starts, letting
+  /// the process reach a steady state.
+  std::size_t warmup_measurements = 2;
+};
+
+/// Distributions of every HPC event for every profiled category.
+struct CampaignResult {
+  std::vector<int> categories;
+  std::vector<std::string> category_names;
+  /// samples[event][category_index] = one value per classification.
+  std::array<std::vector<std::vector<double>>, hpc::kNumEvents> samples;
+
+  const std::vector<double>& of(hpc::HpcEvent event,
+                                std::size_t category_index) const;
+  std::size_t category_count() const { return categories.size(); }
+
+  /// Mean of an (event, category) distribution.
+  double mean(hpc::HpcEvent event, std::size_t category_index) const;
+};
+
+/// The measurement instrument: a counter provider plus the trace sink the
+/// instrumented kernels must write into.  For the SimulatedPmu both are
+/// the same object; for a real PMU the sink is a NullSink (the hardware
+/// observes the execution directly).
+struct Instrument {
+  hpc::CounterProvider& provider;
+  uarch::TraceSink& sink;
+};
+
+/// Convenience: build an Instrument around a SimulatedPmu-like object that
+/// is both a provider and a sink.
+template <typename ProviderAndSink>
+Instrument make_instrument(ProviderAndSink& pmu) {
+  return Instrument{pmu, pmu};
+}
+
+/// Run the campaign: classify sampled images of each category under
+/// measurement.  The classifier's *output* is ignored — only its hardware
+/// footprint matters, exactly as for the paper's evaluator, which cannot
+/// see the user's data.
+CampaignResult run_campaign(const nn::Sequential& model,
+                            const data::Dataset& dataset,
+                            Instrument instrument,
+                            const CampaignConfig& config);
+
+}  // namespace sce::core

@@ -1,0 +1,90 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+
+#include "stats/corrections.hpp"
+#include "util/error.hpp"
+
+namespace sce::core {
+
+std::size_t EventAnalysis::significant_pairs(double alpha) const {
+  return static_cast<std::size_t>(
+      std::count_if(pairs.begin(), pairs.end(), [&](const PairwiseTest& p) {
+        return p.significant(alpha);
+      }));
+}
+
+const EventAnalysis& LeakageAssessment::analysis_of(
+    hpc::HpcEvent event) const {
+  for (const auto& a : per_event)
+    if (a.event == event) return a;
+  throw InvalidArgument("LeakageAssessment: event " + hpc::to_string(event) +
+                        " was not analyzed");
+}
+
+LeakageAssessment evaluate(const CampaignResult& campaign,
+                           const EvaluatorConfig& config) {
+  if (campaign.category_count() < 2)
+    throw InvalidArgument("evaluate: need at least two categories");
+  if (!(config.alpha > 0.0) || !(config.alpha < 1.0))
+    throw InvalidArgument("evaluate: alpha must be in (0, 1)");
+
+  LeakageAssessment assessment;
+  assessment.config = config;
+  assessment.categories = campaign.categories;
+  assessment.category_names = campaign.category_names;
+
+  const std::size_t k = campaign.category_count();
+  for (hpc::HpcEvent event : config.events) {
+    EventAnalysis analysis;
+    analysis.event = event;
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = a + 1; b < k; ++b) {
+        PairwiseTest pt;
+        pt.category_a = a;
+        pt.category_b = b;
+        const auto& xs = campaign.of(event, a);
+        const auto& ys = campaign.of(event, b);
+        pt.t_test = stats::welch_t_test(xs, ys);
+        if (config.nonparametric_tests) {
+          pt.mann_whitney = stats::mann_whitney_u(xs, ys);
+          pt.kolmogorov_smirnov = stats::kolmogorov_smirnov(xs, ys);
+        }
+        analysis.pairs.push_back(std::move(pt));
+      }
+    }
+    if (config.anova_screen) {
+      std::vector<std::vector<double>> groups;
+      groups.reserve(k);
+      for (std::size_t c = 0; c < k; ++c)
+        groups.push_back(campaign.of(event, c));
+      analysis.anova = stats::one_way_anova(groups);
+    }
+    assessment.per_event.push_back(std::move(analysis));
+  }
+
+  if (config.holm_correction) {
+    // Family = every (event, pair) raw p-value.
+    std::vector<double> raw;
+    for (const auto& analysis : assessment.per_event)
+      for (const auto& pt : analysis.pairs)
+        raw.push_back(pt.t_test.p_two_sided);
+    const std::vector<double> adjusted = stats::holm(raw);
+    std::size_t idx = 0;
+    for (auto& analysis : assessment.per_event)
+      for (auto& pt : analysis.pairs) pt.holm_adjusted_p = adjusted[idx++];
+  }
+
+  for (const auto& analysis : assessment.per_event) {
+    for (const auto& pt : analysis.pairs) {
+      if (pt.significant(config.alpha)) {
+        assessment.alarms.push_back(Alarm{analysis.event, pt.category_a,
+                                          pt.category_b, pt.t_test.t,
+                                          pt.t_test.p_two_sided});
+      }
+    }
+  }
+  return assessment;
+}
+
+}  // namespace sce::core

@@ -1,0 +1,87 @@
+// Leakage evaluator: the hypothesis-testing half of the paper's evaluator
+// (Section 4, step 2) plus extensions.
+//
+// For every monitored HPC event it runs Welch's t-test on every pair of
+// category distributions at the configured confidence level; any rejected
+// null hypothesis means an adversary observing that event can distinguish
+// those input categories, and the evaluator raises an alarm.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "stats/anova.hpp"
+#include "stats/nonparametric.hpp"
+#include "stats/t_test.hpp"
+
+namespace sce::core {
+
+struct EvaluatorConfig {
+  /// Significance level (the paper tests at 95% confidence).
+  double alpha = 0.05;
+  /// Events included in the verdict. Default: all eight.
+  std::vector<hpc::HpcEvent> events{hpc::all_events().begin(),
+                                    hpc::all_events().end()};
+  /// Also compute Holm-adjusted p-values across all (event, pair) tests
+  /// (an extension; the paper reports raw p-values).
+  bool holm_correction = true;
+  /// Also run the one-way ANOVA screen per event (extension).
+  bool anova_screen = true;
+  /// Also run nonparametric Mann-Whitney / KS tests per pair (extension;
+  /// robust verdicts for non-normal counter distributions).
+  bool nonparametric_tests = false;
+};
+
+/// One pairwise comparison of an event's distributions.
+struct PairwiseTest {
+  std::size_t category_a = 0;  ///< index into CampaignResult::categories
+  std::size_t category_b = 0;
+  stats::TTestResult t_test;
+  double holm_adjusted_p = 1.0;
+  std::optional<stats::MannWhitneyResult> mann_whitney;
+  std::optional<stats::KsResult> kolmogorov_smirnov;
+
+  bool significant(double alpha) const {
+    return t_test.p_two_sided < alpha;
+  }
+};
+
+/// All tests for a single HPC event.
+struct EventAnalysis {
+  hpc::HpcEvent event = hpc::HpcEvent::kCacheMisses;
+  std::vector<PairwiseTest> pairs;
+  std::optional<stats::AnovaResult> anova;
+
+  /// Number of pairs whose raw p rejects H0 at alpha.
+  std::size_t significant_pairs(double alpha) const;
+  bool leaks(double alpha) const { return significant_pairs(alpha) > 0; }
+};
+
+/// A raised alarm: event + category pair found distinguishable.
+struct Alarm {
+  hpc::HpcEvent event;
+  std::size_t category_a;
+  std::size_t category_b;
+  double t = 0.0;
+  double p = 1.0;
+};
+
+/// The evaluator's verdict over a campaign.
+struct LeakageAssessment {
+  EvaluatorConfig config;
+  std::vector<int> categories;
+  std::vector<std::string> category_names;
+  std::vector<EventAnalysis> per_event;
+  std::vector<Alarm> alarms;
+
+  bool alarm_raised() const { return !alarms.empty(); }
+  const EventAnalysis& analysis_of(hpc::HpcEvent event) const;
+};
+
+/// Run the full analysis over a campaign's distributions.
+LeakageAssessment evaluate(const CampaignResult& campaign,
+                           const EvaluatorConfig& config = {});
+
+}  // namespace sce::core

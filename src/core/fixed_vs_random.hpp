@@ -1,0 +1,65 @@
+// TVLA-style fixed-vs-random leakage assessment.
+//
+// The paper tests category-vs-category; the side-channel community's
+// standard screen (Test Vector Leakage Assessment, Goodwill et al.) is
+// stronger for detection: interleave classifications of one FIXED input
+// with classifications of RANDOM inputs and t-test the two counter
+// populations.  Any dependence of the counters on the input — not just a
+// category-mean shift — separates the populations.  TVLA rejects at
+// |t| > 4.5 (and is usually run twice on disjoint measurement halves;
+// both halves must agree on the sign).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "stats/t_test.hpp"
+
+namespace sce::core {
+
+struct FixedVsRandomConfig {
+  /// The fixed input: this category's first test image.
+  int fixed_category = 0;
+  /// Classifications measured for each population.
+  std::size_t samples_per_population = 200;
+  /// TVLA decision threshold on |t|.
+  double t_threshold = 4.5;
+  /// Confirm on two disjoint halves (the standard TVLA protocol).
+  bool two_phase = true;
+  nn::KernelMode kernel_mode = nn::KernelMode::kDataDependent;
+  std::uint64_t random_seed = 17;
+};
+
+struct FixedVsRandomEventResult {
+  hpc::HpcEvent event = hpc::HpcEvent::kCacheMisses;
+  stats::TTestResult full;    ///< t-test over all measurements
+  stats::TTestResult first;   ///< first half
+  stats::TTestResult second;  ///< second half
+  bool leaks = false;         ///< per the configured protocol
+};
+
+struct FixedVsRandomResult {
+  FixedVsRandomConfig config;
+  std::array<FixedVsRandomEventResult, hpc::kNumEvents> per_event;
+
+  bool any_leak() const {
+    for (const auto& r : per_event)
+      if (r.leaks) return true;
+    return false;
+  }
+  const FixedVsRandomEventResult& of(hpc::HpcEvent event) const;
+};
+
+/// Run the fixed-vs-random campaign and assessment.  Measurements of the
+/// two populations are interleaved (fixed, random, fixed, ...) so slow
+/// environmental drift cancels, as the TVLA protocol prescribes.
+FixedVsRandomResult run_fixed_vs_random(const nn::Sequential& model,
+                                        const data::Dataset& dataset,
+                                        Instrument instrument,
+                                        const FixedVsRandomConfig& config);
+
+/// Text rendering of the verdict table.
+std::string render_fixed_vs_random(const FixedVsRandomResult& result);
+
+}  // namespace sce::core

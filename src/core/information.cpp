@@ -1,0 +1,113 @@
+#include "core/information.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace sce::core {
+
+namespace {
+double entropy_bits(const std::vector<double>& probabilities) {
+  double h = 0.0;
+  for (double p : probabilities)
+    if (p > 0.0) h -= p * std::log2(p);
+  return h;
+}
+}  // namespace
+
+EventInformation mutual_information(const CampaignResult& campaign,
+                                    hpc::HpcEvent event,
+                                    const MutualInformationConfig& config) {
+  if (config.bins < 2)
+    throw InvalidArgument("mutual_information: need >= 2 bins");
+  const std::size_t k = campaign.category_count();
+  if (k < 2)
+    throw InvalidArgument("mutual_information: need >= 2 categories");
+
+  std::vector<std::vector<double>> samples;
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    samples.push_back(campaign.of(event, c));
+    if (samples.back().empty())
+      throw InvalidArgument("mutual_information: empty category cell");
+    total += samples.back().size();
+  }
+  const auto histograms = stats::shared_histograms(samples, config.bins);
+
+  // Joint distribution p(c, x-bin) from the shared-bin histograms.
+  std::vector<double> p_category(k, 0.0);
+  std::vector<double> p_bin(config.bins, 0.0);
+  double h_joint = 0.0;
+  std::vector<double> joint;
+  joint.reserve(k * config.bins);
+  for (std::size_t c = 0; c < k; ++c) {
+    p_category[c] = static_cast<double>(samples[c].size()) /
+                    static_cast<double>(total);
+    for (std::size_t b = 0; b < config.bins; ++b) {
+      const double p = static_cast<double>(histograms[c].count(b)) /
+                       static_cast<double>(total);
+      joint.push_back(p);
+      p_bin[b] += p;
+    }
+  }
+  h_joint = entropy_bits(joint);
+  const double h_category = entropy_bits(p_category);
+  const double h_bin = entropy_bits(p_bin);
+
+  EventInformation out;
+  out.event = event;
+  out.capacity = std::log2(static_cast<double>(k));
+  out.bits = h_category + h_bin - h_joint;
+  if (config.bias_correction) {
+    // Miller–Madow: plug-in MI is biased up by ~(cells - rows - cols + 1)
+    // / (2 N ln 2) for jointly occupied cells.
+    std::size_t occupied_joint = 0;
+    for (double p : joint)
+      if (p > 0.0) ++occupied_joint;
+    std::size_t occupied_bins = 0;
+    for (double p : p_bin)
+      if (p > 0.0) ++occupied_bins;
+    const double bias =
+        (static_cast<double>(occupied_joint) - static_cast<double>(k) -
+         static_cast<double>(occupied_bins) + 1.0) /
+        (2.0 * static_cast<double>(total) * std::log(2.0));
+    out.bits -= bias;
+  }
+  if (out.bits < 0.0) out.bits = 0.0;
+  if (out.bits > out.capacity) out.bits = out.capacity;
+  return out;
+}
+
+InformationProfile information_profile(
+    const CampaignResult& campaign, const MutualInformationConfig& config) {
+  InformationProfile profile;
+  for (hpc::HpcEvent e : hpc::all_events())
+    profile.per_event[static_cast<std::size_t>(e)] =
+        mutual_information(campaign, e, config);
+  return profile;
+}
+
+const EventInformation& InformationProfile::strongest() const {
+  const EventInformation* best = &per_event[0];
+  for (const auto& info : per_event)
+    if (info.bits > best->bits) best = &info;
+  return *best;
+}
+
+std::string render_information(const InformationProfile& profile) {
+  std::ostringstream os;
+  os << "leakage per single observation (mutual information, capacity "
+     << util::fixed(profile.per_event[0].capacity, 2) << " bits)\n";
+  for (const auto& info : profile.per_event) {
+    os << util::pad_left(hpc::to_string(info.event), 18) << "  "
+       << util::pad_left(util::fixed(info.bits, 3), 6) << "  "
+       << util::bar(info.bits, info.capacity, 24) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sce::core

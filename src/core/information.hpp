@@ -1,0 +1,54 @@
+// Information-theoretic leakage quantification.
+//
+// The t-test answers "is there a difference?"; mutual information answers
+// "how MUCH does one counter observation tell the adversary about the
+// input category?", in bits.  I(C; X) is estimated from the campaign data
+// with the plug-in histogram estimator plus the Miller–Madow bias
+// correction; with K equiprobable categories the channel leaks at most
+// log2(K) bits, and an event with I ~ 0 is operationally unusable no
+// matter what the t-test says about its means.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/campaign.hpp"
+
+namespace sce::core {
+
+struct MutualInformationConfig {
+  /// Histogram bins over the pooled range of the event's samples.
+  std::size_t bins = 16;
+  /// Apply the Miller–Madow small-sample bias correction.
+  bool bias_correction = true;
+};
+
+struct EventInformation {
+  hpc::HpcEvent event = hpc::HpcEvent::kCacheMisses;
+  double bits = 0.0;      ///< estimated I(C; X)
+  double capacity = 0.0;  ///< log2(#categories): the maximum possible
+};
+
+struct InformationProfile {
+  std::array<EventInformation, hpc::kNumEvents> per_event;
+  const EventInformation& of(hpc::HpcEvent event) const {
+    return per_event[static_cast<std::size_t>(event)];
+  }
+  /// Event with the largest estimated leakage.
+  const EventInformation& strongest() const;
+};
+
+/// Estimate I(category; counter) for one event of a campaign.
+EventInformation mutual_information(const CampaignResult& campaign,
+                                    hpc::HpcEvent event,
+                                    const MutualInformationConfig& config = {});
+
+/// Estimate all eight events.
+InformationProfile information_profile(
+    const CampaignResult& campaign,
+    const MutualInformationConfig& config = {});
+
+/// Aligned text table of the profile.
+std::string render_information(const InformationProfile& profile);
+
+}  // namespace sce::core

@@ -1,0 +1,103 @@
+#include "core/online.hpp"
+
+#include "stats/t_test.hpp"
+#include "util/error.hpp"
+
+namespace sce::core {
+
+namespace {
+std::size_t pair_index(std::size_t k, std::size_t a, std::size_t b) {
+  // Index of (a, b), a < b, in the upper-triangle enumeration.
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      if (i == a && j == b) return idx;
+      ++idx;
+    }
+  }
+  throw InvalidArgument("pair_index: bad pair");
+}
+
+stats::Summary to_summary(const stats::RunningStats& rs) {
+  stats::Summary s;
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.variance = rs.variance();
+  return s;
+}
+}  // namespace
+
+OnlineEvaluator::OnlineEvaluator(OnlineConfig config)
+    : config_(std::move(config)) {
+  if (config_.num_categories < 2)
+    throw InvalidArgument("OnlineEvaluator: need >= 2 categories");
+  if (!(config_.alpha > 0.0) || !(config_.alpha < 1.0))
+    throw InvalidArgument("OnlineEvaluator: alpha must be in (0, 1)");
+  if (config_.min_samples_per_category < 2)
+    throw InvalidArgument("OnlineEvaluator: min_samples must be >= 2");
+  if (config_.events.empty())
+    throw InvalidArgument("OnlineEvaluator: no events to monitor");
+  for (auto& per_event : stats_)
+    per_event.assign(config_.num_categories, {});
+  const std::size_t pairs =
+      config_.num_categories * (config_.num_categories - 1) / 2;
+  fired_.assign(hpc::kNumEvents * pairs, false);
+}
+
+double OnlineEvaluator::next_threshold() {
+  // Sum over k >= 1 of alpha / (k (k+1)) == alpha.
+  ++checks_spent_;
+  const double k = static_cast<double>(checks_spent_);
+  return config_.alpha / (k * (k + 1.0));
+}
+
+std::optional<OnlineAlarm> OnlineEvaluator::observe(
+    std::size_t category, const hpc::CounterSample& sample) {
+  if (category >= config_.num_categories)
+    throw InvalidArgument("OnlineEvaluator::observe: category out of range");
+  ++measurements_;
+  for (hpc::HpcEvent e : config_.events)
+    stats_[static_cast<std::size_t>(e)][category].add(
+        static_cast<double>(sample[e]));
+
+  // Test the updated category against every other sufficiently-sampled
+  // category, one alpha-spending check per (event, pair) visit.
+  const std::size_t pairs =
+      config_.num_categories * (config_.num_categories - 1) / 2;
+  std::optional<OnlineAlarm> raised;
+  for (hpc::HpcEvent e : config_.events) {
+    const auto& per_event = stats_[static_cast<std::size_t>(e)];
+    if (per_event[category].count() < config_.min_samples_per_category)
+      continue;
+    for (std::size_t other = 0; other < config_.num_categories; ++other) {
+      if (other == category) continue;
+      if (per_event[other].count() < config_.min_samples_per_category)
+        continue;
+      const std::size_t a = std::min(category, other);
+      const std::size_t b = std::max(category, other);
+      const std::size_t fired_idx =
+          static_cast<std::size_t>(e) * pairs +
+          pair_index(config_.num_categories, a, b);
+      if (fired_[fired_idx]) continue;
+      const stats::TTestResult t = stats::welch_t_test(
+          to_summary(per_event[a]), to_summary(per_event[b]));
+      const double threshold = next_threshold();
+      if (t.p_two_sided < threshold) {
+        fired_[fired_idx] = true;
+        OnlineAlarm alarm{e, a, b, t.t, t.p_two_sided, measurements_};
+        alarms_.push_back(alarm);
+        if (!raised) raised = alarm;
+      }
+    }
+  }
+  return raised;
+}
+
+const stats::RunningStats& OnlineEvaluator::cell(hpc::HpcEvent event,
+                                                 std::size_t category) const {
+  if (category >= config_.num_categories)
+    throw InvalidArgument("OnlineEvaluator::cell: category out of range");
+  return stats_[static_cast<std::size_t>(event)][category];
+}
+
+}  // namespace sce::core

@@ -1,0 +1,78 @@
+// Online (run-time) leakage monitor.
+//
+// The paper frames the evaluator as *dynamic*: "The data acquired from
+// the HPCs are run-time monitored by the evaluator" (Section 1).  This
+// module implements that deployment mode: measurements stream in one
+// classification at a time, per-(event, category) statistics are
+// maintained incrementally (Welford), and after every arrival the monitor
+// re-tests all category pairs from the running summaries.  Because the
+// test is repeated after every measurement, the naive p < alpha rule
+// would reject almost surely under H0; the monitor therefore spends its
+// error budget with a simple alpha-spending rule: check number k uses
+// threshold alpha / (k * (k + 1)), whose sum over all k is alpha.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "stats/descriptive.hpp"
+
+namespace sce::core {
+
+struct OnlineConfig {
+  std::size_t num_categories = 4;
+  /// Total type-I error budget across the whole monitoring run.
+  double alpha = 0.05;
+  /// Events monitored.
+  std::vector<hpc::HpcEvent> events{hpc::all_events().begin(),
+                                    hpc::all_events().end()};
+  /// Do not test before each involved category has this many samples.
+  std::size_t min_samples_per_category = 10;
+};
+
+/// An alarm raised by the online monitor, with the measurement count at
+/// which the evidence became decisive (the detection latency).
+struct OnlineAlarm {
+  hpc::HpcEvent event;
+  std::size_t category_a;
+  std::size_t category_b;
+  double t = 0.0;
+  double p = 0.0;
+  std::size_t measurements_seen = 0;
+};
+
+class OnlineEvaluator {
+ public:
+  explicit OnlineEvaluator(OnlineConfig config);
+
+  /// Feed one classification's counters for a known category.  Returns
+  /// the alarm raised by this measurement, if any (the first time each
+  /// (event, pair) becomes decisive).
+  std::optional<OnlineAlarm> observe(std::size_t category,
+                                     const hpc::CounterSample& sample);
+
+  /// All alarms raised so far, in detection order.
+  const std::vector<OnlineAlarm>& alarms() const { return alarms_; }
+  bool alarm_raised() const { return !alarms_.empty(); }
+  std::size_t measurements_seen() const { return measurements_; }
+
+  /// Current running summary of one cell (for inspection/reporting).
+  const stats::RunningStats& cell(hpc::HpcEvent event,
+                                  std::size_t category) const;
+
+ private:
+  double next_threshold();
+
+  OnlineConfig config_;
+  // stats_[event][category]
+  std::array<std::vector<stats::RunningStats>, hpc::kNumEvents> stats_;
+  // already-fired (event, pair) combinations, to report each leak once
+  std::vector<bool> fired_;
+  std::vector<OnlineAlarm> alarms_;
+  std::size_t measurements_ = 0;
+  std::size_t checks_spent_ = 0;
+};
+
+}  // namespace sce::core

@@ -1,0 +1,224 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/json.hpp"
+
+namespace sce::core {
+
+namespace {
+std::string pair_label(const PairwiseTest& pt,
+                       const std::vector<int>& categories) {
+  // The paper numbers categories from 1: t1,2 .. t3,4.
+  (void)categories;
+  return "t" + std::to_string(pt.category_a + 1) + "," +
+         std::to_string(pt.category_b + 1);
+}
+
+std::string t_value_string(double t) {
+  if (std::isinf(t)) return t > 0 ? "inf" : "-inf";
+  return util::fixed(t, 4);
+}
+}  // namespace
+
+std::string render_paper_table(const LeakageAssessment& assessment,
+                               const std::vector<hpc::HpcEvent>& events) {
+  if (events.empty())
+    throw InvalidArgument("render_paper_table: no events");
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header1{""};
+  std::vector<std::string> header2{""};
+  for (hpc::HpcEvent e : events) {
+    header1.push_back(hpc::to_string(e));
+    header1.push_back("");
+    header2.push_back("t-values");
+    header2.push_back("p-values");
+  }
+  rows.push_back(header1);
+  rows.push_back(header2);
+
+  const auto& first = assessment.analysis_of(events.front());
+  for (std::size_t p = 0; p < first.pairs.size(); ++p) {
+    std::vector<std::string> row;
+    row.push_back(pair_label(first.pairs[p], assessment.categories));
+    for (hpc::HpcEvent e : events) {
+      const auto& analysis = assessment.analysis_of(e);
+      if (analysis.pairs.size() != first.pairs.size())
+        throw InvalidArgument("render_paper_table: pair count mismatch");
+      const auto& pt = analysis.pairs[p];
+      const bool sig = pt.significant(assessment.config.alpha);
+      // The paper bold-faces significant results; mark them with '*'.
+      row.push_back(t_value_string(pt.t_test.t) + (sig ? "*" : " "));
+      row.push_back(util::p_value_string(pt.t_test.p_two_sided) +
+                    (sig ? "*" : " "));
+    }
+    rows.push_back(std::move(row));
+  }
+  return util::render_table(rows);
+}
+
+std::string render_report(const LeakageAssessment& assessment) {
+  std::ostringstream os;
+  os << "=== Side-channel leakage assessment ===\n";
+  os << "categories: ";
+  for (std::size_t c = 0; c < assessment.category_names.size(); ++c) {
+    if (c) os << ", ";
+    os << (c + 1) << "='" << assessment.category_names[c] << "'";
+  }
+  os << "\nconfidence: " << util::fixed((1.0 - assessment.config.alpha) * 100, 0)
+     << "%\n\n";
+
+  if (assessment.alarm_raised()) {
+    os << "*** ALARM: input-dependent side-channel leakage detected ***\n";
+    os << assessment.alarms.size()
+       << " distinguishable (event, category-pair) combinations:\n";
+    for (const Alarm& a : assessment.alarms) {
+      os << "  - " << hpc::to_string(a.event) << ": categories "
+         << (a.category_a + 1) << " vs " << (a.category_b + 1)
+         << "  (t=" << t_value_string(a.t)
+         << ", p=" << util::p_value_string(a.p) << ")\n";
+    }
+  } else {
+    os << "No distinguishable pair at this confidence level; the "
+          "implementation's CPU footprint is input-indistinguishable.\n";
+  }
+  os << '\n';
+
+  for (const auto& analysis : assessment.per_event) {
+    os << "--- " << hpc::to_string(analysis.event) << " ---\n";
+    if (analysis.anova) {
+      os << "ANOVA: F=" << util::fixed(analysis.anova->f, 3)
+         << " p=" << util::p_value_string(analysis.anova->p)
+         << " eta^2=" << util::fixed(analysis.anova->eta_squared, 3) << '\n';
+    }
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"pair", "t", "df", "p", "holm-p", "cohen-d", "verdict"});
+    for (const auto& pt : analysis.pairs) {
+      rows.push_back(
+          {pair_label(pt, assessment.categories),
+           t_value_string(pt.t_test.t), util::fixed(pt.t_test.df, 1),
+           util::p_value_string(pt.t_test.p_two_sided),
+           util::p_value_string(pt.holm_adjusted_p),
+           util::fixed(pt.t_test.cohen_d, 2),
+           pt.significant(assessment.config.alpha) ? "LEAK" : "ok"});
+    }
+    os << util::render_table(rows) << '\n';
+  }
+  return os.str();
+}
+
+std::string render_csv(const LeakageAssessment& assessment) {
+  std::ostringstream os;
+  os << "event,category_a,category_b,t,df,p,holm_p,cohen_d,significant\n";
+  for (const auto& analysis : assessment.per_event) {
+    for (const auto& pt : analysis.pairs) {
+      os << hpc::to_string(analysis.event) << ',' << (pt.category_a + 1)
+         << ',' << (pt.category_b + 1) << ',' << pt.t_test.t << ','
+         << pt.t_test.df << ',' << pt.t_test.p_two_sided << ','
+         << pt.holm_adjusted_p << ',' << pt.t_test.cohen_d << ','
+         << (pt.significant(assessment.config.alpha) ? 1 : 0) << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string render_json(const LeakageAssessment& assessment) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("alpha").value(assessment.config.alpha);
+  json.key("alarm_raised").value(assessment.alarm_raised());
+  json.key("categories").begin_array();
+  for (const std::string& name : assessment.category_names)
+    json.value(name);
+  json.end_array();
+
+  json.key("events").begin_array();
+  for (const auto& analysis : assessment.per_event) {
+    json.begin_object();
+    json.key("event").value(hpc::to_string(analysis.event));
+    if (analysis.anova) {
+      json.key("anova").begin_object();
+      json.key("f").value(analysis.anova->f);
+      json.key("p").value(analysis.anova->p);
+      json.key("eta_squared").value(analysis.anova->eta_squared);
+      json.end_object();
+    }
+    json.key("pairs").begin_array();
+    for (const auto& pt : analysis.pairs) {
+      json.begin_object();
+      json.key("category_a").value(
+          static_cast<std::uint64_t>(pt.category_a + 1));
+      json.key("category_b").value(
+          static_cast<std::uint64_t>(pt.category_b + 1));
+      json.key("t").value(pt.t_test.t);
+      json.key("df").value(pt.t_test.df);
+      json.key("p").value(pt.t_test.p_two_sided);
+      json.key("holm_p").value(pt.holm_adjusted_p);
+      json.key("cohen_d").value(pt.t_test.cohen_d);
+      json.key("significant").value(
+          pt.significant(assessment.config.alpha));
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("alarms").begin_array();
+  for (const Alarm& alarm : assessment.alarms) {
+    json.begin_object();
+    json.key("event").value(hpc::to_string(alarm.event));
+    json.key("category_a").value(
+        static_cast<std::uint64_t>(alarm.category_a + 1));
+    json.key("category_b").value(
+        static_cast<std::uint64_t>(alarm.category_b + 1));
+    json.key("t").value(alarm.t);
+    json.key("p").value(alarm.p);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string render_distributions(const CampaignResult& campaign,
+                                 hpc::HpcEvent event, std::size_t bins) {
+  std::vector<std::vector<double>> samples;
+  for (std::size_t c = 0; c < campaign.category_count(); ++c)
+    samples.push_back(campaign.of(event, c));
+  const auto histograms = stats::shared_histograms(samples, bins);
+  std::ostringstream os;
+  os << "distributions of " << hpc::to_string(event) << " ("
+     << bins << " shared bins over ["
+     << util::fixed(histograms.front().lo(), 1) << ", "
+     << util::fixed(histograms.front().hi(), 1) << "])\n";
+  for (std::size_t c = 0; c < histograms.size(); ++c) {
+    os << "\ncategory " << (c + 1) << " ('" << campaign.category_names[c]
+       << "'), n=" << histograms[c].total() << ":\n"
+       << histograms[c].render();
+  }
+  return os.str();
+}
+
+std::string render_category_means(const CampaignResult& campaign,
+                                  hpc::HpcEvent event) {
+  std::ostringstream os;
+  double max_mean = 0.0;
+  std::vector<double> means;
+  for (std::size_t c = 0; c < campaign.category_count(); ++c) {
+    means.push_back(campaign.mean(event, c));
+    max_mean = std::max(max_mean, means.back());
+  }
+  os << "average " << hpc::to_string(event) << " per category\n";
+  for (std::size_t c = 0; c < means.size(); ++c) {
+    os << util::pad_left(campaign.category_names[c], 12) << "  "
+       << util::pad_left(util::fixed(means[c], 1), 12) << "  "
+       << util::bar(means[c], max_mean, 40) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sce::core

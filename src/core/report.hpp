@@ -1,0 +1,41 @@
+// Rendering of leakage assessments: the paper's Tables 1/2 layout, a full
+// text report, and CSV export for downstream analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "stats/histogram.hpp"
+
+namespace sce::core {
+
+/// Render the t/p matrix for a set of events in the layout of the paper's
+/// Table 1 and Table 2: one row per category pair (t1,2 ... t3,4), two
+/// columns (t-values, p-values) per event.  p-values below 1e-4 print as
+/// "~0", matching the paper's "≈0".
+std::string render_paper_table(const LeakageAssessment& assessment,
+                               const std::vector<hpc::HpcEvent>& events);
+
+/// Full human-readable report: verdict, alarms, per-event matrices,
+/// ANOVA screens and (if present) nonparametric confirmations.
+std::string render_report(const LeakageAssessment& assessment);
+
+/// CSV with one row per (event, pair): event,cat_a,cat_b,t,df,p,holm_p.
+std::string render_csv(const LeakageAssessment& assessment);
+
+/// Machine-readable JSON: config, categories, per-event pairwise tests
+/// (t/df/p/holm/cohen-d/significant) and the alarm list.
+std::string render_json(const LeakageAssessment& assessment);
+
+/// Per-category histograms of one event with shared binning — the data
+/// behind the paper's Figures 3 and 4 — rendered as aligned text columns
+/// plus bin edges (one block per category).
+std::string render_distributions(const CampaignResult& campaign,
+                                 hpc::HpcEvent event, std::size_t bins = 20);
+
+/// Figure 1 style: mean of an event per category, as a labelled bar chart.
+std::string render_category_means(const CampaignResult& campaign,
+                                  hpc::HpcEvent event);
+
+}  // namespace sce::core

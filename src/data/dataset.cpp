@@ -1,0 +1,72 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sce::data {
+
+Dataset::Dataset(std::vector<Example> examples,
+                 std::vector<std::string> class_names)
+    : examples_(std::move(examples)), class_names_(std::move(class_names)) {
+  for (const auto& e : examples_) {
+    if (e.label < 0 || static_cast<std::size_t>(e.label) >= class_names_.size())
+      throw InvalidArgument("Dataset: label out of range of class names");
+  }
+}
+
+const Example& Dataset::operator[](std::size_t i) const {
+  if (i >= examples_.size())
+    throw InvalidArgument("Dataset: index out of range");
+  return examples_[i];
+}
+
+void Dataset::add(Example example) {
+  if (example.label < 0 ||
+      static_cast<std::size_t>(example.label) >= class_names_.size())
+    throw InvalidArgument("Dataset::add: label out of range");
+  examples_.push_back(std::move(example));
+}
+
+void Dataset::shuffle(util::Rng& rng) { rng.shuffle(examples_); }
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction) const {
+  if (train_fraction < 0.0 || train_fraction > 1.0)
+    throw InvalidArgument("Dataset::split: fraction must be in [0, 1]");
+  const std::size_t n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(examples_.size()));
+  std::vector<Example> train(examples_.begin(),
+                             examples_.begin() + static_cast<long>(n_train));
+  std::vector<Example> test(examples_.begin() + static_cast<long>(n_train),
+                            examples_.end());
+  return {Dataset(std::move(train), class_names_),
+          Dataset(std::move(test), class_names_)};
+}
+
+std::vector<const Example*> Dataset::examples_of(int label) const {
+  std::vector<const Example*> out;
+  for (const auto& e : examples_)
+    if (e.label == label) out.push_back(&e);
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> counts(class_names_.size(), 0);
+  for (const auto& e : examples_) ++counts[static_cast<std::size_t>(e.label)];
+  return counts;
+}
+
+Dataset Dataset::balanced_subset(std::size_t per_class) const {
+  std::vector<std::size_t> taken(class_names_.size(), 0);
+  std::vector<Example> out;
+  for (const auto& e : examples_) {
+    auto& t = taken[static_cast<std::size_t>(e.label)];
+    if (t < per_class) {
+      out.push_back(e);
+      ++t;
+    }
+  }
+  return Dataset(std::move(out), class_names_);
+}
+
+}  // namespace sce::data

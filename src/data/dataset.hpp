@@ -1,0 +1,54 @@
+// Labeled image dataset container and basic pipeline operations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/image.hpp"
+#include "util/rng.hpp"
+
+namespace sce::data {
+
+struct Example {
+  Image image;
+  int label = 0;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::vector<Example> examples, std::vector<std::string> class_names);
+
+  std::size_t size() const { return examples_.size(); }
+  bool empty() const { return examples_.empty(); }
+  std::size_t num_classes() const { return class_names_.size(); }
+  const std::vector<std::string>& class_names() const { return class_names_; }
+
+  const Example& operator[](std::size_t i) const;
+  const std::vector<Example>& examples() const { return examples_; }
+
+  void add(Example example);
+
+  /// In-place Fisher–Yates shuffle.
+  void shuffle(util::Rng& rng);
+
+  /// Split off the first `fraction` of examples as a training set; the rest
+  /// become the test set.  Call shuffle() first for a random split.
+  std::pair<Dataset, Dataset> split(double train_fraction) const;
+
+  /// All examples whose label equals `label`, in order.
+  std::vector<const Example*> examples_of(int label) const;
+
+  /// Number of examples per class (indexed by label).
+  std::vector<std::size_t> class_histogram() const;
+
+  /// Keep at most `per_class` examples of each class (in encounter order).
+  Dataset balanced_subset(std::size_t per_class) const;
+
+ private:
+  std::vector<Example> examples_;
+  std::vector<std::string> class_names_;
+};
+
+}  // namespace sce::data

@@ -1,0 +1,105 @@
+#include "data/idx.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace sce::data {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& in) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  if (!in) throw IoError("idx: truncated header");
+  return (std::uint32_t{b[0]} << 24) | (std::uint32_t{b[1]} << 16) |
+         (std::uint32_t{b[2]} << 8) | std::uint32_t{b[3]};
+}
+
+void write_be32(std::ostream& out, std::uint32_t v) {
+  const unsigned char b[4] = {
+      static_cast<unsigned char>(v >> 24), static_cast<unsigned char>(v >> 16),
+      static_cast<unsigned char>(v >> 8), static_cast<unsigned char>(v)};
+  out.write(reinterpret_cast<const char*>(b), 4);
+}
+
+constexpr std::uint32_t kImageMagic = 0x00000803;  // ubyte, 3 dimensions
+constexpr std::uint32_t kLabelMagic = 0x00000801;  // ubyte, 1 dimension
+
+}  // namespace
+
+Dataset load_idx(const std::string& images_path, const std::string& labels_path,
+                 std::vector<std::string> class_names) {
+  std::ifstream images(images_path, std::ios::binary);
+  if (!images) throw IoError("idx: cannot open " + images_path);
+  std::ifstream labels(labels_path, std::ios::binary);
+  if (!labels) throw IoError("idx: cannot open " + labels_path);
+
+  if (read_be32(images) != kImageMagic)
+    throw IoError("idx: bad image magic in " + images_path);
+  if (read_be32(labels) != kLabelMagic)
+    throw IoError("idx: bad label magic in " + labels_path);
+
+  const std::uint32_t n_images = read_be32(images);
+  const std::uint32_t rows = read_be32(images);
+  const std::uint32_t cols = read_be32(images);
+  const std::uint32_t n_labels = read_be32(labels);
+  if (n_images != n_labels)
+    throw IoError("idx: image/label count mismatch");
+
+  Dataset ds({}, std::move(class_names));
+  std::vector<unsigned char> buf(static_cast<std::size_t>(rows) * cols);
+  for (std::uint32_t i = 0; i < n_images; ++i) {
+    images.read(reinterpret_cast<char*>(buf.data()),
+                static_cast<std::streamsize>(buf.size()));
+    char label_byte = 0;
+    labels.read(&label_byte, 1);
+    if (!images || !labels) throw IoError("idx: truncated data");
+    Example e;
+    e.label = static_cast<int>(static_cast<unsigned char>(label_byte));
+    e.image = Image(1, rows, cols);
+    for (std::size_t p = 0; p < buf.size(); ++p)
+      e.image.pixels()[p] = static_cast<float>(buf[p]) / 255.0f;
+    ds.add(std::move(e));
+  }
+  return ds;
+}
+
+void save_idx(const Dataset& dataset, const std::string& images_path,
+              const std::string& labels_path) {
+  if (dataset.empty()) throw InvalidArgument("save_idx: empty dataset");
+  const Image& first = dataset[0].image;
+  if (first.channels() != 1)
+    throw InvalidArgument("save_idx: only single-channel datasets supported");
+
+  std::ofstream images(images_path, std::ios::binary);
+  if (!images) throw IoError("idx: cannot create " + images_path);
+  std::ofstream labels(labels_path, std::ios::binary);
+  if (!labels) throw IoError("idx: cannot create " + labels_path);
+
+  write_be32(images, kImageMagic);
+  write_be32(images, static_cast<std::uint32_t>(dataset.size()));
+  write_be32(images, static_cast<std::uint32_t>(first.height()));
+  write_be32(images, static_cast<std::uint32_t>(first.width()));
+  write_be32(labels, kLabelMagic);
+  write_be32(labels, static_cast<std::uint32_t>(dataset.size()));
+
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const Example& e = dataset[i];
+    if (e.image.height() != first.height() ||
+        e.image.width() != first.width() || e.image.channels() != 1)
+      throw InvalidArgument("save_idx: inconsistent image shapes");
+    for (float p : e.image.pixels()) {
+      const float clamped = std::min(1.0f, std::max(0.0f, p));
+      const unsigned char byte =
+          static_cast<unsigned char>(clamped * 255.0f + 0.5f);
+      images.write(reinterpret_cast<const char*>(&byte), 1);
+    }
+    const unsigned char label = static_cast<unsigned char>(e.label);
+    labels.write(reinterpret_cast<const char*>(&label), 1);
+  }
+  if (!images || !labels) throw IoError("save_idx: write failure");
+}
+
+}  // namespace sce::data

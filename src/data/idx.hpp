@@ -1,0 +1,24 @@
+// Reader/writer for the IDX format used by the real MNIST distribution.
+//
+// When actual MNIST files are available (train-images-idx3-ubyte etc.) the
+// experiments can run on them instead of the synthetic generator; the
+// writer exists so synthetic datasets can be exported for inspection with
+// standard tooling.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace sce::data {
+
+/// Load a ubyte IDX image file + label file pair into a Dataset.
+/// Pixels are scaled to [0, 1]; images become 1-channel.
+Dataset load_idx(const std::string& images_path, const std::string& labels_path,
+                 std::vector<std::string> class_names);
+
+/// Write a single-channel dataset as an IDX image/label file pair.
+void save_idx(const Dataset& dataset, const std::string& images_path,
+              const std::string& labels_path);
+
+}  // namespace sce::data

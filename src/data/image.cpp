@@ -1,0 +1,41 @@
+#include "data/image.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sce::data {
+
+Image::Image(std::size_t channels, std::size_t height, std::size_t width)
+    : channels_(channels),
+      height_(height),
+      width_(width),
+      pixels_(channels * height * width, 0.0f) {
+  if (channels == 0 || height == 0 || width == 0)
+    throw InvalidArgument("Image: dimensions must be positive");
+}
+
+float& Image::at(std::size_t c, std::size_t y, std::size_t x) {
+  if (c >= channels_ || y >= height_ || x >= width_)
+    throw InvalidArgument("Image::at: index out of range");
+  return pixels_[(c * height_ + y) * width_ + x];
+}
+
+float Image::at(std::size_t c, std::size_t y, std::size_t x) const {
+  if (c >= channels_ || y >= height_ || x >= width_)
+    throw InvalidArgument("Image::at: index out of range");
+  return pixels_[(c * height_ + y) * width_ + x];
+}
+
+void Image::clamp(float lo, float hi) {
+  for (float& p : pixels_) p = std::clamp(p, lo, hi);
+}
+
+float Image::mean() const {
+  if (pixels_.empty()) return 0.0f;
+  double sum = 0.0;
+  for (float p : pixels_) sum += p;
+  return static_cast<float>(sum / static_cast<double>(pixels_.size()));
+}
+
+}  // namespace sce::data

@@ -1,0 +1,41 @@
+// Dense float image container (CHW layout) shared by the dataset
+// generators and the neural-network input pipeline.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sce::data {
+
+/// An image with `channels` planes of `height` x `width` floats in [0, 1],
+/// stored channel-major (CHW) — the layout the conv kernels consume.
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t channels, std::size_t height, std::size_t width);
+
+  std::size_t channels() const { return channels_; }
+  std::size_t height() const { return height_; }
+  std::size_t width() const { return width_; }
+  std::size_t size() const { return pixels_.size(); }
+
+  float& at(std::size_t c, std::size_t y, std::size_t x);
+  float at(std::size_t c, std::size_t y, std::size_t x) const;
+
+  const std::vector<float>& pixels() const { return pixels_; }
+  std::vector<float>& pixels() { return pixels_; }
+
+  /// Clamp every pixel into [lo, hi].
+  void clamp(float lo = 0.0f, float hi = 1.0f);
+
+  /// Mean pixel intensity over all channels.
+  float mean() const;
+
+ private:
+  std::size_t channels_ = 0;
+  std::size_t height_ = 0;
+  std::size_t width_ = 0;
+  std::vector<float> pixels_;
+};
+
+}  // namespace sce::data

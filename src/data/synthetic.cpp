@@ -1,0 +1,404 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sce::data {
+
+namespace {
+
+struct Point {
+  float x;
+  float y;
+};
+using Polyline = std::vector<Point>;
+
+// Stroke templates per digit in normalized [0,1]^2 coordinates (y down).
+// Each digit is a set of polylines traced the way the glyph is drawn.
+const std::vector<std::vector<Polyline>>& digit_templates() {
+  static const std::vector<std::vector<Polyline>> kTemplates = {
+      // 0: oval
+      {{{0.50f, 0.10f}, {0.75f, 0.20f}, {0.82f, 0.50f}, {0.75f, 0.80f},
+        {0.50f, 0.90f}, {0.25f, 0.80f}, {0.18f, 0.50f}, {0.25f, 0.20f},
+        {0.50f, 0.10f}}},
+      // 1: vertical bar with a small flag
+      {{{0.35f, 0.25f}, {0.52f, 0.10f}, {0.52f, 0.90f}},
+       {{0.35f, 0.90f}, {0.70f, 0.90f}}},
+      // 2: arc, diagonal, base
+      {{{0.22f, 0.25f}, {0.35f, 0.10f}, {0.65f, 0.10f}, {0.78f, 0.28f},
+        {0.70f, 0.48f}, {0.25f, 0.88f}, {0.80f, 0.88f}}},
+      // 3: two stacked arcs
+      {{{0.25f, 0.15f}, {0.60f, 0.10f}, {0.75f, 0.25f}, {0.60f, 0.45f},
+        {0.42f, 0.48f}},
+       {{0.42f, 0.48f}, {0.65f, 0.52f}, {0.78f, 0.70f}, {0.60f, 0.90f},
+        {0.25f, 0.85f}}},
+      // 4: open top
+      {{{0.62f, 0.10f}, {0.22f, 0.60f}, {0.80f, 0.60f}},
+       {{0.62f, 0.10f}, {0.62f, 0.90f}}},
+      // 5: flag, descender, bowl
+      {{{0.75f, 0.10f}, {0.30f, 0.10f}, {0.27f, 0.45f}, {0.60f, 0.42f},
+        {0.78f, 0.60f}, {0.72f, 0.82f}, {0.45f, 0.92f}, {0.22f, 0.82f}}},
+      // 6: hook into loop
+      {{{0.70f, 0.12f}, {0.40f, 0.25f}, {0.25f, 0.55f}, {0.30f, 0.82f},
+        {0.55f, 0.92f}, {0.75f, 0.78f}, {0.70f, 0.58f}, {0.45f, 0.52f},
+        {0.28f, 0.62f}}},
+      // 7: top bar and diagonal
+      {{{0.20f, 0.12f}, {0.80f, 0.12f}, {0.45f, 0.90f}}},
+      // 8: two loops
+      {{{0.50f, 0.10f}, {0.70f, 0.20f}, {0.68f, 0.40f}, {0.50f, 0.48f},
+        {0.30f, 0.40f}, {0.30f, 0.20f}, {0.50f, 0.10f}},
+       {{0.50f, 0.48f}, {0.74f, 0.58f}, {0.74f, 0.80f}, {0.50f, 0.90f},
+        {0.26f, 0.80f}, {0.26f, 0.58f}, {0.50f, 0.48f}}},
+      // 9: loop and tail
+      {{{0.72f, 0.30f}, {0.55f, 0.12f}, {0.32f, 0.20f}, {0.28f, 0.42f},
+        {0.50f, 0.52f}, {0.72f, 0.42f}, {0.72f, 0.30f}},
+       {{0.72f, 0.30f}, {0.70f, 0.70f}, {0.55f, 0.90f}}},
+  };
+  return kTemplates;
+}
+
+const std::vector<std::string>& mnist_class_names() {
+  static const std::vector<std::string> kNames = {"0", "1", "2", "3", "4",
+                                                  "5", "6", "7", "8", "9"};
+  return kNames;
+}
+
+const std::vector<std::string>& cifar_class_names() {
+  static const std::vector<std::string> kNames = {
+      "airplane", "automobile", "bird",  "cat",  "deer",
+      "dog",      "frog",       "horse", "ship", "truck"};
+  return kNames;
+}
+
+// Additively stamp a soft disc of the given radius at (cx, cy).
+void stamp(Image& img, std::size_t channel, float cx, float cy, float radius,
+           float intensity) {
+  const int r = static_cast<int>(std::ceil(radius)) + 1;
+  const int icx = static_cast<int>(std::lround(cx));
+  const int icy = static_cast<int>(std::lround(cy));
+  for (int dy = -r; dy <= r; ++dy) {
+    for (int dx = -r; dx <= r; ++dx) {
+      const int x = icx + dx;
+      const int y = icy + dy;
+      if (x < 0 || y < 0 || x >= static_cast<int>(img.width()) ||
+          y >= static_cast<int>(img.height()))
+        continue;
+      const float fx = static_cast<float>(x) - cx;
+      const float fy = static_cast<float>(y) - cy;
+      const float d = std::sqrt(fx * fx + fy * fy);
+      // Soft anti-aliased edge, one pixel wide.
+      const float cover = std::clamp(radius + 0.5f - d, 0.0f, 1.0f);
+      if (cover <= 0.0f) continue;
+      float& p = img.at(channel, static_cast<std::size_t>(y),
+                        static_cast<std::size_t>(x));
+      p = std::max(p, intensity * cover);
+    }
+  }
+}
+
+void draw_polyline(Image& img, std::size_t channel, const Polyline& line,
+                   float thickness, float intensity) {
+  for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+    const Point a = line[i];
+    const Point b = line[i + 1];
+    const float len = std::hypot(b.x - a.x, b.y - a.y);
+    const int steps = std::max(2, static_cast<int>(len / 0.4f));
+    for (int s = 0; s <= steps; ++s) {
+      const float t = static_cast<float>(s) / static_cast<float>(steps);
+      stamp(img, channel, a.x + t * (b.x - a.x), a.y + t * (b.y - a.y),
+            thickness, intensity);
+    }
+  }
+}
+
+struct Affine {
+  // x' = a*x + b*y + tx ; y' = c*x + d*y + ty
+  float a, b, c, d, tx, ty;
+  Point apply(Point p) const {
+    return {a * p.x + b * p.y + tx, c * p.x + d * p.y + ty};
+  }
+};
+
+Affine random_jitter(const SyntheticConfig& cfg, util::Rng& rng, float size) {
+  const float angle = static_cast<float>(
+      rng.uniform(-cfg.max_rotation_deg, cfg.max_rotation_deg) * M_PI / 180.0);
+  const float scale = static_cast<float>(
+      rng.uniform(1.0 - cfg.max_scale_jitter, 1.0 + cfg.max_scale_jitter));
+  const float shift_x = static_cast<float>(
+      rng.range(-cfg.max_shift, cfg.max_shift));
+  const float shift_y = static_cast<float>(
+      rng.range(-cfg.max_shift, cfg.max_shift));
+  const float cosr = std::cos(angle) * scale;
+  const float sinr = std::sin(angle) * scale;
+  // Rotate/scale about the image center, then translate.
+  const float cx = size / 2.0f;
+  const float cy = size / 2.0f;
+  Affine t{};
+  t.a = cosr;
+  t.b = -sinr;
+  t.c = sinr;
+  t.d = cosr;
+  t.tx = cx - cosr * cx + sinr * cy + shift_x;
+  t.ty = cy - sinr * cx - cosr * cy + shift_y;
+  return t;
+}
+
+void add_noise(Image& img, float stddev, util::Rng& rng) {
+  if (stddev <= 0.0f) return;
+  for (float& p : img.pixels())
+    p += static_cast<float>(rng.normal(0.0, stddev));
+  img.clamp();
+}
+
+}  // namespace
+
+Image render_digit(int digit, const SyntheticConfig& cfg, util::Rng& rng) {
+  if (digit < 0 || digit > 9)
+    throw InvalidArgument("render_digit: digit must be in [0, 9]");
+  constexpr std::size_t kSize = 28;
+  Image img(1, kSize, kSize);
+  const float thickness = static_cast<float>(rng.uniform(0.9, 1.6));
+  const float intensity = static_cast<float>(rng.uniform(0.8, 1.0));
+  const Affine jitter = random_jitter(cfg, rng, static_cast<float>(kSize));
+  for (const Polyline& stroke :
+       digit_templates()[static_cast<std::size_t>(digit)]) {
+    Polyline scaled;
+    scaled.reserve(stroke.size());
+    for (Point p : stroke) {
+      // Scale the normalized template into a 20px box with a 4px margin,
+      // matching MNIST's centered-digit framing, then jitter.
+      Point q{4.0f + p.x * 20.0f, 4.0f + p.y * 20.0f};
+      scaled.push_back(jitter.apply(q));
+    }
+    draw_polyline(img, 0, scaled, thickness, intensity);
+  }
+  add_noise(img, cfg.noise_stddev, rng);
+  return img;
+}
+
+namespace {
+
+// Per-class visual signature for the CIFAR-like generator.
+//
+// Every class paints the same fixed-area disc on a textured background;
+// class identity is carried by the *pattern* inside the disc (stripe
+// orientation + spatial frequency) and the color statistics, not by the
+// amount of foreground.  Real photo categories likewise differ in texture
+// and color rather than ink volume — and keeping the per-class pixel
+// budget equal prevents the synthetic data from exaggerating the
+// activation-count differences the paper measures on real CIFAR-10.
+struct ObjectStyle {
+  float fg_r, fg_g, fg_b;    // foreground stripe color
+  float bg_r, bg_g, bg_b;    // background base color
+  float stripe_angle;        // radians, orientation of the interior stripes
+  float stripe_freq;         // stripes across the disc diameter
+  float texture_freq;        // sinusoidal texture frequency of the background
+};
+
+const std::vector<ObjectStyle>& object_styles() {
+  static const std::vector<ObjectStyle> kStyles = {
+      // airplane
+      {0.85f, 0.85f, 0.90f, 0.45f, 0.65f, 0.90f, 0.0f, 2.0f, 1.0f},
+      // automobile
+      {0.80f, 0.15f, 0.15f, 0.40f, 0.40f, 0.42f, 0.6f, 3.0f, 2.0f},
+      // bird
+      {0.55f, 0.38f, 0.20f, 0.55f, 0.72f, 0.92f, 1.2f, 4.0f, 1.5f},
+      // cat
+      {0.55f, 0.50f, 0.45f, 0.62f, 0.55f, 0.45f, 1.8f, 5.0f, 4.0f},
+      // deer
+      {0.72f, 0.55f, 0.30f, 0.25f, 0.50f, 0.22f, 2.4f, 2.5f, 3.0f},
+      // dog
+      {0.35f, 0.28f, 0.20f, 0.35f, 0.55f, 0.28f, 3.0f, 3.5f, 2.5f},
+      // frog
+      {0.35f, 0.65f, 0.25f, 0.15f, 0.32f, 0.14f, 0.3f, 4.5f, 5.0f},
+      // horse
+      {0.50f, 0.30f, 0.15f, 0.55f, 0.60f, 0.35f, 0.9f, 5.5f, 2.0f},
+      // ship
+      {0.90f, 0.90f, 0.92f, 0.15f, 0.30f, 0.55f, 1.5f, 1.5f, 1.2f},
+      // truck
+      {0.85f, 0.70f, 0.15f, 0.45f, 0.44f, 0.45f, 2.1f, 6.0f, 1.8f},
+  };
+  return kStyles;
+}
+
+}  // namespace
+
+Image render_object(int label, const SyntheticConfig& cfg, util::Rng& rng) {
+  const auto& styles = object_styles();
+  if (label < 0 || static_cast<std::size_t>(label) >= styles.size())
+    throw InvalidArgument("render_object: label out of range");
+  const ObjectStyle& style = styles[static_cast<std::size_t>(label)];
+  constexpr std::size_t kSize = 32;
+  Image img(3, kSize, kSize);
+
+  const float phase = static_cast<float>(rng.uniform(0.0, 2.0 * M_PI));
+  const float stripe_phase = static_cast<float>(rng.uniform(0.0, 2.0 * M_PI));
+  const float angle_jitter =
+      static_cast<float>(rng.uniform(-0.15, 0.15));
+  const float cx =
+      kSize / 2.0f + static_cast<float>(rng.range(-cfg.max_shift * 2,
+                                                  cfg.max_shift * 2));
+  const float cy =
+      kSize / 2.0f + static_cast<float>(rng.range(-cfg.max_shift * 2,
+                                                  cfg.max_shift * 2));
+  // Fixed radius: every class paints the same foreground area.
+  constexpr float kRadius = 10.0f;
+  const float color_jitter = static_cast<float>(rng.uniform(-0.08, 0.08));
+
+  const float fg[3] = {style.fg_r + color_jitter, style.fg_g + color_jitter,
+                       style.fg_b + color_jitter};
+  const float bg[3] = {style.bg_r - color_jitter, style.bg_g - color_jitter,
+                       style.bg_b - color_jitter};
+  const float angle = style.stripe_angle + angle_jitter;
+  const float dir_x = std::cos(angle);
+  const float dir_y = std::sin(angle);
+
+  for (std::size_t y = 0; y < kSize; ++y) {
+    for (std::size_t x = 0; x < kSize; ++x) {
+      const float nx = (static_cast<float>(x) - cx) / kRadius;
+      const float ny = (static_cast<float>(y) - cy) / kRadius;
+      const bool inside = nx * nx + ny * ny <= 1.0f;
+      float pixel[3];
+      if (inside) {
+        // Oriented stripes with a 50% duty cycle: class-specific pattern,
+        // class-independent foreground/background pixel budget.
+        const float t = (nx * dir_x + ny * dir_y) * style.stripe_freq *
+                            static_cast<float>(M_PI) +
+                        stripe_phase;
+        const bool stripe_on = std::sin(t) > 0.0f;
+        for (std::size_t c = 0; c < 3; ++c)
+          pixel[c] = stripe_on ? fg[c] : 0.5f * (fg[c] + bg[c]);
+      } else {
+        const float texture =
+            0.06f *
+            std::sin(style.texture_freq *
+                         (static_cast<float>(x) + static_cast<float>(y)) *
+                         (2.0f * static_cast<float>(M_PI)) /
+                         static_cast<float>(kSize) +
+                     phase);
+        for (std::size_t c = 0; c < 3; ++c) pixel[c] = bg[c] + texture;
+      }
+      for (std::size_t c = 0; c < 3; ++c) img.at(c, y, x) = pixel[c];
+    }
+  }
+  add_noise(img, cfg.noise_stddev, rng);
+  return img;
+}
+
+namespace {
+Dataset make_dataset(const SyntheticConfig& cfg,
+                     const std::vector<std::string>& all_names,
+                     Image (*render)(int, const SyntheticConfig&, util::Rng&)) {
+  if (cfg.num_classes == 0 || cfg.num_classes > all_names.size())
+    throw InvalidArgument("SyntheticConfig: num_classes out of range");
+  std::vector<std::string> names(all_names.begin(),
+                                 all_names.begin() +
+                                     static_cast<long>(cfg.num_classes));
+  Dataset ds({}, names);
+  util::Rng rng(cfg.seed);
+  for (std::size_t i = 0; i < cfg.examples_per_class; ++i) {
+    for (std::size_t label = 0; label < cfg.num_classes; ++label) {
+      Example e;
+      e.label = static_cast<int>(label);
+      e.image = render(static_cast<int>(label), cfg, rng);
+      ds.add(std::move(e));
+    }
+  }
+  return ds;
+}
+}  // namespace
+
+Dataset make_mnist_like(const SyntheticConfig& cfg) {
+  return make_dataset(cfg, mnist_class_names(), &render_digit);
+}
+
+Dataset make_cifar_like(const SyntheticConfig& cfg) {
+  return make_dataset(cfg, cifar_class_names(), &render_object);
+}
+
+namespace {
+const std::vector<std::string>& sequence_class_names() {
+  static const std::vector<std::string> kNames = {"sine", "square",
+                                                  "sawtooth", "bursts"};
+  return kNames;
+}
+
+float waveform(int label, float phase) {
+  // phase in [0, 1) within one period.
+  const float two_pi = 2.0f * static_cast<float>(M_PI);
+  switch (label) {
+    case 0:  // sine
+      return std::sin(two_pi * phase);
+    case 1:  // square
+      return phase < 0.5f ? 1.0f : -1.0f;
+    case 2:  // sawtooth
+      return 2.0f * phase - 1.0f;
+    case 3:  // bursts: a narrow pulse per period
+      return phase < 0.15f ? 1.0f : 0.0f;
+    default:
+      return 0.0f;
+  }
+}
+}  // namespace
+
+Image render_sequence(int label, const SequenceConfig& cfg, util::Rng& rng) {
+  if (label < 0 ||
+      static_cast<std::size_t>(label) >= sequence_class_names().size())
+    throw InvalidArgument("render_sequence: label out of range");
+  // Class-dependent length, clamped to at least 4 steps.
+  const double raw_length =
+      rng.normal(static_cast<double>(cfg.base_length) +
+                     static_cast<double>(label) *
+                         static_cast<double>(cfg.length_step),
+                 cfg.length_jitter);
+  const std::size_t t_steps =
+      static_cast<std::size_t>(std::max(4.0, std::round(raw_length)));
+
+  Image seq(1, t_steps, cfg.feature_dim);
+  const float freq = static_cast<float>(rng.uniform(0.06, 0.12));
+  const float global_phase = static_cast<float>(rng.uniform(0.0, 1.0));
+  for (std::size_t t = 0; t < t_steps; ++t) {
+    for (std::size_t d = 0; d < cfg.feature_dim; ++d) {
+      const float channel_phase =
+          static_cast<float>(d) / static_cast<float>(cfg.feature_dim);
+      float phase = freq * static_cast<float>(t) + global_phase +
+                    channel_phase;
+      phase -= std::floor(phase);
+      seq.at(0, t, d) = 0.5f + 0.4f * waveform(label, phase);
+    }
+  }
+  if (cfg.noise_stddev > 0.0f) {
+    for (float& v : seq.pixels())
+      v += static_cast<float>(rng.normal(0.0, cfg.noise_stddev));
+    seq.clamp();
+  }
+  return seq;
+}
+
+Dataset make_sequence_like(const SequenceConfig& cfg) {
+  if (cfg.num_classes == 0 ||
+      cfg.num_classes > sequence_class_names().size())
+    throw InvalidArgument("SequenceConfig: num_classes out of range");
+  if (cfg.feature_dim == 0)
+    throw InvalidArgument("SequenceConfig: feature_dim must be positive");
+  std::vector<std::string> names(
+      sequence_class_names().begin(),
+      sequence_class_names().begin() + static_cast<long>(cfg.num_classes));
+  Dataset ds({}, names);
+  util::Rng rng(cfg.seed);
+  for (std::size_t i = 0; i < cfg.examples_per_class; ++i) {
+    for (std::size_t label = 0; label < cfg.num_classes; ++label) {
+      Example e;
+      e.label = static_cast<int>(label);
+      e.image = render_sequence(static_cast<int>(label), cfg, rng);
+      ds.add(std::move(e));
+    }
+  }
+  return ds;
+}
+
+}  // namespace sce::data

@@ -1,0 +1,78 @@
+// Synthetic stand-ins for the MNIST and CIFAR-10 datasets.
+//
+// The paper's experiments require only that input *categories* are
+// structurally distinct, so that a trained CNN develops class-selective
+// activation patterns (the mechanism it blames for the HPC leakage).  We
+// therefore synthesize:
+//
+//  * MNIST-like:  28x28 grayscale digits rasterized from per-digit stroke
+//    templates with random affine jitter, stroke-thickness variation and
+//    pixel noise — centered objects on clean backgrounds, like MNIST.
+//  * CIFAR-like:  32x32 RGB images, each class a distinct combination of
+//    foreground shape, texture frequency and color statistics over a
+//    cluttered background.
+//
+// Both generators are deterministic given (seed, index, label), so any
+// experiment can be replayed exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace sce::data {
+
+struct SyntheticConfig {
+  std::uint64_t seed = 1;
+  std::size_t examples_per_class = 120;
+  std::size_t num_classes = 10;  ///< use first `num_classes` templates (<=10)
+  /// Std-dev of additive Gaussian pixel noise.
+  float noise_stddev = 0.05f;
+  /// Maximum translation jitter in pixels.
+  int max_shift = 2;
+  /// Rotation jitter in degrees, uniform in [-max_rotation, +max_rotation].
+  float max_rotation_deg = 10.0f;
+  /// Scale jitter, uniform in [1 - s, 1 + s].
+  float max_scale_jitter = 0.10f;
+};
+
+/// Generate an MNIST-like dataset (1x28x28 grayscale, digit classes "0".."9").
+Dataset make_mnist_like(const SyntheticConfig& config);
+
+/// Generate a CIFAR-like dataset (3x32x32 RGB; classes named after the
+/// CIFAR-10 categories).
+Dataset make_cifar_like(const SyntheticConfig& config);
+
+/// Render a single MNIST-like digit (deterministic in rng state).
+Image render_digit(int digit, const SyntheticConfig& config, util::Rng& rng);
+
+/// Render a single CIFAR-like object image.
+Image render_object(int label, const SyntheticConfig& config, util::Rng& rng);
+
+/// Synthetic multichannel time-series dataset for the recurrent-model
+/// experiments (the paper's future-work direction).  Each class is a
+/// waveform family (sine / square / sawtooth / bursts) with a
+/// class-dependent length distribution — so a recurrent classifier leaks
+/// both through activation patterns and through the sequence-length-
+/// proportional instruction count.  Sequences are stored as {1, T, D}
+/// images (T varies per example).
+struct SequenceConfig {
+  std::uint64_t seed = 1;
+  std::size_t examples_per_class = 120;
+  std::size_t num_classes = 4;  ///< at most 4 waveform families
+  std::size_t feature_dim = 8;
+  /// Class k draws lengths from N(base + k*step, jitter).
+  std::size_t base_length = 32;
+  std::size_t length_step = 8;
+  double length_jitter = 3.0;
+  float noise_stddev = 0.05f;
+};
+
+Dataset make_sequence_like(const SequenceConfig& config);
+
+/// Render one sequence of class `label` (deterministic in rng state).
+Image render_sequence(int label, const SequenceConfig& config,
+                      util::Rng& rng);
+
+}  // namespace sce::data

@@ -1,0 +1,18 @@
+#include "hpc/counter_provider.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace sce::hpc {
+
+std::string CounterSample::to_perf_stat_string() const {
+  std::ostringstream os;
+  for (HpcEvent e : all_events()) {
+    os << util::pad_left(util::group_indian((*this)[e]), 20) << "      "
+       << to_string(e) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sce::hpc

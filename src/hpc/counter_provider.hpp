@@ -1,0 +1,56 @@
+// Abstract access to hardware performance counters.
+//
+// Two implementations exist: SimulatedPmu (trace-driven microarchitectural
+// models — always available) and PerfEventBackend (the real Linux
+// perf_event interface — available where the host exposes a PMU).
+// The evaluator core is written against this interface only.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hpc/events.hpp"
+
+namespace sce::hpc {
+
+/// One measurement: a value for each of the eight events.
+class CounterSample {
+ public:
+  std::uint64_t& operator[](HpcEvent event) {
+    return values_[static_cast<std::size_t>(event)];
+  }
+  std::uint64_t operator[](HpcEvent event) const {
+    return values_[static_cast<std::size_t>(event)];
+  }
+
+  /// Render in `perf stat` style (Indian digit grouping, as the paper's
+  /// Figure 2(b) shows).
+  std::string to_perf_stat_string() const;
+
+  const std::array<std::uint64_t, kNumEvents>& raw() const { return values_; }
+
+ private:
+  std::array<std::uint64_t, kNumEvents> values_{};
+};
+
+class CounterProvider {
+ public:
+  virtual ~CounterProvider() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Events this provider can measure (the simulated PMU supports all;
+  /// a real PMU may lack some).
+  virtual std::vector<HpcEvent> supported_events() const = 0;
+
+  /// Arm the counters; resets the previous measurement.
+  virtual void start() = 0;
+  /// Freeze the counters.
+  virtual void stop() = 0;
+  /// Read the frozen counters; valid after stop().
+  virtual CounterSample read() = 0;
+};
+
+}  // namespace sce::hpc

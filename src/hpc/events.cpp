@@ -1,0 +1,43 @@
+#include "hpc/events.hpp"
+
+namespace sce::hpc {
+
+const std::array<HpcEvent, kNumEvents>& all_events() {
+  static const std::array<HpcEvent, kNumEvents> kAll = {
+      HpcEvent::kBranches,        HpcEvent::kBranchMisses,
+      HpcEvent::kBusCycles,       HpcEvent::kCacheMisses,
+      HpcEvent::kCacheReferences, HpcEvent::kCycles,
+      HpcEvent::kInstructions,    HpcEvent::kRefCycles,
+  };
+  return kAll;
+}
+
+std::string to_string(HpcEvent event) {
+  switch (event) {
+    case HpcEvent::kBranches:
+      return "branches";
+    case HpcEvent::kBranchMisses:
+      return "branch-misses";
+    case HpcEvent::kBusCycles:
+      return "bus-cycles";
+    case HpcEvent::kCacheMisses:
+      return "cache-misses";
+    case HpcEvent::kCacheReferences:
+      return "cache-references";
+    case HpcEvent::kCycles:
+      return "cycles";
+    case HpcEvent::kInstructions:
+      return "instructions";
+    case HpcEvent::kRefCycles:
+      return "ref-cycles";
+  }
+  return "?";
+}
+
+std::optional<HpcEvent> parse_event(const std::string& name) {
+  for (HpcEvent e : all_events())
+    if (to_string(e) == name) return e;
+  return std::nullopt;
+}
+
+}  // namespace sce::hpc

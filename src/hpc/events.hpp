@@ -1,0 +1,35 @@
+// The eight basic hardware events the paper monitors (Figure 2(b)) —
+// exactly the set `perf stat` reports by default on the paper's platform,
+// and the ones "supported across processors" that Section 3 restricts to.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sce::hpc {
+
+enum class HpcEvent : std::uint8_t {
+  kBranches = 0,
+  kBranchMisses,
+  kBusCycles,
+  kCacheMisses,
+  kCacheReferences,
+  kCycles,
+  kInstructions,
+  kRefCycles,
+};
+
+inline constexpr std::size_t kNumEvents = 8;
+
+/// All events in perf's display order (alphabetical, as in Fig. 2(b)).
+const std::array<HpcEvent, kNumEvents>& all_events();
+
+/// perf's event name, e.g. "cache-misses".
+std::string to_string(HpcEvent event);
+
+/// Parse a perf event name; nullopt if unknown.
+std::optional<HpcEvent> parse_event(const std::string& name);
+
+}  // namespace sce::hpc

@@ -1,0 +1,75 @@
+#include "hpc/multiplexed.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sce::hpc {
+
+MultiplexedPmu::MultiplexedPmu(CounterProvider& inner, MultiplexConfig config)
+    : inner_(inner), config_(config), rng_(config.seed) {
+  if (config_.hardware_counters == 0)
+    throw InvalidArgument("MultiplexedPmu: need at least one counter");
+  if (config_.slices_per_measurement == 0)
+    throw InvalidArgument("MultiplexedPmu: need at least one slice");
+  if (config_.extrapolation_noise < 0.0)
+    throw InvalidArgument("MultiplexedPmu: noise must be non-negative");
+}
+
+std::vector<HpcEvent> MultiplexedPmu::supported_events() const {
+  return inner_.supported_events();
+}
+
+void MultiplexedPmu::start() { inner_.start(); }
+
+void MultiplexedPmu::stop() { inner_.stop(); }
+
+double MultiplexedPmu::scheduled_fraction(HpcEvent event) const {
+  return last_fraction_[static_cast<std::size_t>(event)];
+}
+
+CounterSample MultiplexedPmu::read() {
+  const CounterSample true_counts = inner_.read();
+  const std::size_t n = kNumEvents;
+  if (config_.hardware_counters >= n) {
+    // Enough counters: no multiplexing, exact counts.
+    last_fraction_.fill(1.0);
+    return true_counts;
+  }
+
+  // Round-robin schedule: in each slice, a contiguous (mod n) window of
+  // `hardware_counters` events is live; the window advances by
+  // `hardware_counters` each slice, continuing across measurements (the
+  // kernel's rotation list behaves the same way).
+  std::array<std::size_t, kNumEvents> live_slices{};
+  for (std::size_t s = 0; s < config_.slices_per_measurement; ++s) {
+    for (std::size_t k = 0; k < config_.hardware_counters; ++k)
+      ++live_slices[(rotation_ + k) % n];
+    rotation_ = (rotation_ + config_.hardware_counters) % n;
+  }
+
+  CounterSample estimated;
+  for (HpcEvent e : all_events()) {
+    const std::size_t idx = static_cast<std::size_t>(e);
+    const double fraction =
+        static_cast<double>(live_slices[idx]) /
+        static_cast<double>(config_.slices_per_measurement);
+    last_fraction_[idx] = fraction;
+    if (fraction <= 0.0) {
+      estimated[e] = 0;  // never scheduled: the kernel reports 0
+      continue;
+    }
+    // The kernel reports count/fraction; the unobserved part carries
+    // extrapolation error growing with the unobserved fraction.
+    const double unobserved = 1.0 - fraction;
+    const double noise =
+        rng_.normal(0.0, config_.extrapolation_noise * unobserved);
+    const double scaled =
+        static_cast<double>(true_counts[e]) * (1.0 + noise);
+    estimated[e] =
+        static_cast<std::uint64_t>(std::llround(std::max(0.0, scaled)));
+  }
+  return estimated;
+}
+
+}  // namespace sce::hpc

@@ -1,0 +1,59 @@
+// Counter multiplexing model.
+//
+// The paper (Section 3) notes that "the perf tool is limited to observing
+// a maximum of 6 to 8 hardware events in parallel because of the
+// restrictions in the number of built-in HPC registers".  When more
+// events are requested than the PMU has counters, the kernel time-slices
+// the counter set across the measurement and *scales* each event's count
+// by measured_time/enabled_time — introducing estimation noise that an
+// evaluator must budget for.
+//
+// MultiplexedPmu wraps any CounterProvider and reproduces that behaviour:
+// per measurement only `hardware_counters` of the requested events are
+// "scheduled" per time slice (rotating round-robin, as the kernel does),
+// and unscheduled slices of an event are reconstructed by scaling,
+// with multiplicative estimation noise proportional to the unobserved
+// fraction.
+#pragma once
+
+#include <memory>
+
+#include "hpc/counter_provider.hpp"
+#include "util/rng.hpp"
+
+namespace sce::hpc {
+
+struct MultiplexConfig {
+  /// Number of events countable simultaneously (Intel: 4-8 programmable).
+  std::size_t hardware_counters = 4;
+  /// Time slices per measurement over which the counter set rotates.
+  std::size_t slices_per_measurement = 8;
+  /// Relative stddev of the per-slice extrapolation error.
+  double extrapolation_noise = 0.02;
+  std::uint64_t seed = 41;
+};
+
+class MultiplexedPmu final : public CounterProvider {
+ public:
+  /// Does not take ownership of `inner`.
+  MultiplexedPmu(CounterProvider& inner, MultiplexConfig config = {});
+
+  std::string name() const override { return "multiplexed"; }
+  std::vector<HpcEvent> supported_events() const override;
+  void start() override;
+  void stop() override;
+  CounterSample read() override;
+
+  /// Fraction of the measurement during which `event` was scheduled on a
+  /// hardware counter in the most recent measurement.
+  double scheduled_fraction(HpcEvent event) const;
+
+ private:
+  CounterProvider& inner_;
+  MultiplexConfig config_;
+  util::Rng rng_;
+  std::size_t rotation_ = 0;
+  std::array<double, kNumEvents> last_fraction_{};
+};
+
+}  // namespace sce::hpc

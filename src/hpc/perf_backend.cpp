@@ -1,0 +1,141 @@
+#include "hpc/perf_backend.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace sce::hpc {
+
+#ifdef __linux__
+
+namespace {
+
+std::string& last_probe_error() {
+  static std::string error;
+  return error;
+}
+
+std::uint64_t perf_config_for(HpcEvent event) {
+  switch (event) {
+    case HpcEvent::kBranches:
+      return PERF_COUNT_HW_BRANCH_INSTRUCTIONS;
+    case HpcEvent::kBranchMisses:
+      return PERF_COUNT_HW_BRANCH_MISSES;
+    case HpcEvent::kBusCycles:
+      return PERF_COUNT_HW_BUS_CYCLES;
+    case HpcEvent::kCacheMisses:
+      return PERF_COUNT_HW_CACHE_MISSES;
+    case HpcEvent::kCacheReferences:
+      return PERF_COUNT_HW_CACHE_REFERENCES;
+    case HpcEvent::kCycles:
+      return PERF_COUNT_HW_CPU_CYCLES;
+    case HpcEvent::kInstructions:
+      return PERF_COUNT_HW_INSTRUCTIONS;
+    case HpcEvent::kRefCycles:
+      return PERF_COUNT_HW_REF_CPU_CYCLES;
+  }
+  return 0;
+}
+
+int open_counter(HpcEvent event) {
+  perf_event_attr attr{};
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = perf_config_for(event);
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // usable at perf_event_paranoid <= 2
+  attr.exclude_hv = 1;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0));
+}
+
+}  // namespace
+
+PerfEventBackend::PerfEventBackend() {
+  for (HpcEvent event : all_events()) {
+    const int fd = open_counter(event);
+    if (fd >= 0) {
+      counters_.push_back({event, fd});
+    } else {
+      util::log_debug("perf backend: event ", to_string(event),
+                      " unavailable: ", std::strerror(errno));
+    }
+  }
+  if (counters_.empty())
+    throw Unsupported(
+        "perf_event_open: no hardware counter could be opened "
+        "(no PMU or perf_event_paranoid too restrictive)");
+}
+
+PerfEventBackend::~PerfEventBackend() {
+  for (const Counter& c : counters_) close(c.fd);
+}
+
+std::vector<HpcEvent> PerfEventBackend::supported_events() const {
+  std::vector<HpcEvent> events;
+  events.reserve(counters_.size());
+  for (const Counter& c : counters_) events.push_back(c.event);
+  return events;
+}
+
+void PerfEventBackend::start() {
+  for (const Counter& c : counters_) {
+    ioctl(c.fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(c.fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+void PerfEventBackend::stop() {
+  for (const Counter& c : counters_) ioctl(c.fd, PERF_EVENT_IOC_DISABLE, 0);
+}
+
+CounterSample PerfEventBackend::read() {
+  CounterSample sample;
+  for (const Counter& c : counters_) {
+    std::uint64_t value = 0;
+    if (::read(c.fd, &value, sizeof(value)) == sizeof(value))
+      sample[c.event] = value;
+  }
+  return sample;
+}
+
+bool PerfEventBackend::probe() {
+  const int fd = open_counter(HpcEvent::kInstructions);
+  if (fd >= 0) {
+    close(fd);
+    last_probe_error().clear();
+    return true;
+  }
+  last_probe_error() = std::strerror(errno);
+  return false;
+}
+
+std::string PerfEventBackend::probe_error() { return last_probe_error(); }
+
+#else  // !__linux__
+
+PerfEventBackend::PerfEventBackend() {
+  throw Unsupported("perf_event_open is Linux-only");
+}
+PerfEventBackend::~PerfEventBackend() = default;
+std::vector<HpcEvent> PerfEventBackend::supported_events() const {
+  return {};
+}
+void PerfEventBackend::start() {}
+void PerfEventBackend::stop() {}
+CounterSample PerfEventBackend::read() { return {}; }
+bool PerfEventBackend::probe() { return false; }
+std::string PerfEventBackend::probe_error() { return "not Linux"; }
+
+#endif
+
+}  // namespace sce::hpc

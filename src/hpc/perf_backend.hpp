@@ -1,0 +1,46 @@
+// Real Linux perf_event backend.
+//
+// Measures the calling process's own hardware events through
+// perf_event_open(2) — the programmatic equivalent of the paper's
+// `perf stat -e <event> -p <pid>`.  On hosts without a PMU (containers,
+// most VMs) or with restrictive perf_event_paranoid, probe() reports the
+// backend unavailable and the evaluator falls back to the simulated PMU.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpc/counter_provider.hpp"
+
+namespace sce::hpc {
+
+class PerfEventBackend final : public CounterProvider {
+ public:
+  /// Opens one counter per supported event; throws Unsupported if no
+  /// hardware event can be opened at all.
+  PerfEventBackend();
+  ~PerfEventBackend() override;
+
+  PerfEventBackend(const PerfEventBackend&) = delete;
+  PerfEventBackend& operator=(const PerfEventBackend&) = delete;
+
+  std::string name() const override { return "perf-event"; }
+  std::vector<HpcEvent> supported_events() const override;
+  void start() override;
+  void stop() override;
+  CounterSample read() override;
+
+  /// True if at least one hardware counter can be opened on this host.
+  static bool probe();
+  /// Human-readable explanation of the last probe failure ("" if ok).
+  static std::string probe_error();
+
+ private:
+  struct Counter {
+    HpcEvent event;
+    int fd = -1;
+  };
+  std::vector<Counter> counters_;
+};
+
+}  // namespace sce::hpc

@@ -1,0 +1,18 @@
+#include "hpc/session.hpp"
+
+namespace sce::hpc {
+
+CounterSample measure(CounterProvider& provider,
+                      const std::function<void()>& work) {
+  provider.start();
+  try {
+    work();
+  } catch (...) {
+    provider.stop();
+    throw;
+  }
+  provider.stop();
+  return provider.read();
+}
+
+}  // namespace sce::hpc

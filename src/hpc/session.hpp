@@ -1,0 +1,40 @@
+// RAII measurement session: counts the hardware events of a callable.
+#pragma once
+
+#include <functional>
+
+#include "hpc/counter_provider.hpp"
+
+namespace sce::hpc {
+
+/// Runs `work` between start() and stop() on `provider` and returns the
+/// counter sample.  Exceptions from `work` propagate after the counters
+/// are stopped.
+CounterSample measure(CounterProvider& provider,
+                      const std::function<void()>& work);
+
+/// RAII variant for scopes that cannot be expressed as a callable.
+class ScopedMeasurement {
+ public:
+  explicit ScopedMeasurement(CounterProvider& provider) : provider_(provider) {
+    provider_.start();
+  }
+  ~ScopedMeasurement() {
+    if (!stopped_) provider_.stop();
+  }
+  ScopedMeasurement(const ScopedMeasurement&) = delete;
+  ScopedMeasurement& operator=(const ScopedMeasurement&) = delete;
+
+  /// Stop and read the counters.
+  CounterSample finish() {
+    provider_.stop();
+    stopped_ = true;
+    return provider_.read();
+  }
+
+ private:
+  CounterProvider& provider_;
+  bool stopped_ = false;
+};
+
+}  // namespace sce::hpc

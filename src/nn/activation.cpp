@@ -1,0 +1,54 @@
+#include "nn/activation.hpp"
+
+#include "util/error.hpp"
+
+namespace sce::nn {
+
+Tensor ReLU::forward(const Tensor& input, uarch::TraceSink& sink,
+                     KernelMode mode) const {
+  Tensor output(input.shape());
+  const float* in_data = input.data();
+  float* out_data = output.data();
+  const std::uintptr_t negative_site = SCE_BRANCH_SITE();
+
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const float v = in_data[i];
+    sink.load(&in_data[i], sizeof(float));
+    if (mode == KernelMode::kDataDependent) {
+      // `if (v < 0) out = 0; else out = v;` compiled as a branch: whether
+      // it is taken depends on the sign of the activation.
+      const bool negative = v < 0.0f;
+      sink.branch(negative_site, negative);
+      out_data[i] = negative ? 0.0f : v;
+      sink.retire(detail::kLoopOverhead);
+    } else {
+      // Branchless maxss(v, 0).
+      out_data[i] = v < 0.0f ? 0.0f : v;
+      sink.retire(detail::kLoopOverhead + 1);
+    }
+    sink.store(&out_data[i], sizeof(float));
+  }
+  sink.structural_branches(input.numel());
+  return output;
+}
+
+Tensor ReLU::train_forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor output(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i)
+    output[i] = input[i] < 0.0f ? 0.0f : input[i];
+  return output;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  if (cached_input_.numel() == 0)
+    throw InvalidArgument("ReLU::backward before train_forward");
+  if (!grad_output.same_shape(cached_input_))
+    throw InvalidArgument("ReLU::backward: gradient shape mismatch");
+  Tensor grad_input(cached_input_.shape());
+  for (std::size_t i = 0; i < grad_input.numel(); ++i)
+    grad_input[i] = cached_input_[i] > 0.0f ? grad_output[i] : 0.0f;
+  return grad_input;
+}
+
+}  // namespace sce::nn

@@ -1,0 +1,25 @@
+// ReLU activation: the source of the activation sparsity that the
+// data-dependent kernels downstream exploit (and leak through).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace sce::nn {
+
+class ReLU final : public Layer {
+ public:
+  std::string name() const override { return "relu"; }
+  Tensor forward(const Tensor& input, uarch::TraceSink& sink,
+                 KernelMode mode) const override;
+  Tensor train_forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& input_shape) const override {
+    return input_shape;
+  }
+
+ private:
+  Tensor cached_input_;
+};
+
+}  // namespace sce::nn

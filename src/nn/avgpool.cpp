@@ -1,0 +1,93 @@
+#include "nn/avgpool.hpp"
+
+#include "util/error.hpp"
+
+namespace sce::nn {
+
+AvgPool2D::AvgPool2D(std::size_t window) : window_(window) {
+  if (window == 0) throw InvalidArgument("AvgPool2D: window must be positive");
+}
+
+std::vector<std::size_t> AvgPool2D::output_shape(
+    const std::vector<std::size_t>& in) const {
+  if (in.size() != 3) throw InvalidArgument("AvgPool2D: expected CHW input");
+  if (in[1] < window_ || in[2] < window_)
+    throw InvalidArgument("AvgPool2D: input smaller than window");
+  return {in[0], in[1] / window_, in[2] / window_};
+}
+
+Tensor AvgPool2D::forward(const Tensor& input, uarch::TraceSink& sink,
+                          KernelMode /*mode*/) const {
+  // No data-dependent shortcuts exist; both kernel modes are identical.
+  const auto out_shape = output_shape(input.shape());
+  Tensor output(out_shape);
+  const std::size_t channels = out_shape[0];
+  const std::size_t out_h = out_shape[1];
+  const std::size_t out_w = out_shape[2];
+  const std::size_t in_h = input.dim(1);
+  const std::size_t in_w = input.dim(2);
+  const float* in_data = input.data();
+  float* out_data = output.data();
+  const float inv_area =
+      1.0f / static_cast<float>(window_ * window_);
+
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        float sum = 0.0f;
+        for (std::size_t wy = 0; wy < window_; ++wy) {
+          for (std::size_t wx = 0; wx < window_; ++wx) {
+            const std::size_t idx =
+                (c * in_h + (oy * window_ + wy)) * in_w + (ox * window_ + wx);
+            sum += in_data[idx];
+            sink.load(&in_data[idx], sizeof(float));
+            sink.retire(detail::kLoopOverhead + 1);
+          }
+        }
+        const std::size_t out_idx = (c * out_h + oy) * out_w + ox;
+        out_data[out_idx] = sum * inv_area;
+        sink.store(&out_data[out_idx], sizeof(float));
+        sink.retire(1);
+        sink.structural_branches(window_ * window_ + window_ + 1);
+      }
+    }
+  }
+  return output;
+}
+
+Tensor AvgPool2D::train_forward(const Tensor& input) {
+  cached_input_shape_ = input.shape();
+  uarch::NullSink sink;
+  return forward(input, sink, KernelMode::kConstantFlow);
+}
+
+Tensor AvgPool2D::backward(const Tensor& grad_output) {
+  if (cached_input_shape_.empty())
+    throw InvalidArgument("AvgPool2D::backward before train_forward");
+  const auto out_shape = output_shape(cached_input_shape_);
+  if (grad_output.shape() != out_shape)
+    throw InvalidArgument("AvgPool2D::backward: gradient shape mismatch");
+  Tensor grad_input(cached_input_shape_);
+  const std::size_t channels = out_shape[0];
+  const std::size_t out_h = out_shape[1];
+  const std::size_t out_w = out_shape[2];
+  const std::size_t in_h = cached_input_shape_[1];
+  const std::size_t in_w = cached_input_shape_[2];
+  const float inv_area = 1.0f / static_cast<float>(window_ * window_);
+
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        const float g =
+            grad_output[(c * out_h + oy) * out_w + ox] * inv_area;
+        for (std::size_t wy = 0; wy < window_; ++wy)
+          for (std::size_t wx = 0; wx < window_; ++wx)
+            grad_input[(c * in_h + (oy * window_ + wy)) * in_w +
+                       (ox * window_ + wx)] += g;
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace sce::nn

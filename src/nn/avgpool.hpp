@@ -1,0 +1,33 @@
+// Average pooling: non-overlapping windows, data-INdependent by nature.
+//
+// Unlike max pooling there is no data-dependent control flow here in
+// either kernel mode — the layer is a constant-footprint reduction, which
+// makes it interesting for the countermeasure discussion: architectures
+// built from avg-pool + constant-flow arithmetic are side-channel-silent
+// by construction.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace sce::nn {
+
+class AvgPool2D final : public Layer {
+ public:
+  explicit AvgPool2D(std::size_t window = 2);
+
+  std::string name() const override { return "avgpool2d"; }
+  Tensor forward(const Tensor& input, uarch::TraceSink& sink,
+                 KernelMode mode) const override;
+  Tensor train_forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& input_shape) const override;
+
+  std::size_t window() const { return window_; }
+
+ private:
+  std::size_t window_;
+  std::vector<std::size_t> cached_input_shape_;
+};
+
+}  // namespace sce::nn

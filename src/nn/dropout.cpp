@@ -1,0 +1,42 @@
+#include "nn/dropout.hpp"
+
+#include "util/error.hpp"
+
+namespace sce::nn {
+
+Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (!(rate >= 0.0f) || !(rate < 1.0f))
+    throw InvalidArgument("Dropout: rate must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input, uarch::TraceSink& /*sink*/,
+                        KernelMode /*mode*/) const {
+  return input;  // dropout is compiled out of the deployed network
+}
+
+Tensor Dropout::train_forward(const Tensor& input) {
+  mask_.assign(input.numel(), true);
+  Tensor output(input.shape());
+  const float scale = 1.0f / (1.0f - rate_);
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    if (rng_.chance(rate_)) {
+      mask_[i] = false;
+      output[i] = 0.0f;
+    } else {
+      output[i] = input[i] * scale;
+    }
+  }
+  return output;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.size() != grad_output.numel())
+    throw InvalidArgument("Dropout::backward before train_forward");
+  Tensor grad_input(grad_output.shape());
+  const float scale = 1.0f / (1.0f - rate_);
+  for (std::size_t i = 0; i < grad_output.numel(); ++i)
+    grad_input[i] = mask_[i] ? grad_output[i] * scale : 0.0f;
+  return grad_input;
+}
+
+}  // namespace sce::nn

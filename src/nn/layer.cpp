@@ -1,0 +1,15 @@
+#include "nn/layer.hpp"
+
+namespace sce::nn {
+
+std::string to_string(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kDataDependent:
+      return "data-dependent";
+    case KernelMode::kConstantFlow:
+      return "constant-flow";
+  }
+  return "?";
+}
+
+}  // namespace sce::nn

@@ -1,0 +1,88 @@
+// Layer interface: instrumented inference plus trainable backward pass.
+//
+// Inference (`forward`) is const and reports its dynamic behaviour to a
+// TraceSink.  Two kernel modes exist:
+//
+//  * kDataDependent — the default, modelling a normally optimized
+//    implementation: ReLU short-circuits, zero activations skip their
+//    multiply-accumulate work and the associated weight loads (the
+//    zero-skipping optimization exploited by Hua et al., DAC'18), and
+//    max-pooling takes data-dependent compare branches.  This is the code
+//    whose HPC footprint leaks the input category.
+//  * kConstantFlow — the countermeasure: branchless kernels that perform
+//    identical memory accesses and instruction counts for every input.
+//
+// Training (`train_forward` / `backward` / `sgd_step`) is un-instrumented;
+// the evaluator only ever observes inference.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "uarch/trace.hpp"
+#include "util/rng.hpp"
+
+namespace sce::nn {
+
+enum class KernelMode { kDataDependent, kConstantFlow };
+
+std::string to_string(KernelMode mode);
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Inference with microarchitectural tracing.  Must not mutate the layer.
+  virtual Tensor forward(const Tensor& input, uarch::TraceSink& sink,
+                         KernelMode mode) const = 0;
+
+  /// Forward pass that caches whatever backward() needs.
+  virtual Tensor train_forward(const Tensor& input) = 0;
+
+  /// Backpropagate: consume dL/d(output), produce dL/d(input), accumulate
+  /// parameter gradients.  Must be called after train_forward.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Apply accumulated gradients with SGD + momentum, then clear them.
+  virtual void sgd_step(float /*learning_rate*/, float /*momentum*/) {}
+
+  /// Output shape for a given input shape (shape inference / validation).
+  virtual std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& input_shape) const = 0;
+
+  virtual std::size_t parameter_count() const { return 0; }
+
+  /// (De)serialize parameters; layers without parameters write nothing.
+  virtual void save_parameters(std::ostream& /*out*/) const {}
+  virtual void load_parameters(std::istream& /*in*/) {}
+
+  /// Randomize parameters (He initialization); no-op for stateless layers.
+  virtual void initialize(util::Rng& /*rng*/) {}
+};
+
+namespace detail {
+/// Cost constants for `retire` bookkeeping, shared by all kernels so the
+/// instruction-count model is consistent.
+inline constexpr std::uint64_t kMacInstructions = 2;   // mul + add
+inline constexpr std::uint64_t kLoopOverhead = 1;      // index/compare
+inline constexpr std::uint64_t kCompareInstructions = 1;
+
+/// Component-wise gradient clip applied by every parameterized layer's
+/// sgd_step.  Per-example SGD on cross-entropy occasionally produces large
+/// gradients early in training; the clip keeps the small models in this
+/// repository stable across seeds without a learning-rate search.
+inline constexpr float kGradClip = 1.0f;
+
+inline float clip_gradient(float g) {
+  if (g > kGradClip) return kGradClip;
+  if (g < -kGradClip) return -kGradClip;
+  return g;
+}
+}  // namespace detail
+
+}  // namespace sce::nn

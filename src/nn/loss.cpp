@@ -1,0 +1,27 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sce::nn {
+
+double cross_entropy(const Tensor& probabilities, std::size_t label) {
+  if (label >= probabilities.numel())
+    throw InvalidArgument("cross_entropy: label out of range");
+  const double p =
+      std::max(1e-12, static_cast<double>(probabilities[label]));
+  return -std::log(p);
+}
+
+Tensor softmax_cross_entropy_gradient(const Tensor& probabilities,
+                                      std::size_t label) {
+  if (label >= probabilities.numel())
+    throw InvalidArgument("softmax_cross_entropy_gradient: label range");
+  Tensor grad = probabilities;
+  grad[label] -= 1.0f;
+  return grad;
+}
+
+}  // namespace sce::nn

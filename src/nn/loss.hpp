@@ -1,0 +1,19 @@
+// Categorical cross-entropy on probability outputs.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/tensor.hpp"
+
+namespace sce::nn {
+
+/// -log p[label], with clamping for numerical safety.
+double cross_entropy(const Tensor& probabilities, std::size_t label);
+
+/// Gradient of cross-entropy *fused through softmax*: given the softmax
+/// output p and the true label, dL/d(logits) = p - onehot(label).  The
+/// trainer uses this to skip the explicit softmax Jacobian.
+Tensor softmax_cross_entropy_gradient(const Tensor& probabilities,
+                                      std::size_t label);
+
+}  // namespace sce::nn

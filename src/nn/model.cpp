@@ -1,0 +1,100 @@
+#include "nn/model.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace sce::nn {
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  if (!layer) throw InvalidArgument("Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Layer& Sequential::layer(std::size_t i) {
+  if (i >= layers_.size())
+    throw InvalidArgument("Sequential::layer: index out of range");
+  return *layers_[i];
+}
+
+const Layer& Sequential::layer(std::size_t i) const {
+  return const_cast<Sequential*>(this)->layer(i);
+}
+
+std::size_t Sequential::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l->parameter_count();
+  return n;
+}
+
+std::vector<std::size_t> Sequential::output_shape(
+    std::vector<std::size_t> shape) const {
+  for (const auto& l : layers_) shape = l->output_shape(shape);
+  return shape;
+}
+
+Tensor Sequential::forward(const Tensor& input, uarch::TraceSink& sink,
+                           KernelMode mode) const {
+  if (layers_.empty()) throw InvalidArgument("Sequential: no layers");
+  Tensor x = layers_.front()->forward(input, sink, mode);
+  for (std::size_t i = 1; i < layers_.size(); ++i)
+    x = layers_[i]->forward(x, sink, mode);
+  return x;
+}
+
+Tensor Sequential::predict(const Tensor& input) const {
+  uarch::NullSink sink;
+  return forward(input, sink, KernelMode::kDataDependent);
+}
+
+std::size_t Sequential::classify(const data::Image& image) const {
+  return predict(image_to_tensor(image)).argmax();
+}
+
+Tensor Sequential::train_forward(const Tensor& input) {
+  if (layers_.empty()) throw InvalidArgument("Sequential: no layers");
+  Tensor x = layers_.front()->train_forward(input);
+  for (std::size_t i = 1; i < layers_.size(); ++i)
+    x = layers_[i]->train_forward(x);
+  return x;
+}
+
+void Sequential::backward(const Tensor& grad_output, std::size_t skip_last) {
+  if (skip_last >= layers_.size())
+    throw InvalidArgument("Sequential::backward: skip_last too large");
+  Tensor g = grad_output;
+  for (std::size_t i = layers_.size() - skip_last; i-- > 0;)
+    g = layers_[i]->backward(g);
+}
+
+void Sequential::sgd_step(float learning_rate, float momentum) {
+  for (auto& l : layers_) l->sgd_step(learning_rate, momentum);
+}
+
+void Sequential::initialize(util::Rng& rng) {
+  for (auto& l : layers_) l->initialize(rng);
+}
+
+std::string Sequential::summary(
+    const std::vector<std::size_t>& input_shape) const {
+  std::ostringstream os;
+  std::vector<std::size_t> shape = input_shape;
+  os << "input " << Tensor(shape).shape_string() << '\n';
+  for (const auto& l : layers_) {
+    shape = l->output_shape(shape);
+    os << "  " << l->name() << " -> " << Tensor(shape).shape_string();
+    if (l->parameter_count() > 0)
+      os << "  (" << l->parameter_count() << " params)";
+    os << '\n';
+  }
+  os << "total parameters: " << parameter_count() << '\n';
+  return os.str();
+}
+
+Tensor image_to_tensor(const data::Image& image) {
+  return Tensor({image.channels(), image.height(), image.width()},
+                image.pixels());
+}
+
+}  // namespace sce::nn

@@ -1,0 +1,61 @@
+// Sequential model container.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/image.hpp"
+#include "nn/layer.hpp"
+
+namespace sce::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns *this for chaining.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i);
+  const Layer& layer(std::size_t i) const;
+
+  /// Total trainable parameters.
+  std::size_t parameter_count() const;
+
+  /// Validate layer chaining and return the output shape for `input_shape`.
+  std::vector<std::size_t> output_shape(
+      std::vector<std::size_t> input_shape) const;
+
+  /// Instrumented inference; returns the final layer's output.
+  Tensor forward(const Tensor& input, uarch::TraceSink& sink,
+                 KernelMode mode) const;
+  /// Convenience: inference without tracing.
+  Tensor predict(const Tensor& input) const;
+  /// Predicted class for an image (argmax of the output).
+  std::size_t classify(const data::Image& image) const;
+
+  /// Training-mode forward through every layer (caches for backward).
+  Tensor train_forward(const Tensor& input);
+  /// Backward from the given output gradient; `skip_last` skips that many
+  /// trailing layers (used by the softmax/cross-entropy fusion).
+  void backward(const Tensor& grad_output, std::size_t skip_last = 0);
+  void sgd_step(float learning_rate, float momentum);
+
+  /// He-initialize all parameterized layers.
+  void initialize(util::Rng& rng);
+
+  /// Human-readable architecture summary.
+  std::string summary(const std::vector<std::size_t>& input_shape) const;
+
+  const std::vector<std::unique_ptr<Layer>>& layers() const { return layers_; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Convert an image to the CHW input tensor of a model.
+Tensor image_to_tensor(const data::Image& image);
+
+}  // namespace sce::nn

@@ -1,0 +1,107 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace sce::nn {
+
+namespace {
+constexpr char kMagic[4] = {'S', 'C', 'E', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw IoError("model load: truncated stream");
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const std::uint32_t n = read_u32(in);
+  if (n > 4096) throw IoError("model load: implausible string length");
+  std::string s(n, '\0');
+  in.read(s.data(), n);
+  if (!in) throw IoError("model load: truncated stream");
+  return s;
+}
+}  // namespace
+
+namespace detail {
+
+void write_floats(std::ostream& out, const std::vector<float>& values) {
+  write_u32(out, static_cast<std::uint32_t>(values.size()));
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(float)));
+}
+
+void read_floats(std::istream& in, std::vector<float>& values) {
+  const std::uint32_t n = read_u32(in);
+  if (n != values.size())
+    throw IoError("model load: parameter count mismatch (expected " +
+                  std::to_string(values.size()) + ", found " +
+                  std::to_string(n) + ")");
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  if (!in) throw IoError("model load: truncated parameter payload");
+}
+
+}  // namespace detail
+
+void save_model(const Sequential& model, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, kVersion);
+  write_u32(out, static_cast<std::uint32_t>(model.layer_count()));
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    write_string(out, model.layer(i).name());
+    model.layer(i).save_parameters(out);
+  }
+  if (!out) throw IoError("model save: write failure");
+}
+
+void save_model(const Sequential& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("model save: cannot create " + path);
+  save_model(model, out);
+}
+
+void load_model(Sequential& model, std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string(magic, 4) != std::string(kMagic, 4))
+    throw IoError("model load: bad magic");
+  const std::uint32_t version = read_u32(in);
+  if (version != kVersion)
+    throw IoError("model load: unsupported version " +
+                  std::to_string(version));
+  const std::uint32_t count = read_u32(in);
+  if (count != model.layer_count())
+    throw IoError("model load: layer count mismatch");
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    const std::string name = read_string(in);
+    if (name != model.layer(i).name())
+      throw IoError("model load: layer " + std::to_string(i) + " is '" +
+                    model.layer(i).name() + "' but file has '" + name + "'");
+    model.layer(i).load_parameters(in);
+  }
+}
+
+void load_model(Sequential& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("model load: cannot open " + path);
+  load_model(model, in);
+}
+
+}  // namespace sce::nn

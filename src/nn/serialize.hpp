@@ -1,0 +1,28 @@
+// Binary (de)serialization of model parameters.
+//
+// Format: magic "SCEW", format version, layer count, then for each layer a
+// name string followed by its parameter payload.  Loading validates that
+// the architecture matches layer-by-layer, so weights can only be loaded
+// into a model with the identical structure they were saved from.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace sce::nn {
+
+void save_model(const Sequential& model, std::ostream& out);
+void save_model(const Sequential& model, const std::string& path);
+
+void load_model(Sequential& model, std::istream& in);
+void load_model(Sequential& model, const std::string& path);
+
+namespace detail {
+void write_floats(std::ostream& out, const std::vector<float>& values);
+void read_floats(std::istream& in, std::vector<float>& values);
+}  // namespace detail
+
+}  // namespace sce::nn

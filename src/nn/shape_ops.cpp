@@ -1,0 +1,94 @@
+#include "nn/shape_ops.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sce::nn {
+
+std::vector<std::size_t> Flatten::output_shape(
+    const std::vector<std::size_t>& in) const {
+  if (in.empty()) throw InvalidArgument("Flatten: empty shape");
+  std::size_t numel = 1;
+  for (std::size_t d : in) numel *= d;
+  return {numel};
+}
+
+Tensor Flatten::forward(const Tensor& input, uarch::TraceSink& /*sink*/,
+                        KernelMode /*mode*/) const {
+  return input.reshaped(output_shape(input.shape()));
+}
+
+Tensor Flatten::train_forward(const Tensor& input) {
+  cached_shape_ = input.shape();
+  return input.reshaped(output_shape(input.shape()));
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  if (cached_shape_.empty())
+    throw InvalidArgument("Flatten::backward before train_forward");
+  return grad_output.reshaped(cached_shape_);
+}
+
+std::vector<std::size_t> Softmax::output_shape(
+    const std::vector<std::size_t>& in) const {
+  if (in.size() != 1)
+    throw InvalidArgument("Softmax: expected rank-1 input");
+  return in;
+}
+
+Tensor Softmax::forward(const Tensor& input, uarch::TraceSink& sink,
+                        KernelMode /*mode*/) const {
+  // Softmax has no useful data-dependent shortcuts; both kernel modes use
+  // the same stable exp-normalize code.
+  const std::size_t n = input.numel();
+  if (n == 0) throw InvalidArgument("Softmax: empty input");
+  Tensor output(input.shape());
+  const float* x = input.data();
+  float* y = output.data();
+  float max_v = x[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    sink.load(&x[i], sizeof(float));
+    if (x[i] > max_v) max_v = x[i];
+    sink.retire(detail::kCompareInstructions + 1);
+  }
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = std::exp(x[i] - max_v);
+    sum += y[i];
+    sink.store(&y[i], sizeof(float));
+    // exp() costs ~20 instructions in a vectorized libm.
+    sink.retire(20);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] /= sum;
+    sink.store(&y[i], sizeof(float));
+    sink.retire(detail::kLoopOverhead + 1);
+  }
+  sink.structural_branches(3 * n);
+  return output;
+}
+
+Tensor Softmax::train_forward(const Tensor& input) {
+  uarch::NullSink sink;
+  cached_output_ = forward(input, sink, KernelMode::kConstantFlow);
+  return cached_output_;
+}
+
+Tensor Softmax::backward(const Tensor& grad_output) {
+  if (cached_output_.numel() == 0)
+    throw InvalidArgument("Softmax::backward before train_forward");
+  if (!grad_output.same_shape(cached_output_))
+    throw InvalidArgument("Softmax::backward: gradient shape mismatch");
+  const std::size_t n = cached_output_.numel();
+  Tensor grad_input(cached_output_.shape());
+  double dot = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    dot += static_cast<double>(grad_output[i]) * cached_output_[i];
+  for (std::size_t i = 0; i < n; ++i)
+    grad_input[i] = cached_output_[i] *
+                    (grad_output[i] - static_cast<float>(dot));
+  return grad_input;
+}
+
+}  // namespace sce::nn

@@ -1,0 +1,41 @@
+// Shape/normalization layers: Flatten and Softmax.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace sce::nn {
+
+/// Collapses any input shape to a rank-1 tensor.  Emits no memory traffic
+/// of its own (a real implementation is a view).
+class Flatten final : public Layer {
+ public:
+  std::string name() const override { return "flatten"; }
+  Tensor forward(const Tensor& input, uarch::TraceSink& sink,
+                 KernelMode mode) const override;
+  Tensor train_forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& input_shape) const override;
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+};
+
+/// Numerically stable softmax over a rank-1 tensor.
+class Softmax final : public Layer {
+ public:
+  std::string name() const override { return "softmax"; }
+  Tensor forward(const Tensor& input, uarch::TraceSink& sink,
+                 KernelMode mode) const override;
+  Tensor train_forward(const Tensor& input) override;
+  /// Full softmax Jacobian backward (rarely used: the trainer fuses
+  /// softmax with cross-entropy and skips this layer).
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& input_shape) const override;
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace sce::nn

@@ -1,0 +1,94 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace sce::nn {
+
+namespace {
+std::size_t shape_numel(const std::vector<std::size_t>& shape) {
+  if (shape.empty()) return 0;
+  std::size_t n = 1;
+  for (std::size_t d : shape) {
+    if (d == 0) throw InvalidArgument("Tensor: zero-sized dimension");
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  if (shape_numel(shape_) != data_.size())
+    throw InvalidArgument("Tensor: shape does not match value count");
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+  if (axis >= shape_.size())
+    throw InvalidArgument("Tensor::dim: axis out of range");
+  return shape_[axis];
+}
+
+float& Tensor::operator[](std::size_t flat_index) {
+  if (flat_index >= data_.size())
+    throw InvalidArgument("Tensor: flat index out of range");
+  return data_[flat_index];
+}
+
+float Tensor::operator[](std::size_t flat_index) const {
+  if (flat_index >= data_.size())
+    throw InvalidArgument("Tensor: flat index out of range");
+  return data_[flat_index];
+}
+
+float& Tensor::at(std::size_t c, std::size_t y, std::size_t x) {
+  if (rank() != 3) throw InvalidArgument("Tensor::at: tensor is not 3-D");
+  if (c >= shape_[0] || y >= shape_[1] || x >= shape_[2])
+    throw InvalidArgument("Tensor::at: index out of range");
+  return data_[(c * shape_[1] + y) * shape_[2] + x];
+}
+
+float Tensor::at(std::size_t c, std::size_t y, std::size_t x) const {
+  return const_cast<Tensor*>(this)->at(c, y, x);
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  if (shape_numel(new_shape) != data_.size())
+    throw InvalidArgument("Tensor::reshaped: element count mismatch");
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+std::size_t Tensor::argmax() const {
+  if (data_.empty()) throw InvalidArgument("Tensor::argmax: empty tensor");
+  return static_cast<std::size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+double Tensor::sparsity() const {
+  if (data_.empty()) return 0.0;
+  const auto zeros = std::count(data_.begin(), data_.end(), 0.0f);
+  return static_cast<double>(zeros) / static_cast<double>(data_.size());
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << 'x';
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace sce::nn

@@ -1,0 +1,65 @@
+// Dense row-major float tensor, the value type flowing between layers.
+//
+// Shapes follow the CHW convention for images: {channels, height, width}.
+// The class is intentionally small — just enough structure for a CNN
+// inference/training engine with shape checking — because the interesting
+// behaviour of this repository lives in how the kernels *touch* this
+// memory, not in tensor algebra.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sce::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::vector<std::size_t> shape, std::vector<float> values);
+
+  static Tensor zeros(std::vector<std::size_t> shape) {
+    return Tensor(std::move(shape));
+  }
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t dim(std::size_t axis) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& values() { return data_; }
+  const std::vector<float>& values() const { return data_; }
+
+  float& operator[](std::size_t flat_index);
+  float operator[](std::size_t flat_index) const;
+
+  /// 3-D element access (CHW); bounds-checked.
+  float& at(std::size_t c, std::size_t y, std::size_t x);
+  float at(std::size_t c, std::size_t y, std::size_t x) const;
+
+  /// Reinterpret as a new shape with the same element count.
+  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  void fill(float value);
+
+  /// Index of the maximum element (first on ties). Requires numel() > 0.
+  std::size_t argmax() const;
+
+  /// Fraction of elements that are exactly zero — the activation sparsity
+  /// that drives the data-dependent kernels.
+  double sparsity() const;
+
+  std::string shape_string() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace sce::nn

@@ -1,0 +1,73 @@
+#include "nn/trainer.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "nn/loss.hpp"
+#include "nn/shape_ops.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace sce::nn {
+
+std::vector<EpochStats> train(Sequential& model, const data::Dataset& dataset,
+                              const TrainConfig& config) {
+  if (dataset.empty()) throw InvalidArgument("train: empty dataset");
+  if (model.layer_count() == 0) throw InvalidArgument("train: empty model");
+  if (model.layer(model.layer_count() - 1).name() != "softmax")
+    throw InvalidArgument(
+        "train: last layer must be softmax (fused cross-entropy)");
+
+  util::Rng rng(config.shuffle_seed);
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::vector<EpochStats> history;
+  float lr = config.learning_rate;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    for (std::size_t idx : order) {
+      const data::Example& example = dataset[idx];
+      const Tensor input = image_to_tensor(example.image);
+      const Tensor probs = model.train_forward(input);
+      const auto label = static_cast<std::size_t>(example.label);
+      const double loss = cross_entropy(probs, label);
+      if (std::isnan(loss) || std::isinf(loss))
+        throw Error("train: loss diverged (NaN/inf) — lower the learning "
+                    "rate or check the data normalization");
+      loss_sum += loss;
+      if (probs.argmax() == label) ++correct;
+      // Softmax + cross-entropy fuse to (p - onehot) at the softmax input,
+      // so backward skips the trailing softmax layer.
+      const Tensor grad = softmax_cross_entropy_gradient(probs, label);
+      model.backward(grad, /*skip_last=*/1);
+      model.sgd_step(lr, config.momentum);
+    }
+    EpochStats stats;
+    stats.mean_loss = loss_sum / static_cast<double>(dataset.size());
+    stats.accuracy =
+        static_cast<double>(correct) / static_cast<double>(dataset.size());
+    history.push_back(stats);
+    if (config.verbose)
+      util::log_info("epoch ", epoch + 1, "/", config.epochs,
+                     "  loss=", stats.mean_loss, "  acc=", stats.accuracy);
+    lr *= config.lr_decay;
+  }
+  return history;
+}
+
+double evaluate_accuracy(const Sequential& model,
+                         const data::Dataset& dataset) {
+  if (dataset.empty()) throw InvalidArgument("evaluate_accuracy: empty");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (model.classify(dataset[i].image) ==
+        static_cast<std::size_t>(dataset[i].label))
+      ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+}  // namespace sce::nn

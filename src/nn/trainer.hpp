@@ -1,0 +1,35 @@
+// Per-example SGD trainer with the softmax/cross-entropy fusion.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace sce::nn {
+
+struct TrainConfig {
+  std::size_t epochs = 4;
+  float learning_rate = 0.005f;
+  float momentum = 0.85f;
+  /// Multiply the learning rate by this factor after each epoch.
+  float lr_decay = 0.7f;
+  std::uint64_t shuffle_seed = 42;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  double mean_loss = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Trains `model` (whose last layer must be Softmax) on `dataset` with
+/// plain SGD + momentum; returns per-epoch loss/accuracy on the training
+/// data itself.
+std::vector<EpochStats> train(Sequential& model, const data::Dataset& dataset,
+                              const TrainConfig& config);
+
+/// Top-1 accuracy of `model` on `dataset` (un-instrumented inference).
+double evaluate_accuracy(const Sequential& model,
+                         const data::Dataset& dataset);
+
+}  // namespace sce::nn

@@ -1,0 +1,148 @@
+#include "nn/zoo.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/synthetic.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+#include "nn/rnn.hpp"
+#include "nn/serialize.hpp"
+#include "nn/shape_ops.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace sce::nn {
+
+Sequential build_mnist_cnn() {
+  Sequential model;
+  model.add(std::make_unique<Conv2D>(1, 8, 5))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<MaxPool2D>(2))
+      .add(std::make_unique<Conv2D>(8, 16, 5))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<MaxPool2D>(2))
+      .add(std::make_unique<Flatten>())
+      .add(std::make_unique<Dense>(256, 64))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Dense>(64, 10))
+      .add(std::make_unique<Softmax>());
+  return model;
+}
+
+Sequential build_cifar_cnn() {
+  Sequential model;
+  model.add(std::make_unique<Conv2D>(3, 12, 3))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<MaxPool2D>(2))
+      .add(std::make_unique<Conv2D>(12, 24, 3))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<MaxPool2D>(2))
+      .add(std::make_unique<Flatten>())
+      .add(std::make_unique<Dense>(24 * 6 * 6, 64))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Dense>(64, 10))
+      .add(std::make_unique<Softmax>());
+  return model;
+}
+
+Sequential build_sequence_rnn() {
+  Sequential model;
+  model.add(std::make_unique<ElmanRNN>(8, 32))
+      .add(std::make_unique<Dense>(32, 4))
+      .add(std::make_unique<Softmax>());
+  return model;
+}
+
+namespace {
+
+TrainedModel get_or_train(const ZooConfig& config, const char* tag,
+                          Sequential (*build)(),
+                          data::Dataset (*make_data)(
+                              const data::SyntheticConfig&)) {
+  data::SyntheticConfig data_cfg;
+  data_cfg.seed = config.data_seed;
+  data_cfg.examples_per_class = config.train_examples_per_class +
+                                config.train_examples_per_class / 2;
+  data::Dataset all = make_data(data_cfg);
+  util::Rng shuffle_rng(config.data_seed ^ 0x5CEDA7A5ULL);
+  all.shuffle(shuffle_rng);
+  auto [train_set, test_set] = all.split(2.0 / 3.0);
+
+  TrainedModel out{build(), std::move(train_set), std::move(test_set), 0.0};
+
+  const std::filesystem::path cache_path =
+      std::filesystem::path(config.cache_dir) /
+      (std::string(tag) + "_v1.scew");
+  bool loaded = false;
+  if (std::filesystem::exists(cache_path)) {
+    try {
+      load_model(out.model, cache_path.string());
+      loaded = true;
+      util::log_debug("zoo: loaded cached weights from ",
+                      cache_path.string());
+    } catch (const Error& e) {
+      util::log_warn("zoo: cache at ", cache_path.string(),
+                     " unusable (", e.what(), "); retraining");
+    }
+  }
+  if (!loaded) {
+    util::Rng init_rng(config.init_seed);
+    out.model.initialize(init_rng);
+    TrainConfig tc = config.train;
+    tc.verbose = config.verbose;
+    train(out.model, out.train_set, tc);
+    std::error_code ec;
+    std::filesystem::create_directories(config.cache_dir, ec);
+    if (!ec) {
+      try {
+        save_model(out.model, cache_path.string());
+      } catch (const Error& e) {
+        util::log_warn("zoo: could not cache weights: ", e.what());
+      }
+    }
+  }
+  out.test_accuracy = evaluate_accuracy(out.model, out.test_set);
+  if (config.verbose)
+    util::log_info("zoo: ", tag, " test accuracy ", out.test_accuracy);
+  return out;
+}
+
+}  // namespace
+
+TrainedModel get_or_train_mnist(const ZooConfig& config) {
+  return get_or_train(config, "mnist_cnn", &build_mnist_cnn,
+                      &data::make_mnist_like);
+}
+
+TrainedModel get_or_train_cifar(const ZooConfig& config) {
+  ZooConfig cfg = config;
+  // The CIFAR-like task benefits from a slightly longer schedule.
+  if (cfg.train.epochs < 4) cfg.train.epochs = 4;
+  return get_or_train(cfg, "cifar_cnn", &build_cifar_cnn,
+                      &data::make_cifar_like);
+}
+
+namespace {
+// Adapter matching the shared get_or_train signature: the sequence
+// generator has its own config type, seeded/sized from the image config.
+data::Dataset make_sequence_adapter(const data::SyntheticConfig& img_cfg) {
+  data::SequenceConfig seq_cfg;
+  seq_cfg.seed = img_cfg.seed;
+  seq_cfg.examples_per_class = img_cfg.examples_per_class;
+  return data::make_sequence_like(seq_cfg);
+}
+}  // namespace
+
+TrainedModel get_or_train_sequence(const ZooConfig& config) {
+  ZooConfig cfg = config;
+  // BPTT on short sequences benefits from a longer, gentler schedule.
+  if (cfg.train.epochs < 10) cfg.train.epochs = 10;
+  cfg.train.lr_decay = 0.85f;
+  return get_or_train(cfg, "sequence_rnn", &build_sequence_rnn,
+                      &make_sequence_adapter);
+}
+
+}  // namespace sce::nn

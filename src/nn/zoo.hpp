@@ -1,0 +1,53 @@
+// Reference model builders and a small train-once cache.
+//
+// The architectures mirror the scale of the paper's TensorFlow models:
+// a LeNet-style CNN for the MNIST-like data and a slightly deeper CNN for
+// the CIFAR-like data.  `get_or_train_*` trains on first use and caches
+// the weights on disk so that the benches for different figures/tables
+// share one trained model.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace sce::nn {
+
+/// conv5x5x8 - relu - pool2 - conv5x5x16 - relu - pool2 -
+/// dense(256->64) - relu - dense(64->10) - softmax, for 1x28x28 inputs.
+Sequential build_mnist_cnn();
+
+/// conv3x3x12 - relu - pool2 - conv3x3x24 - relu - pool2 - dense(864->64)
+/// - relu - dense(64->10) - softmax, for 3x32x32 inputs.
+Sequential build_cifar_cnn();
+
+/// elman-rnn(8->32) - dense(32->4) - softmax, for {1, T, 8} sequences
+/// (the future-work recurrent classifier).
+Sequential build_sequence_rnn();
+
+struct ZooConfig {
+  /// Directory for cached weights; created on demand.
+  std::string cache_dir = ".sce_model_cache";
+  std::uint64_t data_seed = 1;
+  std::uint64_t init_seed = 2;
+  std::size_t train_examples_per_class = 80;
+  TrainConfig train{};
+  bool verbose = false;
+};
+
+/// Build + train (or load from cache) the MNIST-like classifier along with
+/// the dataset it was trained on.
+struct TrainedModel {
+  Sequential model;
+  data::Dataset train_set;
+  data::Dataset test_set;
+  double test_accuracy = 0.0;
+};
+
+TrainedModel get_or_train_mnist(const ZooConfig& config = {});
+TrainedModel get_or_train_cifar(const ZooConfig& config = {});
+TrainedModel get_or_train_sequence(const ZooConfig& config = {});
+
+}  // namespace sce::nn

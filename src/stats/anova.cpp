@@ -1,0 +1,51 @@
+#include "stats/anova.hpp"
+
+#include <cmath>
+
+#include "stats/distributions.hpp"
+#include "util/error.hpp"
+
+namespace sce::stats {
+
+AnovaResult one_way_anova(const std::vector<std::vector<double>>& groups) {
+  if (groups.size() < 2)
+    throw InvalidArgument("one_way_anova: need at least two groups");
+  std::size_t total_n = 0;
+  double grand_sum = 0.0;
+  for (const auto& g : groups) {
+    if (g.size() < 2)
+      throw InvalidArgument("one_way_anova: each group needs n >= 2");
+    total_n += g.size();
+    for (double x : g) grand_sum += x;
+  }
+  const double grand_mean = grand_sum / static_cast<double>(total_n);
+
+  double ss_between = 0.0;
+  double ss_within = 0.0;
+  for (const auto& g : groups) {
+    double mean = 0.0;
+    for (double x : g) mean += x;
+    mean /= static_cast<double>(g.size());
+    ss_between += static_cast<double>(g.size()) * (mean - grand_mean) *
+                  (mean - grand_mean);
+    for (double x : g) ss_within += (x - mean) * (x - mean);
+  }
+
+  AnovaResult r;
+  r.df_between = static_cast<double>(groups.size()) - 1.0;
+  r.df_within = static_cast<double>(total_n - groups.size());
+  const double ss_total = ss_between + ss_within;
+  r.eta_squared = (ss_total > 0.0) ? ss_between / ss_total : 0.0;
+  if (ss_within == 0.0) {
+    r.f = (ss_between == 0.0) ? 0.0 : INFINITY;
+    r.p = (ss_between == 0.0) ? 1.0 : 0.0;
+    return r;
+  }
+  const double ms_between = ss_between / r.df_between;
+  const double ms_within = ss_within / r.df_within;
+  r.f = ms_between / ms_within;
+  r.p = 1.0 - f_cdf(r.f, r.df_between, r.df_within);
+  return r;
+}
+
+}  // namespace sce::stats

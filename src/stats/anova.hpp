@@ -1,0 +1,23 @@
+// One-way ANOVA: a global "does ANY category differ" screen that the
+// evaluator runs before the pairwise t-test matrix (extension of the
+// paper's methodology; controls the number of pairwise tests needed).
+#pragma once
+
+#include <vector>
+
+namespace sce::stats {
+
+struct AnovaResult {
+  double f = 0.0;
+  double df_between = 0.0;
+  double df_within = 0.0;
+  double p = 1.0;
+  /// Effect size eta^2 = SS_between / SS_total.
+  double eta_squared = 0.0;
+  bool significant(double alpha = 0.05) const { return p < alpha; }
+};
+
+/// One-way fixed-effects ANOVA across k >= 2 groups, each with n >= 2.
+AnovaResult one_way_anova(const std::vector<std::vector<double>>& groups);
+
+}  // namespace sce::stats

@@ -1,0 +1,76 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sce::stats {
+
+namespace {
+
+void validate(const BootstrapConfig& config) {
+  if (config.resamples < 10)
+    throw InvalidArgument("bootstrap: need at least 10 resamples");
+  if (!(config.alpha > 0.0) || !(config.alpha < 1.0))
+    throw InvalidArgument("bootstrap: alpha must be in (0, 1)");
+}
+
+double resample_mean(std::span<const double> xs, util::Rng& rng) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    sum += xs[static_cast<std::size_t>(rng.below(xs.size()))];
+  return sum / static_cast<double>(xs.size());
+}
+
+BootstrapInterval interval_from(std::vector<double>& statistics,
+                                double estimate, double alpha) {
+  std::sort(statistics.begin(), statistics.end());
+  BootstrapInterval out;
+  out.estimate = estimate;
+  out.lo = quantile(statistics, alpha / 2.0);
+  out.hi = quantile(statistics, 1.0 - alpha / 2.0);
+  return out;
+}
+
+}  // namespace
+
+BootstrapInterval bootstrap_mean(std::span<const double> xs,
+                                 const BootstrapConfig& config) {
+  validate(config);
+  if (xs.empty()) throw InvalidArgument("bootstrap_mean: empty sample");
+  util::Rng rng(config.seed);
+  std::vector<double> statistics;
+  statistics.reserve(config.resamples);
+  for (std::size_t r = 0; r < config.resamples; ++r)
+    statistics.push_back(resample_mean(xs, rng));
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  return interval_from(statistics, mean, config.alpha);
+}
+
+BootstrapInterval bootstrap_mean_difference(std::span<const double> a,
+                                            std::span<const double> b,
+                                            const BootstrapConfig& config) {
+  validate(config);
+  if (a.empty() || b.empty())
+    throw InvalidArgument("bootstrap_mean_difference: empty sample");
+  util::Rng rng(config.seed);
+  std::vector<double> statistics;
+  statistics.reserve(config.resamples);
+  for (std::size_t r = 0; r < config.resamples; ++r)
+    statistics.push_back(resample_mean(a, rng) - resample_mean(b, rng));
+  double mean_a = 0.0;
+  for (double x : a) mean_a += x;
+  double mean_b = 0.0;
+  for (double x : b) mean_b += x;
+  return interval_from(statistics,
+                       mean_a / static_cast<double>(a.size()) -
+                           mean_b / static_cast<double>(b.size()),
+                       config.alpha);
+}
+
+}  // namespace sce::stats

@@ -1,0 +1,37 @@
+// Nonparametric bootstrap inference.
+//
+// HPC counter distributions are skewed and multi-modal; the bootstrap
+// gives confidence intervals for the mean difference between two
+// categories without the normality assumption behind the t-interval.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sce::stats {
+
+struct BootstrapConfig {
+  std::size_t resamples = 2000;
+  double alpha = 0.05;  ///< (1 - alpha) coverage
+  std::uint64_t seed = 1729;
+};
+
+struct BootstrapInterval {
+  double estimate = 0.0;  ///< point estimate (plug-in)
+  double lo = 0.0;        ///< percentile interval bounds
+  double hi = 0.0;
+
+  /// The interval excludes zero — bootstrap evidence of a difference.
+  bool excludes_zero() const { return hi < 0.0 || lo > 0.0; }
+};
+
+/// Percentile bootstrap CI for the mean of one sample.
+BootstrapInterval bootstrap_mean(std::span<const double> xs,
+                                 const BootstrapConfig& config = {});
+
+/// Percentile bootstrap CI for mean(a) - mean(b) (independent samples).
+BootstrapInterval bootstrap_mean_difference(
+    std::span<const double> a, std::span<const double> b,
+    const BootstrapConfig& config = {});
+
+}  // namespace sce::stats

@@ -1,0 +1,67 @@
+#include "stats/corrections.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace sce::stats {
+
+namespace {
+void check_ps(std::span<const double> p_values) {
+  for (double p : p_values)
+    if (p < 0.0 || p > 1.0)
+      throw InvalidArgument("multiple-testing correction: p not in [0, 1]");
+}
+
+std::vector<std::size_t> order_by_p(std::span<const double> p_values) {
+  std::vector<std::size_t> order(p_values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return p_values[a] < p_values[b];
+  });
+  return order;
+}
+}  // namespace
+
+std::vector<double> bonferroni(std::span<const double> p_values) {
+  check_ps(p_values);
+  const double m = static_cast<double>(p_values.size());
+  std::vector<double> out;
+  out.reserve(p_values.size());
+  for (double p : p_values) out.push_back(std::min(1.0, m * p));
+  return out;
+}
+
+std::vector<double> holm(std::span<const double> p_values) {
+  check_ps(p_values);
+  const std::size_t m = p_values.size();
+  const auto order = order_by_p(p_values);
+  std::vector<double> out(m, 0.0);
+  double running_max = 0.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    const double adj =
+        std::min(1.0, static_cast<double>(m - k) * p_values[order[k]]);
+    running_max = std::max(running_max, adj);
+    out[order[k]] = running_max;
+  }
+  return out;
+}
+
+std::vector<double> benjamini_hochberg(std::span<const double> p_values) {
+  check_ps(p_values);
+  const std::size_t m = p_values.size();
+  const auto order = order_by_p(p_values);
+  std::vector<double> out(m, 0.0);
+  double running_min = 1.0;
+  for (std::size_t k = m; k-- > 0;) {
+    const double adj = std::min(
+        1.0, static_cast<double>(m) / static_cast<double>(k + 1) *
+                 p_values[order[k]]);
+    running_min = std::min(running_min, adj);
+    out[order[k]] = running_min;
+  }
+  return out;
+}
+
+}  // namespace sce::stats

@@ -1,0 +1,24 @@
+// Multiple-testing corrections.
+//
+// The evaluator runs (#events × #category-pairs) tests; at alpha = 0.05 a
+// handful of false alarms are expected by chance.  The paper reports raw
+// p-values; these corrections are offered so a deployment can control the
+// family-wise error rate or FDR of the alarm set.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sce::stats {
+
+/// Bonferroni: p_i' = min(1, m * p_i).
+std::vector<double> bonferroni(std::span<const double> p_values);
+
+/// Holm step-down adjusted p-values (FWER control, uniformly more powerful
+/// than Bonferroni).
+std::vector<double> holm(std::span<const double> p_values);
+
+/// Benjamini–Hochberg adjusted p-values (FDR control).
+std::vector<double> benjamini_hochberg(std::span<const double> p_values);
+
+}  // namespace sce::stats

@@ -1,0 +1,162 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sce::stats {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double n1 = static_cast<double>(n_);
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double delta = x - m1_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  m1_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.m1_ - m1_;
+  const double delta2 = delta * delta;
+  const double delta3 = delta2 * delta;
+  const double delta4 = delta2 * delta2;
+
+  RunningStats merged;
+  merged.n_ = n_ + other.n_;
+  merged.m1_ = m1_ + delta * nb / n;
+  merged.m2_ = m2_ + other.m2_ + delta2 * na * nb / n;
+  merged.m3_ = m3_ + other.m3_ + delta3 * na * nb * (na - nb) / (n * n) +
+               3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  merged.m4_ = m4_ + other.m4_ +
+               delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+               6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+               4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+  merged.min_ = std::min(min_, other.min_);
+  merged.max_ = std::max(max_, other.max_);
+  *this = merged;
+}
+
+void RunningStats::clear() { *this = RunningStats{}; }
+
+double RunningStats::mean() const {
+  if (n_ == 0) throw InvalidArgument("RunningStats::mean: empty sample");
+  return m1_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) throw InvalidArgument("RunningStats::variance: need >= 2");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sem() const {
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::min() const {
+  if (n_ == 0) throw InvalidArgument("RunningStats::min: empty sample");
+  return min_;
+}
+
+double RunningStats::max() const {
+  if (n_ == 0) throw InvalidArgument("RunningStats::max: empty sample");
+  return max_;
+}
+
+double RunningStats::skewness() const {
+  if (n_ < 2) throw InvalidArgument("RunningStats::skewness: need >= 2");
+  if (m2_ == 0.0) throw InvalidArgument("RunningStats::skewness: zero var");
+  const double n = static_cast<double>(n_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double RunningStats::excess_kurtosis() const {
+  if (n_ < 2) throw InvalidArgument("RunningStats::excess_kurtosis: need >=2");
+  if (m2_ == 0.0)
+    throw InvalidArgument("RunningStats::excess_kurtosis: zero var");
+  const double n = static_cast<double>(n_);
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw InvalidArgument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw InvalidArgument("quantile: q not in [0, 1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary summarize(std::span<const double> xs) {
+  if (xs.empty()) throw InvalidArgument("summarize: empty sample");
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  Summary s;
+  s.count = rs.count();
+  s.mean = rs.mean();
+  if (s.count >= 2) {
+    s.variance = rs.variance();
+    s.stddev = rs.stddev();
+    s.sem = rs.sem();
+  }
+  s.min = rs.min();
+  s.max = rs.max();
+  s.median = quantile(xs, 0.5);
+  s.q1 = quantile(xs, 0.25);
+  s.q3 = quantile(xs, 0.75);
+  return s;
+}
+
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) {
+  if (xs.size() != ys.size())
+    throw InvalidArgument("pearson_correlation: length mismatch");
+  if (xs.size() < 2) throw InvalidArgument("pearson_correlation: need >= 2");
+  const std::size_t n = xs.size();
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0)
+    throw InvalidArgument("pearson_correlation: zero-variance sample");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace sce::stats

@@ -1,0 +1,67 @@
+// Descriptive statistics: single-pass accumulation (Welford) and summaries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sce::stats {
+
+/// Numerically stable streaming accumulator for mean/variance/skew/kurtosis
+/// (Welford / Pébay update formulas).  The campaign driver feeds counter
+/// samples into one of these per (event, category) cell.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void clear();
+
+  std::uint64_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator). Requires count() >= 2.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double sem() const;
+  double min() const;
+  double max() const;
+  /// Sample skewness (g1). Requires count() >= 2 and nonzero variance.
+  double skewness() const;
+  /// Excess kurtosis (g2). Requires count() >= 2 and nonzero variance.
+  double excess_kurtosis() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double m1_ = 0.0;  // mean
+  double m2_ = 0.0;  // sum of squared deviations
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Full summary of a sample, computed in one call.
+struct Summary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+  double stddev = 0.0;
+  double sem = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q1 = 0.0;  // 25th percentile
+  double q3 = 0.0;  // 75th percentile
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolation quantile (type-7, the numpy/R default) of a sorted
+/// copy of xs; q in [0, 1].
+double quantile(std::span<const double> xs, double q);
+
+/// Sample Pearson correlation of two equal-length samples.
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys);
+
+}  // namespace sce::stats

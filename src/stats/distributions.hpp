@@ -1,0 +1,29 @@
+// Cumulative distribution functions for hypothesis testing.
+#pragma once
+
+namespace sce::stats {
+
+/// Standard normal CDF Phi(x).
+double normal_cdf(double x);
+
+/// Student-t CDF with `df` degrees of freedom (df may be fractional, as
+/// produced by the Welch–Satterthwaite approximation).
+double student_t_cdf(double t, double df);
+
+/// Two-sided tail probability of |T| >= |t| under Student-t(df).
+double student_t_two_sided_p(double t, double df);
+
+/// F-distribution CDF with (df1, df2) degrees of freedom.
+double f_cdf(double f, double df1, double df2);
+
+/// Chi-square CDF with `df` degrees of freedom.
+double chi_squared_cdf(double x, double df);
+
+/// Inverse standard normal CDF (Acklam's rational approximation refined by
+/// one Halley step; |error| < 1e-12). Used for confidence intervals.
+double normal_quantile(double p);
+
+/// Inverse Student-t CDF via bisection on student_t_cdf.
+double student_t_quantile(double p, double df);
+
+}  // namespace sce::stats

@@ -1,0 +1,115 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace sce::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(hi > lo)) throw InvalidArgument("Histogram: hi must exceed lo");
+  if (bins == 0) throw InvalidArgument("Histogram: need at least one bin");
+}
+
+std::size_t Histogram::bin_index(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  const double frac = (x - lo_) / (hi_ - lo_);
+  const std::size_t idx =
+      static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  return std::min(idx, counts_.size() - 1);
+}
+
+void Histogram::add(double x) {
+  ++counts_[bin_index(x)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_width() const {
+  return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  if (bin >= counts_.size())
+    throw InvalidArgument("Histogram::bin_center: bin out of range");
+  return lo_ + (static_cast<double>(bin) + 0.5) * bin_width();
+}
+
+double Histogram::density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::uint64_t max_count = 0;
+  for (auto c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    os << util::pad_left(util::fixed(bin_center(b), 1), 14) << "  "
+       << util::pad_left(std::to_string(counts_[b]), 6) << "  "
+       << util::bar(static_cast<double>(counts_[b]),
+                    static_cast<double>(max_count), bar_width)
+       << '\n';
+  }
+  return os.str();
+}
+
+std::size_t sturges_bins(std::size_t n) {
+  if (n == 0) return 1;
+  return static_cast<std::size_t>(
+             std::ceil(std::log2(static_cast<double>(n)))) +
+         1;
+}
+
+std::size_t freedman_diaconis_bins(std::span<const double> xs) {
+  if (xs.size() < 2) return 1;
+  const double iqr = quantile(xs, 0.75) - quantile(xs, 0.25);
+  if (iqr <= 0.0) return sturges_bins(xs.size());
+  const double width =
+      2.0 * iqr / std::cbrt(static_cast<double>(xs.size()));
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  if (*mx <= *mn) return 1;
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil((*mx - *mn) / width)));
+}
+
+std::vector<Histogram> shared_histograms(
+    const std::vector<std::vector<double>>& samples, std::size_t bins) {
+  if (samples.empty())
+    throw InvalidArgument("shared_histograms: no samples");
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (const auto& s : samples) {
+    for (double x : s) {
+      if (first) {
+        lo = hi = x;
+        first = false;
+      } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+    }
+  }
+  if (first) throw InvalidArgument("shared_histograms: all samples empty");
+  if (hi <= lo) hi = lo + 1.0;  // degenerate range: single shared bin span
+  std::vector<Histogram> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) {
+    Histogram h(lo, hi, bins);
+    h.add_all(s);
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+}  // namespace sce::stats

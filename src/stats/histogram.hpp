@@ -1,0 +1,56 @@
+// Fixed-bin histograms used to render the distribution figures (Fig. 3/4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sce::stats {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); values outside the range are clamped to
+  /// the first/last bin so every sample is accounted for.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  /// Center of bin `bin`.
+  double bin_center(std::size_t bin) const;
+  double bin_width() const;
+  /// Normalized height (count / total); 0 if the histogram is empty.
+  double density(std::size_t bin) const;
+  /// Index of the bin a value falls into (after clamping).
+  std::size_t bin_index(double x) const;
+
+  /// Render as rows of "center count bar" suitable for terminal output.
+  std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Number of bins suggested by Sturges' rule for a sample of size n.
+std::size_t sturges_bins(std::size_t n);
+
+/// Number of bins suggested by the Freedman–Diaconis rule; falls back to
+/// Sturges when the IQR is degenerate.
+std::size_t freedman_diaconis_bins(std::span<const double> xs);
+
+/// Build a histogram spanning the combined range of several samples with a
+/// shared binning — this is how the per-category distribution figures are
+/// produced (all categories share one x-axis).
+std::vector<Histogram> shared_histograms(
+    const std::vector<std::vector<double>>& samples, std::size_t bins);
+
+}  // namespace sce::stats

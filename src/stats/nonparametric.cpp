@@ -1,0 +1,111 @@
+#include "stats/nonparametric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "util/error.hpp"
+
+namespace sce::stats {
+
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b) {
+  if (a.size() < 2 || b.size() < 2)
+    throw InvalidArgument("mann_whitney_u: need n >= 2 per sample");
+  struct Tagged {
+    double value;
+    bool from_a;
+  };
+  std::vector<Tagged> all;
+  all.reserve(a.size() + b.size());
+  for (double x : a) all.push_back({x, true});
+  for (double x : b) all.push_back({x, false});
+  std::sort(all.begin(), all.end(),
+            [](const Tagged& l, const Tagged& r) { return l.value < r.value; });
+
+  // Midranks with tie bookkeeping for the variance correction.
+  const double n = static_cast<double>(all.size());
+  double rank_sum_a = 0.0;
+  double tie_term = 0.0;
+  std::size_t i = 0;
+  while (i < all.size()) {
+    std::size_t j = i;
+    while (j < all.size() && all[j].value == all[i].value) ++j;
+    const double tied = static_cast<double>(j - i);
+    const double midrank =
+        (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k)
+      if (all[k].from_a) rank_sum_a += midrank;
+    if (tied > 1.0) tie_term += tied * (tied * tied - 1.0);
+    i = j;
+  }
+
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  MannWhitneyResult r;
+  r.u = rank_sum_a - na * (na + 1.0) / 2.0;
+  const double mean_u = na * nb / 2.0;
+  const double var_u =
+      na * nb / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (var_u <= 0.0) {
+    // All values tied: no evidence either way.
+    r.z = 0.0;
+    r.p_two_sided = 1.0;
+    return r;
+  }
+  // Continuity correction of 0.5 toward the mean.
+  const double diff = r.u - mean_u;
+  const double cc = (diff > 0.0) ? -0.5 : (diff < 0.0 ? 0.5 : 0.0);
+  r.z = (diff + cc) / std::sqrt(var_u);
+  r.p_two_sided = 2.0 * (1.0 - normal_cdf(std::fabs(r.z)));
+  return r;
+}
+
+namespace {
+// Asymptotic Kolmogorov distribution tail Q(lambda) = 2 sum (-1)^{k-1}
+// exp(-2 k^2 lambda^2).
+double kolmogorov_q(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+}  // namespace
+
+KsResult kolmogorov_smirnov(std::span<const double> a,
+                            std::span<const double> b) {
+  if (a.empty() || b.empty())
+    throw InvalidArgument("kolmogorov_smirnov: empty sample");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::fabs(fa - fb));
+  }
+  KsResult r;
+  r.d = d;
+  const double ne = na * nb / (na + nb);
+  const double lambda = (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * d;
+  r.p_two_sided = kolmogorov_q(lambda);
+  return r;
+}
+
+}  // namespace sce::stats

@@ -1,0 +1,34 @@
+// Nonparametric two-sample tests.
+//
+// The paper uses only the t-test; these are provided as evaluator
+// extensions because HPC counter distributions are frequently non-normal
+// (multi-modal cache-miss counts), where rank tests are more robust.
+#pragma once
+
+#include <span>
+
+namespace sce::stats {
+
+struct MannWhitneyResult {
+  double u = 0.0;            ///< U statistic of the first sample
+  double z = 0.0;            ///< normal approximation z-score (tie-corrected)
+  double p_two_sided = 1.0;  ///< two-sided p from the normal approximation
+  bool significant(double alpha = 0.05) const { return p_two_sided < alpha; }
+};
+
+/// Mann–Whitney U (Wilcoxon rank-sum) test with the tie-corrected normal
+/// approximation; suitable for the sample sizes used in campaigns (n >= 20).
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b);
+
+struct KsResult {
+  double d = 0.0;            ///< sup |F_a - F_b|
+  double p_two_sided = 1.0;  ///< asymptotic Kolmogorov p-value
+  bool significant(double alpha = 0.05) const { return p_two_sided < alpha; }
+};
+
+/// Two-sample Kolmogorov–Smirnov test with the asymptotic p-value.
+KsResult kolmogorov_smirnov(std::span<const double> a,
+                            std::span<const double> b);
+
+}  // namespace sce::stats

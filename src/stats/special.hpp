@@ -1,0 +1,29 @@
+// Special functions needed for exact p-values.
+//
+// The Student-t, F and binomial tail probabilities all reduce to the
+// regularized incomplete beta function I_x(a, b); the chi-square tail
+// reduces to the regularized incomplete gamma.  Both are implemented from
+// first principles (Lentz's modified continued fraction and a Taylor
+// series / continued-fraction pair) so the library has no dependency on a
+// scientific package and the accuracy is under our own test suite.
+#pragma once
+
+namespace sce::stats {
+
+/// log Gamma(x) for x > 0 (Lanczos approximation, |error| < 2e-10).
+double log_gamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b) for a,b > 0, x in [0,1].
+double incomplete_beta(double a, double b, double x);
+
+/// Regularized lower incomplete gamma P(a, x) for a > 0, x >= 0.
+double incomplete_gamma_lower(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double incomplete_gamma_upper(double a, double x);
+
+/// Error function via the incomplete gamma (matches std::erf to ~1e-12,
+/// kept so the whole p-value chain is self-contained and testable).
+double error_function(double x);
+
+}  // namespace sce::stats

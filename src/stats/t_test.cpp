@@ -1,0 +1,119 @@
+#include "stats/t_test.hpp"
+
+#include <cmath>
+
+#include "stats/distributions.hpp"
+#include "util/error.hpp"
+
+namespace sce::stats {
+
+namespace {
+void require_two_plus(const Summary& s, const char* who) {
+  if (s.count < 2) throw InvalidArgument(std::string(who) + ": need n >= 2");
+}
+
+double pooled_cohen_d(const Summary& a, const Summary& b) {
+  const double na = static_cast<double>(a.count);
+  const double nb = static_cast<double>(b.count);
+  const double pooled_var =
+      ((na - 1.0) * a.variance + (nb - 1.0) * b.variance) / (na + nb - 2.0);
+  if (pooled_var <= 0.0) return 0.0;
+  return (a.mean - b.mean) / std::sqrt(pooled_var);
+}
+}  // namespace
+
+TTestResult welch_t_test(const Summary& a, const Summary& b) {
+  require_two_plus(a, "welch_t_test");
+  require_two_plus(b, "welch_t_test");
+  const double va_n = a.variance / static_cast<double>(a.count);
+  const double vb_n = b.variance / static_cast<double>(b.count);
+  const double se2 = va_n + vb_n;
+  TTestResult r;
+  r.mean_difference = a.mean - b.mean;
+  r.cohen_d = pooled_cohen_d(a, b);
+  if (se2 == 0.0) {
+    // Both samples are exactly constant.  Equal constants -> no evidence of
+    // difference; different constants -> infinitely strong evidence.
+    r.t = (r.mean_difference == 0.0)
+              ? 0.0
+              : std::copysign(INFINITY, r.mean_difference);
+    r.df = static_cast<double>(a.count + b.count - 2);
+    r.p_two_sided = (r.mean_difference == 0.0) ? 1.0 : 0.0;
+    return r;
+  }
+  r.t = r.mean_difference / std::sqrt(se2);
+  // Welch–Satterthwaite degrees of freedom.
+  const double num = se2 * se2;
+  const double den = va_n * va_n / (static_cast<double>(a.count) - 1.0) +
+                     vb_n * vb_n / (static_cast<double>(b.count) - 1.0);
+  r.df = num / den;
+  r.p_two_sided = student_t_two_sided_p(r.t, r.df);
+  return r;
+}
+
+TTestResult welch_t_test(std::span<const double> a,
+                         std::span<const double> b) {
+  return welch_t_test(summarize(a), summarize(b));
+}
+
+TTestResult student_t_test(std::span<const double> a,
+                           std::span<const double> b) {
+  const Summary sa = summarize(a);
+  const Summary sb = summarize(b);
+  require_two_plus(sa, "student_t_test");
+  require_two_plus(sb, "student_t_test");
+  const double na = static_cast<double>(sa.count);
+  const double nb = static_cast<double>(sb.count);
+  const double pooled_var =
+      ((na - 1.0) * sa.variance + (nb - 1.0) * sb.variance) / (na + nb - 2.0);
+  TTestResult r;
+  r.mean_difference = sa.mean - sb.mean;
+  r.cohen_d = pooled_cohen_d(sa, sb);
+  r.df = na + nb - 2.0;
+  if (pooled_var == 0.0) {
+    r.t = (r.mean_difference == 0.0)
+              ? 0.0
+              : std::copysign(INFINITY, r.mean_difference);
+    r.p_two_sided = (r.mean_difference == 0.0) ? 1.0 : 0.0;
+    return r;
+  }
+  r.t = r.mean_difference / std::sqrt(pooled_var * (1.0 / na + 1.0 / nb));
+  r.p_two_sided = student_t_two_sided_p(r.t, r.df);
+  return r;
+}
+
+TTestResult one_sample_t_test(std::span<const double> a, double mu0) {
+  const Summary s = summarize(a);
+  require_two_plus(s, "one_sample_t_test");
+  TTestResult r;
+  r.mean_difference = s.mean - mu0;
+  r.df = static_cast<double>(s.count) - 1.0;
+  if (s.variance == 0.0) {
+    r.t = (r.mean_difference == 0.0)
+              ? 0.0
+              : std::copysign(INFINITY, r.mean_difference);
+    r.p_two_sided = (r.mean_difference == 0.0) ? 1.0 : 0.0;
+    r.cohen_d = 0.0;
+    return r;
+  }
+  r.t = r.mean_difference / s.sem;
+  r.cohen_d = r.mean_difference / s.stddev;
+  r.p_two_sided = student_t_two_sided_p(r.t, r.df);
+  return r;
+}
+
+Interval welch_confidence_interval(const Summary& a, const Summary& b,
+                                   double alpha) {
+  require_two_plus(a, "welch_confidence_interval");
+  require_two_plus(b, "welch_confidence_interval");
+  if (!(alpha > 0.0) || !(alpha < 1.0))
+    throw InvalidArgument("welch_confidence_interval: alpha must be in (0,1)");
+  const TTestResult r = welch_t_test(a, b);
+  const double se = std::sqrt(a.variance / static_cast<double>(a.count) +
+                              b.variance / static_cast<double>(b.count));
+  if (se == 0.0) return {r.mean_difference, r.mean_difference};
+  const double tcrit = student_t_quantile(1.0 - alpha / 2.0, r.df);
+  return {r.mean_difference - tcrit * se, r.mean_difference + tcrit * se};
+}
+
+}  // namespace sce::stats

@@ -1,0 +1,47 @@
+// Two-sample location tests — the hypothesis-testing core of the paper's
+// evaluator (Section 4): distributions of an HPC event for two input
+// categories are compared with a t-test at 95% confidence; rejection of the
+// null hypothesis means the categories are distinguishable and the
+// implementation leaks.
+#pragma once
+
+#include <span>
+
+#include "stats/descriptive.hpp"
+
+namespace sce::stats {
+
+struct TTestResult {
+  double t = 0.0;            ///< test statistic
+  double df = 0.0;           ///< degrees of freedom (fractional for Welch)
+  double p_two_sided = 1.0;  ///< P(|T| >= |t|) under H0
+  double mean_difference = 0.0;
+  /// Cohen's d computed with the pooled standard deviation.
+  double cohen_d = 0.0;
+
+  /// True if H0 (equal means) is rejected at significance level alpha.
+  bool significant(double alpha = 0.05) const { return p_two_sided < alpha; }
+};
+
+/// Welch's unequal-variance t-test (the variant appropriate for HPC counter
+/// distributions, whose variances differ across categories).
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b);
+TTestResult welch_t_test(const Summary& a, const Summary& b);
+
+/// Student's pooled-variance two-sample t-test.
+TTestResult student_t_test(std::span<const double> a,
+                           std::span<const double> b);
+
+/// One-sample t-test of H0: mean == mu0.
+TTestResult one_sample_t_test(std::span<const double> a, double mu0);
+
+/// Confidence interval for the difference of means at level (1 - alpha),
+/// using the Welch degrees of freedom.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Interval welch_confidence_interval(const Summary& a, const Summary& b,
+                                   double alpha = 0.05);
+
+}  // namespace sce::stats

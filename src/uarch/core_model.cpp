@@ -1,0 +1,29 @@
+#include "uarch/core_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sce::uarch {
+
+DerivedCycles derive_cycles(const CoreModelConfig& config,
+                            const CoreCounts& counts) {
+  if (!(config.base_cpi > 0.0))
+    throw InvalidArgument("derive_cycles: base_cpi must be positive");
+  if (!(config.core_over_ref > 0.0) || !(config.ref_over_bus > 0.0))
+    throw InvalidArgument("derive_cycles: frequency ratios must be positive");
+  DerivedCycles d;
+  const double cycles =
+      static_cast<double>(counts.instructions) * config.base_cpi +
+      static_cast<double>(counts.memory_cycles) +
+      static_cast<double>(counts.mispredicts) *
+          static_cast<double>(config.branch_mispredict_cycles);
+  d.cycles = static_cast<std::uint64_t>(std::llround(cycles));
+  d.ref_cycles = static_cast<std::uint64_t>(
+      std::llround(cycles / config.core_over_ref));
+  d.bus_cycles = static_cast<std::uint64_t>(
+      std::llround(cycles / config.core_over_ref / config.ref_over_bus));
+  return d;
+}
+
+}  // namespace sce::uarch

@@ -1,0 +1,41 @@
+// Core event model: derives the cycle-domain perf events from the
+// architectural counts produced by the cache/branch/TLB models.
+//
+// perf's `cycles` ticks at the (turbo-scaled) core frequency while
+// `ref-cycles` ticks at the nominal TSC frequency and `bus-cycles` at the
+// bus clock (TSC / bus ratio).  We model a simple in-order cost:
+//   cycles = instructions * base_cpi
+//          + memory latency accumulated by the hierarchy
+//          + mispredicts * branch penalty
+#pragma once
+
+#include <cstdint>
+
+namespace sce::uarch {
+
+struct CoreModelConfig {
+  /// Base cycles per (non-memory) instruction.
+  double base_cpi = 0.35;
+  std::uint32_t branch_mispredict_cycles = 15;
+  /// ratio of core frequency to TSC frequency (turbo multiplier).
+  double core_over_ref = 1.014;  // matches the paper's Fig 2(b) ratio
+  /// TSC ticks per bus cycle (Intel's bus/TSC divider; ~25.8 in Fig 2(b)).
+  double ref_over_bus = 25.8;
+};
+
+struct CoreCounts {
+  std::uint64_t instructions = 0;
+  std::uint64_t memory_cycles = 0;  // accumulated hierarchy latency
+  std::uint64_t mispredicts = 0;
+};
+
+struct DerivedCycles {
+  std::uint64_t cycles = 0;
+  std::uint64_t ref_cycles = 0;
+  std::uint64_t bus_cycles = 0;
+};
+
+DerivedCycles derive_cycles(const CoreModelConfig& config,
+                            const CoreCounts& counts);
+
+}  // namespace sce::uarch

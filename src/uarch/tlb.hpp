@@ -1,0 +1,50 @@
+// Simple set-associative data TLB model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sce::uarch {
+
+struct TlbConfig {
+  std::size_t entries = 64;
+  std::size_t associativity = 4;
+  std::size_t page_bytes = 4096;
+};
+
+struct TlbStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(TlbConfig config = {}, std::uint64_t rng_seed = 13);
+
+  /// Translate the page containing `address`; returns true on TLB hit.
+  bool access(std::uintptr_t address);
+
+  const TlbStats& stats() const { return stats_; }
+  const TlbConfig& config() const { return config_; }
+
+  void flush();
+  void reset_stats() { stats_ = TlbStats{}; }
+
+ private:
+  struct Entry {
+    std::uintptr_t page = 0;
+    bool valid = false;
+    std::uint64_t stamp = 0;
+  };
+
+  TlbConfig config_;
+  TlbStats stats_;
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
+  std::size_t num_sets_ = 1;
+};
+
+}  // namespace sce::uarch

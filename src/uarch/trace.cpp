@@ -1,0 +1,29 @@
+#include "uarch/trace.hpp"
+
+#include "util/error.hpp"
+
+namespace sce::uarch {
+
+TeeSink::TeeSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {
+  for (TraceSink* s : sinks_)
+    if (s == nullptr) throw InvalidArgument("TeeSink: null sink");
+}
+
+void TeeSink::load(const void* addr, std::size_t bytes) {
+  for (TraceSink* s : sinks_) s->load(addr, bytes);
+}
+void TeeSink::store(const void* addr, std::size_t bytes) {
+  for (TraceSink* s : sinks_) s->store(addr, bytes);
+}
+void TeeSink::branch(std::uintptr_t pc, bool taken) {
+  for (TraceSink* s : sinks_) s->branch(pc, taken);
+}
+void TeeSink::structural_branches(std::uint64_t n) {
+  for (TraceSink* s : sinks_) s->structural_branches(n);
+}
+
+void TeeSink::retire(std::uint64_t n) {
+  for (TraceSink* s : sinks_) s->retire(n);
+}
+
+}  // namespace sce::uarch

@@ -1,0 +1,104 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace sce::util {
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           std::optional<std::string> default_value) {
+  specs_[name] = Spec{help, /*is_flag=*/false, default_value};
+  if (default_value) values_[name] = *default_value;
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  specs_[name] = Spec{help, /*is_flag=*/true, std::nullopt};
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = specs_.find(name);
+    if (it == specs_.end())
+      throw InvalidArgument("unknown option --" + name);
+    if (it->second.is_flag) {
+      if (has_value)
+        throw InvalidArgument("flag --" + name + " does not take a value");
+      values_[name] = "1";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc)
+        throw InvalidArgument("option --" + name + " requires a value");
+      value = argv[++i];
+    }
+    values_[name] = value;
+  }
+}
+
+bool CliParser::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end())
+    throw InvalidArgument("option --" + name + " was not provided");
+  return it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  std::int64_t out = 0;
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc() || ptr != v.data() + v.size())
+    throw InvalidArgument("option --" + name + ": '" + v +
+                          "' is not an integer");
+  return out;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw InvalidArgument("option --" + name + ": '" + v +
+                          "' is not a number");
+  }
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string CliParser::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [options]\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.is_flag) os << "=<value>";
+    os << "\n      " << spec.help;
+    if (spec.default_value) os << " (default: " << *spec.default_value << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sce::util

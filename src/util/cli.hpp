@@ -1,0 +1,51 @@
+// A small command-line option parser for the example and bench drivers.
+//
+// Supports `--key=value`, `--key value`, and boolean `--flag` forms.
+// Unknown options raise InvalidArgument so typos in experiment scripts are
+// caught rather than silently ignored.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sce::util {
+
+class CliParser {
+ public:
+  /// Declare an option. `help` is shown by usage(); `default_value` (if any)
+  /// seeds the parsed map so get() always succeeds for declared options.
+  void add_option(const std::string& name, const std::string& help,
+                  std::optional<std::string> default_value = std::nullopt);
+  /// Declare a boolean flag (defaults to false, set to true if present).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Throws InvalidArgument on unknown or malformed options.
+  void parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Positional (non-option) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Render a usage string listing all declared options.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool is_flag = false;
+    std::optional<std::string> default_value;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sce::util

@@ -1,0 +1,33 @@
+// Error types shared across the sce libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sce {
+
+/// Base class for all errors thrown by the sce libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller passed an argument that violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An I/O operation (file load/store) failed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// A platform facility (e.g. perf_event_open) is unavailable.
+class Unsupported : public Error {
+ public:
+  explicit Unsupported(const std::string& what) : Error(what) {}
+};
+
+}  // namespace sce

@@ -1,0 +1,92 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sce::util {
+
+namespace {
+std::string group_digits(std::uint64_t value,
+                         const std::vector<int>& group_sizes) {
+  // group_sizes gives the size of each group from the right; the last entry
+  // repeats.
+  std::string digits = std::to_string(value);
+  std::string out;
+  int group_index = 0;
+  int remaining_in_group =
+      group_sizes.empty() ? 3 : group_sizes[0];
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (remaining_in_group == 0) {
+      out.push_back(',');
+      group_index = std::min<int>(group_index + 1,
+                                  static_cast<int>(group_sizes.size()) - 1);
+      remaining_in_group = group_sizes[static_cast<std::size_t>(group_index)];
+    }
+    out.push_back(*it);
+    --remaining_in_group;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+}  // namespace
+
+std::string group_thousands(std::uint64_t value) {
+  return group_digits(value, {3});
+}
+
+std::string group_indian(std::uint64_t value) {
+  return group_digits(value, {3, 2});
+}
+
+std::string fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string p_value_string(double p, double approx_zero_threshold) {
+  if (p < approx_zero_threshold) return "~0";
+  return fixed(p, 4);
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string render_table(const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << pad_left(row[c], widths[c]);
+      if (c + 1 != row.size()) os << "  ";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string bar(double value, double max_value, std::size_t width) {
+  if (max_value <= 0.0 || value <= 0.0 || width == 0) return "";
+  const double frac = std::min(1.0, value / max_value);
+  const std::size_t cells = static_cast<std::size_t>(
+      std::lround(frac * static_cast<double>(width)));
+  std::string out;
+  for (std::size_t i = 0; i < cells; ++i) out += "█";
+  return out;
+}
+
+}  // namespace sce::util

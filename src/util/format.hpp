@@ -1,0 +1,37 @@
+// Number/text formatting helpers used by report and bench output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sce::util {
+
+/// Group digits with commas, Western style: 1234567 -> "1,234,567".
+std::string group_thousands(std::uint64_t value);
+
+/// Group digits the way Linux `perf stat` renders them on an en_IN locale
+/// (the grouping visible in the paper's Figure 2(b)): last three digits,
+/// then groups of two — 2267701129 -> "2,26,77,01,129".
+std::string group_indian(std::uint64_t value);
+
+/// Fixed-point rendering with `digits` decimals ("-21.8166").
+std::string fixed(double value, int digits);
+
+/// p-value rendering used in the paper's tables: values below 10^-4 are
+/// shown as the literal string "~0" (the paper prints "≈0").
+std::string p_value_string(double p, double approx_zero_threshold = 1e-4);
+
+/// Left-pad `s` with spaces to `width` characters.
+std::string pad_left(const std::string& s, std::size_t width);
+/// Right-pad `s` with spaces to `width` characters.
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Render a simple aligned text table. `rows` includes the header row.
+std::string render_table(const std::vector<std::vector<std::string>>& rows);
+
+/// Unicode block-character bar of `value` scaled so `max_value` spans
+/// `width` columns (used for terminal histograms in the figure benches).
+std::string bar(double value, double max_value, std::size_t width);
+
+}  // namespace sce::util

@@ -1,0 +1,153 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace sce::util {
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+void JsonWriter::comma_if_needed() {
+  if (expecting_value_) return;  // value after a key: no comma
+  if (stack_.empty()) return;
+  if (first_in_scope_.back()) {
+    first_in_scope_.back() = false;
+  } else {
+    out_ << ',';
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_if_needed();
+  expecting_value_ = false;
+  out_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Scope::kObject)
+    throw InvalidArgument("JsonWriter: mismatched end_object");
+  out_ << '}';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_if_needed();
+  expecting_value_ = false;
+  out_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Scope::kArray)
+    throw InvalidArgument("JsonWriter: mismatched end_array");
+  out_ << ']';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (stack_.empty() || stack_.back() != Scope::kObject)
+    throw InvalidArgument("JsonWriter: key outside object");
+  if (expecting_value_)
+    throw InvalidArgument("JsonWriter: key after key");
+  comma_if_needed();
+  out_ << json_quote(name) << ':';
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma_if_needed();
+  expecting_value_ = false;
+  out_ << json_quote(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_if_needed();
+  expecting_value_ = false;
+  out_ << json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_if_needed();
+  expecting_value_ = false;
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_if_needed();
+  expecting_value_ = false;
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_if_needed();
+  expecting_value_ = false;
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty())
+    throw InvalidArgument("JsonWriter: unclosed containers");
+  return out_.str();
+}
+
+}  // namespace sce::util

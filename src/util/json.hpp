@@ -1,0 +1,52 @@
+// Minimal JSON writer (no parsing, no DOM) for machine-readable reports.
+//
+// Only what the exporters need: objects, arrays, strings with escaping,
+// numbers and booleans, rendered compactly and deterministically in
+// insertion order.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sce::util {
+
+/// Escape and quote a string for JSON.
+std::string json_quote(const std::string& s);
+
+/// Render a double the way JSON expects (finite; NaN/inf become null).
+std::string json_number(double value);
+
+/// Streaming writer with explicit begin/end calls; validates nesting.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object (must be followed by a value or container).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+
+  /// Final document; throws if containers remain open.
+  std::string str() const;
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  void comma_if_needed();
+
+  std::ostringstream out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool expecting_value_ = false;
+};
+
+}  // namespace sce::util

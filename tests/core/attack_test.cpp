@@ -1,0 +1,124 @@
+#include "core/attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "campaign_helpers.hpp"
+#include "util/error.hpp"
+
+namespace sce::core {
+namespace {
+
+TEST(Attack, WellSeparatedFeaturesNearPerfect) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 200.0, 300.0}, 5.0, 60);
+  for (auto model : {AttackModel::kNearestCentroid,
+                     AttackModel::kGaussianNaiveBayes}) {
+    AttackConfig cfg;
+    cfg.model = model;
+    const AttackResult result = recover_inputs(campaign, cfg);
+    EXPECT_GT(result.accuracy(), 0.95) << to_string(model);
+  }
+}
+
+TEST(Attack, IndistinguishableFeaturesNearChance) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 100.0, 100.0, 100.0}, 5.0, 80);
+  const AttackResult result = recover_inputs(campaign, AttackConfig{});
+  EXPECT_NEAR(result.accuracy(), result.chance_level(), 0.2);
+}
+
+TEST(Attack, SingleLeakyFeatureSufficient) {
+  const CampaignResult campaign = testing::single_leaky_event_campaign(
+      /*separation=*/50.0, /*stddev=*/4.0, /*samples=*/60);
+  AttackConfig cfg;
+  cfg.features = {hpc::HpcEvent::kCacheMisses};
+  const AttackResult leaky = recover_inputs(campaign, cfg);
+  EXPECT_GT(leaky.accuracy(), 0.9);
+
+  cfg.features = {hpc::HpcEvent::kBranches};
+  const AttackResult quiet = recover_inputs(campaign, cfg);
+  EXPECT_LT(quiet.accuracy(), leaky.accuracy());
+}
+
+TEST(Attack, ConfusionMatrixAccounting) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 130.0}, 8.0, 40);
+  const AttackResult result = recover_inputs(campaign, AttackConfig{});
+  ASSERT_EQ(result.confusion.size(), 2u);
+  std::size_t total = 0;
+  std::size_t diagonal = 0;
+  for (std::size_t a = 0; a < 2; ++a) {
+    for (std::size_t p = 0; p < 2; ++p) total += result.confusion[a][p];
+    diagonal += result.confusion[a][a];
+  }
+  EXPECT_EQ(total, result.test_count);
+  EXPECT_EQ(diagonal, result.correct);
+  // 40 samples, half training -> 20 test per category.
+  EXPECT_EQ(result.test_count, 40u);
+}
+
+TEST(Attack, TrainFractionControlsSplit) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 120.0}, 4.0, 40);
+  AttackConfig cfg;
+  cfg.train_fraction = 0.75;
+  const AttackResult result = recover_inputs(campaign, cfg);
+  EXPECT_EQ(result.test_count, 20u);  // 10 per category
+}
+
+TEST(Attack, ChanceLevel) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({1.0, 2.0, 3.0, 4.0}, 0.1, 20);
+  const AttackResult result = recover_inputs(campaign, AttackConfig{});
+  EXPECT_DOUBLE_EQ(result.chance_level(), 0.25);
+}
+
+TEST(Attack, ValidationErrors) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({1.0, 2.0}, 0.1, 20);
+  AttackConfig no_features;
+  no_features.features = {};
+  EXPECT_THROW(recover_inputs(campaign, no_features), InvalidArgument);
+
+  AttackConfig bad_fraction;
+  bad_fraction.train_fraction = 0.0;
+  EXPECT_THROW(recover_inputs(campaign, bad_fraction), InvalidArgument);
+  bad_fraction.train_fraction = 1.0;
+  EXPECT_THROW(recover_inputs(campaign, bad_fraction), InvalidArgument);
+
+  const CampaignResult one_cat = testing::synthetic_campaign({1.0}, 0.1, 20);
+  EXPECT_THROW(recover_inputs(one_cat, AttackConfig{}), InvalidArgument);
+
+  const CampaignResult too_few =
+      testing::synthetic_campaign({1.0, 2.0}, 0.1, 3);
+  EXPECT_THROW(recover_inputs(too_few, AttackConfig{}), InvalidArgument);
+}
+
+TEST(Attack, DegenerateConstantFeatureHandled) {
+  // Zero-variance features hit the variance floor instead of dividing by
+  // zero; equal constants across categories carry no information.
+  const CampaignResult campaign =
+      testing::synthetic_campaign({5.0, 5.0}, 0.0, 20);
+  const AttackResult result = recover_inputs(campaign, AttackConfig{});
+  EXPECT_GE(result.accuracy(), 0.0);
+  EXPECT_LE(result.accuracy(), 1.0);
+}
+
+TEST(Attack, RenderContainsAccuracyAndMatrix) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 200.0}, 5.0, 30);
+  const AttackResult result = recover_inputs(campaign, AttackConfig{});
+  const std::string text = render_attack(result, campaign.category_names);
+  EXPECT_NE(text.find("accuracy"), std::string::npos);
+  EXPECT_NE(text.find("cat0"), std::string::npos);
+  EXPECT_NE(text.find("chance"), std::string::npos);
+}
+
+TEST(Attack, ModelNames) {
+  EXPECT_EQ(to_string(AttackModel::kNearestCentroid), "nearest-centroid");
+  EXPECT_EQ(to_string(AttackModel::kGaussianNaiveBayes),
+            "gaussian-naive-bayes");
+}
+
+}  // namespace
+}  // namespace sce::core

@@ -1,0 +1,96 @@
+// Helpers for core-module tests: synthetic campaign data and a tiny
+// trained-free CNN + dataset for fast end-to-end runs.
+#pragma once
+
+#include <memory>
+
+#include "core/campaign.hpp"
+#include "data/synthetic.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/model.hpp"
+#include "nn/pool.hpp"
+#include "nn/shape_ops.hpp"
+#include "util/rng.hpp"
+
+namespace sce::core::testing {
+
+/// Build a CampaignResult whose cells are Gaussian samples with the given
+/// per-category means (same stddev everywhere, every event identical).
+inline CampaignResult synthetic_campaign(
+    const std::vector<double>& category_means, double stddev,
+    std::size_t samples_per_category, std::uint64_t seed = 1) {
+  CampaignResult result;
+  for (std::size_t c = 0; c < category_means.size(); ++c) {
+    result.categories.push_back(static_cast<int>(c));
+    result.category_names.push_back("cat" + std::to_string(c));
+  }
+  util::Rng rng(seed);
+  for (auto& per_event : result.samples) {
+    per_event.assign(category_means.size(), {});
+    for (std::size_t c = 0; c < category_means.size(); ++c) {
+      for (std::size_t s = 0; s < samples_per_category; ++s)
+        per_event[c].push_back(rng.normal(category_means[c], stddev));
+    }
+  }
+  return result;
+}
+
+/// A campaign where exactly one event (cache-misses) separates categories
+/// and everything else is identically distributed — mirrors the paper's
+/// situation in miniature.
+inline CampaignResult single_leaky_event_campaign(
+    double separation, double stddev, std::size_t samples_per_category,
+    std::size_t categories = 3, std::uint64_t seed = 2) {
+  std::vector<double> flat(categories, 100.0);
+  CampaignResult result =
+      synthetic_campaign(flat, stddev, samples_per_category, seed);
+  util::Rng rng(seed ^ 0xABCD);
+  auto& leaky =
+      result.samples[static_cast<std::size_t>(hpc::HpcEvent::kCacheMisses)];
+  for (std::size_t c = 0; c < categories; ++c) {
+    for (auto& value : leaky[c])
+      value = rng.normal(100.0 + separation * static_cast<double>(c), stddev);
+  }
+  return result;
+}
+
+/// Tiny CNN (random weights are fine: untrained networks already have
+/// input-dependent activation sparsity) on 12x12 single-channel inputs.
+inline nn::Sequential tiny_model(std::uint64_t seed = 3) {
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Conv2D>(1, 2, 3))
+      .add(std::make_unique<nn::ReLU>())
+      .add(std::make_unique<nn::MaxPool2D>(2))
+      .add(std::make_unique<nn::Flatten>())
+      .add(std::make_unique<nn::Dense>(2 * 5 * 5, 4))
+      .add(std::make_unique<nn::Softmax>());
+  util::Rng rng(seed);
+  model.initialize(rng);
+  return model;
+}
+
+/// Small 4-class MNIST-like dataset, downscaled images not needed — the
+/// tiny model accepts 12x12, so crop the 28x28 digits.
+inline data::Dataset tiny_dataset(std::size_t per_class = 6,
+                                  std::uint64_t seed = 4) {
+  data::SyntheticConfig cfg;
+  cfg.seed = seed;
+  cfg.examples_per_class = per_class;
+  cfg.num_classes = 4;
+  const data::Dataset full = data::make_mnist_like(cfg);
+  data::Dataset cropped({}, full.class_names());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    data::Example e;
+    e.label = full[i].label;
+    e.image = data::Image(1, 12, 12);
+    for (std::size_t y = 0; y < 12; ++y)
+      for (std::size_t x = 0; x < 12; ++x)
+        e.image.at(0, y, x) = full[i].image.at(0, y + 8, x + 8);
+    cropped.add(std::move(e));
+  }
+  return cropped;
+}
+
+}  // namespace sce::core::testing

@@ -1,0 +1,167 @@
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "campaign_helpers.hpp"
+#include "hpc/simulated_pmu.hpp"
+#include "util/error.hpp"
+
+namespace sce::core {
+namespace {
+
+hpc::SimulatedPmu quiet_pmu() {
+  hpc::SimulatedPmuConfig cfg;
+  cfg.environment = hpc::SimulatedPmuConfig::no_environment();
+  return hpc::SimulatedPmu(cfg);
+}
+
+TEST(Campaign, CollectsRequestedSampleCounts) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset();
+  hpc::SimulatedPmu pmu = quiet_pmu();
+  CampaignConfig cfg;
+  cfg.categories = {0, 1, 2};
+  cfg.samples_per_category = 5;
+  const CampaignResult result =
+      run_campaign(model, ds, make_instrument(pmu), cfg);
+
+  EXPECT_EQ(result.category_count(), 3u);
+  for (hpc::HpcEvent e : hpc::all_events())
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_EQ(result.of(e, c).size(), 5u) << hpc::to_string(e);
+}
+
+TEST(Campaign, CategoryNamesComeFromDataset) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset();
+  hpc::SimulatedPmu pmu = quiet_pmu();
+  CampaignConfig cfg;
+  cfg.categories = {2, 0};
+  cfg.samples_per_category = 2;
+  const CampaignResult result =
+      run_campaign(model, ds, make_instrument(pmu), cfg);
+  EXPECT_EQ(result.category_names[0], ds.class_names()[2]);
+  EXPECT_EQ(result.category_names[1], ds.class_names()[0]);
+}
+
+TEST(Campaign, MeasurementsAreNonTrivial) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset();
+  hpc::SimulatedPmu pmu = quiet_pmu();
+  CampaignConfig cfg;
+  cfg.categories = {0};
+  cfg.samples_per_category = 3;
+  const CampaignResult result =
+      run_campaign(model, ds, make_instrument(pmu), cfg);
+  for (double v : result.of(hpc::HpcEvent::kInstructions, 0))
+    EXPECT_GT(v, 1000.0);
+  for (double v : result.of(hpc::HpcEvent::kCacheMisses, 0)) EXPECT_GT(v, 0.0);
+}
+
+TEST(Campaign, ImageReuseWrapsAround) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset(/*per_class=*/2);
+  hpc::SimulatedPmu pmu = quiet_pmu();
+  CampaignConfig cfg;
+  cfg.categories = {0};
+  cfg.samples_per_category = 6;  // 3x the pool
+  const CampaignResult result =
+      run_campaign(model, ds, make_instrument(pmu), cfg);
+  // With cold-start cycling over 2 images, measurement i and i+2 repeat.
+  // Instruction counts are address-independent, so the repetition is
+  // exact (cache-misses can wiggle by a line with heap layout).
+  const auto& xs = result.of(hpc::HpcEvent::kInstructions, 0);
+  ASSERT_EQ(xs.size(), 6u);
+  EXPECT_DOUBLE_EQ(xs[0], xs[2]);
+  EXPECT_DOUBLE_EQ(xs[1], xs[3]);
+  EXPECT_DOUBLE_EQ(xs[2], xs[4]);
+  EXPECT_NE(xs[0], xs[1]);  // two different images differ
+}
+
+TEST(Campaign, ReuseDisabledThrowsWhenPoolTooSmall) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset(/*per_class=*/2);
+  hpc::SimulatedPmu pmu = quiet_pmu();
+  CampaignConfig cfg;
+  cfg.categories = {0};
+  cfg.samples_per_category = 10;
+  cfg.allow_image_reuse = false;
+  EXPECT_THROW(run_campaign(model, ds, make_instrument(pmu), cfg),
+               InvalidArgument);
+}
+
+TEST(Campaign, ConfigValidation) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset();
+  hpc::SimulatedPmu pmu = quiet_pmu();
+
+  CampaignConfig no_categories;
+  no_categories.categories = {};
+  EXPECT_THROW(run_campaign(model, ds, make_instrument(pmu), no_categories),
+               InvalidArgument);
+
+  CampaignConfig zero_samples;
+  zero_samples.samples_per_category = 0;
+  EXPECT_THROW(run_campaign(model, ds, make_instrument(pmu), zero_samples),
+               InvalidArgument);
+
+  CampaignConfig bad_label;
+  bad_label.categories = {99};
+  EXPECT_THROW(run_campaign(model, ds, make_instrument(pmu), bad_label),
+               InvalidArgument);
+}
+
+TEST(CampaignResult, OfValidatesCategoryIndex) {
+  const CampaignResult result =
+      testing::synthetic_campaign({1.0, 2.0}, 0.1, 4);
+  EXPECT_NO_THROW(result.of(hpc::HpcEvent::kCycles, 1));
+  EXPECT_THROW(result.of(hpc::HpcEvent::kCycles, 2), InvalidArgument);
+}
+
+TEST(CampaignResult, MeanComputes) {
+  CampaignResult result = testing::synthetic_campaign({5.0}, 0.0, 3);
+  EXPECT_DOUBLE_EQ(result.mean(hpc::HpcEvent::kBranches, 0), 5.0);
+}
+
+TEST(CampaignResult, MeanOfEmptyCellThrows) {
+  CampaignResult result;
+  result.categories = {0};
+  result.category_names = {"x"};
+  for (auto& per_event : result.samples) per_event.assign(1, {});
+  EXPECT_THROW(result.mean(hpc::HpcEvent::kCycles, 0), InvalidArgument);
+}
+
+TEST(Campaign, ConstantFlowModeProducesIdenticalWorkloadCounts) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset();
+  hpc::SimulatedPmu pmu = quiet_pmu();
+  CampaignConfig cfg;
+  cfg.categories = {0, 1, 2, 3};
+  cfg.samples_per_category = 4;
+  cfg.kernel_mode = nn::KernelMode::kConstantFlow;
+  const CampaignResult result =
+      run_campaign(model, ds, make_instrument(pmu), cfg);
+  // Instruction and branch counts are shape-only in constant-flow mode and
+  // must be byte-identical for every input of every category.
+  for (hpc::HpcEvent e :
+       {hpc::HpcEvent::kInstructions, hpc::HpcEvent::kBranches}) {
+    const double reference = result.of(e, 0).front();
+    for (std::size_t c = 0; c < result.category_count(); ++c)
+      for (double v : result.of(e, c))
+        EXPECT_DOUBLE_EQ(v, reference) << hpc::to_string(e);
+  }
+  // Cache misses may wiggle by a couple of lines with buffer alignment
+  // (different input images live at different heap offsets), but carry no
+  // meaningful input signal.
+  double lo = result.of(hpc::HpcEvent::kCacheMisses, 0).front();
+  double hi = lo;
+  for (std::size_t c = 0; c < result.category_count(); ++c)
+    for (double v : result.of(hpc::HpcEvent::kCacheMisses, c)) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  EXPECT_LE(hi - lo, 4.0);
+}
+
+}  // namespace
+}  // namespace sce::core

@@ -1,0 +1,194 @@
+#include "core/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "campaign_helpers.hpp"
+#include "util/error.hpp"
+
+namespace sce::core {
+namespace {
+
+TEST(Evaluator, IdenticalDistributionsRarelyAlarm) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 100.0, 100.0}, 5.0, 60);
+  const LeakageAssessment assessment = evaluate(campaign);
+  // 8 events x 3 pairs at alpha=0.05: a couple of chance rejections are
+  // possible, but the vast majority of tests must accept H0.
+  EXPECT_LE(assessment.alarms.size(), 3u);
+}
+
+TEST(Evaluator, SeparatedDistributionsAlarm) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 120.0, 140.0}, 2.0, 50);
+  const LeakageAssessment assessment = evaluate(campaign);
+  EXPECT_TRUE(assessment.alarm_raised());
+  // Every event separates every pair here.
+  EXPECT_EQ(assessment.alarms.size(), 8u * 3u);
+}
+
+TEST(Evaluator, PairEnumerationIsUpperTriangle) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({1.0, 2.0, 3.0, 4.0}, 1.0, 10);
+  const LeakageAssessment assessment = evaluate(campaign);
+  const EventAnalysis& analysis =
+      assessment.analysis_of(hpc::HpcEvent::kCycles);
+  ASSERT_EQ(analysis.pairs.size(), 6u);
+  EXPECT_EQ(analysis.pairs[0].category_a, 0u);
+  EXPECT_EQ(analysis.pairs[0].category_b, 1u);
+  EXPECT_EQ(analysis.pairs[5].category_a, 2u);
+  EXPECT_EQ(analysis.pairs[5].category_b, 3u);
+  for (const auto& pair : analysis.pairs)
+    EXPECT_LT(pair.category_a, pair.category_b);
+}
+
+TEST(Evaluator, SingleLeakyEventIsolated) {
+  const CampaignResult campaign = testing::single_leaky_event_campaign(
+      /*separation=*/30.0, /*stddev=*/3.0, /*samples=*/50);
+  // Strict alpha: the separation is enormous (p ~ 0) so the leaky event
+  // still fires, while chance rejections on the 7 null events vanish.
+  EvaluatorConfig cfg;
+  cfg.alpha = 1e-6;
+  const LeakageAssessment assessment = evaluate(campaign, cfg);
+  EXPECT_TRUE(assessment.alarm_raised());
+  for (const Alarm& alarm : assessment.alarms)
+    EXPECT_EQ(alarm.event, hpc::HpcEvent::kCacheMisses);
+  const auto& leaky = assessment.analysis_of(hpc::HpcEvent::kCacheMisses);
+  EXPECT_EQ(leaky.significant_pairs(cfg.alpha), 3u);
+  EXPECT_TRUE(leaky.leaks(cfg.alpha));
+  const auto& quiet = assessment.analysis_of(hpc::HpcEvent::kBranches);
+  EXPECT_EQ(quiet.significant_pairs(cfg.alpha), 0u);
+}
+
+TEST(Evaluator, AlphaControlsSensitivity) {
+  // Moderate separation: significant at 0.05 but not at 1e-6.
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 101.2}, 2.0, 30, 7);
+  EvaluatorConfig strict;
+  strict.alpha = 1e-6;
+  EvaluatorConfig loose;
+  loose.alpha = 0.05;
+  const auto strict_result = evaluate(campaign, strict);
+  const auto loose_result = evaluate(campaign, loose);
+  EXPECT_LE(strict_result.alarms.size(), loose_result.alarms.size());
+}
+
+TEST(Evaluator, HolmAdjustedPAtLeastRaw) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 103.0, 106.0}, 4.0, 40);
+  const LeakageAssessment assessment = evaluate(campaign);
+  for (const auto& analysis : assessment.per_event)
+    for (const auto& pair : analysis.pairs)
+      EXPECT_GE(pair.holm_adjusted_p, pair.t_test.p_two_sided - 1e-15);
+}
+
+TEST(Evaluator, HolmDisabledLeavesDefault) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({1.0, 2.0}, 0.5, 10);
+  EvaluatorConfig cfg;
+  cfg.holm_correction = false;
+  const LeakageAssessment assessment = evaluate(campaign, cfg);
+  for (const auto& analysis : assessment.per_event)
+    for (const auto& pair : analysis.pairs)
+      EXPECT_DOUBLE_EQ(pair.holm_adjusted_p, 1.0);
+}
+
+TEST(Evaluator, AnovaScreenAgreesWithPairwise) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 130.0, 160.0}, 2.0, 40);
+  const LeakageAssessment assessment = evaluate(campaign);
+  for (const auto& analysis : assessment.per_event) {
+    ASSERT_TRUE(analysis.anova.has_value());
+    EXPECT_TRUE(analysis.anova->significant(0.05));
+  }
+}
+
+TEST(Evaluator, AnovaCanBeDisabled) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({1.0, 2.0}, 0.5, 10);
+  EvaluatorConfig cfg;
+  cfg.anova_screen = false;
+  const LeakageAssessment assessment = evaluate(campaign, cfg);
+  for (const auto& analysis : assessment.per_event)
+    EXPECT_FALSE(analysis.anova.has_value());
+}
+
+TEST(Evaluator, NonparametricTestsOptIn) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 140.0}, 2.0, 30);
+  EvaluatorConfig cfg;
+  cfg.nonparametric_tests = true;
+  const LeakageAssessment assessment = evaluate(campaign, cfg);
+  for (const auto& analysis : assessment.per_event) {
+    for (const auto& pair : analysis.pairs) {
+      ASSERT_TRUE(pair.mann_whitney.has_value());
+      ASSERT_TRUE(pair.kolmogorov_smirnov.has_value());
+      // Strong separation: all three tests agree.
+      EXPECT_TRUE(pair.mann_whitney->significant(0.05));
+      EXPECT_TRUE(pair.kolmogorov_smirnov->significant(0.05));
+      EXPECT_TRUE(pair.significant(0.05));
+    }
+  }
+}
+
+TEST(Evaluator, EventSubsetRestrictsAnalysis) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 200.0}, 2.0, 20);
+  EvaluatorConfig cfg;
+  cfg.events = {hpc::HpcEvent::kCacheMisses, hpc::HpcEvent::kBranches};
+  const LeakageAssessment assessment = evaluate(campaign, cfg);
+  EXPECT_EQ(assessment.per_event.size(), 2u);
+  EXPECT_NO_THROW(assessment.analysis_of(hpc::HpcEvent::kBranches));
+  EXPECT_THROW(assessment.analysis_of(hpc::HpcEvent::kCycles),
+               InvalidArgument);
+}
+
+TEST(Evaluator, AlarmsCarryTestDetails) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 200.0}, 2.0, 20);
+  const LeakageAssessment assessment = evaluate(campaign);
+  ASSERT_TRUE(assessment.alarm_raised());
+  for (const Alarm& alarm : assessment.alarms) {
+    EXPECT_LT(alarm.p, 0.05);
+    EXPECT_GT(std::fabs(alarm.t), 1.9);
+    EXPECT_LT(alarm.category_a, alarm.category_b);
+  }
+}
+
+TEST(Evaluator, ValidationErrors) {
+  const CampaignResult one_category =
+      testing::synthetic_campaign({100.0}, 1.0, 10);
+  EXPECT_THROW(evaluate(one_category), InvalidArgument);
+
+  const CampaignResult ok = testing::synthetic_campaign({1.0, 2.0}, 1.0, 10);
+  EvaluatorConfig bad_alpha;
+  bad_alpha.alpha = 0.0;
+  EXPECT_THROW(evaluate(ok, bad_alpha), InvalidArgument);
+  bad_alpha.alpha = 1.0;
+  EXPECT_THROW(evaluate(ok, bad_alpha), InvalidArgument);
+}
+
+TEST(Evaluator, FalseAlarmRateMatchesAlpha) {
+  // Across many null campaigns, the per-test rejection rate ~ alpha.
+  std::size_t tests = 0;
+  std::size_t rejections = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const CampaignResult campaign =
+        testing::synthetic_campaign({50.0, 50.0}, 3.0, 40, seed);
+    EvaluatorConfig cfg;
+    cfg.anova_screen = false;
+    const LeakageAssessment assessment = evaluate(campaign, cfg);
+    for (const auto& analysis : assessment.per_event) {
+      tests += analysis.pairs.size();
+      rejections += analysis.significant_pairs(0.05);
+    }
+  }
+  const double rate =
+      static_cast<double>(rejections) / static_cast<double>(tests);
+  EXPECT_LT(rate, 0.12);
+}
+
+}  // namespace
+}  // namespace sce::core

@@ -1,0 +1,109 @@
+#include "core/fixed_vs_random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "campaign_helpers.hpp"
+#include "hpc/simulated_pmu.hpp"
+#include "util/error.hpp"
+
+namespace sce::core {
+namespace {
+
+hpc::SimulatedPmu quiet_pmu() {
+  hpc::SimulatedPmuConfig cfg;
+  cfg.environment = hpc::SimulatedPmuConfig::no_environment();
+  return hpc::SimulatedPmu(cfg);
+}
+
+TEST(FixedVsRandom, DataDependentKernelsLeak) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset(/*per_class=*/10);
+  hpc::SimulatedPmu pmu = quiet_pmu();
+  FixedVsRandomConfig cfg;
+  cfg.samples_per_population = 60;
+  const FixedVsRandomResult result =
+      run_fixed_vs_random(model, ds, make_instrument(pmu), cfg);
+  EXPECT_TRUE(result.any_leak());
+  // The fixed population is one image: its instruction count is constant,
+  // the random population's varies -> enormous |t| on instructions.
+  EXPECT_TRUE(result.of(hpc::HpcEvent::kInstructions).leaks);
+}
+
+TEST(FixedVsRandom, ConstantFlowPassesOnInstructionCounts) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset(/*per_class=*/10);
+  hpc::SimulatedPmu pmu = quiet_pmu();
+  FixedVsRandomConfig cfg;
+  cfg.samples_per_population = 40;
+  cfg.kernel_mode = nn::KernelMode::kConstantFlow;
+  const FixedVsRandomResult result =
+      run_fixed_vs_random(model, ds, make_instrument(pmu), cfg);
+  EXPECT_FALSE(result.of(hpc::HpcEvent::kInstructions).leaks);
+  EXPECT_FALSE(result.of(hpc::HpcEvent::kBranches).leaks);
+}
+
+TEST(FixedVsRandom, TwoPhaseRequiresAgreement) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset(/*per_class=*/10);
+  hpc::SimulatedPmu pmu = quiet_pmu();
+  FixedVsRandomConfig cfg;
+  cfg.samples_per_population = 60;
+  const FixedVsRandomResult result =
+      run_fixed_vs_random(model, ds, make_instrument(pmu), cfg);
+  for (const auto& r : result.per_event) {
+    if (r.leaks) {
+      EXPECT_GT(std::fabs(r.first.t), cfg.t_threshold);
+      EXPECT_GT(std::fabs(r.second.t), cfg.t_threshold);
+      EXPECT_EQ(std::signbit(r.first.t), std::signbit(r.second.t));
+    }
+  }
+}
+
+TEST(FixedVsRandom, SinglePhaseUsesFullTest) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset(/*per_class=*/10);
+  hpc::SimulatedPmu pmu = quiet_pmu();
+  FixedVsRandomConfig cfg;
+  cfg.samples_per_population = 40;
+  cfg.two_phase = false;
+  const FixedVsRandomResult result =
+      run_fixed_vs_random(model, ds, make_instrument(pmu), cfg);
+  for (const auto& r : result.per_event)
+    EXPECT_EQ(r.leaks, std::fabs(r.full.t) > cfg.t_threshold);
+}
+
+TEST(FixedVsRandom, ValidationErrors) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset();
+  hpc::SimulatedPmu pmu = quiet_pmu();
+
+  FixedVsRandomConfig too_few;
+  too_few.samples_per_population = 2;
+  EXPECT_THROW(run_fixed_vs_random(model, ds, make_instrument(pmu), too_few),
+               InvalidArgument);
+
+  FixedVsRandomConfig bad_category;
+  bad_category.fixed_category = 99;
+  EXPECT_THROW(
+      run_fixed_vs_random(model, ds, make_instrument(pmu), bad_category),
+      InvalidArgument);
+}
+
+TEST(FixedVsRandom, RenderListsAllEvents) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset(/*per_class=*/6);
+  hpc::SimulatedPmu pmu = quiet_pmu();
+  FixedVsRandomConfig cfg;
+  cfg.samples_per_population = 20;
+  const FixedVsRandomResult result =
+      run_fixed_vs_random(model, ds, make_instrument(pmu), cfg);
+  const std::string text = render_fixed_vs_random(result);
+  for (hpc::HpcEvent e : hpc::all_events())
+    EXPECT_NE(text.find(hpc::to_string(e)), std::string::npos);
+  EXPECT_NE(text.find("verdict"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sce::core

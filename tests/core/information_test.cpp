@@ -1,0 +1,112 @@
+#include "core/information.hpp"
+
+#include <gtest/gtest.h>
+
+#include "campaign_helpers.hpp"
+#include "util/error.hpp"
+
+namespace sce::core {
+namespace {
+
+TEST(MutualInformation, PerfectlySeparatedReachesCapacity) {
+  // Two categories at distant constants: one observation identifies the
+  // category -> I = 1 bit = capacity.
+  const CampaignResult campaign =
+      testing::synthetic_campaign({0.0, 1000.0}, 1.0, 200);
+  const EventInformation info =
+      mutual_information(campaign, hpc::HpcEvent::kCycles);
+  EXPECT_DOUBLE_EQ(info.capacity, 1.0);
+  EXPECT_GT(info.bits, 0.9);
+}
+
+TEST(MutualInformation, IdenticalDistributionsNearZero) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({500.0, 500.0}, 10.0, 200);
+  const EventInformation info =
+      mutual_information(campaign, hpc::HpcEvent::kCycles);
+  EXPECT_LT(info.bits, 0.08);
+}
+
+TEST(MutualInformation, PartialOverlapInBetween) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 104.0}, 4.0, 300);
+  const EventInformation info =
+      mutual_information(campaign, hpc::HpcEvent::kCycles);
+  EXPECT_GT(info.bits, 0.1);
+  EXPECT_LT(info.bits, 0.8);
+}
+
+TEST(MutualInformation, FourCategoriesCapacityTwoBits) {
+  const CampaignResult campaign = testing::synthetic_campaign(
+      {0.0, 1000.0, 2000.0, 3000.0}, 1.0, 150);
+  const EventInformation info =
+      mutual_information(campaign, hpc::HpcEvent::kCycles);
+  EXPECT_DOUBLE_EQ(info.capacity, 2.0);
+  EXPECT_GT(info.bits, 1.8);
+}
+
+TEST(MutualInformation, MonotoneInSeparation) {
+  double previous = 0.0;
+  for (double separation : {0.0, 3.0, 8.0, 50.0}) {
+    const CampaignResult campaign =
+        testing::synthetic_campaign({100.0, 100.0 + separation}, 4.0, 300);
+    const double bits =
+        mutual_information(campaign, hpc::HpcEvent::kCycles).bits;
+    EXPECT_GE(bits, previous - 0.05) << "separation " << separation;
+    previous = bits;
+  }
+}
+
+TEST(MutualInformation, BiasCorrectionReducesNullEstimate) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({500.0, 500.0}, 10.0, 60, 9);
+  MutualInformationConfig raw;
+  raw.bias_correction = false;
+  MutualInformationConfig corrected;
+  corrected.bias_correction = true;
+  EXPECT_LE(mutual_information(campaign, hpc::HpcEvent::kCycles, corrected)
+                .bits,
+            mutual_information(campaign, hpc::HpcEvent::kCycles, raw).bits);
+}
+
+TEST(MutualInformation, ClampedToValidRange) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({1.0, 2.0}, 0.1, 20);
+  const EventInformation info =
+      mutual_information(campaign, hpc::HpcEvent::kCycles);
+  EXPECT_GE(info.bits, 0.0);
+  EXPECT_LE(info.bits, info.capacity);
+}
+
+TEST(MutualInformation, Validation) {
+  const CampaignResult ok = testing::synthetic_campaign({1.0, 2.0}, 0.1, 20);
+  MutualInformationConfig bad;
+  bad.bins = 1;
+  EXPECT_THROW(mutual_information(ok, hpc::HpcEvent::kCycles, bad),
+               InvalidArgument);
+  const CampaignResult one = testing::synthetic_campaign({1.0}, 0.1, 20);
+  EXPECT_THROW(mutual_information(one, hpc::HpcEvent::kCycles),
+               InvalidArgument);
+}
+
+TEST(InformationProfile, StrongestFindsLeakyEvent) {
+  const CampaignResult campaign = testing::single_leaky_event_campaign(
+      /*separation=*/60.0, /*stddev=*/3.0, /*samples=*/150);
+  const InformationProfile profile = information_profile(campaign);
+  EXPECT_EQ(profile.strongest().event, hpc::HpcEvent::kCacheMisses);
+  EXPECT_GT(profile.strongest().bits, 0.5);
+  EXPECT_LT(profile.of(hpc::HpcEvent::kBranches).bits, 0.2);
+}
+
+TEST(InformationProfile, RenderListsEventsAndBits) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({1.0, 500.0}, 2.0, 60);
+  const std::string text =
+      render_information(information_profile(campaign));
+  EXPECT_NE(text.find("cache-misses"), std::string::npos);
+  EXPECT_NE(text.find("bits"), std::string::npos);
+  EXPECT_NE(text.find("capacity 1.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sce::core

@@ -1,0 +1,153 @@
+#include "core/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sce::core {
+namespace {
+
+hpc::CounterSample sample_with(hpc::HpcEvent event, double value) {
+  hpc::CounterSample s;
+  s[event] = static_cast<std::uint64_t>(value);
+  return s;
+}
+
+OnlineConfig cache_only_config(std::size_t categories = 2) {
+  OnlineConfig cfg;
+  cfg.num_categories = categories;
+  cfg.events = {hpc::HpcEvent::kCacheMisses};
+  return cfg;
+}
+
+TEST(OnlineEvaluator, DetectsStrongSeparationQuickly) {
+  OnlineEvaluator monitor(cache_only_config());
+  util::Rng rng(1);
+  std::optional<OnlineAlarm> alarm;
+  for (int i = 0; i < 200 && !alarm; ++i) {
+    alarm = monitor.observe(
+        0, sample_with(hpc::HpcEvent::kCacheMisses, rng.normal(1000, 5)));
+    if (alarm) break;
+    alarm = monitor.observe(
+        1, sample_with(hpc::HpcEvent::kCacheMisses, rng.normal(1200, 5)));
+  }
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->event, hpc::HpcEvent::kCacheMisses);
+  EXPECT_EQ(alarm->category_a, 0u);
+  EXPECT_EQ(alarm->category_b, 1u);
+  // Strong separation must be caught soon after the minimum sample size.
+  EXPECT_LT(alarm->measurements_seen, 60u);
+  EXPECT_TRUE(monitor.alarm_raised());
+}
+
+TEST(OnlineEvaluator, StaysQuietUnderNull) {
+  OnlineEvaluator monitor(cache_only_config());
+  util::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    monitor.observe(static_cast<std::size_t>(i % 2),
+                    sample_with(hpc::HpcEvent::kCacheMisses,
+                                rng.normal(1000, 20)));
+  }
+  EXPECT_FALSE(monitor.alarm_raised());
+}
+
+TEST(OnlineEvaluator, NullFalseAlarmRateBoundedByAlpha) {
+  // 40 independent null monitoring runs: expect ~alpha fraction with any
+  // alarm; assert a generous bound.
+  std::size_t alarmed_runs = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    OnlineEvaluator monitor(cache_only_config());
+    util::Rng rng(seed + 100);
+    for (int i = 0; i < 200; ++i)
+      monitor.observe(static_cast<std::size_t>(i % 2),
+                      sample_with(hpc::HpcEvent::kCacheMisses,
+                                  rng.normal(500, 10)));
+    if (monitor.alarm_raised()) ++alarmed_runs;
+  }
+  EXPECT_LE(alarmed_runs, 4u);
+}
+
+TEST(OnlineEvaluator, WaitsForMinimumSamples) {
+  OnlineConfig cfg = cache_only_config();
+  cfg.min_samples_per_category = 15;
+  OnlineEvaluator monitor(cfg);
+  // Constant separated values: infinitely strong evidence, but no test
+  // may run before both categories have 15 samples.
+  for (int i = 0; i < 14; ++i) {
+    EXPECT_FALSE(monitor
+                     .observe(0, sample_with(hpc::HpcEvent::kCacheMisses,
+                                             1000.0 + i * 0.125))
+                     .has_value());
+    EXPECT_FALSE(monitor
+                     .observe(1, sample_with(hpc::HpcEvent::kCacheMisses,
+                                             2000.0 + i * 0.125))
+                     .has_value());
+  }
+  monitor.observe(0, sample_with(hpc::HpcEvent::kCacheMisses, 1001.0));
+  const auto alarm =
+      monitor.observe(1, sample_with(hpc::HpcEvent::kCacheMisses, 2001.0));
+  EXPECT_TRUE(alarm.has_value());
+}
+
+TEST(OnlineEvaluator, EachPairFiresOnce) {
+  OnlineEvaluator monitor(cache_only_config());
+  util::Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    monitor.observe(0, sample_with(hpc::HpcEvent::kCacheMisses,
+                                   rng.normal(1000, 3)));
+    monitor.observe(1, sample_with(hpc::HpcEvent::kCacheMisses,
+                                   rng.normal(1500, 3)));
+  }
+  EXPECT_EQ(monitor.alarms().size(), 1u);
+}
+
+TEST(OnlineEvaluator, MultipleCategoriesMultiplePairs) {
+  OnlineConfig cfg = cache_only_config(3);
+  OnlineEvaluator monitor(cfg);
+  util::Rng rng(4);
+  for (int i = 0; i < 400; ++i) {
+    monitor.observe(0, sample_with(hpc::HpcEvent::kCacheMisses,
+                                   rng.normal(1000, 4)));
+    monitor.observe(1, sample_with(hpc::HpcEvent::kCacheMisses,
+                                   rng.normal(1400, 4)));
+    monitor.observe(2, sample_with(hpc::HpcEvent::kCacheMisses,
+                                   rng.normal(1800, 4)));
+  }
+  EXPECT_EQ(monitor.alarms().size(), 3u);  // all three pairs
+}
+
+TEST(OnlineEvaluator, CellExposesRunningStats) {
+  OnlineEvaluator monitor(cache_only_config());
+  monitor.observe(0, sample_with(hpc::HpcEvent::kCacheMisses, 10.0));
+  monitor.observe(0, sample_with(hpc::HpcEvent::kCacheMisses, 20.0));
+  const auto& cell = monitor.cell(hpc::HpcEvent::kCacheMisses, 0);
+  EXPECT_EQ(cell.count(), 2u);
+  EXPECT_DOUBLE_EQ(cell.mean(), 15.0);
+  EXPECT_THROW(monitor.cell(hpc::HpcEvent::kCacheMisses, 5),
+               InvalidArgument);
+}
+
+TEST(OnlineEvaluator, ConfigValidation) {
+  OnlineConfig one_category;
+  one_category.num_categories = 1;
+  EXPECT_THROW(OnlineEvaluator{one_category}, InvalidArgument);
+
+  OnlineConfig bad_alpha;
+  bad_alpha.alpha = 0.0;
+  EXPECT_THROW(OnlineEvaluator{bad_alpha}, InvalidArgument);
+
+  OnlineConfig tiny_min;
+  tiny_min.min_samples_per_category = 1;
+  EXPECT_THROW(OnlineEvaluator{tiny_min}, InvalidArgument);
+
+  OnlineConfig no_events;
+  no_events.events = {};
+  EXPECT_THROW(OnlineEvaluator{no_events}, InvalidArgument);
+
+  OnlineEvaluator ok{OnlineConfig{}};
+  EXPECT_THROW(ok.observe(99, hpc::CounterSample{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sce::core

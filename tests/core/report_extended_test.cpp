@@ -1,0 +1,123 @@
+// Additional rendering/report properties: arbitrary category counts,
+// histogram bin parameters, CSV numeric round-trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "campaign_helpers.hpp"
+#include "core/report.hpp"
+
+namespace sce::core {
+namespace {
+
+TEST(PaperTableExtended, ThreeCategoriesEnumeratesThreePairs) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({1.0, 2.0, 3.0}, 0.5, 12);
+  const LeakageAssessment assessment = evaluate(campaign);
+  const std::string table =
+      render_paper_table(assessment, {hpc::HpcEvent::kCycles});
+  EXPECT_NE(table.find("t1,2"), std::string::npos);
+  EXPECT_NE(table.find("t1,3"), std::string::npos);
+  EXPECT_NE(table.find("t2,3"), std::string::npos);
+  EXPECT_EQ(table.find("t1,4"), std::string::npos);
+}
+
+TEST(DistributionsExtended, BinCountRespected) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({10.0, 20.0}, 1.0, 40);
+  const std::string text =
+      render_distributions(campaign, hpc::HpcEvent::kCycles, 7);
+  EXPECT_NE(text.find("7 shared bins"), std::string::npos);
+  // Each category block renders one line per bin.
+  std::size_t lines = 0;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) ++lines;
+  // header + 2 x (blank + category header + 7 bins).
+  EXPECT_EQ(lines, 1u + 2u * (2u + 7u));
+}
+
+TEST(CsvExtended, ValuesParseBackAsNumbers) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 200.0}, 2.0, 20);
+  const LeakageAssessment assessment = evaluate(campaign);
+  std::istringstream csv(render_csv(assessment));
+  std::string line;
+  std::getline(csv, line);  // header
+  std::size_t parsed_rows = 0;
+  while (std::getline(csv, line)) {
+    // event,a,b,t,df,p,holm,d,sig
+    std::istringstream fields(line);
+    std::string event;
+    ASSERT_TRUE(std::getline(fields, event, ','));
+    double a = 0;
+    double b = 0;
+    double t = 0;
+    double df = 0;
+    double p = 0;
+    char comma = 0;
+    fields >> a >> comma >> b >> comma >> t >> comma >> df >> comma >> p;
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_GT(df, 0.0);
+    ++parsed_rows;
+  }
+  EXPECT_EQ(parsed_rows, 8u);  // 8 events x 1 pair
+}
+
+TEST(CategoryMeansExtended, LongestBarBelongsToLargestMean) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({10.0, 40.0, 20.0}, 0.01, 10);
+  const std::string text =
+      render_category_means(campaign, hpc::HpcEvent::kCycles);
+  // The largest-mean category's row must contain the full-width bar; use
+  // the byte length of the block run as a proxy.
+  std::size_t best_len = 0;
+  std::string best_row;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    const std::size_t blocks =
+        static_cast<std::size_t>(std::count(line.begin(), line.end(), '\x88'));
+    if (blocks > best_len) {
+      best_len = blocks;
+      best_row = line;
+    }
+  }
+  EXPECT_NE(best_row.find("cat1"), std::string::npos);  // mean 40
+}
+
+TEST(JsonReport, StructureAndCounts) {
+  const CampaignResult campaign = testing::single_leaky_event_campaign(
+      /*separation=*/40.0, /*stddev=*/2.0, /*samples=*/30);
+  const LeakageAssessment assessment = evaluate(campaign);
+  const std::string json = render_json(assessment);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"alarm_raised\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"cache-misses\""), std::string::npos);
+  EXPECT_NE(json.find("\"anova\""), std::string::npos);
+  // 8 events each with a pairs array.
+  std::size_t pairs_keys = 0;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"pairs\"", pos)) != std::string::npos) {
+    ++pairs_keys;
+    ++pos;
+  }
+  EXPECT_EQ(pairs_keys, 8u);
+}
+
+TEST(JsonReport, QuietAssessment) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({5.0, 5.0}, 1.0, 20, 3);
+  EvaluatorConfig cfg;
+  cfg.alpha = 1e-9;
+  const LeakageAssessment assessment = evaluate(campaign, cfg);
+  const std::string json = render_json(assessment);
+  EXPECT_NE(json.find("\"alarm_raised\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"alarms\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sce::core

@@ -1,0 +1,132 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "campaign_helpers.hpp"
+#include "util/error.hpp"
+
+namespace sce::core {
+namespace {
+
+LeakageAssessment leaky_assessment() {
+  const CampaignResult campaign = testing::single_leaky_event_campaign(
+      /*separation=*/40.0, /*stddev=*/2.0, /*samples=*/40, /*categories=*/4);
+  return evaluate(campaign);
+}
+
+TEST(PaperTable, HasPairRowsAndEventColumns) {
+  const LeakageAssessment assessment = leaky_assessment();
+  const std::string table = render_paper_table(
+      assessment, {hpc::HpcEvent::kCacheMisses, hpc::HpcEvent::kBranches});
+  EXPECT_NE(table.find("cache-misses"), std::string::npos);
+  EXPECT_NE(table.find("branches"), std::string::npos);
+  EXPECT_NE(table.find("t-values"), std::string::npos);
+  EXPECT_NE(table.find("p-values"), std::string::npos);
+  for (const char* pair :
+       {"t1,2", "t1,3", "t1,4", "t2,3", "t2,4", "t3,4"})
+    EXPECT_NE(table.find(pair), std::string::npos) << pair;
+}
+
+TEST(PaperTable, StrongSeparationRendersApproxZero) {
+  const LeakageAssessment assessment = leaky_assessment();
+  const std::string table =
+      render_paper_table(assessment, {hpc::HpcEvent::kCacheMisses});
+  EXPECT_NE(table.find("~0"), std::string::npos);
+  // Significant entries carry the paper's bold marker (we use '*').
+  EXPECT_NE(table.find("*"), std::string::npos);
+}
+
+TEST(PaperTable, EmptyEventsThrows) {
+  const LeakageAssessment assessment = leaky_assessment();
+  EXPECT_THROW(render_paper_table(assessment, {}), InvalidArgument);
+}
+
+TEST(PaperTable, UnknownEventThrows) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({1.0, 2.0}, 0.5, 10);
+  EvaluatorConfig cfg;
+  cfg.events = {hpc::HpcEvent::kCycles};
+  const LeakageAssessment assessment = evaluate(campaign, cfg);
+  EXPECT_THROW(
+      render_paper_table(assessment, {hpc::HpcEvent::kCacheMisses}),
+      InvalidArgument);
+}
+
+TEST(Report, AlarmStateVisible) {
+  const LeakageAssessment leaky = leaky_assessment();
+  const std::string text = render_report(leaky);
+  EXPECT_NE(text.find("ALARM"), std::string::npos);
+  EXPECT_NE(text.find("cache-misses"), std::string::npos);
+  EXPECT_NE(text.find("LEAK"), std::string::npos);
+}
+
+TEST(Report, QuietStateVisible) {
+  // All categories identical and tight: expect (almost surely) no alarm.
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 100.0}, 5.0, 20, 3);
+  EvaluatorConfig cfg;
+  cfg.alpha = 1e-9;  // make chance rejections impossible
+  const LeakageAssessment assessment = evaluate(campaign, cfg);
+  const std::string text = render_report(assessment);
+  EXPECT_EQ(text.find("ALARM"), std::string::npos);
+  EXPECT_NE(text.find("input-indistinguishable"), std::string::npos);
+}
+
+TEST(Report, ListsCategoryNames) {
+  const LeakageAssessment assessment = leaky_assessment();
+  const std::string text = render_report(assessment);
+  EXPECT_NE(text.find("cat0"), std::string::npos);
+  EXPECT_NE(text.find("cat3"), std::string::npos);
+}
+
+TEST(Csv, OneRowPerEventPair) {
+  const LeakageAssessment assessment = leaky_assessment();
+  const std::string csv = render_csv(assessment);
+  std::istringstream lines(csv);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line))
+    if (!line.empty()) ++count;
+  // header + 8 events x 6 pairs.
+  EXPECT_EQ(count, 1u + 8u * 6u);
+  EXPECT_NE(csv.find("event,category_a"), std::string::npos);
+}
+
+TEST(Csv, SignificantColumnConsistent) {
+  const LeakageAssessment assessment = leaky_assessment();
+  const std::string csv = render_csv(assessment);
+  // cache-misses rows end with 1 (significant).
+  std::istringstream lines(csv);
+  std::string line;
+  std::getline(lines, line);  // header
+  std::size_t significant_rows = 0;
+  while (std::getline(lines, line))
+    if (!line.empty() && line.back() == '1') ++significant_rows;
+  EXPECT_EQ(significant_rows, assessment.alarms.size());
+}
+
+TEST(Distributions, RendersSharedBins) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({100.0, 160.0}, 5.0, 30);
+  const std::string text =
+      render_distributions(campaign, hpc::HpcEvent::kCacheMisses, 10);
+  EXPECT_NE(text.find("distributions of cache-misses"), std::string::npos);
+  EXPECT_NE(text.find("category 1"), std::string::npos);
+  EXPECT_NE(text.find("category 2"), std::string::npos);
+  EXPECT_NE(text.find("n=30"), std::string::npos);
+}
+
+TEST(CategoryMeans, RendersBars) {
+  const CampaignResult campaign =
+      testing::synthetic_campaign({10.0, 20.0}, 0.1, 10);
+  const std::string text =
+      render_category_means(campaign, hpc::HpcEvent::kCycles);
+  EXPECT_NE(text.find("average cycles per category"), std::string::npos);
+  EXPECT_NE(text.find("cat0"), std::string::npos);
+  EXPECT_NE(text.find("█"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sce::core

@@ -1,0 +1,119 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sce::data {
+namespace {
+
+Example make_example(int label, float fill = 0.0f) {
+  Example e;
+  e.label = label;
+  e.image = Image(1, 2, 2);
+  e.image.pixels().assign(4, fill);
+  return e;
+}
+
+Dataset make_dataset(std::initializer_list<int> labels) {
+  Dataset ds({}, {"a", "b", "c"});
+  for (int l : labels) ds.add(make_example(l));
+  return ds;
+}
+
+TEST(Dataset, SizeAndClassNames) {
+  const Dataset ds = make_dataset({0, 1, 2, 1});
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds.num_classes(), 3u);
+  EXPECT_EQ(ds.class_names()[1], "b");
+  EXPECT_FALSE(ds.empty());
+}
+
+TEST(Dataset, AddRejectsBadLabels) {
+  Dataset ds({}, {"a", "b"});
+  EXPECT_THROW(ds.add(make_example(2)), InvalidArgument);
+  EXPECT_THROW(ds.add(make_example(-1)), InvalidArgument);
+}
+
+TEST(Dataset, ConstructorValidatesLabels) {
+  std::vector<Example> examples{make_example(5)};
+  EXPECT_THROW(Dataset(std::move(examples), {"a", "b"}), InvalidArgument);
+}
+
+TEST(Dataset, IndexBoundsChecked) {
+  const Dataset ds = make_dataset({0});
+  EXPECT_EQ(ds[0].label, 0);
+  EXPECT_THROW(ds[1], InvalidArgument);
+}
+
+TEST(Dataset, SplitSizes) {
+  const Dataset ds = make_dataset({0, 1, 2, 0, 1, 2, 0, 1, 2, 0});
+  const auto [train, test] = ds.split(0.7);
+  EXPECT_EQ(train.size(), 7u);
+  EXPECT_EQ(test.size(), 3u);
+  EXPECT_EQ(train.num_classes(), 3u);
+  EXPECT_EQ(test.num_classes(), 3u);
+}
+
+TEST(Dataset, SplitExtremes) {
+  const Dataset ds = make_dataset({0, 1});
+  EXPECT_EQ(ds.split(0.0).first.size(), 0u);
+  EXPECT_EQ(ds.split(1.0).second.size(), 0u);
+  EXPECT_THROW(ds.split(1.5), InvalidArgument);
+  EXPECT_THROW(ds.split(-0.5), InvalidArgument);
+}
+
+TEST(Dataset, ShufflePreservesMultiset) {
+  Dataset ds = make_dataset({0, 0, 1, 1, 2, 2, 2});
+  util::Rng rng(5);
+  ds.shuffle(rng);
+  const auto hist = ds.class_histogram();
+  EXPECT_EQ(hist[0], 2u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 3u);
+}
+
+TEST(Dataset, ExamplesOfFiltersByLabel) {
+  const Dataset ds = make_dataset({0, 1, 0, 2, 0});
+  const auto zeros = ds.examples_of(0);
+  EXPECT_EQ(zeros.size(), 3u);
+  for (const Example* e : zeros) EXPECT_EQ(e->label, 0);
+  EXPECT_TRUE(ds.examples_of(1).size() == 1u);
+}
+
+TEST(Dataset, ExamplesOfMissingLabelEmpty) {
+  const Dataset ds = make_dataset({0});
+  EXPECT_TRUE(ds.examples_of(2).empty());
+}
+
+TEST(Dataset, ClassHistogram) {
+  const Dataset ds = make_dataset({0, 1, 1, 2, 2, 2});
+  const auto hist = ds.class_histogram();
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 3u);
+}
+
+TEST(Dataset, BalancedSubsetCaps) {
+  const Dataset ds = make_dataset({0, 0, 0, 1, 1, 2});
+  const Dataset balanced = ds.balanced_subset(2);
+  const auto hist = balanced.class_histogram();
+  EXPECT_EQ(hist[0], 2u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+TEST(Dataset, BalancedSubsetKeepsOrder) {
+  Dataset ds({}, {"a", "b"});
+  ds.add(make_example(0, 0.1f));
+  ds.add(make_example(0, 0.2f));
+  ds.add(make_example(0, 0.3f));
+  const Dataset balanced = ds.balanced_subset(2);
+  ASSERT_EQ(balanced.size(), 2u);
+  EXPECT_FLOAT_EQ(balanced[0].image.pixels()[0], 0.1f);
+  EXPECT_FLOAT_EQ(balanced[1].image.pixels()[0], 0.2f);
+}
+
+}  // namespace
+}  // namespace sce::data

@@ -1,0 +1,103 @@
+#include "data/idx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace sce::data {
+namespace {
+
+class IdxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sce_idx_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    images_path_ = (dir_ / "images.idx").string();
+    labels_path_ = (dir_ / "labels.idx").string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+  std::string images_path_;
+  std::string labels_path_;
+};
+
+TEST_F(IdxTest, RoundTripPreservesData) {
+  SyntheticConfig cfg;
+  cfg.examples_per_class = 2;
+  cfg.num_classes = 3;
+  const Dataset original = make_mnist_like(cfg);
+  save_idx(original, images_path_, labels_path_);
+  const Dataset loaded =
+      load_idx(images_path_, labels_path_, {"0", "1", "2"});
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].label, original[i].label);
+    ASSERT_EQ(loaded[i].image.size(), original[i].image.size());
+    for (std::size_t p = 0; p < original[i].image.size(); ++p) {
+      // Quantized to 1/255 on save.
+      EXPECT_NEAR(loaded[i].image.pixels()[p], original[i].image.pixels()[p],
+                  1.0f / 255.0f + 1e-6f);
+    }
+  }
+}
+
+TEST_F(IdxTest, LoadedPixelsAreNormalized) {
+  SyntheticConfig cfg;
+  cfg.examples_per_class = 1;
+  cfg.num_classes = 1;
+  save_idx(make_mnist_like(cfg), images_path_, labels_path_);
+  const Dataset loaded = load_idx(images_path_, labels_path_, {"0"});
+  for (float p : loaded[0].image.pixels()) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST_F(IdxTest, MissingFileThrows) {
+  EXPECT_THROW(load_idx(images_path_, labels_path_, {"0"}), IoError);
+}
+
+TEST_F(IdxTest, BadMagicThrows) {
+  std::ofstream(images_path_, std::ios::binary) << "NOTMAGIC_________";
+  std::ofstream(labels_path_, std::ios::binary) << "NOTMAGIC_________";
+  EXPECT_THROW(load_idx(images_path_, labels_path_, {"0"}), IoError);
+}
+
+TEST_F(IdxTest, TruncatedImageDataThrows) {
+  SyntheticConfig cfg;
+  cfg.examples_per_class = 1;
+  cfg.num_classes = 1;
+  save_idx(make_mnist_like(cfg), images_path_, labels_path_);
+  // Truncate the image file.
+  std::filesystem::resize_file(images_path_, 100);
+  EXPECT_THROW(load_idx(images_path_, labels_path_, {"0"}), IoError);
+}
+
+TEST_F(IdxTest, SaveEmptyDatasetThrows) {
+  const Dataset empty({}, {"a"});
+  EXPECT_THROW(save_idx(empty, images_path_, labels_path_), InvalidArgument);
+}
+
+TEST_F(IdxTest, SaveMultiChannelThrows) {
+  SyntheticConfig cfg;
+  cfg.examples_per_class = 1;
+  cfg.num_classes = 1;
+  const Dataset cifar = make_cifar_like(cfg);
+  EXPECT_THROW(save_idx(cifar, images_path_, labels_path_), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sce::data

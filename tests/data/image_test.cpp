@@ -1,0 +1,69 @@
+#include "data/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sce::data {
+namespace {
+
+TEST(Image, DimensionsAndSize) {
+  Image img(3, 4, 5);
+  EXPECT_EQ(img.channels(), 3u);
+  EXPECT_EQ(img.height(), 4u);
+  EXPECT_EQ(img.width(), 5u);
+  EXPECT_EQ(img.size(), 60u);
+}
+
+TEST(Image, DefaultConstructedIsEmpty) {
+  Image img;
+  EXPECT_EQ(img.size(), 0u);
+  EXPECT_DOUBLE_EQ(img.mean(), 0.0f);
+}
+
+TEST(Image, ZeroDimensionThrows) {
+  EXPECT_THROW(Image(0, 4, 5), InvalidArgument);
+  EXPECT_THROW(Image(1, 0, 5), InvalidArgument);
+  EXPECT_THROW(Image(1, 4, 0), InvalidArgument);
+}
+
+TEST(Image, AtReadsAndWritesChwLayout) {
+  Image img(2, 2, 3);
+  img.at(1, 0, 2) = 0.5f;
+  EXPECT_FLOAT_EQ(img.at(1, 0, 2), 0.5f);
+  // CHW flat index: (c*H + y)*W + x = (1*2 + 0)*3 + 2 = 8.
+  EXPECT_FLOAT_EQ(img.pixels()[8], 0.5f);
+}
+
+TEST(Image, AtBoundsChecked) {
+  Image img(1, 2, 2);
+  EXPECT_THROW(img.at(1, 0, 0), InvalidArgument);
+  EXPECT_THROW(img.at(0, 2, 0), InvalidArgument);
+  EXPECT_THROW(img.at(0, 0, 2), InvalidArgument);
+}
+
+TEST(Image, ClampLimitsRange) {
+  Image img(1, 1, 3);
+  img.pixels() = {-0.5f, 0.5f, 1.5f};
+  img.clamp();
+  EXPECT_FLOAT_EQ(img.pixels()[0], 0.0f);
+  EXPECT_FLOAT_EQ(img.pixels()[1], 0.5f);
+  EXPECT_FLOAT_EQ(img.pixels()[2], 1.0f);
+}
+
+TEST(Image, ClampCustomBounds) {
+  Image img(1, 1, 2);
+  img.pixels() = {-1.0f, 2.0f};
+  img.clamp(-0.5f, 0.5f);
+  EXPECT_FLOAT_EQ(img.pixels()[0], -0.5f);
+  EXPECT_FLOAT_EQ(img.pixels()[1], 0.5f);
+}
+
+TEST(Image, MeanIntensity) {
+  Image img(1, 2, 2);
+  img.pixels() = {0.0f, 0.5f, 1.0f, 0.5f};
+  EXPECT_FLOAT_EQ(img.mean(), 0.5f);
+}
+
+}  // namespace
+}  // namespace sce::data

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace sce::data {
+namespace {
+
+TEST(SequenceData, ShapesAndNames) {
+  SequenceConfig cfg;
+  cfg.examples_per_class = 3;
+  const Dataset ds = make_sequence_like(cfg);
+  EXPECT_EQ(ds.size(), 12u);
+  EXPECT_EQ(ds.num_classes(), 4u);
+  EXPECT_EQ(ds.class_names()[0], "sine");
+  EXPECT_EQ(ds.class_names()[3], "bursts");
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds[i].image.channels(), 1u);
+    EXPECT_EQ(ds[i].image.width(), cfg.feature_dim);
+    EXPECT_GE(ds[i].image.height(), 4u);
+  }
+}
+
+TEST(SequenceData, LengthsGrowWithClass) {
+  SequenceConfig cfg;
+  cfg.examples_per_class = 30;
+  const Dataset ds = make_sequence_like(cfg);
+  std::vector<double> mean_length(4, 0.0);
+  for (int label = 0; label < 4; ++label) {
+    const auto pool = ds.examples_of(label);
+    for (const Example* e : pool)
+      mean_length[static_cast<std::size_t>(label)] +=
+          static_cast<double>(e->image.height()) /
+          static_cast<double>(pool.size());
+  }
+  for (int label = 0; label < 3; ++label)
+    EXPECT_LT(mean_length[static_cast<std::size_t>(label)],
+              mean_length[static_cast<std::size_t>(label) + 1]);
+  EXPECT_NEAR(mean_length[0], 32.0, 3.0);
+  EXPECT_NEAR(mean_length[3], 32.0 + 3 * 8.0, 3.0);
+}
+
+TEST(SequenceData, ValuesInUnitRange) {
+  SequenceConfig cfg;
+  cfg.examples_per_class = 5;
+  const Dataset ds = make_sequence_like(cfg);
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    for (float v : ds[i].image.pixels()) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(SequenceData, Deterministic) {
+  SequenceConfig cfg;
+  cfg.seed = 5;
+  cfg.examples_per_class = 2;
+  const Dataset a = make_sequence_like(cfg);
+  const Dataset b = make_sequence_like(cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].image.height(), b[i].image.height());
+    EXPECT_EQ(a[i].image.pixels(), b[i].image.pixels());
+  }
+}
+
+TEST(SequenceData, ClassesAreSpectrallyDistinct) {
+  // Square waves have much more high-frequency content than sines; check
+  // a crude proxy: mean absolute step-to-step difference.
+  SequenceConfig cfg;
+  cfg.noise_stddev = 0.0f;
+  cfg.examples_per_class = 10;
+  const Dataset ds = make_sequence_like(cfg);
+  auto roughness = [&](int label) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const Example* e : ds.examples_of(label)) {
+      for (std::size_t t = 1; t < e->image.height(); ++t) {
+        sum += std::fabs(e->image.at(0, t, 0) - e->image.at(0, t - 1, 0));
+        ++n;
+      }
+    }
+    return sum / static_cast<double>(n);
+  };
+  // The waveform families must have clearly different temporal texture —
+  // the feature a recurrent classifier learns.  The burst class (sparse
+  // pulses) is much smoother on average than the densest class.
+  double lo = roughness(0);
+  double hi = lo;
+  for (int label = 1; label < 4; ++label) {
+    lo = std::min(lo, roughness(label));
+    hi = std::max(hi, roughness(label));
+  }
+  EXPECT_GT(hi, lo * 1.3);
+}
+
+TEST(SequenceData, ConfigValidation) {
+  SequenceConfig bad;
+  bad.num_classes = 0;
+  EXPECT_THROW(make_sequence_like(bad), InvalidArgument);
+  bad = SequenceConfig{};
+  bad.num_classes = 5;
+  EXPECT_THROW(make_sequence_like(bad), InvalidArgument);
+  bad = SequenceConfig{};
+  bad.feature_dim = 0;
+  EXPECT_THROW(make_sequence_like(bad), InvalidArgument);
+  util::Rng rng(1);
+  EXPECT_THROW(render_sequence(7, SequenceConfig{}, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sce::data

@@ -1,0 +1,50 @@
+#include "hpc/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace sce::hpc {
+namespace {
+
+TEST(Events, EightEventsInPerfOrder) {
+  const auto& all = all_events();
+  ASSERT_EQ(all.size(), 8u);
+  // perf stat prints alphabetically; Figure 2(b) order.
+  EXPECT_EQ(to_string(all[0]), "branches");
+  EXPECT_EQ(to_string(all[1]), "branch-misses");
+  EXPECT_EQ(to_string(all[2]), "bus-cycles");
+  EXPECT_EQ(to_string(all[3]), "cache-misses");
+  EXPECT_EQ(to_string(all[4]), "cache-references");
+  EXPECT_EQ(to_string(all[5]), "cycles");
+  EXPECT_EQ(to_string(all[6]), "instructions");
+  EXPECT_EQ(to_string(all[7]), "ref-cycles");
+}
+
+TEST(Events, NamesAreUnique) {
+  std::set<std::string> names;
+  for (HpcEvent e : all_events()) names.insert(to_string(e));
+  EXPECT_EQ(names.size(), kNumEvents);
+}
+
+class EventRoundTrip : public ::testing::TestWithParam<HpcEvent> {};
+
+TEST_P(EventRoundTrip, ParseInvertsToString) {
+  const HpcEvent e = GetParam();
+  const auto parsed = parse_event(to_string(e));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, e);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, EventRoundTrip,
+                         ::testing::ValuesIn(all_events()));
+
+TEST(Events, ParseUnknownReturnsNullopt) {
+  EXPECT_FALSE(parse_event("page-faults").has_value());
+  EXPECT_FALSE(parse_event("").has_value());
+  EXPECT_FALSE(parse_event("CACHE-MISSES").has_value());
+}
+
+}  // namespace
+}  // namespace sce::hpc

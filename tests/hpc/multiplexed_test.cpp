@@ -1,0 +1,128 @@
+#include "hpc/multiplexed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "hpc/simulated_pmu.hpp"
+#include "util/error.hpp"
+
+namespace sce::hpc {
+namespace {
+
+SimulatedPmu quiet_pmu() {
+  SimulatedPmuConfig cfg;
+  cfg.environment = SimulatedPmuConfig::no_environment();
+  return SimulatedPmu(cfg);
+}
+
+CounterSample run_workload(SimulatedPmu& pmu, CounterProvider& provider,
+                           std::size_t loads = 64) {
+  static std::vector<float> buffer(1024, 1.0f);
+  provider.start();
+  for (std::size_t i = 0; i < loads; ++i)
+    pmu.load(&buffer[i * 4], sizeof(float));
+  pmu.structural_branches(100);
+  pmu.retire(500);
+  provider.stop();
+  return provider.read();
+}
+
+TEST(MultiplexedPmu, EnoughCountersMeansExactCounts) {
+  SimulatedPmu pmu = quiet_pmu();
+  MultiplexConfig cfg;
+  cfg.hardware_counters = kNumEvents;
+  MultiplexedPmu mux(pmu, cfg);
+  const CounterSample exact = run_workload(pmu, pmu);
+  const CounterSample muxed = run_workload(pmu, mux);
+  for (HpcEvent e : all_events()) {
+    EXPECT_EQ(muxed[e], exact[e]) << to_string(e);
+    EXPECT_DOUBLE_EQ(mux.scheduled_fraction(e), 1.0);
+  }
+}
+
+TEST(MultiplexedPmu, ScheduledFractionsMatchCounterBudget) {
+  SimulatedPmu pmu = quiet_pmu();
+  MultiplexConfig cfg;
+  cfg.hardware_counters = 4;
+  cfg.slices_per_measurement = 8;
+  MultiplexedPmu mux(pmu, cfg);
+  (void)run_workload(pmu, mux);
+  double total = 0.0;
+  for (HpcEvent e : all_events()) {
+    EXPECT_GT(mux.scheduled_fraction(e), 0.0) << to_string(e);
+    EXPECT_LE(mux.scheduled_fraction(e), 1.0);
+    total += mux.scheduled_fraction(e);
+  }
+  // Counter-slices are conserved: sum of fractions == counters.
+  EXPECT_NEAR(total, 4.0, 1e-9);
+}
+
+TEST(MultiplexedPmu, EstimatesStayNearTruth) {
+  SimulatedPmu pmu = quiet_pmu();
+  MultiplexConfig cfg;
+  cfg.hardware_counters = 4;
+  cfg.extrapolation_noise = 0.05;
+  MultiplexedPmu mux(pmu, cfg);
+  const CounterSample exact = run_workload(pmu, pmu);
+  const CounterSample muxed = run_workload(pmu, mux);
+  for (HpcEvent e : all_events()) {
+    if (exact[e] == 0) continue;
+    const double rel =
+        std::fabs(static_cast<double>(muxed[e]) -
+                  static_cast<double>(exact[e])) /
+        static_cast<double>(exact[e]);
+    EXPECT_LT(rel, 0.25) << to_string(e);
+  }
+}
+
+TEST(MultiplexedPmu, MultiplexingAddsEstimationVariance) {
+  SimulatedPmu pmu = quiet_pmu();
+  MultiplexConfig cfg;
+  cfg.hardware_counters = 2;
+  cfg.extrapolation_noise = 0.05;
+  MultiplexedPmu mux(pmu, cfg);
+  // The same workload repeatedly: the true counts are identical, so any
+  // spread comes from the multiplexing estimator.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 6; ++i)
+    seen.insert(run_workload(pmu, mux)[HpcEvent::kInstructions]);
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(MultiplexedPmu, ZeroNoiseRoundsToScaledTruth) {
+  SimulatedPmu pmu = quiet_pmu();
+  MultiplexConfig cfg;
+  cfg.hardware_counters = 4;
+  cfg.extrapolation_noise = 0.0;
+  MultiplexedPmu mux(pmu, cfg);
+  const CounterSample exact = run_workload(pmu, pmu);
+  const CounterSample muxed = run_workload(pmu, mux);
+  for (HpcEvent e : all_events())
+    EXPECT_EQ(muxed[e], exact[e]) << to_string(e);
+}
+
+TEST(MultiplexedPmu, ConfigValidation) {
+  SimulatedPmu pmu = quiet_pmu();
+  MultiplexConfig bad;
+  bad.hardware_counters = 0;
+  EXPECT_THROW(MultiplexedPmu(pmu, bad), InvalidArgument);
+  bad = MultiplexConfig{};
+  bad.slices_per_measurement = 0;
+  EXPECT_THROW(MultiplexedPmu(pmu, bad), InvalidArgument);
+  bad = MultiplexConfig{};
+  bad.extrapolation_noise = -1.0;
+  EXPECT_THROW(MultiplexedPmu(pmu, bad), InvalidArgument);
+}
+
+TEST(MultiplexedPmu, ForwardsSupportedEvents) {
+  SimulatedPmu pmu = quiet_pmu();
+  MultiplexedPmu mux(pmu);
+  EXPECT_EQ(mux.supported_events().size(), kNumEvents);
+  EXPECT_EQ(mux.name(), "multiplexed");
+}
+
+}  // namespace
+}  // namespace sce::hpc

@@ -1,0 +1,66 @@
+#include "hpc/perf_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sce::hpc {
+namespace {
+
+TEST(PerfBackend, ProbeDoesNotCrash) {
+  // Works on any host; just must not throw.
+  const bool available = PerfEventBackend::probe();
+  if (!available) {
+    EXPECT_FALSE(PerfEventBackend::probe_error().empty());
+  }
+}
+
+TEST(PerfBackend, ConstructorThrowsWhenUnavailable) {
+  if (PerfEventBackend::probe())
+    GTEST_SKIP() << "host PMU available; unavailability path not testable";
+  EXPECT_THROW(PerfEventBackend{}, Unsupported);
+}
+
+TEST(PerfBackend, CountsRealWorkWhenAvailable) {
+  if (!PerfEventBackend::probe())
+    GTEST_SKIP() << "no PMU on this host: " << PerfEventBackend::probe_error();
+  PerfEventBackend backend;
+  ASSERT_FALSE(backend.supported_events().empty());
+
+  backend.start();
+  // Burn a deterministic amount of work.
+  volatile double acc = 0.0;
+  for (int i = 0; i < 1000000; ++i) acc += static_cast<double>(i) * 1e-9;
+  backend.stop();
+  const CounterSample sample = backend.read();
+
+  bool counted_something = false;
+  for (HpcEvent e : backend.supported_events())
+    counted_something |= sample[e] > 0;
+  EXPECT_TRUE(counted_something);
+}
+
+TEST(PerfBackend, MoreWorkMoreInstructions) {
+  if (!PerfEventBackend::probe()) GTEST_SKIP() << "no PMU on this host";
+  PerfEventBackend backend;
+  const auto events = backend.supported_events();
+  if (std::find(events.begin(), events.end(), HpcEvent::kInstructions) ==
+      events.end())
+    GTEST_SKIP() << "instructions counter unavailable";
+
+  auto burn = [&](int iterations) {
+    backend.start();
+    volatile double acc = 0.0;
+    for (int i = 0; i < iterations; ++i) acc += 1.0;
+    backend.stop();
+    return backend.read()[HpcEvent::kInstructions];
+  };
+  const std::uint64_t small = burn(100000);
+  const std::uint64_t large = burn(1000000);
+  EXPECT_GT(large, small);
+}
+
+}  // namespace
+}  // namespace sce::hpc

@@ -1,0 +1,63 @@
+#include "hpc/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hpc/simulated_pmu.hpp"
+
+namespace sce::hpc {
+namespace {
+
+SimulatedPmu quiet_pmu() {
+  SimulatedPmuConfig cfg;
+  cfg.environment = SimulatedPmuConfig::no_environment();
+  return SimulatedPmu(cfg);
+}
+
+TEST(Measure, CountsWorkInsideCallable) {
+  SimulatedPmu pmu = quiet_pmu();
+  std::vector<float> buffer(16, 1.0f);
+  const CounterSample s = measure(pmu, [&] {
+    for (const float& f : buffer) pmu.load(&f, sizeof(float));
+    pmu.retire(50);
+  });
+  EXPECT_EQ(s[HpcEvent::kInstructions], 16u + 50u);
+}
+
+TEST(Measure, StopsCountersOnException) {
+  SimulatedPmu pmu = quiet_pmu();
+  EXPECT_THROW(
+      measure(pmu, [&]() -> void { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  // Provider must be stopped: read() works (it throws if still running).
+  EXPECT_NO_THROW(pmu.read());
+}
+
+TEST(Measure, BackToBackMeasurementsIndependent) {
+  SimulatedPmu pmu = quiet_pmu();
+  const CounterSample first = measure(pmu, [&] { pmu.retire(10); });
+  const CounterSample second = measure(pmu, [&] { pmu.retire(20); });
+  EXPECT_EQ(first[HpcEvent::kInstructions], 10u);
+  EXPECT_EQ(second[HpcEvent::kInstructions], 20u);
+}
+
+TEST(ScopedMeasurement, FinishReturnsSample) {
+  SimulatedPmu pmu = quiet_pmu();
+  ScopedMeasurement scope(pmu);
+  pmu.retire(33);
+  const CounterSample s = scope.finish();
+  EXPECT_EQ(s[HpcEvent::kInstructions], 33u);
+}
+
+TEST(ScopedMeasurement, DestructorStopsWithoutFinish) {
+  SimulatedPmu pmu = quiet_pmu();
+  {
+    ScopedMeasurement scope(pmu);
+    pmu.retire(5);
+  }
+  EXPECT_NO_THROW(pmu.read());
+}
+
+}  // namespace
+}  // namespace sce::hpc

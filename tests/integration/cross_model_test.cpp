@@ -1,0 +1,155 @@
+// Cross-model property tests: each simulator/kernel is checked against an
+// independent reference implementation of the same semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <unordered_map>
+
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "stats/nonparametric.hpp"
+#include "stats/t_test.hpp"
+#include "tests/nn/test_helpers.hpp"
+#include "uarch/cache.hpp"
+#include "uarch/trace.hpp"
+#include "hpc/simulated_pmu.hpp"
+#include "util/rng.hpp"
+
+namespace sce {
+namespace {
+
+TEST(CrossModel, OneByOneConvEqualsDense) {
+  // A 1x1 convolution over a 1x1 image is exactly a dense layer.
+  constexpr std::size_t kIn = 5;
+  constexpr std::size_t kOut = 3;
+  nn::Conv2D conv(kIn, kOut, 1);
+  nn::Dense dense(kIn, kOut);
+  util::Rng rng(91);
+  conv.initialize(rng);
+  // Copy conv weights into the dense layout ({in, out} vs {out, in, 1, 1}).
+  for (std::size_t o = 0; o < kOut; ++o)
+    for (std::size_t i = 0; i < kIn; ++i)
+      dense.weights()[i * kOut + o] = conv.weights()[o * kIn + i];
+
+  const nn::Tensor image = nn::testing::random_tensor({kIn, 1, 1}, 92);
+  const nn::Tensor vec = image.reshaped({kIn});
+  uarch::NullSink sink;
+  const nn::Tensor conv_out =
+      conv.forward(image, sink, nn::KernelMode::kConstantFlow);
+  const nn::Tensor dense_out =
+      dense.forward(vec, sink, nn::KernelMode::kConstantFlow);
+  ASSERT_EQ(conv_out.numel(), dense_out.numel());
+  for (std::size_t o = 0; o < kOut; ++o)
+    EXPECT_NEAR(conv_out[o], dense_out[o], 1e-5f);
+}
+
+TEST(CrossModel, DirectMappedCacheMatchesModuloReference) {
+  // Associativity 1: the cache is a pure tag-per-set map; replay a random
+  // trace against an explicit reference.
+  uarch::CacheConfig cfg;
+  cfg.size_bytes = 8 * 64;
+  cfg.associativity = 1;
+  cfg.line_bytes = 64;
+  cfg.policy = uarch::ReplacementPolicy::kLru;
+  uarch::CacheLevel cache(cfg);
+
+  std::unordered_map<std::uintptr_t, std::uintptr_t> reference;  // set->line
+  util::Rng rng(93);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uintptr_t line = rng.below(64);
+    const std::uintptr_t set = line % 8;
+    const bool expect_hit =
+        reference.count(set) != 0 && reference[set] == line;
+    EXPECT_EQ(cache.access(line * 64, false), expect_hit) << "step " << i;
+    reference[set] = line;
+  }
+}
+
+TEST(CrossModel, FullyAssociativeLruMatchesStackDistance) {
+  // Fully associative LRU hits iff the reuse (stack) distance is below
+  // the capacity; replay against an explicit LRU list reference.
+  constexpr std::size_t kWays = 16;
+  uarch::CacheConfig cfg;
+  cfg.size_bytes = kWays * 64;
+  cfg.associativity = kWays;
+  cfg.line_bytes = 64;
+  cfg.policy = uarch::ReplacementPolicy::kLru;
+  uarch::CacheLevel cache(cfg);
+
+  std::list<std::uintptr_t> lru;  // front = most recent
+  util::Rng rng(94);
+  for (int i = 0; i < 8000; ++i) {
+    const std::uintptr_t line = rng.below(40);
+    auto it = std::find(lru.begin(), lru.end(), line);
+    const bool expect_hit = it != lru.end();
+    if (expect_hit) lru.erase(it);
+    lru.push_front(line);
+    if (lru.size() > kWays) lru.pop_back();
+    EXPECT_EQ(cache.access(line * 64, false), expect_hit) << "step " << i;
+  }
+}
+
+TEST(CrossModel, WelchAndMannWhitneyAgreeOnNormalData) {
+  // On clean normal location shifts both tests must reach the same
+  // verdict (strongly separated or clearly null — skip the marginal zone).
+  util::Rng rng(95);
+  for (double delta : {0.0, 2.0, 5.0}) {
+    std::vector<double> a(60);
+    std::vector<double> b(60);
+    for (auto& x : a) x = rng.normal(0.0, 1.0);
+    for (auto& x : b) x = rng.normal(delta, 1.0);
+    const bool welch = stats::welch_t_test(a, b).significant(0.01);
+    const bool mwu = stats::mann_whitney_u(a, b).significant(0.01);
+    EXPECT_EQ(welch, mwu) << "delta=" << delta;
+    EXPECT_EQ(welch, delta > 0.0) << "delta=" << delta;
+  }
+}
+
+TEST(CrossModel, SimulatedPmuInstructionsMatchCountingSink) {
+  // The PMU's instruction counter must agree exactly with the plain
+  // tallying sink observing the same trace.
+  hpc::SimulatedPmuConfig cfg;
+  cfg.environment = hpc::SimulatedPmuConfig::no_environment();
+  hpc::SimulatedPmu pmu(cfg);
+  uarch::CountingSink counting;
+
+  nn::Conv2D conv(1, 2, 3);
+  util::Rng rng(96);
+  conv.initialize(rng);
+  const nn::Tensor input = nn::testing::random_tensor({1, 6, 6}, 97);
+
+  pmu.start();
+  uarch::TeeSink tee({&pmu, &counting});
+  (void)conv.forward(input, tee, nn::KernelMode::kDataDependent);
+  pmu.stop();
+  const hpc::CounterSample sample = pmu.read();
+  EXPECT_EQ(sample[hpc::HpcEvent::kInstructions], counting.instructions());
+  EXPECT_EQ(sample[hpc::HpcEvent::kBranches], counting.branches());
+}
+
+TEST(CrossModel, CacheMissesNeverExceedLineGranularAccesses) {
+  hpc::SimulatedPmuConfig cfg;
+  cfg.environment = hpc::SimulatedPmuConfig::no_environment();
+  hpc::SimulatedPmu pmu(cfg);
+  uarch::CountingSink counting;
+
+  nn::Dense dense(64, 32);
+  util::Rng rng(98);
+  dense.initialize(rng);
+  const nn::Tensor input = nn::testing::random_tensor({64}, 99);
+
+  pmu.start();
+  uarch::TeeSink tee({&pmu, &counting});
+  (void)dense.forward(input, tee, nn::KernelMode::kDataDependent);
+  pmu.stop();
+  const hpc::CounterSample sample = pmu.read();
+  EXPECT_LE(sample[hpc::HpcEvent::kCacheMisses],
+            counting.loads() + counting.stores());
+  EXPECT_LE(sample[hpc::HpcEvent::kCacheMisses],
+            sample[hpc::HpcEvent::kCacheReferences] + 1);
+  EXPECT_GT(sample[hpc::HpcEvent::kCacheMisses], 0u);
+}
+
+}  // namespace
+}  // namespace sce

@@ -1,0 +1,143 @@
+// End-to-end integration tests: the full paper pipeline on a small scale —
+// synthesize data, (optionally train,) classify under the simulated PMU,
+// t-test the distributions, raise (or not raise) the alarm, and exploit
+// the leak.
+#include <gtest/gtest.h>
+
+#include "core/attack.hpp"
+#include "core/evaluator.hpp"
+#include "core/report.hpp"
+#include "hpc/simulated_pmu.hpp"
+#include "nn/trainer.hpp"
+#include "tests/core/campaign_helpers.hpp"
+
+namespace sce::core {
+namespace {
+
+hpc::SimulatedPmuConfig quiet_config() {
+  hpc::SimulatedPmuConfig cfg;
+  cfg.environment = hpc::SimulatedPmuConfig::no_environment();
+  return cfg;
+}
+
+CampaignResult run_pipeline(nn::KernelMode mode, std::size_t samples = 20) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset(/*per_class=*/10);
+  hpc::SimulatedPmu pmu(quiet_config());
+  CampaignConfig cfg;
+  cfg.categories = {0, 1, 2, 3};
+  cfg.samples_per_category = samples;
+  cfg.kernel_mode = mode;
+  return run_campaign(model, ds, make_instrument(pmu), cfg);
+}
+
+TEST(EndToEnd, DataDependentKernelsLeakThroughCacheMisses) {
+  const CampaignResult campaign =
+      run_pipeline(nn::KernelMode::kDataDependent);
+  EvaluatorConfig cfg;
+  cfg.events = {hpc::HpcEvent::kCacheMisses, hpc::HpcEvent::kInstructions};
+  const LeakageAssessment assessment = evaluate(campaign, cfg);
+  EXPECT_TRUE(assessment.alarm_raised());
+}
+
+TEST(EndToEnd, ConstantFlowKernelsDoNotLeakInstructions) {
+  const CampaignResult campaign = run_pipeline(nn::KernelMode::kConstantFlow);
+  // Instruction/branch counts are exactly constant under constant flow:
+  // the t-test must find nothing.
+  EvaluatorConfig cfg;
+  cfg.events = {hpc::HpcEvent::kInstructions, hpc::HpcEvent::kBranches};
+  const LeakageAssessment assessment = evaluate(campaign, cfg);
+  EXPECT_FALSE(assessment.alarm_raised());
+}
+
+TEST(EndToEnd, AttackRecoversCategoriesFromLeakyKernels) {
+  const CampaignResult campaign =
+      run_pipeline(nn::KernelMode::kDataDependent, /*samples=*/40);
+  AttackConfig cfg;
+  cfg.model = AttackModel::kGaussianNaiveBayes;
+  // Restrict to address-independent counters so the test outcome does not
+  // depend on heap layout (which varies with test ordering); these carry
+  // the sparsity signal deterministically.
+  cfg.features = {hpc::HpcEvent::kInstructions, hpc::HpcEvent::kBranches,
+                  hpc::HpcEvent::kBranchMisses};
+  const AttackResult result = recover_inputs(campaign, cfg);
+  // 4 categories, chance = 25%; the tiny untrained CNN leaks enough for a
+  // clearly above-chance recovery (the full-size models in the benches
+  // reach much higher accuracy).
+  EXPECT_GT(result.accuracy(), 0.38);
+}
+
+TEST(EndToEnd, PipelineIsDeterministicWithinProcess) {
+  const CampaignResult first = run_pipeline(nn::KernelMode::kDataDependent,
+                                            /*samples=*/8);
+  const CampaignResult second = run_pipeline(nn::KernelMode::kDataDependent,
+                                             /*samples=*/8);
+  for (hpc::HpcEvent e :
+       {hpc::HpcEvent::kInstructions, hpc::HpcEvent::kBranches}) {
+    for (std::size_t c = 0; c < first.category_count(); ++c)
+      EXPECT_EQ(first.of(e, c), second.of(e, c)) << hpc::to_string(e);
+  }
+}
+
+TEST(EndToEnd, TrainedModelStillLeaks) {
+  // Training sharpens class-selective activations; the leak must survive.
+  nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset(/*per_class=*/12);
+  nn::TrainConfig train_cfg;
+  train_cfg.epochs = 3;
+  nn::train(model, ds, train_cfg);
+
+  hpc::SimulatedPmu pmu(quiet_config());
+  CampaignConfig cfg;
+  cfg.categories = {0, 1, 2, 3};
+  cfg.samples_per_category = 48;
+  const CampaignResult campaign =
+      run_campaign(model, ds, make_instrument(pmu), cfg);
+  // Address-independent events only: their per-image counts are exact
+  // functions of the input, so the verdict does not depend on the heap
+  // layout the test happens to run under.
+  EvaluatorConfig eval_cfg;
+  eval_cfg.events = {hpc::HpcEvent::kInstructions,
+                     hpc::HpcEvent::kBranches,
+                     hpc::HpcEvent::kBranchMisses};
+  const LeakageAssessment assessment = evaluate(campaign, eval_cfg);
+  EXPECT_TRUE(assessment.alarm_raised());
+}
+
+TEST(EndToEnd, ReportPipelineRenders) {
+  const CampaignResult campaign =
+      run_pipeline(nn::KernelMode::kDataDependent, /*samples=*/10);
+  const LeakageAssessment assessment = evaluate(campaign);
+  EXPECT_FALSE(render_report(assessment).empty());
+  EXPECT_FALSE(render_csv(assessment).empty());
+  EXPECT_FALSE(
+      render_paper_table(assessment, {hpc::HpcEvent::kCacheMisses}).empty());
+  EXPECT_FALSE(
+      render_distributions(campaign, hpc::HpcEvent::kCacheMisses).empty());
+}
+
+TEST(EndToEnd, EnvironmentNoiseWeakensButPreservesStrongLeaks) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset(/*per_class=*/10);
+
+  hpc::SimulatedPmuConfig noisy_cfg;  // default environment
+  hpc::SimulatedPmu noisy(noisy_cfg);
+  CampaignConfig cfg;
+  cfg.categories = {0, 1, 2, 3};
+  cfg.samples_per_category = 25;
+  const CampaignResult noisy_campaign =
+      run_campaign(model, ds, make_instrument(noisy), cfg);
+
+  hpc::SimulatedPmu quiet(quiet_config());
+  const CampaignResult quiet_campaign =
+      run_campaign(model, ds, make_instrument(quiet), cfg);
+
+  EvaluatorConfig eval_cfg;
+  eval_cfg.events = {hpc::HpcEvent::kCacheMisses};
+  const auto noisy_assessment = evaluate(noisy_campaign, eval_cfg);
+  const auto quiet_assessment = evaluate(quiet_campaign, eval_cfg);
+  EXPECT_LE(noisy_assessment.alarms.size(), quiet_assessment.alarms.size());
+}
+
+}  // namespace
+}  // namespace sce::core

@@ -1,0 +1,98 @@
+#include "nn/activation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "uarch/trace.hpp"
+#include "util/error.hpp"
+
+namespace sce::nn {
+namespace {
+
+TEST(ReLU, ZeroesNegativesKeepsPositives) {
+  ReLU relu;
+  const Tensor input({5}, {-2.0f, -0.5f, 0.0f, 0.5f, 2.0f});
+  uarch::NullSink sink;
+  const Tensor out = relu.forward(input, sink, KernelMode::kDataDependent);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 0.0f);
+  EXPECT_FLOAT_EQ(out[3], 0.5f);
+  EXPECT_FLOAT_EQ(out[4], 2.0f);
+}
+
+TEST(ReLU, ShapePreserved) {
+  ReLU relu;
+  EXPECT_EQ(relu.output_shape({3, 4, 5}),
+            (std::vector<std::size_t>{3, 4, 5}));
+}
+
+TEST(ReLU, ModesAgree) {
+  ReLU relu;
+  const Tensor input = testing::random_tensor({2, 3, 3}, 31);
+  uarch::NullSink sink;
+  const Tensor a = relu.forward(input, sink, KernelMode::kDataDependent);
+  const Tensor b = relu.forward(input, sink, KernelMode::kConstantFlow);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(ReLU, BranchPerElementTakenOnNegatives) {
+  ReLU relu;
+  const Tensor input({4}, {-1.0f, 2.0f, -3.0f, 4.0f});
+  uarch::CountingSink counts;
+  relu.forward(input, counts, KernelMode::kDataDependent);
+  // 4 sign branches + 4 structural loop branches.
+  EXPECT_EQ(counts.branches(), 8u);
+  // 2 negatives taken + 4 structural (always taken).
+  EXPECT_EQ(counts.taken_branches(), 6u);
+  EXPECT_EQ(counts.loads(), 4u);
+  EXPECT_EQ(counts.stores(), 4u);
+}
+
+TEST(ReLU, ConstantFlowBranchCountInputIndependent) {
+  ReLU relu;
+  const Tensor all_neg({3}, {-1.0f, -2.0f, -3.0f});
+  const Tensor all_pos({3}, {1.0f, 2.0f, 3.0f});
+  uarch::CountingSink a;
+  uarch::CountingSink b;
+  relu.forward(all_neg, a, KernelMode::kConstantFlow);
+  relu.forward(all_pos, b, KernelMode::kConstantFlow);
+  EXPECT_EQ(a.branches(), b.branches());
+  EXPECT_EQ(a.taken_branches(), b.taken_branches());
+  EXPECT_EQ(a.instructions(), b.instructions());
+}
+
+TEST(ReLU, OutputSparsityTracksNegatives) {
+  ReLU relu;
+  const Tensor input({4}, {-1.0f, 1.0f, -2.0f, 2.0f});
+  uarch::NullSink sink;
+  const Tensor out = relu.forward(input, sink, KernelMode::kDataDependent);
+  EXPECT_DOUBLE_EQ(out.sparsity(), 0.5);
+}
+
+TEST(ReLU, BackwardMasksByInputSign) {
+  ReLU relu;
+  const Tensor input({4}, {-1.0f, 2.0f, -3.0f, 4.0f});
+  relu.train_forward(input);
+  const Tensor grad_out({4}, {10.0f, 20.0f, 30.0f, 40.0f});
+  const Tensor grad_in = relu.backward(grad_out);
+  EXPECT_FLOAT_EQ(grad_in[0], 0.0f);
+  EXPECT_FLOAT_EQ(grad_in[1], 20.0f);
+  EXPECT_FLOAT_EQ(grad_in[2], 0.0f);
+  EXPECT_FLOAT_EQ(grad_in[3], 40.0f);
+}
+
+TEST(ReLU, InputGradientMatchesNumeric) {
+  ReLU relu;
+  testing::check_input_gradient(relu, testing::random_tensor({2, 4, 3}, 32));
+}
+
+TEST(ReLU, BackwardErrors) {
+  ReLU relu;
+  EXPECT_THROW(relu.backward(Tensor({2})), InvalidArgument);
+  relu.train_forward(Tensor({3}));
+  EXPECT_THROW(relu.backward(Tensor({2})), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sce::nn

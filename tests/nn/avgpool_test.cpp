@@ -1,0 +1,84 @@
+#include "nn/avgpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "uarch/trace.hpp"
+#include "util/error.hpp"
+
+namespace sce::nn {
+namespace {
+
+TEST(AvgPool2D, AveragesWindows) {
+  AvgPool2D pool(2);
+  const Tensor input({1, 2, 4}, {1, 3, 5, 7,
+                                 2, 4, 6, 8});
+  uarch::NullSink sink;
+  const Tensor out = pool.forward(input, sink, KernelMode::kDataDependent);
+  ASSERT_EQ(out.shape(), (std::vector<std::size_t>{1, 1, 2}));
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+  EXPECT_FLOAT_EQ(out[1], 6.5f);
+}
+
+TEST(AvgPool2D, ShapeAndErrors) {
+  AvgPool2D pool(3);
+  EXPECT_EQ(pool.output_shape({2, 9, 10}),
+            (std::vector<std::size_t>{2, 3, 3}));
+  EXPECT_THROW(pool.output_shape({2, 2, 9}), InvalidArgument);
+  EXPECT_THROW(AvgPool2D(0), InvalidArgument);
+}
+
+TEST(AvgPool2D, TraceIsInputIndependentInBothModes) {
+  AvgPool2D pool(2);
+  const Tensor a = testing::random_tensor({2, 4, 4}, 71);
+  Tensor zeros({2, 4, 4});
+  for (auto mode : {KernelMode::kDataDependent, KernelMode::kConstantFlow}) {
+    uarch::CountingSink ca;
+    uarch::CountingSink cz;
+    pool.forward(a, ca, mode);
+    pool.forward(zeros, cz, mode);
+    EXPECT_EQ(ca.loads(), cz.loads());
+    EXPECT_EQ(ca.branches(), cz.branches());
+    EXPECT_EQ(ca.instructions(), cz.instructions());
+  }
+}
+
+TEST(AvgPool2D, EmitsNoConditionalBranches) {
+  AvgPool2D pool(2);
+  uarch::RecordingSink recording;
+  pool.forward(testing::random_tensor({1, 4, 4}, 72), recording,
+               KernelMode::kDataDependent);
+  for (const auto& event : recording.events())
+    EXPECT_NE(event.kind, uarch::RecordingSink::Kind::kBranch);
+}
+
+TEST(AvgPool2D, BackwardSpreadsGradientUniformly) {
+  AvgPool2D pool(2);
+  pool.train_forward(Tensor({1, 2, 2}, {1, 2, 3, 4}));
+  const Tensor grad_in = pool.backward(Tensor({1, 1, 1}, {8.0f}));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(grad_in[i], 2.0f);
+}
+
+TEST(AvgPool2D, GradientMatchesNumeric) {
+  AvgPool2D pool(2);
+  testing::check_input_gradient(pool, testing::random_tensor({2, 4, 4}, 73));
+}
+
+TEST(AvgPool2D, BackwardBeforeForwardThrows) {
+  AvgPool2D pool(2);
+  EXPECT_THROW(pool.backward(Tensor({1, 1, 1})), InvalidArgument);
+}
+
+TEST(AvgPool2D, TrainForwardMatchesInference) {
+  AvgPool2D pool(2);
+  const Tensor input = testing::random_tensor({3, 6, 6}, 74);
+  uarch::NullSink sink;
+  const Tensor inference =
+      pool.forward(input, sink, KernelMode::kDataDependent);
+  const Tensor training = pool.train_forward(input);
+  for (std::size_t i = 0; i < inference.numel(); ++i)
+    EXPECT_FLOAT_EQ(inference[i], training[i]);
+}
+
+}  // namespace
+}  // namespace sce::nn

@@ -1,0 +1,142 @@
+// Tests for the Conv2D extensions: stride, padding and the im2col/GEMM
+// execution strategy.
+#include <gtest/gtest.h>
+
+#include "nn/conv.hpp"
+#include "test_helpers.hpp"
+#include "uarch/trace.hpp"
+#include "util/error.hpp"
+
+namespace sce::nn {
+namespace {
+
+TEST(Conv2DStride, OutputShape) {
+  Conv2D conv(1, 1, 3, /*stride=*/2);
+  EXPECT_EQ(conv.output_shape({1, 7, 7}), (std::vector<std::size_t>{1, 3, 3}));
+  EXPECT_EQ(conv.output_shape({1, 8, 8}), (std::vector<std::size_t>{1, 3, 3}));
+}
+
+TEST(Conv2DStride, SubsamplesCorrectly) {
+  // 1x1 kernel with stride 2 is pure subsampling.
+  Conv2D conv(1, 1, 1, /*stride=*/2);
+  conv.weights().values() = {1.0f};
+  const Tensor input({1, 4, 4}, {0, 1, 2, 3,
+                                 4, 5, 6, 7,
+                                 8, 9, 10, 11,
+                                 12, 13, 14, 15});
+  uarch::NullSink sink;
+  const Tensor out = conv.forward(input, sink, KernelMode::kConstantFlow);
+  ASSERT_EQ(out.shape(), (std::vector<std::size_t>{1, 2, 2}));
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f);
+  EXPECT_FLOAT_EQ(out[2], 8.0f);
+  EXPECT_FLOAT_EQ(out[3], 10.0f);
+}
+
+TEST(Conv2DPadding, SamePaddingKeepsSpatialSize) {
+  Conv2D conv(1, 2, 3, /*stride=*/1, /*padding=*/1);
+  EXPECT_EQ(conv.output_shape({1, 8, 8}),
+            (std::vector<std::size_t>{2, 8, 8}));
+}
+
+TEST(Conv2DPadding, BorderSumsMatchHandComputation) {
+  // 3x3 all-ones kernel, padding 1: corner output = sum of the 2x2 corner.
+  Conv2D conv(1, 1, 3, 1, 1);
+  conv.weights().fill(1.0f);
+  const Tensor input({1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  uarch::NullSink sink;
+  const Tensor out = conv.forward(input, sink, KernelMode::kConstantFlow);
+  ASSERT_EQ(out.shape(), (std::vector<std::size_t>{1, 3, 3}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1 + 2 + 4 + 5);        // corner
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 45.0f);                // full window
+  EXPECT_FLOAT_EQ(out.at(0, 2, 2), 5 + 6 + 8 + 9);        // corner
+}
+
+TEST(Conv2DPadding, PaddedPositionsEmitNoLoads) {
+  Conv2D conv(1, 1, 3, 1, 1);
+  conv.weights().fill(1.0f);
+  Tensor ones({1, 3, 3});
+  ones.fill(1.0f);
+  uarch::CountingSink counts;
+  conv.forward(ones, counts, KernelMode::kConstantFlow);
+  // Interior input loads: sum over the 9 outputs of valid window cells =
+  // 4*4 (corners) + 4*6 (edges) + 9 (center) = 49. Plus 9 bias loads and
+  // 49 weight loads.
+  EXPECT_EQ(counts.loads(), 9u + 2u * 49u);
+}
+
+TEST(Conv2DStride, GradientMatchesNumeric) {
+  Conv2D conv(2, 2, 3, /*stride=*/2, /*padding=*/1);
+  util::Rng rng(55);
+  conv.initialize(rng);
+  testing::check_input_gradient(conv, testing::random_tensor({2, 6, 6}, 56));
+}
+
+TEST(Conv2D, ConstructorValidatesStridePadding) {
+  EXPECT_THROW(Conv2D(1, 1, 3, 0), InvalidArgument);
+  EXPECT_THROW(Conv2D(1, 1, 3, 1, 3), InvalidArgument);
+}
+
+TEST(ConvAlgorithm, Names) {
+  EXPECT_EQ(to_string(ConvAlgorithm::kDirect), "direct");
+  EXPECT_EQ(to_string(ConvAlgorithm::kIm2col), "im2col");
+}
+
+TEST(ConvAlgorithm, Im2colMatchesDirectNumerically) {
+  Conv2D conv(3, 4, 3, /*stride=*/1, /*padding=*/1);
+  util::Rng rng(57);
+  conv.initialize(rng);
+  const Tensor input = testing::random_tensor({3, 7, 7}, 58);
+  uarch::NullSink sink;
+  const Tensor direct = conv.forward(input, sink, KernelMode::kConstantFlow);
+  conv.set_algorithm(ConvAlgorithm::kIm2col);
+  const Tensor gemm = conv.forward(input, sink, KernelMode::kConstantFlow);
+  ASSERT_TRUE(direct.same_shape(gemm));
+  for (std::size_t i = 0; i < direct.numel(); ++i)
+    EXPECT_NEAR(direct[i], gemm[i], 1e-5f);
+}
+
+TEST(ConvAlgorithm, Im2colMatchesDirectWithStride) {
+  Conv2D conv(2, 3, 3, /*stride=*/2);
+  util::Rng rng(59);
+  conv.initialize(rng);
+  const Tensor input = testing::random_tensor({2, 9, 9}, 60);
+  uarch::NullSink sink;
+  const Tensor direct = conv.forward(input, sink, KernelMode::kConstantFlow);
+  conv.set_algorithm(ConvAlgorithm::kIm2col);
+  const Tensor gemm = conv.forward(input, sink, KernelMode::kDataDependent);
+  for (std::size_t i = 0; i < direct.numel(); ++i)
+    EXPECT_NEAR(direct[i], gemm[i], 1e-5f);
+}
+
+TEST(ConvAlgorithm, Im2colHasMoreMemoryTraffic) {
+  Conv2D conv(2, 4, 3);
+  util::Rng rng(61);
+  conv.initialize(rng);
+  const Tensor input = testing::random_tensor({2, 8, 8}, 62);
+  uarch::CountingSink direct_counts;
+  conv.forward(input, direct_counts, KernelMode::kConstantFlow);
+  conv.set_algorithm(ConvAlgorithm::kIm2col);
+  uarch::CountingSink gemm_counts;
+  conv.forward(input, gemm_counts, KernelMode::kConstantFlow);
+  // The materialized patch matrix adds a store per patch element.
+  EXPECT_GT(gemm_counts.stores(), direct_counts.stores());
+  EXPECT_GT(gemm_counts.store_bytes(), direct_counts.store_bytes());
+}
+
+TEST(ConvAlgorithm, Im2colZeroSkipStillLeaksSparsity) {
+  Conv2D conv(1, 2, 3);
+  conv.set_algorithm(ConvAlgorithm::kIm2col);
+  util::Rng rng(63);
+  conv.initialize(rng);
+  Tensor dense_input = testing::random_tensor({1, 6, 6}, 64);
+  Tensor zero_input({1, 6, 6});
+  uarch::CountingSink dense_counts;
+  uarch::CountingSink zero_counts;
+  conv.forward(dense_input, dense_counts, KernelMode::kDataDependent);
+  conv.forward(zero_input, zero_counts, KernelMode::kDataDependent);
+  EXPECT_LT(zero_counts.loads(), dense_counts.loads());
+}
+
+}  // namespace
+}  // namespace sce::nn

@@ -1,0 +1,102 @@
+// Property sweep: Conv2D (both execution strategies, both kernel modes)
+// against an independently written reference convolution, across a grid
+// of shapes, strides and paddings.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "nn/conv.hpp"
+#include "test_helpers.hpp"
+#include "uarch/trace.hpp"
+
+namespace sce::nn {
+namespace {
+
+// Deliberately different structure from the production kernel: output-
+// centric gather with explicit bounds tests, no skipping, double
+// accumulation.
+Tensor reference_conv(const Tensor& input, const Tensor& weights,
+                      const std::vector<float>& bias, std::size_t stride,
+                      std::size_t padding) {
+  const std::size_t in_c = input.dim(0);
+  const std::size_t in_h = input.dim(1);
+  const std::size_t in_w = input.dim(2);
+  const std::size_t out_c = weights.dim(0);
+  const std::size_t k = weights.dim(2);
+  const std::size_t out_h = (in_h + 2 * padding - k) / stride + 1;
+  const std::size_t out_w = (in_w + 2 * padding - k) / stride + 1;
+  Tensor out({out_c, out_h, out_w});
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        double acc = bias[oc];
+        for (std::size_t ic = 0; ic < in_c; ++ic) {
+          for (std::size_t ky = 0; ky < k; ++ky) {
+            for (std::size_t kx = 0; kx < k; ++kx) {
+              const long iy = static_cast<long>(oy * stride + ky) -
+                              static_cast<long>(padding);
+              const long ix = static_cast<long>(ox * stride + kx) -
+                              static_cast<long>(padding);
+              if (iy < 0 || ix < 0 || iy >= static_cast<long>(in_h) ||
+                  ix >= static_cast<long>(in_w))
+                continue;
+              acc += static_cast<double>(
+                         input.at(ic, static_cast<std::size_t>(iy),
+                                  static_cast<std::size_t>(ix))) *
+                     weights[((oc * in_c + ic) * k + ky) * k + kx];
+            }
+          }
+        }
+        out.at(oc, oy, ox) = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+struct ConvCase {
+  std::size_t in_c, out_c, k, stride, padding, h, w;
+};
+
+class ConvReferenceSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvReferenceSweep, AllPathsMatchReference) {
+  const ConvCase c = GetParam();
+  Conv2D conv(c.in_c, c.out_c, c.k, c.stride, c.padding);
+  util::Rng rng(7 * c.k + 13 * c.stride + c.h);
+  conv.initialize(rng);
+  Tensor input = testing::random_tensor({c.in_c, c.h, c.w},
+                                        100 + c.k + c.stride);
+  // Inject exact zeros to exercise the skipping paths.
+  for (std::size_t i = 0; i < input.numel(); i += 5) input[i] = 0.0f;
+
+  const Tensor expected = reference_conv(input, conv.weights(), conv.bias(),
+                                         c.stride, c.padding);
+  uarch::NullSink sink;
+  for (auto algorithm : {ConvAlgorithm::kDirect, ConvAlgorithm::kIm2col}) {
+    conv.set_algorithm(algorithm);
+    for (auto mode :
+         {KernelMode::kDataDependent, KernelMode::kConstantFlow}) {
+      const Tensor got = conv.forward(input, sink, mode);
+      ASSERT_TRUE(got.same_shape(expected))
+          << to_string(algorithm) << "/" << to_string(mode);
+      for (std::size_t i = 0; i < got.numel(); ++i)
+        EXPECT_NEAR(got[i], expected[i], 1e-4f)
+            << to_string(algorithm) << "/" << to_string(mode) << " at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, ConvReferenceSweep,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 0, 5, 5},
+                      ConvCase{1, 2, 3, 1, 0, 6, 6},
+                      ConvCase{2, 3, 3, 1, 1, 7, 5},
+                      ConvCase{3, 2, 5, 1, 2, 8, 8},
+                      ConvCase{2, 2, 3, 2, 0, 9, 9},
+                      ConvCase{2, 4, 3, 2, 1, 8, 10},
+                      ConvCase{4, 1, 2, 3, 1, 10, 7},
+                      ConvCase{1, 8, 5, 2, 2, 11, 11}));
+
+}  // namespace
+}  // namespace sce::nn

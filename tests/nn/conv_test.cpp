@@ -1,0 +1,219 @@
+#include "nn/conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "uarch/trace.hpp"
+#include "util/error.hpp"
+
+namespace sce::nn {
+namespace {
+
+TEST(Conv2D, OutputShapeValidPadding) {
+  Conv2D conv(3, 8, 5);
+  const auto out = conv.output_shape({3, 28, 28});
+  EXPECT_EQ(out, (std::vector<std::size_t>{8, 24, 24}));
+}
+
+TEST(Conv2D, ShapeValidationErrors) {
+  Conv2D conv(3, 8, 5);
+  EXPECT_THROW(conv.output_shape({2, 28, 28}), InvalidArgument);  // channels
+  EXPECT_THROW(conv.output_shape({3, 4, 28}), InvalidArgument);   // too small
+  EXPECT_THROW(conv.output_shape({3, 28}), InvalidArgument);      // rank
+}
+
+TEST(Conv2D, ConstructorValidation) {
+  EXPECT_THROW(Conv2D(0, 1, 3), InvalidArgument);
+  EXPECT_THROW(Conv2D(1, 0, 3), InvalidArgument);
+  EXPECT_THROW(Conv2D(1, 1, 0), InvalidArgument);
+}
+
+TEST(Conv2D, ParameterCount) {
+  Conv2D conv(3, 8, 5);
+  EXPECT_EQ(conv.parameter_count(), 3u * 8u * 25u + 8u);
+}
+
+TEST(Conv2D, HandComputedConvolution) {
+  // 1-channel 3x3 input, 2x2 kernel of ones, bias 0.5:
+  // out(y,x) = sum of the 2x2 window + 0.5.
+  Conv2D conv(1, 1, 2);
+  conv.weights().fill(1.0f);
+  conv.bias()[0] = 0.5f;
+  const Tensor input({1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  uarch::NullSink sink;
+  const Tensor out = conv.forward(input, sink, KernelMode::kConstantFlow);
+  ASSERT_EQ(out.shape(), (std::vector<std::size_t>{1, 2, 2}));
+  EXPECT_FLOAT_EQ(out[0], 1 + 2 + 4 + 5 + 0.5f);
+  EXPECT_FLOAT_EQ(out[1], 2 + 3 + 5 + 6 + 0.5f);
+  EXPECT_FLOAT_EQ(out[2], 4 + 5 + 7 + 8 + 0.5f);
+  EXPECT_FLOAT_EQ(out[3], 5 + 6 + 8 + 9 + 0.5f);
+}
+
+TEST(Conv2D, MultiChannelAccumulation) {
+  Conv2D conv(2, 1, 1);  // 1x1 kernel: weighted channel sum
+  conv.weights().values() = {2.0f, 3.0f};
+  const Tensor input({2, 1, 2}, {1.0f, 2.0f, 10.0f, 20.0f});
+  uarch::NullSink sink;
+  const Tensor out = conv.forward(input, sink, KernelMode::kConstantFlow);
+  EXPECT_FLOAT_EQ(out[0], 2.0f * 1.0f + 3.0f * 10.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f * 2.0f + 3.0f * 20.0f);
+}
+
+TEST(Conv2D, KernelModesProduceIdenticalOutputs) {
+  Conv2D conv(2, 3, 3);
+  util::Rng rng(11);
+  conv.initialize(rng);
+  Tensor input = testing::random_tensor({2, 6, 6}, 12);
+  // Force exact zeros so the data-dependent path actually skips.
+  for (std::size_t i = 0; i < input.numel(); i += 3) input[i] = 0.0f;
+  uarch::NullSink sink;
+  const Tensor a = conv.forward(input, sink, KernelMode::kDataDependent);
+  const Tensor b = conv.forward(input, sink, KernelMode::kConstantFlow);
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Conv2D, ConstantFlowTraceIsInputIndependent) {
+  Conv2D conv(1, 2, 3);
+  util::Rng rng(13);
+  conv.initialize(rng);
+  const Tensor dense_input = testing::random_tensor({1, 5, 5}, 1);
+  Tensor sparse_input = dense_input;
+  for (std::size_t i = 0; i < sparse_input.numel(); i += 2)
+    sparse_input[i] = 0.0f;
+
+  uarch::CountingSink dense_counts;
+  uarch::CountingSink sparse_counts;
+  conv.forward(dense_input, dense_counts, KernelMode::kConstantFlow);
+  conv.forward(sparse_input, sparse_counts, KernelMode::kConstantFlow);
+  EXPECT_EQ(dense_counts.loads(), sparse_counts.loads());
+  EXPECT_EQ(dense_counts.branches(), sparse_counts.branches());
+  EXPECT_EQ(dense_counts.instructions(), sparse_counts.instructions());
+}
+
+TEST(Conv2D, DataDependentTraceSkipsZeroWork) {
+  Conv2D conv(1, 2, 3);
+  util::Rng rng(14);
+  conv.initialize(rng);
+  const Tensor dense_input = testing::random_tensor({1, 5, 5}, 2);
+  Tensor zero_input({1, 5, 5});
+
+  uarch::CountingSink dense_counts;
+  uarch::CountingSink zero_counts;
+  conv.forward(dense_input, dense_counts, KernelMode::kDataDependent);
+  conv.forward(zero_input, zero_counts, KernelMode::kDataDependent);
+  // All-zero input elides every weight load and MAC.
+  EXPECT_LT(zero_counts.loads(), dense_counts.loads());
+  EXPECT_LT(zero_counts.retired(), dense_counts.retired());
+  // Skip branches are all taken for the zero input, plus the structural
+  // loop back-edges (always taken): per output pixel
+  // in_c*k*k + in_c*k + in_c + 1 = 9 + 3 + 1 + 1 = 14, over 2*3*3 pixels.
+  const std::uint64_t skip_taken = 2u * 3u * 3u * 3u * 3u;
+  const std::uint64_t structural = 2u * 3u * 3u * 14u;
+  EXPECT_EQ(zero_counts.taken_branches(), skip_taken + structural);
+}
+
+TEST(Conv2D, DataDependentLoadCountFormula) {
+  // For an all-nonzero input: per output pixel 1 bias load + per element
+  // (input load + weight load); zero input: 1 bias + input loads only.
+  Conv2D conv(1, 1, 2);
+  conv.weights().fill(1.0f);
+  Tensor ones({1, 3, 3});
+  ones.fill(1.0f);
+  uarch::CountingSink counts;
+  conv.forward(ones, counts, KernelMode::kDataDependent);
+  const std::uint64_t outputs = 4;
+  const std::uint64_t elements_per_output = 4;
+  EXPECT_EQ(counts.loads(), outputs * (1 + 2 * elements_per_output));
+  EXPECT_EQ(counts.stores(), outputs);
+}
+
+TEST(Conv2D, InputGradientMatchesNumeric) {
+  Conv2D conv(2, 2, 3);
+  util::Rng rng(15);
+  conv.initialize(rng);
+  testing::check_input_gradient(conv, testing::random_tensor({2, 5, 5}, 16));
+}
+
+TEST(Conv2D, WeightGradientMatchesNumeric) {
+  Conv2D conv(1, 2, 2);
+  util::Rng rng(17);
+  conv.initialize(rng);
+  const Tensor input = testing::random_tensor({1, 4, 4}, 18);
+
+  const Tensor y = conv.train_forward(input);
+  testing::ProbeLoss probe(y.numel());
+  conv.backward(probe.gradient(y.shape()));
+
+  // Recover the accumulated weight gradient through sgd_step with lr=1,
+  // momentum=0: new_w = w - grad.
+  Tensor before = conv.weights();
+  std::vector<float> bias_before = conv.bias();
+  Conv2D probe_conv = conv;  // copy retains accumulated gradients
+  probe_conv.sgd_step(1.0f, 0.0f);
+
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < before.numel(); i += 3) {
+    Conv2D plus = conv;
+    plus.weights()[i] = before[i] + eps;
+    Conv2D minus = conv;
+    minus.weights()[i] = before[i] - eps;
+    const double numeric = (probe.value(plus.train_forward(input)) -
+                            probe.value(minus.train_forward(input))) /
+                           (2.0 * eps);
+    // sgd_step clips per-component gradients at kGradClip; only compare
+    // components inside the linear region.
+    if (std::fabs(numeric) >= 0.95) continue;
+    const double analytic = before[i] - probe_conv.weights()[i];
+    EXPECT_NEAR(analytic, numeric, 2e-2 * std::max(1.0, std::fabs(numeric)))
+        << "weight " << i;
+  }
+}
+
+TEST(Conv2D, BackwardBeforeForwardThrows) {
+  Conv2D conv(1, 1, 2);
+  EXPECT_THROW(conv.backward(Tensor({1, 2, 2})), InvalidArgument);
+}
+
+TEST(Conv2D, BackwardShapeMismatchThrows) {
+  Conv2D conv(1, 1, 2);
+  conv.train_forward(Tensor({1, 3, 3}));
+  EXPECT_THROW(conv.backward(Tensor({1, 3, 3})), InvalidArgument);
+}
+
+TEST(Conv2D, InitializeHeScale) {
+  Conv2D conv(8, 16, 3);
+  util::Rng rng(19);
+  conv.initialize(rng);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const std::size_t n = conv.weights().numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += conv.weights()[i];
+    sum_sq += static_cast<double>(conv.weights()[i]) * conv.weights()[i];
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double var = sum_sq / static_cast<double>(n) - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 2.0 / (8 * 9), 0.005);
+  for (float b : conv.bias()) EXPECT_FLOAT_EQ(b, 0.0f);
+}
+
+TEST(Conv2D, SgdStepAppliesAndClearsGradient) {
+  Conv2D conv(1, 1, 1);
+  conv.weights().values() = {1.0f};
+  const Tensor input({1, 1, 1}, {2.0f});
+  conv.train_forward(input);
+  Tensor grad({1, 1, 1}, {1.0f});
+  conv.backward(grad);
+  conv.sgd_step(0.1f, 0.0f);
+  // dL/dw = go * x = 2 -> clipped to 1 -> w = 1 - 0.1*1.
+  EXPECT_NEAR(conv.weights()[0], 0.9f, 1e-6f);
+  // Second step without new backward must not move weights further
+  // (gradient was cleared), only momentum (0) applies.
+  conv.sgd_step(0.1f, 0.0f);
+  EXPECT_NEAR(conv.weights()[0], 0.9f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace sce::nn

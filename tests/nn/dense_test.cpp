@@ -1,0 +1,166 @@
+#include "nn/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "uarch/trace.hpp"
+#include "util/error.hpp"
+
+namespace sce::nn {
+namespace {
+
+TEST(Dense, KnownMatVec) {
+  Dense dense(2, 3);
+  // Weights are {in, out}: row i holds input i's weights.
+  dense.weights().values() = {1.0f, 2.0f, 3.0f,   // input 0
+                              4.0f, 5.0f, 6.0f};  // input 1
+  const Tensor input({2}, {10.0f, 100.0f});
+  uarch::NullSink sink;
+  const Tensor out = dense.forward(input, sink, KernelMode::kConstantFlow);
+  EXPECT_FLOAT_EQ(out[0], 10.0f * 1 + 100.0f * 4);
+  EXPECT_FLOAT_EQ(out[1], 10.0f * 2 + 100.0f * 5);
+  EXPECT_FLOAT_EQ(out[2], 10.0f * 3 + 100.0f * 6);
+}
+
+TEST(Dense, OutputShapeAcceptsAnyRankWithMatchingCount) {
+  Dense dense(12, 4);
+  EXPECT_EQ(dense.output_shape({12}), (std::vector<std::size_t>{4}));
+  EXPECT_EQ(dense.output_shape({3, 2, 2}), (std::vector<std::size_t>{4}));
+  EXPECT_THROW(dense.output_shape({11}), InvalidArgument);
+}
+
+TEST(Dense, ConstructorValidation) {
+  EXPECT_THROW(Dense(0, 3), InvalidArgument);
+  EXPECT_THROW(Dense(3, 0), InvalidArgument);
+}
+
+TEST(Dense, ParameterCount) {
+  Dense dense(10, 5);
+  EXPECT_EQ(dense.parameter_count(), 55u);
+}
+
+TEST(Dense, ModesAgreeWithSparseInput) {
+  Dense dense(6, 4);
+  util::Rng rng(41);
+  dense.initialize(rng);
+  Tensor input = testing::random_tensor({6}, 42);
+  input[1] = 0.0f;
+  input[4] = 0.0f;
+  uarch::NullSink sink;
+  const Tensor a = dense.forward(input, sink, KernelMode::kDataDependent);
+  const Tensor b = dense.forward(input, sink, KernelMode::kConstantFlow);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Dense, RowSkipElidesLoadsAndBranches) {
+  Dense dense(8, 16);
+  util::Rng rng(43);
+  dense.initialize(rng);
+  Tensor dense_input = testing::random_tensor({8}, 44);
+  Tensor sparse_input = dense_input;
+  sparse_input[2] = 0.0f;
+  sparse_input[5] = 0.0f;
+  sparse_input[7] = 0.0f;
+
+  uarch::CountingSink full;
+  uarch::CountingSink sparse;
+  dense.forward(dense_input, full, KernelMode::kDataDependent);
+  dense.forward(sparse_input, sparse, KernelMode::kDataDependent);
+  // Each skipped row elides out_features weight loads...
+  EXPECT_EQ(full.loads() - sparse.loads(), 3u * 16u);
+  // ...and out_features + 1 structural branches.
+  EXPECT_EQ(full.branches() - sparse.branches(), 3u * 17u);
+}
+
+TEST(Dense, ConstantFlowIsInputIndependent) {
+  Dense dense(8, 4);
+  util::Rng rng(45);
+  dense.initialize(rng);
+  Tensor zeros({8});
+  const Tensor values = testing::random_tensor({8}, 46);
+  uarch::CountingSink a;
+  uarch::CountingSink b;
+  dense.forward(zeros, a, KernelMode::kConstantFlow);
+  dense.forward(values, b, KernelMode::kConstantFlow);
+  EXPECT_EQ(a.loads(), b.loads());
+  EXPECT_EQ(a.branches(), b.branches());
+  EXPECT_EQ(a.instructions(), b.instructions());
+}
+
+TEST(Dense, ForwardWrongSizeThrows) {
+  Dense dense(4, 2);
+  uarch::NullSink sink;
+  EXPECT_THROW(dense.forward(Tensor({3}), sink, KernelMode::kConstantFlow),
+               InvalidArgument);
+}
+
+TEST(Dense, TrainForwardSkipsZerosConsistently) {
+  Dense dense(4, 3);
+  util::Rng rng(47);
+  dense.initialize(rng);
+  Tensor input({4}, {0.0f, 1.0f, 0.0f, 2.0f});
+  uarch::NullSink sink;
+  const Tensor inference =
+      dense.forward(input, sink, KernelMode::kDataDependent);
+  const Tensor training = dense.train_forward(input);
+  for (std::size_t i = 0; i < inference.numel(); ++i)
+    EXPECT_FLOAT_EQ(inference[i], training[i]);
+}
+
+TEST(Dense, InputGradientMatchesNumeric) {
+  Dense dense(6, 5);
+  util::Rng rng(48);
+  dense.initialize(rng);
+  testing::check_input_gradient(dense, testing::random_tensor({6}, 49));
+}
+
+TEST(Dense, WeightGradientIsOuterProduct) {
+  Dense dense(2, 2);
+  dense.weights().fill(0.0f);
+  const Tensor input({2}, {0.5f, -0.25f});
+  dense.train_forward(input);
+  const Tensor grad_out({2}, {1.0f, -1.0f});
+  dense.backward(grad_out);
+  dense.sgd_step(1.0f, 0.0f);
+  // grad w[i][o] = x[i] * go[o]; new w = -grad (w started at 0, lr 1).
+  EXPECT_FLOAT_EQ(dense.weights()[0], -0.5f);    // w[0][0]
+  EXPECT_FLOAT_EQ(dense.weights()[1], 0.5f);     // w[0][1]
+  EXPECT_FLOAT_EQ(dense.weights()[2], 0.25f);    // w[1][0]
+  EXPECT_FLOAT_EQ(dense.weights()[3], -0.25f);   // w[1][1]
+}
+
+TEST(Dense, MomentumAccumulates) {
+  Dense dense(1, 1);
+  dense.weights().values() = {0.0f};
+  const Tensor input({1}, {1.0f});
+  const Tensor grad({1}, {1.0f});
+
+  dense.train_forward(input);
+  dense.backward(grad);
+  dense.sgd_step(0.1f, 0.5f);
+  EXPECT_NEAR(dense.weights()[0], -0.1f, 1e-6f);
+
+  dense.train_forward(input);
+  dense.backward(grad);
+  dense.sgd_step(0.1f, 0.5f);
+  // v = 0.5*(-0.1) - 0.1 = -0.15; w = -0.1 - 0.15 = -0.25.
+  EXPECT_NEAR(dense.weights()[0], -0.25f, 1e-6f);
+}
+
+TEST(Dense, BackwardBeforeForwardThrows) {
+  Dense dense(2, 2);
+  EXPECT_THROW(dense.backward(Tensor({2})), InvalidArgument);
+}
+
+TEST(Dense, InitializeZeroesBias) {
+  Dense dense(16, 8);
+  util::Rng rng(50);
+  dense.initialize(rng);
+  uarch::NullSink sink;
+  Tensor zeros({16});
+  const Tensor out = dense.forward(zeros, sink, KernelMode::kConstantFlow);
+  for (std::size_t i = 0; i < out.numel(); ++i) EXPECT_FLOAT_EQ(out[i], 0.0f);
+}
+
+}  // namespace
+}  // namespace sce::nn

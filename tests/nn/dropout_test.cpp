@@ -1,0 +1,86 @@
+#include "nn/dropout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "uarch/trace.hpp"
+#include "util/error.hpp"
+
+namespace sce::nn {
+namespace {
+
+TEST(Dropout, InferenceIsIdentityAndTraceFree) {
+  Dropout dropout(0.5f);
+  const Tensor input = testing::random_tensor({3, 4}, 81);
+  uarch::CountingSink counts;
+  const Tensor out = dropout.forward(input, counts, KernelMode::kDataDependent);
+  EXPECT_EQ(out.values(), input.values());
+  EXPECT_EQ(counts.instructions(), 0u);
+}
+
+TEST(Dropout, TrainingMasksApproximatelyRateFraction) {
+  Dropout dropout(0.3f, 7);
+  Tensor input({10000});
+  input.fill(1.0f);
+  const Tensor out = dropout.train_forward(input);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < out.numel(); ++i)
+    if (out[i] == 0.0f) ++zeros;
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.02);
+}
+
+TEST(Dropout, SurvivorsScaledToPreserveExpectation) {
+  Dropout dropout(0.25f, 8);
+  Tensor input({20000});
+  input.fill(2.0f);
+  const Tensor out = dropout.train_forward(input);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    if (out[i] != 0.0f) EXPECT_NEAR(out[i], 2.0f / 0.75f, 1e-5f);
+    sum += out[i];
+  }
+  EXPECT_NEAR(sum / 20000.0, 2.0, 0.05);
+}
+
+TEST(Dropout, ZeroRateIsIdentityInTraining) {
+  Dropout dropout(0.0f);
+  const Tensor input = testing::random_tensor({17}, 82);
+  const Tensor out = dropout.train_forward(input);
+  for (std::size_t i = 0; i < input.numel(); ++i)
+    EXPECT_FLOAT_EQ(out[i], input[i]);
+}
+
+TEST(Dropout, BackwardRoutesThroughMask) {
+  Dropout dropout(0.5f, 9);
+  const Tensor input = testing::random_tensor({100}, 83);
+  const Tensor out = dropout.train_forward(input);
+  Tensor grad_out({100});
+  grad_out.fill(1.0f);
+  const Tensor grad_in = dropout.backward(grad_out);
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (out[i] == 0.0f && input[i] != 0.0f) {
+      EXPECT_FLOAT_EQ(grad_in[i], 0.0f);
+    } else if (out[i] != 0.0f) {
+      EXPECT_FLOAT_EQ(grad_in[i], 2.0f);  // 1 / (1 - 0.5)
+    }
+  }
+}
+
+TEST(Dropout, ShapePreserved) {
+  Dropout dropout(0.1f);
+  EXPECT_EQ(dropout.output_shape({2, 3, 4}),
+            (std::vector<std::size_t>{2, 3, 4}));
+}
+
+TEST(Dropout, InvalidRateThrows) {
+  EXPECT_THROW(Dropout(-0.1f), InvalidArgument);
+  EXPECT_THROW(Dropout(1.0f), InvalidArgument);
+}
+
+TEST(Dropout, BackwardBeforeForwardThrows) {
+  Dropout dropout(0.5f);
+  EXPECT_THROW(dropout.backward(Tensor({3})), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sce::nn

@@ -1,0 +1,56 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sce::nn {
+namespace {
+
+TEST(CrossEntropy, KnownValue) {
+  const Tensor probs({3}, {0.2f, 0.5f, 0.3f});
+  EXPECT_NEAR(cross_entropy(probs, 1), -std::log(0.5), 1e-6);
+}
+
+TEST(CrossEntropy, PerfectPredictionIsZero) {
+  const Tensor probs({2}, {1.0f, 0.0f});
+  EXPECT_NEAR(cross_entropy(probs, 0), 0.0, 1e-9);
+}
+
+TEST(CrossEntropy, ClampsZeroProbability) {
+  const Tensor probs({2}, {1.0f, 0.0f});
+  const double loss = cross_entropy(probs, 1);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 20.0);  // -log(1e-12) ~ 27.6
+}
+
+TEST(CrossEntropy, LabelOutOfRangeThrows) {
+  const Tensor probs({2}, {0.5f, 0.5f});
+  EXPECT_THROW(cross_entropy(probs, 2), InvalidArgument);
+}
+
+TEST(SoftmaxCrossEntropyGradient, IsProbsMinusOneHot) {
+  const Tensor probs({3}, {0.2f, 0.5f, 0.3f});
+  const Tensor grad = softmax_cross_entropy_gradient(probs, 1);
+  EXPECT_FLOAT_EQ(grad[0], 0.2f);
+  EXPECT_FLOAT_EQ(grad[1], -0.5f);
+  EXPECT_FLOAT_EQ(grad[2], 0.3f);
+}
+
+TEST(SoftmaxCrossEntropyGradient, SumsToZero) {
+  const Tensor probs({4}, {0.1f, 0.2f, 0.3f, 0.4f});
+  const Tensor grad = softmax_cross_entropy_gradient(probs, 3);
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < 4; ++i) sum += grad[i];
+  EXPECT_NEAR(sum, 0.0f, 1e-6f);
+}
+
+TEST(SoftmaxCrossEntropyGradient, LabelOutOfRangeThrows) {
+  const Tensor probs({2}, {0.5f, 0.5f});
+  EXPECT_THROW(softmax_cross_entropy_gradient(probs, 5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sce::nn

@@ -1,0 +1,126 @@
+#include "nn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+#include "nn/shape_ops.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace sce::nn {
+namespace {
+
+Sequential tiny_cnn() {
+  Sequential model;
+  model.add(std::make_unique<Conv2D>(1, 2, 3))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<MaxPool2D>(2))
+      .add(std::make_unique<Flatten>())
+      .add(std::make_unique<Dense>(2 * 3 * 3, 4))
+      .add(std::make_unique<Softmax>());
+  util::Rng rng(61);
+  model.initialize(rng);
+  return model;
+}
+
+TEST(Sequential, OutputShapeChains) {
+  const Sequential model = tiny_cnn();
+  EXPECT_EQ(model.output_shape({1, 8, 8}), (std::vector<std::size_t>{4}));
+}
+
+TEST(Sequential, OutputShapeRejectsBadInput) {
+  const Sequential model = tiny_cnn();
+  EXPECT_THROW(model.output_shape({2, 8, 8}), InvalidArgument);
+}
+
+TEST(Sequential, ParameterCountSumsLayers) {
+  const Sequential model = tiny_cnn();
+  // conv: 2*1*9+2 = 20; dense: 18*4+4 = 76.
+  EXPECT_EQ(model.parameter_count(), 96u);
+}
+
+TEST(Sequential, LayerAccessBounds) {
+  Sequential model = tiny_cnn();
+  EXPECT_EQ(model.layer(0).name(), "conv2d");
+  EXPECT_EQ(model.layer(5).name(), "softmax");
+  EXPECT_THROW(model.layer(6), InvalidArgument);
+}
+
+TEST(Sequential, AddNullThrows) {
+  Sequential model;
+  EXPECT_THROW(model.add(nullptr), InvalidArgument);
+}
+
+TEST(Sequential, EmptyModelForwardThrows) {
+  Sequential model;
+  uarch::NullSink sink;
+  EXPECT_THROW(model.forward(Tensor({1}), sink, KernelMode::kDataDependent),
+               InvalidArgument);
+}
+
+TEST(Sequential, PredictGivesProbabilities) {
+  const Sequential model = tiny_cnn();
+  const Tensor out = model.predict(testing::random_tensor({1, 8, 8}, 62));
+  ASSERT_EQ(out.numel(), 4u);
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < 4; ++i) sum += out[i];
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(Sequential, ForwardModesAgree) {
+  const Sequential model = tiny_cnn();
+  const Tensor input = testing::random_tensor({1, 8, 8}, 63);
+  uarch::NullSink sink;
+  const Tensor a = model.forward(input, sink, KernelMode::kDataDependent);
+  const Tensor b = model.forward(input, sink, KernelMode::kConstantFlow);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_NEAR(a[i], b[i], 1e-6f);
+}
+
+TEST(Sequential, ClassifyReturnsArgmax) {
+  const Sequential model = tiny_cnn();
+  data::Image img(1, 8, 8);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    img.pixels()[i] = static_cast<float>(i) / 64.0f;
+  const std::size_t label = model.classify(img);
+  const Tensor probs = model.predict(image_to_tensor(img));
+  EXPECT_EQ(label, probs.argmax());
+}
+
+TEST(Sequential, TrainForwardMatchesInference) {
+  Sequential model = tiny_cnn();
+  const Tensor input = testing::random_tensor({1, 8, 8}, 64);
+  const Tensor inference = model.predict(input);
+  const Tensor training = model.train_forward(input);
+  for (std::size_t i = 0; i < inference.numel(); ++i)
+    EXPECT_NEAR(inference[i], training[i], 1e-6f);
+}
+
+TEST(Sequential, BackwardSkipLastValidation) {
+  Sequential model = tiny_cnn();
+  model.train_forward(testing::random_tensor({1, 8, 8}, 65));
+  EXPECT_THROW(model.backward(Tensor({4}), 6), InvalidArgument);
+  EXPECT_NO_THROW(model.backward(Tensor({4}), 1));
+}
+
+TEST(Sequential, SummaryDescribesArchitecture) {
+  const Sequential model = tiny_cnn();
+  const std::string summary = model.summary({1, 8, 8});
+  EXPECT_NE(summary.find("conv2d"), std::string::npos);
+  EXPECT_NE(summary.find("dense"), std::string::npos);
+  EXPECT_NE(summary.find("softmax"), std::string::npos);
+  EXPECT_NE(summary.find("total parameters: 96"), std::string::npos);
+}
+
+TEST(ImageToTensor, PreservesLayout) {
+  data::Image img(2, 3, 4);
+  img.at(1, 2, 3) = 0.7f;
+  const Tensor t = image_to_tensor(img);
+  EXPECT_EQ(t.shape(), (std::vector<std::size_t>{2, 3, 4}));
+  EXPECT_FLOAT_EQ(t.at(1, 2, 3), 0.7f);
+}
+
+}  // namespace
+}  // namespace sce::nn

@@ -1,0 +1,132 @@
+#include "nn/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "uarch/trace.hpp"
+#include "util/error.hpp"
+
+namespace sce::nn {
+namespace {
+
+TEST(MaxPool2D, OutputShapeFloors) {
+  MaxPool2D pool(2);
+  EXPECT_EQ(pool.output_shape({3, 5, 7}),
+            (std::vector<std::size_t>{3, 2, 3}));
+}
+
+TEST(MaxPool2D, ShapeErrors) {
+  MaxPool2D pool(2);
+  EXPECT_THROW(pool.output_shape({3, 1, 4}), InvalidArgument);
+  EXPECT_THROW(pool.output_shape({3, 4}), InvalidArgument);
+  EXPECT_THROW(MaxPool2D(0), InvalidArgument);
+}
+
+TEST(MaxPool2D, TakesWindowMaxima) {
+  MaxPool2D pool(2);
+  const Tensor input({1, 2, 4}, {1, 5, 2, 0,
+                                 3, 4, 8, 7});
+  uarch::NullSink sink;
+  const Tensor out = pool.forward(input, sink, KernelMode::kDataDependent);
+  ASSERT_EQ(out.shape(), (std::vector<std::size_t>{1, 1, 2}));
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+  EXPECT_FLOAT_EQ(out[1], 8.0f);
+}
+
+TEST(MaxPool2D, HandlesNegativeValues) {
+  MaxPool2D pool(2);
+  const Tensor input({1, 2, 2}, {-5, -2, -8, -3});
+  uarch::NullSink sink;
+  const Tensor out = pool.forward(input, sink, KernelMode::kDataDependent);
+  EXPECT_FLOAT_EQ(out[0], -2.0f);
+}
+
+TEST(MaxPool2D, ModesAgree) {
+  MaxPool2D pool(2);
+  const Tensor input = testing::random_tensor({3, 6, 6}, 21);
+  uarch::NullSink sink;
+  const Tensor a = pool.forward(input, sink, KernelMode::kDataDependent);
+  const Tensor b = pool.forward(input, sink, KernelMode::kConstantFlow);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(MaxPool2D, TrainForwardMatchesInference) {
+  MaxPool2D pool(2);
+  const Tensor input = testing::random_tensor({2, 4, 4}, 22);
+  uarch::NullSink sink;
+  const Tensor inference =
+      pool.forward(input, sink, KernelMode::kDataDependent);
+  const Tensor training = pool.train_forward(input);
+  for (std::size_t i = 0; i < inference.numel(); ++i)
+    EXPECT_FLOAT_EQ(inference[i], training[i]);
+}
+
+TEST(MaxPool2D, BackwardRoutesToArgmax) {
+  MaxPool2D pool(2);
+  const Tensor input({1, 2, 2}, {1, 9, 2, 3});
+  pool.train_forward(input);
+  const Tensor grad_out({1, 1, 1}, {5.0f});
+  const Tensor grad_in = pool.backward(grad_out);
+  EXPECT_FLOAT_EQ(grad_in[0], 0.0f);
+  EXPECT_FLOAT_EQ(grad_in[1], 5.0f);  // position of the 9
+  EXPECT_FLOAT_EQ(grad_in[2], 0.0f);
+  EXPECT_FLOAT_EQ(grad_in[3], 0.0f);
+}
+
+TEST(MaxPool2D, InputGradientMatchesNumeric) {
+  MaxPool2D pool(2);
+  // Finite differences cross argmax boundaries when window elements are
+  // within eps of each other; use a shuffled grid with well-separated
+  // values so the argmax is stable under the probe.
+  Tensor input({2, 4, 4});
+  util::Rng rng(23);
+  std::vector<float> values;
+  for (std::size_t i = 0; i < input.numel(); ++i)
+    values.push_back(0.1f * static_cast<float>(i) - 1.0f);
+  rng.shuffle(values);
+  for (std::size_t i = 0; i < input.numel(); ++i) input[i] = values[i];
+  testing::check_input_gradient(pool, input);
+}
+
+TEST(MaxPool2D, BackwardBeforeForwardThrows) {
+  MaxPool2D pool(2);
+  EXPECT_THROW(pool.backward(Tensor({1, 1, 1})), InvalidArgument);
+}
+
+TEST(MaxPool2D, DataDependentBranchesTrackComparisons) {
+  MaxPool2D pool(2);
+  // Ascending window: every comparison updates the max -> all taken.
+  const Tensor ascending({1, 2, 2}, {1, 2, 3, 4});
+  uarch::CountingSink asc_counts;
+  pool.forward(ascending, asc_counts, KernelMode::kDataDependent);
+  EXPECT_EQ(asc_counts.branches(), 3u + 4u + 2u + 1u);  // 3 cmp + structural
+  // Descending window: no update branch taken (only structural taken).
+  const Tensor descending({1, 2, 2}, {4, 3, 2, 1});
+  uarch::CountingSink desc_counts;
+  pool.forward(descending, desc_counts, KernelMode::kDataDependent);
+  EXPECT_EQ(desc_counts.taken_branches() - 7u, 0u);
+  EXPECT_EQ(asc_counts.taken_branches() - 7u, 3u);
+}
+
+TEST(MaxPool2D, ConstantFlowEmitsNoConditionalBranches) {
+  MaxPool2D pool(2);
+  const Tensor input = testing::random_tensor({1, 4, 4}, 24);
+  uarch::RecordingSink recording;
+  pool.forward(input, recording, KernelMode::kConstantFlow);
+  for (const auto& event : recording.events())
+    EXPECT_NE(event.kind, uarch::RecordingSink::Kind::kBranch);
+}
+
+TEST(MaxPool2D, WindowThree) {
+  MaxPool2D pool(3);
+  Tensor input({1, 3, 3});
+  input.fill(1.0f);
+  input.at(0, 2, 2) = 7.0f;
+  uarch::NullSink sink;
+  const Tensor out = pool.forward(input, sink, KernelMode::kDataDependent);
+  ASSERT_EQ(out.numel(), 1u);
+  EXPECT_FLOAT_EQ(out[0], 7.0f);
+}
+
+}  // namespace
+}  // namespace sce::nn

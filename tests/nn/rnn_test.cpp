@@ -1,0 +1,163 @@
+#include "nn/rnn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+#include "uarch/trace.hpp"
+#include "util/error.hpp"
+
+namespace sce::nn {
+namespace {
+
+TEST(ElmanRNN, OutputShapeAcceptsBothRanks) {
+  ElmanRNN rnn(4, 6);
+  EXPECT_EQ(rnn.output_shape({10, 4}), (std::vector<std::size_t>{6}));
+  EXPECT_EQ(rnn.output_shape({1, 10, 4}), (std::vector<std::size_t>{6}));
+  EXPECT_THROW(rnn.output_shape({10, 5}), InvalidArgument);
+  EXPECT_THROW(rnn.output_shape({2, 10, 4}), InvalidArgument);
+  EXPECT_THROW(rnn.output_shape({4}), InvalidArgument);
+}
+
+TEST(ElmanRNN, ConstructorValidation) {
+  EXPECT_THROW(ElmanRNN(0, 4), InvalidArgument);
+  EXPECT_THROW(ElmanRNN(4, 0), InvalidArgument);
+}
+
+TEST(ElmanRNN, ParameterCount) {
+  ElmanRNN rnn(4, 6);
+  EXPECT_EQ(rnn.parameter_count(), 4u * 6u + 6u * 6u + 6u);
+}
+
+TEST(ElmanRNN, SingleStepHandComputed) {
+  // One timestep, no recurrence contribution: h = ReLU(Wx^T x + b).
+  ElmanRNN rnn(2, 2);
+  rnn.input_weights().values() = {1.0f, -1.0f,   // row for x[0]
+                                  2.0f, 1.0f};   // row for x[1]
+  const Tensor input({1, 2}, {3.0f, 0.5f});
+  uarch::NullSink sink;
+  const Tensor h = rnn.forward(input, sink, KernelMode::kConstantFlow);
+  // pre = {3*1 + 0.5*2, 3*(-1) + 0.5*1} = {4, -2.5} -> ReLU {4, 0}.
+  EXPECT_FLOAT_EQ(h[0], 4.0f);
+  EXPECT_FLOAT_EQ(h[1], 0.0f);
+}
+
+TEST(ElmanRNN, RecurrenceCarriesState) {
+  // Identity-ish recurrence: x drives step 1, step 2 has zero input so
+  // h_2 = ReLU(Wh^T h_1).
+  ElmanRNN rnn(1, 2);
+  rnn.input_weights().values() = {1.0f, 2.0f};
+  rnn.recurrent_weights().values() = {0.0f, 1.0f,
+                                      1.0f, 0.0f};  // swap
+  const Tensor input({2, 1}, {1.0f, 0.0f});
+  uarch::NullSink sink;
+  const Tensor h = rnn.forward(input, sink, KernelMode::kConstantFlow);
+  // h_1 = ReLU({1, 2}) = {1, 2}; h_2 = ReLU(swap({1,2})) = {2, 1}.
+  EXPECT_FLOAT_EQ(h[0], 2.0f);
+  EXPECT_FLOAT_EQ(h[1], 1.0f);
+}
+
+TEST(ElmanRNN, KernelModesAgree) {
+  ElmanRNN rnn(3, 5);
+  util::Rng rng(101);
+  rnn.initialize(rng);
+  Tensor input = testing::random_tensor({7, 3}, 102);
+  for (std::size_t i = 0; i < input.numel(); i += 4) input[i] = 0.0f;
+  uarch::NullSink sink;
+  const Tensor a = rnn.forward(input, sink, KernelMode::kDataDependent);
+  const Tensor b = rnn.forward(input, sink, KernelMode::kConstantFlow);
+  for (std::size_t j = 0; j < a.numel(); ++j) EXPECT_NEAR(a[j], b[j], 1e-5f);
+}
+
+TEST(ElmanRNN, TrainForwardMatchesInference) {
+  ElmanRNN rnn(3, 4);
+  util::Rng rng(103);
+  rnn.initialize(rng);
+  const Tensor input = testing::random_tensor({6, 3}, 104);
+  uarch::NullSink sink;
+  const Tensor inference =
+      rnn.forward(input, sink, KernelMode::kDataDependent);
+  const Tensor training = rnn.train_forward(input);
+  for (std::size_t j = 0; j < inference.numel(); ++j)
+    EXPECT_NEAR(inference[j], training[j], 1e-6f);
+}
+
+TEST(ElmanRNN, InstructionCountScalesWithSequenceLength) {
+  ElmanRNN rnn(4, 8);
+  util::Rng rng(105);
+  rnn.initialize(rng);
+  uarch::CountingSink short_counts;
+  uarch::CountingSink long_counts;
+  rnn.forward(testing::random_tensor({10, 4}, 106), short_counts,
+              KernelMode::kConstantFlow);
+  rnn.forward(testing::random_tensor({20, 4}, 107), long_counts,
+              KernelMode::kConstantFlow);
+  // Constant-flow per-step work is fixed: double the steps, double the
+  // instructions (exactly).
+  EXPECT_EQ(long_counts.instructions(), 2 * short_counts.instructions());
+}
+
+TEST(ElmanRNN, DataDependentSkipsZeroInputRows) {
+  ElmanRNN rnn(4, 8);
+  util::Rng rng(108);
+  rnn.initialize(rng);
+  Tensor zeros({5, 4});
+  const Tensor dense_input = testing::random_tensor({5, 4}, 109);
+  uarch::CountingSink zero_counts;
+  uarch::CountingSink dense_counts;
+  rnn.forward(zeros, zero_counts, KernelMode::kDataDependent);
+  rnn.forward(dense_input, dense_counts, KernelMode::kDataDependent);
+  EXPECT_LT(zero_counts.loads(), dense_counts.loads());
+}
+
+TEST(ElmanRNN, InputGradientMatchesNumeric) {
+  ElmanRNN rnn(3, 4);
+  util::Rng rng(110);
+  rnn.initialize(rng);
+  testing::check_input_gradient(rnn, testing::random_tensor({5, 3}, 111),
+                                3e-2);
+}
+
+TEST(ElmanRNN, WeightGradientViaSgdRecovery) {
+  ElmanRNN rnn(2, 3);
+  util::Rng rng(112);
+  rnn.initialize(rng);
+  const Tensor input = testing::random_tensor({4, 2}, 113);
+
+  const Tensor y = rnn.train_forward(input);
+  testing::ProbeLoss probe(y.numel());
+  rnn.backward(probe.gradient(y.shape()));
+  ElmanRNN stepped = rnn;
+  stepped.sgd_step(1.0f, 0.0f);
+
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < rnn.input_weights().numel(); i += 2) {
+    ElmanRNN plus = rnn;
+    plus.input_weights()[i] += eps;
+    ElmanRNN minus = rnn;
+    minus.input_weights()[i] -= eps;
+    const double numeric = (probe.value(plus.train_forward(input)) -
+                            probe.value(minus.train_forward(input))) /
+                           (2.0 * eps);
+    if (std::fabs(numeric) >= 0.95) continue;  // clip region
+    const double analytic =
+        rnn.input_weights()[i] - stepped.input_weights()[i];
+    EXPECT_NEAR(analytic, numeric, 3e-2 * std::max(1.0, std::fabs(numeric)))
+        << "wx " << i;
+  }
+}
+
+TEST(ElmanRNN, BackwardBeforeForwardThrows) {
+  ElmanRNN rnn(2, 3);
+  EXPECT_THROW(rnn.backward(Tensor({3})), InvalidArgument);
+}
+
+TEST(ElmanRNN, EmptySequenceThrows) {
+  ElmanRNN rnn(2, 3);
+  uarch::NullSink sink;
+  EXPECT_THROW(rnn.output_shape({0, 2}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sce::nn

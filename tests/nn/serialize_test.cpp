@@ -1,0 +1,121 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/shape_ops.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace sce::nn {
+namespace {
+
+Sequential make_model(std::uint64_t seed) {
+  Sequential model;
+  model.add(std::make_unique<Conv2D>(1, 2, 3))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Flatten>())
+      .add(std::make_unique<Dense>(2 * 4 * 4, 3))
+      .add(std::make_unique<Softmax>());
+  util::Rng rng(seed);
+  model.initialize(rng);
+  return model;
+}
+
+TEST(Serialize, RoundTripRestoresExactBehaviour) {
+  Sequential original = make_model(1);
+  std::stringstream buffer;
+  save_model(original, buffer);
+
+  Sequential restored = make_model(2);  // different weights initially
+  load_model(restored, buffer);
+
+  const Tensor input = testing::random_tensor({1, 6, 6}, 3);
+  const Tensor a = original.predict(input);
+  const Tensor b = restored.predict(input);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Serialize, LoadIntoDifferentLayerCountFails) {
+  Sequential original = make_model(1);
+  std::stringstream buffer;
+  save_model(original, buffer);
+
+  Sequential shorter;
+  shorter.add(std::make_unique<Dense>(4, 2));
+  EXPECT_THROW(load_model(shorter, buffer), IoError);
+}
+
+TEST(Serialize, LoadIntoDifferentLayerTypeFails) {
+  Sequential original = make_model(1);
+  std::stringstream buffer;
+  save_model(original, buffer);
+
+  Sequential different;
+  different.add(std::make_unique<Dense>(1, 1))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Flatten>())
+      .add(std::make_unique<Dense>(2 * 4 * 4, 3))
+      .add(std::make_unique<Softmax>());
+  EXPECT_THROW(load_model(different, buffer), IoError);
+}
+
+TEST(Serialize, LoadIntoDifferentParameterShapeFails) {
+  Sequential original = make_model(1);
+  std::stringstream buffer;
+  save_model(original, buffer);
+
+  Sequential resized;
+  resized.add(std::make_unique<Conv2D>(1, 4, 3))  // more filters
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Flatten>())
+      .add(std::make_unique<Dense>(2 * 4 * 4, 3))
+      .add(std::make_unique<Softmax>());
+  EXPECT_THROW(load_model(resized, buffer), IoError);
+}
+
+TEST(Serialize, BadMagicFails) {
+  std::stringstream buffer;
+  buffer << "XXXX garbage";
+  Sequential model = make_model(1);
+  EXPECT_THROW(load_model(model, buffer), IoError);
+}
+
+TEST(Serialize, TruncatedStreamFails) {
+  Sequential original = make_model(1);
+  std::stringstream buffer;
+  save_model(original, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  Sequential model = make_model(1);
+  EXPECT_THROW(load_model(model, truncated), IoError);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sce_serialize_test.scew")
+          .string();
+  Sequential original = make_model(7);
+  save_model(original, path);
+  Sequential restored = make_model(8);
+  load_model(restored, path);
+  const Tensor input = testing::random_tensor({1, 6, 6}, 9);
+  const Tensor a = original.predict(input);
+  const Tensor b = restored.predict(input);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, MissingFileFails) {
+  Sequential model = make_model(1);
+  EXPECT_THROW(load_model(model, "/nonexistent/path/model.scew"), IoError);
+  EXPECT_THROW(save_model(model, "/nonexistent/path/model.scew"), IoError);
+}
+
+}  // namespace
+}  // namespace sce::nn

@@ -1,0 +1,132 @@
+#include "nn/shape_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+#include "uarch/trace.hpp"
+#include "util/error.hpp"
+
+namespace sce::nn {
+namespace {
+
+TEST(Flatten, CollapsesShape) {
+  Flatten flatten;
+  EXPECT_EQ(flatten.output_shape({2, 3, 4}), (std::vector<std::size_t>{24}));
+  uarch::NullSink sink;
+  const Tensor out = flatten.forward(testing::random_tensor({2, 3, 4}, 1),
+                                     sink, KernelMode::kDataDependent);
+  EXPECT_EQ(out.shape(), (std::vector<std::size_t>{24}));
+}
+
+TEST(Flatten, PreservesValues) {
+  Flatten flatten;
+  const Tensor input({2, 2}, {1, 2, 3, 4});
+  uarch::NullSink sink;
+  const Tensor out = flatten.forward(input, sink, KernelMode::kConstantFlow);
+  EXPECT_EQ(out.values(), input.values());
+}
+
+TEST(Flatten, BackwardRestoresShape) {
+  Flatten flatten;
+  flatten.train_forward(Tensor({2, 3, 4}));
+  const Tensor grad_in = flatten.backward(Tensor({24}));
+  EXPECT_EQ(grad_in.shape(), (std::vector<std::size_t>{2, 3, 4}));
+}
+
+TEST(Flatten, BackwardBeforeForwardThrows) {
+  Flatten flatten;
+  EXPECT_THROW(flatten.backward(Tensor({4})), InvalidArgument);
+}
+
+TEST(Flatten, EmitsNoTrace) {
+  Flatten flatten;
+  uarch::CountingSink counts;
+  flatten.forward(Tensor({2, 2}), counts, KernelMode::kDataDependent);
+  EXPECT_EQ(counts.instructions(), 0u);
+}
+
+TEST(Softmax, SumsToOne) {
+  Softmax softmax;
+  uarch::NullSink sink;
+  const Tensor out = softmax.forward(Tensor({4}, {1.0f, 2.0f, 3.0f, 4.0f}),
+                                     sink, KernelMode::kDataDependent);
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(out[i], 0.0f);
+    sum += out[i];
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+}
+
+TEST(Softmax, KnownValues) {
+  Softmax softmax;
+  uarch::NullSink sink;
+  const Tensor out = softmax.forward(Tensor({2}, {0.0f, 0.0f}), sink,
+                                     KernelMode::kConstantFlow);
+  EXPECT_NEAR(out[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(out[1], 0.5f, 1e-6f);
+}
+
+TEST(Softmax, OrderPreserving) {
+  Softmax softmax;
+  uarch::NullSink sink;
+  const Tensor out = softmax.forward(Tensor({3}, {1.0f, 3.0f, 2.0f}), sink,
+                                     KernelMode::kConstantFlow);
+  EXPECT_GT(out[1], out[2]);
+  EXPECT_GT(out[2], out[0]);
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  Softmax softmax;
+  uarch::NullSink sink;
+  const Tensor out = softmax.forward(
+      Tensor({3}, {1000.0f, 1001.0f, 999.0f}), sink,
+      KernelMode::kConstantFlow);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(std::isnan(out[i]));
+    EXPECT_FALSE(std::isinf(out[i]));
+  }
+  EXPECT_GT(out[1], out[0]);
+}
+
+TEST(Softmax, ShiftInvariance) {
+  Softmax softmax;
+  uarch::NullSink sink;
+  const Tensor a = softmax.forward(Tensor({3}, {1.0f, 2.0f, 3.0f}), sink,
+                                   KernelMode::kConstantFlow);
+  const Tensor b = softmax.forward(Tensor({3}, {11.0f, 12.0f, 13.0f}), sink,
+                                   KernelMode::kConstantFlow);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-6f);
+}
+
+TEST(Softmax, RequiresRankOne) {
+  Softmax softmax;
+  EXPECT_THROW(softmax.output_shape({2, 3}), InvalidArgument);
+}
+
+TEST(Softmax, InputGradientMatchesNumeric) {
+  Softmax softmax;
+  testing::check_input_gradient(softmax,
+                                testing::random_tensor({6}, 55), 3e-2);
+}
+
+TEST(Softmax, BackwardJacobianRowSumsZero) {
+  // Softmax output sums to 1 regardless of input, so the gradient of any
+  // constant-weighted loss g = c*ones must be ~0.
+  Softmax softmax;
+  softmax.train_forward(testing::random_tensor({5}, 56));
+  Tensor ones({5});
+  ones.fill(2.5f);
+  const Tensor grad = softmax.backward(ones);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(grad[i], 0.0f, 1e-6f);
+}
+
+TEST(Softmax, BackwardBeforeForwardThrows) {
+  Softmax softmax;
+  EXPECT_THROW(softmax.backward(Tensor({3})), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sce::nn

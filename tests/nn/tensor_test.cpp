@@ -1,0 +1,103 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sce::nn {
+namespace {
+
+TEST(Tensor, ShapeAndNumel) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.numel(), 24u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(2), 4u);
+  EXPECT_THROW(t.dim(3), InvalidArgument);
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0u);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({3, 3});
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ZeroDimensionThrows) {
+  EXPECT_THROW(Tensor({2, 0, 3}), InvalidArgument);
+}
+
+TEST(Tensor, ValueConstructorChecksCount) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f}));
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f}), InvalidArgument);
+}
+
+TEST(Tensor, FlatIndexBoundsChecked) {
+  Tensor t({2, 2});
+  t[3] = 1.0f;
+  EXPECT_FLOAT_EQ(t[3], 1.0f);
+  EXPECT_THROW(t[4], InvalidArgument);
+}
+
+TEST(Tensor, ChwAccess) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 9.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2, 3), 9.0f);
+  EXPECT_FLOAT_EQ(t[(1 * 3 + 2) * 4 + 3], 9.0f);
+  EXPECT_THROW(t.at(2, 0, 0), InvalidArgument);
+  EXPECT_THROW(t.at(0, 3, 0), InvalidArgument);
+  EXPECT_THROW(t.at(0, 0, 4), InvalidArgument);
+}
+
+TEST(Tensor, AtRequiresRank3) {
+  Tensor t({4});
+  EXPECT_THROW(t.at(0, 0, 0), InvalidArgument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3u);
+  EXPECT_EQ(r.values(), t.values());
+  EXPECT_THROW(t.reshaped({4, 2}), InvalidArgument);
+}
+
+TEST(Tensor, Fill) {
+  Tensor t({2, 2});
+  t.fill(3.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(t[i], 3.5f);
+}
+
+TEST(Tensor, ArgmaxFirstOnTies) {
+  Tensor t({5}, {1.0f, 7.0f, 3.0f, 7.0f, 2.0f});
+  EXPECT_EQ(t.argmax(), 1u);
+}
+
+TEST(Tensor, ArgmaxEmptyThrows) {
+  Tensor t;
+  EXPECT_THROW(t.argmax(), InvalidArgument);
+}
+
+TEST(Tensor, SparsityCountsExactZeros) {
+  Tensor t({4}, {0.0f, 1.0f, 0.0f, -2.0f});
+  EXPECT_DOUBLE_EQ(t.sparsity(), 0.5);
+  Tensor dense({2}, {1.0f, 2.0f});
+  EXPECT_DOUBLE_EQ(dense.sparsity(), 0.0);
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3, 4}).shape_string(), "[2x3x4]");
+  EXPECT_EQ(Tensor({7}).shape_string(), "[7]");
+}
+
+TEST(Tensor, SameShape) {
+  EXPECT_TRUE(Tensor({2, 3}).same_shape(Tensor({2, 3})));
+  EXPECT_FALSE(Tensor({2, 3}).same_shape(Tensor({3, 2})));
+}
+
+}  // namespace
+}  // namespace sce::nn

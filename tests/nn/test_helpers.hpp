@@ -1,0 +1,79 @@
+// Shared helpers for the nn test suites: numerical gradient checking and
+// small deterministic tensors.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layer.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace sce::nn::testing {
+
+/// Fill a tensor with deterministic pseudo-random values in [-1, 1].
+inline Tensor random_tensor(std::vector<std::size_t> shape,
+                            std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+/// Scalar loss used for gradient checks: L = sum_i w_i * y_i with fixed
+/// pseudo-random weights, so dL/dy_i = w_i.
+struct ProbeLoss {
+  std::vector<float> weights;
+
+  explicit ProbeLoss(std::size_t n, std::uint64_t seed = 7) {
+    util::Rng rng(seed);
+    weights.resize(n);
+    for (auto& w : weights) w = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+
+  double value(const Tensor& y) const {
+    double loss = 0.0;
+    for (std::size_t i = 0; i < y.numel(); ++i)
+      loss += static_cast<double>(weights[i]) * y[i];
+    return loss;
+  }
+
+  Tensor gradient(const std::vector<std::size_t>& shape) const {
+    Tensor g(shape);
+    for (std::size_t i = 0; i < g.numel(); ++i) g[i] = weights[i];
+    return g;
+  }
+};
+
+/// Verify a layer's input gradient against central finite differences.
+/// `forward` must be a pure function of the input (fresh train_forward per
+/// call).  Relative tolerance suits float32 parameters.
+inline void check_input_gradient(
+    Layer& layer, const Tensor& input,
+    double tolerance = 2e-2) {
+  Tensor x = input;
+  const Tensor y = layer.train_forward(x);
+  ProbeLoss probe(y.numel());
+  const Tensor analytic = layer.backward(probe.gradient(y.shape()));
+  ASSERT_EQ(analytic.numel(), x.numel());
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    Tensor plus = x;
+    plus[i] += eps;
+    Tensor minus = x;
+    minus[i] -= eps;
+    const double numeric = (probe.value(layer.train_forward(plus)) -
+                            probe.value(layer.train_forward(minus))) /
+                           (2.0 * eps);
+    const double scale =
+        std::max({1.0, std::fabs(numeric), std::fabs(analytic[i]) * 1.0});
+    EXPECT_NEAR(analytic[i], numeric, tolerance * scale)
+        << "input gradient mismatch at flat index " << i;
+  }
+}
+
+}  // namespace sce::nn::testing

@@ -1,0 +1,102 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+#include "nn/shape_ops.hpp"
+#include "util/error.hpp"
+
+namespace sce::nn {
+namespace {
+
+Sequential small_mnist_cnn() {
+  Sequential model;
+  model.add(std::make_unique<Conv2D>(1, 4, 5))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<MaxPool2D>(2))
+      .add(std::make_unique<Flatten>())
+      .add(std::make_unique<Dense>(4 * 12 * 12, 4))
+      .add(std::make_unique<Softmax>());
+  util::Rng rng(71);
+  model.initialize(rng);
+  return model;
+}
+
+data::Dataset small_dataset() {
+  data::SyntheticConfig cfg;
+  cfg.seed = 5;
+  cfg.examples_per_class = 12;
+  cfg.num_classes = 4;
+  return data::make_mnist_like(cfg);
+}
+
+TEST(Trainer, LossDecreasesAndAccuracyRises) {
+  Sequential model = small_mnist_cnn();
+  const data::Dataset ds = small_dataset();
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  const auto history = train(model, ds, cfg);
+  ASSERT_EQ(history.size(), 4u);
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
+  EXPECT_GT(history.back().accuracy, history.front().accuracy);
+  EXPECT_GT(history.back().accuracy, 0.7);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  const data::Dataset ds = small_dataset();
+  TrainConfig cfg;
+  cfg.epochs = 2;
+
+  Sequential a = small_mnist_cnn();
+  Sequential b = small_mnist_cnn();
+  const auto ha = train(a, ds, cfg);
+  const auto hb = train(b, ds, cfg);
+  EXPECT_DOUBLE_EQ(ha.back().mean_loss, hb.back().mean_loss);
+  EXPECT_DOUBLE_EQ(ha.back().accuracy, hb.back().accuracy);
+}
+
+TEST(Trainer, RequiresSoftmaxLastLayer) {
+  Sequential model;
+  model.add(std::make_unique<Dense>(4, 2));
+  util::Rng rng(72);
+  model.initialize(rng);
+  const data::Dataset ds = small_dataset();
+  EXPECT_THROW(train(model, ds, TrainConfig{}), InvalidArgument);
+}
+
+TEST(Trainer, EmptyDatasetThrows) {
+  Sequential model = small_mnist_cnn();
+  const data::Dataset empty({}, {"a"});
+  EXPECT_THROW(train(model, empty, TrainConfig{}), InvalidArgument);
+}
+
+TEST(Trainer, EmptyModelThrows) {
+  Sequential model;
+  EXPECT_THROW(train(model, small_dataset(), TrainConfig{}),
+               InvalidArgument);
+}
+
+TEST(EvaluateAccuracy, PerfectAndChanceBounds) {
+  Sequential model = small_mnist_cnn();
+  const data::Dataset ds = small_dataset();
+  const double before = evaluate_accuracy(model, ds);
+  EXPECT_GE(before, 0.0);
+  EXPECT_LE(before, 1.0);
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  train(model, ds, cfg);
+  EXPECT_GT(evaluate_accuracy(model, ds), before);
+}
+
+TEST(EvaluateAccuracy, EmptyThrows) {
+  Sequential model = small_mnist_cnn();
+  EXPECT_THROW(evaluate_accuracy(model, data::Dataset({}, {"a"})),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sce::nn

@@ -1,0 +1,41 @@
+#include "nn/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "nn/rnn.hpp"
+
+namespace sce::nn {
+namespace {
+
+TEST(ZooSequence, ArchitectureShapes) {
+  const Sequential model = build_sequence_rnn();
+  // Any sequence length maps to the 4 class probabilities.
+  EXPECT_EQ(model.output_shape({1, 40, 8}), (std::vector<std::size_t>{4}));
+  EXPECT_EQ(model.output_shape({1, 7, 8}), (std::vector<std::size_t>{4}));
+  EXPECT_EQ(model.layer(0).name(), "elman-rnn");
+}
+
+TEST(ZooSequence, TrainsAboveChance) {
+  const auto cache_dir =
+      std::filesystem::temp_directory_path() / "sce_zoo_seq_test";
+  std::filesystem::remove_all(cache_dir);
+  ZooConfig cfg;
+  cfg.cache_dir = cache_dir.string();
+  cfg.train_examples_per_class = 24;
+  cfg.train.epochs = 6;
+  const TrainedModel trained = get_or_train_sequence(cfg);
+  EXPECT_GT(trained.test_accuracy, 0.45);  // chance 0.25
+  EXPECT_EQ(trained.test_set.num_classes(), 4u);
+
+  // Variable-length inputs flow end to end.
+  const Tensor probs =
+      trained.model.predict(image_to_tensor(trained.test_set[0].image));
+  EXPECT_EQ(probs.numel(), 4u);
+  std::error_code ec;
+  std::filesystem::remove_all(cache_dir, ec);
+}
+
+}  // namespace
+}  // namespace sce::nn

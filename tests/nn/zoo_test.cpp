@@ -1,0 +1,94 @@
+#include "nn/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace sce::nn {
+namespace {
+
+TEST(Zoo, MnistArchitectureShapes) {
+  const Sequential model = build_mnist_cnn();
+  EXPECT_EQ(model.output_shape({1, 28, 28}), (std::vector<std::size_t>{10}));
+  EXPECT_GT(model.parameter_count(), 10000u);
+}
+
+TEST(Zoo, CifarArchitectureShapes) {
+  const Sequential model = build_cifar_cnn();
+  EXPECT_EQ(model.output_shape({3, 32, 32}), (std::vector<std::size_t>{10}));
+  EXPECT_GT(model.parameter_count(), 50000u);
+}
+
+TEST(Zoo, MnistRejectsCifarInput) {
+  const Sequential model = build_mnist_cnn();
+  EXPECT_THROW(model.output_shape({3, 32, 32}), InvalidArgument);
+}
+
+class ZooTrainingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cache_dir_ = std::filesystem::temp_directory_path() /
+                 ("sce_zoo_test_" +
+                  std::string(::testing::UnitTest::GetInstance()
+                                  ->current_test_info()
+                                  ->name()));
+    std::filesystem::remove_all(cache_dir_);
+    cfg_.cache_dir = cache_dir_.string();
+    // Keep the test fast: small data, short schedule.
+    cfg_.train_examples_per_class = 10;
+    cfg_.train.epochs = 3;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir_, ec);
+  }
+
+  std::filesystem::path cache_dir_;
+  ZooConfig cfg_;
+};
+
+TEST_F(ZooTrainingTest, TrainsAboveChanceAndCaches) {
+  const TrainedModel first = get_or_train_mnist(cfg_);
+  EXPECT_GT(first.test_accuracy, 0.5);  // chance is 0.1
+  EXPECT_FALSE(first.train_set.empty());
+  EXPECT_FALSE(first.test_set.empty());
+  // A cache file must now exist...
+  bool found = false;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(cache_dir_))
+    found |= entry.path().extension() == ".scew";
+  EXPECT_TRUE(found);
+
+  // ...and loading from it must reproduce the same model.
+  const TrainedModel second = get_or_train_mnist(cfg_);
+  EXPECT_DOUBLE_EQ(second.test_accuracy, first.test_accuracy);
+  const Tensor input = image_to_tensor(first.test_set[0].image);
+  const Tensor a = first.model.predict(input);
+  const Tensor b = second.model.predict(input);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST_F(ZooTrainingTest, CorruptCacheTriggersRetrain) {
+  get_or_train_mnist(cfg_);
+  // Corrupt every cache file.
+  for (const auto& entry : std::filesystem::directory_iterator(cache_dir_)) {
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out << "corrupted";
+  }
+  const TrainedModel retrained = get_or_train_mnist(cfg_);
+  EXPECT_GT(retrained.test_accuracy, 0.5);
+}
+
+TEST_F(ZooTrainingTest, TrainTestSplitIsDisjointByConstruction) {
+  const TrainedModel trained = get_or_train_mnist(cfg_);
+  EXPECT_EQ(trained.train_set.num_classes(), 10u);
+  EXPECT_EQ(trained.test_set.num_classes(), 10u);
+  // 10 per class * 1.5 = 15 per class total, 2/3 train.
+  EXPECT_EQ(trained.train_set.size() + trained.test_set.size(), 150u);
+}
+
+}  // namespace
+}  // namespace sce::nn

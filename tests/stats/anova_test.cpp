@@ -1,0 +1,80 @@
+#include "stats/anova.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/t_test.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sce::stats {
+namespace {
+
+TEST(Anova, TwoGroupsMatchesSquaredPooledT) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> b{2.5, 3.5, 4.5, 5.5};
+  const AnovaResult f = one_way_anova({a, b});
+  const TTestResult t = student_t_test(a, b);
+  EXPECT_NEAR(f.f, t.t * t.t, 1e-10);
+  EXPECT_NEAR(f.p, t.p_two_sided, 1e-10);
+  EXPECT_DOUBLE_EQ(f.df_between, 1.0);
+  EXPECT_DOUBLE_EQ(f.df_within, 7.0);
+}
+
+TEST(Anova, IdenticalGroupsGiveZeroF) {
+  std::vector<double> g{1.0, 2.0, 3.0};
+  const AnovaResult r = one_way_anova({g, g, g});
+  EXPECT_NEAR(r.f, 0.0, 1e-12);
+  EXPECT_NEAR(r.p, 1.0, 1e-9);
+  EXPECT_FALSE(r.significant());
+}
+
+TEST(Anova, DetectsOneShiftedGroup) {
+  util::Rng rng(3);
+  std::vector<std::vector<double>> groups(4, std::vector<double>(50));
+  for (std::size_t g = 0; g < 4; ++g)
+    for (auto& x : groups[g]) x = rng.normal(g == 2 ? 2.0 : 0.0, 1.0);
+  const AnovaResult r = one_way_anova(groups);
+  EXPECT_TRUE(r.significant(0.001));
+  EXPECT_GT(r.eta_squared, 0.2);
+}
+
+TEST(Anova, EtaSquaredInUnitRange) {
+  util::Rng rng(4);
+  std::vector<std::vector<double>> groups(3, std::vector<double>(20));
+  for (auto& g : groups)
+    for (auto& x : g) x = rng.normal(0.0, 1.0);
+  const AnovaResult r = one_way_anova(groups);
+  EXPECT_GE(r.eta_squared, 0.0);
+  EXPECT_LE(r.eta_squared, 1.0);
+}
+
+TEST(Anova, ZeroWithinVarianceDifferentMeans) {
+  const AnovaResult r = one_way_anova({{1.0, 1.0}, {2.0, 2.0}});
+  EXPECT_TRUE(std::isinf(r.f));
+  EXPECT_DOUBLE_EQ(r.p, 0.0);
+}
+
+TEST(Anova, ZeroVarianceEverywhere) {
+  const AnovaResult r = one_way_anova({{3.0, 3.0}, {3.0, 3.0}});
+  EXPECT_DOUBLE_EQ(r.f, 0.0);
+  EXPECT_DOUBLE_EQ(r.p, 1.0);
+}
+
+TEST(Anova, DegreesOfFreedom) {
+  std::vector<double> g{1.0, 2.0, 3.0};
+  const AnovaResult r = one_way_anova({g, g, g, g});
+  EXPECT_DOUBLE_EQ(r.df_between, 3.0);
+  EXPECT_DOUBLE_EQ(r.df_within, 8.0);
+}
+
+TEST(Anova, Errors) {
+  std::vector<double> g{1.0, 2.0};
+  EXPECT_THROW(one_way_anova({g}), InvalidArgument);
+  EXPECT_THROW(one_way_anova({g, {1.0}}), InvalidArgument);
+  EXPECT_THROW(one_way_anova({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sce::stats

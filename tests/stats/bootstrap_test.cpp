@@ -1,0 +1,120 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sce::stats {
+namespace {
+
+TEST(BootstrapMean, PointEstimateIsSampleMean) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const BootstrapInterval ci = bootstrap_mean(xs);
+  EXPECT_DOUBLE_EQ(ci.estimate, 2.5);
+  EXPECT_LE(ci.lo, ci.estimate);
+  EXPECT_GE(ci.hi, ci.estimate);
+}
+
+TEST(BootstrapMean, ConstantSampleDegenerateInterval) {
+  std::vector<double> xs(20, 7.0);
+  const BootstrapInterval ci = bootstrap_mean(xs);
+  EXPECT_DOUBLE_EQ(ci.lo, 7.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 7.0);
+}
+
+TEST(BootstrapMean, CoversTrueMean) {
+  // 50 repetitions at 95%: the true mean must be covered most of the time.
+  util::Rng rng(2);
+  int covered = 0;
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<double> xs(40);
+    for (auto& x : xs) x = rng.normal(10.0, 3.0);
+    BootstrapConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(rep) + 1;
+    cfg.resamples = 500;
+    const BootstrapInterval ci = bootstrap_mean(xs, cfg);
+    if (ci.lo <= 10.0 && 10.0 <= ci.hi) ++covered;
+  }
+  EXPECT_GE(covered, 42);  // ~95% nominal, allow slack
+}
+
+TEST(BootstrapMean, IntervalWidensWithConfidence) {
+  util::Rng rng(3);
+  std::vector<double> xs(30);
+  for (auto& x : xs) x = rng.normal(0.0, 1.0);
+  BootstrapConfig loose;
+  loose.alpha = 0.10;
+  BootstrapConfig tight;
+  tight.alpha = 0.01;
+  const BootstrapInterval ci90 = bootstrap_mean(xs, loose);
+  const BootstrapInterval ci99 = bootstrap_mean(xs, tight);
+  EXPECT_LT(ci99.lo, ci90.lo);
+  EXPECT_GT(ci99.hi, ci90.hi);
+}
+
+TEST(BootstrapMeanDifference, DetectsSeparation) {
+  util::Rng rng(4);
+  std::vector<double> a(60);
+  std::vector<double> b(60);
+  for (auto& x : a) x = rng.normal(100.0, 3.0);
+  for (auto& x : b) x = rng.normal(110.0, 3.0);
+  const BootstrapInterval ci = bootstrap_mean_difference(a, b);
+  EXPECT_TRUE(ci.excludes_zero());
+  EXPECT_LT(ci.hi, 0.0);
+  EXPECT_NEAR(ci.estimate, -10.0, 1.5);
+}
+
+TEST(BootstrapMeanDifference, NullRarelyExcludesZero) {
+  // 20 null datasets at 95%: the interval may exclude zero ~5% of the
+  // time by construction; bound the count rather than any single draw.
+  util::Rng rng(5);
+  int exclusions = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<double> a(60);
+    std::vector<double> b(60);
+    for (auto& x : a) x = rng.normal(50.0, 5.0);
+    for (auto& x : b) x = rng.normal(50.0, 5.0);
+    BootstrapConfig cfg;
+    cfg.resamples = 400;
+    cfg.seed = static_cast<std::uint64_t>(rep) + 11;
+    if (bootstrap_mean_difference(a, b, cfg).excludes_zero()) ++exclusions;
+  }
+  EXPECT_LE(exclusions, 3);
+}
+
+TEST(BootstrapMeanDifference, RobustToOutlier) {
+  // A huge outlier inflates the t-interval; the bootstrap stays sane
+  // (interval still contains the plug-in estimate).
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0, 1e6};
+  std::vector<double> b{2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
+  const BootstrapInterval ci = bootstrap_mean_difference(a, b);
+  EXPECT_LE(ci.lo, ci.estimate);
+  EXPECT_GE(ci.hi, ci.estimate);
+}
+
+TEST(Bootstrap, DeterministicGivenSeed) {
+  std::vector<double> xs{3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+  const BootstrapInterval a = bootstrap_mean(xs);
+  const BootstrapInterval b = bootstrap_mean(xs);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, ConfigValidation) {
+  std::vector<double> xs{1.0, 2.0};
+  BootstrapConfig bad;
+  bad.resamples = 5;
+  EXPECT_THROW(bootstrap_mean(xs, bad), InvalidArgument);
+  bad = BootstrapConfig{};
+  bad.alpha = 0.0;
+  EXPECT_THROW(bootstrap_mean(xs, bad), InvalidArgument);
+  EXPECT_THROW(bootstrap_mean({}, BootstrapConfig{}), InvalidArgument);
+  EXPECT_THROW(bootstrap_mean_difference({}, xs, BootstrapConfig{}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sce::stats

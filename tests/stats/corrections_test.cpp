@@ -1,0 +1,103 @@
+#include "stats/corrections.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sce::stats {
+namespace {
+
+TEST(Bonferroni, MultipliesByFamilySize) {
+  const auto adj = bonferroni(std::vector<double>{0.01, 0.02, 0.03});
+  EXPECT_DOUBLE_EQ(adj[0], 0.03);
+  EXPECT_DOUBLE_EQ(adj[1], 0.06);
+  EXPECT_DOUBLE_EQ(adj[2], 0.09);
+}
+
+TEST(Bonferroni, ClampsAtOne) {
+  const auto adj = bonferroni(std::vector<double>{0.5, 0.9});
+  EXPECT_DOUBLE_EQ(adj[0], 1.0);
+  EXPECT_DOUBLE_EQ(adj[1], 1.0);
+}
+
+TEST(Bonferroni, SingleTestUnchanged) {
+  const auto adj = bonferroni(std::vector<double>{0.04});
+  EXPECT_DOUBLE_EQ(adj[0], 0.04);
+}
+
+TEST(Holm, KnownExample) {
+  // p = {0.01, 0.04, 0.03}: sorted {0.01, 0.03, 0.04};
+  // adjusted: 0.03, max(0.03, 0.06)=0.06, max(0.06, 0.04)=0.06.
+  const auto adj = holm(std::vector<double>{0.01, 0.04, 0.03});
+  EXPECT_DOUBLE_EQ(adj[0], 0.03);
+  EXPECT_DOUBLE_EQ(adj[1], 0.06);
+  EXPECT_DOUBLE_EQ(adj[2], 0.06);
+}
+
+TEST(Holm, NeverExceedsBonferroni) {
+  const std::vector<double> ps{0.001, 0.02, 0.04, 0.2, 0.6};
+  const auto h = holm(ps);
+  const auto b = bonferroni(ps);
+  for (std::size_t i = 0; i < ps.size(); ++i) EXPECT_LE(h[i], b[i]);
+}
+
+TEST(Holm, NeverBelowRaw) {
+  const std::vector<double> ps{0.001, 0.02, 0.04, 0.2, 0.6};
+  const auto h = holm(ps);
+  for (std::size_t i = 0; i < ps.size(); ++i) EXPECT_GE(h[i], ps[i]);
+}
+
+TEST(Holm, PreservesRankOrder) {
+  const std::vector<double> ps{0.5, 0.01, 0.2, 0.03};
+  const auto h = holm(ps);
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    for (std::size_t j = 0; j < ps.size(); ++j)
+      if (ps[i] < ps[j]) EXPECT_LE(h[i], h[j]);
+}
+
+TEST(BenjaminiHochberg, KnownExample) {
+  // p = {0.01, 0.02, 0.03}, m=3:
+  // from largest: 0.03*3/3=0.03; 0.02*3/2=0.03 -> min(0.03,0.03)=0.03;
+  // 0.01*3/1=0.03 -> min=0.03.
+  const auto adj = benjamini_hochberg(std::vector<double>{0.01, 0.02, 0.03});
+  EXPECT_DOUBLE_EQ(adj[0], 0.03);
+  EXPECT_DOUBLE_EQ(adj[1], 0.03);
+  EXPECT_DOUBLE_EQ(adj[2], 0.03);
+}
+
+TEST(BenjaminiHochberg, LessConservativeThanHolm) {
+  const std::vector<double> ps{0.001, 0.008, 0.039, 0.041, 0.2};
+  const auto bh = benjamini_hochberg(ps);
+  const auto h = holm(ps);
+  for (std::size_t i = 0; i < ps.size(); ++i) EXPECT_LE(bh[i], h[i]);
+}
+
+TEST(BenjaminiHochberg, ClampsAtOne) {
+  const auto adj = benjamini_hochberg(std::vector<double>{1.0, 0.9});
+  for (double p : adj) EXPECT_LE(p, 1.0);
+}
+
+TEST(Corrections, EmptyInputGivesEmptyOutput) {
+  EXPECT_TRUE(bonferroni({}).empty());
+  EXPECT_TRUE(holm({}).empty());
+  EXPECT_TRUE(benjamini_hochberg({}).empty());
+}
+
+TEST(Corrections, OutOfRangePThrows) {
+  EXPECT_THROW(bonferroni(std::vector<double>{-0.1}), InvalidArgument);
+  EXPECT_THROW(holm(std::vector<double>{1.5}), InvalidArgument);
+  EXPECT_THROW(benjamini_hochberg(std::vector<double>{2.0}), InvalidArgument);
+}
+
+TEST(Corrections, AllPreserveLength) {
+  const std::vector<double> ps{0.1, 0.2, 0.3, 0.4};
+  EXPECT_EQ(bonferroni(ps).size(), 4u);
+  EXPECT_EQ(holm(ps).size(), 4u);
+  EXPECT_EQ(benjamini_hochberg(ps).size(), 4u);
+}
+
+}  // namespace
+}  // namespace sce::stats

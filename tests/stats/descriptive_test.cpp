@@ -1,0 +1,202 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sce::stats {
+namespace {
+
+TEST(RunningStats, MeanAndVarianceSmallSample) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, /7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, MinMax) {
+  RunningStats rs;
+  for (double x : {3.0, -1.0, 7.0, 2.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.min(), -1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 7.0);
+}
+
+TEST(RunningStats, SemIsStddevOverSqrtN) {
+  RunningStats rs;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) rs.add(x);
+  EXPECT_NEAR(rs.sem(), rs.stddev() / 2.0, 1e-12);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), InvalidArgument);
+  EXPECT_THROW(rs.min(), InvalidArgument);
+  EXPECT_THROW(rs.max(), InvalidArgument);
+}
+
+TEST(RunningStats, SingleValueVarianceThrows) {
+  RunningStats rs;
+  rs.add(1.0);
+  EXPECT_THROW(rs.variance(), InvalidArgument);
+}
+
+TEST(RunningStats, SymmetricDataHasZeroSkew) {
+  RunningStats rs;
+  for (double x : {-2.0, -1.0, 0.0, 1.0, 2.0}) rs.add(x);
+  EXPECT_NEAR(rs.skewness(), 0.0, 1e-12);
+}
+
+TEST(RunningStats, RightSkewedDataPositiveSkew) {
+  RunningStats rs;
+  for (double x : {1.0, 1.0, 1.0, 1.0, 10.0}) rs.add(x);
+  EXPECT_GT(rs.skewness(), 1.0);
+}
+
+TEST(RunningStats, KurtosisOfTwoPointMass) {
+  // Symmetric two-point distribution has excess kurtosis -2 (scaled by
+  // the small-sample factor n/(n-1)... here we use the population-style g2
+  // definition, so check against direct computation).
+  RunningStats rs;
+  for (double x : {-1.0, -1.0, 1.0, 1.0}) rs.add(x);
+  // m4/m2^2*n - 3 = (4 / (4*4/4... compute directly: m2=4, m4=4, n=4:
+  // 4*4/(4*4) - 3 = 1 - 3 = -2.
+  EXPECT_NEAR(rs.excess_kurtosis(), -2.0, 1e-12);
+}
+
+TEST(RunningStats, ZeroVarianceSkewThrows) {
+  RunningStats rs;
+  rs.add(5.0);
+  rs.add(5.0);
+  EXPECT_THROW(rs.skewness(), InvalidArgument);
+  EXPECT_THROW(rs.excess_kurtosis(), InvalidArgument);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  util::Rng rng(31);
+  RunningStats all;
+  RunningStats part_a;
+  RunningStats part_b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? part_a : part_b).add(x);
+  }
+  part_a.merge(part_b);
+  EXPECT_EQ(part_a.count(), all.count());
+  EXPECT_NEAR(part_a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(part_a.variance(), all.variance(), 1e-9);
+  EXPECT_NEAR(part_a.skewness(), all.skewness(), 1e-8);
+  EXPECT_NEAR(part_a.excess_kurtosis(), all.excess_kurtosis(), 1e-8);
+  EXPECT_DOUBLE_EQ(part_a.min(), all.min());
+  EXPECT_DOUBLE_EQ(part_a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  RunningStats target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 1.5);
+}
+
+TEST(RunningStats, ClearResets) {
+  RunningStats rs;
+  rs.add(1.0);
+  rs.clear();
+  EXPECT_EQ(rs.count(), 0u);
+}
+
+TEST(RunningStats, NumericallyStableAtLargeOffset) {
+  // Classic catastrophic-cancellation scenario for naive sum-of-squares.
+  RunningStats rs;
+  const double offset = 1e9;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) rs.add(x);
+  EXPECT_NEAR(rs.variance(), 1.0, 1e-6);
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Quantile, Type7Interpolation) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+}
+
+TEST(Quantile, Errors) {
+  std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile({}, 0.5), InvalidArgument);
+  EXPECT_THROW(quantile(xs, -0.1), InvalidArgument);
+  EXPECT_THROW(quantile(xs, 1.1), InvalidArgument);
+}
+
+TEST(Summarize, AllFieldsPopulated) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.variance, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summarize, SingleElement) {
+  std::vector<double> xs{7.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);  // left at default for n < 2
+}
+
+TEST(Summarize, EmptyThrows) { EXPECT_THROW(summarize({}), InvalidArgument); }
+
+TEST(PearsonCorrelation, PerfectLinear) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson_correlation(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, IndependentNearZero) {
+  util::Rng rng(77);
+  std::vector<double> xs(2000);
+  std::vector<double> ys(2000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.normal();
+    ys[i] = rng.normal();
+  }
+  EXPECT_NEAR(pearson_correlation(xs, ys), 0.0, 0.06);
+}
+
+TEST(PearsonCorrelation, Errors) {
+  std::vector<double> a{1.0, 2.0};
+  std::vector<double> b{1.0};
+  EXPECT_THROW(pearson_correlation(a, b), InvalidArgument);
+  std::vector<double> constant{3.0, 3.0};
+  EXPECT_THROW(pearson_correlation(a, constant), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sce::stats

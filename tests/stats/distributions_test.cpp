@@ -1,0 +1,153 @@
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sce::stats {
+namespace {
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145707, 1e-9);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-7);
+}
+
+TEST(StudentTCdf, CenterIsHalf) {
+  for (double df : {1.0, 2.0, 10.0, 100.0})
+    EXPECT_DOUBLE_EQ(student_t_cdf(0.0, df), 0.5);
+}
+
+TEST(StudentTCdf, CauchyCase) {
+  // df=1 is the Cauchy distribution: CDF(t) = 1/2 + atan(t)/pi.
+  for (double t : {-2.0, -1.0, 0.5, 1.0, 3.0})
+    EXPECT_NEAR(student_t_cdf(t, 1.0), 0.5 + std::atan(t) / M_PI, 1e-10);
+}
+
+TEST(StudentTCdf, TwoDegreesClosedForm) {
+  // df=2: CDF(t) = 1/2 + t / (2*sqrt(2 + t^2) ) * ... exact form:
+  // CDF(t) = 1/2 * (1 + t / sqrt(2 + t^2)).
+  for (double t : {-1.5, -0.5, 1.0, 2.5})
+    EXPECT_NEAR(student_t_cdf(t, 2.0),
+                0.5 * (1.0 + t / std::sqrt(2.0 + t * t)), 1e-10);
+}
+
+TEST(StudentTCdf, ApproachesNormalForLargeDf) {
+  for (double t : {-2.0, -1.0, 0.5, 2.0})
+    EXPECT_NEAR(student_t_cdf(t, 1e6), normal_cdf(t), 1e-4);
+}
+
+TEST(StudentTCdf, ThrowsOnBadDf) {
+  EXPECT_THROW(student_t_cdf(1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(student_t_cdf(1.0, -2.0), InvalidArgument);
+}
+
+TEST(StudentTTwoSidedP, KnownCriticalValues) {
+  // t = 2.228, df = 10 is the classic 5% two-sided critical value.
+  EXPECT_NEAR(student_t_two_sided_p(2.228, 10.0), 0.05, 2e-4);
+  // t = 1.96, large df -> ~0.05.
+  EXPECT_NEAR(student_t_two_sided_p(1.959963985, 1e7), 0.05, 1e-4);
+}
+
+TEST(StudentTTwoSidedP, SymmetricInT) {
+  EXPECT_DOUBLE_EQ(student_t_two_sided_p(2.5, 7.0),
+                   student_t_two_sided_p(-2.5, 7.0));
+}
+
+TEST(StudentTTwoSidedP, OneAtZero) {
+  EXPECT_DOUBLE_EQ(student_t_two_sided_p(0.0, 5.0), 1.0);
+}
+
+TEST(FCdf, MatchesSquaredTRelation) {
+  // If T ~ t(df) then T^2 ~ F(1, df):
+  // P(F(1,df) <= t^2) = P(|T| <= t) = 1 - two_sided_p(t).
+  for (double t : {0.5, 1.0, 2.0}) {
+    for (double df : {3.0, 10.0, 30.0}) {
+      EXPECT_NEAR(f_cdf(t * t, 1.0, df),
+                  1.0 - student_t_two_sided_p(t, df), 1e-10);
+    }
+  }
+}
+
+TEST(FCdf, ZeroBelowSupport) {
+  EXPECT_DOUBLE_EQ(f_cdf(0.0, 2.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(f_cdf(-1.0, 2.0, 5.0), 0.0);
+}
+
+TEST(FCdf, ThrowsOnBadDf) {
+  EXPECT_THROW(f_cdf(1.0, 0.0, 5.0), InvalidArgument);
+  EXPECT_THROW(f_cdf(1.0, 5.0, -1.0), InvalidArgument);
+}
+
+TEST(ChiSquaredCdf, ExponentialCase) {
+  // Chi^2 with 2 df is Exp(1/2): CDF(x) = 1 - e^{-x/2}.
+  for (double x : {0.5, 1.0, 3.0, 8.0})
+    EXPECT_NEAR(chi_squared_cdf(x, 2.0), 1.0 - std::exp(-x / 2.0), 1e-12);
+}
+
+TEST(ChiSquaredCdf, KnownCritical) {
+  // 95th percentile of chi^2(1) is 3.841.
+  EXPECT_NEAR(chi_squared_cdf(3.841458821, 1.0), 0.95, 1e-7);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p = 0.01; p < 1.0; p += 0.07)
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10) << "p=" << p;
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-7);
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-10);
+  EXPECT_NEAR(normal_quantile(0.841344746), 1.0, 1e-7);
+}
+
+TEST(NormalQuantile, ThrowsOutsideOpenInterval) {
+  EXPECT_THROW(normal_quantile(0.0), InvalidArgument);
+  EXPECT_THROW(normal_quantile(1.0), InvalidArgument);
+  EXPECT_THROW(normal_quantile(-0.5), InvalidArgument);
+}
+
+TEST(StudentTQuantile, KnownCritical) {
+  EXPECT_NEAR(student_t_quantile(0.975, 10.0), 2.228138852, 1e-6);
+  EXPECT_NEAR(student_t_quantile(0.95, 5.0), 2.015048373, 1e-6);
+}
+
+TEST(StudentTQuantile, InvertsCdf) {
+  // Tolerance bounded by the incomplete-beta accuracy near x -> 1.
+  for (double p : {0.05, 0.25, 0.5, 0.8, 0.99})
+    EXPECT_NEAR(student_t_cdf(student_t_quantile(p, 7.0), 7.0), p, 5e-8);
+}
+
+TEST(StudentTQuantile, SymmetricAroundMedian) {
+  EXPECT_NEAR(student_t_quantile(0.2, 9.0), -student_t_quantile(0.8, 9.0),
+              1e-9);
+}
+
+TEST(StudentTQuantile, Throws) {
+  EXPECT_THROW(student_t_quantile(0.0, 5.0), InvalidArgument);
+  EXPECT_THROW(student_t_quantile(0.5, 0.0), InvalidArgument);
+}
+
+class TCdfMonotoneSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TCdfMonotoneSweep, CdfIsMonotoneAndBounded) {
+  const double df = GetParam();
+  double prev = 0.0;
+  for (double t = -8.0; t <= 8.0; t += 0.5) {
+    const double v = student_t_cdf(t, df);
+    EXPECT_GE(v, prev - 1e-15);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DegreesOfFreedom, TCdfMonotoneSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.7, 10.0, 50.0,
+                                           1000.0));
+
+}  // namespace
+}  // namespace sce::stats

@@ -1,0 +1,137 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sce::stats {
+namespace {
+
+TEST(Histogram, CountsFallInCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.9);   // bin 4
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(+100.0);
+  h.add(10.0);  // hi boundary clamps into last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+  EXPECT_THROW(h.bin_center(5), InvalidArgument);
+}
+
+TEST(Histogram, BinIndexBoundaries) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.bin_index(0.0), 0u);
+  EXPECT_EQ(h.bin_index(0.999), 0u);
+  EXPECT_EQ(h.bin_index(1.0), 1u);
+  EXPECT_EQ(h.bin_index(9.999), 9u);
+}
+
+TEST(Histogram, DensitySumsToOne) {
+  Histogram h(0.0, 1.0, 4);
+  for (double x : {0.1, 0.2, 0.6, 0.9, 0.95}) h.add(x);
+  double sum = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) sum += h.density(b);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyDensityIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.density(0), 0.0);
+}
+
+TEST(Histogram, AddAllMatchesLoop) {
+  std::vector<double> xs{0.5, 1.5, 2.5, 2.6};
+  Histogram a(0.0, 3.0, 3);
+  Histogram b(0.0, 3.0, 3);
+  a.add_all(xs);
+  for (double x : xs) b.add(x);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(a.count(i), b.count(i));
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(Histogram, RenderShowsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string out = h.render();
+  EXPECT_NE(out.find("1"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(SturgesBins, KnownSizes) {
+  EXPECT_EQ(sturges_bins(0), 1u);
+  EXPECT_EQ(sturges_bins(1), 1u);
+  EXPECT_EQ(sturges_bins(100), 8u);   // ceil(log2(100)) + 1 = 7 + 1
+  EXPECT_EQ(sturges_bins(1024), 11u);
+}
+
+TEST(FreedmanDiaconis, ReasonableForUniformData) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(i / 1000.0);
+  const std::size_t bins = freedman_diaconis_bins(xs);
+  EXPECT_GT(bins, 5u);
+  EXPECT_LT(bins, 30u);
+}
+
+TEST(FreedmanDiaconis, FallsBackOnDegenerateIqr) {
+  std::vector<double> xs(100, 5.0);
+  xs.push_back(6.0);
+  EXPECT_EQ(freedman_diaconis_bins(xs), sturges_bins(xs.size()));
+}
+
+TEST(FreedmanDiaconis, TinySample) {
+  std::vector<double> xs{1.0};
+  EXPECT_EQ(freedman_diaconis_bins(xs), 1u);
+}
+
+TEST(SharedHistograms, CommonRangeAcrossSamples) {
+  std::vector<std::vector<double>> samples{{0.0, 1.0}, {9.0, 10.0}};
+  const auto hs = shared_histograms(samples, 10);
+  ASSERT_EQ(hs.size(), 2u);
+  EXPECT_DOUBLE_EQ(hs[0].lo(), 0.0);
+  EXPECT_DOUBLE_EQ(hs[0].hi(), 10.0);
+  EXPECT_DOUBLE_EQ(hs[1].lo(), 0.0);
+  EXPECT_DOUBLE_EQ(hs[1].hi(), 10.0);
+  EXPECT_EQ(hs[0].total(), 2u);
+  EXPECT_EQ(hs[1].total(), 2u);
+}
+
+TEST(SharedHistograms, DegenerateRangeStillWorks) {
+  std::vector<std::vector<double>> samples{{5.0, 5.0}, {5.0}};
+  const auto hs = shared_histograms(samples, 4);
+  EXPECT_EQ(hs[0].total(), 2u);
+  EXPECT_EQ(hs[1].total(), 1u);
+}
+
+TEST(SharedHistograms, Errors) {
+  EXPECT_THROW(shared_histograms({}, 4), InvalidArgument);
+  std::vector<std::vector<double>> all_empty{{}, {}};
+  EXPECT_THROW(shared_histograms(all_empty, 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sce::stats

@@ -1,0 +1,113 @@
+#include "stats/nonparametric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sce::stats {
+namespace {
+
+TEST(MannWhitney, CompletelySeparatedSamples) {
+  std::vector<double> a{1.0, 2.0};
+  std::vector<double> b{3.0, 4.0};
+  const MannWhitneyResult r = mann_whitney_u(a, b);
+  EXPECT_DOUBLE_EQ(r.u, 0.0);  // a entirely below b
+}
+
+TEST(MannWhitney, IdenticalSamplesNotSignificant) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  const MannWhitneyResult r = mann_whitney_u(a, a);
+  EXPECT_GT(r.p_two_sided, 0.9);
+  EXPECT_FALSE(r.significant());
+}
+
+TEST(MannWhitney, AllTiedSamples) {
+  std::vector<double> a{3.0, 3.0, 3.0};
+  const MannWhitneyResult r = mann_whitney_u(a, a);
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+  EXPECT_DOUBLE_EQ(r.z, 0.0);
+}
+
+TEST(MannWhitney, DetectsShift) {
+  util::Rng rng(42);
+  std::vector<double> a(80);
+  std::vector<double> b(80);
+  for (auto& x : a) x = rng.normal(0.0, 1.0);
+  for (auto& x : b) x = rng.normal(1.5, 1.0);
+  const MannWhitneyResult r = mann_whitney_u(a, b);
+  EXPECT_TRUE(r.significant(0.01));
+}
+
+TEST(MannWhitney, RobustToOutliers) {
+  // A single enormous outlier should not flip a rank test.
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  std::vector<double> b{1.1, 2.1, 3.1, 4.1, 5.1, 6.1, 7.1, 1e9};
+  const MannWhitneyResult r = mann_whitney_u(a, b);
+  EXPECT_FALSE(r.significant(0.05));
+}
+
+TEST(MannWhitney, USymmetry) {
+  // U_a + U_b = n_a * n_b.
+  std::vector<double> a{1.0, 4.0, 2.0};
+  std::vector<double> b{3.0, 5.0, 0.5, 2.5};
+  const double ua = mann_whitney_u(a, b).u;
+  const double ub = mann_whitney_u(b, a).u;
+  EXPECT_DOUBLE_EQ(ua + ub, 12.0);
+}
+
+TEST(MannWhitney, SmallSampleThrows) {
+  std::vector<double> one{1.0};
+  std::vector<double> ok{1.0, 2.0};
+  EXPECT_THROW(mann_whitney_u(one, ok), InvalidArgument);
+}
+
+TEST(KolmogorovSmirnov, IdenticalSamples) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const KsResult r = kolmogorov_smirnov(a, a);
+  EXPECT_DOUBLE_EQ(r.d, 0.0);
+  EXPECT_NEAR(r.p_two_sided, 1.0, 1e-9);
+}
+
+TEST(KolmogorovSmirnov, DisjointSamples) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  std::vector<double> b{11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0};
+  const KsResult r = kolmogorov_smirnov(a, b);
+  EXPECT_DOUBLE_EQ(r.d, 1.0);
+  EXPECT_TRUE(r.significant(0.05));
+}
+
+TEST(KolmogorovSmirnov, DetectsVarianceDifference) {
+  // Same mean, different spread: the t-test misses this, KS catches it.
+  util::Rng rng(11);
+  std::vector<double> narrow(200);
+  std::vector<double> wide(200);
+  for (auto& x : narrow) x = rng.normal(0.0, 1.0);
+  for (auto& x : wide) x = rng.normal(0.0, 4.0);
+  EXPECT_TRUE(kolmogorov_smirnov(narrow, wide).significant(0.01));
+}
+
+TEST(KolmogorovSmirnov, StatisticKnownSmallCase) {
+  // a = {1, 2}, b = {1.5}: max |F_a - F_b| at x in [1, 1.5): |0.5 - 0| = 0.5,
+  // at x in [1.5, 2): |0.5 - 1| = 0.5, so D = 0.5.
+  std::vector<double> a{1.0, 2.0};
+  std::vector<double> b{1.5};
+  EXPECT_DOUBLE_EQ(kolmogorov_smirnov(a, b).d, 0.5);
+}
+
+TEST(KolmogorovSmirnov, SymmetricInArguments) {
+  std::vector<double> a{1.0, 3.0, 5.0};
+  std::vector<double> b{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(kolmogorov_smirnov(a, b).d, kolmogorov_smirnov(b, a).d);
+}
+
+TEST(KolmogorovSmirnov, EmptyThrows) {
+  std::vector<double> ok{1.0};
+  EXPECT_THROW(kolmogorov_smirnov({}, ok), InvalidArgument);
+  EXPECT_THROW(kolmogorov_smirnov(ok, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sce::stats

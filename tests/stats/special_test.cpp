@@ -1,0 +1,120 @@
+#include "stats/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sce::stats {
+namespace {
+
+TEST(LogGamma, IntegerFactorials) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-10);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-9);
+  EXPECT_NEAR(log_gamma(10.0), std::log(362880.0), 1e-8);
+}
+
+TEST(LogGamma, HalfInteger) {
+  EXPECT_NEAR(log_gamma(0.5), std::log(std::sqrt(M_PI)), 1e-10);
+  EXPECT_NEAR(log_gamma(1.5), std::log(std::sqrt(M_PI) / 2.0), 1e-10);
+}
+
+TEST(LogGamma, ReflectionRegion) {
+  // Gamma(0.25) = 3.6256099082...
+  EXPECT_NEAR(log_gamma(0.25), std::log(3.6256099082219083), 1e-9);
+}
+
+TEST(LogGamma, MatchesStdLgammaOverSweep) {
+  for (double x = 0.1; x < 30.0; x += 0.37)
+    EXPECT_NEAR(log_gamma(x), std::lgamma(x), 1e-8) << "x=" << x;
+}
+
+TEST(LogGamma, ThrowsOnNonPositive) {
+  EXPECT_THROW(log_gamma(0.0), InvalidArgument);
+  EXPECT_THROW(log_gamma(-1.0), InvalidArgument);
+}
+
+TEST(IncompleteBeta, Boundaries) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, UniformCaseIsIdentity) {
+  // I_x(1, 1) = x.
+  for (double x = 0.05; x < 1.0; x += 0.1)
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-12) << "x=" << x;
+}
+
+TEST(IncompleteBeta, KnownPolynomialCase) {
+  // I_x(2, 2) = 3x^2 - 2x^3.
+  for (double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(2.0, 2.0, x), 3 * x * x - 2 * x * x * x,
+                1e-12)
+        << "x=" << x;
+  }
+}
+
+TEST(IncompleteBeta, SymmetryRelation) {
+  for (double x = 0.1; x < 1.0; x += 0.2) {
+    EXPECT_NEAR(incomplete_beta(2.5, 4.0, x),
+                1.0 - incomplete_beta(4.0, 2.5, 1.0 - x), 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, Monotone) {
+  double prev = 0.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double v = incomplete_beta(3.0, 2.0, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(IncompleteBeta, InvalidInputsThrow) {
+  EXPECT_THROW(incomplete_beta(0.0, 1.0, 0.5), InvalidArgument);
+  EXPECT_THROW(incomplete_beta(1.0, -1.0, 0.5), InvalidArgument);
+  EXPECT_THROW(incomplete_beta(1.0, 1.0, -0.1), InvalidArgument);
+  EXPECT_THROW(incomplete_beta(1.0, 1.0, 1.1), InvalidArgument);
+}
+
+TEST(IncompleteGamma, ExponentialCase) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0})
+    EXPECT_NEAR(incomplete_gamma_lower(1.0, x), 1.0 - std::exp(-x), 1e-12);
+}
+
+TEST(IncompleteGamma, LowerPlusUpperIsOne) {
+  for (double a : {0.5, 1.0, 2.5, 7.0}) {
+    for (double x : {0.1, 1.0, 3.0, 10.0}) {
+      EXPECT_NEAR(incomplete_gamma_lower(a, x) + incomplete_gamma_upper(a, x),
+                  1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(IncompleteGamma, Boundaries) {
+  EXPECT_DOUBLE_EQ(incomplete_gamma_lower(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_gamma_upper(2.0, 0.0), 1.0);
+}
+
+TEST(IncompleteGamma, InvalidInputsThrow) {
+  EXPECT_THROW(incomplete_gamma_lower(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(incomplete_gamma_lower(1.0, -1.0), InvalidArgument);
+  EXPECT_THROW(incomplete_gamma_upper(-2.0, 1.0), InvalidArgument);
+}
+
+TEST(ErrorFunction, MatchesStdErf) {
+  for (double x = -3.0; x <= 3.0; x += 0.25)
+    EXPECT_NEAR(error_function(x), std::erf(x), 1e-10) << "x=" << x;
+}
+
+TEST(ErrorFunction, OddSymmetry) {
+  for (double x : {0.3, 1.1, 2.2})
+    EXPECT_NEAR(error_function(-x), -error_function(x), 1e-14);
+}
+
+}  // namespace
+}  // namespace sce::stats

@@ -1,0 +1,168 @@
+#include "uarch/branch_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sce::uarch {
+namespace {
+
+constexpr std::uintptr_t kPc = 0x401000;
+
+TEST(StaticTaken, PredictsTakenAlways) {
+  StaticTakenPredictor p;
+  for (int i = 0; i < 10; ++i) p.resolve(kPc, true);
+  EXPECT_EQ(p.stats().mispredicts, 0u);
+  for (int i = 0; i < 10; ++i) p.resolve(kPc, false);
+  EXPECT_EQ(p.stats().mispredicts, 10u);
+  EXPECT_EQ(p.stats().branches, 20u);
+  EXPECT_EQ(p.stats().taken, 10u);
+}
+
+TEST(Bimodal, LearnsBias) {
+  BimodalPredictor p;
+  // Initially weakly not-taken: first taken branch mispredicts.
+  p.resolve(kPc, true);
+  EXPECT_EQ(p.stats().mispredicts, 1u);
+  // After the counter saturates, steady taken stream predicts correctly.
+  for (int i = 0; i < 20; ++i) p.resolve(kPc, true);
+  p.reset_stats();
+  for (int i = 0; i < 100; ++i) p.resolve(kPc, true);
+  EXPECT_EQ(p.stats().mispredicts, 0u);
+}
+
+TEST(Bimodal, TwoBitHysteresisSurvivesSingleFlip) {
+  BimodalPredictor p;
+  for (int i = 0; i < 4; ++i) p.resolve(kPc, true);  // saturate taken
+  p.reset_stats();
+  p.resolve(kPc, false);  // one anomaly: mispredicted
+  p.resolve(kPc, true);   // still predicts taken (hysteresis)
+  EXPECT_EQ(p.stats().mispredicts, 1u);
+}
+
+TEST(Bimodal, AlternatingPatternDefeatsIt) {
+  BimodalPredictor p;
+  // Warm up, then measure: strict alternation hovers between states.
+  for (int i = 0; i < 10; ++i) p.resolve(kPc, i % 2 == 0);
+  p.reset_stats();
+  for (int i = 0; i < 100; ++i) p.resolve(kPc, i % 2 == 0);
+  EXPECT_GT(p.stats().mispredict_rate(), 0.4);
+}
+
+TEST(Bimodal, SeparatePcsSeparateCounters) {
+  BimodalPredictor p;
+  for (int i = 0; i < 10; ++i) {
+    p.resolve(0x1000, true);
+    p.resolve(0x2000, false);
+  }
+  p.reset_stats();
+  p.resolve(0x1000, true);
+  p.resolve(0x2000, false);
+  EXPECT_EQ(p.stats().mispredicts, 0u);
+}
+
+TEST(GShare, LearnsAlternationThroughHistory) {
+  GSharePredictor p;
+  for (int i = 0; i < 200; ++i) p.resolve(kPc, i % 2 == 0);
+  p.reset_stats();
+  for (int i = 0; i < 200; ++i) p.resolve(kPc, i % 2 == 0);
+  EXPECT_LT(p.stats().mispredict_rate(), 0.05);
+}
+
+TEST(GShare, LearnsShortPeriodicPattern) {
+  GSharePredictor p;
+  auto pattern = [](int i) { return (i % 4) != 3; };  // TTTN repeating
+  for (int i = 0; i < 400; ++i) p.resolve(kPc, pattern(i));
+  p.reset_stats();
+  for (int i = 0; i < 400; ++i) p.resolve(kPc, pattern(i));
+  EXPECT_LT(p.stats().mispredict_rate(), 0.05);
+}
+
+TEST(GShare, RandomStreamNearChance) {
+  GSharePredictor p;
+  util::Rng rng(5);
+  for (int i = 0; i < 5000; ++i) p.resolve(kPc, rng.chance(0.5));
+  EXPECT_GT(p.stats().mispredict_rate(), 0.35);
+}
+
+TEST(TwoLevelLocal, LearnsPerBranchPattern) {
+  TwoLevelLocalPredictor p;
+  auto pattern = [](int i) { return (i % 3) != 0; };  // NTT repeating
+  for (int i = 0; i < 300; ++i) p.resolve(kPc, pattern(i));
+  p.reset_stats();
+  for (int i = 0; i < 300; ++i) p.resolve(kPc, pattern(i));
+  EXPECT_LT(p.stats().mispredict_rate(), 0.05);
+}
+
+TEST(Predictors, FlushForgetsTraining) {
+  GSharePredictor p;
+  for (int i = 0; i < 100; ++i) p.resolve(kPc, true);
+  p.flush();
+  p.reset_stats();
+  p.resolve(kPc, true);
+  // Back to the initial weakly-not-taken guess.
+  EXPECT_EQ(p.stats().mispredicts, 1u);
+}
+
+TEST(Predictors, StatsCountTaken) {
+  BimodalPredictor p;
+  p.resolve(kPc, true);
+  p.resolve(kPc, false);
+  p.resolve(kPc, true);
+  EXPECT_EQ(p.stats().taken, 2u);
+  EXPECT_EQ(p.stats().branches, 3u);
+}
+
+TEST(Predictors, MispredictRateEmpty) {
+  BimodalPredictor p;
+  EXPECT_DOUBLE_EQ(p.stats().mispredict_rate(), 0.0);
+}
+
+TEST(Predictors, FactoryAndNames) {
+  for (auto kind :
+       {PredictorKind::kStaticTaken, PredictorKind::kBimodal,
+        PredictorKind::kGShare, PredictorKind::kTwoLevelLocal}) {
+    auto p = make_predictor(kind);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->name(), to_string(kind));
+  }
+}
+
+TEST(Predictors, ConstructorValidation) {
+  EXPECT_THROW(BimodalPredictor(0), InvalidArgument);
+  EXPECT_THROW(BimodalPredictor(30), InvalidArgument);
+  EXPECT_THROW(GSharePredictor(0, 8), InvalidArgument);
+  EXPECT_THROW(GSharePredictor(12, 64), InvalidArgument);
+  EXPECT_THROW(TwoLevelLocalPredictor(0, 8), InvalidArgument);
+  EXPECT_THROW(TwoLevelLocalPredictor(10, 0), InvalidArgument);
+}
+
+class DynamicPredictorSweep
+    : public ::testing::TestWithParam<PredictorKind> {};
+
+TEST_P(DynamicPredictorSweep, StronglyBiasedStreamWellPredicted) {
+  auto p = make_predictor(GetParam());
+  util::Rng rng(8);
+  // 95% taken loop-style stream.
+  for (int i = 0; i < 2000; ++i) p->resolve(kPc, rng.chance(0.95));
+  EXPECT_LT(p->stats().mispredict_rate(), 0.15) << p->name();
+}
+
+TEST_P(DynamicPredictorSweep, CountsAreConsistent) {
+  auto p = make_predictor(GetParam());
+  util::Rng rng(9);
+  for (int i = 0; i < 500; ++i)
+    p->resolve(0x1000 + 8 * rng.below(16), rng.chance(0.5));
+  EXPECT_EQ(p->stats().branches, 500u);
+  EXPECT_LE(p->stats().mispredicts, p->stats().branches);
+  EXPECT_LE(p->stats().taken, p->stats().branches);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDynamic, DynamicPredictorSweep,
+                         ::testing::Values(PredictorKind::kBimodal,
+                                           PredictorKind::kGShare,
+                                           PredictorKind::kTwoLevelLocal));
+
+}  // namespace
+}  // namespace sce::uarch

@@ -1,0 +1,85 @@
+#include "uarch/core_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sce::uarch {
+namespace {
+
+TEST(CoreModel, CycleFormula) {
+  CoreModelConfig cfg;
+  cfg.base_cpi = 0.5;
+  cfg.branch_mispredict_cycles = 10;
+  cfg.core_over_ref = 1.0;
+  cfg.ref_over_bus = 10.0;
+
+  CoreCounts counts;
+  counts.instructions = 1000;
+  counts.memory_cycles = 300;
+  counts.mispredicts = 5;
+  const DerivedCycles d = derive_cycles(cfg, counts);
+  EXPECT_EQ(d.cycles, 1000u / 2 + 300 + 50);
+  EXPECT_EQ(d.ref_cycles, d.cycles);
+  EXPECT_EQ(d.bus_cycles, d.cycles / 10);
+}
+
+TEST(CoreModel, FrequencyRatios) {
+  CoreModelConfig cfg;
+  cfg.base_cpi = 1.0;
+  cfg.branch_mispredict_cycles = 0;
+  cfg.core_over_ref = 2.0;
+  cfg.ref_over_bus = 4.0;
+  CoreCounts counts;
+  counts.instructions = 800;
+  const DerivedCycles d = derive_cycles(cfg, counts);
+  EXPECT_EQ(d.cycles, 800u);
+  EXPECT_EQ(d.ref_cycles, 400u);
+  EXPECT_EQ(d.bus_cycles, 100u);
+}
+
+TEST(CoreModel, ZeroCountsGiveZeroCycles) {
+  const DerivedCycles d = derive_cycles(CoreModelConfig{}, CoreCounts{});
+  EXPECT_EQ(d.cycles, 0u);
+  EXPECT_EQ(d.ref_cycles, 0u);
+  EXPECT_EQ(d.bus_cycles, 0u);
+}
+
+TEST(CoreModel, DefaultsMatchPaperRatios) {
+  // Fig 2(b): cycles / ref-cycles ~ 1.014, ref-cycles / bus-cycles ~ 25.8.
+  CoreModelConfig cfg;
+  CoreCounts counts;
+  counts.instructions = 10'000'000;
+  const DerivedCycles d = derive_cycles(cfg, counts);
+  EXPECT_NEAR(static_cast<double>(d.cycles) /
+                  static_cast<double>(d.ref_cycles),
+              1.014, 0.001);
+  EXPECT_NEAR(static_cast<double>(d.ref_cycles) /
+                  static_cast<double>(d.bus_cycles),
+              25.8, 0.1);
+}
+
+TEST(CoreModel, MemoryCyclesDominateWhenLarge) {
+  CoreModelConfig cfg;
+  CoreCounts fast;
+  fast.instructions = 100;
+  CoreCounts slow = fast;
+  slow.memory_cycles = 100000;
+  EXPECT_GT(derive_cycles(cfg, slow).cycles,
+            derive_cycles(cfg, fast).cycles + 90000);
+}
+
+TEST(CoreModel, InvalidConfigThrows) {
+  CoreModelConfig bad;
+  bad.base_cpi = 0.0;
+  EXPECT_THROW(derive_cycles(bad, CoreCounts{}), InvalidArgument);
+  bad = CoreModelConfig{};
+  bad.core_over_ref = -1.0;
+  EXPECT_THROW(derive_cycles(bad, CoreCounts{}), InvalidArgument);
+  bad = CoreModelConfig{};
+  bad.ref_over_bus = 0.0;
+  EXPECT_THROW(derive_cycles(bad, CoreCounts{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sce::uarch

@@ -1,0 +1,152 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sce::util {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  CliParser cli;
+  cli.add_option("samples", "n");
+  auto argv = argv_of({"--samples=42"});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(cli.get("samples"), "42");
+  EXPECT_EQ(cli.get_int("samples"), 42);
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  CliParser cli;
+  cli.add_option("mode", "m");
+  auto argv = argv_of({"--mode", "leaky"});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(cli.get("mode"), "leaky");
+}
+
+TEST(Cli, DefaultValueApplies) {
+  CliParser cli;
+  cli.add_option("alpha", "a", "0.05");
+  auto argv = argv_of({});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha"), 0.05);
+}
+
+TEST(Cli, ExplicitOverridesDefault) {
+  CliParser cli;
+  cli.add_option("alpha", "a", "0.05");
+  auto argv = argv_of({"--alpha=0.01"});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha"), 0.01);
+}
+
+TEST(Cli, FlagDefaultsFalse) {
+  CliParser cli;
+  cli.add_flag("verbose", "v");
+  auto argv = argv_of({});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, FlagSetWhenPresent) {
+  CliParser cli;
+  cli.add_flag("verbose", "v");
+  auto argv = argv_of({"--verbose"});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  CliParser cli;
+  cli.add_flag("verbose", "v");
+  auto argv = argv_of({"--verbose=1"});
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgument);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliParser cli;
+  auto argv = argv_of({"--nope=1"});
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli;
+  cli.add_option("samples", "n");
+  auto argv = argv_of({"--samples"});
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgument);
+}
+
+TEST(Cli, GetUndeclaredThrows) {
+  CliParser cli;
+  auto argv = argv_of({});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(cli.get("x"), InvalidArgument);
+}
+
+TEST(Cli, PositionalCollected) {
+  CliParser cli;
+  cli.add_option("k", "k");
+  auto argv = argv_of({"one", "--k=v", "two"});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "one");
+  EXPECT_EQ(cli.positional()[1], "two");
+}
+
+TEST(Cli, GetIntRejectsGarbage) {
+  CliParser cli;
+  cli.add_option("n", "n");
+  auto argv = argv_of({"--n=12x"});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(cli.get_int("n"), InvalidArgument);
+}
+
+TEST(Cli, GetDoubleRejectsGarbage) {
+  CliParser cli;
+  cli.add_option("x", "x");
+  auto argv = argv_of({"--x=abc"});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(cli.get_double("x"), InvalidArgument);
+}
+
+TEST(Cli, NegativeIntParses) {
+  CliParser cli;
+  cli.add_option("n", "n");
+  auto argv = argv_of({"--n=-5"});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(cli.get_int("n"), -5);
+}
+
+TEST(Cli, UsageListsOptionsAndDefaults) {
+  CliParser cli;
+  cli.add_option("samples", "measurements per run", "100");
+  cli.add_flag("fast", "skip slow parts");
+  const std::string usage = cli.usage("prog");
+  EXPECT_NE(usage.find("--samples"), std::string::npos);
+  EXPECT_NE(usage.find("--fast"), std::string::npos);
+  EXPECT_NE(usage.find("default: 100"), std::string::npos);
+  EXPECT_NE(usage.find("measurements per run"), std::string::npos);
+}
+
+TEST(Cli, HasReportsPresence) {
+  CliParser cli;
+  cli.add_option("a", "a");
+  cli.add_option("b", "b", "1");
+  auto argv = argv_of({"--a=x"});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(cli.has("a"));
+  EXPECT_TRUE(cli.has("b"));  // via default
+  EXPECT_FALSE(cli.has("c"));
+}
+
+}  // namespace
+}  // namespace sce::util

@@ -1,0 +1,104 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sce::util {
+namespace {
+
+TEST(GroupThousands, SmallNumbersUnchanged) {
+  EXPECT_EQ(group_thousands(0), "0");
+  EXPECT_EQ(group_thousands(7), "7");
+  EXPECT_EQ(group_thousands(999), "999");
+}
+
+TEST(GroupThousands, InsertsSeparators) {
+  EXPECT_EQ(group_thousands(1000), "1,000");
+  EXPECT_EQ(group_thousands(1234567), "1,234,567");
+  EXPECT_EQ(group_thousands(1000000000ULL), "1,000,000,000");
+}
+
+TEST(GroupIndian, SmallNumbersUnchanged) {
+  EXPECT_EQ(group_indian(0), "0");
+  EXPECT_EQ(group_indian(999), "999");
+}
+
+TEST(GroupIndian, LastThreeThenTwos) {
+  EXPECT_EQ(group_indian(1000), "1,000");
+  EXPECT_EQ(group_indian(100000), "1,00,000");
+  EXPECT_EQ(group_indian(12345678), "1,23,45,678");
+}
+
+TEST(GroupIndian, MatchesPaperFigure2Values) {
+  // Values exactly as rendered in the paper's Figure 2(b).
+  EXPECT_EQ(group_indian(2267701129ULL), "2,26,77,01,129");
+  EXPECT_EQ(group_indian(8364694ULL), "83,64,694");
+  EXPECT_EQ(group_indian(1622128035ULL + 0), "1,62,21,28,035");
+}
+
+TEST(Fixed, RendersRequestedDigits) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(-21.81659, 4), "-21.8166");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(PValueString, ApproxZeroBelowThreshold) {
+  EXPECT_EQ(p_value_string(1e-7), "~0");
+  EXPECT_EQ(p_value_string(9.9e-5), "~0");
+}
+
+TEST(PValueString, RegularRendering) {
+  EXPECT_EQ(p_value_string(0.0113), "0.0113");
+  EXPECT_EQ(p_value_string(0.6669), "0.6669");
+}
+
+TEST(PValueString, CustomThreshold) {
+  EXPECT_EQ(p_value_string(0.005, 0.01), "~0");
+  EXPECT_EQ(p_value_string(0.02, 0.01), "0.0200");
+}
+
+TEST(Pad, LeftPadsToWidth) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+}
+
+TEST(Pad, RightPadsToWidth) {
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(RenderTable, AlignsColumns) {
+  const std::string table =
+      render_table({{"a", "bb"}, {"ccc", "d"}});
+  EXPECT_NE(table.find("  a  bb"), std::string::npos);
+  EXPECT_NE(table.find("ccc   d"), std::string::npos);
+}
+
+TEST(RenderTable, HandlesRaggedRows) {
+  const std::string table = render_table({{"x"}, {"y", "z"}});
+  EXPECT_NE(table.find("x"), std::string::npos);
+  EXPECT_NE(table.find("z"), std::string::npos);
+}
+
+TEST(Bar, EmptyForZeroOrNegative) {
+  EXPECT_EQ(bar(0.0, 10.0, 20), "");
+  EXPECT_EQ(bar(-1.0, 10.0, 20), "");
+  EXPECT_EQ(bar(5.0, 0.0, 20), "");
+  EXPECT_EQ(bar(5.0, 10.0, 0), "");
+}
+
+TEST(Bar, FullWidthAtMax) {
+  const std::string full = bar(10.0, 10.0, 8);
+  // 8 block characters, 3 bytes each in UTF-8.
+  EXPECT_EQ(full.size(), 8u * 3u);
+}
+
+TEST(Bar, ClampsAboveMax) {
+  EXPECT_EQ(bar(100.0, 10.0, 8), bar(10.0, 10.0, 8));
+}
+
+TEST(Bar, ProportionalLength) {
+  EXPECT_EQ(bar(5.0, 10.0, 8).size(), 4u * 3u);
+}
+
+}  // namespace
+}  // namespace sce::util

@@ -1,0 +1,95 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace sce::util {
+namespace {
+
+TEST(JsonQuote, PlainString) {
+  EXPECT_EQ(json_quote("hello"), "\"hello\"");
+  EXPECT_EQ(json_quote(""), "\"\"");
+}
+
+TEST(JsonQuote, EscapesSpecials) {
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(json_quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonNumber, FiniteAndNonFinite) {
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(-3.0), "-3");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.begin_object()
+      .key("name")
+      .value("sce")
+      .key("count")
+      .value(std::uint64_t{3})
+      .key("ok")
+      .value(true)
+      .end_object();
+  EXPECT_EQ(w.str(), R"({"name":"sce","count":3,"ok":true})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter w;
+  w.begin_object()
+      .key("xs")
+      .begin_array()
+      .value(1.0)
+      .value(2.5)
+      .end_array()
+      .key("inner")
+      .begin_object()
+      .key("k")
+      .value("v")
+      .end_object()
+      .end_object();
+  EXPECT_EQ(w.str(), R"({"xs":[1,2.5],"inner":{"k":"v"}})");
+}
+
+TEST(JsonWriter, ArrayOfObjects) {
+  JsonWriter w;
+  w.begin_array();
+  for (int i = 0; i < 2; ++i)
+    w.begin_object().key("i").value(static_cast<std::int64_t>(i)).end_object();
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([{"i":0},{"i":1}])");
+}
+
+TEST(JsonWriter, NestingErrors) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), InvalidArgument);
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("x"), InvalidArgument);
+  }
+  {
+    JsonWriter w;
+    w.begin_object().key("a");
+    EXPECT_THROW(w.key("b"), InvalidArgument);
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), InvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace sce::util

@@ -1,0 +1,56 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sce::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, SetAndGetLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST(Log, OffSuppressesEverything) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // Must not crash; output (if any) goes to stderr and is filtered.
+  log_error("suppressed");
+  log_info("suppressed");
+}
+
+TEST(Log, ConcatBuildsMessage) {
+  EXPECT_EQ(detail::concat("a=", 1, " b=", 2.5), "a=1 b=2.5");
+  EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(Errors, HierarchyIsSane) {
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw IoError("x"), Error);
+  EXPECT_THROW(throw Unsupported("x"), Error);
+  EXPECT_THROW(throw Error("x"), std::runtime_error);
+}
+
+TEST(Errors, MessagePreserved) {
+  try {
+    throw InvalidArgument("exact message");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "exact message");
+  }
+}
+
+}  // namespace
+}  // namespace sce::util

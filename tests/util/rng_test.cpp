@@ -1,0 +1,209 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace sce::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(12);
+  EXPECT_THROW(rng.below(0), InvalidArgument);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(14);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeSinglePoint) {
+  Rng rng(15);
+  EXPECT_EQ(rng.range(42, 42), 42);
+}
+
+TEST(Rng, RangeInvertedThrows) {
+  Rng rng(16);
+  EXPECT_THROW(rng.range(1, 0), InvalidArgument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(18);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(20);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ShuffleChangesOrder) {
+  Rng rng(22);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  const std::vector<int> original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent() == child()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(SplitMix64, KnownFirstOutputs) {
+  // Reference values for seed 0 from the splitmix64 reference code.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(splitmix64(state), 0x6E789E6AA1B965F4ULL);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformBucketsRoughlyFlat) {
+  Rng rng(GetParam());
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 20000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i)
+    ++counts[static_cast<int>(rng.uniform() * kBuckets)];
+  for (int b = 0; b < kBuckets; ++b)
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets * 0.15)
+        << "bucket " << b;
+}
+
+TEST_P(RngSeedSweep, BelowIsUnbiasedModuloSmallN) {
+  Rng rng(GetParam());
+  constexpr std::uint64_t kN = 3;
+  constexpr int kDraws = 30000;
+  int counts[kN] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kN)];
+  for (std::uint64_t v = 0; v < kN; ++v)
+    EXPECT_NEAR(counts[v], kDraws / kN, kDraws / kN * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 42, 9999, 0xDEADBEEF,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+}  // namespace
+}  // namespace sce::util

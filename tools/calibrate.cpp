@@ -1,0 +1,57 @@
+// Calibration helper: prints per-category mean/std of every event's
+// *workload-only* counts (environment model disabled), for both reference
+// models.  Used to size the EnvironmentSpec defaults so the end-to-end
+// t-value regimes land where the paper's tables put them.
+#include <cstdio>
+
+#include "core/campaign.hpp"
+#include "hpc/simulated_pmu.hpp"
+#include "nn/zoo.hpp"
+#include "stats/descriptive.hpp"
+#include "util/cli.hpp"
+
+using namespace sce;
+
+namespace {
+
+void profile(const char* tag, const nn::TrainedModel& trained,
+             std::size_t samples) {
+  hpc::SimulatedPmuConfig pmu_cfg;
+  pmu_cfg.environment = hpc::SimulatedPmuConfig::no_environment();
+  hpc::SimulatedPmu pmu(pmu_cfg);
+  core::CampaignConfig cfg;
+  cfg.samples_per_category = samples;
+  const core::CampaignResult campaign = core::run_campaign(
+      trained.model, trained.test_set, core::make_instrument(pmu), cfg);
+
+  std::printf("=== %s (workload-only counts) ===\n", tag);
+  for (hpc::HpcEvent e : hpc::all_events()) {
+    std::printf("%-18s", hpc::to_string(e).c_str());
+    for (std::size_t c = 0; c < campaign.category_count(); ++c) {
+      const auto s = stats::summarize(campaign.of(e, c));
+      std::printf("  c%zu: %12.1f +- %8.1f", c + 1, s.mean, s.stddev);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_option("samples", "measurements per category", "50");
+  cli.add_flag("cifar", "also profile the CIFAR-like model");
+  cli.parse(argc, argv);
+  const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
+
+  nn::TrainedModel mnist = nn::get_or_train_mnist();
+  std::printf("mnist test accuracy: %.3f\n", mnist.test_accuracy);
+  profile("mnist", mnist, samples);
+  if (cli.get_flag("cifar")) {
+    nn::TrainedModel cifar = nn::get_or_train_cifar();
+    std::printf("cifar test accuracy: %.3f\n", cifar.test_accuracy);
+    profile("cifar", cifar, samples);
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Export the raw campaign distributions behind Figures 1/3/4 as CSV, for
+// plotting with external tooling (one file per dataset x event; columns
+// are categories, rows are measurements).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+using namespace sce;
+
+namespace {
+
+void export_campaign(const core::CampaignResult& campaign,
+                     const std::string& dataset_tag,
+                     const std::filesystem::path& dir) {
+  for (hpc::HpcEvent e : hpc::all_events()) {
+    const std::filesystem::path path =
+        dir / (dataset_tag + "_" + hpc::to_string(e) + ".csv");
+    std::ofstream out(path);
+    if (!out) throw IoError("cannot create " + path.string());
+    for (std::size_t c = 0; c < campaign.category_count(); ++c) {
+      if (c) out << ',';
+      out << campaign.category_names[c];
+    }
+    out << '\n';
+    const std::size_t rows = campaign.of(e, 0).size();
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < campaign.category_count(); ++c) {
+        if (c) out << ',';
+        out << campaign.of(e, c)[r];
+      }
+      out << '\n';
+    }
+    std::printf("wrote %s\n", path.string().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_option("out", "output directory", "campaign_csv");
+  cli.add_option("samples", "measurements per category", "100");
+  try {
+    cli.parse(argc, argv);
+    const std::filesystem::path dir = cli.get("out");
+    std::filesystem::create_directories(dir);
+    const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
+
+    const bench::Workload mnist = bench::mnist_workload();
+    export_campaign(bench::run_workload(mnist, samples), "mnist", dir);
+    const bench::Workload cifar = bench::cifar_workload();
+    export_campaign(bench::run_workload(cifar, samples), "cifar", dir);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(),
+                 cli.usage("export_campaign_csv").c_str());
+    return 1;
+  }
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Reproduce every paper artifact and extension experiment in order,
+# collecting each binary's output under results/.
+#
+#   tools/reproduce_all.sh [build-dir] [samples]
+#
+# samples: classifications per category (default 100, the repo standard;
+# use 25 for a fast smoke pass).
+set -eu
+
+BUILD_DIR="${1:-build}"
+SAMPLES="${2:-100}"
+OUT_DIR="results"
+mkdir -p "$OUT_DIR"
+
+run() {
+  name="$1"
+  echo "==> $name (SCE_BENCH_SAMPLES=$SAMPLES)"
+  SCE_BENCH_SAMPLES="$SAMPLES" "$BUILD_DIR/bench/$name" \
+    > "$OUT_DIR/$name.txt" 2>&1
+}
+
+# Paper artifacts (DESIGN.md section 4).
+run fig1_avg_cache_misses
+run fig2_counter_dump
+run fig3_mnist_distributions
+run fig4_cifar_distributions
+run table1_mnist_ttest
+run table2_cifar_ttest
+
+# Ablations and extensions.
+run ablation_countermeasure
+run ablation_uarch_sweep
+run ablation_conv_algorithm
+run ablation_batching
+run attack_recovery
+run tvla_fixed_vs_random
+run detection_latency
+run fingerprint_architecture
+run rnn_sequence_leakage
+run leakage_bits
+
+echo "==> micro_kernels"
+"$BUILD_DIR/bench/micro_kernels" > "$OUT_DIR/micro_kernels.txt" 2>&1
+
+echo "done: outputs in $OUT_DIR/"
