@@ -1,9 +1,73 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "core/checkpoint.hpp"
+#include "stats/descriptive.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
 namespace sce::core {
+
+namespace {
+
+/// Robust isolation score of `x` against `cell`: the distance from `x`
+/// to the *nearest* value recorded so far, in robust-sigma units
+/// (1.4826·MAD makes the scale consistent with sigma under normality).
+/// Nearest-value distance, not distance-from-median, because a cell is
+/// legitimately multimodal — it mixes the workload's distinct inputs —
+/// and a recurring mode far from the median is not pollution.  The scale
+/// is floored at `mad_floor` times the cell median so a near-constant
+/// cell (MAD ~ 0) does not promote benign variation into arbitrarily
+/// many sigmas.  Returns 0 when the scale is still degenerate — such a
+/// cell carries no spread to judge outliers against.
+double robust_isolation(const std::vector<double>& cell, double x,
+                        double mad_floor) {
+  const double med = stats::quantile(cell, 0.5);
+  std::vector<double> deviations;
+  deviations.reserve(cell.size());
+  for (double v : cell) deviations.push_back(std::abs(v - med));
+  const double mad = stats::quantile(deviations, 0.5);
+  const double scale = std::max(1.4826 * mad, mad_floor * std::abs(med));
+  if (scale <= 0.0) return 0.0;
+  double nearest = std::numeric_limits<double>::infinity();
+  for (double v : cell) nearest = std::min(nearest, std::abs(x - v));
+  return nearest / scale;
+}
+
+}  // namespace
+
+bool CampaignDiagnostics::event_dropped(hpc::HpcEvent event) const {
+  return std::find(dropped_events.begin(), dropped_events.end(), event) !=
+         dropped_events.end();
+}
+
+bool CampaignDiagnostics::event_unsupported(hpc::HpcEvent event) const {
+  return std::find(unsupported_events.begin(), unsupported_events.end(),
+                   event) != unsupported_events.end();
+}
+
+std::string CampaignDiagnostics::summary() const {
+  std::string s = "recorded " + std::to_string(measurements_recorded) + "/" +
+                  std::to_string(measurements_attempted) + " attempts, " +
+                  std::to_string(transient_faults) + " transient faults, " +
+                  std::to_string(incomplete_samples) + " incomplete samples, " +
+                  std::to_string(outliers_quarantined) + " outliers, " +
+                  std::to_string(failed_measurements) + " slots failed";
+  if (!dropped_events.empty()) {
+    s += ", dropped:";
+    for (hpc::HpcEvent e : dropped_events) s += " " + hpc::to_string(e);
+  }
+  if (!unsupported_events.empty()) {
+    s += ", unsupported:";
+    for (hpc::HpcEvent e : unsupported_events) s += " " + hpc::to_string(e);
+  }
+  s += complete ? ", complete" : ", partial";
+  return s;
+}
 
 const std::vector<double>& CampaignResult::of(
     hpc::HpcEvent event, std::size_t category_index) const {
@@ -11,6 +75,13 @@ const std::vector<double>& CampaignResult::of(
   if (category_index >= per_event.size())
     throw InvalidArgument("CampaignResult::of: category index out of range");
   return per_event[category_index];
+}
+
+bool CampaignResult::has_event(hpc::HpcEvent event) const {
+  const auto& per_event = samples[static_cast<std::size_t>(event)];
+  for (const auto& cell : per_event)
+    if (!cell.empty()) return true;
+  return false;
 }
 
 double CampaignResult::mean(hpc::HpcEvent event,
@@ -21,6 +92,282 @@ double CampaignResult::mean(hpc::HpcEvent event,
   for (double x : xs) sum += x;
   return sum / static_cast<double>(xs.size());
 }
+
+namespace {
+
+/// The shared acquisition loop: fills `result` (which may carry resumed
+/// partial state) up to config.samples_per_category per cell.
+CampaignResult run_campaign_impl(const nn::Sequential& model,
+                                 const data::Dataset& dataset,
+                                 Instrument instrument,
+                                 const CampaignConfig& config,
+                                 CampaignResult result) {
+  config.retry.validate();
+  if (config.checkpoint_every > 0 && config.checkpoint_path.empty())
+    throw InvalidArgument(
+        "run_campaign: checkpoint_every set but checkpoint_path empty");
+  if (config.event_drop_after == 0)
+    throw InvalidArgument("run_campaign: event_drop_after must be >= 1");
+
+  CampaignDiagnostics& diag = result.diagnostics;
+  const std::size_t ncat = config.categories.size();
+
+  std::vector<std::vector<const data::Example*>> pools;
+  for (std::size_t c = 0; c < ncat; ++c) {
+    const int label = config.categories[c];
+    pools.push_back(dataset.examples_of(label));
+    if (pools.back().empty())
+      throw InvalidArgument("run_campaign: no examples of category " +
+                            std::to_string(label));
+    if (pools.back().size() < config.samples_per_category &&
+        !config.allow_image_reuse)
+      throw InvalidArgument("run_campaign: not enough images of category " +
+                            std::to_string(label));
+  }
+
+  // Events this campaign acquires: what the provider offers, minus
+  // anything a previous (checkpointed) run already declared lost.
+  std::array<bool, hpc::kNumEvents> active{};
+  diag.unsupported_events.clear();
+  {
+    const std::vector<hpc::HpcEvent> supported =
+        instrument.provider.supported_events();
+    for (hpc::HpcEvent e : supported)
+      active[static_cast<std::size_t>(e)] = true;
+    for (hpc::HpcEvent e : hpc::all_events())
+      if (!active[static_cast<std::size_t>(e)])
+        diag.unsupported_events.push_back(e);
+    for (hpc::HpcEvent e : diag.dropped_events)
+      active[static_cast<std::size_t>(e)] = false;
+  }
+  auto active_count = [&] {
+    return static_cast<std::size_t>(
+        std::count(active.begin(), active.end(), true));
+  };
+  if (active_count() == 0)
+    throw Error("run_campaign: provider offers no usable events");
+
+  // The acquisition cursor: how many measurements each category cell
+  // holds.  Active events record atomically, so any active event's cell
+  // size is the category's count; verify they agree (corrupt resume
+  // state would silently skew distributions otherwise).
+  std::vector<std::size_t> recorded(ncat, 0);
+  for (std::size_t c = 0; c < ncat; ++c) {
+    std::optional<std::size_t> count;
+    for (hpc::HpcEvent e : hpc::all_events()) {
+      if (!active[static_cast<std::size_t>(e)]) continue;
+      const std::size_t n =
+          result.samples[static_cast<std::size_t>(e)][c].size();
+      if (!count) count = n;
+      if (*count != n)
+        throw InvalidArgument(
+            "run_campaign: inconsistent resume state (cell sizes differ)");
+    }
+    recorded[c] = count.value_or(0);
+    if (recorded[c] > config.samples_per_category)
+      throw InvalidArgument(
+          "run_campaign: resume state holds more samples than requested");
+  }
+
+  auto raw_measure = [&](std::size_t c, std::size_t s) -> hpc::CounterSample {
+    const auto& pool = pools[c];
+    const data::Example& example = *pool[s % pool.size()];
+    const nn::Tensor input = nn::image_to_tensor(example.image);
+    instrument.provider.start();
+    try {
+      // The evaluator observes the classification of the user's input.
+      (void)model.forward(input, instrument.sink, config.kernel_mode);
+    } catch (...) {
+      // Never leave counters running; keep the workload's exception.
+      try {
+        instrument.provider.stop();
+      } catch (...) {
+      }
+      throw;
+    }
+    instrument.provider.stop();
+    return instrument.provider.read();
+  };
+
+  auto drop_event = [&](hpc::HpcEvent e) {
+    active[static_cast<std::size_t>(e)] = false;
+    diag.dropped_events.push_back(e);
+    std::size_t discarded = 0;
+    for (auto& cell : result.samples[static_cast<std::size_t>(e)]) {
+      discarded += cell.size();
+      cell.clear();
+    }
+    util::log_warn("campaign: event ", hpc::to_string(e),
+                   " permanently unavailable after ",
+                   diag.missing_event_counts[static_cast<std::size_t>(e)],
+                   " missing samples; dropping its cells (", discarded,
+                   " collected values discarded)");
+  };
+
+  // Streaks of consecutive samples an event has been missing from; a
+  // streak reaching config.event_drop_after declares the event lost.
+  std::array<std::size_t, hpc::kNumEvents> consecutive_missing{};
+
+  // One measurement slot: acquire until a valid sample lands in cell
+  // (c, recorded[c]) or the retry budget dies.  Returns true if recorded.
+  auto acquire_slot = [&](std::size_t c) -> bool {
+    const std::size_t s = recorded[c];
+    std::size_t transient_attempts = 0;
+    std::size_t invalid_attempts = 0;
+    std::size_t outlier_retries = 0;
+    for (;;) {
+      hpc::CounterSample sample;
+      ++diag.measurements_attempted;
+      try {
+        sample = raw_measure(c, s);
+      } catch (const TransientFailure& e) {
+        ++diag.transient_faults;
+        ++transient_attempts;
+        util::log_debug("campaign: transient fault (attempt ",
+                        transient_attempts, "): ", e.what());
+        if (transient_attempts >= config.retry.max_attempts) return false;
+        util::backoff_sleep(config.retry.backoff_for(transient_attempts));
+        continue;
+      }
+
+      // Validate against the expected (active) event set.
+      bool invalid = false;
+      for (hpc::HpcEvent e : hpc::all_events()) {
+        const std::size_t idx = static_cast<std::size_t>(e);
+        if (!active[idx]) continue;
+        if (sample.has(e)) {
+          consecutive_missing[idx] = 0;
+          continue;
+        }
+        invalid = true;
+        ++diag.missing_event_counts[idx];
+        ++consecutive_missing[idx];
+      }
+      if (invalid) {
+        ++diag.incomplete_samples;
+        for (hpc::HpcEvent e : hpc::all_events()) {
+          const std::size_t idx = static_cast<std::size_t>(e);
+          if (active[idx] && consecutive_missing[idx] >= config.event_drop_after)
+            drop_event(e);
+        }
+        if (active_count() == 0)
+          throw Error(
+              "run_campaign: every monitored event became unavailable");
+        // The sample may now be complete w.r.t. the reduced event set —
+        // re-check before spending another measurement.
+        invalid = false;
+        for (hpc::HpcEvent e : hpc::all_events()) {
+          const std::size_t idx = static_cast<std::size_t>(e);
+          if (active[idx] && !sample.has(e)) invalid = true;
+        }
+        if (invalid) {
+          ++invalid_attempts;
+          if (invalid_attempts >= config.retry.max_attempts) return false;
+          continue;
+        }
+      }
+
+      // Quarantine context-switch/interrupt pollution instead of letting
+      // it widen (or fake) a distribution.
+      if (config.outlier_mad_threshold > 0.0 &&
+          outlier_retries < config.max_outlier_retries) {
+        bool outlier = false;
+        for (hpc::HpcEvent e : hpc::all_events()) {
+          const std::size_t idx = static_cast<std::size_t>(e);
+          if (!active[idx]) continue;
+          const auto& cell = result.samples[idx][c];
+          if (cell.size() < config.outlier_min_baseline) continue;
+          const double value = static_cast<double>(sample[e]);
+          if (robust_isolation(cell, value, config.outlier_mad_floor) >
+              config.outlier_mad_threshold) {
+            outlier = true;
+            ++diag.outliers_quarantined;
+            diag.quarantined[idx].push_back(value);
+          }
+        }
+        if (outlier) {
+          ++outlier_retries;
+          continue;  // re-measure this slot
+        }
+      }
+
+      for (hpc::HpcEvent e : hpc::all_events()) {
+        const std::size_t idx = static_cast<std::size_t>(e);
+        if (active[idx])
+          result.samples[idx][c].push_back(static_cast<double>(sample[e]));
+      }
+      ++recorded[c];
+      ++diag.measurements_recorded;
+      return true;
+    }
+  };
+
+  // Next slot under the configured schedule; nullopt when all cells are
+  // full.  Interleaved mode picks the least-filled category (lowest index
+  // on ties), which reproduces the classic round-robin order and resumes
+  // correctly from any uneven checkpoint state.
+  auto next_category = [&]() -> std::optional<std::size_t> {
+    std::optional<std::size_t> best;
+    for (std::size_t c = 0; c < ncat; ++c) {
+      if (recorded[c] >= config.samples_per_category) continue;
+      if (config.interleave_categories) {
+        if (!best || recorded[c] < recorded[*best]) best = c;
+      } else {
+        return c;
+      }
+    }
+    return best;
+  };
+
+  // Warm-up: bring the process (heap layout, lazy initialization) to a
+  // steady state before the recorded acquisition starts.  Faults here
+  // are irrelevant — the measurements are discarded anyway.
+  for (std::size_t w = 0; w < config.warmup_measurements; ++w) {
+    try {
+      (void)raw_measure(w % ncat, 0);
+    } catch (const TransientFailure&) {
+    }
+  }
+
+  std::size_t recorded_this_run = 0;
+  for (;;) {
+    const std::optional<std::size_t> c = next_category();
+    if (!c) {
+      diag.complete = true;
+      break;
+    }
+    if (config.stop_after_measurements > 0 &&
+        recorded_this_run >= config.stop_after_measurements) {
+      diag.complete = false;
+      util::log_info("campaign: stopping early after ", recorded_this_run,
+                     " measurements (stop_after_measurements)");
+      break;
+    }
+    if (acquire_slot(*c)) {
+      ++recorded_this_run;
+      if (config.checkpoint_every > 0 &&
+          diag.measurements_recorded % config.checkpoint_every == 0) {
+        ++diag.checkpoints_written;
+        save_checkpoint(config.checkpoint_path,
+                        make_checkpoint(result, config));
+      }
+    } else {
+      ++diag.failed_measurements;
+      if (diag.failed_measurements >= config.max_failed_measurements)
+        throw Error("run_campaign: " +
+                    std::to_string(diag.failed_measurements) +
+                    " measurement slots exhausted their retry budget; "
+                    "giving up on this provider");
+    }
+  }
+
+  if (!diag.dropped_events.empty() || !diag.unsupported_events.empty() ||
+      diag.failed_measurements > 0)
+    util::log_info("campaign: degraded acquisition — ", diag.summary());
+  return result;
+}
+
+}  // namespace
 
 CampaignResult run_campaign(const nn::Sequential& model,
                             const data::Dataset& dataset,
@@ -43,53 +390,26 @@ CampaignResult run_campaign(const nn::Sequential& model,
   for (auto& per_event : result.samples)
     per_event.assign(config.categories.size(), {});
 
-  std::vector<std::vector<const data::Example*>> pools;
-  for (std::size_t c = 0; c < config.categories.size(); ++c) {
-    const int label = config.categories[c];
-    pools.push_back(dataset.examples_of(label));
-    if (pools.back().empty())
-      throw InvalidArgument("run_campaign: no examples of category " +
-                            std::to_string(label));
-    if (pools.back().size() < config.samples_per_category &&
-        !config.allow_image_reuse)
-      throw InvalidArgument("run_campaign: not enough images of category " +
-                            std::to_string(label));
-  }
+  return run_campaign_impl(model, dataset, instrument, config,
+                           std::move(result));
+}
 
-  auto measure = [&](std::size_t c, std::size_t s, bool record) {
-    const auto& pool = pools[c];
-    const data::Example& example = *pool[s % pool.size()];
-    const nn::Tensor input = nn::image_to_tensor(example.image);
-    instrument.provider.start();
-    // The evaluator observes the classification of the user's input.
-    (void)model.forward(input, instrument.sink, config.kernel_mode);
-    instrument.provider.stop();
-    const hpc::CounterSample sample = instrument.provider.read();
-    if (!record) return;
-    for (hpc::HpcEvent e : hpc::all_events())
-      result.samples[static_cast<std::size_t>(e)][c].push_back(
-          static_cast<double>(sample[e]));
-  };
-
-  // Warm-up: bring the process (heap layout, lazy initialization) to a
-  // steady state before the recorded acquisition starts.
-  for (std::size_t w = 0; w < config.warmup_measurements; ++w)
-    measure(w % pools.size(), 0, /*record=*/false);
-
-  if (config.interleave_categories) {
-    for (std::size_t s = 0; s < config.samples_per_category; ++s)
-      for (std::size_t c = 0; c < config.categories.size(); ++c)
-        measure(c, s, /*record=*/true);
-  } else {
-    for (std::size_t c = 0; c < config.categories.size(); ++c) {
-      util::log_debug("campaign: category ", config.categories[c], " (",
-                      result.category_names[c], "), ",
-                      config.samples_per_category, " measurements");
-      for (std::size_t s = 0; s < config.samples_per_category; ++s)
-        measure(c, s, /*record=*/true);
-    }
-  }
-  return result;
+CampaignResult run_campaign(const nn::Sequential& model,
+                            const data::Dataset& dataset,
+                            Instrument instrument,
+                            const CampaignConfig& config,
+                            CampaignResult partial) {
+  if (partial.categories != config.categories)
+    throw InvalidArgument(
+        "run_campaign: resume state categories do not match config");
+  for (const auto& per_event : partial.samples)
+    if (per_event.size() != config.categories.size())
+      throw InvalidArgument(
+          "run_campaign: resume state has wrong category count");
+  partial.diagnostics.resumed = true;
+  partial.diagnostics.complete = false;
+  return run_campaign_impl(model, dataset, instrument, config,
+                           std::move(partial));
 }
 
 }  // namespace sce::core

@@ -4,6 +4,15 @@
 // For each input category the campaign classifies N images of that
 // category while a CounterProvider measures the hardware events of each
 // classification, yielding one distribution per (event, category) cell.
+//
+// Acquisition is fault-tolerant: transient provider failures are retried
+// under a bounded RetryPolicy, samples missing expected events are
+// discarded and re-measured, an event that stays missing is dropped from
+// the campaign (its cells cleared, the drop reported), and MAD-based
+// outliers can be quarantined out of the distributions.  Everything the
+// campaign absorbed or discarded is accounted for in CampaignDiagnostics,
+// and partial progress can be checkpointed to JSON and resumed (see
+// core/checkpoint.hpp).
 #pragma once
 
 #include <array>
@@ -14,6 +23,7 @@
 #include "hpc/counter_provider.hpp"
 #include "nn/model.hpp"
 #include "uarch/trace.hpp"
+#include "util/retry.hpp"
 
 namespace sce::core {
 
@@ -36,6 +46,87 @@ struct CampaignConfig {
   /// Classifications run and discarded before recording starts, letting
   /// the process reach a steady state.
   std::size_t warmup_measurements = 2;
+
+  // --- Fault tolerance -------------------------------------------------
+
+  /// Retry budget per measurement slot for transient provider failures
+  /// (util::TransientFailure) and for samples missing expected events.
+  util::RetryPolicy retry{};
+  /// Abort (throw Error) once this many measurement slots have exhausted
+  /// their retry budget — the provider is beyond salvage.
+  std::size_t max_failed_measurements = 100;
+  /// Consecutive samples an expected event may be missing from before it
+  /// is declared permanently lost and dropped from the campaign.
+  std::size_t event_drop_after = 8;
+  /// Robust isolation score (distance from the *nearest* value recorded
+  /// in the cell so far, in 1.4826*MAD units) above which a value is
+  /// quarantined as context-switch/interrupt pollution and the
+  /// measurement re-taken.  Nearest-value distance rather than
+  /// distance-from-median, because cells mix the workload's distinct
+  /// inputs and are legitimately multimodal.  0 disables quarantine.
+  double outlier_mad_threshold = 0.0;
+  /// A cell must hold this many samples before quarantine activates.
+  std::size_t outlier_min_baseline = 16;
+  /// Floor on the MAD scale, as a fraction of the cell median.  Counters
+  /// that are near-constant have vanishing MAD, which would turn benign
+  /// run-to-run variation into many "robust sigmas"; the floor keeps the
+  /// screen aimed at multiplicative pollution (context switches inflating
+  /// the whole sample), not at quantization-level noise.
+  double outlier_mad_floor = 0.02;
+  /// Re-measurements allowed per slot before an outlier-looking sample
+  /// is accepted anyway (prevents livelock on a genuinely shifted cell).
+  std::size_t max_outlier_retries = 3;
+
+  // --- Checkpoint / early stop -----------------------------------------
+
+  /// Write a checkpoint to `checkpoint_path` every this many recorded
+  /// measurements (0 disables checkpointing).
+  std::size_t checkpoint_every = 0;
+  /// Destination file for checkpoints (required if checkpoint_every > 0).
+  std::string checkpoint_path;
+  /// Stop after this many recorded measurements in this run and return
+  /// the partial result (0 = run to completion).  Used to bound a run's
+  /// budget and to test kill/resume.
+  std::size_t stop_after_measurements = 0;
+};
+
+/// Everything the fault-tolerant acquisition absorbed, discarded or
+/// degraded, so a campaign that survived faults cannot silently
+/// masquerade as a clean one.
+struct CampaignDiagnostics {
+  /// Instrumented classifications attempted (recorded + discarded + failed,
+  /// excluding warmup).
+  std::size_t measurements_attempted = 0;
+  /// Measurements that made it into the distributions.
+  std::size_t measurements_recorded = 0;
+  /// Attempts aborted by a transient provider failure (and retried).
+  std::size_t transient_faults = 0;
+  /// Slots whose whole retry budget was exhausted.
+  std::size_t failed_measurements = 0;
+  /// Samples discarded because an expected event was missing.
+  std::size_t incomplete_samples = 0;
+  /// Values diverted into `quarantined` instead of the distributions.
+  std::size_t outliers_quarantined = 0;
+  /// Per-event count of samples the event was missing from.
+  std::array<std::size_t, hpc::kNumEvents> missing_event_counts{};
+  /// The quarantined outlier values, per event (kept for inspection —
+  /// a countermeasure could hide leakage inside "outliers").
+  std::array<std::vector<double>, hpc::kNumEvents> quarantined{};
+  /// Events dropped mid-campaign after persistent loss; their cells are
+  /// cleared and excluded from the result.
+  std::vector<hpc::HpcEvent> dropped_events;
+  /// Events the provider never offered (e.g. a PMU without ref-cycles).
+  std::vector<hpc::HpcEvent> unsupported_events;
+  /// True when every cell reached samples_per_category.
+  bool complete = false;
+  /// True if this result continued from a checkpoint.
+  bool resumed = false;
+  std::size_t checkpoints_written = 0;
+
+  bool event_dropped(hpc::HpcEvent event) const;
+  bool event_unsupported(hpc::HpcEvent event) const;
+  /// One human-readable line, e.g. for campaign drivers' logs.
+  std::string summary() const;
 };
 
 /// Distributions of every HPC event for every profiled category.
@@ -43,11 +134,15 @@ struct CampaignResult {
   std::vector<int> categories;
   std::vector<std::string> category_names;
   /// samples[event][category_index] = one value per classification.
+  /// Cells of dropped/unsupported events are empty.
   std::array<std::vector<std::vector<double>>, hpc::kNumEvents> samples;
+  CampaignDiagnostics diagnostics;
 
   const std::vector<double>& of(hpc::HpcEvent event,
                                 std::size_t category_index) const;
   std::size_t category_count() const { return categories.size(); }
+  /// True when this event's cells hold data (not dropped/unsupported).
+  bool has_event(hpc::HpcEvent event) const;
 
   /// Mean of an (event, category) distribution.
   double mean(hpc::HpcEvent event, std::size_t category_index) const;
@@ -77,5 +172,14 @@ CampaignResult run_campaign(const nn::Sequential& model,
                             const data::Dataset& dataset,
                             Instrument instrument,
                             const CampaignConfig& config);
+
+/// Continue acquisition from previously collected partial state (the cell
+/// sizes are the cursor).  Used by checkpoint resume; `partial` must have
+/// been produced by a campaign with the same categories and config.
+CampaignResult run_campaign(const nn::Sequential& model,
+                            const data::Dataset& dataset,
+                            Instrument instrument,
+                            const CampaignConfig& config,
+                            CampaignResult partial);
 
 }  // namespace sce::core

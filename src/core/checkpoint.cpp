@@ -1,0 +1,239 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+
+namespace sce::core {
+
+namespace {
+
+constexpr const char* kFormatTag = "sce-campaign-checkpoint";
+constexpr int kVersion = 1;
+
+void write_event_name_array(util::JsonWriter& w,
+                            const std::vector<hpc::HpcEvent>& events) {
+  w.begin_array();
+  for (hpc::HpcEvent e : events) w.value(hpc::to_string(e));
+  w.end_array();
+}
+
+std::vector<hpc::HpcEvent> read_event_name_array(const util::JsonValue& v) {
+  std::vector<hpc::HpcEvent> events;
+  for (const auto& item : v.items()) {
+    const auto parsed = hpc::parse_event(item.as_string());
+    if (!parsed)
+      throw InvalidArgument("checkpoint: unknown event \"" +
+                            item.as_string() + "\"");
+    events.push_back(*parsed);
+  }
+  return events;
+}
+
+}  // namespace
+
+CampaignCheckpoint make_checkpoint(const CampaignResult& partial,
+                                   const CampaignConfig& config) {
+  CampaignCheckpoint cp;
+  cp.version = kVersion;
+  cp.samples_per_category = config.samples_per_category;
+  cp.interleave_categories = config.interleave_categories;
+  cp.kernel_mode = nn::to_string(config.kernel_mode);
+  cp.partial = partial;
+  return cp;
+}
+
+std::string checkpoint_to_json(const CampaignCheckpoint& cp) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("format").value(kFormatTag);
+  w.key("version").value(static_cast<std::int64_t>(cp.version));
+  w.key("samples_per_category")
+      .value(static_cast<std::uint64_t>(cp.samples_per_category));
+  w.key("interleave_categories").value(cp.interleave_categories);
+  w.key("kernel_mode").value(cp.kernel_mode);
+
+  w.key("categories").begin_array();
+  for (int c : cp.partial.categories)
+    w.value(static_cast<std::int64_t>(c));
+  w.end_array();
+  w.key("category_names").begin_array();
+  for (const std::string& name : cp.partial.category_names) w.value(name);
+  w.end_array();
+
+  // Sample values must survive the round trip bit-for-bit for resumed
+  // campaigns to be reproducible, hence value_exact (17 significant
+  // digits) rather than the report-oriented 12-digit double rendering.
+  w.key("samples").begin_object();
+  for (hpc::HpcEvent e : hpc::all_events()) {
+    w.key(hpc::to_string(e)).begin_array();
+    for (const auto& cell :
+         cp.partial.samples[static_cast<std::size_t>(e)]) {
+      w.begin_array();
+      for (double v : cell) w.value_exact(v);
+      w.end_array();
+    }
+    w.end_array();
+  }
+  w.end_object();
+
+  const CampaignDiagnostics& d = cp.partial.diagnostics;
+  w.key("diagnostics").begin_object();
+  w.key("measurements_attempted")
+      .value(static_cast<std::uint64_t>(d.measurements_attempted));
+  w.key("measurements_recorded")
+      .value(static_cast<std::uint64_t>(d.measurements_recorded));
+  w.key("transient_faults")
+      .value(static_cast<std::uint64_t>(d.transient_faults));
+  w.key("failed_measurements")
+      .value(static_cast<std::uint64_t>(d.failed_measurements));
+  w.key("incomplete_samples")
+      .value(static_cast<std::uint64_t>(d.incomplete_samples));
+  w.key("outliers_quarantined")
+      .value(static_cast<std::uint64_t>(d.outliers_quarantined));
+  w.key("missing_event_counts").begin_object();
+  for (hpc::HpcEvent e : hpc::all_events())
+    w.key(hpc::to_string(e))
+        .value(static_cast<std::uint64_t>(
+            d.missing_event_counts[static_cast<std::size_t>(e)]));
+  w.end_object();
+  w.key("quarantined").begin_object();
+  for (hpc::HpcEvent e : hpc::all_events()) {
+    w.key(hpc::to_string(e)).begin_array();
+    for (double v : d.quarantined[static_cast<std::size_t>(e)])
+      w.value_exact(v);
+    w.end_array();
+  }
+  w.end_object();
+  w.key("dropped_events");
+  write_event_name_array(w, d.dropped_events);
+  w.key("unsupported_events");
+  write_event_name_array(w, d.unsupported_events);
+  w.key("complete").value(d.complete);
+  w.key("resumed").value(d.resumed);
+  w.key("checkpoints_written")
+      .value(static_cast<std::uint64_t>(d.checkpoints_written));
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+CampaignCheckpoint checkpoint_from_json(const std::string& json) {
+  const util::JsonValue doc = util::parse_json(json);
+  if (!doc.is_object() || !doc.find("format") ||
+      doc.at("format").as_string() != kFormatTag)
+    throw InvalidArgument("checkpoint: not a campaign checkpoint document");
+  CampaignCheckpoint cp;
+  cp.version = static_cast<int>(doc.at("version").as_int());
+  if (cp.version != kVersion)
+    throw InvalidArgument("checkpoint: unsupported version " +
+                          std::to_string(cp.version));
+  cp.samples_per_category =
+      static_cast<std::size_t>(doc.at("samples_per_category").as_int());
+  cp.interleave_categories = doc.at("interleave_categories").as_bool();
+  cp.kernel_mode = doc.at("kernel_mode").as_string();
+
+  for (const auto& c : doc.at("categories").items())
+    cp.partial.categories.push_back(static_cast<int>(c.as_int()));
+  for (const auto& n : doc.at("category_names").items())
+    cp.partial.category_names.push_back(n.as_string());
+  if (cp.partial.categories.size() != cp.partial.category_names.size())
+    throw InvalidArgument(
+        "checkpoint: categories / category_names size mismatch");
+
+  const util::JsonValue& samples = doc.at("samples");
+  for (hpc::HpcEvent e : hpc::all_events()) {
+    auto& per_event = cp.partial.samples[static_cast<std::size_t>(e)];
+    const util::JsonValue& cells = samples.at(hpc::to_string(e));
+    if (cells.size() != cp.partial.categories.size())
+      throw InvalidArgument("checkpoint: wrong cell count for event " +
+                            hpc::to_string(e));
+    for (const auto& cell : cells.items()) {
+      std::vector<double> values;
+      values.reserve(cell.size());
+      for (const auto& v : cell.items()) values.push_back(v.as_number());
+      per_event.push_back(std::move(values));
+    }
+  }
+
+  const util::JsonValue& diag = doc.at("diagnostics");
+  CampaignDiagnostics& d = cp.partial.diagnostics;
+  d.measurements_attempted =
+      static_cast<std::size_t>(diag.at("measurements_attempted").as_int());
+  d.measurements_recorded =
+      static_cast<std::size_t>(diag.at("measurements_recorded").as_int());
+  d.transient_faults =
+      static_cast<std::size_t>(diag.at("transient_faults").as_int());
+  d.failed_measurements =
+      static_cast<std::size_t>(diag.at("failed_measurements").as_int());
+  d.incomplete_samples =
+      static_cast<std::size_t>(diag.at("incomplete_samples").as_int());
+  d.outliers_quarantined =
+      static_cast<std::size_t>(diag.at("outliers_quarantined").as_int());
+  for (hpc::HpcEvent e : hpc::all_events()) {
+    d.missing_event_counts[static_cast<std::size_t>(e)] =
+        static_cast<std::size_t>(
+            diag.at("missing_event_counts").at(hpc::to_string(e)).as_int());
+    for (const auto& v :
+         diag.at("quarantined").at(hpc::to_string(e)).items())
+      d.quarantined[static_cast<std::size_t>(e)].push_back(v.as_number());
+  }
+  d.dropped_events = read_event_name_array(diag.at("dropped_events"));
+  d.unsupported_events = read_event_name_array(diag.at("unsupported_events"));
+  d.complete = diag.at("complete").as_bool();
+  d.resumed = diag.at("resumed").as_bool();
+  d.checkpoints_written =
+      static_cast<std::size_t>(diag.at("checkpoints_written").as_int());
+  return cp;
+}
+
+void save_checkpoint(const std::string& path,
+                     const CampaignCheckpoint& checkpoint) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("save_checkpoint: cannot open " + tmp);
+    out << checkpoint_to_json(checkpoint);
+    if (!out) throw IoError("save_checkpoint: write to " + tmp + " failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw IoError("save_checkpoint: rename to " + path + " failed");
+  util::log_debug("checkpoint: wrote ", path, " (",
+                  checkpoint.partial.diagnostics.measurements_recorded,
+                  " measurements)");
+}
+
+CampaignCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("load_checkpoint: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return checkpoint_from_json(buffer.str());
+}
+
+CampaignResult resume_campaign(const nn::Sequential& model,
+                               const data::Dataset& dataset,
+                               Instrument instrument,
+                               const CampaignConfig& config,
+                               const CampaignCheckpoint& checkpoint) {
+  if (checkpoint.samples_per_category != config.samples_per_category)
+    throw InvalidArgument(
+        "resume_campaign: samples_per_category does not match checkpoint");
+  if (checkpoint.interleave_categories != config.interleave_categories)
+    throw InvalidArgument(
+        "resume_campaign: schedule (interleaving) does not match checkpoint");
+  if (checkpoint.kernel_mode != nn::to_string(config.kernel_mode))
+    throw InvalidArgument(
+        "resume_campaign: kernel mode does not match checkpoint");
+  util::log_info("campaign: resuming from checkpoint with ",
+                 checkpoint.partial.diagnostics.measurements_recorded,
+                 " recorded measurements");
+  return run_campaign(model, dataset, instrument, config, checkpoint.partial);
+}
+
+}  // namespace sce::core

@@ -1,0 +1,51 @@
+// Campaign checkpoint/resume.
+//
+// Long campaigns on shared hosts die: OOM kills, preemption, node
+// reboots.  A checkpoint serializes the partial CampaignResult plus the
+// acquisition cursor (implicit in the cell sizes) to JSON, and
+// resume_campaign() continues acquisition from it — under a fixed seed
+// and a deterministic provider, a killed-and-resumed campaign reproduces
+// the uninterrupted run's distributions bit-for-bit (sample values are
+// written with round-trip-exact precision).
+#pragma once
+
+#include <string>
+
+#include "core/campaign.hpp"
+
+namespace sce::core {
+
+struct CampaignCheckpoint {
+  /// Format version; bumped on layout changes.
+  int version = 1;
+  std::size_t samples_per_category = 0;
+  bool interleave_categories = true;
+  /// nn::to_string(KernelMode) of the campaign being checkpointed.
+  std::string kernel_mode;
+  CampaignResult partial;
+};
+
+/// Snapshot the in-flight state of a campaign.
+CampaignCheckpoint make_checkpoint(const CampaignResult& partial,
+                                   const CampaignConfig& config);
+
+std::string checkpoint_to_json(const CampaignCheckpoint& checkpoint);
+/// Throws InvalidArgument on malformed or version-incompatible input.
+CampaignCheckpoint checkpoint_from_json(const std::string& json);
+
+/// Write atomically (temp file + rename), so a kill mid-write cannot
+/// corrupt the previous checkpoint.  Throws IoError on failure.
+void save_checkpoint(const std::string& path,
+                     const CampaignCheckpoint& checkpoint);
+/// Throws IoError if unreadable, InvalidArgument if malformed.
+CampaignCheckpoint load_checkpoint(const std::string& path);
+
+/// Validate `checkpoint` against `config` (categories, sample budget,
+/// schedule, kernel mode must match) and continue the campaign from it.
+CampaignResult resume_campaign(const nn::Sequential& model,
+                               const data::Dataset& dataset,
+                               Instrument instrument,
+                               const CampaignConfig& config,
+                               const CampaignCheckpoint& checkpoint);
+
+}  // namespace sce::core

@@ -36,6 +36,10 @@ LeakageAssessment evaluate(const CampaignResult& campaign,
 
   const std::size_t k = campaign.category_count();
   for (hpc::HpcEvent event : config.events) {
+    // A degraded campaign may have dropped an event mid-run (or the
+    // provider never offered it); its cells are empty and there is
+    // nothing to test — skip it rather than choke on empty samples.
+    if (!campaign.has_event(event)) continue;
     EventAnalysis analysis;
     analysis.event = event;
     for (std::size_t a = 0; a < k; ++a) {

@@ -56,16 +56,29 @@ std::optional<OnlineAlarm> OnlineEvaluator::observe(
   if (category >= config_.num_categories)
     throw InvalidArgument("OnlineEvaluator::observe: category out of range");
   ++measurements_;
-  for (hpc::HpcEvent e : config_.events)
+  bool partial = false;
+  for (hpc::HpcEvent e : config_.events) {
+    // A partial sample (failed per-event read, multiplexed-out counter)
+    // updates only the cells it covers; zero-filling the rest would
+    // fabricate a huge spurious category difference.
+    if (!sample.has(e)) {
+      partial = true;
+      ++missing_counts_[static_cast<std::size_t>(e)];
+      continue;
+    }
     stats_[static_cast<std::size_t>(e)][category].add(
         static_cast<double>(sample[e]));
+  }
+  if (partial) ++partial_samples_;
 
   // Test the updated category against every other sufficiently-sampled
-  // category, one alpha-spending check per (event, pair) visit.
+  // category, one alpha-spending check per (event, pair) visit.  Only
+  // events this sample covered changed, so only they are re-tested.
   const std::size_t pairs =
       config_.num_categories * (config_.num_categories - 1) / 2;
   std::optional<OnlineAlarm> raised;
   for (hpc::HpcEvent e : config_.events) {
+    if (!sample.has(e)) continue;
     const auto& per_event = stats_[static_cast<std::size_t>(e)];
     if (per_event[category].count() < config_.min_samples_per_category)
       continue;

@@ -50,6 +50,10 @@ class OnlineEvaluator {
   /// Feed one classification's counters for a known category.  Returns
   /// the alarm raised by this measurement, if any (the first time each
   /// (event, pair) becomes decisive).
+  ///
+  /// Partial samples are fine: events missing from the sample (a real
+  /// PMU read can fail per-event) update only the cells they cover — no
+  /// throw, no zero-fill — and only the covered events are re-tested.
   std::optional<OnlineAlarm> observe(std::size_t category,
                                      const hpc::CounterSample& sample);
 
@@ -57,6 +61,12 @@ class OnlineEvaluator {
   const std::vector<OnlineAlarm>& alarms() const { return alarms_; }
   bool alarm_raised() const { return !alarms_.empty(); }
   std::size_t measurements_seen() const { return measurements_; }
+  /// Observations that arrived with at least one monitored event missing.
+  std::size_t partial_samples_seen() const { return partial_samples_; }
+  /// How often `event` was missing from an observed sample.
+  std::size_t missing_count(hpc::HpcEvent event) const {
+    return missing_counts_[static_cast<std::size_t>(event)];
+  }
 
   /// Current running summary of one cell (for inspection/reporting).
   const stats::RunningStats& cell(hpc::HpcEvent event,
@@ -73,6 +83,8 @@ class OnlineEvaluator {
   std::vector<OnlineAlarm> alarms_;
   std::size_t measurements_ = 0;
   std::size_t checks_spent_ = 0;
+  std::size_t partial_samples_ = 0;
+  std::array<std::size_t, hpc::kNumEvents> missing_counts_{};
 };
 
 }  // namespace sce::core

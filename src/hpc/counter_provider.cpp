@@ -6,11 +6,26 @@
 
 namespace sce::hpc {
 
+std::size_t CounterSample::present_count() const {
+  std::size_t n = 0;
+  for (HpcEvent e : all_events())
+    if (has(e)) ++n;
+  return n;
+}
+
+std::vector<HpcEvent> CounterSample::missing_events() const {
+  std::vector<HpcEvent> missing;
+  for (HpcEvent e : all_events())
+    if (!has(e)) missing.push_back(e);
+  return missing;
+}
+
 std::string CounterSample::to_perf_stat_string() const {
   std::ostringstream os;
   for (HpcEvent e : all_events()) {
-    os << util::pad_left(util::group_indian((*this)[e]), 20) << "      "
-       << to_string(e) << '\n';
+    os << util::pad_left(
+              has(e) ? util::group_indian((*this)[e]) : "<not counted>", 20)
+       << "      " << to_string(e) << '\n';
   }
   return os.str();
 }

@@ -1,0 +1,90 @@
+// Fault-injecting CounterProvider decorator.
+//
+// Reproduces, deterministically, the failure modes of real HPC
+// acquisition on a shared host: transient syscall failures on
+// start/stop/read, events missing from individual samples (counter not
+// scheduled / read failed), outlier spikes from context switches and
+// interrupts landing inside a measurement, and an event dying
+// permanently mid-campaign (e.g. a PMU watchdog claiming a counter).
+//
+// All randomness comes from one seeded Rng, so any observed failure
+// sequence can be replayed exactly — the decorator doubles as the
+// permanent test harness for the fault-tolerant acquisition path in
+// core::run_campaign and core::OnlineEvaluator.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "hpc/counter_provider.hpp"
+#include "util/rng.hpp"
+
+namespace sce::hpc {
+
+struct FaultConfig {
+  /// Probability that a start()/stop()/read() call throws
+  /// TransientFailure instead of doing its job.
+  double transient_rate = 0.0;
+  /// Which operations the transient rate applies to (tests often want to
+  /// fail exactly one of them).
+  bool faulty_start = true;
+  bool faulty_stop = true;
+  bool faulty_read = true;
+  /// Per-event probability that a read() omits the event from the sample.
+  double event_drop_rate = 0.0;
+  /// Probability that a read() returns a polluted sample: every present
+  /// event is inflated by `outlier_factor` (a context switch perturbs the
+  /// whole counter set at once).
+  double outlier_rate = 0.0;
+  /// Multiplier applied to a polluted sample's values (value *= 1+factor).
+  double outlier_factor = 25.0;
+  /// If set, this event disappears from every sample once
+  /// `permanent_fail_after` successful reads have been delivered —
+  /// a counter lost for good mid-campaign.
+  std::optional<HpcEvent> permanent_fail_event;
+  std::size_t permanent_fail_after = 0;
+  std::uint64_t seed = 0xFA17;
+};
+
+/// Injection bookkeeping, exposed so tests can assert on exactly what
+/// happened (and so the decorator can double as a call-counting spy with
+/// all fault rates at zero).
+struct FaultStats {
+  std::size_t start_calls = 0;
+  std::size_t stop_calls = 0;
+  std::size_t read_calls = 0;
+  std::size_t transient_failures = 0;
+  std::size_t events_dropped = 0;
+  std::size_t outliers_injected = 0;
+  /// start() minus stop() deliveries that reached the inner provider;
+  /// a leak-free consumer leaves this at 0 between measurements.
+  int running_depth = 0;
+};
+
+class FaultInjectingProvider final : public CounterProvider {
+ public:
+  /// Does not take ownership of `inner`.
+  explicit FaultInjectingProvider(CounterProvider& inner,
+                                  FaultConfig config = {});
+
+  std::string name() const override { return "fault:" + inner_.name(); }
+  std::vector<HpcEvent> supported_events() const override;
+  void start() override;
+  void stop() override;
+  CounterSample read() override;
+
+  const FaultStats& stats() const { return stats_; }
+  /// True once the configured permanent event failure has tripped.
+  bool permanent_failure_active() const;
+
+ private:
+  void maybe_throw(const char* op, bool enabled);
+
+  CounterProvider& inner_;
+  FaultConfig config_;
+  util::Rng rng_;
+  FaultStats stats_;
+  std::size_t successful_reads_ = 0;
+};
+
+}  // namespace sce::hpc

@@ -55,6 +55,10 @@ CounterSample MultiplexedPmu::read() {
         static_cast<double>(live_slices[idx]) /
         static_cast<double>(config_.slices_per_measurement);
     last_fraction_[idx] = fraction;
+    if (!true_counts.has(e)) {
+      estimated.drop(e);  // the wrapped provider could not count it
+      continue;
+    }
     if (fraction <= 0.0) {
       estimated[e] = 0;  // never scheduled: the kernel reports 0
       continue;

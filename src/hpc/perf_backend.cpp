@@ -54,9 +54,21 @@ int open_counter(HpcEvent event) {
   attr.disabled = 1;
   attr.exclude_kernel = 1;  // usable at perf_event_paranoid <= 2
   attr.exclude_hv = 1;
+  // Ask the kernel how long the event was actually scheduled on a
+  // hardware counter, so multiplexed counts can be detected and scaled
+  // instead of masquerading as category differences.
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
   return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
                                   /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0));
 }
+
+/// Layout matching the read_format above.
+struct CounterReadout {
+  std::uint64_t value = 0;
+  std::uint64_t time_enabled = 0;
+  std::uint64_t time_running = 0;
+};
 
 }  // namespace
 
@@ -99,13 +111,60 @@ void PerfEventBackend::stop() {
 }
 
 CounterSample PerfEventBackend::read() {
-  CounterSample sample;
+  CounterSample sample = CounterSample::all_missing();
   for (const Counter& c : counters_) {
-    std::uint64_t value = 0;
-    if (::read(c.fd, &value, sizeof(value)) == sizeof(value))
-      sample[c.event] = value;
+    const std::size_t idx = static_cast<std::size_t>(c.event);
+    last_multiplexed_[idx] = false;
+
+    CounterReadout readout;
+    ssize_t n = -1;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      n = ::read(c.fd, &readout, sizeof(readout));
+      if (n >= 0 || errno != EINTR) break;
+      // Interrupted by a signal before any bytes transferred: retry.
+    }
+    if (n != static_cast<ssize_t>(sizeof(readout))) {
+      ++read_failures_[idx];
+      util::log_warn("perf backend: read of ", to_string(c.event),
+                     n < 0 ? std::string(" failed: ") + std::strerror(errno)
+                           : std::string(" returned short count"));
+      continue;  // event stays missing in the sample
+    }
+
+    std::uint64_t value = readout.value;
+    if (readout.time_running < readout.time_enabled) {
+      ++multiplexed_reads_[idx];
+      last_multiplexed_[idx] = true;
+      if (readout.time_running == 0) {
+        // Never scheduled during the measurement: no data to scale.
+        ++read_failures_[idx];
+        util::log_warn("perf backend: event ", to_string(c.event),
+                       " was never scheduled (fully multiplexed out)");
+        continue;
+      }
+      value = static_cast<std::uint64_t>(
+          static_cast<double>(readout.value) *
+          (static_cast<double>(readout.time_enabled) /
+           static_cast<double>(readout.time_running)));
+      util::log_debug("perf backend: event ", to_string(c.event),
+                      " multiplexed (running ", readout.time_running, " of ",
+                      readout.time_enabled, " ns); count scaled");
+    }
+    sample.set(c.event, value);
   }
   return sample;
+}
+
+std::size_t PerfEventBackend::read_failures(HpcEvent event) const {
+  return read_failures_[static_cast<std::size_t>(event)];
+}
+
+bool PerfEventBackend::was_multiplexed(HpcEvent event) const {
+  return last_multiplexed_[static_cast<std::size_t>(event)];
+}
+
+std::size_t PerfEventBackend::multiplexed_reads(HpcEvent event) const {
+  return multiplexed_reads_[static_cast<std::size_t>(event)];
 }
 
 bool PerfEventBackend::probe() {
@@ -132,7 +191,10 @@ std::vector<HpcEvent> PerfEventBackend::supported_events() const {
 }
 void PerfEventBackend::start() {}
 void PerfEventBackend::stop() {}
-CounterSample PerfEventBackend::read() { return {}; }
+CounterSample PerfEventBackend::read() { return CounterSample::all_missing(); }
+std::size_t PerfEventBackend::read_failures(HpcEvent) const { return 0; }
+bool PerfEventBackend::was_multiplexed(HpcEvent) const { return false; }
+std::size_t PerfEventBackend::multiplexed_reads(HpcEvent) const { return 0; }
 bool PerfEventBackend::probe() { return false; }
 std::string PerfEventBackend::probe_error() { return "not Linux"; }
 

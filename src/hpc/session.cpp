@@ -8,7 +8,11 @@ CounterSample measure(CounterProvider& provider,
   try {
     work();
   } catch (...) {
-    provider.stop();
+    // Keep the workload's exception even if stop() also fails.
+    try {
+      provider.stop();
+    } catch (...) {
+    }
     throw;
   }
   provider.stop();

@@ -20,7 +20,14 @@ class ScopedMeasurement {
     provider_.start();
   }
   ~ScopedMeasurement() {
-    if (!stopped_) provider_.stop();
+    if (stopped_) return;
+    // A provider's stop() may itself fail (fault injection, a dying
+    // perf fd); swallow it — throwing from a destructor mid-unwind
+    // would terminate the process.
+    try {
+      provider_.stop();
+    } catch (...) {
+    }
   }
   ScopedMeasurement(const ScopedMeasurement&) = delete;
   ScopedMeasurement& operator=(const ScopedMeasurement&) = delete;

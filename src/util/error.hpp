@@ -30,4 +30,13 @@ class Unsupported : public Error {
   explicit Unsupported(const std::string& what) : Error(what) {}
 };
 
+/// A transient measurement failure (interrupted syscall, counter briefly
+/// unschedulable, co-tenant interference).  Retrying the operation is
+/// expected to succeed; acquisition drivers catch this type and apply
+/// their RetryPolicy instead of aborting the campaign.
+class TransientFailure : public Error {
+ public:
+  explicit TransientFailure(const std::string& what) : Error(what) {}
+};
+
 }  // namespace sce

@@ -1,0 +1,32 @@
+#include "util/retry.hpp"
+
+#include <cmath>
+#include <thread>
+
+namespace sce::util {
+
+void RetryPolicy::validate() const {
+  if (max_attempts == 0)
+    throw InvalidArgument("RetryPolicy: max_attempts must be >= 1");
+  if (backoff_multiplier < 1.0)
+    throw InvalidArgument("RetryPolicy: backoff_multiplier must be >= 1");
+  if (initial_backoff.count() < 0 || max_backoff.count() < 0)
+    throw InvalidArgument("RetryPolicy: backoff durations must be >= 0");
+}
+
+std::chrono::microseconds RetryPolicy::backoff_for(std::size_t retry) const {
+  if (retry == 0 || initial_backoff.count() == 0)
+    return std::chrono::microseconds{0};
+  const double scale =
+      std::pow(backoff_multiplier, static_cast<double>(retry - 1));
+  const double raw = static_cast<double>(initial_backoff.count()) * scale;
+  const double capped = std::min(raw, static_cast<double>(max_backoff.count()));
+  return std::chrono::microseconds{
+      static_cast<std::chrono::microseconds::rep>(capped)};
+}
+
+void backoff_sleep(std::chrono::microseconds duration) {
+  if (duration.count() > 0) std::this_thread::sleep_for(duration);
+}
+
+}  // namespace sce::util

@@ -1,0 +1,69 @@
+// Bounded retry with exponential backoff for transient failures.
+//
+// Hardware-counter acquisition on a shared host fails transiently all the
+// time (EINTR'd reads, counters briefly unschedulable, paranoid-mode
+// races).  A RetryPolicy bounds how hard an acquisition loop tries before
+// declaring a measurement lost, and retry_call() is the generic driver:
+// it retries a callable on TransientFailure and rethrows the last error
+// once the attempt budget is spent.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace sce::util {
+
+struct RetryPolicy {
+  /// Total attempts, including the first (must be >= 1).
+  std::size_t max_attempts = 5;
+  /// Sleep before the first retry; 0 disables sleeping entirely.
+  std::chrono::microseconds initial_backoff{0};
+  /// Growth factor applied per retry (>= 1).
+  double backoff_multiplier = 2.0;
+  /// Backoff ceiling.
+  std::chrono::microseconds max_backoff{100000};
+
+  /// Throws InvalidArgument if the policy is malformed.
+  void validate() const;
+
+  /// Backoff before retry number `retry` (1-based: the sleep after the
+  /// first failed attempt is backoff_for(1)).
+  std::chrono::microseconds backoff_for(std::size_t retry) const;
+};
+
+/// Sleep helper used between attempts (no-op for zero durations).
+void backoff_sleep(std::chrono::microseconds duration);
+
+/// Outcome bookkeeping for a retried call.
+struct RetryStats {
+  std::size_t attempts = 0;  ///< attempts actually made
+  std::size_t retries = 0;   ///< attempts that failed transiently
+};
+
+/// Invoke `fn` up to policy.max_attempts times, sleeping per the policy
+/// between attempts.  Only TransientFailure is retried; any other
+/// exception propagates immediately.  When the budget is exhausted the
+/// last TransientFailure is rethrown.  `stats`, when non-null, records
+/// how many attempts were spent.
+template <typename F>
+auto retry_call(const RetryPolicy& policy, F&& fn,
+                RetryStats* stats = nullptr) -> decltype(fn()) {
+  policy.validate();
+  std::size_t attempt = 0;
+  for (;;) {
+    ++attempt;
+    if (stats) stats->attempts = attempt;
+    try {
+      return fn();
+    } catch (const TransientFailure&) {
+      if (stats) ++stats->retries;
+      if (attempt >= policy.max_attempts) throw;
+      backoff_sleep(policy.backoff_for(attempt));
+    }
+  }
+}
+
+}  // namespace sce::util

@@ -1,0 +1,392 @@
+// Fault-path coverage for run_campaign: transient faults fully absorbed
+// by retries, permanent event loss degrading gracefully into diagnostics,
+// MAD outlier quarantine, and checkpoint kill/resume reproducing the
+// uninterrupted result bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "campaign_helpers.hpp"
+#include "core/campaign.hpp"
+#include "core/checkpoint.hpp"
+#include "core/evaluator.hpp"
+#include "hpc/fault_injection.hpp"
+#include "hpc/simulated_pmu.hpp"
+#include "uarch/trace.hpp"
+#include "util/error.hpp"
+
+namespace sce::core {
+namespace {
+
+hpc::SimulatedPmu quiet_pmu() {
+  hpc::SimulatedPmuConfig cfg;
+  cfg.environment = hpc::SimulatedPmuConfig::no_environment();
+  return hpc::SimulatedPmu(cfg);
+}
+
+// A PMU whose counters are a pure function of the dynamic trace *counts*
+// (loads, stores, branches, retires) — no addresses, no RNG, no carried
+// state.  The SimulatedPmu's cache counters depend on the actual heap
+// addresses of the kernel's buffers, so two campaigns in one process are
+// not bit-identical (the first run's allocations shift the second run's
+// layout).  Bit-for-bit reproducibility claims are about the acquisition
+// layer, so its tests use this provider, for which the guarantee of
+// core/checkpoint.hpp ("deterministic provider => identical result")
+// actually holds.
+class TracePurePmu final : public hpc::CounterProvider,
+                           public uarch::TraceSink {
+ public:
+  std::string name() const override { return "trace-pure-pmu"; }
+  std::vector<hpc::HpcEvent> supported_events() const override {
+    return {hpc::all_events().begin(), hpc::all_events().end()};
+  }
+  void start() override { counts_ = {}; }
+  void stop() override {}
+  hpc::CounterSample read() override {
+    const std::uint64_t mem = counts_.loads() + counts_.stores();
+    const std::uint64_t instr = counts_.instructions();
+    hpc::CounterSample s;
+    s[hpc::HpcEvent::kInstructions] = instr;
+    s[hpc::HpcEvent::kBranches] = counts_.branches();
+    s[hpc::HpcEvent::kBranchMisses] = counts_.taken_branches() / 9 + 1;
+    s[hpc::HpcEvent::kCacheReferences] = mem;
+    s[hpc::HpcEvent::kCacheMisses] = mem / 13 + counts_.taken_branches() % 7;
+    s[hpc::HpcEvent::kCycles] = instr / 2 + 4 * (mem / 13);
+    s[hpc::HpcEvent::kBusCycles] = instr / 32;
+    s[hpc::HpcEvent::kRefCycles] = instr / 2 + instr / 8;
+    return s;
+  }
+
+  void load(const void* a, std::size_t b) override { counts_.load(a, b); }
+  void store(const void* a, std::size_t b) override { counts_.store(a, b); }
+  void branch(std::uintptr_t pc, bool taken) override {
+    counts_.branch(pc, taken);
+  }
+  void structural_branches(std::uint64_t n) override {
+    counts_.structural_branches(n);
+  }
+  void retire(std::uint64_t n) override { counts_.retire(n); }
+
+ private:
+  uarch::CountingSink counts_;
+};
+
+CampaignConfig small_campaign(std::size_t samples = 6) {
+  CampaignConfig cfg;
+  cfg.categories = {0, 1, 2};
+  cfg.samples_per_category = samples;
+  return cfg;
+}
+
+bool same_distributions(const CampaignResult& a, const CampaignResult& b) {
+  if (a.categories != b.categories) return false;
+  if (a.category_names != b.category_names) return false;
+  for (hpc::HpcEvent e : hpc::all_events()) {
+    const std::size_t idx = static_cast<std::size_t>(e);
+    if (a.samples[idx] != b.samples[idx]) return false;  // bit-for-bit
+  }
+  return true;
+}
+
+TEST(CampaignFault, TransientFaultsAreFullyAbsorbedByRetries) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset();
+  hpc::SimulatedPmu pmu = quiet_pmu();
+  hpc::FaultConfig faults;
+  faults.transient_rate = 0.10;  // the acceptance-criteria regime
+  faults.seed = 21;
+  hpc::FaultInjectingProvider provider(pmu, faults);
+
+  const CampaignConfig cfg = small_campaign();
+  const CampaignResult result =
+      run_campaign(model, ds, Instrument{provider, pmu}, cfg);
+
+  // Retries absorb every transient fault: full distributions.
+  for (hpc::HpcEvent e : hpc::all_events())
+    for (std::size_t c = 0; c < cfg.categories.size(); ++c)
+      EXPECT_EQ(result.of(e, c).size(), cfg.samples_per_category)
+          << hpc::to_string(e);
+  EXPECT_TRUE(result.diagnostics.complete);
+  EXPECT_GT(result.diagnostics.transient_faults, 0u);
+  EXPECT_TRUE(result.diagnostics.dropped_events.empty());
+  EXPECT_EQ(result.diagnostics.failed_measurements, 0u);
+  EXPECT_EQ(result.diagnostics.measurements_recorded,
+            cfg.categories.size() * cfg.samples_per_category);
+}
+
+TEST(CampaignFault, FaultsDoNotChangeRecordedValues) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset();
+
+  TracePurePmu clean_pmu;
+  const CampaignResult clean =
+      run_campaign(model, ds, make_instrument(clean_pmu), small_campaign());
+
+  TracePurePmu pmu;
+  hpc::FaultConfig faults;
+  faults.transient_rate = 0.15;
+  faults.event_drop_rate = 0.05;
+  faults.seed = 5;
+  hpc::FaultInjectingProvider provider(pmu, faults);
+  const CampaignResult faulty =
+      run_campaign(model, ds, Instrument{provider, pmu}, small_campaign());
+
+  // The deterministic workload means a retried measurement reproduces the
+  // original exactly: the fault layer must be invisible in the data.
+  EXPECT_TRUE(same_distributions(clean, faulty));
+  EXPECT_GT(faulty.diagnostics.transient_faults +
+                faulty.diagnostics.incomplete_samples,
+            0u);
+}
+
+TEST(CampaignFault, PermanentEventLossDegradesGracefully) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset();
+  hpc::SimulatedPmu pmu = quiet_pmu();
+  hpc::FaultConfig faults;
+  faults.permanent_fail_event = hpc::HpcEvent::kBusCycles;
+  faults.permanent_fail_after = 7;  // dies mid-campaign
+  hpc::FaultInjectingProvider provider(pmu, faults);
+
+  const CampaignConfig cfg = small_campaign();
+  const CampaignResult result =
+      run_campaign(model, ds, Instrument{provider, pmu}, cfg);
+
+  // The campaign completed, named the dead event, and cleared its cells.
+  EXPECT_TRUE(result.diagnostics.complete);
+  ASSERT_EQ(result.diagnostics.dropped_events.size(), 1u);
+  EXPECT_EQ(result.diagnostics.dropped_events[0], hpc::HpcEvent::kBusCycles);
+  EXPECT_TRUE(result.diagnostics.event_dropped(hpc::HpcEvent::kBusCycles));
+  EXPECT_FALSE(result.has_event(hpc::HpcEvent::kBusCycles));
+  for (std::size_t c = 0; c < cfg.categories.size(); ++c)
+    EXPECT_TRUE(result.of(hpc::HpcEvent::kBusCycles, c).empty());
+
+  // Every surviving event still has full cells.
+  for (hpc::HpcEvent e : hpc::all_events()) {
+    if (e == hpc::HpcEvent::kBusCycles) continue;
+    for (std::size_t c = 0; c < cfg.categories.size(); ++c)
+      EXPECT_EQ(result.of(e, c).size(), cfg.samples_per_category)
+          << hpc::to_string(e);
+  }
+
+  // And the evaluator keeps working on the degraded result: the dropped
+  // event is skipped, not fatal.
+  const LeakageAssessment assessment = evaluate(result);
+  EXPECT_THROW(assessment.analysis_of(hpc::HpcEvent::kBusCycles),
+               InvalidArgument);
+  EXPECT_NO_THROW(assessment.analysis_of(hpc::HpcEvent::kInstructions));
+}
+
+TEST(CampaignFault, HopelessProviderAbortsInsteadOfSpinning) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset();
+  hpc::SimulatedPmu pmu = quiet_pmu();
+  hpc::FaultConfig faults;
+  faults.transient_rate = 1.0;  // nothing ever succeeds
+  hpc::FaultInjectingProvider provider(pmu, faults);
+  CampaignConfig cfg = small_campaign();
+  cfg.max_failed_measurements = 4;
+  EXPECT_THROW(run_campaign(model, ds, Instrument{provider, pmu}, cfg),
+               Error);
+}
+
+TEST(CampaignFault, OutlierQuarantineKeepsPollutionOutOfDistributions) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset();
+  hpc::SimulatedPmu pmu = quiet_pmu();
+  hpc::FaultConfig faults;
+  faults.outlier_rate = 0.08;
+  faults.outlier_factor = 50.0;  // unmistakable spikes
+  faults.seed = 13;
+  hpc::FaultInjectingProvider provider(pmu, faults);
+
+  CampaignConfig cfg = small_campaign(/*samples=*/24);
+  cfg.outlier_mad_threshold = 8.0;
+  cfg.outlier_min_baseline = 8;
+  const CampaignResult result =
+      run_campaign(model, ds, Instrument{provider, pmu}, cfg);
+
+  EXPECT_TRUE(result.diagnostics.complete);
+  EXPECT_GT(result.diagnostics.outliers_quarantined, 0u);
+
+  // The screen cannot act before `outlier_min_baseline` samples exist in a
+  // cell, so a spike may land among a cell's first entries.  The guarantee
+  // is about everything after that: no 50x spike survives past the
+  // baseline window, and everything quarantined is an unmistakable spike.
+  double typical = 0.0;  // largest per-cell median; cells are near-constant
+  for (std::size_t c = 0; c < cfg.categories.size(); ++c) {
+    std::vector<double> cell = result.of(hpc::HpcEvent::kInstructions, c);
+    std::vector<double> sorted = cell;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    typical = std::max(typical, median);
+    for (std::size_t i = cfg.outlier_min_baseline; i < cell.size(); ++i)
+      EXPECT_LT(cell[i], median * 10) << "category " << c << " sample " << i;
+  }
+  const auto& q = result.diagnostics.quarantined[static_cast<std::size_t>(
+      hpc::HpcEvent::kInstructions)];
+  ASSERT_FALSE(q.empty());
+  for (double v : q) EXPECT_GT(v, typical * 10);
+}
+
+TEST(CampaignFault, OutlierScreenIgnoresBenignVariation) {
+  // With no injected pollution, nothing may be quarantined: the simulated
+  // counters are near-constant per cell, and without the MAD floor the
+  // benign per-image variation scores as dozens of "robust sigmas".
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset();
+  hpc::SimulatedPmu pmu = quiet_pmu();
+
+  CampaignConfig cfg = small_campaign(/*samples=*/24);
+  cfg.outlier_mad_threshold = 8.0;
+  cfg.outlier_min_baseline = 8;
+  const CampaignResult result =
+      run_campaign(model, ds, make_instrument(pmu), cfg);
+
+  EXPECT_TRUE(result.diagnostics.complete);
+  EXPECT_EQ(result.diagnostics.outliers_quarantined, 0u);
+}
+
+TEST(CampaignFault, DiagnosticsSummaryMentionsDegradation) {
+  CampaignDiagnostics diag;
+  diag.measurements_recorded = 10;
+  diag.measurements_attempted = 14;
+  diag.dropped_events = {hpc::HpcEvent::kRefCycles};
+  const std::string s = diag.summary();
+  EXPECT_NE(s.find("ref-cycles"), std::string::npos);
+  EXPECT_NE(s.find("10"), std::string::npos);
+  EXPECT_NE(s.find("partial"), std::string::npos);
+}
+
+// --- Checkpoint / resume -------------------------------------------------
+
+TEST(CampaignCheckpoint, JsonRoundTripPreservesEverything) {
+  CampaignResult partial = testing::synthetic_campaign({10.0, 20.0}, 1.5, 7);
+  partial.diagnostics.measurements_recorded = 14;
+  partial.diagnostics.transient_faults = 3;
+  partial.diagnostics.dropped_events = {hpc::HpcEvent::kBusCycles};
+  partial.diagnostics.missing_event_counts[2] = 9;
+  partial.diagnostics.quarantined[0] = {1234.5, 6789.0};
+  partial.diagnostics.outliers_quarantined = 2;
+  CampaignConfig cfg;
+  cfg.categories = {0, 1};
+  cfg.samples_per_category = 20;
+
+  const CampaignCheckpoint cp = make_checkpoint(partial, cfg);
+  const std::string json = checkpoint_to_json(cp);
+  const CampaignCheckpoint back = checkpoint_from_json(json);
+
+  EXPECT_EQ(back.version, 1);
+  EXPECT_EQ(back.samples_per_category, 20u);
+  EXPECT_EQ(back.kernel_mode, nn::to_string(cfg.kernel_mode));
+  EXPECT_TRUE(same_distributions(cp.partial, back.partial));
+  EXPECT_EQ(back.partial.diagnostics.measurements_recorded, 14u);
+  EXPECT_EQ(back.partial.diagnostics.transient_faults, 3u);
+  ASSERT_EQ(back.partial.diagnostics.dropped_events.size(), 1u);
+  EXPECT_EQ(back.partial.diagnostics.dropped_events[0],
+            hpc::HpcEvent::kBusCycles);
+  EXPECT_EQ(back.partial.diagnostics.missing_event_counts[2], 9u);
+  EXPECT_EQ(back.partial.diagnostics.quarantined[0],
+            (std::vector<double>{1234.5, 6789.0}));
+}
+
+TEST(CampaignCheckpoint, RejectsForeignDocuments) {
+  EXPECT_THROW(checkpoint_from_json("{}"), InvalidArgument);
+  EXPECT_THROW(checkpoint_from_json("[1,2,3]"), InvalidArgument);
+  EXPECT_THROW(checkpoint_from_json("not json"), InvalidArgument);
+}
+
+TEST(CampaignCheckpoint, KilledCampaignResumesBitForBit) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset();
+  const CampaignConfig cfg = small_campaign(/*samples=*/5);
+
+  // Reference: one uninterrupted run (with faults!).
+  auto make_provider = [](TracePurePmu& pmu) {
+    hpc::FaultConfig faults;
+    faults.transient_rate = 0.10;
+    faults.seed = 77;
+    return hpc::FaultInjectingProvider(pmu, faults);
+  };
+  TracePurePmu pmu_a;
+  auto provider_a = make_provider(pmu_a);
+  const CampaignResult uninterrupted =
+      run_campaign(model, ds, Instrument{provider_a, pmu_a}, cfg);
+
+  // "Kill" a second run mid-flight by bounding its measurement budget.
+  TracePurePmu pmu_b;
+  auto provider_b = make_provider(pmu_b);
+  CampaignConfig first_leg = cfg;
+  first_leg.stop_after_measurements = 7;  // dies mid-round
+  const CampaignResult partial =
+      run_campaign(model, ds, Instrument{provider_b, pmu_b}, first_leg);
+  EXPECT_FALSE(partial.diagnostics.complete);
+  EXPECT_EQ(partial.diagnostics.measurements_recorded, 7u);
+
+  // Serialize, reload, resume in a "fresh process" (new PMU, new
+  // provider — nothing survives the kill except the checkpoint JSON).
+  const std::string json =
+      checkpoint_to_json(make_checkpoint(partial, first_leg));
+  const CampaignCheckpoint loaded = checkpoint_from_json(json);
+  TracePurePmu pmu_c;
+  auto provider_c = make_provider(pmu_c);
+  const CampaignResult resumed = resume_campaign(
+      model, ds, Instrument{provider_c, pmu_c}, cfg, loaded);
+
+  EXPECT_TRUE(resumed.diagnostics.complete);
+  EXPECT_TRUE(resumed.diagnostics.resumed);
+  EXPECT_TRUE(same_distributions(uninterrupted, resumed));
+}
+
+TEST(CampaignCheckpoint, ResumeRejectsMismatchedConfig) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset();
+  hpc::SimulatedPmu pmu = quiet_pmu();
+
+  const CampaignConfig cfg = small_campaign(/*samples=*/4);
+  CampaignConfig first_leg = cfg;
+  first_leg.stop_after_measurements = 3;
+  const CampaignResult partial =
+      run_campaign(model, ds, make_instrument(pmu), first_leg);
+  const CampaignCheckpoint cp = make_checkpoint(partial, first_leg);
+
+  CampaignConfig different_budget = cfg;
+  different_budget.samples_per_category = 9;
+  EXPECT_THROW(resume_campaign(model, ds, make_instrument(pmu),
+                               different_budget, cp),
+               InvalidArgument);
+
+  CampaignConfig different_mode = cfg;
+  different_mode.kernel_mode = nn::KernelMode::kConstantFlow;
+  EXPECT_THROW(
+      resume_campaign(model, ds, make_instrument(pmu), different_mode, cp),
+      InvalidArgument);
+}
+
+TEST(CampaignCheckpoint, PeriodicCheckpointFilesAreWrittenAndLoadable) {
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset();
+  hpc::SimulatedPmu pmu = quiet_pmu();
+
+  const std::string path = ::testing::TempDir() + "sce_campaign_ckpt.json";
+  CampaignConfig cfg = small_campaign(/*samples=*/4);
+  cfg.checkpoint_every = 5;
+  cfg.checkpoint_path = path;
+  const CampaignResult result =
+      run_campaign(model, ds, make_instrument(pmu), cfg);
+  EXPECT_GT(result.diagnostics.checkpoints_written, 0u);
+
+  const CampaignCheckpoint cp = load_checkpoint(path);
+  EXPECT_EQ(cp.samples_per_category, 4u);
+  // The last checkpoint was written at a multiple of checkpoint_every.
+  EXPECT_EQ(cp.partial.diagnostics.measurements_recorded % 5, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignCheckpoint, LoadMissingFileThrowsIoError) {
+  EXPECT_THROW(load_checkpoint("/nonexistent/dir/ckpt.json"), IoError);
+}
+
+}  // namespace
+}  // namespace sce::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "hpc/fault_injection.hpp"
+#include "hpc/simulated_pmu.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -126,6 +128,93 @@ TEST(OnlineEvaluator, CellExposesRunningStats) {
   EXPECT_DOUBLE_EQ(cell.mean(), 15.0);
   EXPECT_THROW(monitor.cell(hpc::HpcEvent::kCacheMisses, 5),
                InvalidArgument);
+}
+
+TEST(OnlineEvaluator, PartialSamplesUpdateOnlyCoveredCells) {
+  OnlineConfig cfg;
+  cfg.num_categories = 2;
+  cfg.events = {hpc::HpcEvent::kCacheMisses, hpc::HpcEvent::kInstructions};
+  OnlineEvaluator monitor(cfg);
+
+  hpc::CounterSample full;
+  full[hpc::HpcEvent::kCacheMisses] = 10;
+  full[hpc::HpcEvent::kInstructions] = 100;
+  EXPECT_FALSE(monitor.observe(0, full).has_value());
+
+  hpc::CounterSample partial = full;
+  partial.drop(hpc::HpcEvent::kInstructions);
+  EXPECT_FALSE(monitor.observe(0, partial).has_value());  // no throw
+
+  // Cache-misses saw both observations; instructions only the complete one.
+  EXPECT_EQ(monitor.cell(hpc::HpcEvent::kCacheMisses, 0).count(), 2u);
+  EXPECT_EQ(monitor.cell(hpc::HpcEvent::kInstructions, 0).count(), 1u);
+  EXPECT_EQ(monitor.partial_samples_seen(), 1u);
+  EXPECT_EQ(monitor.missing_count(hpc::HpcEvent::kInstructions), 1u);
+  EXPECT_EQ(monitor.missing_count(hpc::HpcEvent::kCacheMisses), 0u);
+  EXPECT_EQ(monitor.measurements_seen(), 2u);
+}
+
+TEST(OnlineEvaluator, AlarmsStillFireWhenOtherEventIsAlwaysMissing) {
+  OnlineConfig cfg;
+  cfg.num_categories = 2;
+  cfg.events = {hpc::HpcEvent::kCacheMisses, hpc::HpcEvent::kBusCycles};
+  OnlineEvaluator monitor(cfg);
+  util::Rng rng(5);
+  std::optional<OnlineAlarm> alarm;
+  for (int i = 0; i < 200 && !alarm; ++i) {
+    // bus-cycles never arrives (a permanently dead counter), yet the
+    // monitor keeps testing the covered event.
+    hpc::CounterSample a =
+        sample_with(hpc::HpcEvent::kCacheMisses, rng.normal(1000, 5));
+    a.drop(hpc::HpcEvent::kBusCycles);
+    alarm = monitor.observe(0, a);
+    if (alarm) break;
+    hpc::CounterSample b =
+        sample_with(hpc::HpcEvent::kCacheMisses, rng.normal(1300, 5));
+    b.drop(hpc::HpcEvent::kBusCycles);
+    alarm = monitor.observe(1, b);
+  }
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->event, hpc::HpcEvent::kCacheMisses);
+  EXPECT_EQ(monitor.missing_count(hpc::HpcEvent::kBusCycles),
+            monitor.measurements_seen());
+}
+
+TEST(OnlineEvaluator, SurvivesFaultInjectedAcquisition) {
+  hpc::SimulatedPmuConfig pmu_cfg;
+  pmu_cfg.environment = hpc::SimulatedPmuConfig::no_environment();
+  hpc::SimulatedPmu pmu(pmu_cfg);
+  hpc::FaultConfig faults;
+  faults.transient_rate = 0.10;
+  faults.event_drop_rate = 0.20;
+  faults.seed = 31;
+  hpc::FaultInjectingProvider provider(pmu, faults);
+
+  OnlineConfig cfg;
+  cfg.num_categories = 2;
+  OnlineEvaluator monitor(cfg);
+  util::Rng work(6);
+  std::size_t observed = 0;
+  for (int i = 0; i < 120; ++i) {
+    const std::size_t category = static_cast<std::size_t>(i % 2);
+    try {
+      provider.start();
+      pmu.retire(100 + 40 * category + work.below(8));
+      provider.stop();
+      monitor.observe(category, provider.read());
+      ++observed;
+    } catch (const TransientFailure&) {
+      // A faulted measurement yields nothing to observe; move on.
+    }
+  }
+  // The monitor ingested every sample that survived acquisition, flagged
+  // the partial ones, and never threw on a missing event.
+  EXPECT_GT(observed, 60u);
+  EXPECT_EQ(monitor.measurements_seen(), observed);
+  EXPECT_GT(monitor.partial_samples_seen(), 0u);
+  std::size_t missing_total = 0;
+  for (hpc::HpcEvent e : hpc::all_events()) missing_total += monitor.missing_count(e);
+  EXPECT_GT(missing_total, 0u);
 }
 
 TEST(OnlineEvaluator, ConfigValidation) {

@@ -91,5 +91,96 @@ TEST(JsonWriter, NestingErrors) {
   }
 }
 
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(parse_json("-17").as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(parse_json("6.02e23").as_number(), 6.02e23);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_json("42").as_int(), 42);
+}
+
+TEST(JsonParse, AsIntRejectsFractions) {
+  EXPECT_THROW(parse_json("1.5").as_int(), InvalidArgument);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json("\"a\\\"b\\\\c\\n\\t\"").as_string(), "a\"b\\c\n\t");
+  EXPECT_EQ(parse_json("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(parse_json("\"\\u0001\"").as_string(), std::string(1, '\x01'));
+}
+
+TEST(JsonParse, ArraysAndObjects) {
+  const JsonValue v = parse_json(R"({"a": [1, 2, 3], "b": {"c": true}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.at("a").size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a").at(1).as_number(), 2.0);
+  EXPECT_TRUE(v.at("b").at("c").as_bool());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), InvalidArgument);
+  EXPECT_THROW(v.at("a").at(9), InvalidArgument);
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_EQ(parse_json("[]").size(), 0u);
+  EXPECT_EQ(parse_json("{}").size(), 0u);
+  EXPECT_EQ(parse_json("  [ ]  ").size(), 0u);
+}
+
+TEST(JsonParse, ObjectPreservesInsertionOrder) {
+  const JsonValue v = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), InvalidArgument);
+  EXPECT_THROW(parse_json("{"), InvalidArgument);
+  EXPECT_THROW(parse_json("[1, 2"), InvalidArgument);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), InvalidArgument);
+  EXPECT_THROW(parse_json("tru"), InvalidArgument);
+  EXPECT_THROW(parse_json("1 2"), InvalidArgument);  // trailing garbage
+  EXPECT_THROW(parse_json("\"unterminated"), InvalidArgument);
+  EXPECT_THROW(parse_json("1.2.3"), InvalidArgument);
+}
+
+TEST(JsonParse, TypeMismatchesThrow) {
+  const JsonValue v = parse_json("[1]");
+  EXPECT_THROW(v.as_bool(), InvalidArgument);
+  EXPECT_THROW(v.as_number(), InvalidArgument);
+  EXPECT_THROW(v.as_string(), InvalidArgument);
+  EXPECT_THROW(v.members(), InvalidArgument);
+  EXPECT_NO_THROW(v.items());
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("cache-misses");
+  w.key("values").begin_array().value(1.5).value(2.0).end_array();
+  w.key("ok").value(true);
+  w.key("n").value(std::uint64_t{7});
+  w.end_object();
+  const JsonValue v = parse_json(w.str());
+  EXPECT_EQ(v.at("name").as_string(), "cache-misses");
+  EXPECT_DOUBLE_EQ(v.at("values").at(0).as_number(), 1.5);
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("n").as_int(), 7);
+}
+
+TEST(JsonNumberExact, RoundTripsDoublesBitForBit) {
+  const double values[] = {1.0 / 3.0, 1e-17, 123456789.123456789,
+                           -0.1, 2.5e300};
+  for (double v : values) {
+    const JsonValue parsed = parse_json(json_number_exact(v));
+    EXPECT_EQ(parsed.as_number(), v);  // exact, not almost-equal
+  }
+}
+
 }  // namespace
 }  // namespace sce::util

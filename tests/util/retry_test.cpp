@@ -1,0 +1,97 @@
+#include "util/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sce::util {
+namespace {
+
+TEST(RetryPolicy, ValidateRejectsMalformed) {
+  RetryPolicy zero_attempts;
+  zero_attempts.max_attempts = 0;
+  EXPECT_THROW(zero_attempts.validate(), InvalidArgument);
+
+  RetryPolicy shrinking;
+  shrinking.backoff_multiplier = 0.5;
+  EXPECT_THROW(shrinking.validate(), InvalidArgument);
+
+  RetryPolicy ok;
+  EXPECT_NO_THROW(ok.validate());
+}
+
+TEST(RetryPolicy, BackoffGrowsGeometricallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff = std::chrono::microseconds{100};
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = std::chrono::microseconds{350};
+  EXPECT_EQ(policy.backoff_for(1).count(), 100);
+  EXPECT_EQ(policy.backoff_for(2).count(), 200);
+  EXPECT_EQ(policy.backoff_for(3).count(), 350);  // capped, not 400
+  EXPECT_EQ(policy.backoff_for(10).count(), 350);
+}
+
+TEST(RetryPolicy, ZeroInitialBackoffNeverSleeps) {
+  RetryPolicy policy;  // initial_backoff == 0 by default
+  EXPECT_EQ(policy.backoff_for(1).count(), 0);
+  EXPECT_EQ(policy.backoff_for(7).count(), 0);
+}
+
+TEST(RetryCall, SucceedsFirstTry) {
+  RetryPolicy policy;
+  RetryStats stats;
+  const int result = retry_call(policy, [] { return 42; }, &stats);
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+TEST(RetryCall, RetriesTransientFailuresUntilSuccess) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  RetryStats stats;
+  int calls = 0;
+  const int result = retry_call(
+      policy,
+      [&] {
+        if (++calls < 3) throw TransientFailure("flaky");
+        return calls;
+      },
+      &stats);
+  EXPECT_EQ(result, 3);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+}
+
+TEST(RetryCall, RethrowsAfterBudgetExhausted) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryStats stats;
+  int calls = 0;
+  EXPECT_THROW(retry_call(
+                   policy,
+                   [&]() -> int {
+                     ++calls;
+                     throw TransientFailure("always down");
+                   },
+                   &stats),
+               TransientFailure);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3u);
+}
+
+TEST(RetryCall, NonTransientErrorsPropagateImmediately) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  EXPECT_THROW(retry_call(policy,
+                          [&]() -> int {
+                            ++calls;
+                            throw InvalidArgument("bug, not flake");
+                          }),
+               InvalidArgument);
+  EXPECT_EQ(calls, 1);  // no retry for a programming error
+}
+
+}  // namespace
+}  // namespace sce::util

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Build and run the tier-1 test suite under sanitizers.
+#
+#   tools/run_sanitized_tests.sh [sanitizers] [build-dir]
+#
+# sanitizers: semicolon-separated -fsanitize= list (default
+#             "address;undefined", the standard CI configuration).
+# build-dir:  out-of-tree build directory (default build-sanitize, kept
+#             separate from the normal build so the two never mix
+#             instrumented and uninstrumented objects).
+#
+# The fault-injection tests exercise the retry/quarantine/checkpoint
+# paths, so a clean pass here means the error-handling code itself is
+# free of leaks, overflows and UB — exactly the code that normal runs
+# rarely reach.
+set -eu
+
+SANITIZERS="${1:-address;undefined}"
+BUILD_DIR="${2:-build-sanitize}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+# halt_on_error makes UBSan failures fail the test run instead of just
+# printing; detect_leaks catches provider/session cleanup mistakes.
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+
+echo "==> configuring $BUILD_DIR with SCE_SANITIZE=$SANITIZERS"
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" "-DSCE_SANITIZE=$SANITIZERS" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "==> building sce_tests"
+cmake --build "$BUILD_DIR" --target sce_tests -j "$(nproc 2>/dev/null || echo 4)"
+
+echo "==> running tier-1 suite under $SANITIZERS"
+ctest --test-dir "$BUILD_DIR/tests" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
