@@ -1,7 +1,16 @@
 // Microbenchmarks (google-benchmark): throughput of the simulator and
 // kernel building blocks.  These are engineering benches, not paper
 // artifacts — they track the cost of the instrumentation machinery.
+//
+// Before the google-benchmark suite runs, main() measures planned vs
+// allocating inference on the MNIST and CIFAR zoo models and writes
+// BENCH_inference.json (ns/inference and allocations/inference for both
+// paths).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 
 #include "data/synthetic.hpp"
 #include "hpc/simulated_pmu.hpp"
@@ -10,6 +19,8 @@
 #include "uarch/branch_predictor.hpp"
 #include "uarch/cache.hpp"
 #include "uarch/hierarchy.hpp"
+#include "util/alloc_hook.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -77,6 +88,26 @@ void BM_MnistInference(benchmark::State& state) {
 }
 BENCHMARK(BM_MnistInference);
 
+void BM_MnistInferencePlanned(benchmark::State& state) {
+  // Preplanned forward pass: buffers preallocated once, trace generation
+  // compiled out.  The gap to BM_MnistInferenceAllocating is the cost of
+  // per-call allocation plus virtual no-op sink dispatch.
+  nn::Sequential model = nn::build_mnist_cnn();
+  util::Rng rng(4);
+  model.initialize(rng);
+  data::SyntheticConfig cfg;
+  cfg.examples_per_class = 1;
+  cfg.num_classes = 1;
+  const data::Dataset ds = data::make_mnist_like(cfg);
+  const nn::Tensor input = nn::image_to_tensor(ds[0].image);
+  nn::InferencePlan plan = model.plan(input.shape());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&plan.run(input));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MnistInferencePlanned);
+
 void BM_MnistInferenceTraced(benchmark::State& state) {
   // Same forward pass but streaming the trace through the simulated PMU —
   // the ratio to BM_MnistInference is the instrumentation overhead.
@@ -124,6 +155,134 @@ void BM_SynthesizeDigit(benchmark::State& state) {
 }
 BENCHMARK(BM_SynthesizeDigit);
 
+/// The seed engine's no-op sink: every trace event pays a virtual call.
+/// Today's NullSink declares discards(), which lets kernels skip trace
+/// generation entirely — so reproducing the legacy baseline needs a sink
+/// that keeps the virtual dispatch on the hot path.
+struct LegacyNullSink final : uarch::TraceSink {
+  void load(const void*, std::size_t) override {}
+  void store(const void*, std::size_t) override {}
+  void branch(std::uintptr_t, bool) override {}
+  void structural_branches(std::uint64_t) override {}
+  void retire(std::uint64_t) override {}
+  // discards() stays false: kernels keep calling through the vtable.
+};
+
+struct InferenceTiming {
+  double ns_per_inference = 0.0;
+  double allocations_per_inference = 0.0;
+};
+
+/// Time `fn` (one inference per call) with the allocation hook armed.
+template <typename Fn>
+InferenceTiming time_inference(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < 3; ++i) fn();  // warmup: heap + caches reach steady state
+  constexpr std::size_t kMaxReps = 512;
+  constexpr auto kMinElapsed = std::chrono::milliseconds(250);
+  const util::AllocationCounter allocs;
+  const auto begin = clock::now();
+  std::size_t reps = 0;
+  while (reps < kMaxReps && clock::now() - begin < kMinElapsed) {
+    fn();
+    ++reps;
+  }
+  const auto elapsed = clock::now() - begin;
+  InferenceTiming t;
+  t.ns_per_inference =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()) /
+      static_cast<double>(reps);
+  t.allocations_per_inference = static_cast<double>(allocs.allocations()) /
+                                static_cast<double>(reps);
+  return t;
+}
+
+void report_model(util::JsonWriter& json, const char* tag,
+                  nn::Sequential model, const nn::Tensor& input) {
+  // Allocating baseline: the legacy per-layer-allocating forward pass
+  // with virtually dispatched no-op trace sinks.
+  LegacyNullSink null_sink;
+  const InferenceTiming allocating = time_inference([&] {
+    benchmark::DoNotOptimize(
+        model.forward(input, null_sink, nn::KernelMode::kDataDependent));
+  });
+
+  // Planned path: preallocated buffers, trace generation compiled out.
+  nn::InferencePlan plan = model.plan(input.shape());
+  const InferenceTiming planned =
+      time_inference([&] { benchmark::DoNotOptimize(&plan.run(input)); });
+
+  const double speedup = planned.ns_per_inference > 0.0
+                             ? allocating.ns_per_inference /
+                                   planned.ns_per_inference
+                             : 0.0;
+  std::printf(
+      "[inference] %-8s allocating %10.0f ns (%5.1f allocs)  planned "
+      "%10.0f ns (%4.1f allocs)  speedup %.2fx\n",
+      tag, allocating.ns_per_inference, allocating.allocations_per_inference,
+      planned.ns_per_inference, planned.allocations_per_inference, speedup);
+
+  json.begin_object();
+  json.key("model").value(tag);
+  json.key("input_shape").begin_array();
+  for (std::size_t d : input.shape())
+    json.value(static_cast<std::uint64_t>(d));
+  json.end_array();
+  json.key("allocating").begin_object();
+  json.key("ns_per_inference").value(allocating.ns_per_inference);
+  json.key("allocations_per_inference")
+      .value(allocating.allocations_per_inference);
+  json.end_object();
+  json.key("planned").begin_object();
+  json.key("ns_per_inference").value(planned.ns_per_inference);
+  json.key("allocations_per_inference")
+      .value(planned.allocations_per_inference);
+  json.end_object();
+  json.key("speedup").value(speedup);
+  json.end_object();
+}
+
+void write_inference_report() {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("inference");
+  json.key("models").begin_array();
+  {
+    nn::Sequential model = nn::build_mnist_cnn();
+    util::Rng rng(4);
+    model.initialize(rng);
+    data::SyntheticConfig cfg;
+    cfg.examples_per_class = 1;
+    cfg.num_classes = 1;
+    report_model(json, "mnist_cnn", std::move(model),
+                 nn::image_to_tensor(data::make_mnist_like(cfg)[0].image));
+  }
+  {
+    nn::Sequential model = nn::build_cifar_cnn();
+    util::Rng rng(7);
+    model.initialize(rng);
+    data::SyntheticConfig cfg;
+    cfg.examples_per_class = 1;
+    cfg.num_classes = 1;
+    report_model(json, "cifar_cnn", std::move(model),
+                 nn::image_to_tensor(data::make_cifar_like(cfg)[0].image));
+  }
+  json.end_array();
+  json.end_object();
+  std::ofstream out("BENCH_inference.json");
+  out << json.str() << '\n';
+  std::printf("[inference] wrote BENCH_inference.json\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  write_inference_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,13 +23,15 @@ int main() {
   const data::Example& example = trained.test_set[0];
   const nn::Tensor input = nn::image_to_tensor(example.image);
 
+  // Preallocated plan: the measured region contains only kernel work.
+  nn::InferencePlan plan = trained.model.plan(input.shape());
+
   // Simulated PMU, workload counts only (no environment overlay).
   hpc::SimulatedPmuConfig sim_cfg;
   sim_cfg.environment = hpc::SimulatedPmuConfig::no_environment();
   hpc::SimulatedPmu sim(sim_cfg);
   const hpc::CounterSample simulated = hpc::measure(sim, [&] {
-    (void)trained.model.forward(input, sim.sink(),
-                                nn::KernelMode::kDataDependent);
+    (void)plan.run(input, sim.sink(), nn::KernelMode::kDataDependent);
   });
   std::printf("simulated PMU (architectural workload counts):\n%s\n",
               simulated.to_perf_stat_string().c_str());
@@ -49,8 +51,9 @@ int main() {
                 real.supported_events().size(), hpc::kNumEvents);
     const hpc::CounterSample hardware = hpc::measure(real, [&] {
       // The same classification, now measured by actual hardware.  No
-      // trace sink: the silicon observes the execution directly.
-      (void)trained.model.predict(input);
+      // trace sink: the silicon observes the execution directly.  The
+      // planned run keeps the allocator out of the measured window.
+      (void)plan.run(input);
     });
     std::printf("hardware counters for the same classification:\n%s\n",
                 hardware.to_perf_stat_string().c_str());

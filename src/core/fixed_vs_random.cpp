@@ -54,6 +54,11 @@ FixedVsRandomResult run_fixed_vs_random(const nn::Sequential& model,
       nn::image_to_tensor(fixed_pool.front()->image);
   util::Rng rng(config.random_seed);
 
+  // One preallocated plan for the whole assessment; the staging tensor
+  // keeps random-example conversion off the heap as well.
+  nn::InferencePlan plan = model.plan(fixed_input.shape());
+  nn::Tensor staged_input;
+
   std::array<std::vector<double>, hpc::kNumEvents> fixed_samples;
   std::array<std::vector<double>, hpc::kNumEvents> random_samples;
 
@@ -61,7 +66,7 @@ FixedVsRandomResult run_fixed_vs_random(const nn::Sequential& model,
                          std::array<std::vector<double>, hpc::kNumEvents>&
                              out) {
     instrument.provider.start();
-    (void)model.forward(input, instrument.sink, config.kernel_mode);
+    (void)plan.run(input, instrument.sink, config.kernel_mode);
     instrument.provider.stop();
     const hpc::CounterSample sample = instrument.provider.read();
     for (hpc::HpcEvent e : hpc::all_events())
@@ -82,7 +87,8 @@ FixedVsRandomResult run_fixed_vs_random(const nn::Sequential& model,
     measure_one(fixed_input, fixed_samples);
     const data::Example& random_example =
         dataset[static_cast<std::size_t>(rng.below(dataset.size()))];
-    measure_one(nn::image_to_tensor(random_example.image), random_samples);
+    nn::image_to_tensor_into(random_example.image, staged_input);
+    measure_one(staged_input, random_samples);
   }
 
   FixedVsRandomResult result;

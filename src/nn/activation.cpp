@@ -4,9 +4,21 @@
 
 namespace sce::nn {
 
-Tensor ReLU::forward(const Tensor& input, uarch::TraceSink& sink,
-                     KernelMode mode) const {
-  Tensor output(input.shape());
+void ReLU::forward_into(const Tensor& input, Tensor& output,
+                        Workspace& /*workspace*/, uarch::TraceSink& sink,
+                        KernelMode mode) const {
+  if (!output.same_shape(input)) output.resize(input.shape());
+  if (sink.discards()) {
+    uarch::DiscardSink fast;
+    forward_kernel(input, output, fast, mode);
+  } else {
+    forward_kernel(input, output, sink, mode);
+  }
+}
+
+template <typename Sink>
+void ReLU::forward_kernel(const Tensor& input, Tensor& output, Sink& sink,
+                          KernelMode mode) const {
   const float* in_data = input.data();
   float* out_data = output.data();
   const std::uintptr_t negative_site = SCE_BRANCH_SITE();
@@ -29,7 +41,6 @@ Tensor ReLU::forward(const Tensor& input, uarch::TraceSink& sink,
     sink.store(&out_data[i], sizeof(float));
   }
   sink.structural_branches(input.numel());
-  return output;
 }
 
 Tensor ReLU::train_forward(const Tensor& input) {

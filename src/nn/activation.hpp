@@ -9,8 +9,9 @@ namespace sce::nn {
 class ReLU final : public Layer {
  public:
   std::string name() const override { return "relu"; }
-  Tensor forward(const Tensor& input, uarch::TraceSink& sink,
-                 KernelMode mode) const override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& workspace, uarch::TraceSink& sink,
+                    KernelMode mode) const override;
   Tensor train_forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<std::size_t> output_shape(
@@ -19,6 +20,10 @@ class ReLU final : public Layer {
   }
 
  private:
+  template <typename Sink>
+  void forward_kernel(const Tensor& input, Tensor& output, Sink& sink,
+                      KernelMode mode) const;
+
   Tensor cached_input_;
 };
 

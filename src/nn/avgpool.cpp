@@ -16,14 +16,31 @@ std::vector<std::size_t> AvgPool2D::output_shape(
   return {in[0], in[1] / window_, in[2] / window_};
 }
 
-Tensor AvgPool2D::forward(const Tensor& input, uarch::TraceSink& sink,
-                          KernelMode /*mode*/) const {
+void AvgPool2D::forward_into(const Tensor& input, Tensor& output,
+                             Workspace& /*workspace*/, uarch::TraceSink& sink,
+                             KernelMode /*mode*/) const {
   // No data-dependent shortcuts exist; both kernel modes are identical.
-  const auto out_shape = output_shape(input.shape());
-  Tensor output(out_shape);
-  const std::size_t channels = out_shape[0];
-  const std::size_t out_h = out_shape[1];
-  const std::size_t out_w = out_shape[2];
+  if (input.rank() != 3 || input.dim(1) < window_ || input.dim(2) < window_)
+    (void)output_shape(input.shape());  // throws with the full diagnosis
+  const std::size_t out_h = input.dim(1) / window_;
+  const std::size_t out_w = input.dim(2) / window_;
+  if (output.rank() != 3 || output.dim(0) != input.dim(0) ||
+      output.dim(1) != out_h || output.dim(2) != out_w)
+    output.resize({input.dim(0), out_h, out_w});
+  if (sink.discards()) {
+    uarch::DiscardSink fast;
+    forward_kernel(input, output, fast);
+  } else {
+    forward_kernel(input, output, sink);
+  }
+}
+
+template <typename Sink>
+void AvgPool2D::forward_kernel(const Tensor& input, Tensor& output,
+                               Sink& sink) const {
+  const std::size_t channels = output.dim(0);
+  const std::size_t out_h = output.dim(1);
+  const std::size_t out_w = output.dim(2);
   const std::size_t in_h = input.dim(1);
   const std::size_t in_w = input.dim(2);
   const float* in_data = input.data();
@@ -52,7 +69,6 @@ Tensor AvgPool2D::forward(const Tensor& input, uarch::TraceSink& sink,
       }
     }
   }
-  return output;
 }
 
 Tensor AvgPool2D::train_forward(const Tensor& input) {

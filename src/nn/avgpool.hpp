@@ -16,8 +16,9 @@ class AvgPool2D final : public Layer {
   explicit AvgPool2D(std::size_t window = 2);
 
   std::string name() const override { return "avgpool2d"; }
-  Tensor forward(const Tensor& input, uarch::TraceSink& sink,
-                 KernelMode mode) const override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& workspace, uarch::TraceSink& sink,
+                    KernelMode mode) const override;
   Tensor train_forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<std::size_t> output_shape(
@@ -26,6 +27,9 @@ class AvgPool2D final : public Layer {
   std::size_t window() const { return window_; }
 
  private:
+  template <typename Sink>
+  void forward_kernel(const Tensor& input, Tensor& output, Sink& sink) const;
+
   std::size_t window_;
   std::vector<std::size_t> cached_input_shape_;
 };

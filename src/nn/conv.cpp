@@ -78,25 +78,53 @@ std::string to_string(ConvAlgorithm algorithm) {
   return "?";
 }
 
-Tensor Conv2D::forward(const Tensor& input, uarch::TraceSink& sink,
-                       KernelMode mode) const {
+void Conv2D::forward_into(const Tensor& input, Tensor& output,
+                          Workspace& workspace, uarch::TraceSink& sink,
+                          KernelMode mode) const {
+  // Validate and size the output without allocating on the hot path: the
+  // cheap scalar checks pass when the caller (an InferencePlan) already
+  // shaped everything, and the allocating output_shape() call only runs
+  // to produce its precise error message on the cold path.
+  if (input.rank() != 3 || input.dim(0) != in_channels_ ||
+      input.dim(1) + 2 * padding_ < kernel_ ||
+      input.dim(2) + 2 * padding_ < kernel_)
+    (void)output_shape(input.shape());  // throws with the full diagnosis
+  const std::size_t out_h =
+      (input.dim(1) + 2 * padding_ - kernel_) / stride_ + 1;
+  const std::size_t out_w =
+      (input.dim(2) + 2 * padding_ - kernel_) / stride_ + 1;
+  if (output.rank() != 3 || output.dim(0) != out_channels_ ||
+      output.dim(1) != out_h || output.dim(2) != out_w)
+    output.resize({out_channels_, out_h, out_w});
+
   switch (algorithm_) {
     case ConvAlgorithm::kDirect:
-      return forward_direct(input, sink, mode);
+      if (sink.discards()) {
+        uarch::DiscardSink fast;
+        forward_direct(input, output, fast, mode);
+      } else {
+        forward_direct(input, output, sink, mode);
+      }
+      return;
     case ConvAlgorithm::kIm2col:
-      return forward_im2col(input, sink, mode);
+      if (sink.discards()) {
+        uarch::DiscardSink fast;
+        forward_im2col(input, output, workspace, fast, mode);
+      } else {
+        forward_im2col(input, output, workspace, sink, mode);
+      }
+      return;
   }
   throw InvalidArgument("Conv2D: unknown algorithm");
 }
 
-Tensor Conv2D::forward_direct(const Tensor& input, uarch::TraceSink& sink,
-                              KernelMode mode) const {
-  const auto out_shape = output_shape(input.shape());
-  Tensor output(out_shape);
+template <typename Sink>
+void Conv2D::forward_direct(const Tensor& input, Tensor& output, Sink& sink,
+                            KernelMode mode) const {
   const std::size_t in_h = input.dim(1);
   const std::size_t in_w = input.dim(2);
-  const std::size_t out_h = out_shape[1];
-  const std::size_t out_w = out_shape[2];
+  const std::size_t out_h = output.dim(1);
+  const std::size_t out_w = output.dim(2);
   const float* in_data = input.data();
   const float* w_data = weights_.data();
   float* out_data = output.data();
@@ -154,16 +182,16 @@ Tensor Conv2D::forward_direct(const Tensor& input, uarch::TraceSink& sink,
       }
     }
   }
-  return output;
 }
 
-Tensor Conv2D::forward_im2col(const Tensor& input, uarch::TraceSink& sink,
-                              KernelMode mode) const {
-  const auto out_shape = output_shape(input.shape());
+template <typename Sink>
+void Conv2D::forward_im2col(const Tensor& input, Tensor& output,
+                            Workspace& workspace, Sink& sink,
+                            KernelMode mode) const {
   const std::size_t in_h = input.dim(1);
   const std::size_t in_w = input.dim(2);
-  const std::size_t out_h = out_shape[1];
-  const std::size_t out_w = out_shape[2];
+  const std::size_t out_h = output.dim(1);
+  const std::size_t out_w = output.dim(2);
   const std::size_t pixels = out_h * out_w;
   const std::size_t patch_len = in_channels_ * kernel_ * kernel_;
   const float* in_data = input.data();
@@ -172,8 +200,10 @@ Tensor Conv2D::forward_im2col(const Tensor& input, uarch::TraceSink& sink,
   // Phase 1: materialize the patch matrix (the "im2col" buffer).  Every
   // input element inside a window is loaded and stored once per window it
   // appears in — the extra memory traffic that distinguishes this
-  // strategy from the direct loop nest.
-  Tensor patches({pixels, patch_len});
+  // strategy from the direct loop nest.  The buffer is workspace scratch:
+  // after the sizing pass it is reused allocation-free, and every element
+  // is written in this phase before phase 2 reads it.
+  Tensor& patches = workspace.scratch(0, pixels, patch_len);
   float* patch_data = patches.data();
   for (std::size_t oy = 0; oy < out_h; ++oy) {
     for (std::size_t ox = 0; ox < out_w; ++ox) {
@@ -210,7 +240,6 @@ Tensor Conv2D::forward_im2col(const Tensor& input, uarch::TraceSink& sink,
   // Phase 2: GEMM — output[oc][pixel] = bias[oc] + W[oc][:] . P[pixel][:].
   // Weight rows are exactly the {out, in, k, k} layout flattened.
   const std::uintptr_t gemm_skip_site = SCE_BRANCH_SITE();
-  Tensor output(out_shape);
   float* out_data = output.data();
   for (std::size_t oc = 0; oc < out_channels_; ++oc) {
     for (std::size_t pixel = 0; pixel < pixels; ++pixel) {
@@ -238,7 +267,6 @@ Tensor Conv2D::forward_im2col(const Tensor& input, uarch::TraceSink& sink,
       sink.structural_branches(patch_len + 1);
     }
   }
-  return output;
 }
 
 Tensor Conv2D::train_forward(const Tensor& input) {

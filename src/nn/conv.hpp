@@ -27,8 +27,9 @@ class Conv2D final : public Layer {
          std::size_t padding = 0);
 
   std::string name() const override { return "conv2d"; }
-  Tensor forward(const Tensor& input, uarch::TraceSink& sink,
-                 KernelMode mode) const override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& workspace, uarch::TraceSink& sink,
+                    KernelMode mode) const override;
   Tensor train_forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   void sgd_step(float learning_rate, float momentum) override;
@@ -56,10 +57,16 @@ class Conv2D final : public Layer {
  private:
   float weight_at(std::size_t oc, std::size_t ic, std::size_t ky,
                   std::size_t kx) const;
-  Tensor forward_direct(const Tensor& input, uarch::TraceSink& sink,
-                        KernelMode mode) const;
-  Tensor forward_im2col(const Tensor& input, uarch::TraceSink& sink,
-                        KernelMode mode) const;
+  /// Kernels are templates over the sink so the untraced fast path (a
+  /// DiscardSink instantiation) compiles the trace calls away while the
+  /// arithmetic stays bit-identical to the traced instantiation.
+  template <typename Sink>
+  void forward_direct(const Tensor& input, Tensor& output, Sink& sink,
+                      KernelMode mode) const;
+  template <typename Sink>
+  void forward_im2col(const Tensor& input, Tensor& output,
+                      Workspace& workspace, Sink& sink,
+                      KernelMode mode) const;
 
   ConvAlgorithm algorithm_ = ConvAlgorithm::kDirect;
   std::size_t in_channels_;

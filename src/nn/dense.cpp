@@ -42,11 +42,23 @@ void Dense::initialize(util::Rng& rng) {
   for (auto& m : momentum_bias_) m = 0.0f;
 }
 
-Tensor Dense::forward(const Tensor& input, uarch::TraceSink& sink,
-                      KernelMode mode) const {
+void Dense::forward_into(const Tensor& input, Tensor& output,
+                         Workspace& /*workspace*/, uarch::TraceSink& sink,
+                         KernelMode mode) const {
   if (input.numel() != in_)
     throw InvalidArgument("Dense::forward: input has wrong element count");
-  Tensor output({out_});
+  if (output.rank() != 1 || output.dim(0) != out_) output.resize({out_});
+  if (sink.discards()) {
+    uarch::DiscardSink fast;
+    forward_kernel(input, output, fast, mode);
+  } else {
+    forward_kernel(input, output, sink, mode);
+  }
+}
+
+template <typename Sink>
+void Dense::forward_kernel(const Tensor& input, Tensor& output, Sink& sink,
+                           KernelMode mode) const {
   const float* x = input.data();
   const float* w = weights_.data();
   float* y = output.data();
@@ -84,7 +96,6 @@ Tensor Dense::forward(const Tensor& input, uarch::TraceSink& sink,
     sink.structural_branches(out_ + 1);
   }
   sink.structural_branches(in_);
-  return output;
 }
 
 Tensor Dense::train_forward(const Tensor& input) {

@@ -19,8 +19,9 @@ class Dense final : public Layer {
   Dense(std::size_t in_features, std::size_t out_features);
 
   std::string name() const override { return "dense"; }
-  Tensor forward(const Tensor& input, uarch::TraceSink& sink,
-                 KernelMode mode) const override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& workspace, uarch::TraceSink& sink,
+                    KernelMode mode) const override;
   Tensor train_forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   void sgd_step(float learning_rate, float momentum) override;
@@ -37,6 +38,10 @@ class Dense final : public Layer {
   const Tensor& weights() const { return weights_; }
 
  private:
+  template <typename Sink>
+  void forward_kernel(const Tensor& input, Tensor& output, Sink& sink,
+                      KernelMode mode) const;
+
   std::size_t in_;
   std::size_t out_;
   Tensor weights_;           // {in, out}

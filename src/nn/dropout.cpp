@@ -1,5 +1,7 @@
 #include "nn/dropout.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace sce::nn {
@@ -9,9 +11,14 @@ Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
     throw InvalidArgument("Dropout: rate must be in [0, 1)");
 }
 
-Tensor Dropout::forward(const Tensor& input, uarch::TraceSink& /*sink*/,
-                        KernelMode /*mode*/) const {
-  return input;  // dropout is compiled out of the deployed network
+void Dropout::forward_into(const Tensor& input, Tensor& output,
+                           Workspace& /*workspace*/,
+                           uarch::TraceSink& /*sink*/,
+                           KernelMode /*mode*/) const {
+  // Dropout is compiled out of the deployed network: inference is the
+  // identity and emits no trace events.
+  if (!output.same_shape(input)) output.resize(input.shape());
+  std::copy(input.data(), input.data() + input.numel(), output.data());
 }
 
 Tensor Dropout::train_forward(const Tensor& input) {

@@ -2,6 +2,14 @@
 
 namespace sce::nn {
 
+Tensor Layer::forward(const Tensor& input, uarch::TraceSink& sink,
+                      KernelMode mode) const {
+  Workspace workspace;
+  Tensor output;
+  forward_into(input, output, workspace, sink, mode);
+  return output;
+}
+
 std::string to_string(KernelMode mode) {
   switch (mode) {
     case KernelMode::kDataDependent:

@@ -1,7 +1,8 @@
 // Layer interface: instrumented inference plus trainable backward pass.
 //
-// Inference (`forward`) is const and reports its dynamic behaviour to a
-// TraceSink.  Two kernel modes exist:
+// Inference (`forward_into`) is const, writes into caller-owned storage
+// and reports its dynamic behaviour to a TraceSink.  Two kernel modes
+// exist:
 //
 //  * kDataDependent — the default, modelling a normally optimized
 //    implementation: ReLU short-circuits, zero activations skip their
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "nn/tensor.hpp"
+#include "nn/workspace.hpp"
 #include "uarch/trace.hpp"
 #include "util/rng.hpp"
 
@@ -37,9 +39,22 @@ class Layer {
 
   virtual std::string name() const = 0;
 
-  /// Inference with microarchitectural tracing.  Must not mutate the layer.
-  virtual Tensor forward(const Tensor& input, uarch::TraceSink& sink,
-                         KernelMode mode) const = 0;
+  /// Inference with microarchitectural tracing, writing into caller-owned
+  /// storage.  Must not mutate the layer; `input` and `output` must be
+  /// distinct objects.  `output` is reshaped as needed (allocation-free
+  /// when it already has the right shape, or enough reserved capacity)
+  /// and `workspace` lends whatever per-layer scratch the kernel needs,
+  /// so a caller that reuses both across calls — the InferencePlan — runs
+  /// the whole forward pass without touching the heap.
+  virtual void forward_into(const Tensor& input, Tensor& output,
+                            Workspace& workspace, uarch::TraceSink& sink,
+                            KernelMode mode) const = 0;
+
+  /// Allocating convenience wrapper around forward_into (fresh output and
+  /// scratch per call — the pre-plan behaviour, kept for tests and one-off
+  /// calls; hot loops should go through an InferencePlan instead).
+  Tensor forward(const Tensor& input, uarch::TraceSink& sink,
+                 KernelMode mode) const;
 
   /// Forward pass that caches whatever backward() needs.
   virtual Tensor train_forward(const Tensor& input) = 0;

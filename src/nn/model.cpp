@@ -1,5 +1,6 @@
 #include "nn/model.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -9,6 +10,7 @@ namespace sce::nn {
 Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   if (!layer) throw InvalidArgument("Sequential::add: null layer");
   layers_.push_back(std::move(layer));
+  cached_plan_.reset();  // architecture changed; shapes may differ
   return *this;
 }
 
@@ -43,13 +45,25 @@ Tensor Sequential::forward(const Tensor& input, uarch::TraceSink& sink,
   return x;
 }
 
+InferencePlan Sequential::plan(
+    const std::vector<std::size_t>& input_shape) const {
+  return InferencePlan(*this, input_shape);
+}
+
+InferencePlan& Sequential::ensure_plan(
+    const std::vector<std::size_t>& input_shape) const {
+  if (!cached_plan_ || cached_plan_->input_shape() != input_shape)
+    cached_plan_ = std::make_unique<InferencePlan>(*this, input_shape);
+  return *cached_plan_;
+}
+
 Tensor Sequential::predict(const Tensor& input) const {
-  uarch::NullSink sink;
-  return forward(input, sink, KernelMode::kDataDependent);
+  return ensure_plan(input.shape()).run(input);
 }
 
 std::size_t Sequential::classify(const data::Image& image) const {
-  return predict(image_to_tensor(image)).argmax();
+  image_to_tensor_into(image, staged_input_);
+  return ensure_plan(staged_input_.shape()).run(staged_input_).argmax();
 }
 
 Tensor Sequential::train_forward(const Tensor& input) {
@@ -95,6 +109,14 @@ std::string Sequential::summary(
 Tensor image_to_tensor(const data::Image& image) {
   return Tensor({image.channels(), image.height(), image.width()},
                 image.pixels());
+}
+
+void image_to_tensor_into(const data::Image& image, Tensor& out) {
+  if (out.rank() != 3 || out.dim(0) != image.channels() ||
+      out.dim(1) != image.height() || out.dim(2) != image.width())
+    out.resize({image.channels(), image.height(), image.width()});
+  const auto& pixels = image.pixels();
+  std::copy(pixels.begin(), pixels.end(), out.data());
 }
 
 }  // namespace sce::nn

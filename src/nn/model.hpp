@@ -7,6 +7,7 @@
 
 #include "data/image.hpp"
 #include "nn/layer.hpp"
+#include "nn/plan.hpp"
 
 namespace sce::nn {
 
@@ -14,7 +15,8 @@ class Sequential {
  public:
   Sequential() = default;
 
-  /// Append a layer; returns *this for chaining.
+  /// Append a layer; returns *this for chaining.  Invalidates any cached
+  /// inference plan.
   Sequential& add(std::unique_ptr<Layer> layer);
 
   std::size_t layer_count() const { return layers_.size(); }
@@ -29,11 +31,17 @@ class Sequential {
       std::vector<std::size_t> input_shape) const;
 
   /// Instrumented inference; returns the final layer's output.
+  /// Allocates fresh activations per layer — the reference path planned
+  /// inference is checked against.  Hot loops should use plan() instead.
   Tensor forward(const Tensor& input, uarch::TraceSink& sink,
                  KernelMode mode) const;
-  /// Convenience: inference without tracing.
+  /// Build a preallocated inference plan for the given input shape.
+  InferencePlan plan(const std::vector<std::size_t>& input_shape) const;
+  /// Convenience: inference without tracing.  Routed through a lazily
+  /// built cached plan, so repeated calls do not allocate.
   Tensor predict(const Tensor& input) const;
-  /// Predicted class for an image (argmax of the output).
+  /// Predicted class for an image (argmax of the output).  Like predict,
+  /// allocation-free in steady state.
   std::size_t classify(const data::Image& image) const;
 
   /// Training-mode forward through every layer (caches for backward).
@@ -52,10 +60,20 @@ class Sequential {
   const std::vector<std::unique_ptr<Layer>>& layers() const { return layers_; }
 
  private:
+  /// Cached plan for predict()/classify(); rebuilt when the input shape
+  /// changes, dropped by add().
+  InferencePlan& ensure_plan(const std::vector<std::size_t>& input_shape) const;
+
   std::vector<std::unique_ptr<Layer>> layers_;
+  mutable std::unique_ptr<InferencePlan> cached_plan_;
+  mutable Tensor staged_input_;  // classify() image staging buffer
 };
 
 /// Convert an image to the CHW input tensor of a model.
 Tensor image_to_tensor(const data::Image& image);
+
+/// Allocation-free variant: writes the image into `out`, reusing its
+/// storage when the shape already matches.
+void image_to_tensor_into(const data::Image& image, Tensor& out);
 
 }  // namespace sce::nn

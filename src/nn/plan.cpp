@@ -1,0 +1,75 @@
+#include "nn/plan.hpp"
+
+#include <algorithm>
+
+#include "nn/model.hpp"
+#include "util/error.hpp"
+
+namespace sce::nn {
+
+InferencePlan::InferencePlan(const Sequential& model,
+                             const std::vector<std::size_t>& input_shape) {
+  if (model.layer_count() == 0)
+    throw InvalidArgument("InferencePlan: model has no layers");
+
+  layers_.reserve(model.layer_count());
+  shapes_.reserve(model.layer_count() + 1);
+  shapes_.push_back(input_shape);
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    const Layer& l = model.layer(i);
+    layers_.push_back(&l);
+    shapes_.push_back(l.output_shape(shapes_.back()));
+  }
+
+  // Both ping-pong buffers must be able to hold any intermediate
+  // activation (a buffer is reused every other layer).
+  std::size_t max_numel = 1;
+  std::size_t max_rank = 1;
+  for (std::size_t i = 1; i < shapes_.size(); ++i) {
+    std::size_t numel = 1;
+    for (std::size_t d : shapes_[i]) numel *= d;
+    max_numel = std::max(max_numel, numel);
+    max_rank = std::max(max_rank, shapes_[i].size());
+  }
+  ping_.reserve(max_numel, max_rank);
+  pong_.reserve(max_numel, max_rank);
+  workspaces_.resize(layers_.size());
+
+  // Warmup pass: first-touch sizing of every buffer and scratch slot so
+  // steady-state runs are allocation-free.
+  const Tensor warm(input_shape);
+  (void)run(warm);
+}
+
+const std::vector<std::size_t>& InferencePlan::layer_output_shape(
+    std::size_t i) const {
+  if (i >= layers_.size())
+    throw InvalidArgument("InferencePlan: layer index out of range");
+  return shapes_[i + 1];
+}
+
+const Tensor& InferencePlan::run(const Tensor& input, uarch::TraceSink& sink,
+                                 KernelMode mode) {
+  if (input.shape() != shapes_.front())
+    throw InvalidArgument("InferencePlan::run: input shape mismatch");
+  Tensor* const bufs[2] = {&ping_, &pong_};
+  const Tensor* in = &input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Tensor* out = bufs[i & 1];  // in != out by construction
+    // Restore the planned shape before the layer runs: a buffer cycles
+    // through several activation shapes per pass, and presetting it here
+    // (from the stored shape vector, no temporaries) keeps the layers'
+    // own resize-on-mismatch paths cold — and the run allocation-free.
+    out->resize(shapes_[i + 1]);
+    layers_[i]->forward_into(*in, *out, workspaces_[i], sink, mode);
+    in = out;
+  }
+  return *in;
+}
+
+const Tensor& InferencePlan::run(const Tensor& input) {
+  uarch::NullSink sink;
+  return run(input, sink, KernelMode::kDataDependent);
+}
+
+}  // namespace sce::nn

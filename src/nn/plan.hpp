@@ -1,0 +1,48 @@
+// Planned inference: shape inference runs once, activations ping-pong
+// through two preallocated buffers, and every layer owns a dedicated
+// Workspace for its scratch.  After construction the steady-state forward
+// pass performs zero heap allocations, so instrumented campaigns measure
+// the kernels — not the allocator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace sce::nn {
+
+class Sequential;
+
+class InferencePlan {
+ public:
+  /// Runs shape inference over `model` for `input_shape`, sizes the
+  /// ping-pong buffers and per-layer scratch, and performs one warmup
+  /// pass so that no later run() allocates.
+  InferencePlan(const Sequential& model,
+                const std::vector<std::size_t>& input_shape);
+
+  std::size_t layer_count() const { return layers_.size(); }
+  const std::vector<std::size_t>& input_shape() const { return shapes_.front(); }
+  const std::vector<std::size_t>& output_shape() const { return shapes_.back(); }
+  /// Inferred output shape of layer `i` (as computed at plan time).
+  const std::vector<std::size_t>& layer_output_shape(std::size_t i) const;
+
+  /// Instrumented planned forward pass.  The returned reference points at
+  /// an internal buffer and is valid until the next run() or move.
+  const Tensor& run(const Tensor& input, uarch::TraceSink& sink,
+                    KernelMode mode);
+  /// Untraced forward pass (predict semantics: deployed data-dependent
+  /// kernels, trace events discarded).
+  const Tensor& run(const Tensor& input);
+
+ private:
+  std::vector<const Layer*> layers_;
+  // shapes_[0] is the input shape; shapes_[i + 1] is layer i's output.
+  std::vector<std::vector<std::size_t>> shapes_;
+  Tensor ping_;
+  Tensor pong_;
+  std::vector<Workspace> workspaces_;  // one per layer, sized once
+};
+
+}  // namespace sce::nn

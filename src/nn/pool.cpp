@@ -17,13 +17,30 @@ std::vector<std::size_t> MaxPool2D::output_shape(
   return {in[0], in[1] / window_, in[2] / window_};
 }
 
-Tensor MaxPool2D::forward(const Tensor& input, uarch::TraceSink& sink,
-                          KernelMode mode) const {
-  const auto out_shape = output_shape(input.shape());
-  Tensor output(out_shape);
-  const std::size_t channels = out_shape[0];
-  const std::size_t out_h = out_shape[1];
-  const std::size_t out_w = out_shape[2];
+void MaxPool2D::forward_into(const Tensor& input, Tensor& output,
+                             Workspace& /*workspace*/, uarch::TraceSink& sink,
+                             KernelMode mode) const {
+  if (input.rank() != 3 || input.dim(1) < window_ || input.dim(2) < window_)
+    (void)output_shape(input.shape());  // throws with the full diagnosis
+  const std::size_t out_h = input.dim(1) / window_;
+  const std::size_t out_w = input.dim(2) / window_;
+  if (output.rank() != 3 || output.dim(0) != input.dim(0) ||
+      output.dim(1) != out_h || output.dim(2) != out_w)
+    output.resize({input.dim(0), out_h, out_w});
+  if (sink.discards()) {
+    uarch::DiscardSink fast;
+    forward_kernel(input, output, fast, mode);
+  } else {
+    forward_kernel(input, output, sink, mode);
+  }
+}
+
+template <typename Sink>
+void MaxPool2D::forward_kernel(const Tensor& input, Tensor& output,
+                               Sink& sink, KernelMode mode) const {
+  const std::size_t channels = output.dim(0);
+  const std::size_t out_h = output.dim(1);
+  const std::size_t out_w = output.dim(2);
   const std::size_t in_h = input.dim(1);
   const std::size_t in_w = input.dim(2);
   const float* in_data = input.data();
@@ -69,7 +86,6 @@ Tensor MaxPool2D::forward(const Tensor& input, uarch::TraceSink& sink,
       }
     }
   }
-  return output;
 }
 
 Tensor MaxPool2D::train_forward(const Tensor& input) {

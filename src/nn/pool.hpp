@@ -12,8 +12,9 @@ class MaxPool2D final : public Layer {
   explicit MaxPool2D(std::size_t window = 2);
 
   std::string name() const override { return "maxpool2d"; }
-  Tensor forward(const Tensor& input, uarch::TraceSink& sink,
-                 KernelMode mode) const override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& workspace, uarch::TraceSink& sink,
+                    KernelMode mode) const override;
   Tensor train_forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<std::size_t> output_shape(
@@ -22,6 +23,10 @@ class MaxPool2D final : public Layer {
   std::size_t window() const { return window_; }
 
  private:
+  template <typename Sink>
+  void forward_kernel(const Tensor& input, Tensor& output, Sink& sink,
+                      KernelMode mode) const;
+
   std::size_t window_;
   Tensor cached_input_;
   std::vector<std::size_t> cached_argmax_;  // flat input index per output

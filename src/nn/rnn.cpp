@@ -67,10 +67,30 @@ void ElmanRNN::initialize(util::Rng& rng) {
   for (auto& m : momentum_bias_) m = 0.0f;
 }
 
-Tensor ElmanRNN::forward(const Tensor& input, uarch::TraceSink& sink,
-                         KernelMode mode) const {
+void ElmanRNN::forward_into(const Tensor& input, Tensor& output,
+                            Workspace& workspace, uarch::TraceSink& sink,
+                            KernelMode mode) const {
   const auto [t_steps, d] = sequence_dims(input.shape());
   (void)d;
+  if (output.rank() != 1 || output.dim(0) != hidden_dim_)
+    output.resize({hidden_dim_});
+  // The hidden state lives in the caller's output tensor; workspace
+  // scratch holds the pre-activation accumulator.  Scratch contents are
+  // unspecified, so h_0 = 0 must be established explicitly.
+  output.fill(0.0f);
+  Tensor& acc = workspace.scratch(0, hidden_dim_);
+  if (sink.discards()) {
+    uarch::DiscardSink fast;
+    forward_kernel(input, t_steps, output, acc, fast, mode);
+  } else {
+    forward_kernel(input, t_steps, output, acc, sink, mode);
+  }
+}
+
+template <typename Sink>
+void ElmanRNN::forward_kernel(const Tensor& input, std::size_t t_steps,
+                              Tensor& h, Tensor& acc, Sink& sink,
+                              KernelMode mode) const {
   const float* x = input.data();
   const float* wx = wx_.data();
   const float* wh = wh_.data();
@@ -79,8 +99,6 @@ Tensor ElmanRNN::forward(const Tensor& input, uarch::TraceSink& sink,
   const std::uintptr_t hidden_skip_site = SCE_BRANCH_SITE();
   const std::uintptr_t relu_site = SCE_BRANCH_SITE();
 
-  Tensor h({hidden_dim_});
-  Tensor acc({hidden_dim_});
   for (std::size_t t = 0; t < t_steps; ++t) {
     // acc = b
     for (std::size_t j = 0; j < hidden_dim_; ++j) {
@@ -151,7 +169,6 @@ Tensor ElmanRNN::forward(const Tensor& input, uarch::TraceSink& sink,
     }
     sink.structural_branches(hidden_dim_ + 1);
   }
-  return h;
 }
 
 Tensor ElmanRNN::train_forward(const Tensor& input) {

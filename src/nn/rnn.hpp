@@ -21,8 +21,9 @@ class ElmanRNN final : public Layer {
   ElmanRNN(std::size_t input_dim, std::size_t hidden_dim);
 
   std::string name() const override { return "elman-rnn"; }
-  Tensor forward(const Tensor& input, uarch::TraceSink& sink,
-                 KernelMode mode) const override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& workspace, uarch::TraceSink& sink,
+                    KernelMode mode) const override;
   Tensor train_forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   void sgd_step(float learning_rate, float momentum) override;
@@ -42,6 +43,12 @@ class ElmanRNN final : public Layer {
   /// Normalize {T, D} / {1, T, D} to (T, D); throws on mismatch.
   std::pair<std::size_t, std::size_t> sequence_dims(
       const std::vector<std::size_t>& shape) const;
+
+  /// `h` is the caller-owned output tensor (already zeroed: h_0 = 0);
+  /// `acc` is workspace scratch for the pre-activation accumulator.
+  template <typename Sink>
+  void forward_kernel(const Tensor& input, std::size_t t_steps, Tensor& h,
+                      Tensor& acc, Sink& sink, KernelMode mode) const;
 
   std::size_t input_dim_;
   std::size_t hidden_dim_;

@@ -1,5 +1,6 @@
 #include "nn/shape_ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -14,9 +15,15 @@ std::vector<std::size_t> Flatten::output_shape(
   return {numel};
 }
 
-Tensor Flatten::forward(const Tensor& input, uarch::TraceSink& /*sink*/,
-                        KernelMode /*mode*/) const {
-  return input.reshaped(output_shape(input.shape()));
+void Flatten::forward_into(const Tensor& input, Tensor& output,
+                           Workspace& /*workspace*/,
+                           uarch::TraceSink& /*sink*/,
+                           KernelMode /*mode*/) const {
+  // A real implementation is a view; here it is a traceless copy.
+  if (input.rank() == 0) (void)output_shape(input.shape());  // throws
+  if (output.rank() != 1 || output.dim(0) != input.numel())
+    output.resize({input.numel()});
+  std::copy(input.data(), input.data() + input.numel(), output.data());
 }
 
 Tensor Flatten::train_forward(const Tensor& input) {
@@ -37,13 +44,25 @@ std::vector<std::size_t> Softmax::output_shape(
   return in;
 }
 
-Tensor Softmax::forward(const Tensor& input, uarch::TraceSink& sink,
-                        KernelMode /*mode*/) const {
+void Softmax::forward_into(const Tensor& input, Tensor& output,
+                           Workspace& /*workspace*/, uarch::TraceSink& sink,
+                           KernelMode /*mode*/) const {
   // Softmax has no useful data-dependent shortcuts; both kernel modes use
   // the same stable exp-normalize code.
+  if (input.numel() == 0) throw InvalidArgument("Softmax: empty input");
+  if (!output.same_shape(input)) output.resize(input.shape());
+  if (sink.discards()) {
+    uarch::DiscardSink fast;
+    forward_kernel(input, output, fast);
+  } else {
+    forward_kernel(input, output, sink);
+  }
+}
+
+template <typename Sink>
+void Softmax::forward_kernel(const Tensor& input, Tensor& output,
+                             Sink& sink) const {
   const std::size_t n = input.numel();
-  if (n == 0) throw InvalidArgument("Softmax: empty input");
-  Tensor output(input.shape());
   const float* x = input.data();
   float* y = output.data();
   float max_v = x[0];
@@ -66,7 +85,6 @@ Tensor Softmax::forward(const Tensor& input, uarch::TraceSink& sink,
     sink.retire(detail::kLoopOverhead + 1);
   }
   sink.structural_branches(3 * n);
-  return output;
 }
 
 Tensor Softmax::train_forward(const Tensor& input) {

@@ -10,8 +10,9 @@ namespace sce::nn {
 class Flatten final : public Layer {
  public:
   std::string name() const override { return "flatten"; }
-  Tensor forward(const Tensor& input, uarch::TraceSink& sink,
-                 KernelMode mode) const override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& workspace, uarch::TraceSink& sink,
+                    KernelMode mode) const override;
   Tensor train_forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<std::size_t> output_shape(
@@ -25,8 +26,9 @@ class Flatten final : public Layer {
 class Softmax final : public Layer {
  public:
   std::string name() const override { return "softmax"; }
-  Tensor forward(const Tensor& input, uarch::TraceSink& sink,
-                 KernelMode mode) const override;
+  void forward_into(const Tensor& input, Tensor& output,
+                    Workspace& workspace, uarch::TraceSink& sink,
+                    KernelMode mode) const override;
   Tensor train_forward(const Tensor& input) override;
   /// Full softmax Jacobian backward (rarely used: the trainer fuses
   /// softmax with cross-entropy and skips this layer).
@@ -35,6 +37,9 @@ class Softmax final : public Layer {
       const std::vector<std::size_t>& input_shape) const override;
 
  private:
+  template <typename Sink>
+  void forward_kernel(const Tensor& input, Tensor& output, Sink& sink) const;
+
   Tensor cached_output_;
 };
 

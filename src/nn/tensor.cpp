@@ -58,6 +58,17 @@ float Tensor::at(std::size_t c, std::size_t y, std::size_t x) const {
   return const_cast<Tensor*>(this)->at(c, y, x);
 }
 
+void Tensor::resize(const std::vector<std::size_t>& shape) {
+  const std::size_t n = shape_numel(shape);
+  shape_.assign(shape.begin(), shape.end());
+  data_.resize(n);
+}
+
+void Tensor::reserve(std::size_t max_numel, std::size_t max_rank) {
+  data_.reserve(max_numel);
+  shape_.reserve(max_rank);
+}
+
 Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
   if (shape_numel(new_shape) != data_.size())
     throw InvalidArgument("Tensor::reshaped: element count mismatch");

@@ -44,6 +44,16 @@ class Tensor {
   /// Reinterpret as a new shape with the same element count.
   Tensor reshaped(std::vector<std::size_t> new_shape) const;
 
+  /// Reshape in place to `shape`, keeping the underlying buffers.  Newly
+  /// exposed elements are zero; surviving elements keep their values.
+  /// Capacity never shrinks, so repeated resizes inside a preallocated
+  /// workspace are allocation-free once the high-water mark is reached.
+  void resize(const std::vector<std::size_t>& shape);
+
+  /// Preallocate storage for up to `max_numel` elements and `max_rank`
+  /// dimensions without changing the current shape or contents.
+  void reserve(std::size_t max_numel, std::size_t max_rank);
+
   void fill(float value);
 
   /// Index of the maximum element (first on ties). Requires numel() > 0.

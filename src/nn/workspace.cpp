@@ -1,0 +1,22 @@
+#include "nn/workspace.hpp"
+
+namespace sce::nn {
+
+Tensor& Workspace::slot_ref(std::size_t slot) {
+  while (slots_.size() <= slot) slots_.emplace_back();
+  return slots_[slot];
+}
+
+Tensor& Workspace::scratch(std::size_t slot, std::size_t d0) {
+  Tensor& t = slot_ref(slot);
+  if (t.rank() != 1 || t.dim(0) != d0) t.resize({d0});
+  return t;
+}
+
+Tensor& Workspace::scratch(std::size_t slot, std::size_t d0, std::size_t d1) {
+  Tensor& t = slot_ref(slot);
+  if (t.rank() != 2 || t.dim(0) != d0 || t.dim(1) != d1) t.resize({d0, d1});
+  return t;
+}
+
+}  // namespace sce::nn

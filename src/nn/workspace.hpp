@@ -1,0 +1,40 @@
+// Caller-owned scratch storage for allocation-free layer kernels.
+//
+// A Workspace lends numbered scratch tensors to a layer's forward_into:
+// Conv2D's im2col patch matrix, ElmanRNN's hidden/accumulator state, and
+// whatever future kernels need.  Slots keep their storage between calls,
+// so after a first (sizing) pass every borrow is allocation-free — the
+// property the measurement campaign relies on to keep allocator traffic
+// out of the HPC distributions it t-tests.
+//
+// A Workspace is owned by whoever owns the inference loop: InferencePlan
+// keeps one per layer, while the allocating Layer::forward wrapper makes
+// a throwaway one per call.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace sce::nn {
+
+class Workspace {
+ public:
+  /// Borrow scratch tensor `slot` shaped {d0}.  Contents are unspecified
+  /// (kernels must write before reading).  References stay valid until
+  /// the workspace is destroyed — growth never moves existing slots.
+  Tensor& scratch(std::size_t slot, std::size_t d0);
+  /// Borrow scratch tensor `slot` shaped {d0, d1}.
+  Tensor& scratch(std::size_t slot, std::size_t d0, std::size_t d1);
+
+  std::size_t slot_count() const { return slots_.size(); }
+
+ private:
+  Tensor& slot_ref(std::size_t slot);
+
+  std::deque<Tensor> slots_;  // deque: stable references across growth
+};
+
+}  // namespace sce::nn

@@ -31,6 +31,13 @@ class TraceSink {
   virtual void structural_branches(std::uint64_t n) = 0;
   /// `n` additional (non-branch, non-memory) instructions retired.
   virtual void retire(std::uint64_t n) = 0;
+
+  /// True when every event is provably discarded (NullSink).  Execution
+  /// engines use this to skip trace generation entirely — the planned
+  /// inference path dispatches to untraced kernel instantiations, which
+  /// removes one virtual call per dynamic instruction from prediction
+  /// serving while leaving instrumented runs untouched.
+  virtual bool discards() const { return false; }
 };
 
 /// Discards everything; used by training and un-instrumented runs.
@@ -41,6 +48,19 @@ class NullSink final : public TraceSink {
   void branch(std::uintptr_t, bool) override {}
   void structural_branches(std::uint64_t) override {}
   void retire(std::uint64_t) override {}
+  bool discards() const override { return true; }
+};
+
+/// Non-virtual no-op sink.  Kernels are templates over the sink type; when
+/// a TraceSink reports discards(), layers re-dispatch to an instantiation
+/// over this type and the compiler deletes every trace call.  Not a
+/// TraceSink on purpose: it must never be passed through a TraceSink&.
+struct DiscardSink {
+  void load(const void*, std::size_t) {}
+  void store(const void*, std::size_t) {}
+  void branch(std::uintptr_t, bool) {}
+  void structural_branches(std::uint64_t) {}
+  void retire(std::uint64_t) {}
 };
 
 /// Tallies raw event counts without any microarchitectural model; useful

@@ -1,0 +1,42 @@
+// Process-wide heap allocation counter.
+//
+// Linking `sce_util` installs counting replacements for every global
+// operator new/delete.  The counters let tests and benchmarks assert the
+// planned inference engine's core claim — zero heap allocations in the
+// steady-state hot path — instead of taking it on faith.
+//
+// The hook counts; it never changes allocation behavior (all forms
+// forward to malloc/free with correct alignment and failure semantics).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sce::util {
+
+/// Total operator-new calls (all forms) since process start.
+std::uint64_t allocation_count();
+
+/// Total bytes requested from operator new since process start.
+std::uint64_t allocated_bytes();
+
+/// Counts allocations across a scope:
+///   AllocationCounter guard;
+///   hot_path();
+///   EXPECT_EQ(guard.allocations(), 0u);
+class AllocationCounter {
+ public:
+  AllocationCounter()
+      : start_count_(allocation_count()), start_bytes_(allocated_bytes()) {}
+
+  std::uint64_t allocations() const {
+    return allocation_count() - start_count_;
+  }
+  std::uint64_t bytes() const { return allocated_bytes() - start_bytes_; }
+
+ private:
+  std::uint64_t start_count_;
+  std::uint64_t start_bytes_;
+};
+
+}  // namespace sce::util

@@ -259,6 +259,28 @@ TEST(CampaignFault, DiagnosticsSummaryMentionsDegradation) {
   EXPECT_NE(s.find("partial"), std::string::npos);
 }
 
+TEST(CampaignFault, ReusedWorkspacesDoNotPerturbMeasurements) {
+  // The campaign runs every sample through one preplanned engine whose
+  // activation buffers and scratch are reused sample to sample.  With a
+  // trace-pure provider, a measurement's value must not depend on how
+  // many samples came before it: the first sample of each category in a
+  // long campaign equals the sole sample of a short one.
+  const nn::Sequential model = testing::tiny_model();
+  const data::Dataset ds = testing::tiny_dataset();
+
+  TracePurePmu pmu_short;
+  const CampaignResult one = run_campaign(
+      model, ds, make_instrument(pmu_short), small_campaign(/*samples=*/1));
+  TracePurePmu pmu_long;
+  const CampaignResult many = run_campaign(
+      model, ds, make_instrument(pmu_long), small_campaign(/*samples=*/6));
+
+  for (hpc::HpcEvent e : hpc::all_events())
+    for (std::size_t c = 0; c < one.categories.size(); ++c)
+      EXPECT_EQ(one.of(e, c).front(), many.of(e, c).front())
+          << hpc::to_string(e) << " category " << c;
+}
+
 // --- Checkpoint / resume -------------------------------------------------
 
 TEST(CampaignCheckpoint, JsonRoundTripPreservesEverything) {

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Full CI pipeline: configure, build, tier-1 tests, then the same suite
+# under AddressSanitizer + UBSan in a separate build tree.
+#
+#   tools/ci.sh [build-dir]
+#
+# build-dir: plain (uninstrumented) build directory, default build-ci.
+# The sanitized pass reuses tools/run_sanitized_tests.sh with its own
+# tree (build-ci-sanitize) so instrumented and plain objects never mix.
+#
+# Set SCE_CI_SKIP_SANITIZERS=1 to run only the plain suite (useful on
+# hosts whose toolchain lacks the sanitizer runtimes).
+set -eu
+
+BUILD_DIR="${1:-build-ci}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> configuring $BUILD_DIR"
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCMAKE_BUILD_TYPE=Release
+
+echo "==> building"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "==> running tier-1 suite"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [ "${SCE_CI_SKIP_SANITIZERS:-0}" = "1" ]; then
+  echo "==> SCE_CI_SKIP_SANITIZERS=1: skipping sanitized pass"
+else
+  echo "==> running tier-1 suite under address;undefined"
+  "$SRC_DIR/tools/run_sanitized_tests.sh" "address;undefined" \
+    "${BUILD_DIR}-sanitize"
+fi
+
+echo "==> CI OK"
