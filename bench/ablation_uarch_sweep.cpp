@@ -32,12 +32,14 @@ double max_abs_t(const core::LeakageAssessment& assessment,
 void run_config(const char* label, const bench::Workload& workload,
                 hpc::SimulatedPmuConfig pmu_cfg, std::size_t samples) {
   pmu_cfg.environment = hpc::SimulatedPmuConfig::no_environment();
-  hpc::SimulatedPmu pmu(pmu_cfg);
+  hpc::SimulatedPmuFactory instruments(pmu_cfg);
   core::CampaignConfig cfg;
   cfg.samples_per_category = samples;
   const core::CampaignResult campaign =
-      core::run_campaign(workload.trained.model, workload.trained.test_set,
-                         core::make_instrument(pmu), cfg);
+      core::Campaign(workload.trained.model, workload.trained.test_set,
+                     instruments)
+          .with_config(cfg)
+          .run();
   core::EvaluatorConfig eval_cfg;
   eval_cfg.anova_screen = false;
   eval_cfg.holm_correction = false;
@@ -123,11 +125,14 @@ int main() {
     hpc::MultiplexConfig mux_cfg;
     mux_cfg.hardware_counters = counters;
     hpc::MultiplexedPmu mux(pmu, mux_cfg);
+    hpc::SingleInstrumentFactory instruments(mux, pmu);
     core::CampaignConfig cfg;
     cfg.samples_per_category = samples;
     const core::CampaignResult campaign =
-        core::run_campaign(mnist.trained.model, mnist.trained.test_set,
-                           core::Instrument{mux, pmu}, cfg);
+        core::Campaign(mnist.trained.model, mnist.trained.test_set,
+                       instruments)
+            .with_config(cfg)
+            .run();
     core::EvaluatorConfig eval_cfg;
     eval_cfg.anova_screen = false;
     eval_cfg.holm_correction = false;

@@ -1,0 +1,126 @@
+// Scaling bench for the sharded acquisition runtime: wall-clock of the
+// same MNIST campaign at 1/2/4/8 shards (one worker thread per shard),
+// plus a determinism cross-check that resharding left the
+// address-independent events bit-identical.  Writes BENCH_campaign.json.
+//
+// Speedup is whatever the host actually delivers — the file records
+// hardware_threads so a 1-vCPU CI runner's flat curve is not mistaken
+// for a runtime regression.  SCE_BENCH_MAX_SHARDS caps the sweep (smoke
+// runs use 1), SCE_BENCH_SAMPLES scales the per-category budget.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace sce;
+
+struct Point {
+  std::size_t shards = 1;
+  double wall_ms = 0.0;
+  double speedup = 1.0;
+};
+
+core::CampaignResult run_sharded(const bench::Workload& workload,
+                                 std::size_t samples, std::size_t shards,
+                                 double* wall_ms) {
+  hpc::SimulatedPmuFactory instruments(workload.pmu_config);
+  core::CampaignConfig cfg;
+  cfg.samples_per_category = samples;
+  cfg.num_shards = shards;
+  cfg.num_threads = 0;  // one worker per shard
+  const auto start = std::chrono::steady_clock::now();
+  core::CampaignResult result =
+      core::Campaign(workload.trained.model, workload.trained.test_set,
+                     instruments)
+          .with_config(cfg)
+          .run();
+  const auto stop = std::chrono::steady_clock::now();
+  *wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  return result;
+}
+
+bool address_independent_events_match(const core::CampaignResult& a,
+                                      const core::CampaignResult& b) {
+  for (hpc::HpcEvent event :
+       {hpc::HpcEvent::kInstructions, hpc::HpcEvent::kBranches,
+        hpc::HpcEvent::kBranchMisses}) {
+    const auto e = static_cast<std::size_t>(event);
+    if (a.samples[e] != b.samples[e]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::size_t max_shards = 8;
+  if (const char* env = std::getenv("SCE_BENCH_MAX_SHARDS")) {
+    const long parsed = std::atol(env);
+    if (parsed >= 1) max_shards = static_cast<std::size_t>(parsed);
+  }
+  const std::size_t samples = bench::bench_samples(60);
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+
+  std::printf("== Campaign scaling: sharded acquisition ==\n");
+  std::printf("(MNIST workload, %zu samples per category, host reports %u "
+              "hardware threads)\n\n",
+              samples, hardware_threads);
+  const bench::Workload mnist = bench::mnist_workload();
+
+  std::vector<Point> points;
+  core::CampaignResult serial;
+  bool deterministic = true;
+  for (std::size_t shards = 1; shards <= max_shards; shards *= 2) {
+    double wall_ms = 0.0;
+    const core::CampaignResult result =
+        run_sharded(mnist, samples, shards, &wall_ms);
+    if (shards == 1) {
+      serial = result;
+    } else {
+      deterministic =
+          deterministic && address_independent_events_match(serial, result);
+    }
+    Point p;
+    p.shards = shards;
+    p.wall_ms = wall_ms;
+    p.speedup = points.empty() ? 1.0 : points.front().wall_ms / wall_ms;
+    points.push_back(p);
+    std::printf("  %zu shard%s  %9.1f ms   speedup %.2fx\n", shards,
+                shards == 1 ? " " : "s", wall_ms, p.speedup);
+  }
+  std::printf("\naddress-independent events identical across shard counts: "
+              "%s\n",
+              deterministic ? "yes" : "NO");
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("campaign_scaling");
+  json.key("workload").value("mnist");
+  json.key("samples_per_category")
+      .value(static_cast<std::uint64_t>(samples));
+  json.key("hardware_threads")
+      .value(static_cast<std::uint64_t>(hardware_threads));
+  json.key("reshard_deterministic").value(deterministic);
+  json.key("points").begin_array();
+  for (const Point& p : points) {
+    json.begin_object();
+    json.key("shards").value(static_cast<std::uint64_t>(p.shards));
+    json.key("threads").value(static_cast<std::uint64_t>(p.shards));
+    json.key("wall_ms").value(p.wall_ms);
+    json.key("speedup_vs_serial").value(p.speedup);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  std::ofstream out("BENCH_campaign.json");
+  out << json.str() << '\n';
+  std::printf("wrote BENCH_campaign.json\n");
+  return deterministic ? 0 : 1;
+}

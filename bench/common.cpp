@@ -30,13 +30,15 @@ Workload cifar_workload() {
 core::CampaignResult run_workload(const Workload& workload,
                                   std::size_t samples, nn::KernelMode mode,
                                   const std::vector<int>& categories) {
-  hpc::SimulatedPmu pmu(workload.pmu_config);
+  hpc::SimulatedPmuFactory instruments(workload.pmu_config);
   core::CampaignConfig cfg;
   cfg.samples_per_category = samples;
   cfg.kernel_mode = mode;
   cfg.categories = categories;
-  return core::run_campaign(workload.trained.model, workload.trained.test_set,
-                            core::make_instrument(pmu), cfg);
+  return core::Campaign(workload.trained.model, workload.trained.test_set,
+                        instruments)
+      .with_config(cfg)
+      .run();
 }
 
 std::size_t bench_samples(std::size_t default_samples) {

@@ -12,7 +12,7 @@
 
 #include "core/evaluator.hpp"
 #include "core/report.hpp"
-#include "hpc/simulated_pmu.hpp"
+#include "hpc/instrument_factory.hpp"
 #include "nn/zoo.hpp"
 #include "common.hpp"
 
@@ -25,11 +25,13 @@ int main() {
   std::printf("[setup] sequence RNN ready (test accuracy %.1f%%)\n\n",
               rnn.test_accuracy * 100.0);
 
-  hpc::SimulatedPmu pmu;  // default environment
+  hpc::SimulatedPmuFactory instruments;  // default environment
   core::CampaignConfig cfg;
   cfg.samples_per_category = samples;
-  const core::CampaignResult campaign = core::run_campaign(
-      rnn.model, rnn.test_set, core::make_instrument(pmu), cfg);
+  const core::CampaignResult campaign =
+      core::Campaign(rnn.model, rnn.test_set, instruments)
+          .with_config(cfg)
+          .run();
 
   std::printf("per-class mean sequence length drives every counter:\n");
   for (std::size_t c = 0; c < campaign.category_count(); ++c) {

@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "core/fixed_vs_random.hpp"
-#include "hpc/simulated_pmu.hpp"
+#include "hpc/instrument_factory.hpp"
 #include "common.hpp"
 
 namespace {
@@ -13,13 +13,14 @@ namespace {
 void run(const sce::bench::Workload& workload, sce::nn::KernelMode mode,
          std::size_t samples) {
   using namespace sce;
-  hpc::SimulatedPmu pmu(workload.pmu_config);
+  hpc::SimulatedPmuFactory instruments(workload.pmu_config);
   core::FixedVsRandomConfig cfg;
   cfg.samples_per_population = samples;
   cfg.kernel_mode = mode;
-  const core::FixedVsRandomResult result = core::run_fixed_vs_random(
-      workload.trained.model, workload.trained.test_set,
-      core::make_instrument(pmu), cfg);
+  const core::FixedVsRandomResult result =
+      core::Campaign(workload.trained.model, workload.trained.test_set,
+                     instruments)
+          .fixed_vs_random(cfg);
   std::printf("%s, %s kernels:\n%s\n", workload.tag.c_str(),
               nn::to_string(mode).c_str(),
               core::render_fixed_vs_random(result).c_str());

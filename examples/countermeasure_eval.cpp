@@ -14,7 +14,7 @@
 #include "core/campaign.hpp"
 #include "core/evaluator.hpp"
 #include "core/report.hpp"
-#include "hpc/simulated_pmu.hpp"
+#include "hpc/instrument_factory.hpp"
 #include "nn/zoo.hpp"
 #include "util/cli.hpp"
 
@@ -28,12 +28,14 @@ struct ModeOutcome {
 ModeOutcome evaluate_mode(const sce::nn::TrainedModel& trained,
                           sce::nn::KernelMode mode, std::size_t samples) {
   using namespace sce;
-  hpc::SimulatedPmu pmu;
+  hpc::SimulatedPmuFactory instruments;
   core::CampaignConfig cfg;
   cfg.samples_per_category = samples;
   cfg.kernel_mode = mode;
-  const core::CampaignResult campaign = core::run_campaign(
-      trained.model, trained.test_set, core::make_instrument(pmu), cfg);
+  const core::CampaignResult campaign =
+      core::Campaign(trained.model, trained.test_set, instruments)
+          .with_config(cfg)
+          .run();
   const core::LeakageAssessment assessment = core::evaluate(campaign);
 
   ModeOutcome outcome;

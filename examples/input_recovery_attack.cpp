@@ -11,7 +11,7 @@
 
 #include "core/attack.hpp"
 #include "core/campaign.hpp"
-#include "hpc/simulated_pmu.hpp"
+#include "hpc/instrument_factory.hpp"
 #include "nn/zoo.hpp"
 #include "util/cli.hpp"
 
@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
 
     std::printf("== input-recovery attack from HPC observations ==\n\n");
     nn::TrainedModel victim = nn::get_or_train_mnist();
-    hpc::SimulatedPmu pmu;
+    hpc::SimulatedPmuFactory instruments;
 
     core::CampaignConfig campaign_cfg;
     campaign_cfg.samples_per_category =
@@ -37,9 +37,10 @@ int main(int argc, char** argv) {
 
     std::printf("profiling phase: %zu observations per category...\n\n",
                 campaign_cfg.samples_per_category);
-    const core::CampaignResult campaign = core::run_campaign(
-        victim.model, victim.test_set, core::make_instrument(pmu),
-        campaign_cfg);
+    const core::CampaignResult campaign =
+        core::Campaign(victim.model, victim.test_set, instruments)
+            .with_config(campaign_cfg)
+            .run();
 
     core::AttackConfig attack_cfg;
     attack_cfg.model = (cli.get("model") == "centroid")

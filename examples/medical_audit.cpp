@@ -21,7 +21,7 @@
 #include "core/campaign.hpp"
 #include "core/evaluator.hpp"
 #include "core/report.hpp"
-#include "hpc/simulated_pmu.hpp"
+#include "hpc/instrument_factory.hpp"
 #include "nn/zoo.hpp"
 #include "util/cli.hpp"
 
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     std::printf("model accuracy on held-out scans: %.1f%%\n\n",
                 service.test_accuracy * 100.0);
 
-    hpc::SimulatedPmu pmu;
+    hpc::SimulatedPmuFactory instruments;
     core::CampaignConfig campaign_cfg;
     campaign_cfg.samples_per_category =
         static_cast<std::size_t>(cli.get_int("samples"));
@@ -51,9 +51,10 @@ int main(int argc, char** argv) {
 
     std::printf("profiling %d condition classes x %zu classifications...\n",
                 conditions, campaign_cfg.samples_per_category);
-    const core::CampaignResult campaign = core::run_campaign(
-        service.model, service.test_set, core::make_instrument(pmu),
-        campaign_cfg);
+    const core::CampaignResult campaign =
+        core::Campaign(service.model, service.test_set, instruments)
+            .with_config(campaign_cfg)
+            .run();
 
     core::EvaluatorConfig eval_cfg;
     eval_cfg.alpha = cli.get_double("alpha");

@@ -13,7 +13,7 @@
 #include "core/campaign.hpp"
 #include "core/evaluator.hpp"
 #include "core/report.hpp"
-#include "hpc/simulated_pmu.hpp"
+#include "hpc/instrument_factory.hpp"
 #include "nn/zoo.hpp"
 #include "util/cli.hpp"
 
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
                 trained.test_accuracy * 100.0);
 
     std::printf("[2/3] measuring HPC events per classification\n");
-    hpc::SimulatedPmu pmu;
+    hpc::SimulatedPmuFactory instruments;
     core::CampaignConfig campaign_cfg;
     campaign_cfg.samples_per_category =
         static_cast<std::size_t>(cli.get_int("samples"));
@@ -43,9 +43,10 @@ int main(int argc, char** argv) {
     campaign_cfg.kernel_mode = (cli.get("mode") == "constant")
                                    ? nn::KernelMode::kConstantFlow
                                    : nn::KernelMode::kDataDependent;
-    const core::CampaignResult campaign = core::run_campaign(
-        trained.model, trained.test_set, core::make_instrument(pmu),
-        campaign_cfg);
+    const core::CampaignResult campaign =
+        core::Campaign(trained.model, trained.test_set, instruments)
+            .with_config(campaign_cfg)
+            .run();
 
     std::printf("[3/3] hypothesis testing\n\n");
     const core::LeakageAssessment assessment = core::evaluate(campaign);

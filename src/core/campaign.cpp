@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <optional>
+#include <utility>
 
 #include "core/checkpoint.hpp"
+#include "nn/plan.hpp"
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sce::core {
 
@@ -40,6 +45,25 @@ double robust_isolation(const std::vector<double>& cell, double x,
 
 }  // namespace
 
+void CampaignConfig::validate() const {
+  if (categories.empty())
+    throw InvalidArgument("campaign: no categories");
+  if (samples_per_category == 0)
+    throw InvalidArgument("campaign: samples_per_category must be > 0");
+  if (num_shards == 0)
+    throw InvalidArgument("campaign: num_shards must be >= 1");
+  retry.validate();
+  if (checkpoint_every > 0 && checkpoint_path.empty())
+    throw InvalidArgument(
+        "campaign: checkpoint_every set but checkpoint_path empty");
+  if (event_drop_after == 0)
+    throw InvalidArgument("campaign: event_drop_after must be >= 1");
+  if (outlier_mad_threshold < 0.0)
+    throw InvalidArgument("campaign: outlier_mad_threshold must be >= 0");
+  if (outlier_mad_floor < 0.0)
+    throw InvalidArgument("campaign: outlier_mad_floor must be >= 0");
+}
+
 bool CampaignDiagnostics::event_dropped(hpc::HpcEvent event) const {
   return std::find(dropped_events.begin(), dropped_events.end(), event) !=
          dropped_events.end();
@@ -57,6 +81,8 @@ std::string CampaignDiagnostics::summary() const {
                   std::to_string(incomplete_samples) + " incomplete samples, " +
                   std::to_string(outliers_quarantined) + " outliers, " +
                   std::to_string(failed_measurements) + " slots failed";
+  if (shard_recorded.size() > 1)
+    s += ", " + std::to_string(shard_recorded.size()) + " shards";
   if (!dropped_events.empty()) {
     s += ", dropped:";
     for (hpc::HpcEvent e : dropped_events) s += " " + hpc::to_string(e);
@@ -95,63 +121,407 @@ double CampaignResult::mean(hpc::HpcEvent event,
 
 namespace {
 
-/// The shared acquisition loop: fills `result` (which may carry resumed
-/// partial state) up to config.samples_per_category per cell.
-CampaignResult run_campaign_impl(const nn::Sequential& model,
-                                 const data::Dataset& dataset,
-                                 Instrument instrument,
-                                 const CampaignConfig& config,
-                                 CampaignResult result) {
-  config.retry.validate();
-  if (config.checkpoint_every > 0 && config.checkpoint_path.empty())
+using Pools = std::vector<std::vector<const data::Example*>>;
+
+// Measurement-key layout: bits [8, 62) hold the global slot index, bits
+// [0, 8) the attempt ordinal within the slot (so a retried/re-measured
+// slot draws fresh — but still reproducible — provider randomness), and
+// bit 63 marks warmup measurements.  The global slot index mirrors the
+// serial acquisition order: under interleaving, slot(c, s) = s*ncat + c;
+// in block mode, slot(c, s) = c*S + s.
+constexpr std::uint64_t kWarmupKeyBit = std::uint64_t{1} << 63;
+
+std::uint64_t slot_key(std::uint64_t slot, std::size_t attempt) {
+  return (slot << 8) | std::uint64_t{std::min<std::size_t>(attempt, 0xFF)};
+}
+
+std::uint64_t warmup_key(std::size_t shard, std::size_t w) {
+  return kWarmupKeyBit | (static_cast<std::uint64_t>(shard) << 32) |
+         static_cast<std::uint64_t>(w);
+}
+
+std::uint64_t global_slot(const CampaignConfig& cfg, std::size_t c,
+                          std::size_t s) {
+  const std::size_t ncat = cfg.categories.size();
+  return cfg.interleave_categories
+             ? static_cast<std::uint64_t>(s) * ncat + c
+             : static_cast<std::uint64_t>(c) * cfg.samples_per_category + s;
+}
+
+/// One shard's private acquisition state.  Nothing in here is touched by
+/// more than one thread at a time: workers own it during a chunk, the
+/// coordinator between chunks.
+struct ShardState {
+  explicit ShardState(hpc::Instrument ins) : instrument(std::move(ins)) {}
+
+  std::size_t index = 0;
+  hpc::Instrument instrument;
+  std::unique_ptr<nn::InferencePlan> plan;
+  nn::Tensor staged;
+
+  /// Absolute sample-index range [lo, hi) this shard owns in every
+  /// category, and the per-category cursor (next absolute index).
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  std::vector<std::size_t> cursor;
+  /// Attempt ordinals already spent on each category's *current* slot.
+  /// Persisted across acquire_slot calls so a failed slot that is
+  /// re-picked continues with fresh measurement keys instead of
+  /// replaying the exact draws that just failed (keyed providers would
+  /// livelock otherwise).  Reset to 0 when the slot records.
+  std::vector<std::size_t> slot_attempts;
+
+  /// cells[event][category] — this shard's segment of each cell.
+  std::array<std::vector<std::vector<double>>, hpc::kNumEvents> cells;
+
+  std::array<bool, hpc::kNumEvents> active{};
+  std::array<std::size_t, hpc::kNumEvents> consecutive_missing{};
+
+  /// Shard-local diagnostic deltas (merged with the base at barriers).
+  CampaignDiagnostics diag;
+  /// failed_measurements inherited from the resumed state, so the
+  /// per-shard abort threshold is cumulative like the serial one.
+  std::size_t base_failed = 0;
+
+  bool warmed = false;
+  std::exception_ptr error;
+
+  std::size_t remaining() const {
+    std::size_t n = 0;
+    for (std::size_t c : cursor) n += hi - c;
+    return n;
+  }
+  std::size_t active_count() const {
+    return static_cast<std::size_t>(
+        std::count(active.begin(), active.end(), true));
+  }
+};
+
+hpc::CounterSample raw_measure(ShardState& sh, const CampaignConfig& cfg,
+                               const Pools& pools, std::size_t c,
+                               std::size_t s, std::uint64_t key) {
+  const auto& pool = pools[c];
+  const data::Example& example = *pool[s % pool.size()];
+  nn::image_to_tensor_into(example.image, sh.staged);
+  hpc::CounterProvider& provider = sh.instrument.provider();
+  (void)provider.set_measurement_key(key);
+  provider.start();
+  try {
+    // The evaluator observes the classification of the user's input.
+    (void)sh.plan->run(sh.staged, sh.instrument.sink(), cfg.kernel_mode);
+  } catch (...) {
+    // Never leave counters running; keep the workload's exception.
+    try {
+      provider.stop();
+    } catch (...) {
+    }
+    throw;
+  }
+  provider.stop();
+  return provider.read();
+}
+
+void drop_event(ShardState& sh, hpc::HpcEvent e) {
+  const std::size_t idx = static_cast<std::size_t>(e);
+  sh.active[idx] = false;
+  sh.diag.dropped_events.push_back(e);
+  std::size_t discarded = 0;
+  for (auto& cell : sh.cells[idx]) {
+    discarded += cell.size();
+    cell.clear();
+  }
+  util::log_warn("campaign: shard ", sh.index, ": event ", hpc::to_string(e),
+                 " permanently unavailable after ",
+                 sh.diag.missing_event_counts[idx],
+                 " missing samples; dropping its cells (", discarded,
+                 " collected values discarded)");
+}
+
+/// Next slot under the configured schedule; nullopt when the shard's
+/// ranges are full.  Interleaved mode picks the category this shard has
+/// filled least (lowest index on ties), which reproduces the classic
+/// round-robin order and resumes correctly from any uneven state.
+std::optional<std::size_t> next_category(const ShardState& sh,
+                                         const CampaignConfig& cfg) {
+  std::optional<std::size_t> best;
+  for (std::size_t c = 0; c < sh.cursor.size(); ++c) {
+    if (sh.cursor[c] >= sh.hi) continue;
+    if (cfg.interleave_categories) {
+      if (!best || sh.cursor[c] - sh.lo < sh.cursor[*best] - sh.lo) best = c;
+    } else {
+      return c;
+    }
+  }
+  return best;
+}
+
+/// One measurement slot: acquire until a valid sample lands in cell
+/// (c, cursor[c]) or the retry budget dies.  Returns true if recorded.
+bool acquire_slot(ShardState& sh, const CampaignConfig& cfg,
+                  const Pools& pools, std::size_t c) {
+  const std::size_t s = sh.cursor[c];
+  const std::uint64_t slot = global_slot(cfg, c, s);
+  std::size_t transient_attempts = 0;
+  std::size_t invalid_attempts = 0;
+  std::size_t outlier_retries = 0;
+  std::size_t attempt = sh.slot_attempts[c];
+  for (;;) {
+    hpc::CounterSample sample;
+    ++sh.diag.measurements_attempted;
+    try {
+      sample = raw_measure(sh, cfg, pools, c, s, slot_key(slot, attempt++));
+    } catch (const TransientFailure& e) {
+      ++sh.diag.transient_faults;
+      ++transient_attempts;
+      util::log_debug("campaign: transient fault (attempt ",
+                      transient_attempts, "): ", e.what());
+      if (transient_attempts >= cfg.retry.max_attempts) {
+        sh.slot_attempts[c] = attempt;
+        return false;
+      }
+      util::backoff_sleep(cfg.retry.backoff_for(transient_attempts));
+      continue;
+    }
+
+    // Validate against the expected (active) event set.
+    bool invalid = false;
+    for (hpc::HpcEvent e : hpc::all_events()) {
+      const std::size_t idx = static_cast<std::size_t>(e);
+      if (!sh.active[idx]) continue;
+      if (sample.has(e)) {
+        sh.consecutive_missing[idx] = 0;
+        continue;
+      }
+      invalid = true;
+      ++sh.diag.missing_event_counts[idx];
+      ++sh.consecutive_missing[idx];
+    }
+    if (invalid) {
+      ++sh.diag.incomplete_samples;
+      for (hpc::HpcEvent e : hpc::all_events()) {
+        const std::size_t idx = static_cast<std::size_t>(e);
+        if (sh.active[idx] &&
+            sh.consecutive_missing[idx] >= cfg.event_drop_after)
+          drop_event(sh, e);
+      }
+      if (sh.active_count() == 0)
+        throw Error("campaign: every monitored event became unavailable");
+      // The sample may now be complete w.r.t. the reduced event set —
+      // re-check before spending another measurement.
+      invalid = false;
+      for (hpc::HpcEvent e : hpc::all_events()) {
+        const std::size_t idx = static_cast<std::size_t>(e);
+        if (sh.active[idx] && !sample.has(e)) invalid = true;
+      }
+      if (invalid) {
+        ++invalid_attempts;
+        if (invalid_attempts >= cfg.retry.max_attempts) {
+          sh.slot_attempts[c] = attempt;
+          return false;
+        }
+        continue;
+      }
+    }
+
+    // Quarantine context-switch/interrupt pollution instead of letting
+    // it widen (or fake) a distribution.
+    if (cfg.outlier_mad_threshold > 0.0 &&
+        outlier_retries < cfg.max_outlier_retries) {
+      bool outlier = false;
+      for (hpc::HpcEvent e : hpc::all_events()) {
+        const std::size_t idx = static_cast<std::size_t>(e);
+        if (!sh.active[idx]) continue;
+        const auto& cell = sh.cells[idx][c];
+        if (cell.size() < cfg.outlier_min_baseline) continue;
+        const double value = static_cast<double>(sample[e]);
+        if (robust_isolation(cell, value, cfg.outlier_mad_floor) >
+            cfg.outlier_mad_threshold) {
+          outlier = true;
+          ++sh.diag.outliers_quarantined;
+          sh.diag.quarantined[idx].push_back(value);
+        }
+      }
+      if (outlier) {
+        ++outlier_retries;
+        continue;  // re-measure this slot
+      }
+    }
+
+    for (hpc::HpcEvent e : hpc::all_events()) {
+      const std::size_t idx = static_cast<std::size_t>(e);
+      if (sh.active[idx])
+        sh.cells[idx][c].push_back(static_cast<double>(sample[e]));
+    }
+    ++sh.cursor[c];
+    ++sh.diag.measurements_recorded;
+    sh.slot_attempts[c] = 0;
+    return true;
+  }
+}
+
+/// Record `quota` measurements on this shard (failures retry the same
+/// slot and do not consume quota; the cumulative failure cap aborts a
+/// hopeless provider).  Runs on a worker thread; touches only `sh`.
+void run_shard_chunk(ShardState& sh, const CampaignConfig& cfg,
+                     const Pools& pools, std::size_t quota) {
+  if (!sh.warmed) {
+    // Warm-up: bring this shard's plan buffers and instrument (heap
+    // layout, lazy initialization, cache frames) to a steady state before
+    // its recorded acquisition starts.  Faults here are irrelevant — the
+    // measurements are discarded anyway.
+    for (std::size_t w = 0; w < cfg.warmup_measurements; ++w) {
+      try {
+        (void)raw_measure(sh, cfg, pools, w % pools.size(), 0,
+                          warmup_key(sh.index, w));
+      } catch (const TransientFailure&) {
+      }
+    }
+    sh.warmed = true;
+  }
+  while (quota > 0) {
+    const std::optional<std::size_t> c = next_category(sh, cfg);
+    if (!c) break;  // defensive: the coordinator never over-assigns
+    if (acquire_slot(sh, cfg, pools, *c)) {
+      --quota;
+    } else {
+      ++sh.diag.failed_measurements;
+      if (sh.base_failed + sh.diag.failed_measurements >=
+          cfg.max_failed_measurements)
+        throw Error("campaign: " +
+                    std::to_string(sh.base_failed +
+                                   sh.diag.failed_measurements) +
+                    " measurement slots exhausted their retry budget; "
+                    "giving up on this provider");
+    }
+  }
+}
+
+std::vector<hpc::HpcEvent> sorted_events(std::vector<hpc::HpcEvent> events) {
+  std::sort(events.begin(), events.end());
+  return events;
+}
+
+}  // namespace
+
+Campaign::Campaign(const nn::Sequential& model, const data::Dataset& dataset,
+                   hpc::InstrumentFactory& instruments)
+    : model_(model), dataset_(dataset), instruments_(instruments) {}
+
+Campaign& Campaign::with_config(CampaignConfig config) {
+  config_ = std::move(config);
+  return *this;
+}
+
+Campaign& Campaign::on_progress(ProgressCallback callback, std::size_t every) {
+  progress_ = std::move(callback);
+  progress_every_ = every;
+  return *this;
+}
+
+CampaignResult Campaign::run() {
+  config_.validate();
+  CampaignResult result;
+  result.categories = config_.categories;
+  for (int label : config_.categories) {
+    if (label < 0 ||
+        static_cast<std::size_t>(label) >= dataset_.num_classes())
+      throw InvalidArgument("campaign: category label out of range");
+    result.category_names.push_back(
+        dataset_.class_names()[static_cast<std::size_t>(label)]);
+  }
+  for (auto& per_event : result.samples)
+    per_event.assign(config_.categories.size(), {});
+  return run_internal(std::move(result));
+}
+
+CampaignResult Campaign::resume_from(CampaignResult partial) {
+  config_.validate();
+  if (partial.categories != config_.categories)
     throw InvalidArgument(
-        "run_campaign: checkpoint_every set but checkpoint_path empty");
-  if (config.event_drop_after == 0)
-    throw InvalidArgument("run_campaign: event_drop_after must be >= 1");
+        "campaign: resume state categories do not match config");
+  for (const auto& per_event : partial.samples)
+    if (per_event.size() != config_.categories.size())
+      throw InvalidArgument("campaign: resume state has wrong category count");
+  partial.diagnostics.resumed = true;
+  partial.diagnostics.complete = false;
+  return run_internal(std::move(partial));
+}
 
-  CampaignDiagnostics& diag = result.diagnostics;
-  const std::size_t ncat = config.categories.size();
+CampaignResult Campaign::resume(const CampaignCheckpoint& checkpoint) {
+  if (checkpoint.samples_per_category != config_.samples_per_category)
+    throw InvalidArgument(
+        "campaign: samples_per_category does not match checkpoint");
+  if (checkpoint.interleave_categories != config_.interleave_categories)
+    throw InvalidArgument(
+        "campaign: schedule (interleaving) does not match checkpoint");
+  if (checkpoint.kernel_mode != nn::to_string(config_.kernel_mode))
+    throw InvalidArgument("campaign: kernel mode does not match checkpoint");
+  util::log_info("campaign: resuming from checkpoint with ",
+                 checkpoint.partial.diagnostics.measurements_recorded,
+                 " recorded measurements");
+  return resume_from(checkpoint.partial);
+}
 
-  std::vector<std::vector<const data::Example*>> pools;
+CampaignResult Campaign::run_internal(CampaignResult result) {
+  const CampaignConfig& cfg = config_;
+  const std::size_t ncat = cfg.categories.size();
+  const std::size_t per_cat = cfg.samples_per_category;
+  const std::size_t nshards = cfg.num_shards;
+
+  Pools pools;
   for (std::size_t c = 0; c < ncat; ++c) {
-    const int label = config.categories[c];
-    pools.push_back(dataset.examples_of(label));
+    const int label = cfg.categories[c];
+    pools.push_back(dataset_.examples_of(label));
     if (pools.back().empty())
-      throw InvalidArgument("run_campaign: no examples of category " +
+      throw InvalidArgument("campaign: no examples of category " +
                             std::to_string(label));
-    if (pools.back().size() < config.samples_per_category &&
-        !config.allow_image_reuse)
-      throw InvalidArgument("run_campaign: not enough images of category " +
+    if (pools.back().size() < per_cat && !cfg.allow_image_reuse)
+      throw InvalidArgument("campaign: not enough images of category " +
                             std::to_string(label));
   }
+
+  CampaignDiagnostics base = std::move(result.diagnostics);
+  result.diagnostics = CampaignDiagnostics{};
+
+  // --- Mint one instrument per shard and agree on the event set. -------
+  std::vector<std::unique_ptr<ShardState>> shards;
+  shards.reserve(nshards);
+  for (std::size_t k = 0; k < nshards; ++k) {
+    shards.push_back(
+        std::make_unique<ShardState>(instruments_.create(k, nshards)));
+    shards.back()->index = k;
+  }
+  const std::vector<hpc::HpcEvent> supported =
+      sorted_events(shards.front()->instrument.provider().supported_events());
+  for (const auto& sh : shards)
+    if (sorted_events(sh->instrument.provider().supported_events()) !=
+        supported)
+      throw InvalidArgument(
+          "campaign: instrument factory minted shards with different "
+          "supported event sets");
 
   // Events this campaign acquires: what the provider offers, minus
   // anything a previous (checkpointed) run already declared lost.
   std::array<bool, hpc::kNumEvents> active{};
-  diag.unsupported_events.clear();
-  {
-    const std::vector<hpc::HpcEvent> supported =
-        instrument.provider.supported_events();
-    for (hpc::HpcEvent e : supported)
-      active[static_cast<std::size_t>(e)] = true;
-    for (hpc::HpcEvent e : hpc::all_events())
-      if (!active[static_cast<std::size_t>(e)])
-        diag.unsupported_events.push_back(e);
-    for (hpc::HpcEvent e : diag.dropped_events)
-      active[static_cast<std::size_t>(e)] = false;
-  }
-  auto active_count = [&] {
+  for (hpc::HpcEvent e : supported) active[static_cast<std::size_t>(e)] = true;
+  base.unsupported_events.clear();
+  for (hpc::HpcEvent e : hpc::all_events())
+    if (!active[static_cast<std::size_t>(e)])
+      base.unsupported_events.push_back(e);
+  std::vector<hpc::HpcEvent> dropped = base.dropped_events;
+  for (hpc::HpcEvent e : dropped) active[static_cast<std::size_t>(e)] = false;
+  const auto active_count = [&active] {
     return static_cast<std::size_t>(
         std::count(active.begin(), active.end(), true));
   };
   if (active_count() == 0)
-    throw Error("run_campaign: provider offers no usable events");
+    throw Error("campaign: provider offers no usable events");
 
-  // The acquisition cursor: how many measurements each category cell
-  // holds.  Active events record atomically, so any active event's cell
-  // size is the category's count; verify they agree (corrupt resume
-  // state would silently skew distributions otherwise).
-  std::vector<std::size_t> recorded(ncat, 0);
+  // --- Resume cursor: how many measurements each category cell holds.
+  // Active events record atomically, so any active event's cell size is
+  // the category's count; verify they agree (corrupt resume state would
+  // silently skew distributions otherwise).
+  std::vector<std::size_t> merged_count(ncat, 0);
   for (std::size_t c = 0; c < ncat; ++c) {
     std::optional<std::size_t> count;
     for (hpc::HpcEvent e : hpc::all_events()) {
@@ -161,246 +531,308 @@ CampaignResult run_campaign_impl(const nn::Sequential& model,
       if (!count) count = n;
       if (*count != n)
         throw InvalidArgument(
-            "run_campaign: inconsistent resume state (cell sizes differ)");
+            "campaign: inconsistent resume state (cell sizes differ)");
     }
-    recorded[c] = count.value_or(0);
-    if (recorded[c] > config.samples_per_category)
+    merged_count[c] = count.value_or(0);
+    if (merged_count[c] > per_cat)
       throw InvalidArgument(
-          "run_campaign: resume state holds more samples than requested");
+          "campaign: resume state holds more samples than requested");
   }
 
-  // One inference plan per campaign: activation buffers and per-layer
-  // scratch are preallocated here and reused across every sample (and
-  // across checkpoint/resume), so the measured counters capture the
-  // kernels rather than allocator noise.  The staging tensor keeps the
-  // image -> tensor conversion allocation-free too.
-  nn::Tensor staged_input;
-  nn::image_to_tensor_into(pools.front().front()->image, staged_input);
-  nn::InferencePlan plan = model.plan(staged_input.shape());
+  // --- Partition the sample budget and split resumed cells. ------------
+  // Shard k owns the contiguous absolute index range [lo_k, hi_k) of
+  // every category; concatenating the shards' segments in shard order
+  // therefore reproduces ascending sample-index (= serial) order.
+  const std::size_t div = per_cat / nshards;
+  const std::size_t rem = per_cat % nshards;
+  for (std::size_t k = 0; k < nshards; ++k) {
+    ShardState& sh = *shards[k];
+    sh.lo = k * div + std::min(k, rem);
+    sh.hi = sh.lo + div + (k < rem ? 1 : 0);
+  }
 
-  auto raw_measure = [&](std::size_t c, std::size_t s) -> hpc::CounterSample {
-    const auto& pool = pools[c];
-    const data::Example& example = *pool[s % pool.size()];
-    nn::image_to_tensor_into(example.image, staged_input);
-    instrument.provider.start();
-    try {
-      // The evaluator observes the classification of the user's input.
-      (void)plan.run(staged_input, instrument.sink, config.kernel_mode);
-    } catch (...) {
-      // Never leave counters running; keep the workload's exception.
-      try {
-        instrument.provider.stop();
-      } catch (...) {
+  // A serial (one-row or absent) shard matrix means the merged cells are
+  // plain prefixes and can be re-split for any shard count; a sharded
+  // matrix encodes the concatenation segments and requires the same
+  // num_shards.
+  std::vector<std::vector<std::size_t>> init(
+      nshards, std::vector<std::size_t>(ncat, 0));
+  if (base.shard_recorded.size() <= 1) {
+    for (std::size_t k = 0; k < nshards; ++k)
+      for (std::size_t c = 0; c < ncat; ++c) {
+        const std::size_t lo = shards[k]->lo;
+        const std::size_t hi = shards[k]->hi;
+        const std::size_t upto = std::min(merged_count[c], hi);
+        init[k][c] = upto > lo ? upto - lo : 0;
       }
-      throw;
+  } else if (base.shard_recorded.size() == nshards) {
+    init = base.shard_recorded;
+    for (const auto& row : init)
+      if (row.size() != ncat)
+        throw InvalidArgument(
+            "campaign: resume state shard matrix has wrong category count");
+    for (std::size_t c = 0; c < ncat; ++c) {
+      std::size_t sum = 0;
+      for (std::size_t k = 0; k < nshards; ++k) {
+        if (init[k][c] > shards[k]->hi - shards[k]->lo)
+          throw InvalidArgument(
+              "campaign: resume state shard matrix exceeds shard range");
+        sum += init[k][c];
+      }
+      if (sum != merged_count[c])
+        throw InvalidArgument(
+            "campaign: resume state shard matrix inconsistent with cells");
     }
-    instrument.provider.stop();
-    return instrument.provider.read();
+  } else {
+    throw InvalidArgument(
+        "campaign: resume state was acquired with " +
+        std::to_string(base.shard_recorded.size()) +
+        " shards; set num_shards to match (serial checkpoints resume at "
+        "any shard count)");
+  }
+
+  for (std::size_t k = 0; k < nshards; ++k) {
+    ShardState& sh = *shards[k];
+    sh.active = active;
+    sh.cursor.assign(ncat, 0);
+    sh.slot_attempts.assign(ncat, 0);
+    for (auto& per_event : sh.cells) per_event.assign(ncat, {});
+    for (std::size_t c = 0; c < ncat; ++c) sh.cursor[c] = sh.lo + init[k][c];
+    sh.base_failed = base.failed_measurements;
+  }
+  for (hpc::HpcEvent e : hpc::all_events()) {
+    const std::size_t idx = static_cast<std::size_t>(e);
+    if (!active[idx]) continue;
+    for (std::size_t c = 0; c < ncat; ++c) {
+      const auto& merged_cell = result.samples[idx][c];
+      std::size_t offset = 0;
+      for (std::size_t k = 0; k < nshards; ++k) {
+        auto& cell = shards[k]->cells[idx][c];
+        cell.assign(merged_cell.begin() + static_cast<std::ptrdiff_t>(offset),
+                    merged_cell.begin() +
+                        static_cast<std::ptrdiff_t>(offset + init[k][c]));
+        offset += init[k][c];
+      }
+    }
+  }
+
+  // --- Per-shard inference plans and staging tensors. ------------------
+  // Built serially on the coordinating thread (plan construction runs a
+  // warmup pass; keeping it here means workers only ever touch their own
+  // preallocated state).
+  for (auto& sh : shards) {
+    nn::image_to_tensor_into(pools.front().front()->image, sh->staged);
+    sh->plan = std::make_unique<nn::InferencePlan>(model_, sh->staged.shape());
+  }
+
+  // --- Chunked coordinator loop. ---------------------------------------
+  const std::size_t threads =
+      cfg.num_threads == 0 ? nshards : std::min(cfg.num_threads, nshards);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+
+  const std::size_t base_recorded = base.measurements_recorded;
+  const std::size_t target_total = ncat * per_cat;
+  std::size_t checkpoints_total = base.checkpoints_written;
+  const std::size_t budget = cfg.stop_after_measurements == 0
+                                 ? std::numeric_limits<std::size_t>::max()
+                                 : cfg.stop_after_measurements;
+  std::size_t recorded_this_run = 0;
+
+  auto total_remaining = [&] {
+    std::size_t n = 0;
+    for (const auto& sh : shards) n += sh->remaining();
+    return n;
   };
 
-  auto drop_event = [&](hpc::HpcEvent e) {
-    active[static_cast<std::size_t>(e)] = false;
-    diag.dropped_events.push_back(e);
-    std::size_t discarded = 0;
-    for (auto& cell : result.samples[static_cast<std::size_t>(e)]) {
-      discarded += cell.size();
-      cell.clear();
-    }
-    util::log_warn("campaign: event ", hpc::to_string(e),
-                   " permanently unavailable after ",
-                   diag.missing_event_counts[static_cast<std::size_t>(e)],
-                   " missing samples; dropping its cells (", discarded,
-                   " collected values discarded)");
-  };
-
-  // Streaks of consecutive samples an event has been missing from; a
-  // streak reaching config.event_drop_after declares the event lost.
-  std::array<std::size_t, hpc::kNumEvents> consecutive_missing{};
-
-  // One measurement slot: acquire until a valid sample lands in cell
-  // (c, recorded[c]) or the retry budget dies.  Returns true if recorded.
-  auto acquire_slot = [&](std::size_t c) -> bool {
-    const std::size_t s = recorded[c];
-    std::size_t transient_attempts = 0;
-    std::size_t invalid_attempts = 0;
-    std::size_t outlier_retries = 0;
-    for (;;) {
-      hpc::CounterSample sample;
-      ++diag.measurements_attempted;
-      try {
-        sample = raw_measure(c, s);
-      } catch (const TransientFailure& e) {
-        ++diag.transient_faults;
-        ++transient_attempts;
-        util::log_debug("campaign: transient fault (attempt ",
-                        transient_attempts, "): ", e.what());
-        if (transient_attempts >= config.retry.max_attempts) return false;
-        util::backoff_sleep(config.retry.backoff_for(transient_attempts));
+  // Merge snapshot: shard segments concatenated in shard order, shard
+  // diagnostic deltas added onto the resumed base.
+  auto merge = [&]() -> CampaignResult {
+    CampaignResult merged;
+    merged.categories = result.categories;
+    merged.category_names = result.category_names;
+    for (hpc::HpcEvent e : hpc::all_events()) {
+      const std::size_t idx = static_cast<std::size_t>(e);
+      auto& per_event = merged.samples[idx];
+      per_event.assign(ncat, {});
+      const bool is_dropped =
+          std::find(dropped.begin(), dropped.end(), e) != dropped.end();
+      if (is_dropped) continue;  // cells stay cleared
+      if (!active[idx]) {
+        per_event = result.samples[idx];  // unsupported: carried untouched
         continue;
       }
-
-      // Validate against the expected (active) event set.
-      bool invalid = false;
-      for (hpc::HpcEvent e : hpc::all_events()) {
-        const std::size_t idx = static_cast<std::size_t>(e);
-        if (!active[idx]) continue;
-        if (sample.has(e)) {
-          consecutive_missing[idx] = 0;
-          continue;
-        }
-        invalid = true;
-        ++diag.missing_event_counts[idx];
-        ++consecutive_missing[idx];
+      for (std::size_t c = 0; c < ncat; ++c) {
+        std::size_t n = 0;
+        for (const auto& sh : shards) n += sh->cells[idx][c].size();
+        per_event[c].reserve(n);
+        for (const auto& sh : shards)
+          per_event[c].insert(per_event[c].end(), sh->cells[idx][c].begin(),
+                              sh->cells[idx][c].end());
       }
-      if (invalid) {
-        ++diag.incomplete_samples;
-        for (hpc::HpcEvent e : hpc::all_events()) {
-          const std::size_t idx = static_cast<std::size_t>(e);
-          if (active[idx] && consecutive_missing[idx] >= config.event_drop_after)
-            drop_event(e);
-        }
-        if (active_count() == 0)
-          throw Error(
-              "run_campaign: every monitored event became unavailable");
-        // The sample may now be complete w.r.t. the reduced event set —
-        // re-check before spending another measurement.
-        invalid = false;
-        for (hpc::HpcEvent e : hpc::all_events()) {
-          const std::size_t idx = static_cast<std::size_t>(e);
-          if (active[idx] && !sample.has(e)) invalid = true;
-        }
-        if (invalid) {
-          ++invalid_attempts;
-          if (invalid_attempts >= config.retry.max_attempts) return false;
-          continue;
-        }
-      }
-
-      // Quarantine context-switch/interrupt pollution instead of letting
-      // it widen (or fake) a distribution.
-      if (config.outlier_mad_threshold > 0.0 &&
-          outlier_retries < config.max_outlier_retries) {
-        bool outlier = false;
-        for (hpc::HpcEvent e : hpc::all_events()) {
-          const std::size_t idx = static_cast<std::size_t>(e);
-          if (!active[idx]) continue;
-          const auto& cell = result.samples[idx][c];
-          if (cell.size() < config.outlier_min_baseline) continue;
-          const double value = static_cast<double>(sample[e]);
-          if (robust_isolation(cell, value, config.outlier_mad_floor) >
-              config.outlier_mad_threshold) {
-            outlier = true;
-            ++diag.outliers_quarantined;
-            diag.quarantined[idx].push_back(value);
-          }
-        }
-        if (outlier) {
-          ++outlier_retries;
-          continue;  // re-measure this slot
-        }
-      }
-
-      for (hpc::HpcEvent e : hpc::all_events()) {
-        const std::size_t idx = static_cast<std::size_t>(e);
-        if (active[idx])
-          result.samples[idx][c].push_back(static_cast<double>(sample[e]));
-      }
-      ++recorded[c];
-      ++diag.measurements_recorded;
-      return true;
     }
+    CampaignDiagnostics d = base;
+    for (const auto& sh : shards) {
+      d.measurements_attempted += sh->diag.measurements_attempted;
+      d.measurements_recorded += sh->diag.measurements_recorded;
+      d.transient_faults += sh->diag.transient_faults;
+      d.failed_measurements += sh->diag.failed_measurements;
+      d.incomplete_samples += sh->diag.incomplete_samples;
+      d.outliers_quarantined += sh->diag.outliers_quarantined;
+      for (std::size_t i = 0; i < hpc::kNumEvents; ++i) {
+        d.missing_event_counts[i] += sh->diag.missing_event_counts[i];
+        d.quarantined[i].insert(d.quarantined[i].end(),
+                                sh->diag.quarantined[i].begin(),
+                                sh->diag.quarantined[i].end());
+      }
+    }
+    d.dropped_events = dropped;
+    d.complete = total_remaining() == 0;
+    d.checkpoints_written = checkpoints_total;
+    d.shard_recorded.assign(nshards, std::vector<std::size_t>(ncat, 0));
+    for (std::size_t k = 0; k < nshards; ++k)
+      for (std::size_t c = 0; c < ncat; ++c)
+        d.shard_recorded[k][c] = shards[k]->cursor[c] - shards[k]->lo;
+    merged.diagnostics = std::move(d);
+    return merged;
   };
 
-  // Next slot under the configured schedule; nullopt when all cells are
-  // full.  Interleaved mode picks the least-filled category (lowest index
-  // on ties), which reproduces the classic round-robin order and resumes
-  // correctly from any uneven checkpoint state.
-  auto next_category = [&]() -> std::optional<std::size_t> {
-    std::optional<std::size_t> best;
-    for (std::size_t c = 0; c < ncat; ++c) {
-      if (recorded[c] >= config.samples_per_category) continue;
-      if (config.interleave_categories) {
-        if (!best || recorded[c] < recorded[*best]) best = c;
-      } else {
-        return c;
-      }
-    }
-    return best;
+  auto emit_progress = [&] {
+    if (!progress_) return;
+    CampaignProgress p;
+    p.measurements_recorded = base_recorded + recorded_this_run;
+    p.measurements_target = target_total;
+    p.shards = nshards;
+    p.checkpoints_written = checkpoints_total;
+    progress_(p);
   };
 
-  // Warm-up: bring the process (heap layout, lazy initialization) to a
-  // steady state before the recorded acquisition starts.  Faults here
-  // are irrelevant — the measurements are discarded anyway.
-  for (std::size_t w = 0; w < config.warmup_measurements; ++w) {
-    try {
-      (void)raw_measure(w % ncat, 0);
-    } catch (const TransientFailure&) {
-    }
-  }
+  const std::size_t progress_chunk =
+      progress_ ? (progress_every_ > 0
+                       ? progress_every_
+                       : std::max<std::size_t>(1, target_total / 16))
+                : 0;
 
-  std::size_t recorded_this_run = 0;
   for (;;) {
-    const std::optional<std::size_t> c = next_category();
-    if (!c) {
-      diag.complete = true;
-      break;
-    }
-    if (config.stop_after_measurements > 0 &&
-        recorded_this_run >= config.stop_after_measurements) {
-      diag.complete = false;
+    const std::size_t remaining = total_remaining();
+    if (remaining == 0) break;
+    if (recorded_this_run >= budget) {
       util::log_info("campaign: stopping early after ", recorded_this_run,
                      " measurements (stop_after_measurements)");
       break;
     }
-    if (acquire_slot(*c)) {
-      ++recorded_this_run;
-      if (config.checkpoint_every > 0 &&
-          diag.measurements_recorded % config.checkpoint_every == 0) {
-        ++diag.checkpoints_written;
-        save_checkpoint(config.checkpoint_path,
-                        make_checkpoint(result, config));
-      }
-    } else {
-      ++diag.failed_measurements;
-      if (diag.failed_measurements >= config.max_failed_measurements)
-        throw Error("run_campaign: " +
-                    std::to_string(diag.failed_measurements) +
-                    " measurement slots exhausted their retry budget; "
-                    "giving up on this provider");
+
+    std::size_t chunk = std::min(remaining, budget - recorded_this_run);
+    if (cfg.checkpoint_every > 0) {
+      const std::size_t done = base_recorded + recorded_this_run;
+      chunk = std::min(
+          chunk, cfg.checkpoint_every - (done % cfg.checkpoint_every));
     }
+    if (progress_chunk > 0) chunk = std::min(chunk, progress_chunk);
+
+    // Deterministic quota distribution: hand out one measurement at a
+    // time round-robin to shards with budget left.  The allocation (and
+    // therefore the merged result) depends only on cursor state, never on
+    // worker timing.
+    std::vector<std::size_t> quotas(nshards, 0);
+    {
+      std::size_t left = chunk;
+      while (left > 0) {
+        bool assigned = false;
+        for (std::size_t k = 0; k < nshards && left > 0; ++k) {
+          if (quotas[k] < shards[k]->remaining()) {
+            ++quotas[k];
+            --left;
+            assigned = true;
+          }
+        }
+        if (!assigned) break;
+      }
+      chunk -= left;  // unassignable leftovers (cannot happen in practice)
+    }
+
+    if (pool) {
+      for (std::size_t k = 0; k < nshards; ++k) {
+        if (quotas[k] == 0) continue;
+        ShardState* sh = shards[k].get();
+        const std::size_t quota = quotas[k];
+        pool->submit([sh, &cfg, &pools, quota] {
+          try {
+            run_shard_chunk(*sh, cfg, pools, quota);
+          } catch (...) {
+            sh->error = std::current_exception();
+          }
+        });
+      }
+      pool->wait();
+    } else {
+      for (std::size_t k = 0; k < nshards; ++k) {
+        if (quotas[k] == 0) continue;
+        try {
+          run_shard_chunk(*shards[k], cfg, pools, quotas[k]);
+        } catch (...) {
+          shards[k]->error = std::current_exception();
+          break;
+        }
+      }
+    }
+    // Deterministic error propagation: the lowest-index failed shard
+    // wins, regardless of completion order.
+    for (const auto& sh : shards)
+      if (sh->error) std::rethrow_exception(sh->error);
+
+    // Propagate event drops across shards: an event one shard lost is
+    // excluded campaign-wide (its cells are cleared at merge time).
+    for (const auto& sh : shards)
+      for (hpc::HpcEvent e : sh->diag.dropped_events)
+        if (std::find(dropped.begin(), dropped.end(), e) == dropped.end())
+          dropped.push_back(e);
+    for (auto& sh : shards)
+      for (hpc::HpcEvent e : dropped) {
+        const std::size_t idx = static_cast<std::size_t>(e);
+        if (!sh->active[idx]) continue;
+        sh->active[idx] = false;
+        for (auto& cell : sh->cells[idx]) cell.clear();
+      }
+    for (hpc::HpcEvent e : dropped) active[static_cast<std::size_t>(e)] = false;
+    if (active_count() == 0)
+      throw Error("campaign: every monitored event became unavailable");
+
+    std::size_t failed_total = base.failed_measurements;
+    for (const auto& sh : shards)
+      failed_total += sh->diag.failed_measurements;
+    if (failed_total >= cfg.max_failed_measurements)
+      throw Error("campaign: " + std::to_string(failed_total) +
+                  " measurement slots exhausted their retry budget; "
+                  "giving up on this provider");
+
+    recorded_this_run += chunk;
+
+    if (cfg.checkpoint_every > 0 && chunk > 0 &&
+        (base_recorded + recorded_this_run) % cfg.checkpoint_every == 0) {
+      ++checkpoints_total;
+      save_checkpoint(cfg.checkpoint_path, make_checkpoint(merge(), cfg));
+    }
+    emit_progress();
   }
 
-  if (!diag.dropped_events.empty() || !diag.unsupported_events.empty() ||
-      diag.failed_measurements > 0)
-    util::log_info("campaign: degraded acquisition — ", diag.summary());
-  return result;
+  emit_progress();
+  CampaignResult final_result = merge();
+  const CampaignDiagnostics& d = final_result.diagnostics;
+  if (!d.dropped_events.empty() || !d.unsupported_events.empty() ||
+      d.failed_measurements > 0)
+    util::log_info("campaign: degraded acquisition — ", d.summary());
+  return final_result;
 }
 
-}  // namespace
+// --- Deprecated wrappers -------------------------------------------------
 
 CampaignResult run_campaign(const nn::Sequential& model,
                             const data::Dataset& dataset,
                             Instrument instrument,
                             const CampaignConfig& config) {
-  if (config.categories.empty())
-    throw InvalidArgument("run_campaign: no categories");
-  if (config.samples_per_category == 0)
-    throw InvalidArgument("run_campaign: samples_per_category must be > 0");
-
-  CampaignResult result;
-  result.categories = config.categories;
-  for (int label : config.categories) {
-    if (label < 0 ||
-        static_cast<std::size_t>(label) >= dataset.num_classes())
-      throw InvalidArgument("run_campaign: category label out of range");
-    result.category_names.push_back(
-        dataset.class_names()[static_cast<std::size_t>(label)]);
-  }
-  for (auto& per_event : result.samples)
-    per_event.assign(config.categories.size(), {});
-
-  return run_campaign_impl(model, dataset, instrument, config,
-                           std::move(result));
+  hpc::SingleInstrumentFactory factory(instrument.provider, instrument.sink);
+  return Campaign(model, dataset, factory).with_config(config).run();
 }
 
 CampaignResult run_campaign(const nn::Sequential& model,
@@ -408,17 +840,10 @@ CampaignResult run_campaign(const nn::Sequential& model,
                             Instrument instrument,
                             const CampaignConfig& config,
                             CampaignResult partial) {
-  if (partial.categories != config.categories)
-    throw InvalidArgument(
-        "run_campaign: resume state categories do not match config");
-  for (const auto& per_event : partial.samples)
-    if (per_event.size() != config.categories.size())
-      throw InvalidArgument(
-          "run_campaign: resume state has wrong category count");
-  partial.diagnostics.resumed = true;
-  partial.diagnostics.complete = false;
-  return run_campaign_impl(model, dataset, instrument, config,
-                           std::move(partial));
+  hpc::SingleInstrumentFactory factory(instrument.provider, instrument.sink);
+  return Campaign(model, dataset, factory)
+      .with_config(config)
+      .resume_from(std::move(partial));
 }
 
 }  // namespace sce::core

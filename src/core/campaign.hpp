@@ -13,14 +13,28 @@
 // campaign absorbed or discarded is accounted for in CampaignDiagnostics,
 // and partial progress can be checkpointed to JSON and resumed (see
 // core/checkpoint.hpp).
+//
+// Acquisition is sharded: the per-category sample budget is partitioned
+// deterministically into `num_shards` contiguous index ranges, each shard
+// owns its own InferencePlan, staging tensor and Instrument (minted by an
+// InstrumentFactory), and shard results are merged in shard order.  Every
+// measurement is keyed by its global slot index
+// (CounterProvider::set_measurement_key), so a keyed provider's noise and
+// fault streams depend on the slot, not on execution order — a parallel
+// run is bit-identical to the same campaign executed serially at any
+// thread count.  The entry point is core::Campaign; the run_campaign free
+// functions survive one release as deprecated wrappers.
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "data/dataset.hpp"
 #include "hpc/counter_provider.hpp"
+#include "hpc/instrument_factory.hpp"
 #include "nn/model.hpp"
 #include "uarch/trace.hpp"
 #include "util/retry.hpp"
@@ -44,8 +58,21 @@ struct CampaignConfig {
   /// TVLA protocol interleaves its fixed and random populations.
   bool interleave_categories = true;
   /// Classifications run and discarded before recording starts, letting
-  /// the process reach a steady state.
+  /// the process reach a steady state.  Each shard warms up its own
+  /// instrument and plan.
   std::size_t warmup_measurements = 2;
+
+  // --- Sharding ---------------------------------------------------------
+
+  /// Shards the per-category sample budget is partitioned into.  Each
+  /// shard owns an independent instrument/plan and acquires a contiguous
+  /// range of every category's sample indices; the merge concatenates the
+  /// ranges back in index order.  1 = the classic serial campaign.
+  std::size_t num_shards = 1;
+  /// Worker threads executing the shards (0 = one thread per shard).
+  /// Purely an execution knob: results are bit-identical at any thread
+  /// count, because shard state is never shared between threads.
+  std::size_t num_threads = 0;
 
   // --- Fault tolerance -------------------------------------------------
 
@@ -53,10 +80,12 @@ struct CampaignConfig {
   /// (util::TransientFailure) and for samples missing expected events.
   util::RetryPolicy retry{};
   /// Abort (throw Error) once this many measurement slots have exhausted
-  /// their retry budget — the provider is beyond salvage.
+  /// their retry budget — the provider is beyond salvage.  Sharded runs
+  /// apply the cap per shard and to the merged total.
   std::size_t max_failed_measurements = 100;
   /// Consecutive samples an expected event may be missing from before it
-  /// is declared permanently lost and dropped from the campaign.
+  /// is declared permanently lost and dropped from the campaign.  Streaks
+  /// are tracked per shard; a drop in any shard drops the event globally.
   std::size_t event_drop_after = 8;
   /// Robust isolation score (distance from the *nearest* value recorded
   /// in the cell so far, in 1.4826*MAD units) above which a value is
@@ -64,6 +93,8 @@ struct CampaignConfig {
   /// measurement re-taken.  Nearest-value distance rather than
   /// distance-from-median, because cells mix the workload's distinct
   /// inputs and are legitimately multimodal.  0 disables quarantine.
+  /// The baseline a value is scored against is the acquiring shard's own
+  /// cell content (shard-deterministic by construction).
   double outlier_mad_threshold = 0.0;
   /// A cell must hold this many samples before quarantine activates.
   std::size_t outlier_min_baseline = 16;
@@ -80,7 +111,8 @@ struct CampaignConfig {
   // --- Checkpoint / early stop -----------------------------------------
 
   /// Write a checkpoint to `checkpoint_path` every this many recorded
-  /// measurements (0 disables checkpointing).
+  /// measurements (0 disables checkpointing).  Sharded runs checkpoint at
+  /// the chunk barrier that lands on each multiple.
   std::size_t checkpoint_every = 0;
   /// Destination file for checkpoints (required if checkpoint_every > 0).
   std::string checkpoint_path;
@@ -88,6 +120,13 @@ struct CampaignConfig {
   /// the partial result (0 = run to completion).  Used to bound a run's
   /// budget and to test kill/resume.
   std::size_t stop_after_measurements = 0;
+
+  /// Field validation (ranges, required pairings).  Throws
+  /// util-error InvalidArgument on the first violation; checks that need
+  /// the dataset (label ranges, pool sizes) happen in Campaign::run().
+  /// Every campaign-facing config follows this convention — see
+  /// FixedVsRandomConfig::validate() and OnlineConfig::validate().
+  void validate() const;
 };
 
 /// Everything the fault-tolerant acquisition absorbed, discarded or
@@ -110,7 +149,8 @@ struct CampaignDiagnostics {
   /// Per-event count of samples the event was missing from.
   std::array<std::size_t, hpc::kNumEvents> missing_event_counts{};
   /// The quarantined outlier values, per event (kept for inspection —
-  /// a countermeasure could hide leakage inside "outliers").
+  /// a countermeasure could hide leakage inside "outliers").  Sharded
+  /// runs concatenate the shards' quarantine bins in shard order.
   std::array<std::vector<double>, hpc::kNumEvents> quarantined{};
   /// Events dropped mid-campaign after persistent loss; their cells are
   /// cleared and excluded from the result.
@@ -122,6 +162,13 @@ struct CampaignDiagnostics {
   /// True if this result continued from a checkpoint.
   bool resumed = false;
   std::size_t checkpoints_written = 0;
+  /// shard_recorded[shard][category] = measurements that shard contributed
+  /// to the category's cell.  This is the merge map: a cell is the
+  /// concatenation of its shards' segments in shard order, so with this
+  /// matrix a partial result can be split back into per-shard state (how
+  /// checkpoint v2 resumes mid-parallel runs).  Serial results carry one
+  /// row.
+  std::vector<std::vector<std::size_t>> shard_recorded;
 
   bool event_dropped(hpc::HpcEvent event) const;
   bool event_unsupported(hpc::HpcEvent event) const;
@@ -148,34 +195,117 @@ struct CampaignResult {
   double mean(hpc::HpcEvent event, std::size_t category_index) const;
 };
 
-/// The measurement instrument: a counter provider plus the trace sink the
-/// instrumented kernels must write into.  For the SimulatedPmu both are
-/// the same object; for a real PMU the sink is a NullSink (the hardware
-/// observes the execution directly).
+/// Progress snapshot handed to Campaign::on_progress at every chunk
+/// barrier (and once more when the run ends).
+struct CampaignProgress {
+  /// Total recorded so far, including measurements inherited from a
+  /// resumed checkpoint.
+  std::size_t measurements_recorded = 0;
+  /// categories * samples_per_category.
+  std::size_t measurements_target = 0;
+  std::size_t shards = 1;
+  std::size_t checkpoints_written = 0;
+};
+
+struct CampaignCheckpoint;
+struct FixedVsRandomConfig;
+struct FixedVsRandomResult;
+
+/// The campaign entry point: binds a model, a dataset and an
+/// InstrumentFactory, then runs (or resumes) sharded acquisition.
+///
+///   hpc::SimulatedPmuFactory instruments;
+///   core::CampaignConfig config;
+///   config.num_shards = 4;
+///   auto result = core::Campaign(model, dataset, instruments)
+///                     .with_config(config)
+///                     .run();
+///
+/// The model, dataset and factory are borrowed and must outlive the
+/// Campaign.  A Campaign is reusable: run()/resume() may be called
+/// repeatedly (each call mints fresh instruments from the factory).
+class Campaign {
+ public:
+  using ProgressCallback = std::function<void(const CampaignProgress&)>;
+
+  Campaign(const nn::Sequential& model, const data::Dataset& dataset,
+           hpc::InstrumentFactory& instruments);
+
+  /// Replace the config (validated at run time).
+  Campaign& with_config(CampaignConfig config);
+  /// Install a progress callback, invoked from the coordinating thread at
+  /// chunk barriers.  `every` is the reporting granularity in recorded
+  /// measurements (0 = auto, ~1/16 of the remaining budget).
+  Campaign& on_progress(ProgressCallback callback, std::size_t every = 0);
+
+  const CampaignConfig& config() const { return config_; }
+
+  /// Run the campaign: classify sampled images of each category under
+  /// measurement.  The classifier's *output* is ignored — only its
+  /// hardware footprint matters, exactly as for the paper's evaluator,
+  /// which cannot see the user's data.
+  CampaignResult run();
+
+  /// Validate `checkpoint` against the config (categories, sample budget,
+  /// schedule, kernel mode, shard layout) and continue acquisition from
+  /// it.
+  CampaignResult resume(const CampaignCheckpoint& checkpoint);
+
+  /// Continue acquisition from a partial result (its shard_recorded
+  /// matrix — or, failing that, its cell sizes — is the cursor).  This is
+  /// what the deprecated partial-state run_campaign overload maps onto;
+  /// prefer resume(checkpoint) for crash recovery.
+  CampaignResult resume_from(CampaignResult partial);
+
+  /// Run the TVLA fixed-vs-random screen with this campaign's model,
+  /// dataset and instruments (sharded under config.num_shards of the
+  /// screen's own config).  Defined in core/fixed_vs_random.cpp.
+  FixedVsRandomResult fixed_vs_random(const FixedVsRandomConfig& config) const;
+
+  const nn::Sequential& model() const { return model_; }
+  const data::Dataset& dataset() const { return dataset_; }
+  hpc::InstrumentFactory& instruments() const { return instruments_; }
+
+ private:
+  CampaignResult run_internal(CampaignResult partial);
+
+  const nn::Sequential& model_;
+  const data::Dataset& dataset_;
+  hpc::InstrumentFactory& instruments_;
+  CampaignConfig config_{};
+  ProgressCallback progress_;
+  std::size_t progress_every_ = 0;
+};
+
+// --- Deprecated wrappers (one release) ---------------------------------
+//
+// The pre-Campaign API hand-wired a provider/sink pair per call.  These
+// wrappers adapt it onto Campaign + SingleInstrumentFactory; they only
+// support single-shard acquisition.
+
+/// Deprecated alias for the measurement rig: a counter provider plus the
+/// trace sink the instrumented kernels write into.  Superseded by
+/// hpc::Instrument, which factories mint per shard.
 struct Instrument {
   hpc::CounterProvider& provider;
   uarch::TraceSink& sink;
 };
 
-/// Convenience: build an Instrument around a SimulatedPmu-like object that
-/// is both a provider and a sink.
+/// Deprecated: build an Instrument around a SimulatedPmu-like object that
+/// is both a provider and a sink.  Use an InstrumentFactory instead.
 template <typename ProviderAndSink>
+[[deprecated("use an hpc::InstrumentFactory with core::Campaign")]]
 Instrument make_instrument(ProviderAndSink& pmu) {
   return Instrument{pmu, pmu};
 }
 
-/// Run the campaign: classify sampled images of each category under
-/// measurement.  The classifier's *output* is ignored — only its hardware
-/// footprint matters, exactly as for the paper's evaluator, which cannot
-/// see the user's data.
+[[deprecated("use core::Campaign::run()")]]
 CampaignResult run_campaign(const nn::Sequential& model,
                             const data::Dataset& dataset,
                             Instrument instrument,
                             const CampaignConfig& config);
 
-/// Continue acquisition from previously collected partial state (the cell
-/// sizes are the cursor).  Used by checkpoint resume; `partial` must have
-/// been produced by a campaign with the same categories and config.
+[[deprecated("use core::Campaign::resume_from()")]]
 CampaignResult run_campaign(const nn::Sequential& model,
                             const data::Dataset& dataset,
                             Instrument instrument,

@@ -13,7 +13,10 @@ namespace sce::core {
 namespace {
 
 constexpr const char* kFormatTag = "sce-campaign-checkpoint";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
+/// Oldest version we can still read.  v1 lacks diagnostics.shard_recorded;
+/// loading one yields an empty matrix, which resumes as a serial prefix.
+constexpr int kMinReadVersion = 1;
 
 void write_event_name_array(util::JsonWriter& w,
                             const std::vector<hpc::HpcEvent>& events) {
@@ -117,6 +120,13 @@ std::string checkpoint_to_json(const CampaignCheckpoint& cp) {
   w.key("resumed").value(d.resumed);
   w.key("checkpoints_written")
       .value(static_cast<std::uint64_t>(d.checkpoints_written));
+  w.key("shard_recorded").begin_array();
+  for (const auto& row : d.shard_recorded) {
+    w.begin_array();
+    for (std::size_t n : row) w.value(static_cast<std::uint64_t>(n));
+    w.end_array();
+  }
+  w.end_array();
   w.end_object();
 
   w.end_object();
@@ -130,7 +140,7 @@ CampaignCheckpoint checkpoint_from_json(const std::string& json) {
     throw InvalidArgument("checkpoint: not a campaign checkpoint document");
   CampaignCheckpoint cp;
   cp.version = static_cast<int>(doc.at("version").as_int());
-  if (cp.version != kVersion)
+  if (cp.version < kMinReadVersion || cp.version > kVersion)
     throw InvalidArgument("checkpoint: unsupported version " +
                           std::to_string(cp.version));
   cp.samples_per_category =
@@ -189,6 +199,18 @@ CampaignCheckpoint checkpoint_from_json(const std::string& json) {
   d.resumed = diag.at("resumed").as_bool();
   d.checkpoints_written =
       static_cast<std::size_t>(diag.at("checkpoints_written").as_int());
+  if (const util::JsonValue* matrix = diag.find("shard_recorded")) {
+    for (const auto& row : matrix->items()) {
+      std::vector<std::size_t> counts;
+      counts.reserve(row.size());
+      for (const auto& n : row.items())
+        counts.push_back(static_cast<std::size_t>(n.as_int()));
+      if (counts.size() != cp.partial.categories.size())
+        throw InvalidArgument(
+            "checkpoint: shard_recorded row has wrong category count");
+      d.shard_recorded.push_back(std::move(counts));
+    }
+  }
   return cp;
 }
 
@@ -221,19 +243,10 @@ CampaignResult resume_campaign(const nn::Sequential& model,
                                Instrument instrument,
                                const CampaignConfig& config,
                                const CampaignCheckpoint& checkpoint) {
-  if (checkpoint.samples_per_category != config.samples_per_category)
-    throw InvalidArgument(
-        "resume_campaign: samples_per_category does not match checkpoint");
-  if (checkpoint.interleave_categories != config.interleave_categories)
-    throw InvalidArgument(
-        "resume_campaign: schedule (interleaving) does not match checkpoint");
-  if (checkpoint.kernel_mode != nn::to_string(config.kernel_mode))
-    throw InvalidArgument(
-        "resume_campaign: kernel mode does not match checkpoint");
-  util::log_info("campaign: resuming from checkpoint with ",
-                 checkpoint.partial.diagnostics.measurements_recorded,
-                 " recorded measurements");
-  return run_campaign(model, dataset, instrument, config, checkpoint.partial);
+  hpc::SingleInstrumentFactory factory(instrument.provider, instrument.sink);
+  return Campaign(model, dataset, factory)
+      .with_config(config)
+      .resume(checkpoint);
 }
 
 }  // namespace sce::core

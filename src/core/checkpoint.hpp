@@ -16,8 +16,11 @@
 namespace sce::core {
 
 struct CampaignCheckpoint {
-  /// Format version; bumped on layout changes.
-  int version = 1;
+  /// Format version; bumped on layout changes.  v2 added the
+  /// diagnostics.shard_recorded matrix (sharded acquisition); v1
+  /// documents load as serial (empty matrix) and resume at any shard
+  /// count.
+  int version = 2;
   std::size_t samples_per_category = 0;
   bool interleave_categories = true;
   /// nn::to_string(KernelMode) of the campaign being checkpointed.
@@ -42,10 +45,9 @@ CampaignCheckpoint load_checkpoint(const std::string& path);
 
 /// Validate `checkpoint` against `config` (categories, sample budget,
 /// schedule, kernel mode must match) and continue the campaign from it.
-CampaignResult resume_campaign(const nn::Sequential& model,
-                               const data::Dataset& dataset,
-                               Instrument instrument,
-                               const CampaignConfig& config,
-                               const CampaignCheckpoint& checkpoint);
+[[deprecated("use core::Campaign::resume()")]] CampaignResult
+resume_campaign(const nn::Sequential& model, const data::Dataset& dataset,
+                Instrument instrument, const CampaignConfig& config,
+                const CampaignCheckpoint& checkpoint);
 
 }  // namespace sce::core

@@ -1,12 +1,26 @@
 #include "core/fixed_vs_random.hpp"
 
 #include <cmath>
+#include <exception>
+#include <memory>
 #include <sstream>
 
+#include "nn/plan.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sce::core {
+
+void FixedVsRandomConfig::validate() const {
+  if (samples_per_population < 4)
+    throw InvalidArgument("fixed_vs_random: need >= 4 samples");
+  if (t_threshold <= 0.0)
+    throw InvalidArgument("fixed_vs_random: t_threshold must be > 0");
+  if (num_shards == 0)
+    throw InvalidArgument("fixed_vs_random: num_shards must be >= 1");
+}
 
 const FixedVsRandomEventResult& FixedVsRandomResult::of(
     hpc::HpcEvent event) const {
@@ -33,67 +47,150 @@ stats::TTestResult half_test(const std::vector<double>& fixed,
   return stats::welch_t_test(f, r);
 }
 
+constexpr std::uint64_t kWarmupKeyBit = std::uint64_t{1} << 63;
+
+/// One shard's private screen state: a contiguous range [lo, hi) of pair
+/// indices, its own plan/staging/instrument, and its segments of the two
+/// populations.
+struct FvrShard {
+  explicit FvrShard(hpc::Instrument ins) : instrument(std::move(ins)) {}
+
+  std::size_t index = 0;
+  hpc::Instrument instrument;
+  std::unique_ptr<nn::InferencePlan> plan;
+  nn::Tensor staged;
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  std::array<std::vector<double>, hpc::kNumEvents> fixed_samples;
+  std::array<std::vector<double>, hpc::kNumEvents> random_samples;
+  std::exception_ptr error;
+};
+
+void measure_one(FvrShard& sh, const FixedVsRandomConfig& cfg,
+                 const nn::Tensor& input, std::uint64_t key,
+                 std::array<std::vector<double>, hpc::kNumEvents>* out) {
+  hpc::CounterProvider& provider = sh.instrument.provider();
+  (void)provider.set_measurement_key(key);
+  provider.start();
+  try {
+    (void)sh.plan->run(input, sh.instrument.sink(), cfg.kernel_mode);
+  } catch (...) {
+    try {
+      provider.stop();
+    } catch (...) {
+    }
+    throw;
+  }
+  provider.stop();
+  if (!out) return;
+  const hpc::CounterSample sample = provider.read();
+  for (hpc::HpcEvent e : hpc::all_events())
+    (*out)[static_cast<std::size_t>(e)].push_back(
+        static_cast<double>(sample[e]));
+}
+
+/// Acquire this shard's pair range.  The random example of pair i is
+/// chosen by an RNG seeded from (random_seed, i) — a pure function of the
+/// pair index, so partitioning does not reshuffle the random population.
+/// Measurement keys mirror the interleaved serial order: pair i is
+/// measurement 2i (fixed) then 2i+1 (random).
+void run_fvr_shard(FvrShard& sh, const FixedVsRandomConfig& cfg,
+                   const data::Dataset& dataset,
+                   const nn::Tensor& fixed_input) {
+  // Warm-up: reach steady heap/process state before recording.
+  for (std::size_t w = 0; w < 2; ++w)
+    measure_one(sh, cfg, fixed_input,
+                kWarmupKeyBit | (static_cast<std::uint64_t>(sh.index) << 32) |
+                    w,
+                nullptr);
+  for (std::size_t i = sh.lo; i < sh.hi; ++i) {
+    measure_one(sh, cfg, fixed_input,
+                (static_cast<std::uint64_t>(2 * i) << 8), &sh.fixed_samples);
+    util::Rng pick(util::mix64(cfg.random_seed, i));
+    const data::Example& random_example =
+        dataset[static_cast<std::size_t>(pick.below(dataset.size()))];
+    nn::image_to_tensor_into(random_example.image, sh.staged);
+    measure_one(sh, cfg, sh.staged,
+                (static_cast<std::uint64_t>(2 * i + 1) << 8),
+                &sh.random_samples);
+  }
+}
+
 }  // namespace
 
-FixedVsRandomResult run_fixed_vs_random(const nn::Sequential& model,
-                                        const data::Dataset& dataset,
-                                        Instrument instrument,
-                                        const FixedVsRandomConfig& config) {
-  if (config.samples_per_population < 4)
-    throw InvalidArgument("run_fixed_vs_random: need >= 4 samples");
+FixedVsRandomResult Campaign::fixed_vs_random(
+    const FixedVsRandomConfig& config) const {
+  config.validate();
   if (config.fixed_category < 0 ||
-      static_cast<std::size_t>(config.fixed_category) >= dataset.num_classes())
-    throw InvalidArgument("run_fixed_vs_random: fixed_category out of range");
-  const auto fixed_pool = dataset.examples_of(config.fixed_category);
+      static_cast<std::size_t>(config.fixed_category) >=
+          dataset_.num_classes())
+    throw InvalidArgument("fixed_vs_random: fixed_category out of range");
+  const auto fixed_pool = dataset_.examples_of(config.fixed_category);
   if (fixed_pool.empty())
-    throw InvalidArgument("run_fixed_vs_random: no image of fixed category");
-  if (dataset.empty())
-    throw InvalidArgument("run_fixed_vs_random: empty dataset");
+    throw InvalidArgument("fixed_vs_random: no image of fixed category");
+  if (dataset_.empty())
+    throw InvalidArgument("fixed_vs_random: empty dataset");
 
   const nn::Tensor fixed_input =
       nn::image_to_tensor(fixed_pool.front()->image);
-  util::Rng rng(config.random_seed);
 
-  // One preallocated plan for the whole assessment; the staging tensor
-  // keeps random-example conversion off the heap as well.
-  nn::InferencePlan plan = model.plan(fixed_input.shape());
-  nn::Tensor staged_input;
-
-  std::array<std::vector<double>, hpc::kNumEvents> fixed_samples;
-  std::array<std::vector<double>, hpc::kNumEvents> random_samples;
-
-  auto measure_one = [&](const nn::Tensor& input,
-                         std::array<std::vector<double>, hpc::kNumEvents>&
-                             out) {
-    instrument.provider.start();
-    (void)plan.run(input, instrument.sink, config.kernel_mode);
-    instrument.provider.stop();
-    const hpc::CounterSample sample = instrument.provider.read();
-    for (hpc::HpcEvent e : hpc::all_events())
-      out[static_cast<std::size_t>(e)].push_back(
-          static_cast<double>(sample[e]));
-  };
-
-  // Warm-up: reach steady heap/process state before recording.
-  {
-    std::array<std::vector<double>, hpc::kNumEvents> discard;
-    measure_one(fixed_input, discard);
-    measure_one(fixed_input, discard);
-    for (auto& d : discard) d.clear();
+  const std::size_t n = config.samples_per_population;
+  const std::size_t nshards = config.num_shards;
+  std::vector<std::unique_ptr<FvrShard>> shards;
+  shards.reserve(nshards);
+  const std::size_t div = n / nshards;
+  const std::size_t rem = n % nshards;
+  for (std::size_t k = 0; k < nshards; ++k) {
+    shards.push_back(
+        std::make_unique<FvrShard>(instruments_.create(k, nshards)));
+    FvrShard& sh = *shards.back();
+    sh.index = k;
+    sh.lo = k * div + std::min(k, rem);
+    sh.hi = sh.lo + div + (k < rem ? 1 : 0);
+    sh.plan = std::make_unique<nn::InferencePlan>(model_, fixed_input.shape());
   }
 
-  for (std::size_t i = 0; i < config.samples_per_population; ++i) {
-    // Interleaved acquisition: fixed, then one uniformly random example.
-    measure_one(fixed_input, fixed_samples);
-    const data::Example& random_example =
-        dataset[static_cast<std::size_t>(rng.below(dataset.size()))];
-    nn::image_to_tensor_into(random_example.image, staged_input);
-    measure_one(staged_input, random_samples);
+  const std::size_t threads = config.num_threads == 0
+                                  ? nshards
+                                  : std::min(config.num_threads, nshards);
+  if (threads > 1) {
+    util::ThreadPool pool(threads);
+    for (auto& sh : shards) {
+      FvrShard* shard = sh.get();
+      pool.submit([shard, &config, this, &fixed_input] {
+        try {
+          run_fvr_shard(*shard, config, dataset_, fixed_input);
+        } catch (...) {
+          shard->error = std::current_exception();
+        }
+      });
+    }
+    pool.wait();
+    for (const auto& sh : shards)
+      if (sh->error) std::rethrow_exception(sh->error);
+  } else {
+    for (auto& sh : shards) run_fvr_shard(*sh, config, dataset_, fixed_input);
+  }
+
+  // Merge the population segments in shard order = ascending pair index.
+  std::array<std::vector<double>, hpc::kNumEvents> fixed_samples;
+  std::array<std::vector<double>, hpc::kNumEvents> random_samples;
+  for (hpc::HpcEvent e : hpc::all_events()) {
+    const std::size_t idx = static_cast<std::size_t>(e);
+    fixed_samples[idx].reserve(n);
+    random_samples[idx].reserve(n);
+    for (const auto& sh : shards) {
+      fixed_samples[idx].insert(fixed_samples[idx].end(),
+                                sh->fixed_samples[idx].begin(),
+                                sh->fixed_samples[idx].end());
+      random_samples[idx].insert(random_samples[idx].end(),
+                                 sh->random_samples[idx].begin(),
+                                 sh->random_samples[idx].end());
+    }
   }
 
   FixedVsRandomResult result;
   result.config = config;
-  const std::size_t n = config.samples_per_population;
   for (hpc::HpcEvent e : hpc::all_events()) {
     const std::size_t idx = static_cast<std::size_t>(e);
     FixedVsRandomEventResult& r = result.per_event[idx];
@@ -125,6 +222,14 @@ std::string render_fixed_vs_random(const FixedVsRandomResult& result) {
              ? "verdict: input-dependent leakage confirmed\n"
              : "verdict: no leakage at the TVLA threshold\n");
   return os.str();
+}
+
+FixedVsRandomResult run_fixed_vs_random(const nn::Sequential& model,
+                                        const data::Dataset& dataset,
+                                        Instrument instrument,
+                                        const FixedVsRandomConfig& config) {
+  hpc::SingleInstrumentFactory factory(instrument.provider, instrument.sink);
+  return Campaign(model, dataset, factory).fixed_vs_random(config);
 }
 
 }  // namespace sce::core

@@ -8,6 +8,13 @@
 // category-mean shift — separates the populations.  TVLA rejects at
 // |t| > 4.5 (and is usually run twice on disjoint measurement halves;
 // both halves must agree on the sign).
+//
+// The screen runs through the same sharded runtime as full campaigns:
+// pair index i (one fixed + one random classification) is the unit of
+// work, shards own contiguous pair ranges, and both the random-example
+// choice and the provider's measurement randomness are keyed by i, so
+// the merged populations are identical at any shard count under the
+// simulated PMU.
 #pragma once
 
 #include <array>
@@ -29,6 +36,13 @@ struct FixedVsRandomConfig {
   bool two_phase = true;
   nn::KernelMode kernel_mode = nn::KernelMode::kDataDependent;
   std::uint64_t random_seed = 17;
+  /// Pair-range partitions of the acquisition (see campaign sharding).
+  std::size_t num_shards = 1;
+  /// Worker threads; 0 = one per shard.
+  std::size_t num_threads = 0;
+
+  /// Throws InvalidArgument when the configuration is unusable.
+  void validate() const;
 };
 
 struct FixedVsRandomEventResult {
@@ -51,15 +65,14 @@ struct FixedVsRandomResult {
   const FixedVsRandomEventResult& of(hpc::HpcEvent event) const;
 };
 
-/// Run the fixed-vs-random campaign and assessment.  Measurements of the
-/// two populations are interleaved (fixed, random, fixed, ...) so slow
-/// environmental drift cancels, as the TVLA protocol prescribes.
-FixedVsRandomResult run_fixed_vs_random(const nn::Sequential& model,
-                                        const data::Dataset& dataset,
-                                        Instrument instrument,
-                                        const FixedVsRandomConfig& config);
-
 /// Text rendering of the verdict table.
 std::string render_fixed_vs_random(const FixedVsRandomResult& result);
+
+/// Deprecated single-instrument entry point; use
+/// Campaign::fixed_vs_random(), which shards the screen and mints one
+/// instrument per shard.
+[[deprecated("use core::Campaign::fixed_vs_random()")]] FixedVsRandomResult
+run_fixed_vs_random(const nn::Sequential& model, const data::Dataset& dataset,
+                    Instrument instrument, const FixedVsRandomConfig& config);
 
 }  // namespace sce::core

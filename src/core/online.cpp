@@ -27,16 +27,20 @@ stats::Summary to_summary(const stats::RunningStats& rs) {
 }
 }  // namespace
 
+void OnlineConfig::validate() const {
+  if (num_categories < 2)
+    throw InvalidArgument("OnlineEvaluator: need >= 2 categories");
+  if (!(alpha > 0.0) || !(alpha < 1.0))
+    throw InvalidArgument("OnlineEvaluator: alpha must be in (0, 1)");
+  if (min_samples_per_category < 2)
+    throw InvalidArgument("OnlineEvaluator: min_samples must be >= 2");
+  if (events.empty())
+    throw InvalidArgument("OnlineEvaluator: no events to monitor");
+}
+
 OnlineEvaluator::OnlineEvaluator(OnlineConfig config)
     : config_(std::move(config)) {
-  if (config_.num_categories < 2)
-    throw InvalidArgument("OnlineEvaluator: need >= 2 categories");
-  if (!(config_.alpha > 0.0) || !(config_.alpha < 1.0))
-    throw InvalidArgument("OnlineEvaluator: alpha must be in (0, 1)");
-  if (config_.min_samples_per_category < 2)
-    throw InvalidArgument("OnlineEvaluator: min_samples must be >= 2");
-  if (config_.events.empty())
-    throw InvalidArgument("OnlineEvaluator: no events to monitor");
+  config_.validate();
   for (auto& per_event : stats_)
     per_event.assign(config_.num_categories, {});
   const std::size_t pairs =

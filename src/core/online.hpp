@@ -30,6 +30,9 @@ struct OnlineConfig {
                                     hpc::all_events().end()};
   /// Do not test before each involved category has this many samples.
   std::size_t min_samples_per_category = 10;
+
+  /// Throws InvalidArgument when the configuration is unusable.
+  void validate() const;
 };
 
 /// An alarm raised by the online monitor, with the measurement count at

@@ -26,6 +26,12 @@ std::vector<HpcEvent> FaultInjectingProvider::supported_events() const {
   return inner_.supported_events();
 }
 
+bool FaultInjectingProvider::set_measurement_key(std::uint64_t key) {
+  rng_ = util::Rng(util::mix64(config_.seed, key));
+  (void)inner_.set_measurement_key(key);
+  return true;
+}
+
 bool FaultInjectingProvider::permanent_failure_active() const {
   return config_.permanent_fail_event.has_value() &&
          successful_reads_ >= config_.permanent_fail_after;

@@ -72,6 +72,13 @@ class FaultInjectingProvider final : public CounterProvider {
   void start() override;
   void stop() override;
   CounterSample read() override;
+  /// Keyed mode: the injected-fault pattern of the next measurement
+  /// becomes a pure function of (seed, key) — the same slot sees the same
+  /// faults no matter which shard runs it or in what order.  The key is
+  /// forwarded to the wrapped provider.  (The permanent-failure trip
+  /// counter stays sequential: a counter dying after K reads is inherently
+  /// per-instance state, not per-measurement randomness.)
+  bool set_measurement_key(std::uint64_t key) override;
 
   const FaultStats& stats() const { return stats_; }
   /// True once the configured permanent event failure has tripped.

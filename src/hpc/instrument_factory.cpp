@@ -1,0 +1,65 @@
+#include "hpc/instrument_factory.hpp"
+
+#include "hpc/perf_backend.hpp"
+#include "util/error.hpp"
+
+namespace sce::hpc {
+
+Instrument Instrument::adopt(std::unique_ptr<CounterProvider> provider,
+                             std::unique_ptr<uarch::TraceSink> sink) {
+  if (!provider || !sink)
+    throw InvalidArgument("Instrument::adopt: null provider or sink");
+  Instrument instrument;
+  instrument.provider_ = provider.get();
+  instrument.sink_ = sink.get();
+  instrument.owned_provider_ = std::move(provider);
+  instrument.owned_sink_ = std::move(sink);
+  return instrument;
+}
+
+Instrument Instrument::borrow(CounterProvider& provider,
+                              uarch::TraceSink& sink) {
+  Instrument instrument;
+  instrument.provider_ = &provider;
+  instrument.sink_ = &sink;
+  return instrument;
+}
+
+Instrument SimulatedPmuFactory::create(std::size_t shard,
+                                       std::size_t num_shards) {
+  (void)shard;
+  (void)num_shards;
+  return Instrument::adopt(std::make_unique<SimulatedPmu>(config_));
+}
+
+Instrument PerfEventFactory::create(std::size_t shard,
+                                    std::size_t num_shards) {
+  (void)shard;
+  (void)num_shards;
+  return Instrument::adopt(std::make_unique<PerfEventBackend>(),
+                           std::make_unique<uarch::NullSink>());
+}
+
+Instrument SingleInstrumentFactory::create(std::size_t shard,
+                                           std::size_t num_shards) {
+  if (num_shards != 1 || shard != 0)
+    throw InvalidArgument(
+        "SingleInstrumentFactory: holds one caller-owned instrument and "
+        "cannot mint per-shard copies; use a real factory for num_shards > "
+        "1");
+  return Instrument::borrow(provider_, sink_);
+}
+
+CallbackInstrumentFactory::CallbackInstrumentFactory(Minter minter,
+                                                     std::string name)
+    : minter_(std::move(minter)), name_(std::move(name)) {
+  if (!minter_)
+    throw InvalidArgument("CallbackInstrumentFactory: null minter");
+}
+
+Instrument CallbackInstrumentFactory::create(std::size_t shard,
+                                             std::size_t num_shards) {
+  return minter_(shard, num_shards);
+}
+
+}  // namespace sce::hpc

@@ -20,6 +20,17 @@ std::vector<HpcEvent> MultiplexedPmu::supported_events() const {
   return inner_.supported_events();
 }
 
+bool MultiplexedPmu::set_measurement_key(std::uint64_t key) {
+  rng_ = util::Rng(util::mix64(config_.seed, key));
+  // The kernel's rotation list position is sequential state (it carries
+  // across measurements); under a key it becomes a function of the key so
+  // the scheduled windows do not depend on measurement order.
+  rotation_ = static_cast<std::size_t>(
+      util::mix64(config_.seed ^ 0x5EEDULL, key) % kNumEvents);
+  (void)inner_.set_measurement_key(key);
+  return true;
+}
+
 void MultiplexedPmu::start() { inner_.start(); }
 
 void MultiplexedPmu::stop() { inner_.stop(); }

@@ -43,6 +43,12 @@ class MultiplexedPmu final : public CounterProvider {
   void start() override;
   void stop() override;
   CounterSample read() override;
+  /// Keyed mode: derives the extrapolation-noise stream and the rotation
+  /// offset of the next measurement from (seed, key) instead of carrying
+  /// them over from the previous measurement, and forwards the key to the
+  /// wrapped provider.  Always returns true — the mux's own randomness is
+  /// keyable even when the inner provider's is not.
+  bool set_measurement_key(std::uint64_t key) override;
 
   /// Fraction of the measurement during which `event` was scheduled on a
   /// hardware counter in the most recent measurement.

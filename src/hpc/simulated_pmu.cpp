@@ -66,7 +66,17 @@ std::vector<HpcEvent> SimulatedPmu::supported_events() const {
   return {all_events().begin(), all_events().end()};
 }
 
+bool SimulatedPmu::set_measurement_key(std::uint64_t key) {
+  measurement_key_ = key;
+  return true;
+}
+
 void SimulatedPmu::start() {
+  if (measurement_key_) {
+    noise_rng_ = util::Rng(util::mix64(config_.noise_seed, *measurement_key_));
+    pollution_rng_ = util::Rng(
+        util::mix64(config_.noise_seed ^ 0x901155ULL, *measurement_key_));
+  }
   running_ = true;
   loads_ = 0;
   stores_ = 0;

@@ -18,6 +18,7 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "hpc/counter_provider.hpp"
@@ -86,6 +87,12 @@ class SimulatedPmu final : public CounterProvider, public uarch::TraceSink {
   void start() override;
   void stop() override;
   CounterSample read() override;
+  /// Keyed mode: the next start() reseeds the environment-noise and
+  /// pollution streams from mix64(noise_seed, key), making the
+  /// measurement's stochastic overlay a pure function of the key.  The
+  /// key persists until replaced, so a retried measurement with a fresh
+  /// key draws fresh (but still reproducible) noise.
+  bool set_measurement_key(std::uint64_t key) override;
 
   // --- TraceSink (fed by the instrumented kernels) ---
   void load(const void* addr, std::size_t bytes) override;
@@ -113,6 +120,7 @@ class SimulatedPmu final : public CounterProvider, public uarch::TraceSink {
   std::unique_ptr<uarch::BranchPredictor> predictor_;
   util::Rng noise_rng_;
   util::Rng pollution_rng_;
+  std::optional<std::uint64_t> measurement_key_;
 
   bool running_ = false;
   std::unordered_map<std::uintptr_t, std::uintptr_t> page_frames_;

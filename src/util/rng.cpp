@@ -13,6 +13,15 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  // Two chained SplitMix64 steps: the first diffuses b, the second
+  // diffuses a against it.  Both inputs affect every output bit.
+  std::uint64_t state = b;
+  const std::uint64_t mixed_b = splitmix64(state);
+  state = a ^ mixed_b;
+  return splitmix64(state);
+}
+
 namespace {
 constexpr std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

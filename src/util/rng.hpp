@@ -17,6 +17,14 @@ namespace sce::util {
 /// generator state and as a cheap stateless mixer.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Combine two 64-bit words into one well-distributed seed.  Used to
+/// derive per-measurement RNG streams from (base_seed, measurement_key)
+/// pairs: close keys yield unrelated streams, and the derivation is a
+/// pure function, so a measurement's stream does not depend on how many
+/// measurements ran before it (the property parallel sharded acquisition
+/// relies on for bit-reproducibility).
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b);
+
 /// xoshiro256** 1.0 — a fast, high-quality 64-bit PRNG.
 ///
 /// Satisfies the C++ UniformRandomBitGenerator requirements so it can be

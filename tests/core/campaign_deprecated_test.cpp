@@ -1,0 +1,122 @@
+// The pre-Campaign free functions survive one release as deprecated
+// wrappers; until they are removed they must keep producing the exact
+// results of the Campaign API they forward to.
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "core/checkpoint.hpp"
+#include "core/fixed_vs_random.hpp"
+#include "hpc/instrument_factory.hpp"
+#include "util/error.hpp"
+#include "campaign_helpers.hpp"
+
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace sce::core {
+namespace {
+
+using testing::tiny_dataset;
+using testing::tiny_model;
+using testing::TracePurePmu;
+
+CampaignConfig small_config() {
+  CampaignConfig cfg;
+  cfg.samples_per_category = 10;
+  cfg.warmup_measurements = 1;
+  return cfg;
+}
+
+TEST(CampaignDeprecated, RunCampaignMatchesCampaignRun) {
+  const nn::Sequential model = tiny_model();
+  const data::Dataset ds = tiny_dataset();
+  const CampaignConfig cfg = small_config();
+
+  TracePurePmu old_pmu;
+  const CampaignResult old_api =
+      run_campaign(model, ds, make_instrument(old_pmu), cfg);
+
+  TracePurePmu new_pmu;
+  hpc::SingleInstrumentFactory instruments(new_pmu, new_pmu);
+  const CampaignResult new_api =
+      Campaign(model, ds, instruments).with_config(cfg).run();
+
+  ASSERT_EQ(old_api.categories, new_api.categories);
+  for (std::size_t e = 0; e < hpc::kNumEvents; ++e)
+    for (std::size_t c = 0; c < old_api.category_count(); ++c)
+      EXPECT_EQ(old_api.samples[e][c], new_api.samples[e][c]);
+  EXPECT_EQ(old_api.diagnostics.measurements_recorded,
+            new_api.diagnostics.measurements_recorded);
+}
+
+TEST(CampaignDeprecated, PartialOverloadMatchesResumeFrom) {
+  const nn::Sequential model = tiny_model();
+  const data::Dataset ds = tiny_dataset();
+  const CampaignConfig full = small_config();
+
+  TracePurePmu pmu;
+  const CampaignResult uninterrupted =
+      run_campaign(model, ds, make_instrument(pmu), full);
+
+  CampaignConfig first_leg = full;
+  first_leg.stop_after_measurements = 13;
+  CampaignResult partial =
+      run_campaign(model, ds, make_instrument(pmu), first_leg);
+  ASSERT_FALSE(partial.diagnostics.complete);
+
+  const CampaignResult resumed =
+      run_campaign(model, ds, make_instrument(pmu), full, std::move(partial));
+  EXPECT_TRUE(resumed.diagnostics.complete);
+  for (std::size_t e = 0; e < hpc::kNumEvents; ++e)
+    for (std::size_t c = 0; c < uninterrupted.category_count(); ++c)
+      EXPECT_EQ(uninterrupted.samples[e][c], resumed.samples[e][c]);
+}
+
+TEST(CampaignDeprecated, ResumeCampaignMatchesCampaignResume) {
+  const nn::Sequential model = tiny_model();
+  const data::Dataset ds = tiny_dataset();
+  const CampaignConfig full = small_config();
+
+  TracePurePmu pmu;
+  const CampaignResult uninterrupted =
+      run_campaign(model, ds, make_instrument(pmu), full);
+
+  CampaignConfig first_leg = full;
+  first_leg.stop_after_measurements = 13;
+  const CampaignResult partial =
+      run_campaign(model, ds, make_instrument(pmu), first_leg);
+  const CampaignCheckpoint checkpoint = make_checkpoint(partial, full);
+
+  const CampaignResult resumed =
+      resume_campaign(model, ds, make_instrument(pmu), full, checkpoint);
+  EXPECT_TRUE(resumed.diagnostics.resumed);
+  for (std::size_t e = 0; e < hpc::kNumEvents; ++e)
+    for (std::size_t c = 0; c < uninterrupted.category_count(); ++c)
+      EXPECT_EQ(uninterrupted.samples[e][c], resumed.samples[e][c]);
+}
+
+TEST(CampaignDeprecated, RunFixedVsRandomMatchesCampaignScreen) {
+  const nn::Sequential model = tiny_model();
+  const data::Dataset ds = tiny_dataset();
+  FixedVsRandomConfig cfg;
+  cfg.samples_per_population = 16;
+
+  TracePurePmu old_pmu;
+  const FixedVsRandomResult old_api =
+      run_fixed_vs_random(model, ds, make_instrument(old_pmu), cfg);
+
+  TracePurePmu new_pmu;
+  hpc::SingleInstrumentFactory instruments(new_pmu, new_pmu);
+  const FixedVsRandomResult new_api =
+      Campaign(model, ds, instruments).fixed_vs_random(cfg);
+
+  for (std::size_t e = 0; e < hpc::kNumEvents; ++e) {
+    EXPECT_EQ(old_api.per_event[e].full.t, new_api.per_event[e].full.t);
+    EXPECT_EQ(old_api.per_event[e].leaks, new_api.per_event[e].leaks);
+  }
+}
+
+}  // namespace
+}  // namespace sce::core

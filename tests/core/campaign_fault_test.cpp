@@ -1,4 +1,4 @@
-// Fault-path coverage for run_campaign: transient faults fully absorbed
+// Fault-path coverage for the campaign runtime: transient faults fully
 // by retries, permanent event loss degrading gracefully into diagnostics,
 // MAD outlier quarantine, and checkpoint kill/resume reproducing the
 // uninterrupted result bit-for-bit.
@@ -25,58 +25,23 @@ hpc::SimulatedPmu quiet_pmu() {
   return hpc::SimulatedPmu(cfg);
 }
 
-// A PMU whose counters are a pure function of the dynamic trace *counts*
-// (loads, stores, branches, retires) — no addresses, no RNG, no carried
-// state.  The SimulatedPmu's cache counters depend on the actual heap
-// addresses of the kernel's buffers, so two campaigns in one process are
-// not bit-identical (the first run's allocations shift the second run's
-// layout).  Bit-for-bit reproducibility claims are about the acquisition
-// layer, so its tests use this provider, for which the guarantee of
-// core/checkpoint.hpp ("deterministic provider => identical result")
-// actually holds.
-class TracePurePmu final : public hpc::CounterProvider,
-                           public uarch::TraceSink {
- public:
-  std::string name() const override { return "trace-pure-pmu"; }
-  std::vector<hpc::HpcEvent> supported_events() const override {
-    return {hpc::all_events().begin(), hpc::all_events().end()};
-  }
-  void start() override { counts_ = {}; }
-  void stop() override {}
-  hpc::CounterSample read() override {
-    const std::uint64_t mem = counts_.loads() + counts_.stores();
-    const std::uint64_t instr = counts_.instructions();
-    hpc::CounterSample s;
-    s[hpc::HpcEvent::kInstructions] = instr;
-    s[hpc::HpcEvent::kBranches] = counts_.branches();
-    s[hpc::HpcEvent::kBranchMisses] = counts_.taken_branches() / 9 + 1;
-    s[hpc::HpcEvent::kCacheReferences] = mem;
-    s[hpc::HpcEvent::kCacheMisses] = mem / 13 + counts_.taken_branches() % 7;
-    s[hpc::HpcEvent::kCycles] = instr / 2 + 4 * (mem / 13);
-    s[hpc::HpcEvent::kBusCycles] = instr / 32;
-    s[hpc::HpcEvent::kRefCycles] = instr / 2 + instr / 8;
-    return s;
-  }
-
-  void load(const void* a, std::size_t b) override { counts_.load(a, b); }
-  void store(const void* a, std::size_t b) override { counts_.store(a, b); }
-  void branch(std::uintptr_t pc, bool taken) override {
-    counts_.branch(pc, taken);
-  }
-  void structural_branches(std::uint64_t n) override {
-    counts_.structural_branches(n);
-  }
-  void retire(std::uint64_t n) override { counts_.retire(n); }
-
- private:
-  uarch::CountingSink counts_;
-};
+using testing::TracePurePmu;
 
 CampaignConfig small_campaign(std::size_t samples = 6) {
   CampaignConfig cfg;
   cfg.categories = {0, 1, 2};
   cfg.samples_per_category = samples;
   return cfg;
+}
+
+CampaignResult resume_borrowed(const nn::Sequential& model,
+                               const data::Dataset& ds,
+                               hpc::CounterProvider& provider,
+                               uarch::TraceSink& sink,
+                               const CampaignConfig& cfg,
+                               const CampaignCheckpoint& checkpoint) {
+  hpc::SingleInstrumentFactory instruments(provider, sink);
+  return Campaign(model, ds, instruments).with_config(cfg).resume(checkpoint);
 }
 
 bool same_distributions(const CampaignResult& a, const CampaignResult& b) {
@@ -100,7 +65,7 @@ TEST(CampaignFault, TransientFaultsAreFullyAbsorbedByRetries) {
 
   const CampaignConfig cfg = small_campaign();
   const CampaignResult result =
-      run_campaign(model, ds, Instrument{provider, pmu}, cfg);
+      testing::run_borrowed(model, ds, provider, pmu, cfg);
 
   // Retries absorb every transient fault: full distributions.
   for (hpc::HpcEvent e : hpc::all_events())
@@ -121,7 +86,7 @@ TEST(CampaignFault, FaultsDoNotChangeRecordedValues) {
 
   TracePurePmu clean_pmu;
   const CampaignResult clean =
-      run_campaign(model, ds, make_instrument(clean_pmu), small_campaign());
+      testing::run_borrowed(model, ds, clean_pmu, small_campaign());
 
   TracePurePmu pmu;
   hpc::FaultConfig faults;
@@ -130,7 +95,7 @@ TEST(CampaignFault, FaultsDoNotChangeRecordedValues) {
   faults.seed = 5;
   hpc::FaultInjectingProvider provider(pmu, faults);
   const CampaignResult faulty =
-      run_campaign(model, ds, Instrument{provider, pmu}, small_campaign());
+      testing::run_borrowed(model, ds, provider, pmu, small_campaign());
 
   // The deterministic workload means a retried measurement reproduces the
   // original exactly: the fault layer must be invisible in the data.
@@ -151,7 +116,7 @@ TEST(CampaignFault, PermanentEventLossDegradesGracefully) {
 
   const CampaignConfig cfg = small_campaign();
   const CampaignResult result =
-      run_campaign(model, ds, Instrument{provider, pmu}, cfg);
+      testing::run_borrowed(model, ds, provider, pmu, cfg);
 
   // The campaign completed, named the dead event, and cleared its cells.
   EXPECT_TRUE(result.diagnostics.complete);
@@ -187,7 +152,7 @@ TEST(CampaignFault, HopelessProviderAbortsInsteadOfSpinning) {
   hpc::FaultInjectingProvider provider(pmu, faults);
   CampaignConfig cfg = small_campaign();
   cfg.max_failed_measurements = 4;
-  EXPECT_THROW(run_campaign(model, ds, Instrument{provider, pmu}, cfg),
+  EXPECT_THROW(testing::run_borrowed(model, ds, provider, pmu, cfg),
                Error);
 }
 
@@ -198,14 +163,14 @@ TEST(CampaignFault, OutlierQuarantineKeepsPollutionOutOfDistributions) {
   hpc::FaultConfig faults;
   faults.outlier_rate = 0.08;
   faults.outlier_factor = 50.0;  // unmistakable spikes
-  faults.seed = 13;
+  faults.seed = 1;
   hpc::FaultInjectingProvider provider(pmu, faults);
 
   CampaignConfig cfg = small_campaign(/*samples=*/24);
   cfg.outlier_mad_threshold = 8.0;
   cfg.outlier_min_baseline = 8;
   const CampaignResult result =
-      run_campaign(model, ds, Instrument{provider, pmu}, cfg);
+      testing::run_borrowed(model, ds, provider, pmu, cfg);
 
   EXPECT_TRUE(result.diagnostics.complete);
   EXPECT_GT(result.diagnostics.outliers_quarantined, 0u);
@@ -242,7 +207,7 @@ TEST(CampaignFault, OutlierScreenIgnoresBenignVariation) {
   cfg.outlier_mad_threshold = 8.0;
   cfg.outlier_min_baseline = 8;
   const CampaignResult result =
-      run_campaign(model, ds, make_instrument(pmu), cfg);
+      testing::run_borrowed(model, ds, pmu, cfg);
 
   EXPECT_TRUE(result.diagnostics.complete);
   EXPECT_EQ(result.diagnostics.outliers_quarantined, 0u);
@@ -269,11 +234,9 @@ TEST(CampaignFault, ReusedWorkspacesDoNotPerturbMeasurements) {
   const data::Dataset ds = testing::tiny_dataset();
 
   TracePurePmu pmu_short;
-  const CampaignResult one = run_campaign(
-      model, ds, make_instrument(pmu_short), small_campaign(/*samples=*/1));
+  const CampaignResult one = testing::run_borrowed(model, ds, pmu_short, small_campaign(/*samples=*/1));
   TracePurePmu pmu_long;
-  const CampaignResult many = run_campaign(
-      model, ds, make_instrument(pmu_long), small_campaign(/*samples=*/6));
+  const CampaignResult many = testing::run_borrowed(model, ds, pmu_long, small_campaign(/*samples=*/6));
 
   for (hpc::HpcEvent e : hpc::all_events())
     for (std::size_t c = 0; c < one.categories.size(); ++c)
@@ -299,7 +262,7 @@ TEST(CampaignCheckpoint, JsonRoundTripPreservesEverything) {
   const std::string json = checkpoint_to_json(cp);
   const CampaignCheckpoint back = checkpoint_from_json(json);
 
-  EXPECT_EQ(back.version, 1);
+  EXPECT_EQ(back.version, 2);
   EXPECT_EQ(back.samples_per_category, 20u);
   EXPECT_EQ(back.kernel_mode, nn::to_string(cfg.kernel_mode));
   EXPECT_TRUE(same_distributions(cp.partial, back.partial));
@@ -334,7 +297,7 @@ TEST(CampaignCheckpoint, KilledCampaignResumesBitForBit) {
   TracePurePmu pmu_a;
   auto provider_a = make_provider(pmu_a);
   const CampaignResult uninterrupted =
-      run_campaign(model, ds, Instrument{provider_a, pmu_a}, cfg);
+      testing::run_borrowed(model, ds, provider_a, pmu_a, cfg);
 
   // "Kill" a second run mid-flight by bounding its measurement budget.
   TracePurePmu pmu_b;
@@ -342,7 +305,7 @@ TEST(CampaignCheckpoint, KilledCampaignResumesBitForBit) {
   CampaignConfig first_leg = cfg;
   first_leg.stop_after_measurements = 7;  // dies mid-round
   const CampaignResult partial =
-      run_campaign(model, ds, Instrument{provider_b, pmu_b}, first_leg);
+      testing::run_borrowed(model, ds, provider_b, pmu_b, first_leg);
   EXPECT_FALSE(partial.diagnostics.complete);
   EXPECT_EQ(partial.diagnostics.measurements_recorded, 7u);
 
@@ -353,8 +316,7 @@ TEST(CampaignCheckpoint, KilledCampaignResumesBitForBit) {
   const CampaignCheckpoint loaded = checkpoint_from_json(json);
   TracePurePmu pmu_c;
   auto provider_c = make_provider(pmu_c);
-  const CampaignResult resumed = resume_campaign(
-      model, ds, Instrument{provider_c, pmu_c}, cfg, loaded);
+  const CampaignResult resumed = resume_borrowed(model, ds, provider_c, pmu_c, cfg, loaded);
 
   EXPECT_TRUE(resumed.diagnostics.complete);
   EXPECT_TRUE(resumed.diagnostics.resumed);
@@ -370,19 +332,18 @@ TEST(CampaignCheckpoint, ResumeRejectsMismatchedConfig) {
   CampaignConfig first_leg = cfg;
   first_leg.stop_after_measurements = 3;
   const CampaignResult partial =
-      run_campaign(model, ds, make_instrument(pmu), first_leg);
+      testing::run_borrowed(model, ds, pmu, first_leg);
   const CampaignCheckpoint cp = make_checkpoint(partial, first_leg);
 
   CampaignConfig different_budget = cfg;
   different_budget.samples_per_category = 9;
-  EXPECT_THROW(resume_campaign(model, ds, make_instrument(pmu),
-                               different_budget, cp),
+  EXPECT_THROW(resume_borrowed(model, ds, pmu, pmu, different_budget, cp),
                InvalidArgument);
 
   CampaignConfig different_mode = cfg;
   different_mode.kernel_mode = nn::KernelMode::kConstantFlow;
   EXPECT_THROW(
-      resume_campaign(model, ds, make_instrument(pmu), different_mode, cp),
+      resume_borrowed(model, ds, pmu, pmu, different_mode, cp),
       InvalidArgument);
 }
 
@@ -396,7 +357,7 @@ TEST(CampaignCheckpoint, PeriodicCheckpointFilesAreWrittenAndLoadable) {
   cfg.checkpoint_every = 5;
   cfg.checkpoint_path = path;
   const CampaignResult result =
-      run_campaign(model, ds, make_instrument(pmu), cfg);
+      testing::run_borrowed(model, ds, pmu, cfg);
   EXPECT_GT(result.diagnostics.checkpoints_written, 0u);
 
   const CampaignCheckpoint cp = load_checkpoint(path);

@@ -16,6 +16,25 @@
 
 namespace sce::core::testing {
 
+/// Run a single-shard campaign over one caller-owned provider/sink pair
+/// through the Campaign API (tests usually keep their rigs on the stack).
+inline CampaignResult run_borrowed(const nn::Sequential& model,
+                                   const data::Dataset& ds,
+                                   hpc::CounterProvider& provider,
+                                   uarch::TraceSink& sink,
+                                   const CampaignConfig& cfg) {
+  hpc::SingleInstrumentFactory instruments(provider, sink);
+  return Campaign(model, ds, instruments).with_config(cfg).run();
+}
+
+/// Same, for an object that is both provider and sink (e.g. SimulatedPmu).
+template <typename ProviderAndSink>
+CampaignResult run_borrowed(const nn::Sequential& model,
+                            const data::Dataset& ds, ProviderAndSink& pmu,
+                            const CampaignConfig& cfg) {
+  return run_borrowed(model, ds, pmu, pmu, cfg);
+}
+
 /// Build a CampaignResult whose cells are Gaussian samples with the given
 /// per-category means (same stddev everywhere, every event identical).
 inline CampaignResult synthetic_campaign(
@@ -91,6 +110,63 @@ inline data::Dataset tiny_dataset(std::size_t per_class = 6,
     cropped.add(std::move(e));
   }
   return cropped;
+}
+
+// A PMU whose counters are a pure function of the dynamic trace *counts*
+// (loads, stores, branches, retires) — no addresses, no RNG, no carried
+// state.  The SimulatedPmu's cache counters depend on the actual heap
+// addresses of the kernel's buffers, so two campaigns in one process are
+// not bit-identical (the first run's allocations shift the second run's
+// layout).  Bit-for-bit reproducibility claims are about the acquisition
+// layer, so its tests use this provider, for which the guarantee of
+// core/checkpoint.hpp ("deterministic provider => identical result")
+// actually holds.
+class TracePurePmu final : public hpc::CounterProvider,
+                           public uarch::TraceSink {
+ public:
+  std::string name() const override { return "trace-pure-pmu"; }
+  std::vector<hpc::HpcEvent> supported_events() const override {
+    return {hpc::all_events().begin(), hpc::all_events().end()};
+  }
+  void start() override { counts_ = {}; }
+  void stop() override {}
+  hpc::CounterSample read() override {
+    const std::uint64_t mem = counts_.loads() + counts_.stores();
+    const std::uint64_t instr = counts_.instructions();
+    hpc::CounterSample s;
+    s[hpc::HpcEvent::kInstructions] = instr;
+    s[hpc::HpcEvent::kBranches] = counts_.branches();
+    s[hpc::HpcEvent::kBranchMisses] = counts_.taken_branches() / 9 + 1;
+    s[hpc::HpcEvent::kCacheReferences] = mem;
+    s[hpc::HpcEvent::kCacheMisses] = mem / 13 + counts_.taken_branches() % 7;
+    s[hpc::HpcEvent::kCycles] = instr / 2 + 4 * (mem / 13);
+    s[hpc::HpcEvent::kBusCycles] = instr / 32;
+    s[hpc::HpcEvent::kRefCycles] = instr / 2 + instr / 8;
+    return s;
+  }
+
+  void load(const void* a, std::size_t b) override { counts_.load(a, b); }
+  void store(const void* a, std::size_t b) override { counts_.store(a, b); }
+  void branch(std::uintptr_t pc, bool taken) override {
+    counts_.branch(pc, taken);
+  }
+  void structural_branches(std::uint64_t n) override {
+    counts_.structural_branches(n);
+  }
+  void retire(std::uint64_t n) override { counts_.retire(n); }
+
+ private:
+  uarch::CountingSink counts_;
+};
+
+/// Factory minting one fresh TracePurePmu per shard — the rig for
+/// bit-for-bit reproducibility tests at any shard count.
+inline hpc::CallbackInstrumentFactory trace_pure_factory() {
+  return hpc::CallbackInstrumentFactory(
+      [](std::size_t, std::size_t) {
+        return hpc::Instrument::adopt(std::make_unique<TracePurePmu>());
+      },
+      "trace-pure");
 }
 
 }  // namespace sce::core::testing

@@ -23,7 +23,7 @@ TEST(Campaign, CollectsRequestedSampleCounts) {
   cfg.categories = {0, 1, 2};
   cfg.samples_per_category = 5;
   const CampaignResult result =
-      run_campaign(model, ds, make_instrument(pmu), cfg);
+      testing::run_borrowed(model, ds, pmu, cfg);
 
   EXPECT_EQ(result.category_count(), 3u);
   for (hpc::HpcEvent e : hpc::all_events())
@@ -39,7 +39,7 @@ TEST(Campaign, CategoryNamesComeFromDataset) {
   cfg.categories = {2, 0};
   cfg.samples_per_category = 2;
   const CampaignResult result =
-      run_campaign(model, ds, make_instrument(pmu), cfg);
+      testing::run_borrowed(model, ds, pmu, cfg);
   EXPECT_EQ(result.category_names[0], ds.class_names()[2]);
   EXPECT_EQ(result.category_names[1], ds.class_names()[0]);
 }
@@ -52,7 +52,7 @@ TEST(Campaign, MeasurementsAreNonTrivial) {
   cfg.categories = {0};
   cfg.samples_per_category = 3;
   const CampaignResult result =
-      run_campaign(model, ds, make_instrument(pmu), cfg);
+      testing::run_borrowed(model, ds, pmu, cfg);
   for (double v : result.of(hpc::HpcEvent::kInstructions, 0))
     EXPECT_GT(v, 1000.0);
   for (double v : result.of(hpc::HpcEvent::kCacheMisses, 0)) EXPECT_GT(v, 0.0);
@@ -66,7 +66,7 @@ TEST(Campaign, ImageReuseWrapsAround) {
   cfg.categories = {0};
   cfg.samples_per_category = 6;  // 3x the pool
   const CampaignResult result =
-      run_campaign(model, ds, make_instrument(pmu), cfg);
+      testing::run_borrowed(model, ds, pmu, cfg);
   // With cold-start cycling over 2 images, measurement i and i+2 repeat.
   // Instruction counts are address-independent, so the repetition is
   // exact (cache-misses can wiggle by a line with heap layout).
@@ -86,7 +86,7 @@ TEST(Campaign, ReuseDisabledThrowsWhenPoolTooSmall) {
   cfg.categories = {0};
   cfg.samples_per_category = 10;
   cfg.allow_image_reuse = false;
-  EXPECT_THROW(run_campaign(model, ds, make_instrument(pmu), cfg),
+  EXPECT_THROW(testing::run_borrowed(model, ds, pmu, cfg),
                InvalidArgument);
 }
 
@@ -97,17 +97,17 @@ TEST(Campaign, ConfigValidation) {
 
   CampaignConfig no_categories;
   no_categories.categories = {};
-  EXPECT_THROW(run_campaign(model, ds, make_instrument(pmu), no_categories),
+  EXPECT_THROW(testing::run_borrowed(model, ds, pmu, no_categories),
                InvalidArgument);
 
   CampaignConfig zero_samples;
   zero_samples.samples_per_category = 0;
-  EXPECT_THROW(run_campaign(model, ds, make_instrument(pmu), zero_samples),
+  EXPECT_THROW(testing::run_borrowed(model, ds, pmu, zero_samples),
                InvalidArgument);
 
   CampaignConfig bad_label;
   bad_label.categories = {99};
-  EXPECT_THROW(run_campaign(model, ds, make_instrument(pmu), bad_label),
+  EXPECT_THROW(testing::run_borrowed(model, ds, pmu, bad_label),
                InvalidArgument);
 }
 
@@ -140,7 +140,7 @@ TEST(Campaign, ConstantFlowModeProducesIdenticalWorkloadCounts) {
   cfg.samples_per_category = 4;
   cfg.kernel_mode = nn::KernelMode::kConstantFlow;
   const CampaignResult result =
-      run_campaign(model, ds, make_instrument(pmu), cfg);
+      testing::run_borrowed(model, ds, pmu, cfg);
   // Instruction and branch counts are shape-only in constant-flow mode and
   // must be byte-identical for every input of every category.
   for (hpc::HpcEvent e :

@@ -17,6 +17,14 @@ hpc::SimulatedPmu quiet_pmu() {
   return hpc::SimulatedPmu(cfg);
 }
 
+/// Run the screen over a caller-owned PMU through the Campaign API.
+FixedVsRandomResult screen(const nn::Sequential& model,
+                           const data::Dataset& ds, hpc::SimulatedPmu& pmu,
+                           const FixedVsRandomConfig& cfg) {
+  hpc::SingleInstrumentFactory instruments(pmu, pmu);
+  return Campaign(model, ds, instruments).fixed_vs_random(cfg);
+}
+
 TEST(FixedVsRandom, DataDependentKernelsLeak) {
   const nn::Sequential model = testing::tiny_model();
   const data::Dataset ds = testing::tiny_dataset(/*per_class=*/10);
@@ -24,7 +32,7 @@ TEST(FixedVsRandom, DataDependentKernelsLeak) {
   FixedVsRandomConfig cfg;
   cfg.samples_per_population = 60;
   const FixedVsRandomResult result =
-      run_fixed_vs_random(model, ds, make_instrument(pmu), cfg);
+      screen(model, ds, pmu, cfg);
   EXPECT_TRUE(result.any_leak());
   // The fixed population is one image: its instruction count is constant,
   // the random population's varies -> enormous |t| on instructions.
@@ -39,7 +47,7 @@ TEST(FixedVsRandom, ConstantFlowPassesOnInstructionCounts) {
   cfg.samples_per_population = 40;
   cfg.kernel_mode = nn::KernelMode::kConstantFlow;
   const FixedVsRandomResult result =
-      run_fixed_vs_random(model, ds, make_instrument(pmu), cfg);
+      screen(model, ds, pmu, cfg);
   EXPECT_FALSE(result.of(hpc::HpcEvent::kInstructions).leaks);
   EXPECT_FALSE(result.of(hpc::HpcEvent::kBranches).leaks);
 }
@@ -51,7 +59,7 @@ TEST(FixedVsRandom, TwoPhaseRequiresAgreement) {
   FixedVsRandomConfig cfg;
   cfg.samples_per_population = 60;
   const FixedVsRandomResult result =
-      run_fixed_vs_random(model, ds, make_instrument(pmu), cfg);
+      screen(model, ds, pmu, cfg);
   for (const auto& r : result.per_event) {
     if (r.leaks) {
       EXPECT_GT(std::fabs(r.first.t), cfg.t_threshold);
@@ -69,7 +77,7 @@ TEST(FixedVsRandom, SinglePhaseUsesFullTest) {
   cfg.samples_per_population = 40;
   cfg.two_phase = false;
   const FixedVsRandomResult result =
-      run_fixed_vs_random(model, ds, make_instrument(pmu), cfg);
+      screen(model, ds, pmu, cfg);
   for (const auto& r : result.per_event)
     EXPECT_EQ(r.leaks, std::fabs(r.full.t) > cfg.t_threshold);
 }
@@ -81,13 +89,13 @@ TEST(FixedVsRandom, ValidationErrors) {
 
   FixedVsRandomConfig too_few;
   too_few.samples_per_population = 2;
-  EXPECT_THROW(run_fixed_vs_random(model, ds, make_instrument(pmu), too_few),
+  EXPECT_THROW(screen(model, ds, pmu, too_few),
                InvalidArgument);
 
   FixedVsRandomConfig bad_category;
   bad_category.fixed_category = 99;
   EXPECT_THROW(
-      run_fixed_vs_random(model, ds, make_instrument(pmu), bad_category),
+      screen(model, ds, pmu, bad_category),
       InvalidArgument);
 }
 
@@ -98,7 +106,7 @@ TEST(FixedVsRandom, RenderListsAllEvents) {
   FixedVsRandomConfig cfg;
   cfg.samples_per_population = 20;
   const FixedVsRandomResult result =
-      run_fixed_vs_random(model, ds, make_instrument(pmu), cfg);
+      screen(model, ds, pmu, cfg);
   const std::string text = render_fixed_vs_random(result);
   for (hpc::HpcEvent e : hpc::all_events())
     EXPECT_NE(text.find(hpc::to_string(e)), std::string::npos);

@@ -28,7 +28,7 @@ CampaignResult run_pipeline(nn::KernelMode mode, std::size_t samples = 20) {
   cfg.categories = {0, 1, 2, 3};
   cfg.samples_per_category = samples;
   cfg.kernel_mode = mode;
-  return run_campaign(model, ds, make_instrument(pmu), cfg);
+  return testing::run_borrowed(model, ds, pmu, cfg);
 }
 
 TEST(EndToEnd, DataDependentKernelsLeakThroughCacheMisses) {
@@ -92,7 +92,7 @@ TEST(EndToEnd, TrainedModelStillLeaks) {
   cfg.categories = {0, 1, 2, 3};
   cfg.samples_per_category = 48;
   const CampaignResult campaign =
-      run_campaign(model, ds, make_instrument(pmu), cfg);
+      testing::run_borrowed(model, ds, pmu, cfg);
   // Address-independent events only: their per-image counts are exact
   // functions of the input, so the verdict does not depend on the heap
   // layout the test happens to run under.
@@ -126,11 +126,11 @@ TEST(EndToEnd, EnvironmentNoiseWeakensButPreservesStrongLeaks) {
   cfg.categories = {0, 1, 2, 3};
   cfg.samples_per_category = 25;
   const CampaignResult noisy_campaign =
-      run_campaign(model, ds, make_instrument(noisy), cfg);
+      testing::run_borrowed(model, ds, noisy, cfg);
 
   hpc::SimulatedPmu quiet(quiet_config());
   const CampaignResult quiet_campaign =
-      run_campaign(model, ds, make_instrument(quiet), cfg);
+      testing::run_borrowed(model, ds, quiet, cfg);
 
   EvaluatorConfig eval_cfg;
   eval_cfg.events = {hpc::HpcEvent::kCacheMisses};

@@ -33,7 +33,7 @@ TEST(ProviderStack, CampaignThroughMultiplexedPmuStillDetects) {
   // Counters read through the multiplexer; the trace still feeds the
   // underlying simulated PMU.
   const CampaignResult campaign =
-      run_campaign(model, ds, Instrument{mux, pmu}, cfg);
+      testing::run_borrowed(model, ds, mux, pmu, cfg);
 
   EvaluatorConfig eval_cfg;
   eval_cfg.events = {hpc::HpcEvent::kInstructions,

@@ -1,0 +1,85 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sce::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i)
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 8; ++i)
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait();
+    EXPECT_EQ(done.load(), (batch + 1) * 8);
+  }
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskError) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task exploded"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error is cleared: the pool stays usable.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, TasksActuallyRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  for (int i = 0; i < 2; ++i) {
+    pool.submit([&] {
+      if (inside.fetch_add(1) + 1 == 2) overlapped = true;
+      // Give the sibling a window to arrive.
+      for (int spin = 0; spin < 100 && !overlapped; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      inside.fetch_sub(1);
+    });
+  }
+  pool.wait();
+  EXPECT_TRUE(overlapped.load());
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i)
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    // No wait(): destruction must still run everything.
+  }
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, ZeroThreadsIsInvalid) {
+  EXPECT_THROW(ThreadPool pool(0), InvalidArgument);
+}
+
+TEST(ThreadPool, ReportsItsSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+}  // namespace
+}  // namespace sce::util

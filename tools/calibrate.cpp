@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "core/campaign.hpp"
-#include "hpc/simulated_pmu.hpp"
+#include "hpc/instrument_factory.hpp"
 #include "nn/zoo.hpp"
 #include "stats/descriptive.hpp"
 #include "util/cli.hpp"
@@ -18,11 +18,13 @@ void profile(const char* tag, const nn::TrainedModel& trained,
              std::size_t samples) {
   hpc::SimulatedPmuConfig pmu_cfg;
   pmu_cfg.environment = hpc::SimulatedPmuConfig::no_environment();
-  hpc::SimulatedPmu pmu(pmu_cfg);
+  hpc::SimulatedPmuFactory instruments(pmu_cfg);
   core::CampaignConfig cfg;
   cfg.samples_per_category = samples;
-  const core::CampaignResult campaign = core::run_campaign(
-      trained.model, trained.test_set, core::make_instrument(pmu), cfg);
+  const core::CampaignResult campaign =
+      core::Campaign(trained.model, trained.test_set, instruments)
+          .with_config(cfg)
+          .run();
 
   std::printf("=== %s (workload-only counts) ===\n", tag);
   for (hpc::HpcEvent e : hpc::all_events()) {

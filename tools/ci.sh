@@ -1,15 +1,20 @@
 #!/usr/bin/env sh
 # Full CI pipeline: configure, build, tier-1 tests, then the same suite
-# under AddressSanitizer + UBSan in a separate build tree.
+# under AddressSanitizer + UBSan, then the concurrency tests under
+# ThreadSanitizer — each sanitizer in its own build tree.
 #
 #   tools/ci.sh [build-dir]
 #
 # build-dir: plain (uninstrumented) build directory, default build-ci.
-# The sanitized pass reuses tools/run_sanitized_tests.sh with its own
-# tree (build-ci-sanitize) so instrumented and plain objects never mix.
+# The sanitized passes reuse tools/run_sanitized_tests.sh with their own
+# trees (build-ci-sanitize, build-ci-tsan) so instrumented and plain
+# objects never mix.  The TSan pass covers the sharded campaign runtime
+# (thread pool, parallel acquisition, parallel fixed-vs-random) — the
+# only code that runs on more than one thread.
 #
 # Set SCE_CI_SKIP_SANITIZERS=1 to run only the plain suite (useful on
-# hosts whose toolchain lacks the sanitizer runtimes).
+# hosts whose toolchain lacks the sanitizer runtimes).  A toolchain
+# without libtsan skips just the TSan stage, with a notice.
 set -eu
 
 BUILD_DIR="${1:-build-ci}"
@@ -26,11 +31,20 @@ echo "==> running tier-1 suite"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 if [ "${SCE_CI_SKIP_SANITIZERS:-0}" = "1" ]; then
-  echo "==> SCE_CI_SKIP_SANITIZERS=1: skipping sanitized pass"
+  echo "==> SCE_CI_SKIP_SANITIZERS=1: skipping sanitized passes"
 else
   echo "==> running tier-1 suite under address;undefined"
   "$SRC_DIR/tools/run_sanitized_tests.sh" "address;undefined" \
     "${BUILD_DIR}-sanitize"
+
+  if echo 'int main(void){return 0;}' | \
+     cc -fsanitize=thread -x c - -o /dev/null 2>/dev/null; then
+    echo "==> running concurrency tests under thread sanitizer"
+    "$SRC_DIR/tools/run_sanitized_tests.sh" "thread" "${BUILD_DIR}-tsan" \
+      'ThreadPool|CampaignParallel|FixedVsRandom'
+  else
+    echo "==> toolchain lacks libtsan: skipping TSan stage"
+  fi
 fi
 
 echo "==> CI OK"

@@ -1,13 +1,15 @@
 #!/usr/bin/env sh
 # Build and run the tier-1 test suite under sanitizers.
 #
-#   tools/run_sanitized_tests.sh [sanitizers] [build-dir]
+#   tools/run_sanitized_tests.sh [sanitizers] [build-dir] [test-regex]
 #
 # sanitizers: semicolon-separated -fsanitize= list (default
 #             "address;undefined", the standard CI configuration).
 # build-dir:  out-of-tree build directory (default build-sanitize, kept
 #             separate from the normal build so the two never mix
 #             instrumented and uninstrumented objects).
+# test-regex: optional ctest -R filter; the TSan pass uses it to run just
+#             the concurrency tests instead of the whole suite.
 #
 # The fault-injection tests exercise the retry/quarantine/checkpoint
 # paths, so a clean pass here means the error-handling code itself is
@@ -17,6 +19,7 @@ set -eu
 
 SANITIZERS="${1:-address;undefined}"
 BUILD_DIR="${2:-build-sanitize}"
+TEST_REGEX="${3:-}"
 SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 
 # halt_on_error makes UBSan failures fail the test run instead of just
@@ -32,4 +35,10 @@ echo "==> building sce_tests"
 cmake --build "$BUILD_DIR" --target sce_tests -j "$(nproc 2>/dev/null || echo 4)"
 
 echo "==> running tier-1 suite under $SANITIZERS"
-ctest --test-dir "$BUILD_DIR/tests" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+if [ -n "$TEST_REGEX" ]; then
+  ctest --test-dir "$BUILD_DIR/tests" --output-on-failure \
+    -j "$(nproc 2>/dev/null || echo 4)" -R "$TEST_REGEX"
+else
+  ctest --test-dir "$BUILD_DIR/tests" --output-on-failure \
+    -j "$(nproc 2>/dev/null || echo 4)"
+fi
