@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_conv_algorithm.dir/ablation_conv_algorithm.cpp.o"
+  "CMakeFiles/ablation_conv_algorithm.dir/ablation_conv_algorithm.cpp.o.d"
+  "ablation_conv_algorithm"
+  "ablation_conv_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_conv_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

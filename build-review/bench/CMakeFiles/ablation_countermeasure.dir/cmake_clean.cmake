@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_countermeasure.dir/ablation_countermeasure.cpp.o"
+  "CMakeFiles/ablation_countermeasure.dir/ablation_countermeasure.cpp.o.d"
+  "ablation_countermeasure"
+  "ablation_countermeasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_countermeasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

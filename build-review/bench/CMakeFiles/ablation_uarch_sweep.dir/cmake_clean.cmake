@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_uarch_sweep.dir/ablation_uarch_sweep.cpp.o"
+  "CMakeFiles/ablation_uarch_sweep.dir/ablation_uarch_sweep.cpp.o.d"
+  "ablation_uarch_sweep"
+  "ablation_uarch_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uarch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

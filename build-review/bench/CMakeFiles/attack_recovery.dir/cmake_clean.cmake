@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_recovery.dir/attack_recovery.cpp.o"
+  "CMakeFiles/attack_recovery.dir/attack_recovery.cpp.o.d"
+  "attack_recovery"
+  "attack_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

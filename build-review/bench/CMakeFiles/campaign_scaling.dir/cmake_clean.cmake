@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_scaling.dir/campaign_scaling.cpp.o"
+  "CMakeFiles/campaign_scaling.dir/campaign_scaling.cpp.o.d"
+  "campaign_scaling"
+  "campaign_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_latency.dir/detection_latency.cpp.o"
+  "CMakeFiles/detection_latency.dir/detection_latency.cpp.o.d"
+  "detection_latency"
+  "detection_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

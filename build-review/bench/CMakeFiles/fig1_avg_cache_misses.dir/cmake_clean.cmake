@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_avg_cache_misses.dir/fig1_avg_cache_misses.cpp.o"
+  "CMakeFiles/fig1_avg_cache_misses.dir/fig1_avg_cache_misses.cpp.o.d"
+  "fig1_avg_cache_misses"
+  "fig1_avg_cache_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_avg_cache_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_avg_cache_misses.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_counter_dump.dir/fig2_counter_dump.cpp.o"
+  "CMakeFiles/fig2_counter_dump.dir/fig2_counter_dump.cpp.o.d"
+  "fig2_counter_dump"
+  "fig2_counter_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_counter_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

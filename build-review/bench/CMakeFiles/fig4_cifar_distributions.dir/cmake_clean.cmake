@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cifar_distributions.dir/fig4_cifar_distributions.cpp.o"
+  "CMakeFiles/fig4_cifar_distributions.dir/fig4_cifar_distributions.cpp.o.d"
+  "fig4_cifar_distributions"
+  "fig4_cifar_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cifar_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

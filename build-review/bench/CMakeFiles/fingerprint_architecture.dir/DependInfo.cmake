@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fingerprint_architecture.cpp" "bench/CMakeFiles/fingerprint_architecture.dir/fingerprint_architecture.cpp.o" "gcc" "bench/CMakeFiles/fingerprint_architecture.dir/fingerprint_architecture.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/bench/CMakeFiles/sce_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/sce_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/sce_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hpc/CMakeFiles/sce_hpc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/uarch/CMakeFiles/sce_uarch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/sce_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/sce_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/sce_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

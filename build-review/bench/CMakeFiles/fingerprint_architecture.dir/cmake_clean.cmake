@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fingerprint_architecture.dir/fingerprint_architecture.cpp.o"
+  "CMakeFiles/fingerprint_architecture.dir/fingerprint_architecture.cpp.o.d"
+  "fingerprint_architecture"
+  "fingerprint_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fingerprint_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

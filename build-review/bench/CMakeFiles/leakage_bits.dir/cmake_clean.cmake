@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_bits.dir/leakage_bits.cpp.o"
+  "CMakeFiles/leakage_bits.dir/leakage_bits.cpp.o.d"
+  "leakage_bits"
+  "leakage_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

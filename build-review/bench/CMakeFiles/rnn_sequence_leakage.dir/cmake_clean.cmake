@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnn_sequence_leakage.dir/rnn_sequence_leakage.cpp.o"
+  "CMakeFiles/rnn_sequence_leakage.dir/rnn_sequence_leakage.cpp.o.d"
+  "rnn_sequence_leakage"
+  "rnn_sequence_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnn_sequence_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

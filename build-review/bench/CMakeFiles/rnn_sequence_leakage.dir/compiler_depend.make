@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rnn_sequence_leakage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for rnn_sequence_leakage.
+# This may be replaced when dependencies are built.

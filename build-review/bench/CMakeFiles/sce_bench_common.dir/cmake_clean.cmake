@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sce_bench_common.dir/common.cpp.o"
+  "CMakeFiles/sce_bench_common.dir/common.cpp.o.d"
+  "libsce_bench_common.a"
+  "libsce_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sce_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

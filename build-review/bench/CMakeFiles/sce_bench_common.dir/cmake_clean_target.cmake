@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsce_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_mnist_ttest.dir/table1_mnist_ttest.cpp.o"
+  "CMakeFiles/table1_mnist_ttest.dir/table1_mnist_ttest.cpp.o.d"
+  "table1_mnist_ttest"
+  "table1_mnist_ttest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_mnist_ttest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

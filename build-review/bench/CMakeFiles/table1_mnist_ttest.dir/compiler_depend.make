@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_mnist_ttest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cifar_ttest.dir/table2_cifar_ttest.cpp.o"
+  "CMakeFiles/table2_cifar_ttest.dir/table2_cifar_ttest.cpp.o.d"
+  "table2_cifar_ttest"
+  "table2_cifar_ttest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cifar_ttest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_cifar_ttest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvla_fixed_vs_random.dir/tvla_fixed_vs_random.cpp.o"
+  "CMakeFiles/tvla_fixed_vs_random.dir/tvla_fixed_vs_random.cpp.o.d"
+  "tvla_fixed_vs_random"
+  "tvla_fixed_vs_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvla_fixed_vs_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tvla_fixed_vs_random.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/countermeasure_eval.dir/countermeasure_eval.cpp.o"
+  "CMakeFiles/countermeasure_eval.dir/countermeasure_eval.cpp.o.d"
+  "countermeasure_eval"
+  "countermeasure_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/countermeasure_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

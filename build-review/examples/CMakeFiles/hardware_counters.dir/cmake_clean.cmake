@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_counters.dir/hardware_counters.cpp.o"
+  "CMakeFiles/hardware_counters.dir/hardware_counters.cpp.o.d"
+  "hardware_counters"
+  "hardware_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_recovery_attack.dir/input_recovery_attack.cpp.o"
+  "CMakeFiles/input_recovery_attack.dir/input_recovery_attack.cpp.o.d"
+  "input_recovery_attack"
+  "input_recovery_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_recovery_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

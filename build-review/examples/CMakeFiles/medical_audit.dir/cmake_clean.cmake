@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_audit.dir/medical_audit.cpp.o"
+  "CMakeFiles/medical_audit.dir/medical_audit.cpp.o.d"
+  "medical_audit"
+  "medical_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

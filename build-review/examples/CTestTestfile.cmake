@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-review/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-review/examples/quickstart" "--samples=10")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "ALARM|No distinguishable pair" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_medical_audit "/root/repo/build-review/examples/medical_audit" "--samples=8" "--conditions=4")
+set_tests_properties(example_medical_audit PROPERTIES  PASS_REGULAR_EXPRESSION "audit verdict" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_attack "/root/repo/build-review/examples/input_recovery_attack" "--samples=16" "--categories=3")
+set_tests_properties(example_attack PROPERTIES  PASS_REGULAR_EXPRESSION "input-recovery attack" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_countermeasure "/root/repo/build-review/examples/countermeasure_eval" "--samples=12")
+set_tests_properties(example_countermeasure PROPERTIES  PASS_REGULAR_EXPRESSION "countermeasure effective" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hardware_counters "/root/repo/build-review/examples/hardware_counters")
+set_tests_properties(example_hardware_counters PROPERTIES  PASS_REGULAR_EXPRESSION "simulated PMU" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;38;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_streaming_monitor "/root/repo/build-review/examples/streaming_monitor" "--stream=60")
+set_tests_properties(example_streaming_monitor PROPERTIES  PASS_REGULAR_EXPRESSION "stream ended" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;41;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("data")
+subdirs("nn")
+subdirs("uarch")
+subdirs("hpc")
+subdirs("core")

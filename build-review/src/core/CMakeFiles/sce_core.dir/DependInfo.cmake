@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attack.cpp" "src/core/CMakeFiles/sce_core.dir/attack.cpp.o" "gcc" "src/core/CMakeFiles/sce_core.dir/attack.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/sce_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/sce_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/sce_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/sce_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/sce_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/sce_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/fixed_vs_random.cpp" "src/core/CMakeFiles/sce_core.dir/fixed_vs_random.cpp.o" "gcc" "src/core/CMakeFiles/sce_core.dir/fixed_vs_random.cpp.o.d"
+  "/root/repo/src/core/information.cpp" "src/core/CMakeFiles/sce_core.dir/information.cpp.o" "gcc" "src/core/CMakeFiles/sce_core.dir/information.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/sce_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/sce_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/sce_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/sce_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/sce_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/sce_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/sce_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/sce_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/uarch/CMakeFiles/sce_uarch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hpc/CMakeFiles/sce_hpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sce_core.dir/attack.cpp.o"
+  "CMakeFiles/sce_core.dir/attack.cpp.o.d"
+  "CMakeFiles/sce_core.dir/campaign.cpp.o"
+  "CMakeFiles/sce_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/sce_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/sce_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/sce_core.dir/evaluator.cpp.o"
+  "CMakeFiles/sce_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/sce_core.dir/fixed_vs_random.cpp.o"
+  "CMakeFiles/sce_core.dir/fixed_vs_random.cpp.o.d"
+  "CMakeFiles/sce_core.dir/information.cpp.o"
+  "CMakeFiles/sce_core.dir/information.cpp.o.d"
+  "CMakeFiles/sce_core.dir/online.cpp.o"
+  "CMakeFiles/sce_core.dir/online.cpp.o.d"
+  "CMakeFiles/sce_core.dir/report.cpp.o"
+  "CMakeFiles/sce_core.dir/report.cpp.o.d"
+  "libsce_core.a"
+  "libsce_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sce_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sce_data.dir/dataset.cpp.o"
+  "CMakeFiles/sce_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/sce_data.dir/idx.cpp.o"
+  "CMakeFiles/sce_data.dir/idx.cpp.o.d"
+  "CMakeFiles/sce_data.dir/image.cpp.o"
+  "CMakeFiles/sce_data.dir/image.cpp.o.d"
+  "CMakeFiles/sce_data.dir/synthetic.cpp.o"
+  "CMakeFiles/sce_data.dir/synthetic.cpp.o.d"
+  "libsce_data.a"
+  "libsce_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sce_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

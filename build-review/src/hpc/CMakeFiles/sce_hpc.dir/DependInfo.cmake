@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpc/counter_provider.cpp" "src/hpc/CMakeFiles/sce_hpc.dir/counter_provider.cpp.o" "gcc" "src/hpc/CMakeFiles/sce_hpc.dir/counter_provider.cpp.o.d"
+  "/root/repo/src/hpc/events.cpp" "src/hpc/CMakeFiles/sce_hpc.dir/events.cpp.o" "gcc" "src/hpc/CMakeFiles/sce_hpc.dir/events.cpp.o.d"
+  "/root/repo/src/hpc/fault_injection.cpp" "src/hpc/CMakeFiles/sce_hpc.dir/fault_injection.cpp.o" "gcc" "src/hpc/CMakeFiles/sce_hpc.dir/fault_injection.cpp.o.d"
+  "/root/repo/src/hpc/instrument_factory.cpp" "src/hpc/CMakeFiles/sce_hpc.dir/instrument_factory.cpp.o" "gcc" "src/hpc/CMakeFiles/sce_hpc.dir/instrument_factory.cpp.o.d"
+  "/root/repo/src/hpc/multiplexed.cpp" "src/hpc/CMakeFiles/sce_hpc.dir/multiplexed.cpp.o" "gcc" "src/hpc/CMakeFiles/sce_hpc.dir/multiplexed.cpp.o.d"
+  "/root/repo/src/hpc/perf_backend.cpp" "src/hpc/CMakeFiles/sce_hpc.dir/perf_backend.cpp.o" "gcc" "src/hpc/CMakeFiles/sce_hpc.dir/perf_backend.cpp.o.d"
+  "/root/repo/src/hpc/session.cpp" "src/hpc/CMakeFiles/sce_hpc.dir/session.cpp.o" "gcc" "src/hpc/CMakeFiles/sce_hpc.dir/session.cpp.o.d"
+  "/root/repo/src/hpc/simulated_pmu.cpp" "src/hpc/CMakeFiles/sce_hpc.dir/simulated_pmu.cpp.o" "gcc" "src/hpc/CMakeFiles/sce_hpc.dir/simulated_pmu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/sce_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/uarch/CMakeFiles/sce_uarch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/sce_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sce_hpc.dir/counter_provider.cpp.o"
+  "CMakeFiles/sce_hpc.dir/counter_provider.cpp.o.d"
+  "CMakeFiles/sce_hpc.dir/events.cpp.o"
+  "CMakeFiles/sce_hpc.dir/events.cpp.o.d"
+  "CMakeFiles/sce_hpc.dir/fault_injection.cpp.o"
+  "CMakeFiles/sce_hpc.dir/fault_injection.cpp.o.d"
+  "CMakeFiles/sce_hpc.dir/instrument_factory.cpp.o"
+  "CMakeFiles/sce_hpc.dir/instrument_factory.cpp.o.d"
+  "CMakeFiles/sce_hpc.dir/multiplexed.cpp.o"
+  "CMakeFiles/sce_hpc.dir/multiplexed.cpp.o.d"
+  "CMakeFiles/sce_hpc.dir/perf_backend.cpp.o"
+  "CMakeFiles/sce_hpc.dir/perf_backend.cpp.o.d"
+  "CMakeFiles/sce_hpc.dir/session.cpp.o"
+  "CMakeFiles/sce_hpc.dir/session.cpp.o.d"
+  "CMakeFiles/sce_hpc.dir/simulated_pmu.cpp.o"
+  "CMakeFiles/sce_hpc.dir/simulated_pmu.cpp.o.d"
+  "libsce_hpc.a"
+  "libsce_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sce_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

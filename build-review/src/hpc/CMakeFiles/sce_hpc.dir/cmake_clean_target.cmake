@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsce_hpc.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for sce_hpc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/sce_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/avgpool.cpp" "src/nn/CMakeFiles/sce_nn.dir/avgpool.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/avgpool.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/sce_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/sce_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/sce_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/sce_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/sce_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/sce_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/plan.cpp" "src/nn/CMakeFiles/sce_nn.dir/plan.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/plan.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/sce_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/rnn.cpp" "src/nn/CMakeFiles/sce_nn.dir/rnn.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/rnn.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/sce_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/shape_ops.cpp" "src/nn/CMakeFiles/sce_nn.dir/shape_ops.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/shape_ops.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/sce_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/sce_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/trainer.cpp.o.d"
+  "/root/repo/src/nn/workspace.cpp" "src/nn/CMakeFiles/sce_nn.dir/workspace.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/workspace.cpp.o.d"
+  "/root/repo/src/nn/zoo.cpp" "src/nn/CMakeFiles/sce_nn.dir/zoo.cpp.o" "gcc" "src/nn/CMakeFiles/sce_nn.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/sce_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/uarch/CMakeFiles/sce_uarch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/sce_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

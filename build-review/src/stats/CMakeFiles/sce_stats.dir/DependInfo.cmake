@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/anova.cpp" "src/stats/CMakeFiles/sce_stats.dir/anova.cpp.o" "gcc" "src/stats/CMakeFiles/sce_stats.dir/anova.cpp.o.d"
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/sce_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/sce_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/corrections.cpp" "src/stats/CMakeFiles/sce_stats.dir/corrections.cpp.o" "gcc" "src/stats/CMakeFiles/sce_stats.dir/corrections.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/sce_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/sce_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/sce_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/sce_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/sce_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/sce_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/nonparametric.cpp" "src/stats/CMakeFiles/sce_stats.dir/nonparametric.cpp.o" "gcc" "src/stats/CMakeFiles/sce_stats.dir/nonparametric.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/sce_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/sce_stats.dir/special.cpp.o.d"
+  "/root/repo/src/stats/t_test.cpp" "src/stats/CMakeFiles/sce_stats.dir/t_test.cpp.o" "gcc" "src/stats/CMakeFiles/sce_stats.dir/t_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/sce_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sce_stats.dir/anova.cpp.o"
+  "CMakeFiles/sce_stats.dir/anova.cpp.o.d"
+  "CMakeFiles/sce_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/sce_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/sce_stats.dir/corrections.cpp.o"
+  "CMakeFiles/sce_stats.dir/corrections.cpp.o.d"
+  "CMakeFiles/sce_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/sce_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/sce_stats.dir/distributions.cpp.o"
+  "CMakeFiles/sce_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/sce_stats.dir/histogram.cpp.o"
+  "CMakeFiles/sce_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/sce_stats.dir/nonparametric.cpp.o"
+  "CMakeFiles/sce_stats.dir/nonparametric.cpp.o.d"
+  "CMakeFiles/sce_stats.dir/special.cpp.o"
+  "CMakeFiles/sce_stats.dir/special.cpp.o.d"
+  "CMakeFiles/sce_stats.dir/t_test.cpp.o"
+  "CMakeFiles/sce_stats.dir/t_test.cpp.o.d"
+  "libsce_stats.a"
+  "libsce_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sce_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch_predictor.cpp" "src/uarch/CMakeFiles/sce_uarch.dir/branch_predictor.cpp.o" "gcc" "src/uarch/CMakeFiles/sce_uarch.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/uarch/cache.cpp" "src/uarch/CMakeFiles/sce_uarch.dir/cache.cpp.o" "gcc" "src/uarch/CMakeFiles/sce_uarch.dir/cache.cpp.o.d"
+  "/root/repo/src/uarch/core_model.cpp" "src/uarch/CMakeFiles/sce_uarch.dir/core_model.cpp.o" "gcc" "src/uarch/CMakeFiles/sce_uarch.dir/core_model.cpp.o.d"
+  "/root/repo/src/uarch/hierarchy.cpp" "src/uarch/CMakeFiles/sce_uarch.dir/hierarchy.cpp.o" "gcc" "src/uarch/CMakeFiles/sce_uarch.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/uarch/prefetcher.cpp" "src/uarch/CMakeFiles/sce_uarch.dir/prefetcher.cpp.o" "gcc" "src/uarch/CMakeFiles/sce_uarch.dir/prefetcher.cpp.o.d"
+  "/root/repo/src/uarch/tlb.cpp" "src/uarch/CMakeFiles/sce_uarch.dir/tlb.cpp.o" "gcc" "src/uarch/CMakeFiles/sce_uarch.dir/tlb.cpp.o.d"
+  "/root/repo/src/uarch/trace.cpp" "src/uarch/CMakeFiles/sce_uarch.dir/trace.cpp.o" "gcc" "src/uarch/CMakeFiles/sce_uarch.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/sce_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sce_uarch.dir/branch_predictor.cpp.o"
+  "CMakeFiles/sce_uarch.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/sce_uarch.dir/cache.cpp.o"
+  "CMakeFiles/sce_uarch.dir/cache.cpp.o.d"
+  "CMakeFiles/sce_uarch.dir/core_model.cpp.o"
+  "CMakeFiles/sce_uarch.dir/core_model.cpp.o.d"
+  "CMakeFiles/sce_uarch.dir/hierarchy.cpp.o"
+  "CMakeFiles/sce_uarch.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/sce_uarch.dir/prefetcher.cpp.o"
+  "CMakeFiles/sce_uarch.dir/prefetcher.cpp.o.d"
+  "CMakeFiles/sce_uarch.dir/tlb.cpp.o"
+  "CMakeFiles/sce_uarch.dir/tlb.cpp.o.d"
+  "CMakeFiles/sce_uarch.dir/trace.cpp.o"
+  "CMakeFiles/sce_uarch.dir/trace.cpp.o.d"
+  "libsce_uarch.a"
+  "libsce_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sce_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

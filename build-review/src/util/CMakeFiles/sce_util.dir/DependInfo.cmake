@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/alloc_hook.cpp" "src/util/CMakeFiles/sce_util.dir/alloc_hook.cpp.o" "gcc" "src/util/CMakeFiles/sce_util.dir/alloc_hook.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/util/CMakeFiles/sce_util.dir/cli.cpp.o" "gcc" "src/util/CMakeFiles/sce_util.dir/cli.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "src/util/CMakeFiles/sce_util.dir/format.cpp.o" "gcc" "src/util/CMakeFiles/sce_util.dir/format.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/util/CMakeFiles/sce_util.dir/json.cpp.o" "gcc" "src/util/CMakeFiles/sce_util.dir/json.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/sce_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/sce_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/retry.cpp" "src/util/CMakeFiles/sce_util.dir/retry.cpp.o" "gcc" "src/util/CMakeFiles/sce_util.dir/retry.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/sce_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/sce_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/sce_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/sce_util.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sce_util.dir/alloc_hook.cpp.o"
+  "CMakeFiles/sce_util.dir/alloc_hook.cpp.o.d"
+  "CMakeFiles/sce_util.dir/cli.cpp.o"
+  "CMakeFiles/sce_util.dir/cli.cpp.o.d"
+  "CMakeFiles/sce_util.dir/format.cpp.o"
+  "CMakeFiles/sce_util.dir/format.cpp.o.d"
+  "CMakeFiles/sce_util.dir/json.cpp.o"
+  "CMakeFiles/sce_util.dir/json.cpp.o.d"
+  "CMakeFiles/sce_util.dir/log.cpp.o"
+  "CMakeFiles/sce_util.dir/log.cpp.o.d"
+  "CMakeFiles/sce_util.dir/retry.cpp.o"
+  "CMakeFiles/sce_util.dir/retry.cpp.o.d"
+  "CMakeFiles/sce_util.dir/rng.cpp.o"
+  "CMakeFiles/sce_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sce_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/sce_util.dir/thread_pool.cpp.o.d"
+  "libsce_util.a"
+  "libsce_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sce_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,92 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/attack_test.cpp" "tests/CMakeFiles/sce_tests.dir/core/attack_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/core/attack_test.cpp.o.d"
+  "/root/repo/tests/core/campaign_deprecated_test.cpp" "tests/CMakeFiles/sce_tests.dir/core/campaign_deprecated_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/core/campaign_deprecated_test.cpp.o.d"
+  "/root/repo/tests/core/campaign_fault_test.cpp" "tests/CMakeFiles/sce_tests.dir/core/campaign_fault_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/core/campaign_fault_test.cpp.o.d"
+  "/root/repo/tests/core/campaign_parallel_test.cpp" "tests/CMakeFiles/sce_tests.dir/core/campaign_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/core/campaign_parallel_test.cpp.o.d"
+  "/root/repo/tests/core/campaign_test.cpp" "tests/CMakeFiles/sce_tests.dir/core/campaign_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/core/campaign_test.cpp.o.d"
+  "/root/repo/tests/core/evaluator_test.cpp" "tests/CMakeFiles/sce_tests.dir/core/evaluator_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/core/evaluator_test.cpp.o.d"
+  "/root/repo/tests/core/fixed_vs_random_test.cpp" "tests/CMakeFiles/sce_tests.dir/core/fixed_vs_random_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/core/fixed_vs_random_test.cpp.o.d"
+  "/root/repo/tests/core/information_test.cpp" "tests/CMakeFiles/sce_tests.dir/core/information_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/core/information_test.cpp.o.d"
+  "/root/repo/tests/core/online_test.cpp" "tests/CMakeFiles/sce_tests.dir/core/online_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/core/online_test.cpp.o.d"
+  "/root/repo/tests/core/report_extended_test.cpp" "tests/CMakeFiles/sce_tests.dir/core/report_extended_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/core/report_extended_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/sce_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/data/dataset_test.cpp" "tests/CMakeFiles/sce_tests.dir/data/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/data/dataset_test.cpp.o.d"
+  "/root/repo/tests/data/idx_test.cpp" "tests/CMakeFiles/sce_tests.dir/data/idx_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/data/idx_test.cpp.o.d"
+  "/root/repo/tests/data/image_test.cpp" "tests/CMakeFiles/sce_tests.dir/data/image_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/data/image_test.cpp.o.d"
+  "/root/repo/tests/data/sequence_test.cpp" "tests/CMakeFiles/sce_tests.dir/data/sequence_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/data/sequence_test.cpp.o.d"
+  "/root/repo/tests/data/synthetic_test.cpp" "tests/CMakeFiles/sce_tests.dir/data/synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/data/synthetic_test.cpp.o.d"
+  "/root/repo/tests/hpc/events_test.cpp" "tests/CMakeFiles/sce_tests.dir/hpc/events_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/hpc/events_test.cpp.o.d"
+  "/root/repo/tests/hpc/fault_injection_test.cpp" "tests/CMakeFiles/sce_tests.dir/hpc/fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/hpc/fault_injection_test.cpp.o.d"
+  "/root/repo/tests/hpc/instrument_factory_test.cpp" "tests/CMakeFiles/sce_tests.dir/hpc/instrument_factory_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/hpc/instrument_factory_test.cpp.o.d"
+  "/root/repo/tests/hpc/multiplexed_test.cpp" "tests/CMakeFiles/sce_tests.dir/hpc/multiplexed_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/hpc/multiplexed_test.cpp.o.d"
+  "/root/repo/tests/hpc/perf_backend_test.cpp" "tests/CMakeFiles/sce_tests.dir/hpc/perf_backend_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/hpc/perf_backend_test.cpp.o.d"
+  "/root/repo/tests/hpc/session_test.cpp" "tests/CMakeFiles/sce_tests.dir/hpc/session_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/hpc/session_test.cpp.o.d"
+  "/root/repo/tests/hpc/simulated_pmu_test.cpp" "tests/CMakeFiles/sce_tests.dir/hpc/simulated_pmu_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/hpc/simulated_pmu_test.cpp.o.d"
+  "/root/repo/tests/integration/cross_model_test.cpp" "tests/CMakeFiles/sce_tests.dir/integration/cross_model_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/integration/cross_model_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/sce_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/provider_stack_test.cpp" "tests/CMakeFiles/sce_tests.dir/integration/provider_stack_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/integration/provider_stack_test.cpp.o.d"
+  "/root/repo/tests/nn/activation_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/activation_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/activation_test.cpp.o.d"
+  "/root/repo/tests/nn/avgpool_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/avgpool_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/avgpool_test.cpp.o.d"
+  "/root/repo/tests/nn/conv_extended_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/conv_extended_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/conv_extended_test.cpp.o.d"
+  "/root/repo/tests/nn/conv_reference_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/conv_reference_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/conv_reference_test.cpp.o.d"
+  "/root/repo/tests/nn/conv_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/conv_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/conv_test.cpp.o.d"
+  "/root/repo/tests/nn/dense_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/dense_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/dense_test.cpp.o.d"
+  "/root/repo/tests/nn/dropout_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/dropout_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/dropout_test.cpp.o.d"
+  "/root/repo/tests/nn/loss_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/loss_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/loss_test.cpp.o.d"
+  "/root/repo/tests/nn/model_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/model_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/model_test.cpp.o.d"
+  "/root/repo/tests/nn/plan_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/plan_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/plan_test.cpp.o.d"
+  "/root/repo/tests/nn/pool_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/pool_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/pool_test.cpp.o.d"
+  "/root/repo/tests/nn/rnn_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/rnn_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/rnn_test.cpp.o.d"
+  "/root/repo/tests/nn/serialize_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/serialize_test.cpp.o.d"
+  "/root/repo/tests/nn/shape_ops_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/shape_ops_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/shape_ops_test.cpp.o.d"
+  "/root/repo/tests/nn/tensor_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/tensor_test.cpp.o.d"
+  "/root/repo/tests/nn/trainer_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/trainer_test.cpp.o.d"
+  "/root/repo/tests/nn/zoo_sequence_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/zoo_sequence_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/zoo_sequence_test.cpp.o.d"
+  "/root/repo/tests/nn/zoo_test.cpp" "tests/CMakeFiles/sce_tests.dir/nn/zoo_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/nn/zoo_test.cpp.o.d"
+  "/root/repo/tests/stats/anova_test.cpp" "tests/CMakeFiles/sce_tests.dir/stats/anova_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/stats/anova_test.cpp.o.d"
+  "/root/repo/tests/stats/bootstrap_test.cpp" "tests/CMakeFiles/sce_tests.dir/stats/bootstrap_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/stats/bootstrap_test.cpp.o.d"
+  "/root/repo/tests/stats/corrections_test.cpp" "tests/CMakeFiles/sce_tests.dir/stats/corrections_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/stats/corrections_test.cpp.o.d"
+  "/root/repo/tests/stats/descriptive_test.cpp" "tests/CMakeFiles/sce_tests.dir/stats/descriptive_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/stats/descriptive_test.cpp.o.d"
+  "/root/repo/tests/stats/distributions_test.cpp" "tests/CMakeFiles/sce_tests.dir/stats/distributions_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/stats/distributions_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/sce_tests.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/nonparametric_test.cpp" "tests/CMakeFiles/sce_tests.dir/stats/nonparametric_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/stats/nonparametric_test.cpp.o.d"
+  "/root/repo/tests/stats/special_test.cpp" "tests/CMakeFiles/sce_tests.dir/stats/special_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/stats/special_test.cpp.o.d"
+  "/root/repo/tests/stats/t_test_test.cpp" "tests/CMakeFiles/sce_tests.dir/stats/t_test_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/stats/t_test_test.cpp.o.d"
+  "/root/repo/tests/uarch/branch_predictor_test.cpp" "tests/CMakeFiles/sce_tests.dir/uarch/branch_predictor_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/uarch/branch_predictor_test.cpp.o.d"
+  "/root/repo/tests/uarch/cache_test.cpp" "tests/CMakeFiles/sce_tests.dir/uarch/cache_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/uarch/cache_test.cpp.o.d"
+  "/root/repo/tests/uarch/core_model_test.cpp" "tests/CMakeFiles/sce_tests.dir/uarch/core_model_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/uarch/core_model_test.cpp.o.d"
+  "/root/repo/tests/uarch/hierarchy_test.cpp" "tests/CMakeFiles/sce_tests.dir/uarch/hierarchy_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/uarch/hierarchy_test.cpp.o.d"
+  "/root/repo/tests/uarch/prefetcher_test.cpp" "tests/CMakeFiles/sce_tests.dir/uarch/prefetcher_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/uarch/prefetcher_test.cpp.o.d"
+  "/root/repo/tests/uarch/tlb_test.cpp" "tests/CMakeFiles/sce_tests.dir/uarch/tlb_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/uarch/tlb_test.cpp.o.d"
+  "/root/repo/tests/uarch/trace_test.cpp" "tests/CMakeFiles/sce_tests.dir/uarch/trace_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/uarch/trace_test.cpp.o.d"
+  "/root/repo/tests/util/cli_test.cpp" "tests/CMakeFiles/sce_tests.dir/util/cli_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/util/cli_test.cpp.o.d"
+  "/root/repo/tests/util/format_test.cpp" "tests/CMakeFiles/sce_tests.dir/util/format_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/util/format_test.cpp.o.d"
+  "/root/repo/tests/util/json_test.cpp" "tests/CMakeFiles/sce_tests.dir/util/json_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/util/json_test.cpp.o.d"
+  "/root/repo/tests/util/log_test.cpp" "tests/CMakeFiles/sce_tests.dir/util/log_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/util/log_test.cpp.o.d"
+  "/root/repo/tests/util/retry_test.cpp" "tests/CMakeFiles/sce_tests.dir/util/retry_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/util/retry_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/sce_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/sce_tests.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/sce_tests.dir/util/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/sce_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/sce_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hpc/CMakeFiles/sce_hpc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/uarch/CMakeFiles/sce_uarch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/sce_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/sce_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/sce_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_campaign_csv.dir/export_campaign_csv.cpp.o"
+  "CMakeFiles/export_campaign_csv.dir/export_campaign_csv.cpp.o.d"
+  "export_campaign_csv"
+  "export_campaign_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_campaign_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
