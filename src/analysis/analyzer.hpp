@@ -1,0 +1,93 @@
+// PlanAnalyzer: the static leakage linter's core pass.
+//
+// Walks a Sequential model's layer graph without executing a single
+// kernel: shape inference assigns every layer its input/output shapes,
+// the secret-taint lattice propagates from the input tensor, and each
+// layer's LeakageContract is composed into per-layer findings plus a
+// whole-model verdict.  The result is what a measurement campaign would
+// discover dynamically — predicted before a single sample is acquired.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/events.hpp"
+#include "analysis/taint.hpp"
+#include "nn/model.hpp"
+
+namespace sce::analysis {
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarning = 1, kError = 2 };
+
+std::string to_string(Severity severity);
+
+/// One per layer, in execution order.
+struct LayerFinding {
+  std::size_t index = 0;
+  std::string layer_name;
+  std::vector<std::size_t> input_shape;
+  std::vector<std::size_t> output_shape;
+  nn::LeakageContract contract;
+  /// Taint of the activations *entering* this layer.
+  Taint input_taint = Taint::kSecret;
+  /// Kernel-level classification from the contract alone.
+  Verdict kernel_verdict = Verdict::kConstantFlow;
+  /// True when the kernel leaks AND its input is secret-tainted — only
+  /// these findings raise the model verdict.
+  bool exploitable = false;
+  /// HPC events predicted distinguishable (empty unless exploitable).
+  EventSet predicted;
+  Severity severity = Severity::kInfo;
+  /// Human-readable explanation of what leaks and why.
+  std::string detail;
+};
+
+struct AnalysisReport {
+  std::string model_name;
+  nn::KernelMode mode = nn::KernelMode::kDataDependent;
+  std::vector<std::size_t> input_shape;
+  std::vector<LayerFinding> findings;  // one per layer
+  /// Join over exploitable layer verdicts.
+  Verdict verdict = Verdict::kConstantFlow;
+  /// Union of predicted events over exploitable layers: the statically
+  /// predicted Table 1/2 row for this model.
+  EventSet predicted;
+  /// Convenience tallies.
+  std::size_t exploitable_layers = 0;
+  std::size_t undeclared_layers = 0;
+  std::size_t rng_layers = 0;
+
+  /// True if `verdict` is at least `threshold` (the --fail-on test), or
+  /// if undeclared contracts were found and `fail_on_undeclared` is set.
+  bool fails(Verdict threshold, bool fail_on_undeclared = false) const {
+    return verdict >= threshold ||
+           (fail_on_undeclared && undeclared_layers > 0);
+  }
+};
+
+struct AnalyzerOptions {
+  /// Severity assigned to exploitable control-flow / address findings.
+  Severity control_flow_severity = Severity::kWarning;
+  Severity address_severity = Severity::kError;
+  /// Severity for layers that never declared a contract.
+  Severity undeclared_severity = Severity::kError;
+};
+
+class PlanAnalyzer {
+ public:
+  explicit PlanAnalyzer(AnalyzerOptions options = {});
+
+  /// Analyze `model` for inputs of `input_shape` under `mode`.  Runs the
+  /// same shape inference an InferencePlan would (and throws the same
+  /// InvalidArgument on a mis-chained architecture); executes nothing.
+  AnalysisReport analyze(const nn::Sequential& model,
+                         const std::vector<std::size_t>& input_shape,
+                         nn::KernelMode mode,
+                         std::string model_name = "model") const;
+
+ private:
+  AnalyzerOptions options_;
+};
+
+}  // namespace sce::analysis

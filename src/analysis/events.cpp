@@ -1,0 +1,77 @@
+#include "analysis/events.hpp"
+
+#include <algorithm>
+
+namespace sce::analysis {
+
+std::string to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kConstantFlow:
+      return "constant_flow";
+    case Verdict::kLeaksControlFlow:
+      return "leaks_control_flow";
+    case Verdict::kLeaksAddresses:
+      return "leaks_addresses";
+  }
+  return "?";
+}
+
+std::optional<Verdict> parse_verdict(const std::string& name) {
+  std::string normalized = name;
+  std::replace(normalized.begin(), normalized.end(), '-', '_');
+  if (normalized == "constant_flow") return Verdict::kConstantFlow;
+  if (normalized == "leaks_control_flow") return Verdict::kLeaksControlFlow;
+  if (normalized == "leaks_addresses") return Verdict::kLeaksAddresses;
+  return std::nullopt;
+}
+
+Verdict verdict_for(const nn::LeakageContract& contract) {
+  if (contract.address_stream_varies) return Verdict::kLeaksAddresses;
+  if (contract.branch_outcomes_vary || contract.branch_count_varies ||
+      contract.instruction_count_varies)
+    return Verdict::kLeaksControlFlow;
+  return Verdict::kConstantFlow;
+}
+
+std::size_t EventSet::size() const { return events().size(); }
+
+std::vector<hpc::HpcEvent> EventSet::events() const {
+  std::vector<hpc::HpcEvent> out;
+  for (hpc::HpcEvent e : hpc::all_events())
+    if (contains(e)) out.push_back(e);
+  return out;
+}
+
+std::string EventSet::to_string() const {
+  std::string out;
+  for (hpc::HpcEvent e : events()) {
+    if (!out.empty()) out += ',';
+    out += hpc::to_string(e);
+  }
+  return out;
+}
+
+EventSet predicted_events(const nn::LeakageContract& contract) {
+  EventSet set;
+  if (contract.branch_count_varies) {
+    set.insert(hpc::HpcEvent::kBranches);
+    set.insert(hpc::HpcEvent::kBranchMisses);
+    set.insert(hpc::HpcEvent::kInstructions);
+  }
+  if (contract.branch_outcomes_vary)
+    set.insert(hpc::HpcEvent::kBranchMisses);
+  if (contract.address_stream_varies) {
+    set.insert(hpc::HpcEvent::kCacheReferences);
+    set.insert(hpc::HpcEvent::kCacheMisses);
+  }
+  if (contract.instruction_count_varies)
+    set.insert(hpc::HpcEvent::kInstructions);
+  if (contract.input_dependent()) {
+    set.insert(hpc::HpcEvent::kCycles);
+    set.insert(hpc::HpcEvent::kBusCycles);
+    set.insert(hpc::HpcEvent::kRefCycles);
+  }
+  return set;
+}
+
+}  // namespace sce::analysis

@@ -1,0 +1,80 @@
+// Verdict lattice and HPC-event prediction: the bridge from a kernel's
+// LeakageContract (what varies in its trace) to the paper's observables
+// (which of the 8 perf events a campaign would find distinguishable —
+// a static prediction of the Table 1/2 t-test rows).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpc/events.hpp"
+#include "nn/leakage_contract.hpp"
+
+namespace sce::analysis {
+
+/// Whole-kernel / whole-model classification, ordered by severity:
+/// every address leak is also a control-flow leak (the skip that elides
+/// a load is a branch), so the lattice is a chain.
+enum class Verdict : std::uint8_t {
+  kConstantFlow = 0,
+  kLeaksControlFlow = 1,
+  kLeaksAddresses = 2,
+};
+
+std::string to_string(Verdict verdict);
+/// Parse "constant_flow" / "leaks_control_flow" / "leaks_addresses"
+/// (dashes accepted for underscores); nullopt if unknown.
+std::optional<Verdict> parse_verdict(const std::string& name);
+
+/// Join on the severity chain.
+inline Verdict join(Verdict a, Verdict b) { return a < b ? b : a; }
+
+/// Classify one kernel contract.  RNG consumption alone does not make a
+/// kernel *leak* (it adds noise, not signal), so it does not raise the
+/// verdict; the analyzer reports it as a separate finding.
+Verdict verdict_for(const nn::LeakageContract& contract);
+
+/// A set of HPC events as a bitmask over hpc::HpcEvent.
+class EventSet {
+ public:
+  EventSet() = default;
+
+  void insert(hpc::HpcEvent event) {
+    bits_ |= mask(event);
+  }
+  bool contains(hpc::HpcEvent event) const {
+    return (bits_ & mask(event)) != 0;
+  }
+  EventSet& operator|=(const EventSet& other) {
+    bits_ |= other.bits_;
+    return *this;
+  }
+  bool empty() const { return bits_ == 0; }
+  std::size_t size() const;
+  bool operator==(const EventSet& other) const { return bits_ == other.bits_; }
+
+  /// Members in canonical (perf display) order.
+  std::vector<hpc::HpcEvent> events() const;
+  /// Comma-separated perf names, e.g. "branch-misses,cache-misses".
+  std::string to_string() const;
+
+ private:
+  static std::uint8_t mask(hpc::HpcEvent event) {
+    return static_cast<std::uint8_t>(1u << static_cast<unsigned>(event));
+  }
+  std::uint8_t bits_ = 0;
+};
+
+/// Which of the 8 events a campaign could find distinguishable for a
+/// kernel with this contract:
+///  * branch count varies        -> branches, branch-misses, instructions
+///  * branch outcomes vary       -> branch-misses (count unchanged)
+///  * address stream varies      -> cache-references, cache-misses
+///  * instruction count varies   -> instructions
+///  * anything varies            -> cycles, bus-cycles, ref-cycles
+///    (every perturbation costs time)
+EventSet predicted_events(const nn::LeakageContract& contract);
+
+}  // namespace sce::analysis

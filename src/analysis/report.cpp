@@ -1,0 +1,115 @@
+#include "analysis/report.hpp"
+
+#include <cstdio>
+
+#include "util/json.hpp"
+
+namespace sce::analysis {
+
+namespace {
+
+std::string shape_string(const std::vector<std::size_t>& shape) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(shape[i]);
+  }
+  return out + "}";
+}
+
+void append_shape(util::JsonWriter& json, const char* key,
+                  const std::vector<std::size_t>& shape) {
+  json.key(key).begin_array();
+  for (std::size_t d : shape) json.value(static_cast<std::uint64_t>(d));
+  json.end_array();
+}
+
+void append_events(util::JsonWriter& json, const char* key,
+                   const EventSet& events) {
+  json.key(key).begin_array();
+  for (hpc::HpcEvent e : events.events()) json.value(hpc::to_string(e));
+  json.end_array();
+}
+
+}  // namespace
+
+std::string render_text(const AnalysisReport& report) {
+  std::string out;
+  out += "leakage lint: " + report.model_name + " [" +
+         nn::to_string(report.mode) + "], input " +
+         shape_string(report.input_shape) + "\n";
+  for (const LayerFinding& f : report.findings) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "  #%-2zu %-10s %-18s %-8s ", f.index,
+                  f.layer_name.c_str(),
+                  to_string(f.kernel_verdict).c_str(),
+                  f.exploitable ? to_string(f.severity).c_str() : "ok");
+    out += line;
+    out += to_string(f.contract);
+    if (f.exploitable && !f.predicted.empty())
+      out += "  -> " + f.predicted.to_string();
+    out += "\n";
+  }
+  out += "verdict: " + to_string(report.verdict);
+  if (report.exploitable_layers > 0)
+    out += " (" + std::to_string(report.exploitable_layers) +
+           " exploitable layer" +
+           (report.exploitable_layers == 1 ? "" : "s") + ")";
+  if (report.undeclared_layers > 0)
+    out += ", " + std::to_string(report.undeclared_layers) +
+           " undeclared contract" + (report.undeclared_layers == 1 ? "" : "s");
+  if (report.rng_layers > 0)
+    out += ", " + std::to_string(report.rng_layers) + " rng consumer" +
+           (report.rng_layers == 1 ? "" : "s");
+  out += "\n";
+  if (!report.predicted.empty())
+    out += "predicted distinguishable events: " + report.predicted.to_string() +
+           "\n";
+  return out;
+}
+
+std::string render_json(const AnalysisReport& report) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("model").value(report.model_name);
+  json.key("mode").value(nn::to_string(report.mode));
+  append_shape(json, "input_shape", report.input_shape);
+  json.key("verdict").value(to_string(report.verdict));
+  append_events(json, "predicted_events", report.predicted);
+  json.key("exploitable_layers")
+      .value(static_cast<std::uint64_t>(report.exploitable_layers));
+  json.key("undeclared_layers")
+      .value(static_cast<std::uint64_t>(report.undeclared_layers));
+  json.key("rng_layers").value(static_cast<std::uint64_t>(report.rng_layers));
+  json.key("findings").begin_array();
+  for (const LayerFinding& f : report.findings) {
+    json.begin_object();
+    json.key("index").value(static_cast<std::uint64_t>(f.index));
+    json.key("layer").value(f.layer_name);
+    append_shape(json, "input_shape", f.input_shape);
+    append_shape(json, "output_shape", f.output_shape);
+    json.key("verdict").value(to_string(f.kernel_verdict));
+    json.key("input_taint").value(to_string(f.input_taint));
+    json.key("exploitable").value(f.exploitable);
+    json.key("severity").value(to_string(f.severity));
+    json.key("contract").begin_object();
+    json.key("declared").value(f.contract.declared);
+    json.key("branch_outcomes_vary").value(f.contract.branch_outcomes_vary);
+    json.key("branch_count_varies").value(f.contract.branch_count_varies);
+    json.key("address_stream_varies").value(f.contract.address_stream_varies);
+    json.key("instruction_count_varies")
+        .value(f.contract.instruction_count_varies);
+    json.key("consumes_rng").value(f.contract.consumes_rng);
+    json.key("shape_scales_trace").value(f.contract.shape_scales_trace);
+    json.key("taint_transfer").value(nn::to_string(f.contract.taint));
+    json.end_object();
+    append_events(json, "predicted_events", f.predicted);
+    json.key("detail").value(f.detail);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace sce::analysis

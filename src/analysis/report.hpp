@@ -1,0 +1,19 @@
+// Rendering of analysis reports: a human-readable lint listing and a
+// machine-readable JSON document (the artifact the CI lint stage uploads).
+#pragma once
+
+#include <string>
+
+#include "analysis/analyzer.hpp"
+
+namespace sce::analysis {
+
+/// Multi-line lint listing: one row per layer, a verdict summary and the
+/// statically predicted distinguishable-event row.
+std::string render_text(const AnalysisReport& report);
+
+/// Deterministic JSON document (insertion-ordered keys, stable across
+/// runs for identical models) containing everything render_text shows.
+std::string render_json(const AnalysisReport& report);
+
+}  // namespace sce::analysis

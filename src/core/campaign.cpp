@@ -825,25 +825,4 @@ CampaignResult Campaign::run_internal(CampaignResult result) {
   return final_result;
 }
 
-// --- Deprecated wrappers -------------------------------------------------
-
-CampaignResult run_campaign(const nn::Sequential& model,
-                            const data::Dataset& dataset,
-                            Instrument instrument,
-                            const CampaignConfig& config) {
-  hpc::SingleInstrumentFactory factory(instrument.provider, instrument.sink);
-  return Campaign(model, dataset, factory).with_config(config).run();
-}
-
-CampaignResult run_campaign(const nn::Sequential& model,
-                            const data::Dataset& dataset,
-                            Instrument instrument,
-                            const CampaignConfig& config,
-                            CampaignResult partial) {
-  hpc::SingleInstrumentFactory factory(instrument.provider, instrument.sink);
-  return Campaign(model, dataset, factory)
-      .with_config(config)
-      .resume_from(std::move(partial));
-}
-
 }  // namespace sce::core

@@ -22,8 +22,7 @@
 // (CounterProvider::set_measurement_key), so a keyed provider's noise and
 // fault streams depend on the slot, not on execution order — a parallel
 // run is bit-identical to the same campaign executed serially at any
-// thread count.  The entry point is core::Campaign; the run_campaign free
-// functions survive one release as deprecated wrappers.
+// thread count.  The entry point is core::Campaign.
 #pragma once
 
 #include <array>
@@ -252,9 +251,8 @@ class Campaign {
   CampaignResult resume(const CampaignCheckpoint& checkpoint);
 
   /// Continue acquisition from a partial result (its shard_recorded
-  /// matrix — or, failing that, its cell sizes — is the cursor).  This is
-  /// what the deprecated partial-state run_campaign overload maps onto;
-  /// prefer resume(checkpoint) for crash recovery.
+  /// matrix — or, failing that, its cell sizes — is the cursor).  Prefer
+  /// resume(checkpoint) for crash recovery.
   CampaignResult resume_from(CampaignResult partial);
 
   /// Run the TVLA fixed-vs-random screen with this campaign's model,
@@ -277,39 +275,9 @@ class Campaign {
   std::size_t progress_every_ = 0;
 };
 
-// --- Deprecated wrappers (one release) ---------------------------------
-//
-// The pre-Campaign API hand-wired a provider/sink pair per call.  These
-// wrappers adapt it onto Campaign + SingleInstrumentFactory; they only
-// support single-shard acquisition.
-
-/// Deprecated alias for the measurement rig: a counter provider plus the
-/// trace sink the instrumented kernels write into.  Superseded by
-/// hpc::Instrument, which factories mint per shard.
-struct Instrument {
-  hpc::CounterProvider& provider;
-  uarch::TraceSink& sink;
-};
-
-/// Deprecated: build an Instrument around a SimulatedPmu-like object that
-/// is both a provider and a sink.  Use an InstrumentFactory instead.
-template <typename ProviderAndSink>
-[[deprecated("use an hpc::InstrumentFactory with core::Campaign")]]
-Instrument make_instrument(ProviderAndSink& pmu) {
-  return Instrument{pmu, pmu};
-}
-
-[[deprecated("use core::Campaign::run()")]]
-CampaignResult run_campaign(const nn::Sequential& model,
-                            const data::Dataset& dataset,
-                            Instrument instrument,
-                            const CampaignConfig& config);
-
-[[deprecated("use core::Campaign::resume_from()")]]
-CampaignResult run_campaign(const nn::Sequential& model,
-                            const data::Dataset& dataset,
-                            Instrument instrument,
-                            const CampaignConfig& config,
-                            CampaignResult partial);
+// The pre-Campaign free functions (run_campaign, resume_campaign,
+// run_fixed_vs_random, make_instrument and the provider/sink Instrument
+// pair) survived one release as [[deprecated]] wrappers after PR 4 and
+// were removed on schedule; see DESIGN.md §10.
 
 }  // namespace sce::core

@@ -238,15 +238,4 @@ CampaignCheckpoint load_checkpoint(const std::string& path) {
   return checkpoint_from_json(buffer.str());
 }
 
-CampaignResult resume_campaign(const nn::Sequential& model,
-                               const data::Dataset& dataset,
-                               Instrument instrument,
-                               const CampaignConfig& config,
-                               const CampaignCheckpoint& checkpoint) {
-  hpc::SingleInstrumentFactory factory(instrument.provider, instrument.sink);
-  return Campaign(model, dataset, factory)
-      .with_config(config)
-      .resume(checkpoint);
-}
-
 }  // namespace sce::core

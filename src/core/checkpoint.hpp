@@ -43,11 +43,4 @@ void save_checkpoint(const std::string& path,
 /// Throws IoError if unreadable, InvalidArgument if malformed.
 CampaignCheckpoint load_checkpoint(const std::string& path);
 
-/// Validate `checkpoint` against `config` (categories, sample budget,
-/// schedule, kernel mode must match) and continue the campaign from it.
-[[deprecated("use core::Campaign::resume()")]] CampaignResult
-resume_campaign(const nn::Sequential& model, const data::Dataset& dataset,
-                Instrument instrument, const CampaignConfig& config,
-                const CampaignCheckpoint& checkpoint);
-
 }  // namespace sce::core

@@ -224,12 +224,4 @@ std::string render_fixed_vs_random(const FixedVsRandomResult& result) {
   return os.str();
 }
 
-FixedVsRandomResult run_fixed_vs_random(const nn::Sequential& model,
-                                        const data::Dataset& dataset,
-                                        Instrument instrument,
-                                        const FixedVsRandomConfig& config) {
-  hpc::SingleInstrumentFactory factory(instrument.provider, instrument.sink);
-  return Campaign(model, dataset, factory).fixed_vs_random(config);
-}
-
 }  // namespace sce::core

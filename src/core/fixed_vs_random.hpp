@@ -68,11 +68,4 @@ struct FixedVsRandomResult {
 /// Text rendering of the verdict table.
 std::string render_fixed_vs_random(const FixedVsRandomResult& result);
 
-/// Deprecated single-instrument entry point; use
-/// Campaign::fixed_vs_random(), which shards the screen and mints one
-/// instrument per shard.
-[[deprecated("use core::Campaign::fixed_vs_random()")]] FixedVsRandomResult
-run_fixed_vs_random(const nn::Sequential& model, const data::Dataset& dataset,
-                    Instrument instrument, const FixedVsRandomConfig& config);
-
 }  // namespace sce::core

@@ -108,8 +108,7 @@ class PerfEventFactory final : public InstrumentFactory {
 
 /// Adapts one caller-owned provider/sink pair to the factory interface.
 /// Single-shard only: the one instrument cannot be handed to multiple
-/// concurrent workers.  This is what the deprecated run_campaign
-/// wrappers use.
+/// concurrent workers.
 class SingleInstrumentFactory final : public InstrumentFactory {
  public:
   SingleInstrumentFactory(CounterProvider& provider, uarch::TraceSink& sink)

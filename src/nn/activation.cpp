@@ -43,6 +43,12 @@ void ReLU::forward_kernel(const Tensor& input, Tensor& output, Sink& sink,
   sink.structural_branches(input.numel());
 }
 
+LeakageContract ReLU::leakage_contract(KernelMode mode) const {
+  LeakageContract c;
+  if (mode == KernelMode::kDataDependent) c.branch_outcomes_vary = true;
+  return c;
+}
+
 Tensor ReLU::train_forward(const Tensor& input) {
   cached_input_ = input;
   Tensor output(input.shape());

@@ -18,6 +18,10 @@ class ReLU final : public Layer {
       const std::vector<std::size_t>& input_shape) const override {
     return input_shape;
   }
+  /// Data-dependent: the sign test is a real branch whose outcome tracks
+  /// each activation, but load/store/retire counts are fixed — the leak
+  /// is purely branch-outcome shaped.  Constant-flow: branchless maxss.
+  LeakageContract leakage_contract(KernelMode mode) const override;
 
  private:
   template <typename Sink>

@@ -71,6 +71,10 @@ void AvgPool2D::forward_kernel(const Tensor& input, Tensor& output,
   }
 }
 
+LeakageContract AvgPool2D::leakage_contract(KernelMode /*mode*/) const {
+  return LeakageContract::constant();
+}
+
 Tensor AvgPool2D::train_forward(const Tensor& input) {
   cached_input_shape_ = input.shape();
   uarch::NullSink sink;

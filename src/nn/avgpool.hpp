@@ -26,6 +26,10 @@ class AvgPool2D final : public Layer {
 
   std::size_t window() const { return window_; }
 
+  /// Constant-footprint reduction in both modes: fixed loads, fixed
+  /// arithmetic, no data-dependent branches anywhere.
+  LeakageContract leakage_contract(KernelMode mode) const override;
+
  private:
   template <typename Sink>
   void forward_kernel(const Tensor& input, Tensor& output, Sink& sink) const;

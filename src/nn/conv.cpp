@@ -269,6 +269,16 @@ void Conv2D::forward_im2col(const Tensor& input, Tensor& output,
   }
 }
 
+LeakageContract Conv2D::leakage_contract(KernelMode mode) const {
+  LeakageContract c;
+  if (mode == KernelMode::kDataDependent) {
+    c.branch_outcomes_vary = true;
+    c.address_stream_varies = true;
+    c.instruction_count_varies = true;
+  }
+  return c;
+}
+
 Tensor Conv2D::train_forward(const Tensor& input) {
   cached_input_ = input;
   uarch::NullSink sink;

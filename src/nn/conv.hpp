@@ -49,6 +49,15 @@ class Conv2D final : public Layer {
   ConvAlgorithm algorithm() const { return algorithm_; }
   void set_algorithm(ConvAlgorithm algorithm) { algorithm_ = algorithm; }
 
+  /// Data-dependent: zero-skipping elides the weight load and MAC behind
+  /// a per-element branch — the address stream and instruction count
+  /// track the input's sparsity pattern, though the branch *count* is
+  /// fixed (the skip test itself always executes).  Holds for both the
+  /// direct loop nest and the im2col GEMM (the im2col gather itself is a
+  /// fixed pattern; only the GEMM inner loop skips).  Constant-flow:
+  /// every element does full work.
+  LeakageContract leakage_contract(KernelMode mode) const override;
+
   Tensor& weights() { return weights_; }
   const Tensor& weights() const { return weights_; }
   std::vector<float>& bias() { return bias_; }

@@ -98,6 +98,17 @@ void Dense::forward_kernel(const Tensor& input, Tensor& output, Sink& sink,
   sink.structural_branches(in_);
 }
 
+LeakageContract Dense::leakage_contract(KernelMode mode) const {
+  LeakageContract c;
+  if (mode == KernelMode::kDataDependent) {
+    c.branch_outcomes_vary = true;
+    c.branch_count_varies = true;
+    c.address_stream_varies = true;
+    c.instruction_count_varies = true;
+  }
+  return c;
+}
+
 Tensor Dense::train_forward(const Tensor& input) {
   if (input.numel() != in_)
     throw InvalidArgument("Dense::train_forward: wrong element count");

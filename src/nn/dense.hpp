@@ -34,6 +34,12 @@ class Dense final : public Layer {
 
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }
+
+  /// Data-dependent: the sparse-GEMM row skip elides a whole weight row
+  /// — its loads, its inner-loop back-edges and its MACs — so every
+  /// trace aspect varies with the input's zero pattern.  The strongest
+  /// single leak source in the model.  Constant-flow: dense GEMM.
+  LeakageContract leakage_contract(KernelMode mode) const override;
   Tensor& weights() { return weights_; }
   const Tensor& weights() const { return weights_; }
 

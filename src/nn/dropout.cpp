@@ -21,6 +21,12 @@ void Dropout::forward_into(const Tensor& input, Tensor& output,
   std::copy(input.data(), input.data() + input.numel(), output.data());
 }
 
+LeakageContract Dropout::leakage_contract(KernelMode /*mode*/) const {
+  // Identity at inference: no trace, and the RNG is only consumed by
+  // train_forward — a deployed Dropout is side-channel-silent.
+  return LeakageContract::constant();
+}
+
 Tensor Dropout::train_forward(const Tensor& input) {
   mask_.assign(input.numel(), true);
   Tensor output(input.shape());

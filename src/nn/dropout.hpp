@@ -27,6 +27,11 @@ class Dropout final : public Layer {
 
   float rate() const { return rate_; }
 
+  /// Inference is the identity and emits no trace: constant-flow in both
+  /// modes, and — crucially — no RNG draw (the mask is a training-only
+  /// construct), so the RNG contract must not fire on deployed models.
+  LeakageContract leakage_contract(KernelMode mode) const override;
+
  private:
   float rate_;
   util::Rng rng_;

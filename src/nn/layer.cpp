@@ -2,6 +2,10 @@
 
 namespace sce::nn {
 
+LeakageContract Layer::leakage_contract(KernelMode /*mode*/) const {
+  return LeakageContract::undeclared();
+}
+
 Tensor Layer::forward(const Tensor& input, uarch::TraceSink& sink,
                       KernelMode mode) const {
   Workspace workspace;

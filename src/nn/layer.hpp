@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/leakage_contract.hpp"
 #include "nn/tensor.hpp"
 #include "nn/workspace.hpp"
 #include "uarch/trace.hpp"
@@ -69,6 +70,13 @@ class Layer {
   /// Output shape for a given input shape (shape inference / validation).
   virtual std::vector<std::size_t> output_shape(
       const std::vector<std::size_t>& input_shape) const = 0;
+
+  /// Static leakage metadata for this layer's inference kernel in `mode`.
+  /// The base default is the conservative worst case (`undeclared()`), so
+  /// a kernel that never states its behaviour is flagged, not trusted;
+  /// every layer in this library overrides it with claims the trace
+  /// oracle cross-validates (tests/analysis).
+  virtual LeakageContract leakage_contract(KernelMode mode) const;
 
   virtual std::size_t parameter_count() const { return 0; }
 

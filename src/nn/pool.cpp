@@ -88,6 +88,12 @@ void MaxPool2D::forward_kernel(const Tensor& input, Tensor& output,
   }
 }
 
+LeakageContract MaxPool2D::leakage_contract(KernelMode mode) const {
+  LeakageContract c;
+  if (mode == KernelMode::kDataDependent) c.branch_outcomes_vary = true;
+  return c;
+}
+
 Tensor MaxPool2D::train_forward(const Tensor& input) {
   cached_input_ = input;
   const auto out_shape = output_shape(input.shape());

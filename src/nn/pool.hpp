@@ -22,6 +22,11 @@ class MaxPool2D final : public Layer {
 
   std::size_t window() const { return window_; }
 
+  /// Data-dependent: one max-update branch per non-first window element,
+  /// outcome decided by where the max sits; memory traffic and counts
+  /// are fixed.  Constant-flow: branchless max.
+  LeakageContract leakage_contract(KernelMode mode) const override;
+
  private:
   template <typename Sink>
   void forward_kernel(const Tensor& input, Tensor& output, Sink& sink,

@@ -171,6 +171,18 @@ void ElmanRNN::forward_kernel(const Tensor& input, std::size_t t_steps,
   }
 }
 
+LeakageContract ElmanRNN::leakage_contract(KernelMode mode) const {
+  LeakageContract c;
+  c.shape_scales_trace = true;  // trace length ∝ timestep count, both modes
+  if (mode == KernelMode::kDataDependent) {
+    c.branch_outcomes_vary = true;
+    c.branch_count_varies = true;
+    c.address_stream_varies = true;
+    c.instruction_count_varies = true;
+  }
+  return c;
+}
+
 Tensor ElmanRNN::train_forward(const Tensor& input) {
   const auto [t_steps, d] = sequence_dims(input.shape());
   cached_input_ = input.reshaped({t_steps, d});

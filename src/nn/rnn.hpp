@@ -36,6 +36,13 @@ class ElmanRNN final : public Layer {
 
   std::size_t input_dim() const { return input_dim_; }
   std::size_t hidden_dim() const { return hidden_dim_; }
+
+  /// Data-dependent: zero-skipping on both weight matrices (input rows
+  /// and ReLU-sparse hidden rows) plus the recurrent sign branch — every
+  /// trace aspect varies.  In both modes the trace additionally scales
+  /// with the timestep count, so variable-length deployments broadcast
+  /// their sequence length even under the countermeasure.
+  LeakageContract leakage_contract(KernelMode mode) const override;
   Tensor& input_weights() { return wx_; }
   Tensor& recurrent_weights() { return wh_; }
 

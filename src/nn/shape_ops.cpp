@@ -26,6 +26,10 @@ void Flatten::forward_into(const Tensor& input, Tensor& output,
   std::copy(input.data(), input.data() + input.numel(), output.data());
 }
 
+LeakageContract Flatten::leakage_contract(KernelMode /*mode*/) const {
+  return LeakageContract::constant();
+}
+
 Tensor Flatten::train_forward(const Tensor& input) {
   cached_shape_ = input.shape();
   return input.reshaped(output_shape(input.shape()));
@@ -85,6 +89,10 @@ void Softmax::forward_kernel(const Tensor& input, Tensor& output,
     sink.retire(detail::kLoopOverhead + 1);
   }
   sink.structural_branches(3 * n);
+}
+
+LeakageContract Softmax::leakage_contract(KernelMode /*mode*/) const {
+  return LeakageContract::constant();
 }
 
 Tensor Softmax::train_forward(const Tensor& input) {

@@ -18,6 +18,10 @@ class Flatten final : public Layer {
   std::vector<std::size_t> output_shape(
       const std::vector<std::size_t>& input_shape) const override;
 
+  /// A view in a real implementation; here a traceless copy.  Nothing to
+  /// observe in either mode.
+  LeakageContract leakage_contract(KernelMode mode) const override;
+
  private:
   std::vector<std::size_t> cached_shape_;
 };
@@ -35,6 +39,11 @@ class Softmax final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<std::size_t> output_shape(
       const std::vector<std::size_t>& input_shape) const override;
+
+  /// The running-max compare compiles branchless (cmov) and the
+  /// exp-normalize loops do fixed work per element: constant-flow in
+  /// both modes despite the value-dependent arithmetic.
+  LeakageContract leakage_contract(KernelMode mode) const override;
 
  private:
   template <typename Sink>

@@ -1,0 +1,110 @@
+// Custom layers exercising the analyzer's edge cases: a deliberately
+// leaky kernel (with an honest or a lying contract), a sanitizing layer
+// that clears secret taint, and a layer that never declares a contract.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "util/error.hpp"
+
+namespace sce::analysis::testing {
+
+/// Identity layer whose kernel takes one real branch per element on the
+/// sign of the activation — a deliberately leaky custom kernel.  The
+/// declared contract is honest by default; construct with
+/// `lie_constant = true` to declare constant-flow anyway, which the
+/// trace oracle must catch.
+class LeakyProbeLayer final : public nn::Layer {
+ public:
+  explicit LeakyProbeLayer(bool lie_constant = false,
+                           bool claim_rng = false)
+      : lie_constant_(lie_constant), claim_rng_(claim_rng) {}
+
+  std::string name() const override { return "leaky-probe"; }
+
+  void forward_into(const nn::Tensor& input, nn::Tensor& output,
+                    nn::Workspace& /*workspace*/, uarch::TraceSink& sink,
+                    nn::KernelMode /*mode*/) const override {
+    if (!output.same_shape(input)) output.resize(input.shape());
+    const float* in = input.data();
+    float* out = output.data();
+    const std::uintptr_t site = SCE_BRANCH_SITE();
+    for (std::size_t i = 0; i < input.numel(); ++i) {
+      sink.load(&in[i], sizeof(float));
+      sink.branch(site, in[i] > 0.0f);  // leaks in *both* kernel modes
+      out[i] = in[i];
+      sink.store(&out[i], sizeof(float));
+    }
+  }
+
+  nn::LeakageContract leakage_contract(nn::KernelMode /*mode*/) const override {
+    nn::LeakageContract c;
+    if (!lie_constant_) c.branch_outcomes_vary = true;
+    c.consumes_rng = claim_rng_;
+    return c;
+  }
+
+  nn::Tensor train_forward(const nn::Tensor& input) override { return input; }
+  nn::Tensor backward(const nn::Tensor& grad) override { return grad; }
+  std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& in) const override {
+    return in;
+  }
+
+ private:
+  bool lie_constant_;
+  bool claim_rng_;
+};
+
+/// Constant-output layer: traceless, and its output carries no secret —
+/// the contract declares TaintTransfer::kSanitize, so downstream leaky
+/// kernels become unexploitable.
+class SanitizingLayer final : public nn::Layer {
+ public:
+  std::string name() const override { return "sanitizer"; }
+
+  void forward_into(const nn::Tensor& input, nn::Tensor& output,
+                    nn::Workspace& /*workspace*/, uarch::TraceSink& /*sink*/,
+                    nn::KernelMode /*mode*/) const override {
+    if (!output.same_shape(input)) output.resize(input.shape());
+    std::fill(output.data(), output.data() + output.numel(), 0.5f);
+  }
+
+  nn::LeakageContract leakage_contract(nn::KernelMode /*mode*/) const override {
+    nn::LeakageContract c;
+    c.taint = nn::TaintTransfer::kSanitize;
+    return c;
+  }
+
+  nn::Tensor train_forward(const nn::Tensor& input) override { return input; }
+  nn::Tensor backward(const nn::Tensor& grad) override { return grad; }
+  std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& in) const override {
+    return in;
+  }
+};
+
+/// Identity layer that never overrides leakage_contract: the analyzer
+/// must fall back to the conservative worst case.
+class UndeclaredLayer final : public nn::Layer {
+ public:
+  std::string name() const override { return "undeclared"; }
+
+  void forward_into(const nn::Tensor& input, nn::Tensor& output,
+                    nn::Workspace& /*workspace*/, uarch::TraceSink& /*sink*/,
+                    nn::KernelMode /*mode*/) const override {
+    if (!output.same_shape(input)) output.resize(input.shape());
+    std::copy(input.data(), input.data() + input.numel(), output.data());
+  }
+
+  nn::Tensor train_forward(const nn::Tensor& input) override { return input; }
+  nn::Tensor backward(const nn::Tensor& grad) override { return grad; }
+  std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& in) const override {
+    return in;
+  }
+};
+
+}  // namespace sce::analysis::testing

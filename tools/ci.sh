@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
-# Full CI pipeline: configure, build, tier-1 tests, then the same suite
-# under AddressSanitizer + UBSan, then the concurrency tests under
-# ThreadSanitizer — each sanitizer in its own build tree.
+# Full CI pipeline: configure, build, lint (clang-tidy on changed files +
+# the static leakage linter cross-checked against the trace oracle),
+# tier-1 tests, then the same suite under AddressSanitizer + UBSan, then
+# the concurrency tests under ThreadSanitizer — each sanitizer in its own
+# build tree.
 #
 #   tools/ci.sh [build-dir]
 #
@@ -26,6 +28,26 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCMAKE_BUILD_TYPE=Release
 
 echo "==> building"
 cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "==> lint: clang-tidy (changed files)"
+"$SRC_DIR/tools/run_clang_tidy.sh" "$BUILD_DIR"
+
+echo "==> lint: static leakage analysis"
+# The countermeasure deployment (constant-flow kernels) is the designated
+# clean configuration: it must pass the gate, and the cross-check pins
+# every contract to the uarch trace oracle.  The JSON report is the CI
+# artifact.
+"$BUILD_DIR/tools/leakage_lint" --model mnist --mode constant-flow \
+  --fail-on leaks_control_flow --fail-on-undeclared --cross-check \
+  --json lint_report.json
+# The gate must also *fail*: the same model with data-dependent kernels
+# leaks, and leakage_lint has to say so with a non-zero exit.
+if "$BUILD_DIR/tools/leakage_lint" --model mnist --mode data-dependent \
+     --fail-on leaks_control_flow --quiet; then
+  echo "==> lint gate failed to reject the data-dependent model" >&2
+  exit 1
+fi
+echo "==> lint gate rejects the data-dependent model (expected)"
 
 echo "==> running tier-1 suite"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

@@ -1,0 +1,144 @@
+// Static leakage linter: analyze a model's layer graph without running a
+// campaign (or even a forward pass), print per-layer findings, and gate
+// CI with --fail-on.  --cross-check additionally validates every declared
+// contract against the µarch trace oracle, so the static claims stay
+// anchored to the simulator the dynamic experiments use.
+//
+// Exit codes: 0 clean, 1 lint gate failed (--fail-on threshold reached,
+// undeclared contract with --fail-on-undeclared, or --cross-check
+// disagreement), 2 usage error.
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/oracle.hpp"
+#include "analysis/report.hpp"
+#include "nn/zoo.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace sce;
+
+namespace {
+
+struct ModelSpec {
+  nn::Sequential model;
+  std::vector<std::size_t> input_shape;
+};
+
+ModelSpec build_model(const std::string& name) {
+  // Lint inspects architecture, not weights, so the zoo models are built
+  // untrained; a seeded He-init keeps any dynamic cross-check kernels
+  // numerically ordinary.
+  ModelSpec spec;
+  if (name == "mnist") {
+    spec.model = nn::build_mnist_cnn();
+    spec.input_shape = {1, 28, 28};
+  } else if (name == "cifar") {
+    spec.model = nn::build_cifar_cnn();
+    spec.input_shape = {3, 32, 32};
+  } else if (name == "sequence") {
+    spec.model = nn::build_sequence_rnn();
+    spec.input_shape = {1, 16, 8};
+  } else {
+    throw InvalidArgument("unknown --model '" + name +
+                          "' (expected mnist|cifar|sequence)");
+  }
+  util::Rng rng(7);
+  spec.model.initialize(rng);
+  return spec;
+}
+
+nn::KernelMode parse_mode(const std::string& name) {
+  if (name == "data-dependent") return nn::KernelMode::kDataDependent;
+  if (name == "constant-flow") return nn::KernelMode::kConstantFlow;
+  throw InvalidArgument("unknown --mode '" + name +
+                        "' (expected data-dependent|constant-flow)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_option("model", "zoo model to lint: mnist|cifar|sequence", "mnist");
+  cli.add_option("mode", "kernel mode: data-dependent|constant-flow",
+                 "data-dependent");
+  cli.add_option("fail-on",
+                 "exit non-zero when the model verdict reaches this level: "
+                 "none|constant_flow|leaks_control_flow|leaks_addresses",
+                 "none");
+  cli.add_option("json", "write the JSON lint report to this path", "");
+  cli.add_flag("fail-on-undeclared",
+               "also fail when any layer lacks a leakage contract");
+  cli.add_flag("cross-check",
+               "validate declared contracts against the uarch trace oracle");
+  cli.add_flag("quiet", "suppress the text report");
+
+  try {
+    cli.parse(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(),
+                 cli.usage("leakage_lint").c_str());
+    return 2;
+  }
+
+  try {
+    const ModelSpec spec = build_model(cli.get("model"));
+    const nn::KernelMode mode = parse_mode(cli.get("mode"));
+
+    const analysis::PlanAnalyzer analyzer;
+    const analysis::AnalysisReport report =
+        analyzer.analyze(spec.model, spec.input_shape, mode, cli.get("model"));
+
+    if (!cli.get_flag("quiet"))
+      std::fputs(analysis::render_text(report).c_str(), stdout);
+
+    const std::string json_path = cli.get("json");
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) throw IoError("cannot write " + json_path);
+      out << analysis::render_json(report) << "\n";
+    }
+
+    int status = 0;
+    const std::string fail_on = cli.get("fail-on");
+    if (fail_on != "none") {
+      const auto threshold = analysis::parse_verdict(fail_on);
+      if (!threshold)
+        throw InvalidArgument("unknown --fail-on '" + fail_on + "'");
+      if (report.fails(*threshold, cli.get_flag("fail-on-undeclared"))) {
+        std::fprintf(stderr,
+                     "leakage_lint: FAIL — verdict %s reaches --fail-on %s\n",
+                     analysis::to_string(report.verdict).c_str(),
+                     analysis::to_string(*threshold).c_str());
+        status = 1;
+      }
+    } else if (cli.get_flag("fail-on-undeclared") &&
+               report.undeclared_layers > 0) {
+      std::fprintf(stderr, "leakage_lint: FAIL — %zu undeclared contract(s)\n",
+                   report.undeclared_layers);
+      status = 1;
+    }
+
+    if (cli.get_flag("cross-check")) {
+      const auto mismatches = analysis::cross_check_model(
+          spec.model, spec.input_shape, mode, /*report_undeclared=*/false);
+      if (mismatches.empty()) {
+        if (!cli.get_flag("quiet"))
+          std::printf("cross-check: static verdicts agree with the uarch "
+                      "trace oracle (%zu layers)\n",
+                      spec.model.layer_count());
+      } else {
+        for (const auto& m : mismatches)
+          std::fprintf(stderr, "cross-check: #%zu %s: %s\n", m.layer_index,
+                       m.layer_name.c_str(), m.detail.c_str());
+        status = 1;
+      }
+    }
+    return status;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "leakage_lint: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# clang-tidy wrapper driven off the CMake compilation database.
+#
+#   tools/run_clang_tidy.sh [build-dir] [file...]
+#
+# build-dir: a configured build tree (default: build).  The top-level
+# CMakeLists exports compile_commands.json unconditionally, so any
+# configured tree works.  With no explicit file list, lints the files
+# changed relative to the merge base with origin/main (or HEAD~1 when no
+# remote exists); pass file arguments to lint a specific set instead.
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the lint
+# stage degrades gracefully on minimal toolchains; CI installs clang-tidy
+# and gets the full check.
+set -eu
+
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-build}"
+[ $# -gt 0 ] && shift
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "$TIDY" ]; then
+  echo "run_clang_tidy: clang-tidy not installed; skipping"
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json missing;" \
+       "configure the tree first (cmake -B $BUILD_DIR -S $SRC_DIR)"
+  exit 1
+fi
+
+if [ $# -gt 0 ]; then
+  FILES="$*"
+else
+  cd "$SRC_DIR"
+  BASE="$(git merge-base origin/main HEAD 2>/dev/null ||
+          git rev-parse HEAD~1 2>/dev/null || true)"
+  if [ -n "$BASE" ]; then
+    FILES="$(git diff --name-only --diff-filter=d "$BASE" -- \
+             'src/*.cpp' 'tools/*.cpp' 'bench/*.cpp' 'examples/*.cpp' || true)"
+  else
+    FILES="$(git ls-files 'src/*.cpp')"
+  fi
+fi
+
+if [ -z "$FILES" ]; then
+  echo "run_clang_tidy: no changed sources to lint"
+  exit 0
+fi
+
+echo "run_clang_tidy: linting:"
+printf '  %s\n' $FILES
+# shellcheck disable=SC2086
+"$TIDY" -p "$BUILD_DIR" --quiet $FILES
+echo "run_clang_tidy: OK"
