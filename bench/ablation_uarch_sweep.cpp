@@ -1,23 +1,75 @@
 // Ablation A2: which microarchitectural structure carries the leak?
 //
-// Sweeps the simulated PMU configuration with the environment model
-// disabled, so the numbers isolate the architectural signal:
-//  * cache replacement policy (LRU / tree-PLRU / FIFO / random),
-//  * branch predictor (static / bimodal / gshare / two-level local),
-//  * warm vs cold cache state per measurement,
-//  * next-line prefetcher on/off.
-// For each configuration it reports the largest |t| over category pairs
-// for cache-misses and branch-misses.
+// Rewritten around the record-once/replay-many sweep engine
+// (core/sweep.hpp): instead of re-running the instrumented network for
+// every candidate configuration — the cost that used to cap this
+// ablation at a handful of points — each measurement slot's dynamic
+// trace is recorded once and replayed across the whole cartesian grid:
+//
+//   L1 geometry (2) x replacement policy (4) x prefetcher (2)
+//     x branch predictor (4) x mispredict penalty (2)  =  128 points
+//
+// deduplicated into 16 memory-side and 4 branch-side replay classes.
+// Points that differ only in the core latency model (the mispredict
+// penalty axis) are composed from the same replays for free.
+//
+// The sweep runs with verify_live on: every grid point also executes the
+// classic rerun loop through the *same* inference plan, each of its
+// eight-event samples is compared bit-for-bit against the composed
+// replay sample, and the rerun loop's wall-clock becomes the baseline
+// the reported speedup is measured against.
+//
+// Input schedule: every grid point sees the identical, deterministic
+// input sequence — slot s of category c always classifies test image
+// (s mod pool size) of that class, and the replay engine enforces this
+// structurally by feeding every configuration the same recorded traces.
+// Between-configuration differences are therefore hardware effects by
+// construction, never input-sampling noise.  (The old rerun loop also
+// shared its schedule across configs, but only as a consequence of the
+// campaign's determinism; nothing asserted it.)
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
 
-#include "core/evaluator.hpp"
-#include "hpc/multiplexed.hpp"
 #include "common.hpp"
+#include "core/evaluator.hpp"
+#include "core/sweep.hpp"
+#include "util/json.hpp"
 
 namespace {
 
 using namespace sce;
+
+struct Axes {
+  const char* l1;         // "32k8w" / "8k2w"
+  const char* policy;     // replacement, applied to every level
+  const char* prefetch;   // "pf-off" / "pf-next"
+  const char* predictor;  // predictor family
+  const char* penalty;    // "mp15" / "mp30"
+};
+
+struct PointReport {
+  Axes axes;
+  std::string label;
+  double t_cache_misses = 0.0;
+  double t_branch_misses = 0.0;
+  double t_cycles = 0.0;
+  /// max|t| over the hardware-mediated events only (cache-misses,
+  /// branch-misses and the cycle counters).  With the environment model
+  /// off, the count events (instructions, branches, cache-references)
+  /// are pure trace tallies — identical at every grid point — so
+  /// including them would flatten the ranking.
+  double t_hw = 0.0;
+};
+
+constexpr hpc::HpcEvent kHwEvents[] = {
+    hpc::HpcEvent::kCacheMisses, hpc::HpcEvent::kBranchMisses,
+    hpc::HpcEvent::kCycles, hpc::HpcEvent::kBusCycles,
+    hpc::HpcEvent::kRefCycles};
 
 double max_abs_t(const core::LeakageAssessment& assessment,
                  hpc::HpcEvent event) {
@@ -29,120 +81,211 @@ double max_abs_t(const core::LeakageAssessment& assessment,
   return best;
 }
 
-void run_config(const char* label, const bench::Workload& workload,
-                hpc::SimulatedPmuConfig pmu_cfg, std::size_t samples) {
-  pmu_cfg.environment = hpc::SimulatedPmuConfig::no_environment();
-  hpc::SimulatedPmuFactory instruments(pmu_cfg);
-  core::CampaignConfig cfg;
-  cfg.samples_per_category = samples;
-  const core::CampaignResult campaign =
-      core::Campaign(workload.trained.model, workload.trained.test_set,
-                     instruments)
-          .with_config(cfg)
-          .run();
-  core::EvaluatorConfig eval_cfg;
-  eval_cfg.anova_screen = false;
-  eval_cfg.holm_correction = false;
-  const core::LeakageAssessment assessment = core::evaluate(campaign, eval_cfg);
-  std::printf("  %-34s max|t| cache-misses=%8.2f   branch-misses=%8.2f\n",
-              label, max_abs_t(assessment, hpc::HpcEvent::kCacheMisses),
-              max_abs_t(assessment, hpc::HpcEvent::kBranchMisses));
+std::vector<core::SweepPoint> build_grid(std::vector<Axes>& axes_out) {
+  struct L1 {
+    const char* tag;
+    std::size_t size;
+    std::size_t ways;
+  };
+  const L1 l1s[] = {{"32k8w", 32 * 1024, 8}, {"8k2w", 8 * 1024, 2}};
+  const std::pair<const char*, uarch::ReplacementPolicy> policies[] = {
+      {"lru", uarch::ReplacementPolicy::kLru},
+      {"plru", uarch::ReplacementPolicy::kTreePlru},
+      {"fifo", uarch::ReplacementPolicy::kFifo},
+      {"random", uarch::ReplacementPolicy::kRandom}};
+  const std::pair<const char*, bool> prefetchers[] = {{"pf-off", false},
+                                                      {"pf-next", true}};
+  const std::pair<const char*, uarch::PredictorKind> predictors[] = {
+      {"static", uarch::PredictorKind::kStaticTaken},
+      {"bimodal", uarch::PredictorKind::kBimodal},
+      {"gshare", uarch::PredictorKind::kGShare},
+      {"local", uarch::PredictorKind::kTwoLevelLocal}};
+  const std::pair<const char*, std::uint32_t> penalties[] = {{"mp15", 15},
+                                                             {"mp30", 30}};
+
+  std::vector<core::SweepPoint> grid;
+  for (const L1& l1 : l1s)
+    for (const auto& policy : policies)
+      for (const auto& prefetch : prefetchers)
+        for (const auto& predictor : predictors)
+          for (const auto& penalty : penalties) {
+            hpc::SimulatedPmuConfig pmu;
+            pmu.environment = hpc::SimulatedPmuConfig::no_environment();
+            pmu.hierarchy.l1d.size_bytes = l1.size;
+            pmu.hierarchy.l1d.associativity = l1.ways;
+            pmu.hierarchy.l1d.policy = policy.second;
+            pmu.hierarchy.l2.policy = policy.second;
+            pmu.hierarchy.llc.policy = policy.second;
+            pmu.hierarchy.enable_next_line_prefetch = prefetch.second;
+            pmu.predictor = predictor.second;
+            pmu.core.branch_mispredict_cycles = penalty.second;
+            const std::string label =
+                std::string(l1.tag) + "/" + policy.first + "/" +
+                prefetch.first + "/" + predictor.first + "/" + penalty.first;
+            grid.push_back({label, pmu});
+            axes_out.push_back({l1.tag, policy.first, prefetch.first,
+                                predictor.first, penalty.first});
+          }
+  return grid;
+}
+
+void print_marginal(const char* axis, const std::vector<PointReport>& reports,
+                    const char* Axes::*member) {
+  std::map<std::string, std::pair<double, std::size_t>> acc;
+  for (const PointReport& r : reports) {
+    auto& slot = acc[r.axes.*member];
+    slot.first += r.t_hw;
+    ++slot.second;
+  }
+  std::printf("  by %s:", axis);
+  for (const auto& [tag, sum] : acc)
+    std::printf("  %s=%.1f", tag.c_str(),
+                sum.first / static_cast<double>(sum.second));
+  std::printf("   (mean max|t| over grid points)\n");
 }
 
 }  // namespace
 
 int main() {
-  const std::size_t samples = bench::bench_samples(60);
+  const std::size_t samples = bench::bench_samples(12);
   std::printf("== Ablation A2: microarchitectural source of the leak ==\n");
-  std::printf("(environment model disabled; MNIST workload; %zu samples "
-              "per category)\n\n",
+  std::printf("(environment model disabled; MNIST workload; %zu samples per "
+              "category;\n shared deterministic input schedule across all "
+              "grid points)\n\n",
               samples);
   const bench::Workload mnist = bench::mnist_workload();
 
-  std::printf("cache replacement policy:\n");
-  for (auto policy :
-       {uarch::ReplacementPolicy::kLru, uarch::ReplacementPolicy::kTreePlru,
-        uarch::ReplacementPolicy::kFifo, uarch::ReplacementPolicy::kRandom}) {
-    hpc::SimulatedPmuConfig cfg;
-    cfg.hierarchy.l1d.policy = policy;
-    cfg.hierarchy.l2.policy = policy;
-    cfg.hierarchy.llc.policy = policy;
-    run_config(uarch::to_string(policy).c_str(), mnist, cfg, samples);
-  }
+  std::vector<Axes> axes;
+  core::SweepConfig cfg;
+  cfg.samples_per_category = samples;
+  cfg.grid = build_grid(axes);
+  // Serial replay so the reported speedup is rerun-loop seconds over
+  // sweep seconds on one thread — pure algorithmic gain, no parallelism.
+  cfg.num_threads = 1;
+  cfg.verify_live = true;
 
-  std::printf("\nbranch predictor:\n");
-  for (auto kind :
-       {uarch::PredictorKind::kStaticTaken, uarch::PredictorKind::kBimodal,
-        uarch::PredictorKind::kGShare,
-        uarch::PredictorKind::kTwoLevelLocal}) {
-    hpc::SimulatedPmuConfig cfg;
-    cfg.predictor = kind;
-    run_config(uarch::to_string(kind).c_str(), mnist, cfg, samples);
-  }
+  hpc::SimulatedPmuFactory instruments(mnist.pmu_config);  // not consulted
+  core::Campaign campaign(mnist.trained.model, mnist.trained.test_set,
+                          instruments);
+  const core::SweepResult sweep = campaign.sweep(cfg);
+  const core::SweepStats& stats = sweep.stats;
 
-  std::printf("\ncache state per measurement:\n");
-  {
-    hpc::SimulatedPmuConfig cold;
-    run_config("cold (flush per classification)", mnist, cold, samples);
-    hpc::SimulatedPmuConfig warm;
-    warm.cold_start_per_measurement = false;
-    run_config("warm (state persists)", mnist, warm, samples);
-    hpc::SimulatedPmuConfig polluted;
-    polluted.cold_start_per_measurement = false;
-    polluted.pollution_period = 64;
-    run_config("warm + co-tenant pollution", mnist, polluted, samples);
-    hpc::SimulatedPmuConfig partitioned = polluted;
-    // Way-partitioned caches (Intel CAT style): co-tenant evictions are
-    // fenced out of the model's partition.
-    partitioned.hierarchy.l1d.protected_ways =
-        partitioned.hierarchy.l1d.associativity;
-    partitioned.hierarchy.l2.protected_ways =
-        partitioned.hierarchy.l2.associativity;
-    partitioned.hierarchy.llc.protected_ways =
-        partitioned.hierarchy.llc.associativity;
-    run_config("warm + pollution + partitioning", mnist, partitioned,
-               samples);
-  }
-
-  std::printf("\nprefetcher:\n");
-  {
-    hpc::SimulatedPmuConfig off;
-    run_config("prefetch off", mnist, off, samples);
-    hpc::SimulatedPmuConfig next_line;
-    next_line.hierarchy.enable_next_line_prefetch = true;
-    run_config("next-line prefetch", mnist, next_line, samples);
-    hpc::SimulatedPmuConfig streamer;
-    streamer.hierarchy.enable_stride_prefetch = true;
-    run_config("stride streamer", mnist, streamer, samples);
-  }
-
-  std::printf("\ncounter multiplexing (evaluator-side degradation):\n");
-  for (std::size_t counters : {std::size_t{8}, std::size_t{4},
-                               std::size_t{2}}) {
-    hpc::SimulatedPmuConfig pmu_cfg;
-    pmu_cfg.environment = hpc::SimulatedPmuConfig::no_environment();
-    hpc::SimulatedPmu pmu(pmu_cfg);
-    hpc::MultiplexConfig mux_cfg;
-    mux_cfg.hardware_counters = counters;
-    hpc::MultiplexedPmu mux(pmu, mux_cfg);
-    hpc::SingleInstrumentFactory instruments(mux, pmu);
-    core::CampaignConfig cfg;
-    cfg.samples_per_category = samples;
-    const core::CampaignResult campaign =
-        core::Campaign(mnist.trained.model, mnist.trained.test_set,
-                       instruments)
-            .with_config(cfg)
-            .run();
-    core::EvaluatorConfig eval_cfg;
-    eval_cfg.anova_screen = false;
-    eval_cfg.holm_correction = false;
+  // --- Per-point leakage assessment. -----------------------------------
+  std::vector<PointReport> reports;
+  core::EvaluatorConfig eval_cfg;
+  eval_cfg.anova_screen = false;
+  eval_cfg.holm_correction = false;
+  for (std::size_t g = 0; g < sweep.points.size(); ++g) {
     const core::LeakageAssessment assessment =
-        core::evaluate(campaign, eval_cfg);
-    std::printf("  %zu hardware counters for 8 events     "
-                "max|t| cache-misses=%8.2f   branch-misses=%8.2f\n",
-                counters,
-                max_abs_t(assessment, hpc::HpcEvent::kCacheMisses),
-                max_abs_t(assessment, hpc::HpcEvent::kBranchMisses));
+        core::evaluate(sweep.points[g].result, eval_cfg);
+    PointReport r;
+    r.axes = axes[g];
+    r.label = sweep.points[g].label;
+    r.t_cache_misses = max_abs_t(assessment, hpc::HpcEvent::kCacheMisses);
+    r.t_branch_misses = max_abs_t(assessment, hpc::HpcEvent::kBranchMisses);
+    r.t_cycles = max_abs_t(assessment, hpc::HpcEvent::kCycles);
+    for (hpc::HpcEvent e : kHwEvents)
+      r.t_hw = std::max(r.t_hw, max_abs_t(assessment, e));
+    reports.push_back(std::move(r));
   }
-  return 0;
+
+  std::vector<std::size_t> order(reports.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return reports[a].t_hw > reports[b].t_hw;
+  });
+
+  std::printf("leakiest configurations (max|t| over events and category "
+              "pairs):\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, order.size()); ++i) {
+    const PointReport& r = reports[order[i]];
+    std::printf("  %-36s max|t|=%8.1f   cache-misses=%8.1f   "
+                "branch-misses=%6.1f\n",
+                r.label.c_str(), r.t_hw, r.t_cache_misses, r.t_branch_misses);
+  }
+  std::printf("quietest configurations:\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, order.size()); ++i) {
+    const PointReport& r = reports[order[order.size() - 1 - i]];
+    std::printf("  %-36s max|t|=%8.1f   cache-misses=%8.1f   "
+                "branch-misses=%6.1f\n",
+                r.label.c_str(), r.t_hw, r.t_cache_misses, r.t_branch_misses);
+  }
+  std::printf("\nmarginal leakage by axis:\n");
+  print_marginal("replacement", reports, &Axes::policy);
+  print_marginal("predictor", reports, &Axes::predictor);
+  print_marginal("l1-geometry", reports, &Axes::l1);
+  print_marginal("prefetch", reports, &Axes::prefetch);
+
+  // --- Record/replay accounting. ----------------------------------------
+  const double sweep_seconds = stats.record_seconds + stats.replay_seconds;
+  const double speedup =
+      sweep_seconds > 0.0 ? stats.live_seconds / sweep_seconds : 0.0;
+  const bool bit_identical = stats.live_mismatches == 0;
+  std::printf("\nrecord-once/replay-many vs the rerun loop (single "
+              "thread):\n");
+  std::printf("  grid: %zu points -> %zu memory + %zu branch replay "
+              "classes\n",
+              stats.grid_points, stats.memory_classes, stats.branch_classes);
+  std::printf("  recorded %zu traces (%.1f M events, %.2f bytes/event)\n",
+              stats.traces_recorded,
+              static_cast<double>(stats.trace_events) / 1e6,
+              stats.trace_events == 0
+                  ? 0.0
+                  : static_cast<double>(stats.trace_bytes) /
+                        static_cast<double>(stats.trace_events));
+  std::printf("  sweep:    %7.2f s  (record %.2f s + replay %.2f s, %zu "
+              "replays, %zu cache hits)\n",
+              sweep_seconds, stats.record_seconds, stats.replay_seconds,
+              stats.replays, stats.replay_cache_hits);
+  std::printf("  baseline: %7.2f s  (%zu live rerun-loop measurements)\n",
+              stats.live_seconds, stats.live_runs);
+  std::printf("  speedup:  %7.2fx   bit-identical to live: %s\n", speedup,
+              bit_identical ? "yes" : "NO");
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("ablation_uarch_sweep");
+  json.key("workload").value("mnist");
+  json.key("samples_per_category").value(static_cast<std::uint64_t>(samples));
+  json.key("grid_points").value(static_cast<std::uint64_t>(stats.grid_points));
+  json.key("memory_classes")
+      .value(static_cast<std::uint64_t>(stats.memory_classes));
+  json.key("branch_classes")
+      .value(static_cast<std::uint64_t>(stats.branch_classes));
+  json.key("traces_recorded")
+      .value(static_cast<std::uint64_t>(stats.traces_recorded));
+  json.key("replays").value(static_cast<std::uint64_t>(stats.replays));
+  json.key("replay_cache_hits")
+      .value(static_cast<std::uint64_t>(stats.replay_cache_hits));
+  json.key("trace_events").value(stats.trace_events);
+  json.key("trace_bytes").value(stats.trace_bytes);
+  json.key("record_seconds").value(stats.record_seconds);
+  json.key("replay_seconds").value(stats.replay_seconds);
+  json.key("sweep_seconds").value(sweep_seconds);
+  json.key("baseline_seconds").value(stats.live_seconds);
+  json.key("baseline_runs").value(static_cast<std::uint64_t>(stats.live_runs));
+  json.key("speedup_vs_rerun_loop").value(speedup);
+  json.key("bit_identical_to_live").value(bit_identical);
+  json.key("replay_threads").value(std::uint64_t{1});
+  json.key("points").begin_array();
+  for (const PointReport& r : reports) {
+    json.begin_object();
+    json.key("label").value(r.label);
+    json.key("l1").value(r.axes.l1);
+    json.key("replacement").value(r.axes.policy);
+    json.key("prefetch").value(r.axes.prefetch);
+    json.key("predictor").value(r.axes.predictor);
+    json.key("mispredict_penalty").value(r.axes.penalty);
+    json.key("t_cache_misses").value(r.t_cache_misses);
+    json.key("t_branch_misses").value(r.t_branch_misses);
+    json.key("t_cycles").value(r.t_cycles);
+    json.key("t_hw").value(r.t_hw);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  std::ofstream out("BENCH_uarch_sweep.json");
+  out << json.str() << '\n';
+  std::printf("wrote BENCH_uarch_sweep.json\n");
+  return bit_identical ? 0 : 1;
 }

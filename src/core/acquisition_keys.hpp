@@ -1,0 +1,44 @@
+// Measurement-key layout shared by the live acquisition loop
+// (campaign.cpp) and the record/replay sweep (sweep.cpp).
+//
+// Every measurement a campaign takes is keyed by its *global slot index*
+// — its position in the classic serial acquisition order — so a keyed
+// provider's noise and fault streams depend on the slot, not on
+// execution order or shard layout.  The sweep replays recorded traces
+// under the same keys, which is what makes a swept configuration's
+// counts bit-identical to a live campaign run at that configuration.
+//
+// Key layout: bits [8, 62) hold the global slot index, bits [0, 8) the
+// attempt ordinal within the slot (so a retried/re-measured slot draws
+// fresh — but still reproducible — provider randomness), and bit 63
+// marks warmup measurements.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace sce::core::acquisition {
+
+constexpr std::uint64_t kWarmupKeyBit = std::uint64_t{1} << 63;
+
+inline std::uint64_t slot_key(std::uint64_t slot, std::size_t attempt) {
+  return (slot << 8) | std::uint64_t{std::min<std::size_t>(attempt, 0xFF)};
+}
+
+inline std::uint64_t warmup_key(std::size_t shard, std::size_t w) {
+  return kWarmupKeyBit | (static_cast<std::uint64_t>(shard) << 32) |
+         static_cast<std::uint64_t>(w);
+}
+
+/// Global slot index of category `c`'s sample `s` under the configured
+/// schedule: under interleaving, slot(c, s) = s*ncat + c; in block mode,
+/// slot(c, s) = c*per_cat + s.
+inline std::uint64_t global_slot(bool interleave, std::size_t ncat,
+                                 std::size_t per_cat, std::size_t c,
+                                 std::size_t s) {
+  return interleave ? static_cast<std::uint64_t>(s) * ncat + c
+                    : static_cast<std::uint64_t>(c) * per_cat + s;
+}
+
+}  // namespace sce::core::acquisition

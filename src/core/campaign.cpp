@@ -7,6 +7,7 @@
 #include <optional>
 #include <utility>
 
+#include "core/acquisition_keys.hpp"
 #include "core/checkpoint.hpp"
 #include "nn/plan.hpp"
 #include "stats/descriptive.hpp"
@@ -123,29 +124,16 @@ namespace {
 
 using Pools = std::vector<std::vector<const data::Example*>>;
 
-// Measurement-key layout: bits [8, 62) hold the global slot index, bits
-// [0, 8) the attempt ordinal within the slot (so a retried/re-measured
-// slot draws fresh — but still reproducible — provider randomness), and
-// bit 63 marks warmup measurements.  The global slot index mirrors the
-// serial acquisition order: under interleaving, slot(c, s) = s*ncat + c;
-// in block mode, slot(c, s) = c*S + s.
-constexpr std::uint64_t kWarmupKeyBit = std::uint64_t{1} << 63;
-
-std::uint64_t slot_key(std::uint64_t slot, std::size_t attempt) {
-  return (slot << 8) | std::uint64_t{std::min<std::size_t>(attempt, 0xFF)};
-}
-
-std::uint64_t warmup_key(std::size_t shard, std::size_t w) {
-  return kWarmupKeyBit | (static_cast<std::uint64_t>(shard) << 32) |
-         static_cast<std::uint64_t>(w);
-}
+// Measurement keys come from core/acquisition_keys.hpp so the replay
+// sweep (sweep.cpp) keys its replayed measurements identically.
+using acquisition::slot_key;
+using acquisition::warmup_key;
 
 std::uint64_t global_slot(const CampaignConfig& cfg, std::size_t c,
                           std::size_t s) {
-  const std::size_t ncat = cfg.categories.size();
-  return cfg.interleave_categories
-             ? static_cast<std::uint64_t>(s) * ncat + c
-             : static_cast<std::uint64_t>(c) * cfg.samples_per_category + s;
+  return acquisition::global_slot(cfg.interleave_categories,
+                                  cfg.categories.size(),
+                                  cfg.samples_per_category, c, s);
 }
 
 /// One shard's private acquisition state.  Nothing in here is touched by
@@ -406,6 +394,8 @@ std::vector<hpc::HpcEvent> sorted_events(std::vector<hpc::HpcEvent> events) {
 Campaign::Campaign(const nn::Sequential& model, const data::Dataset& dataset,
                    hpc::InstrumentFactory& instruments)
     : model_(model), dataset_(dataset), instruments_(instruments) {}
+
+Campaign::~Campaign() = default;
 
 Campaign& Campaign::with_config(CampaignConfig config) {
   config_ = std::move(config);

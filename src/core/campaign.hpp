@@ -28,6 +28,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,10 @@
 #include "nn/model.hpp"
 #include "uarch/trace.hpp"
 #include "util/retry.hpp"
+
+namespace sce::nn {
+class InferencePlan;
+}
 
 namespace sce::core {
 
@@ -209,6 +214,8 @@ struct CampaignProgress {
 struct CampaignCheckpoint;
 struct FixedVsRandomConfig;
 struct FixedVsRandomResult;
+struct SweepConfig;
+struct SweepResult;
 
 /// The campaign entry point: binds a model, a dataset and an
 /// InstrumentFactory, then runs (or resumes) sharded acquisition.
@@ -229,6 +236,7 @@ class Campaign {
 
   Campaign(const nn::Sequential& model, const data::Dataset& dataset,
            hpc::InstrumentFactory& instruments);
+  ~Campaign();
 
   /// Replace the config (validated at run time).
   Campaign& with_config(CampaignConfig config);
@@ -260,6 +268,18 @@ class Campaign {
   /// screen's own config).  Defined in core/fixed_vs_random.cpp.
   FixedVsRandomResult fixed_vs_random(const FixedVsRandomConfig& config) const;
 
+  /// Record-once/replay-many hardware sweep: record each measurement
+  /// slot's trace once and replay it across a grid of simulated-PMU
+  /// configurations, yielding per-point results bit-identical to the
+  /// live serial acquisition loop run through the same plan (see
+  /// core/sweep.hpp).  Uses this campaign's model and dataset; the grid
+  /// supplies its own instruments, so the bound InstrumentFactory is
+  /// not consulted.  Repeated sweep() calls on one Campaign share a
+  /// cached recording plan, which keeps their buffer layout — and
+  /// therefore their counts — identical across calls.  Defined in
+  /// core/sweep.cpp.
+  SweepResult sweep(const SweepConfig& config);
+
   const nn::Sequential& model() const { return model_; }
   const data::Dataset& dataset() const { return dataset_; }
   hpc::InstrumentFactory& instruments() const { return instruments_; }
@@ -273,6 +293,13 @@ class Campaign {
   CampaignConfig config_{};
   ProgressCallback progress_;
   std::size_t progress_every_ = 0;
+
+  /// Recording scaffolding cached across sweep() calls.  The staging
+  /// tensor and plan are allocated once because the simulated counters
+  /// depend on the buffers' within-page offsets: sharing them is what
+  /// makes two sweeps of one Campaign bit-comparable.
+  nn::Tensor sweep_staged_;
+  std::unique_ptr<nn::InferencePlan> sweep_plan_;
 };
 
 // The pre-Campaign free functions (run_campaign, resume_campaign,

@@ -1,0 +1,412 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/acquisition_keys.hpp"
+#include "nn/model.hpp"
+#include "nn/plan.hpp"
+#include "uarch/trace_buffer.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sce::core {
+
+void SweepConfig::validate() const {
+  if (categories.empty()) throw InvalidArgument("sweep: no categories");
+  if (samples_per_category == 0)
+    throw InvalidArgument("sweep: samples_per_category must be > 0");
+  if (grid.empty()) throw InvalidArgument("sweep: empty grid");
+  std::unordered_set<std::string> labels;
+  for (const SweepPoint& p : grid) {
+    if (p.label.empty()) throw InvalidArgument("sweep: unlabeled grid point");
+    if (!labels.insert(p.label).second)
+      throw InvalidArgument("sweep: duplicate grid label '" + p.label + "'");
+    if (!p.pmu.normalize_addresses)
+      throw InvalidArgument(
+          "sweep: grid point '" + p.label +
+          "' disables normalize_addresses; replayed traces only reproduce "
+          "the live counts under address normalization");
+  }
+}
+
+const CampaignResult& SweepResult::of(const std::string& label) const {
+  for (const SweepPointResult& p : points)
+    if (p.label == label) return p.result;
+  throw InvalidArgument("sweep: no grid point labeled '" + label + "'");
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool uses_random_replacement(const uarch::HierarchyConfig& h) {
+  return h.l1d.policy == uarch::ReplacementPolicy::kRandom ||
+         (h.enable_l2 && h.l2.policy == uarch::ReplacementPolicy::kRandom) ||
+         (h.enable_llc && h.llc.policy == uarch::ReplacementPolicy::kRandom);
+}
+
+/// Memory-side component counts of one replayed measurement.
+struct MemPart {
+  std::uint64_t memory_cycles = 0;
+  std::uint64_t llc_references = 0;
+  std::uint64_t llc_misses = 0;
+};
+
+/// Branch-side component counts of one replayed measurement.
+struct BrPart {
+  std::uint64_t mispredicts = 0;
+};
+
+/// One deduplicated memory-side class: every grid point whose
+/// {hierarchy, cold, pollution_period, noise_seed} agree shares this
+/// replay target.  noise_seed is part of the key because it seeds the
+/// keyed pollution stream.
+struct MemClass {
+  uarch::HierarchyConfig hierarchy;
+  bool cold = true;
+  std::size_t pollution_period = 0;
+  std::uint64_t noise_seed = 0;
+
+  std::unique_ptr<hpc::SimulatedPmu> pmu;
+  /// Counts are a pure function of the input: cold start erases every
+  /// piece of cross-measurement state this class consumes (no random
+  /// replacement — whose victim RNG survives flushes — and no keyed
+  /// pollution stream).
+  bool cacheable = false;
+  std::unordered_map<std::uint64_t, MemPart> cache;
+  MemPart out;
+
+  bool matches(const hpc::SimulatedPmuConfig& c) const {
+    return hierarchy == c.hierarchy &&
+           cold == c.cold_start_per_measurement &&
+           pollution_period == c.pollution_period &&
+           (pollution_period == 0 || noise_seed == c.noise_seed);
+  }
+};
+
+/// One deduplicated branch-side class: grid points sharing
+/// {predictor, cold} share this replay target (every predictor model is
+/// deterministic, so no seed enters the key).
+struct BrClass {
+  uarch::PredictorKind predictor = uarch::PredictorKind::kGShare;
+  bool cold = true;
+
+  std::unique_ptr<hpc::SimulatedPmu> pmu;
+  bool cacheable = false;
+  std::unordered_map<std::uint64_t, BrPart> cache;
+  BrPart out;
+
+  bool matches(const hpc::SimulatedPmuConfig& c) const {
+    return predictor == c.predictor && cold == c.cold_start_per_measurement;
+  }
+};
+
+void replay_mem(MemClass& mc, const uarch::TraceBuffer& trace,
+                std::uint64_t key) {
+  hpc::SimulatedPmu& pmu = *mc.pmu;
+  (void)pmu.set_measurement_key(key);
+  pmu.start();
+  pmu.consume(trace, uarch::ReplayClass::kMemory);
+  pmu.stop();
+  mc.out = {pmu.memory_cycles(), pmu.hierarchy().last_level_references(),
+            pmu.hierarchy().last_level_misses()};
+}
+
+void replay_br(BrClass& bc, const uarch::TraceBuffer& trace,
+               std::uint64_t key) {
+  hpc::SimulatedPmu& pmu = *bc.pmu;
+  (void)pmu.set_measurement_key(key);
+  pmu.start();
+  pmu.consume(trace, uarch::ReplayClass::kControlFlow);
+  pmu.stop();
+  bc.out = {pmu.predictor().stats().mispredicts};
+}
+
+}  // namespace
+
+SweepResult Campaign::sweep(const SweepConfig& cfg) {
+  cfg.validate();
+  const std::size_t ncat = cfg.categories.size();
+  const std::size_t per_cat = cfg.samples_per_category;
+
+  // --- Input pools, exactly as the live campaign builds them. ----------
+  std::vector<std::vector<const data::Example*>> pools;
+  std::vector<std::string> category_names;
+  for (int label : cfg.categories) {
+    if (label < 0 || static_cast<std::size_t>(label) >= dataset_.num_classes())
+      throw InvalidArgument("sweep: category label out of range");
+    category_names.push_back(
+        dataset_.class_names()[static_cast<std::size_t>(label)]);
+    pools.push_back(dataset_.examples_of(label));
+    if (pools.back().empty())
+      throw InvalidArgument("sweep: no examples of category " +
+                            std::to_string(label));
+    if (pools.back().size() < per_cat && !cfg.allow_image_reuse)
+      throw InvalidArgument("sweep: not enough images of category " +
+                            std::to_string(label));
+  }
+
+  // --- Deduplicate the grid into component classes. --------------------
+  std::vector<MemClass> mem_classes;
+  std::vector<BrClass> br_classes;
+  std::vector<std::size_t> mem_of(cfg.grid.size());
+  std::vector<std::size_t> br_of(cfg.grid.size());
+  for (std::size_t g = 0; g < cfg.grid.size(); ++g) {
+    const hpc::SimulatedPmuConfig& p = cfg.grid[g].pmu;
+    auto mit = std::find_if(mem_classes.begin(), mem_classes.end(),
+                            [&](const MemClass& m) { return m.matches(p); });
+    if (mit == mem_classes.end()) {
+      MemClass mc;
+      mc.hierarchy = p.hierarchy;
+      mc.cold = p.cold_start_per_measurement;
+      mc.pollution_period = p.pollution_period;
+      mc.noise_seed = p.noise_seed;
+      mc.cacheable = mc.cold && mc.pollution_period == 0 &&
+                     !uses_random_replacement(mc.hierarchy);
+      hpc::SimulatedPmuConfig pc;
+      pc.hierarchy = mc.hierarchy;
+      // The memory replay never emits a conditional branch, so the
+      // predictor choice is irrelevant; static-taken is the cheapest.
+      pc.predictor = uarch::PredictorKind::kStaticTaken;
+      pc.cold_start_per_measurement = mc.cold;
+      pc.pollution_period = mc.pollution_period;
+      pc.environment = hpc::SimulatedPmuConfig::no_environment();
+      pc.noise_seed = mc.noise_seed;
+      mc.pmu = std::make_unique<hpc::SimulatedPmu>(pc);
+      mem_classes.push_back(std::move(mc));
+      mit = std::prev(mem_classes.end());
+    }
+    mem_of[g] = static_cast<std::size_t>(mit - mem_classes.begin());
+
+    auto bit = std::find_if(br_classes.begin(), br_classes.end(),
+                            [&](const BrClass& b) { return b.matches(p); });
+    if (bit == br_classes.end()) {
+      BrClass bc;
+      bc.predictor = p.predictor;
+      bc.cold = p.cold_start_per_measurement;
+      bc.cacheable = bc.cold;
+      hpc::SimulatedPmuConfig pc;
+      pc.predictor = bc.predictor;
+      pc.cold_start_per_measurement = bc.cold;
+      pc.environment = hpc::SimulatedPmuConfig::no_environment();
+      bc.pmu = std::make_unique<hpc::SimulatedPmu>(pc);
+      br_classes.push_back(std::move(bc));
+      bit = std::prev(br_classes.end());
+    }
+    br_of[g] = static_cast<std::size_t>(bit - br_classes.begin());
+  }
+
+  SweepStats stats;
+  stats.grid_points = cfg.grid.size();
+  stats.memory_classes = mem_classes.size();
+  stats.branch_classes = br_classes.size();
+
+  // --- The recording instrument: one plan, one relocatable buffer. -----
+  // The staging tensor and plan live on the Campaign so repeated sweeps
+  // keep one buffer layout (the simulated counters depend on within-page
+  // offsets; see the class comment in campaign.hpp).
+  nn::Tensor& staged = sweep_staged_;
+  nn::image_to_tensor_into(pools.front().front()->image, staged);
+  if (!sweep_plan_ || sweep_plan_->input_shape() != staged.shape())
+    sweep_plan_ = std::make_unique<nn::InferencePlan>(model_, staged.shape());
+  nn::InferencePlan& plan = *sweep_plan_;
+  uarch::TraceBuffer trace;
+  plan.register_regions(trace);
+
+  // --- Live rerun rig (verify_live): one full PMU per grid point. ------
+  std::vector<std::unique_ptr<hpc::SimulatedPmu>> live;
+  if (cfg.verify_live)
+    for (const SweepPoint& p : cfg.grid)
+      live.push_back(std::make_unique<hpc::SimulatedPmu>(p.pmu));
+
+  // Re-execute the staged input live into grid point `g`'s own PMU under
+  // `key` — the classic rerun loop's unit of work, one network execution
+  // per (slot, point).
+  auto live_measure = [&](std::size_t g, std::uint64_t key) {
+    const auto t0 = Clock::now();
+    hpc::SimulatedPmu& pmu = *live[g];
+    (void)pmu.set_measurement_key(key);
+    pmu.start();
+    (void)plan.run(staged, pmu.sink(), cfg.kernel_mode);
+    pmu.stop();
+    hpc::CounterSample s = pmu.read();
+    stats.live_seconds += seconds_since(t0);
+    ++stats.live_runs;
+    return s;
+  };
+
+  auto record = [&](const data::Example& example) {
+    const auto t0 = Clock::now();
+    trace.clear();
+    nn::image_to_tensor_into(example.image, staged);
+    (void)plan.run(staged, trace, cfg.kernel_mode);
+    ++stats.traces_recorded;
+    stats.trace_events += trace.summary().events();
+    stats.trace_bytes += trace.stats().encoded_bytes;
+    stats.record_seconds += seconds_since(t0);
+  };
+
+  // --- Replay fan-out across classes, with a per-trace barrier. --------
+  const std::size_t nclasses = mem_classes.size() + br_classes.size();
+  const std::size_t threads =
+      cfg.num_threads == 0 ? nclasses : std::min(cfg.num_threads, nclasses);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+
+  // Replay the trace into every class that has no cached counts for
+  // `cache_key` (nullopt = never cache, e.g. warmups).  Each class's PMU
+  // is touched by exactly one task, and the per-trace barrier means the
+  // replay order within a slot cannot matter — results are bit-identical
+  // at any thread count.
+  auto replay_all = [&](std::uint64_t key,
+                        std::optional<std::uint64_t> cache_key) {
+    const auto t0 = Clock::now();
+    std::vector<std::function<void()>> tasks;
+    for (MemClass& mc : mem_classes) {
+      if (cache_key && mc.cacheable) {
+        const auto hit = mc.cache.find(*cache_key);
+        if (hit != mc.cache.end()) {
+          mc.out = hit->second;
+          ++stats.replay_cache_hits;
+          continue;
+        }
+      }
+      ++stats.replays;
+      tasks.push_back([&mc, &trace, key] { replay_mem(mc, trace, key); });
+    }
+    for (BrClass& bc : br_classes) {
+      if (cache_key && bc.cacheable) {
+        const auto hit = bc.cache.find(*cache_key);
+        if (hit != bc.cache.end()) {
+          bc.out = hit->second;
+          ++stats.replay_cache_hits;
+          continue;
+        }
+      }
+      ++stats.replays;
+      tasks.push_back([&bc, &trace, key] { replay_br(bc, trace, key); });
+    }
+    if (pool) {
+      for (auto& t : tasks) pool->submit(std::move(t));
+      pool->wait();
+    } else {
+      for (auto& t : tasks) t();
+    }
+    if (cache_key) {
+      for (MemClass& mc : mem_classes)
+        if (mc.cacheable) mc.cache.emplace(*cache_key, mc.out);
+      for (BrClass& bc : br_classes)
+        if (bc.cacheable) bc.cache.emplace(*cache_key, bc.out);
+    }
+    stats.replay_seconds += seconds_since(t0);
+  };
+
+  // --- Per-point result shells. ----------------------------------------
+  SweepResult result;
+  result.points.resize(cfg.grid.size());
+  for (std::size_t g = 0; g < cfg.grid.size(); ++g) {
+    SweepPointResult& pr = result.points[g];
+    pr.label = cfg.grid[g].label;
+    pr.result.categories = cfg.categories;
+    pr.result.category_names = category_names;
+    for (auto& per_event : pr.result.samples) {
+      per_event.assign(ncat, {});
+      for (auto& cell : per_event) cell.reserve(per_cat);
+    }
+  }
+
+  // --- Warmups: recorded and replayed into every class, mirroring the
+  // live (serial, single-shard) campaign.  Cold classes are insensitive
+  // to them except through the random-replacement victim RNG, which is
+  // exactly why they replay unconditionally: that RNG survives cache
+  // flushes, so skipping a warmup would desynchronize its stream from
+  // the live run's.
+  for (std::size_t w = 0; w < cfg.warmup_measurements; ++w) {
+    record(*pools[w % ncat].front());
+    const std::uint64_t key = acquisition::warmup_key(0, w);
+    replay_all(key, std::nullopt);
+    for (std::size_t g = 0; g < live.size(); ++g) (void)live_measure(g, key);
+  }
+
+  // --- Slot loop, in global (serial acquisition) slot order. -----------
+  const uarch::TraceSummary& sum = trace.summary();
+  auto measure_slot = [&](std::size_t c, std::size_t s) {
+    const std::uint64_t slot = acquisition::global_slot(
+        cfg.interleave_categories, ncat, per_cat, c, s);
+    // The live campaign records every slot on its first attempt (the
+    // simulated provider neither faults nor loses events, and the sweep
+    // schedule has no outlier screen), so attempt is always 0.
+    const std::uint64_t key = acquisition::slot_key(slot, 0);
+    const std::size_t input_index = s % pools[c].size();
+    record(*pools[c][input_index]);
+    replay_all(key, (static_cast<std::uint64_t>(c) << 32) |
+                        static_cast<std::uint64_t>(input_index));
+
+    for (std::size_t g = 0; g < cfg.grid.size(); ++g) {
+      const MemPart& m = mem_classes[mem_of[g]].out;
+      const BrPart& b = br_classes[br_of[g]].out;
+      hpc::ArchCounts counts;
+      counts.loads = sum.loads;
+      counts.stores = sum.stores;
+      counts.retired = sum.retired;
+      counts.branches = sum.conditional_branches + sum.structural_branches;
+      counts.mispredicts = b.mispredicts;
+      counts.memory_cycles = m.memory_cycles;
+      counts.llc_references = m.llc_references;
+      counts.llc_misses = m.llc_misses;
+      const hpc::SimulatedPmuConfig& p = cfg.grid[g].pmu;
+      hpc::CounterSample sample = hpc::assemble_workload_counts(p.core, counts);
+      util::Rng noise(util::mix64(p.noise_seed, key));
+      hpc::apply_environment(sample, p.environment, noise);
+      if (cfg.verify_live) {
+        const hpc::CounterSample live_sample = live_measure(g, key);
+        for (hpc::HpcEvent e : hpc::all_events())
+          if (sample[e] != live_sample[e]) ++stats.live_mismatches;
+      }
+      for (hpc::HpcEvent e : hpc::all_events())
+        result.points[g]
+            .result.samples[static_cast<std::size_t>(e)][c]
+            .push_back(static_cast<double>(sample[e]));
+    }
+  };
+
+  if (cfg.interleave_categories) {
+    for (std::size_t s = 0; s < per_cat; ++s)
+      for (std::size_t c = 0; c < ncat; ++c) measure_slot(c, s);
+  } else {
+    for (std::size_t c = 0; c < ncat; ++c)
+      for (std::size_t s = 0; s < per_cat; ++s) measure_slot(c, s);
+  }
+
+  // --- Diagnostics: a faultless, complete, serial-shaped acquisition. --
+  for (SweepPointResult& pr : result.points) {
+    CampaignDiagnostics& d = pr.result.diagnostics;
+    d.measurements_attempted = ncat * per_cat;
+    d.measurements_recorded = ncat * per_cat;
+    d.complete = true;
+    d.shard_recorded.assign(1, std::vector<std::size_t>(ncat, per_cat));
+  }
+
+  result.stats = stats;
+  util::log_info("sweep: ", stats.grid_points, " grid points via ",
+                 stats.memory_classes, "+", stats.branch_classes,
+                 " component classes; ", stats.traces_recorded,
+                 " traces recorded, ", stats.replays, " replays (",
+                 stats.replay_cache_hits, " cache hits)");
+  return result;
+}
+
+}  // namespace sce::core

@@ -55,6 +55,40 @@ SimulatedPmuConfig::no_environment() {
   return {};
 }
 
+CounterSample assemble_workload_counts(const uarch::CoreModelConfig& core,
+                                       const ArchCounts& counts) {
+  CounterSample s;
+  const std::uint64_t instructions =
+      counts.loads + counts.stores + counts.branches + counts.retired;
+  uarch::CoreCounts cc;
+  cc.instructions = instructions;
+  cc.memory_cycles = counts.memory_cycles;
+  cc.mispredicts = counts.mispredicts;
+  const uarch::DerivedCycles cycles = derive_cycles(core, cc);
+
+  s[HpcEvent::kBranches] = counts.branches;
+  s[HpcEvent::kBranchMisses] = counts.mispredicts;
+  s[HpcEvent::kBusCycles] = cycles.bus_cycles;
+  s[HpcEvent::kCacheMisses] = counts.llc_misses;
+  s[HpcEvent::kCacheReferences] = counts.llc_references;
+  s[HpcEvent::kCycles] = cycles.cycles;
+  s[HpcEvent::kInstructions] = instructions;
+  s[HpcEvent::kRefCycles] = cycles.ref_cycles;
+  return s;
+}
+
+void apply_environment(CounterSample& sample,
+                       const std::array<EnvironmentSpec, kNumEvents>& specs,
+                       util::Rng& rng) {
+  for (HpcEvent e : all_events()) {
+    const auto& env = specs[static_cast<std::size_t>(e)];
+    if (env.base == 0.0 && env.stddev == 0.0) continue;
+    const double extra = rng.normal(env.base, env.stddev);
+    if (extra > 0.0)
+      sample[e] += static_cast<std::uint64_t>(std::llround(extra));
+  }
+}
+
 SimulatedPmu::SimulatedPmu(SimulatedPmuConfig config)
     : config_(std::move(config)),
       hierarchy_(config_.hierarchy),
@@ -100,6 +134,7 @@ void SimulatedPmu::stop() { running_ = false; }
 
 std::uintptr_t SimulatedPmu::normalize(const void* addr) {
   const auto raw = reinterpret_cast<std::uintptr_t>(addr);
+  if (trusted_canonical_) return raw;  // replay already normalized
   if (!config_.normalize_addresses) return raw;
   const std::uintptr_t page = raw >> kPageBits;
   auto [it, inserted] = page_frames_.try_emplace(page, next_frame_);
@@ -151,40 +186,58 @@ void SimulatedPmu::retire(std::uint64_t n) {
   retired_ += n;
 }
 
-CounterSample SimulatedPmu::workload_counts() const {
-  CounterSample s;
-  const auto& bp = predictor_->stats();
-  const std::uint64_t branches = bp.branches + structural_branches_;
-  const std::uint64_t instructions =
-      loads_ + stores_ + branches + retired_;
-  uarch::CoreCounts cc;
-  cc.instructions = instructions;
-  cc.memory_cycles = memory_cycles_;
-  cc.mispredicts = bp.mispredicts;
-  const uarch::DerivedCycles cycles = derive_cycles(config_.core, cc);
+void SimulatedPmu::consume(const uarch::TraceBuffer& trace,
+                           uarch::ReplayClass cls) {
+  if (!running_)
+    throw InvalidArgument(
+        "SimulatedPmu::consume: start() the measurement first");
+  // The canonical fast path is valid only when this trace is the first
+  // memory activity of a cold, normalized measurement: its first-touch
+  // ordinals then coincide with what normalize() would assign.
+  const bool canonical = config_.cold_start_per_measurement &&
+                         config_.normalize_addresses && loads_ == 0 &&
+                         stores_ == 0 && page_frames_.empty();
+  if (canonical) {
+    trusted_canonical_ = true;
+    try {
+      trace.replay(*this, cls, uarch::ReplayAddressing::kCanonical);
+    } catch (...) {
+      trusted_canonical_ = false;
+      throw;
+    }
+    trusted_canonical_ = false;
+  } else {
+    trace.replay(*this, cls, uarch::ReplayAddressing::kSessionStable);
+  }
+}
 
-  s[HpcEvent::kBranches] = branches;
-  s[HpcEvent::kBranchMisses] = bp.mispredicts;
-  s[HpcEvent::kBusCycles] = cycles.bus_cycles;
-  s[HpcEvent::kCacheMisses] = hierarchy_.last_level_misses();
-  s[HpcEvent::kCacheReferences] = hierarchy_.last_level_references();
-  s[HpcEvent::kCycles] = cycles.cycles;
-  s[HpcEvent::kInstructions] = instructions;
-  s[HpcEvent::kRefCycles] = cycles.ref_cycles;
-  return s;
+CounterSample SimulatedPmu::measure_trace(const uarch::TraceBuffer& trace,
+                                          uarch::ReplayClass cls) {
+  start();
+  consume(trace, cls);
+  stop();
+  return read();
+}
+
+CounterSample SimulatedPmu::workload_counts() const {
+  const auto& bp = predictor_->stats();
+  ArchCounts counts;
+  counts.loads = loads_;
+  counts.stores = stores_;
+  counts.retired = retired_;
+  counts.branches = bp.branches + structural_branches_;
+  counts.mispredicts = bp.mispredicts;
+  counts.memory_cycles = memory_cycles_;
+  counts.llc_references = hierarchy_.last_level_references();
+  counts.llc_misses = hierarchy_.last_level_misses();
+  return assemble_workload_counts(config_.core, counts);
 }
 
 CounterSample SimulatedPmu::read() {
   if (running_)
     throw InvalidArgument("SimulatedPmu::read: stop() the measurement first");
   CounterSample s = workload_counts();
-  for (HpcEvent e : all_events()) {
-    const auto& env = config_.environment[static_cast<std::size_t>(e)];
-    if (env.base == 0.0 && env.stddev == 0.0) continue;
-    const double extra = noise_rng_.normal(env.base, env.stddev);
-    if (extra > 0.0)
-      s[e] += static_cast<std::uint64_t>(std::llround(extra));
-  }
+  apply_environment(s, config_.environment, noise_rng_);
   return s;
 }
 

@@ -26,6 +26,7 @@
 #include "uarch/core_model.hpp"
 #include "uarch/hierarchy.hpp"
 #include "uarch/trace.hpp"
+#include "uarch/trace_buffer.hpp"
 #include "util/rng.hpp"
 
 namespace sce::hpc {
@@ -35,6 +36,13 @@ struct EnvironmentSpec {
   double base = 0.0;
   double stddev = 0.0;
 };
+
+inline bool operator==(const EnvironmentSpec& a, const EnvironmentSpec& b) {
+  return a.base == b.base && a.stddev == b.stddev;
+}
+inline bool operator!=(const EnvironmentSpec& a, const EnvironmentSpec& b) {
+  return !(a == b);
+}
 
 struct SimulatedPmuConfig {
   uarch::HierarchyConfig hierarchy{};
@@ -77,6 +85,52 @@ struct SimulatedPmuConfig {
   static std::array<EnvironmentSpec, kNumEvents> no_environment();
 };
 
+/// Field-wise equality; the sweep engine uses it to deduplicate grid
+/// points that drive identical models.
+inline bool operator==(const SimulatedPmuConfig& a,
+                       const SimulatedPmuConfig& b) {
+  return a.hierarchy == b.hierarchy && a.predictor == b.predictor &&
+         a.core == b.core &&
+         a.cold_start_per_measurement == b.cold_start_per_measurement &&
+         a.normalize_addresses == b.normalize_addresses &&
+         a.pollution_period == b.pollution_period &&
+         a.environment == b.environment && a.noise_seed == b.noise_seed;
+}
+inline bool operator!=(const SimulatedPmuConfig& a,
+                       const SimulatedPmuConfig& b) {
+  return !(a == b);
+}
+
+/// Architectural totals of one measurement, as accumulated by a live
+/// SimulatedPmu or assembled from per-component trace replays.
+struct ArchCounts {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t retired = 0;
+  /// Conditional + structural branches.
+  std::uint64_t branches = 0;
+  std::uint64_t mispredicts = 0;
+  std::uint64_t memory_cycles = 0;
+  std::uint64_t llc_references = 0;
+  std::uint64_t llc_misses = 0;
+};
+
+/// The one place the eight perf events are derived from architectural
+/// counts.  SimulatedPmu::workload_counts() routes through this, and the
+/// sweep engine calls it directly when it composes a sample from a
+/// memory-class replay and a branch-class replay — keeping the two paths
+/// bit-identical by construction.
+CounterSample assemble_workload_counts(const uarch::CoreModelConfig& core,
+                                       const ArchCounts& counts);
+
+/// The environment overlay applied by SimulatedPmu::read(): one
+/// truncated-normal draw per nonzero-spec event, in all_events() order,
+/// from `rng`.  Exposed so replay drivers can reproduce a keyed
+/// measurement's noise with Rng(mix64(noise_seed, key)).
+void apply_environment(CounterSample& sample,
+                       const std::array<EnvironmentSpec, kNumEvents>& specs,
+                       util::Rng& rng);
+
 class SimulatedPmu final : public CounterProvider, public uarch::TraceSink {
  public:
   explicit SimulatedPmu(SimulatedPmuConfig config = {});
@@ -104,9 +158,35 @@ class SimulatedPmu final : public CounterProvider, public uarch::TraceSink {
   /// The trace sink kernels should write into (this object itself).
   uarch::TraceSink& sink() { return *this; }
 
+  // --- Trace replay ----------------------------------------------------
+
+  /// Feed a recorded trace (or one component class of it) into the
+  /// running measurement, as if the kernels had streamed it live.  When
+  /// this measurement is cold-started with address normalization on — the
+  /// reproducibility default — the buffer's canonical addresses are
+  /// exactly what normalize() would produce, so the per-access page hash
+  /// is skipped; otherwise the trace replays in its session-stable
+  /// address space through the ordinary normalization path.  Either way
+  /// the resulting counts are bit-identical to the live run that was
+  /// recorded (tests/hpc/replay_test.cpp).  One trace per measurement,
+  /// mirroring the campaign's one-classification-per-measurement shape.
+  void consume(const uarch::TraceBuffer& trace,
+               uarch::ReplayClass cls = uarch::ReplayClass::kAll);
+
+  /// Convenience: start(), consume(trace), stop(), read() — one full
+  /// replayed measurement under the current measurement key.
+  CounterSample measure_trace(
+      const uarch::TraceBuffer& trace,
+      uarch::ReplayClass cls = uarch::ReplayClass::kAll);
+
   /// Architectural counts of the current/last measurement, without the
   /// environment overlay (for tests and ablations).
   CounterSample workload_counts() const;
+
+  /// Hierarchy latency accumulated by the current/last measurement (the
+  /// memory_cycles input to the core event model); exposed so component
+  /// replays can be composed via assemble_workload_counts.
+  std::uint64_t memory_cycles() const { return memory_cycles_; }
 
   uarch::MemoryHierarchy& hierarchy() { return hierarchy_; }
   uarch::BranchPredictor& predictor() { return *predictor_; }
@@ -123,6 +203,10 @@ class SimulatedPmu final : public CounterProvider, public uarch::TraceSink {
   std::optional<std::uint64_t> measurement_key_;
 
   bool running_ = false;
+  /// Set while consume() replays a canonical-address trace into a cold
+  /// normalized measurement: the addresses already are the normalized
+  /// form, so normalize() passes them through untouched.
+  bool trusted_canonical_ = false;
   std::unordered_map<std::uintptr_t, std::uintptr_t> page_frames_;
   std::uintptr_t next_frame_ = 0;
   std::size_t accesses_since_pollution_ = 0;

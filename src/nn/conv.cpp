@@ -269,6 +269,11 @@ void Conv2D::forward_im2col(const Tensor& input, Tensor& output,
   }
 }
 
+void Conv2D::visit_buffers(const BufferVisitor& visit) const {
+  visit("weights", weights_.data(), weights_.numel() * sizeof(float));
+  visit("bias", bias_.data(), bias_.size() * sizeof(float));
+}
+
 LeakageContract Conv2D::leakage_contract(KernelMode mode) const {
   LeakageContract c;
   if (mode == KernelMode::kDataDependent) {

@@ -58,6 +58,8 @@ class Conv2D final : public Layer {
   /// every element does full work.
   LeakageContract leakage_contract(KernelMode mode) const override;
 
+  void visit_buffers(const BufferVisitor& visit) const override;
+
   Tensor& weights() { return weights_; }
   const Tensor& weights() const { return weights_; }
   std::vector<float>& bias() { return bias_; }

@@ -98,6 +98,11 @@ void Dense::forward_kernel(const Tensor& input, Tensor& output, Sink& sink,
   sink.structural_branches(in_);
 }
 
+void Dense::visit_buffers(const BufferVisitor& visit) const {
+  visit("weights", weights_.data(), weights_.numel() * sizeof(float));
+  visit("bias", bias_.data(), bias_.size() * sizeof(float));
+}
+
 LeakageContract Dense::leakage_contract(KernelMode mode) const {
   LeakageContract c;
   if (mode == KernelMode::kDataDependent) {

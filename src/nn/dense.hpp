@@ -40,6 +40,9 @@ class Dense final : public Layer {
   /// trace aspect varies with the input's zero pattern.  The strongest
   /// single leak source in the model.  Constant-flow: dense GEMM.
   LeakageContract leakage_contract(KernelMode mode) const override;
+
+  void visit_buffers(const BufferVisitor& visit) const override;
+
   Tensor& weights() { return weights_; }
   const Tensor& weights() const { return weights_; }
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -33,6 +34,13 @@ namespace sce::nn {
 enum class KernelMode { kDataDependent, kConstantFlow };
 
 std::string to_string(KernelMode mode);
+
+/// Callback receiving one named inference-time buffer: its label, base
+/// address and size in bytes.  Used to register a model's stable buffers
+/// with a uarch::TraceBuffer so recorded traces are relocatable.
+using BufferVisitor =
+    std::function<void(const std::string& name, const void* base,
+                       std::size_t bytes)>;
 
 class Layer {
  public:
@@ -86,6 +94,13 @@ class Layer {
 
   /// Randomize parameters (He initialization); no-op for stateless layers.
   virtual void initialize(util::Rng& /*rng*/) {}
+
+  /// Report every buffer this layer's *inference* kernels read or write
+  /// (weights, biases — not training state, which forward_into never
+  /// touches).  Stateless layers report nothing.  Addresses must stay
+  /// stable for the visiting consumer's lifetime, which parameter
+  /// tensors — sized at construction/load — satisfy.
+  virtual void visit_buffers(const BufferVisitor& /*visit*/) const {}
 };
 
 namespace detail {

@@ -1,8 +1,10 @@
 #include "nn/plan.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "nn/model.hpp"
+#include "uarch/trace_buffer.hpp"
 #include "util/error.hpp"
 
 namespace sce::nn {
@@ -33,6 +35,7 @@ InferencePlan::InferencePlan(const Sequential& model,
   }
   ping_.reserve(max_numel, max_rank);
   pong_.reserve(max_numel, max_rank);
+  buffer_capacity_ = max_numel;
   workspaces_.resize(layers_.size());
 
   // Warmup pass: first-touch sizing of every buffer and scratch slot so
@@ -70,6 +73,29 @@ const Tensor& InferencePlan::run(const Tensor& input, uarch::TraceSink& sink,
 const Tensor& InferencePlan::run(const Tensor& input) {
   uarch::NullSink sink;
   return run(input, sink, KernelMode::kDataDependent);
+}
+
+void InferencePlan::register_regions(uarch::TraceBuffer& trace) const {
+  // The ping-pong buffers are registered at their full reserved capacity:
+  // run() resizes them within that capacity, so the data pointers are
+  // stable and every activation access lands inside these two regions.
+  trace.register_region("act/ping", ping_.data(),
+                        buffer_capacity_ * sizeof(float));
+  trace.register_region("act/pong", pong_.data(),
+                        buffer_capacity_ * sizeof(float));
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const std::string prefix = "L" + std::to_string(i) + "/";
+    layers_[i]->visit_buffers(
+        [&](const std::string& name, const void* base, std::size_t bytes) {
+          trace.register_region(prefix + name, base, bytes);
+        });
+    const Workspace& ws = workspaces_[i];
+    for (std::size_t s = 0; s < ws.slot_count(); ++s) {
+      const Tensor& t = ws.slot(s);
+      trace.register_region(prefix + "scratch" + std::to_string(s), t.data(),
+                            t.numel() * sizeof(float));
+    }
+  }
 }
 
 }  // namespace sce::nn

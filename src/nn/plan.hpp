@@ -10,6 +10,10 @@
 
 #include "nn/layer.hpp"
 
+namespace sce::uarch {
+class TraceBuffer;
+}
+
 namespace sce::nn {
 
 class Sequential;
@@ -36,12 +40,23 @@ class InferencePlan {
   /// kernels, trace events discarded).
   const Tensor& run(const Tensor& input);
 
+  /// Registers every buffer a traced run() touches with `trace` so its
+  /// recorded addresses become relocatable: the ping-pong activation
+  /// buffers (full reserved capacity), each layer's parameter buffers
+  /// (via Layer::visit_buffers, named "L<i>/<buffer>"), and each layer's
+  /// workspace scratch slots.  Must be called before recording starts;
+  /// the registration sequence is deterministic, so two plans built from
+  /// the same model register identical region sequences regardless of
+  /// heap layout.
+  void register_regions(uarch::TraceBuffer& trace) const;
+
  private:
   std::vector<const Layer*> layers_;
   // shapes_[0] is the input shape; shapes_[i + 1] is layer i's output.
   std::vector<std::vector<std::size_t>> shapes_;
   Tensor ping_;
   Tensor pong_;
+  std::size_t buffer_capacity_ = 0;    // reserved elements in ping_/pong_
   std::vector<Workspace> workspaces_;  // one per layer, sized once
 };
 

@@ -171,6 +171,12 @@ void ElmanRNN::forward_kernel(const Tensor& input, std::size_t t_steps,
   }
 }
 
+void ElmanRNN::visit_buffers(const BufferVisitor& visit) const {
+  visit("input_weights", wx_.data(), wx_.numel() * sizeof(float));
+  visit("recurrent_weights", wh_.data(), wh_.numel() * sizeof(float));
+  visit("bias", bias_.data(), bias_.size() * sizeof(float));
+}
+
 LeakageContract ElmanRNN::leakage_contract(KernelMode mode) const {
   LeakageContract c;
   c.shape_scales_trace = true;  // trace length ∝ timestep count, both modes

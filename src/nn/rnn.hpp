@@ -43,6 +43,9 @@ class ElmanRNN final : public Layer {
   /// with the timestep count, so variable-length deployments broadcast
   /// their sequence length even under the countermeasure.
   LeakageContract leakage_contract(KernelMode mode) const override;
+
+  void visit_buffers(const BufferVisitor& visit) const override;
+
   Tensor& input_weights() { return wx_; }
   Tensor& recurrent_weights() { return wh_; }
 

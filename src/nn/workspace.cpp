@@ -1,6 +1,14 @@
 #include "nn/workspace.hpp"
 
+#include "util/error.hpp"
+
 namespace sce::nn {
+
+const Tensor& Workspace::slot(std::size_t i) const {
+  if (i >= slots_.size())
+    throw InvalidArgument("Workspace::slot: index out of range");
+  return slots_[i];
+}
 
 Tensor& Workspace::slot_ref(std::size_t slot) {
   while (slots_.size() <= slot) slots_.emplace_back();

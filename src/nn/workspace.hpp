@@ -31,6 +31,10 @@ class Workspace {
 
   std::size_t slot_count() const { return slots_.size(); }
 
+  /// Read-only view of slot `i` (for buffer registration/inspection);
+  /// throws InvalidArgument when out of range.
+  const Tensor& slot(std::size_t i) const;
+
  private:
   Tensor& slot_ref(std::size_t slot);
 

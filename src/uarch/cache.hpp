@@ -35,6 +35,17 @@ struct CacheConfig {
   }
 };
 
+/// Field-wise equality, used by the sweep engine to deduplicate grid
+/// points that share a cache geometry.
+inline bool operator==(const CacheConfig& a, const CacheConfig& b) {
+  return a.name == b.name && a.size_bytes == b.size_bytes &&
+         a.associativity == b.associativity && a.line_bytes == b.line_bytes &&
+         a.policy == b.policy && a.protected_ways == b.protected_ways;
+}
+inline bool operator!=(const CacheConfig& a, const CacheConfig& b) {
+  return !(a == b);
+}
+
 struct CacheStats {
   std::uint64_t accesses = 0;
   std::uint64_t hits = 0;

@@ -23,6 +23,15 @@ struct CoreModelConfig {
   double ref_over_bus = 25.8;
 };
 
+inline bool operator==(const CoreModelConfig& a, const CoreModelConfig& b) {
+  return a.base_cpi == b.base_cpi &&
+         a.branch_mispredict_cycles == b.branch_mispredict_cycles &&
+         a.core_over_ref == b.core_over_ref && a.ref_over_bus == b.ref_over_bus;
+}
+inline bool operator!=(const CoreModelConfig& a, const CoreModelConfig& b) {
+  return !(a == b);
+}
+
 struct CoreCounts {
   std::uint64_t instructions = 0;
   std::uint64_t memory_cycles = 0;  // accumulated hierarchy latency

@@ -38,6 +38,25 @@ struct HierarchyConfig {
   std::uint32_t tlb_miss_cycles = 30;
 };
 
+/// Field-wise equality: two hierarchies with equal configs produce
+/// identical counts from identical access sequences (the sweep engine's
+/// deduplication criterion).
+inline bool operator==(const HierarchyConfig& a, const HierarchyConfig& b) {
+  return a.l1d == b.l1d && a.l2 == b.l2 && a.llc == b.llc &&
+         a.enable_l2 == b.enable_l2 && a.enable_llc == b.enable_llc &&
+         a.enable_next_line_prefetch == b.enable_next_line_prefetch &&
+         a.enable_stride_prefetch == b.enable_stride_prefetch &&
+         a.stride_prefetcher == b.stride_prefetcher && a.tlb == b.tlb &&
+         a.enable_tlb == b.enable_tlb && a.l1_hit_cycles == b.l1_hit_cycles &&
+         a.l2_hit_cycles == b.l2_hit_cycles &&
+         a.llc_hit_cycles == b.llc_hit_cycles &&
+         a.memory_cycles == b.memory_cycles &&
+         a.tlb_miss_cycles == b.tlb_miss_cycles;
+}
+inline bool operator!=(const HierarchyConfig& a, const HierarchyConfig& b) {
+  return !(a == b);
+}
+
 struct AccessResult {
   /// Cycles this access contributed (latency model, not overlap-aware).
   std::uint64_t cycles = 0;

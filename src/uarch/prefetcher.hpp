@@ -22,6 +22,15 @@ struct PrefetcherConfig {
   std::size_t line_bytes = 64;
 };
 
+inline bool operator==(const PrefetcherConfig& a, const PrefetcherConfig& b) {
+  return a.streams == b.streams &&
+         a.confidence_threshold == b.confidence_threshold &&
+         a.degree == b.degree && a.line_bytes == b.line_bytes;
+}
+inline bool operator!=(const PrefetcherConfig& a, const PrefetcherConfig& b) {
+  return !(a == b);
+}
+
 struct PrefetcherStats {
   std::uint64_t trained = 0;    ///< miss observations fed in
   std::uint64_t issued = 0;     ///< prefetch lines issued

@@ -14,6 +14,14 @@ struct TlbConfig {
   std::size_t page_bytes = 4096;
 };
 
+inline bool operator==(const TlbConfig& a, const TlbConfig& b) {
+  return a.entries == b.entries && a.associativity == b.associativity &&
+         a.page_bytes == b.page_bytes;
+}
+inline bool operator!=(const TlbConfig& a, const TlbConfig& b) {
+  return !(a == b);
+}
+
 struct TlbStats {
   std::uint64_t accesses = 0;
   std::uint64_t hits = 0;

@@ -1,0 +1,235 @@
+#include "uarch/trace_buffer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sce::uarch {
+
+namespace {
+
+constexpr std::uintptr_t kPageBits = 12;
+constexpr std::uintptr_t kPageOffsetMask = (std::uintptr_t{1} << kPageBits) - 1;
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+std::uint64_t read_varint(const std::uint8_t* data, std::size_t& pos) {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  for (;;) {
+    const std::uint8_t byte = data[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+void TraceBuffer::append_varint(std::vector<std::uint8_t>& out,
+                                std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::size_t TraceBuffer::register_region(std::string name, const void* base,
+                                         std::size_t bytes) {
+  if (sealed_)
+    throw InvalidArgument(
+        "TraceBuffer::register_region: recording already started; regions "
+        "must be declared before the first event");
+  if (base == nullptr && bytes > 0)
+    throw InvalidArgument("TraceBuffer::register_region: null base");
+  regions_.push_back(
+      {std::move(name), reinterpret_cast<std::uintptr_t>(base), bytes});
+  return regions_.size() - 1;
+}
+
+void TraceBuffer::seal_groups() {
+  // Coalesce the registered regions' page intervals into maximal
+  // intersecting runs and hand each run a dense range of stable ids.
+  // The result is a pure function of the registered (base, bytes) pairs,
+  // and preserves page sharing exactly: raw pages p and q map to the
+  // same stable id iff p == q.
+  std::vector<std::pair<std::uintptr_t, std::uintptr_t>> spans;
+  spans.reserve(regions_.size());
+  for (const Region& r : regions_) {
+    if (r.bytes == 0) continue;
+    spans.emplace_back(r.base >> kPageBits, (r.base + r.bytes - 1) >> kPageBits);
+  }
+  std::sort(spans.begin(), spans.end());
+  std::uintptr_t next_stable = kStablePageBase;
+  for (const auto& [first, last] : spans) {
+    if (!groups_.empty() && first <= groups_.back().last_page) {
+      Group& g = groups_.back();
+      g.last_page = std::max(g.last_page, last);
+      continue;
+    }
+    groups_.push_back({first, last, next_stable});
+    next_stable += last - first + 1;
+  }
+  // Re-derive stable bases after merging (a merge may have grown a span).
+  next_stable = kStablePageBase;
+  for (Group& g : groups_) {
+    g.stable = next_stable;
+    next_stable += g.last_page - g.first_page + 1;
+  }
+  sealed_ = true;
+}
+
+std::uintptr_t TraceBuffer::stable_page_of(std::uintptr_t raw_page) {
+  if (!groups_.empty()) {
+    // Last-hit cache: kernel address streams are strongly local.
+    const Group& cached = groups_[last_group_];
+    if (raw_page >= cached.first_page && raw_page <= cached.last_page)
+      return cached.stable + (raw_page - cached.first_page);
+    auto it = std::upper_bound(
+        groups_.begin(), groups_.end(), raw_page,
+        [](std::uintptr_t page, const Group& g) { return page < g.first_page; });
+    if (it != groups_.begin()) {
+      --it;
+      if (raw_page >= it->first_page && raw_page <= it->last_page) {
+        last_group_ = static_cast<std::size_t>(it - groups_.begin());
+        return it->stable + (raw_page - it->first_page);
+      }
+    }
+  }
+  return raw_page;  // unregistered fallback: raw page is the stable id
+}
+
+std::uintptr_t TraceBuffer::canonicalize(const void* addr) {
+  if (!sealed_) seal_groups();
+  const auto raw = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t stable = stable_page_of(raw >> kPageBits);
+  const auto [it, inserted] = page_ordinals_.try_emplace(
+      stable, static_cast<std::uint32_t>(pages_.size()));
+  if (inserted) {
+    pages_.push_back(stable);
+    if (stable < kStablePageBase) ++unregistered_pages_;
+  }
+  return kCanonicalBase +
+         (static_cast<std::uintptr_t>(it->second) << kPageBits) +
+         (raw & kPageOffsetMask);
+}
+
+void TraceBuffer::record_mem(const void* addr, std::size_t bytes,
+                             bool is_store) {
+  const std::uintptr_t canonical = canonicalize(addr);
+  const auto delta = static_cast<std::int64_t>(canonical) -
+                     static_cast<std::int64_t>(last_canonical_);
+  last_canonical_ = canonical;
+  // Header: zigzag(delta) in the high bits, store flag in bit 1, and a
+  // "4-byte access" flag in bit 0 (float kernels make 4 the overwhelming
+  // size; other sizes append an explicit varint).
+  const std::uint64_t header =
+      (zigzag(delta) << 2) | (std::uint64_t{is_store} << 1) |
+      std::uint64_t{bytes == 4};
+  append_varint(mem_stream_, header);
+  if (bytes != 4) append_varint(mem_stream_, bytes);
+}
+
+void TraceBuffer::load(const void* addr, std::size_t bytes) {
+  ++summary_.loads;
+  summary_.load_bytes += bytes;
+  record_mem(addr, bytes, false);
+}
+
+void TraceBuffer::store(const void* addr, std::size_t bytes) {
+  ++summary_.stores;
+  summary_.store_bytes += bytes;
+  record_mem(addr, bytes, true);
+}
+
+void TraceBuffer::branch(std::uintptr_t pc, bool taken) {
+  if (!sealed_) seal_groups();
+  ++summary_.conditional_branches;
+  if (taken) ++summary_.taken_branches;
+  const auto [it, inserted] = site_ids_.try_emplace(
+      pc, static_cast<std::uint32_t>(site_pcs_.size()));
+  if (inserted) site_pcs_.push_back(pc);
+  append_varint(branch_stream_,
+                (static_cast<std::uint64_t>(it->second) << 1) |
+                    std::uint64_t{taken});
+}
+
+void TraceBuffer::structural_branches(std::uint64_t n) {
+  if (!sealed_) seal_groups();
+  summary_.structural_branches += n;
+}
+
+void TraceBuffer::retire(std::uint64_t n) {
+  if (!sealed_) seal_groups();
+  summary_.retired += n;
+}
+
+TraceBufferStats TraceBuffer::stats() const {
+  TraceBufferStats s;
+  s.events = summary_.events();
+  s.encoded_bytes = mem_stream_.size() + branch_stream_.size();
+  s.regions = regions_.size();
+  s.relocation_groups = groups_.size();
+  s.pages_touched = pages_.size();
+  s.unregistered_pages = unregistered_pages_;
+  s.branch_sites = site_pcs_.size();
+  return s;
+}
+
+void TraceBuffer::clear() {
+  summary_ = TraceSummary{};
+  mem_stream_.clear();
+  branch_stream_.clear();
+  last_canonical_ = kCanonicalBase;
+  page_ordinals_.clear();
+  pages_.clear();
+  unregistered_pages_ = 0;
+}
+
+void TraceBuffer::replay(TraceSink& sink, ReplayClass cls,
+                         ReplayAddressing addressing) const {
+  if (cls != ReplayClass::kControlFlow) {
+    const std::uint8_t* data = mem_stream_.data();
+    const std::size_t end = mem_stream_.size();
+    std::size_t pos = 0;
+    std::uintptr_t canonical = kCanonicalBase;
+    while (pos < end) {
+      const std::uint64_t header = read_varint(data, pos);
+      canonical = static_cast<std::uintptr_t>(
+          static_cast<std::int64_t>(canonical) + unzigzag(header >> 2));
+      const std::size_t bytes =
+          (header & 1) ? 4 : static_cast<std::size_t>(read_varint(data, pos));
+      std::uintptr_t addr = canonical;
+      if (addressing == ReplayAddressing::kSessionStable) {
+        const std::uintptr_t ordinal = (canonical - kCanonicalBase) >> kPageBits;
+        addr = (pages_[ordinal] << kPageBits) | (canonical & kPageOffsetMask);
+      }
+      if (header & 2)
+        sink.store(reinterpret_cast<const void*>(addr), bytes);
+      else
+        sink.load(reinterpret_cast<const void*>(addr), bytes);
+    }
+  }
+  if (cls != ReplayClass::kMemory) {
+    const std::uint8_t* data = branch_stream_.data();
+    const std::size_t end = branch_stream_.size();
+    std::size_t pos = 0;
+    while (pos < end) {
+      const std::uint64_t event = read_varint(data, pos);
+      sink.branch(site_pcs_[event >> 1], (event & 1) != 0);
+    }
+    if (summary_.structural_branches != 0)
+      sink.structural_branches(summary_.structural_branches);
+    if (summary_.retired != 0) sink.retire(summary_.retired);
+  }
+}
+
+}  // namespace sce::uarch

@@ -1,0 +1,259 @@
+#include "uarch/trace_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/plan.hpp"
+#include "nn/zoo.hpp"
+#include "uarch/trace.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sce::uarch {
+namespace {
+
+constexpr std::uintptr_t kPageMask = (std::uintptr_t{1} << 12) - 1;
+
+/// Every zoo architecture with an initialized (untrained — the kernels
+/// and therefore the traces do not care) parameter set and a matching
+/// random input.
+struct ZooCase {
+  std::string name;
+  nn::Sequential model;
+  nn::Tensor input;
+};
+
+std::vector<ZooCase> zoo_cases() {
+  std::vector<ZooCase> cases;
+  const auto add = [&cases](std::string name, nn::Sequential model,
+                            std::vector<std::size_t> shape,
+                            std::uint64_t seed) {
+    util::Rng rng(seed);
+    model.initialize(rng);
+    nn::Tensor input(shape);
+    for (std::size_t i = 0; i < input.numel(); ++i)
+      input[i] = static_cast<float>(rng.normal(0.2, 0.8));
+    cases.push_back({std::move(name), std::move(model), std::move(input)});
+  };
+  add("mnist", nn::build_mnist_cnn(), {1, 28, 28}, 11);
+  add("cifar", nn::build_cifar_cnn(), {3, 32, 32}, 12);
+  add("sequence", nn::build_sequence_rnn(), {1, 12, 8}, 13);
+  return cases;
+}
+
+const char* mode_name(nn::KernelMode mode) {
+  return mode == nn::KernelMode::kDataDependent ? "data-dependent"
+                                                : "constant-flow";
+}
+
+TEST(TraceBuffer, RoundTripTalliesMatchLiveForEveryZooModel) {
+  for (ZooCase& zc : zoo_cases()) {
+    nn::InferencePlan plan(zc.model, zc.input.shape());
+    for (nn::KernelMode mode :
+         {nn::KernelMode::kDataDependent, nn::KernelMode::kConstantFlow}) {
+      SCOPED_TRACE(zc.name + std::string("/") + mode_name(mode));
+
+      CountingSink live;
+      (void)plan.run(zc.input, live, mode);
+
+      TraceBuffer trace;
+      plan.register_regions(trace);
+      (void)plan.run(zc.input, trace, mode);
+
+      CountingSink replayed;
+      trace.replay(replayed);
+
+      EXPECT_EQ(replayed.loads(), live.loads());
+      EXPECT_EQ(replayed.stores(), live.stores());
+      EXPECT_EQ(replayed.load_bytes(), live.load_bytes());
+      EXPECT_EQ(replayed.store_bytes(), live.store_bytes());
+      EXPECT_EQ(replayed.branches(), live.branches());
+      EXPECT_EQ(replayed.taken_branches(), live.taken_branches());
+      EXPECT_EQ(replayed.retired(), live.retired());
+      EXPECT_EQ(replayed.instructions(), live.instructions());
+      EXPECT_GT(trace.summary().events(), 0u);
+      // The compact encoding is what makes replay cheaper than rerunning:
+      // a raw event is 24+ bytes, the stream should average only a few.
+      EXPECT_LT(trace.stats().bytes_per_event(), 4.0);
+    }
+  }
+}
+
+TEST(TraceBuffer, ReplayPreservesOrderOffsetsAndBranchSites) {
+  for (ZooCase& zc : zoo_cases()) {
+    nn::InferencePlan plan(zc.model, zc.input.shape());
+    const nn::KernelMode mode = nn::KernelMode::kDataDependent;
+    SCOPED_TRACE(zc.name);
+
+    RecordingSink live;
+    (void)plan.run(zc.input, live, mode);
+
+    TraceBuffer trace;
+    plan.register_regions(trace);
+    (void)plan.run(zc.input, trace, mode);
+
+    // Memory class: recorded order and per-event (kind, bytes, low-12
+    // offset) match the live stream exactly; pages are renamed to
+    // first-touch ordinals from the canonical base.
+    RecordingSink mem;
+    trace.replay(mem, ReplayClass::kMemory);
+    std::vector<RecordingSink::Event> live_mem;
+    for (const auto& e : live.events())
+      if (e.kind == RecordingSink::Kind::kLoad ||
+          e.kind == RecordingSink::Kind::kStore)
+        live_mem.push_back(e);
+    ASSERT_EQ(mem.events().size(), live_mem.size());
+    const std::size_t pages = trace.stats().pages_touched;
+    for (std::size_t i = 0; i < live_mem.size(); ++i) {
+      EXPECT_TRUE(mem.events()[i].kind == live_mem[i].kind);
+      EXPECT_EQ(mem.events()[i].value, live_mem[i].value);  // bytes
+      EXPECT_EQ(mem.events()[i].address & kPageMask,
+                live_mem[i].address & kPageMask);
+      const std::uintptr_t ordinal =
+          (mem.events()[i].address - TraceBuffer::kCanonicalBase) >> 12;
+      EXPECT_LT(ordinal, pages);
+    }
+
+    // Control-flow class: conditional branches keep their exact site pc
+    // and outcome, then the structural/retired totals arrive as one bulk
+    // call each.
+    RecordingSink ctrl;
+    trace.replay(ctrl, ReplayClass::kControlFlow);
+    std::vector<RecordingSink::Event> live_branches;
+    std::uint64_t live_structural = 0;
+    std::uint64_t live_retired = 0;
+    for (const auto& e : live.events()) {
+      if (e.kind == RecordingSink::Kind::kBranch) live_branches.push_back(e);
+      if (e.kind == RecordingSink::Kind::kStructuralBranches)
+        live_structural += e.value;
+      if (e.kind == RecordingSink::Kind::kRetire) live_retired += e.value;
+    }
+    ASSERT_EQ(ctrl.events().size(), live_branches.size() + 2);
+    for (std::size_t i = 0; i < live_branches.size(); ++i) {
+      EXPECT_TRUE(ctrl.events()[i].kind == RecordingSink::Kind::kBranch);
+      EXPECT_EQ(ctrl.events()[i].address, live_branches[i].address);
+      EXPECT_EQ(ctrl.events()[i].value, live_branches[i].value);
+    }
+    EXPECT_EQ(ctrl.events()[live_branches.size()].value, live_structural);
+    EXPECT_EQ(ctrl.events()[live_branches.size() + 1].value, live_retired);
+  }
+}
+
+TEST(TraceBuffer, EmptyTraceReplaysNothing) {
+  TraceBuffer trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.stats().events, 0u);
+  CountingSink sink;
+  trace.replay(sink);
+  EXPECT_EQ(sink.instructions(), 0u);
+}
+
+TEST(TraceBuffer, SingleEventRoundTrip) {
+  float value = 0.0f;
+  TraceBuffer trace;
+  trace.load(&value, sizeof(float));
+  EXPECT_FALSE(trace.empty());
+
+  RecordingSink sink;
+  trace.replay(sink);
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_TRUE(sink.events()[0].kind == RecordingSink::Kind::kLoad);
+  EXPECT_EQ(sink.events()[0].value, sizeof(float));
+  // First-touch page 0 from the canonical base, original page offset.
+  EXPECT_EQ(sink.events()[0].address,
+            TraceBuffer::kCanonicalBase +
+                (reinterpret_cast<std::uintptr_t>(&value) & kPageMask));
+}
+
+TEST(TraceBuffer, UnregisteredAddressesFallBackToRawPages) {
+  std::vector<float> heap(64, 1.0f);
+  TraceBuffer trace;  // no regions registered
+  trace.load(&heap[0], 4);
+  trace.store(&heap[32], 4);
+  EXPECT_EQ(trace.stats().unregistered_pages, trace.stats().pages_touched);
+  EXPECT_GT(trace.stats().unregistered_pages, 0u);
+
+  // For unregistered pages the stable id *is* the raw page, so the
+  // session-stable replay reproduces the original addresses verbatim.
+  RecordingSink sink;
+  trace.replay(sink, ReplayClass::kMemory, ReplayAddressing::kSessionStable);
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].address,
+            reinterpret_cast<std::uintptr_t>(&heap[0]));
+  EXPECT_EQ(sink.events()[1].address,
+            reinterpret_cast<std::uintptr_t>(&heap[32]));
+}
+
+TEST(TraceBuffer, RegisterAfterRecordingThrows) {
+  std::vector<float> buffer(16, 0.0f);
+  TraceBuffer trace;
+  trace.register_region("a", buffer.data(), 16 * sizeof(float));
+  trace.load(buffer.data(), 4);
+  EXPECT_THROW(trace.register_region("late", buffer.data(), 4),
+               InvalidArgument);
+}
+
+TEST(TraceBuffer, ClearKeepsRegionsAndReproducesTheStream) {
+  ZooCase zc = std::move(zoo_cases().front());
+  nn::InferencePlan plan(zc.model, zc.input.shape());
+  TraceBuffer trace;
+  plan.register_regions(trace);
+
+  (void)plan.run(zc.input, trace, nn::KernelMode::kDataDependent);
+  RecordingSink first;
+  trace.replay(first, ReplayClass::kAll, ReplayAddressing::kSessionStable);
+  const auto stats_first = trace.stats();
+
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.region_count(), stats_first.regions);
+
+  (void)plan.run(zc.input, trace, nn::KernelMode::kDataDependent);
+  RecordingSink second;
+  trace.replay(second, ReplayClass::kAll, ReplayAddressing::kSessionStable);
+
+  ASSERT_EQ(first.events().size(), second.events().size());
+  for (std::size_t i = 0; i < first.events().size(); ++i) {
+    EXPECT_TRUE(first.events()[i].kind == second.events()[i].kind);
+    EXPECT_EQ(first.events()[i].address, second.events()[i].address);
+    EXPECT_EQ(first.events()[i].value, second.events()[i].value);
+  }
+  EXPECT_EQ(trace.stats().pages_touched, stats_first.pages_touched);
+}
+
+TEST(TraceBuffer, SessionStableIdsAgreeAcrossBuffersAndTraces) {
+  // Two buffers with the same registration sequence (e.g. two recording
+  // sessions over one plan) must hand every page the same stable id —
+  // the property warm replayed sessions rely on for cross-measurement
+  // page identity.
+  ZooCase zc = std::move(zoo_cases().front());
+  nn::InferencePlan plan(zc.model, zc.input.shape());
+
+  TraceBuffer a;
+  TraceBuffer b;
+  plan.register_regions(a);
+  plan.register_regions(b);
+  (void)plan.run(zc.input, a, nn::KernelMode::kDataDependent);
+  (void)plan.run(zc.input, b, nn::KernelMode::kDataDependent);
+
+  RecordingSink ra;
+  RecordingSink rb;
+  a.replay(ra, ReplayClass::kMemory, ReplayAddressing::kSessionStable);
+  b.replay(rb, ReplayClass::kMemory, ReplayAddressing::kSessionStable);
+  ASSERT_EQ(ra.events().size(), rb.events().size());
+  for (std::size_t i = 0; i < ra.events().size(); ++i)
+    EXPECT_EQ(ra.events()[i].address, rb.events()[i].address);
+
+  // Registered pages sit in the dedicated stable range, far above any
+  // raw user-space page.
+  EXPECT_GT(a.page_table().size(), 0u);
+  std::size_t stable = 0;
+  for (std::uintptr_t page : a.page_table())
+    if (page >= TraceBuffer::kStablePageBase) ++stable;
+  EXPECT_EQ(stable + a.stats().unregistered_pages, a.page_table().size());
+}
+
+}  // namespace
+}  // namespace sce::uarch

@@ -52,6 +52,13 @@ echo "==> lint gate rejects the data-dependent model (expected)"
 echo "==> running tier-1 suite"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+echo "==> smoke: record-once/replay-many hardware sweep"
+# Tiny sample budget: the point is to exercise the sweep engine end to
+# end (record, replay, verify_live bit-identity — the bench exits
+# non-zero on any replay/live mismatch) and to publish the speedup
+# accounting in BENCH_uarch_sweep.json as a CI artifact.
+SCE_BENCH_SAMPLES=4 "$BUILD_DIR/bench/ablation_uarch_sweep"
+
 if [ "${SCE_CI_SKIP_SANITIZERS:-0}" = "1" ]; then
   echo "==> SCE_CI_SKIP_SANITIZERS=1: skipping sanitized passes"
 else
