@@ -1,0 +1,174 @@
+// Robustness-cost bench: what crash-safety actually charges the
+// acquisition runtime.  Measures (a) the wall-clock overhead of running
+// a checkpointed MNIST campaign versus the same campaign with
+// checkpointing off, (b) the cost and size of a single durable
+// checkpoint write (fsync'd temp file, .prev rotation, directory
+// fsync), and (c) resume latency — kill a run at half budget, then time
+// the resumed leg against the uninterrupted baseline.  The determinism
+// gate from campaign_scaling applies here too: the resumed run's
+// address-independent events must match the uninterrupted run's bit for
+// bit, else the bench exits non-zero.  Writes BENCH_robustness.json.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common.hpp"
+#include "core/checkpoint.hpp"
+#include "util/cancel.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace sce;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+bool address_independent_events_match(const core::CampaignResult& a,
+                                      const core::CampaignResult& b) {
+  for (hpc::HpcEvent event :
+       {hpc::HpcEvent::kInstructions, hpc::HpcEvent::kBranches,
+        hpc::HpcEvent::kBranchMisses}) {
+    const auto e = static_cast<std::size_t>(event);
+    if (a.samples[e] != b.samples[e]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t samples = bench::bench_samples(40);
+  const std::filesystem::path scratch =
+      std::filesystem::temp_directory_path() / "sce_recovery_bench";
+  std::filesystem::remove_all(scratch);
+  std::filesystem::create_directories(scratch);
+  const std::string ckpt = (scratch / "campaign.json").string();
+
+  std::printf("== Recovery overhead: checkpointing and resume ==\n");
+  std::printf("(MNIST workload, %zu samples per category)\n\n", samples);
+  const bench::Workload mnist = bench::mnist_workload();
+
+  core::CampaignConfig base;
+  base.samples_per_category = samples;
+  const std::size_t total = base.categories.size() * samples;
+
+  // (a) Baseline vs checkpointed run.
+  hpc::SimulatedPmuFactory plain_rig(mnist.pmu_config);
+  const auto t_base = std::chrono::steady_clock::now();
+  const core::CampaignResult baseline =
+      core::Campaign(mnist.trained.model, mnist.trained.test_set, plain_rig)
+          .with_config(base)
+          .run();
+  const double baseline_ms = ms_since(t_base);
+
+  core::CampaignConfig durable = base;
+  durable.checkpoint_path = ckpt;
+  durable.checkpoint_every = 10;  // a flush every 10 measurements
+  hpc::SimulatedPmuFactory durable_rig(mnist.pmu_config);
+  const auto t_durable = std::chrono::steady_clock::now();
+  const core::CampaignResult checkpointed =
+      core::Campaign(mnist.trained.model, mnist.trained.test_set, durable_rig)
+          .with_config(durable)
+          .run();
+  const double durable_ms = ms_since(t_durable);
+  const double overhead_pct =
+      baseline_ms > 0.0 ? 100.0 * (durable_ms - baseline_ms) / baseline_ms
+                        : 0.0;
+  std::printf("  baseline       %9.1f ms\n", baseline_ms);
+  std::printf("  checkpointed   %9.1f ms  (%zu flushes, %+.1f%%)\n",
+              durable_ms, checkpointed.diagnostics.checkpoints_written,
+              overhead_pct);
+
+  // (b) One durable write, in isolation: full result, CRC footer, fsync,
+  // rotation.  Averaged over a few repeats so one slow fsync doesn't
+  // dominate.
+  const core::CampaignCheckpoint snapshot =
+      core::make_checkpoint(baseline, base);
+  const std::string probe = (scratch / "probe.json").string();
+  constexpr int kWrites = 5;
+  const auto t_write = std::chrono::steady_clock::now();
+  for (int i = 0; i < kWrites; ++i) core::save_checkpoint(probe, snapshot);
+  const double write_ms = ms_since(t_write) / kWrites;
+  const auto ckpt_bytes = std::filesystem::file_size(probe);
+  std::printf("  durable write  %9.2f ms per flush (%zu bytes)\n", write_ms,
+              static_cast<std::size_t>(ckpt_bytes));
+
+  // (c) Kill at half budget, then resume.  The interrupted leg flushes
+  // its final checkpoint on the way out; the resumed leg replays the
+  // slot ledger and records only the remaining half.
+  core::CampaignConfig doomed = base;
+  doomed.checkpoint_path = ckpt;
+  doomed.cancel = util::CancelToken();
+  util::CancelToken stopper = doomed.cancel;
+  const std::size_t kill_at = total / 2;
+  hpc::SimulatedPmuFactory doomed_rig(mnist.pmu_config);
+  core::Campaign interrupted(mnist.trained.model, mnist.trained.test_set,
+                             doomed_rig);
+  interrupted.with_config(doomed).on_progress(
+      [&stopper, kill_at](const core::CampaignProgress& p) {
+        if (p.measurements_recorded >= kill_at)
+          stopper.cancel("bench kill-point");
+      },
+      /*every=*/1);
+  (void)interrupted.run();
+
+  const auto t_load = std::chrono::steady_clock::now();
+  const core::CampaignCheckpoint cp = core::load_checkpoint(ckpt);
+  const double load_ms = ms_since(t_load);
+
+  hpc::SimulatedPmuFactory resume_rig(mnist.pmu_config);
+  const auto t_resume = std::chrono::steady_clock::now();
+  const core::CampaignResult resumed =
+      core::Campaign(mnist.trained.model, mnist.trained.test_set, resume_rig)
+          .with_config(base)
+          .resume(cp);
+  const double resume_ms = ms_since(t_resume);
+  const bool deterministic =
+      resumed.status() == core::RunStatus::kComplete &&
+      address_independent_events_match(baseline, resumed);
+  std::printf("  load           %9.2f ms (verify CRC + parse, %zu/%zu "
+              "slots)\n",
+              load_ms, cp.partial.diagnostics.measurements_recorded, total);
+  std::printf("  resume         %9.1f ms for the remaining half "
+              "(baseline %0.1f ms)\n",
+              resume_ms, baseline_ms);
+  std::printf("\naddress-independent events identical after kill+resume: "
+              "%s\n",
+              deterministic ? "yes" : "NO");
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("recovery_overhead");
+  json.key("workload").value("mnist");
+  json.key("samples_per_category").value(static_cast<std::uint64_t>(samples));
+  json.key("total_measurements").value(static_cast<std::uint64_t>(total));
+  json.key("baseline_ms").value(baseline_ms);
+  json.key("checkpointed_ms").value(durable_ms);
+  json.key("checkpoint_every").value(
+      static_cast<std::uint64_t>(durable.checkpoint_every));
+  json.key("checkpoints_written")
+      .value(static_cast<std::uint64_t>(
+          checkpointed.diagnostics.checkpoints_written));
+  json.key("checkpoint_overhead_pct").value(overhead_pct);
+  json.key("durable_write_ms").value(write_ms);
+  json.key("checkpoint_bytes")
+      .value(static_cast<std::uint64_t>(ckpt_bytes));
+  json.key("kill_at_measurement").value(static_cast<std::uint64_t>(kill_at));
+  json.key("checkpoint_load_ms").value(load_ms);
+  json.key("resume_ms").value(resume_ms);
+  json.key("resume_deterministic").value(deterministic);
+  json.end_object();
+  std::ofstream out("BENCH_robustness.json");
+  out << json.str() << '\n';
+  std::printf("wrote BENCH_robustness.json\n");
+
+  std::error_code ec;
+  std::filesystem::remove_all(scratch, ec);
+  return deterministic ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -15,6 +16,7 @@
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/watchdog.hpp"
 
 namespace sce::core {
 
@@ -46,6 +48,31 @@ double robust_isolation(const std::vector<double>& cell, double x,
 
 }  // namespace
 
+std::string to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kCompleted:
+      return "completed";
+    case StopReason::kMeasurementBudget:
+      return "measurement-budget";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kShardStalled:
+      return "shard-stalled";
+  }
+  return "completed";
+}
+
+StopReason parse_stop_reason(const std::string& name) {
+  for (StopReason r :
+       {StopReason::kCompleted, StopReason::kMeasurementBudget,
+        StopReason::kCancelled, StopReason::kDeadline,
+        StopReason::kShardStalled})
+    if (to_string(r) == name) return r;
+  throw InvalidArgument("campaign: unknown stop reason \"" + name + "\"");
+}
+
 void CampaignConfig::validate() const {
   if (categories.empty())
     throw InvalidArgument("campaign: no categories");
@@ -63,6 +90,12 @@ void CampaignConfig::validate() const {
     throw InvalidArgument("campaign: outlier_mad_threshold must be >= 0");
   if (outlier_mad_floor < 0.0)
     throw InvalidArgument("campaign: outlier_mad_floor must be >= 0");
+  if (deadline < std::chrono::milliseconds::zero())
+    throw InvalidArgument("campaign: deadline must be >= 0");
+  if (stall_timeout < std::chrono::milliseconds::zero())
+    throw InvalidArgument("campaign: stall_timeout must be >= 0");
+  if (watchdog_poll < std::chrono::milliseconds::zero())
+    throw InvalidArgument("campaign: watchdog_poll must be >= 0");
 }
 
 bool CampaignDiagnostics::event_dropped(hpc::HpcEvent event) const {
@@ -92,7 +125,18 @@ std::string CampaignDiagnostics::summary() const {
     s += ", unsupported:";
     for (hpc::HpcEvent e : unsupported_events) s += " " + hpc::to_string(e);
   }
+  if (!lost_instrument_shards.empty()) {
+    s += ", lost instruments on shards:";
+    for (std::size_t k : lost_instrument_shards) s += " " + std::to_string(k);
+    s += " (" + std::to_string(failed_over_measurements) + " failed over)";
+  }
+  if (!stalled_shards.empty()) {
+    s += ", stalled shards:";
+    for (std::size_t k : stalled_shards) s += " " + std::to_string(k);
+  }
   s += complete ? ", complete" : ", partial";
+  if (stop_reason != StopReason::kCompleted)
+    s += " (" + to_string(stop_reason) + ")";
   return s;
 }
 
@@ -139,6 +183,15 @@ std::uint64_t global_slot(const CampaignConfig& cfg, std::size_t c,
 /// One shard's private acquisition state.  Nothing in here is touched by
 /// more than one thread at a time: workers own it during a chunk, the
 /// coordinator between chunks.
+///
+/// The state and the instrument are deliberately separable: the work
+/// side (ranges, cursors, cells, plan, staging buffers) describes WHAT
+/// to acquire, the rig side (instrument + its health/warmth) describes
+/// what to acquire it WITH.  When an instrument dies, the shard's work
+/// state survives and is executed on a healthy shard's rig — and
+/// because every measurement is keyed by its global slot index, the
+/// values recorded on the adopting rig are the ones a fault-free run
+/// would have recorded.
 struct ShardState {
   explicit ShardState(hpc::Instrument ins) : instrument(std::move(ins)) {}
 
@@ -146,6 +199,16 @@ struct ShardState {
   hpc::Instrument instrument;
   std::unique_ptr<nn::InferencePlan> plan;
   nn::Tensor staged;
+
+  // --- Rig health (about `instrument`, not about this shard's work) ---
+  /// Consecutive retry-exhausted slots measured on this rig; reset by
+  /// every recorded slot.  Crossing instrument_lost_after declares the
+  /// rig lost.
+  std::size_t consecutive_exhausted = 0;
+  /// Set once this rig is declared lost; the shard's work is then
+  /// executed on an adopting rig and this instrument is never touched
+  /// again.
+  bool instrument_lost = false;
 
   /// Absolute sample-index range [lo, hi) this shard owns in every
   /// category, and the per-category cursor (next absolute index).
@@ -185,18 +248,31 @@ struct ShardState {
   }
 };
 
-hpc::CounterSample raw_measure(ShardState& sh, const CampaignConfig& cfg,
-                               const Pools& pools, std::size_t c,
+/// Execution context shared by every chunk of one run: the schedule, the
+/// run's cancel token (a child of the config token, deadline armed) and
+/// the optional watchdog the executing lane must beat.
+struct ChunkContext {
+  const CampaignConfig& cfg;
+  const Pools& pools;
+  util::CancelToken token;
+  util::Watchdog* watchdog = nullptr;
+};
+
+/// Measure work-state `work`'s staged input on `rig`'s instrument.  The
+/// two are the same shard in the healthy case and differ under failover.
+hpc::CounterSample raw_measure(ShardState& work, ShardState& rig,
+                               const ChunkContext& ctx, std::size_t c,
                                std::size_t s, std::uint64_t key) {
-  const auto& pool = pools[c];
+  const auto& pool = ctx.pools[c];
   const data::Example& example = *pool[s % pool.size()];
-  nn::image_to_tensor_into(example.image, sh.staged);
-  hpc::CounterProvider& provider = sh.instrument.provider();
+  nn::image_to_tensor_into(example.image, work.staged);
+  hpc::CounterProvider& provider = rig.instrument.provider();
   (void)provider.set_measurement_key(key);
   provider.start();
   try {
     // The evaluator observes the classification of the user's input.
-    (void)sh.plan->run(sh.staged, sh.instrument.sink(), cfg.kernel_mode);
+    (void)work.plan->run(work.staged, rig.instrument.sink(),
+                         ctx.cfg.kernel_mode);
   } catch (...) {
     // Never leave counters running; keep the workload's exception.
     try {
@@ -245,26 +321,32 @@ std::optional<std::size_t> next_category(const ShardState& sh,
 
 /// One measurement slot: acquire until a valid sample lands in cell
 /// (c, cursor[c]) or the retry budget dies.  Returns true if recorded.
-bool acquire_slot(ShardState& sh, const CampaignConfig& cfg,
-                  const Pools& pools, std::size_t c) {
-  const std::size_t s = sh.cursor[c];
+/// Checks the run token and beats the watchdog once per attempt, so a
+/// cancel lands within one measurement and a retry storm never reads as
+/// a stall.
+bool acquire_slot(ShardState& work, ShardState& rig, const ChunkContext& ctx,
+                  std::size_t c) {
+  const CampaignConfig& cfg = ctx.cfg;
+  const std::size_t s = work.cursor[c];
   const std::uint64_t slot = global_slot(cfg, c, s);
   std::size_t transient_attempts = 0;
   std::size_t invalid_attempts = 0;
   std::size_t outlier_retries = 0;
-  std::size_t attempt = sh.slot_attempts[c];
+  std::size_t attempt = work.slot_attempts[c];
   for (;;) {
+    ctx.token.check();
+    if (ctx.watchdog) ctx.watchdog->beat(rig.index);
     hpc::CounterSample sample;
-    ++sh.diag.measurements_attempted;
+    ++work.diag.measurements_attempted;
     try {
-      sample = raw_measure(sh, cfg, pools, c, s, slot_key(slot, attempt++));
+      sample = raw_measure(work, rig, ctx, c, s, slot_key(slot, attempt++));
     } catch (const TransientFailure& e) {
-      ++sh.diag.transient_faults;
+      ++work.diag.transient_faults;
       ++transient_attempts;
       util::log_debug("campaign: transient fault (attempt ",
                       transient_attempts, "): ", e.what());
       if (transient_attempts >= cfg.retry.max_attempts) {
-        sh.slot_attempts[c] = attempt;
+        work.slot_attempts[c] = attempt;
         return false;
       }
       util::backoff_sleep(cfg.retry.backoff_for(transient_attempts));
@@ -275,36 +357,36 @@ bool acquire_slot(ShardState& sh, const CampaignConfig& cfg,
     bool invalid = false;
     for (hpc::HpcEvent e : hpc::all_events()) {
       const std::size_t idx = static_cast<std::size_t>(e);
-      if (!sh.active[idx]) continue;
+      if (!work.active[idx]) continue;
       if (sample.has(e)) {
-        sh.consecutive_missing[idx] = 0;
+        work.consecutive_missing[idx] = 0;
         continue;
       }
       invalid = true;
-      ++sh.diag.missing_event_counts[idx];
-      ++sh.consecutive_missing[idx];
+      ++work.diag.missing_event_counts[idx];
+      ++work.consecutive_missing[idx];
     }
     if (invalid) {
-      ++sh.diag.incomplete_samples;
+      ++work.diag.incomplete_samples;
       for (hpc::HpcEvent e : hpc::all_events()) {
         const std::size_t idx = static_cast<std::size_t>(e);
-        if (sh.active[idx] &&
-            sh.consecutive_missing[idx] >= cfg.event_drop_after)
-          drop_event(sh, e);
+        if (work.active[idx] &&
+            work.consecutive_missing[idx] >= cfg.event_drop_after)
+          drop_event(work, e);
       }
-      if (sh.active_count() == 0)
+      if (work.active_count() == 0)
         throw Error("campaign: every monitored event became unavailable");
       // The sample may now be complete w.r.t. the reduced event set —
       // re-check before spending another measurement.
       invalid = false;
       for (hpc::HpcEvent e : hpc::all_events()) {
         const std::size_t idx = static_cast<std::size_t>(e);
-        if (sh.active[idx] && !sample.has(e)) invalid = true;
+        if (work.active[idx] && !sample.has(e)) invalid = true;
       }
       if (invalid) {
         ++invalid_attempts;
         if (invalid_attempts >= cfg.retry.max_attempts) {
-          sh.slot_attempts[c] = attempt;
+          work.slot_attempts[c] = attempt;
           return false;
         }
         continue;
@@ -318,15 +400,15 @@ bool acquire_slot(ShardState& sh, const CampaignConfig& cfg,
       bool outlier = false;
       for (hpc::HpcEvent e : hpc::all_events()) {
         const std::size_t idx = static_cast<std::size_t>(e);
-        if (!sh.active[idx]) continue;
-        const auto& cell = sh.cells[idx][c];
+        if (!work.active[idx]) continue;
+        const auto& cell = work.cells[idx][c];
         if (cell.size() < cfg.outlier_min_baseline) continue;
         const double value = static_cast<double>(sample[e]);
         if (robust_isolation(cell, value, cfg.outlier_mad_floor) >
             cfg.outlier_mad_threshold) {
           outlier = true;
-          ++sh.diag.outliers_quarantined;
-          sh.diag.quarantined[idx].push_back(value);
+          ++work.diag.outliers_quarantined;
+          work.diag.quarantined[idx].push_back(value);
         }
       }
       if (outlier) {
@@ -337,47 +419,63 @@ bool acquire_slot(ShardState& sh, const CampaignConfig& cfg,
 
     for (hpc::HpcEvent e : hpc::all_events()) {
       const std::size_t idx = static_cast<std::size_t>(e);
-      if (sh.active[idx])
-        sh.cells[idx][c].push_back(static_cast<double>(sample[e]));
+      if (work.active[idx])
+        work.cells[idx][c].push_back(static_cast<double>(sample[e]));
     }
-    ++sh.cursor[c];
-    ++sh.diag.measurements_recorded;
-    sh.slot_attempts[c] = 0;
+    ++work.cursor[c];
+    ++work.diag.measurements_recorded;
+    work.slot_attempts[c] = 0;
+    if (&work != &rig) ++work.diag.failed_over_measurements;
+    rig.consecutive_exhausted = 0;
     return true;
   }
 }
 
-/// Record `quota` measurements on this shard (failures retry the same
-/// slot and do not consume quota; the cumulative failure cap aborts a
-/// hopeless provider).  Runs on a worker thread; touches only `sh`.
-void run_shard_chunk(ShardState& sh, const CampaignConfig& cfg,
-                     const Pools& pools, std::size_t quota) {
-  if (!sh.warmed) {
-    // Warm-up: bring this shard's plan buffers and instrument (heap
+/// Record `quota` measurements from `work`'s ranges on `rig`'s
+/// instrument (failures retry the same slot and do not consume quota;
+/// the cumulative failure cap aborts a hopeless provider).  Runs on a
+/// worker thread; touches only `work` and `rig`, which the coordinator
+/// guarantees are owned by the same lane during the chunk.
+void run_shard_chunk(ShardState& work, ShardState& rig,
+                     const ChunkContext& ctx, std::size_t quota) {
+  const CampaignConfig& cfg = ctx.cfg;
+  if (!rig.warmed) {
+    // Warm-up: bring this rig's plan buffers and instrument (heap
     // layout, lazy initialization, cache frames) to a steady state before
     // its recorded acquisition starts.  Faults here are irrelevant — the
-    // measurements are discarded anyway.
+    // measurements are discarded anyway.  Warming is a rig property: an
+    // adopting rig already warmed for its own shard does not re-warm.
     for (std::size_t w = 0; w < cfg.warmup_measurements; ++w) {
+      ctx.token.check();
+      if (ctx.watchdog) ctx.watchdog->beat(rig.index);
       try {
-        (void)raw_measure(sh, cfg, pools, w % pools.size(), 0,
-                          warmup_key(sh.index, w));
+        (void)raw_measure(rig, rig, ctx, w % ctx.pools.size(), 0,
+                          warmup_key(rig.index, w));
       } catch (const TransientFailure&) {
       }
     }
-    sh.warmed = true;
+    rig.warmed = true;
   }
   while (quota > 0) {
-    const std::optional<std::size_t> c = next_category(sh, cfg);
+    const std::optional<std::size_t> c = next_category(work, cfg);
     if (!c) break;  // defensive: the coordinator never over-assigns
-    if (acquire_slot(sh, cfg, pools, *c)) {
+    if (acquire_slot(work, rig, ctx, *c)) {
       --quota;
     } else {
-      ++sh.diag.failed_measurements;
-      if (sh.base_failed + sh.diag.failed_measurements >=
+      ++work.diag.failed_measurements;
+      ++rig.consecutive_exhausted;
+      if (cfg.instrument_lost_after > 0 &&
+          rig.consecutive_exhausted >= cfg.instrument_lost_after)
+        throw InstrumentLost(
+            "campaign: shard " + std::to_string(rig.index) + " instrument (" +
+            rig.instrument.provider().name() + ") exhausted " +
+            std::to_string(rig.consecutive_exhausted) +
+            " consecutive slots; declaring it lost");
+      if (work.base_failed + work.diag.failed_measurements >=
           cfg.max_failed_measurements)
         throw Error("campaign: " +
-                    std::to_string(sh.base_failed +
-                                   sh.diag.failed_measurements) +
+                    std::to_string(work.base_failed +
+                                   work.diag.failed_measurements) +
                     " measurement slots exhausted their retry budget; "
                     "giving up on this provider");
     }
@@ -621,6 +719,41 @@ CampaignResult Campaign::run_internal(CampaignResult result) {
   std::unique_ptr<util::ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
 
+  // Supervision: the run executes under a child of the caller's token so
+  // an external cancel stops this run without consuming the caller's
+  // token for later runs, and the per-run deadline arms on the child.
+  util::CancelToken token = cfg.cancel.child();
+  if (cfg.deadline > std::chrono::milliseconds::zero())
+    token.set_deadline_after(cfg.deadline);
+
+  std::vector<std::size_t> stalled_lanes;
+  std::mutex stalled_mutex;
+  std::unique_ptr<util::Watchdog> watchdog;
+  if (cfg.stall_timeout > std::chrono::milliseconds::zero()) {
+    util::WatchdogConfig wcfg;
+    wcfg.quiet_window = cfg.stall_timeout;
+    wcfg.poll_interval = cfg.watchdog_poll;
+    watchdog = std::make_unique<util::Watchdog>(
+        nshards, wcfg, [&token, &stalled_lanes, &stalled_mutex](
+                           std::size_t lane) {
+          {
+            std::lock_guard<std::mutex> lock(stalled_mutex);
+            stalled_lanes.push_back(lane);
+          }
+          token.cancel_with(util::CancelReason::kStalled,
+                            "shard " + std::to_string(lane) +
+                                " made no progress within the stall window");
+        });
+  }
+
+  // Failover bookkeeping: rig_of[k] names the shard whose *instrument*
+  // executes shard k's work.  Identity while everything is healthy; when
+  // a rig is declared lost its work states are re-homed round-robin over
+  // the healthy rigs (deterministically, in ascending state order).
+  std::vector<std::size_t> rig_of(nshards);
+  for (std::size_t k = 0; k < nshards; ++k) rig_of[k] = k;
+  std::vector<std::size_t> lost_rigs = base.lost_instrument_shards;
+
   const std::size_t base_recorded = base.measurements_recorded;
   const std::size_t target_total = ncat * per_cat;
   std::size_t checkpoints_total = base.checkpoints_written;
@@ -628,6 +761,7 @@ CampaignResult Campaign::run_internal(CampaignResult result) {
                                  ? std::numeric_limits<std::size_t>::max()
                                  : cfg.stop_after_measurements;
   std::size_t recorded_this_run = 0;
+  StopReason stop_reason = StopReason::kCompleted;
 
   auto total_remaining = [&] {
     std::size_t n = 0;
@@ -669,6 +803,7 @@ CampaignResult Campaign::run_internal(CampaignResult result) {
       d.failed_measurements += sh->diag.failed_measurements;
       d.incomplete_samples += sh->diag.incomplete_samples;
       d.outliers_quarantined += sh->diag.outliers_quarantined;
+      d.failed_over_measurements += sh->diag.failed_over_measurements;
       for (std::size_t i = 0; i < hpc::kNumEvents; ++i) {
         d.missing_event_counts[i] += sh->diag.missing_event_counts[i];
         d.quarantined[i].insert(d.quarantined[i].end(),
@@ -679,6 +814,24 @@ CampaignResult Campaign::run_internal(CampaignResult result) {
     d.dropped_events = dropped;
     d.complete = total_remaining() == 0;
     d.checkpoints_written = checkpoints_total;
+    d.stop_reason = d.complete ? StopReason::kCompleted : stop_reason;
+    d.lost_instrument_shards = lost_rigs;
+    std::sort(d.lost_instrument_shards.begin(),
+              d.lost_instrument_shards.end());
+    d.lost_instrument_shards.erase(
+        std::unique(d.lost_instrument_shards.begin(),
+                    d.lost_instrument_shards.end()),
+        d.lost_instrument_shards.end());
+    {
+      std::lock_guard<std::mutex> lock(stalled_mutex);
+      d.stalled_shards = base.stalled_shards;
+      d.stalled_shards.insert(d.stalled_shards.end(), stalled_lanes.begin(),
+                              stalled_lanes.end());
+    }
+    std::sort(d.stalled_shards.begin(), d.stalled_shards.end());
+    d.stalled_shards.erase(
+        std::unique(d.stalled_shards.begin(), d.stalled_shards.end()),
+        d.stalled_shards.end());
     d.shard_recorded.assign(nshards, std::vector<std::size_t>(ncat, 0));
     for (std::size_t k = 0; k < nshards; ++k)
       for (std::size_t c = 0; c < ncat; ++c)
@@ -703,20 +856,68 @@ CampaignResult Campaign::run_internal(CampaignResult result) {
                        : std::max<std::size_t>(1, target_total / 16))
                 : 0;
 
+  // Flush a checkpoint unconditionally — the supervision contract: a
+  // cancelled, deadline'd or stalled run leaves a resumable file behind
+  // whenever a checkpoint path is configured (even with periodic
+  // checkpointing off).
+  auto flush_checkpoint = [&] {
+    if (cfg.checkpoint_path.empty()) return;
+    ++checkpoints_total;
+    save_checkpoint(cfg.checkpoint_path, make_checkpoint(merge(), cfg));
+  };
+
+  // Declare rig `dead` lost and re-home every work state it was
+  // executing.  Returns false when no healthy rig remains.
+  auto declare_lost = [&](std::size_t dead) -> bool {
+    shards[dead]->instrument_lost = true;
+    if (std::find(lost_rigs.begin(), lost_rigs.end(), dead) ==
+        lost_rigs.end())
+      lost_rigs.push_back(dead);
+    std::vector<std::size_t> healthy;
+    for (std::size_t k = 0; k < nshards; ++k)
+      if (!shards[k]->instrument_lost) healthy.push_back(k);
+    if (healthy.empty()) return false;
+    std::size_t next = 0;
+    for (std::size_t k = 0; k < nshards; ++k) {
+      if (!shards[rig_of[k]]->instrument_lost) continue;
+      rig_of[k] = healthy[next++ % healthy.size()];
+      // Fresh attempt ordinals on the adopting rig: the dead
+      // instrument's burnt attempts must not shift this slot's
+      // measurement keys, or the adopted values would diverge from a
+      // fault-free run's.
+      std::fill(shards[k]->slot_attempts.begin(),
+                shards[k]->slot_attempts.end(), 0);
+    }
+    util::log_warn("campaign: shard ", dead,
+                   " instrument lost; re-homing its work onto ",
+                   healthy.size(), " healthy shard(s)");
+    return true;
+  };
+
+  // next_checkpoint_at tracks the cadence as a running multiple rather
+  // than an exact modulo: a chunk cut short by a cancel or a failover
+  // must not silently skip the boundary it was aimed at.
+  std::size_t next_checkpoint_at =
+      cfg.checkpoint_every > 0
+          ? (base_recorded / cfg.checkpoint_every + 1) * cfg.checkpoint_every
+          : std::numeric_limits<std::size_t>::max();
+
   for (;;) {
     const std::size_t remaining = total_remaining();
     if (remaining == 0) break;
     if (recorded_this_run >= budget) {
       util::log_info("campaign: stopping early after ", recorded_this_run,
                      " measurements (stop_after_measurements)");
+      stop_reason = StopReason::kMeasurementBudget;
       break;
     }
+    if (token.cancelled()) break;  // classified after the loop
 
     std::size_t chunk = std::min(remaining, budget - recorded_this_run);
-    if (cfg.checkpoint_every > 0) {
+    {
       const std::size_t done = base_recorded + recorded_this_run;
-      chunk = std::min(
-          chunk, cfg.checkpoint_every - (done % cfg.checkpoint_every));
+      if (next_checkpoint_at != std::numeric_limits<std::size_t>::max())
+        chunk = std::min(chunk, next_checkpoint_at - done);
     }
     if (progress_chunk > 0) chunk = std::min(chunk, progress_chunk);
 
@@ -741,35 +942,88 @@ CampaignResult Campaign::run_internal(CampaignResult result) {
       chunk -= left;  // unassignable leftovers (cannot happen in practice)
     }
 
+    // Group work states by executing rig: one lane per healthy rig, each
+    // running its states sequentially in ascending state order so the
+    // rig's read-count trajectory is reproducible.
+    std::vector<std::vector<std::size_t>> lane_states(nshards);
+    for (std::size_t k = 0; k < nshards; ++k)
+      if (quotas[k] > 0) lane_states[rig_of[k]].push_back(k);
+
+    // New watchdog cycle with no lane armed yet: each lane arms itself
+    // when its task actually starts executing and retires itself when it
+    // finishes, so lanes queued behind a small pool — or already done
+    // while a sibling still measures — cannot be mistaken for stalls.
+    if (watchdog) watchdog->arm(std::vector<bool>(nshards, false));
+
+    ChunkContext ctx{cfg, pools, token, watchdog.get()};
+    auto run_lane = [&ctx, &shards, &quotas](
+                        ShardState* rig, const std::vector<std::size_t>& st) {
+      if (ctx.watchdog) ctx.watchdog->arm_lane(rig->index);
+      try {
+        for (std::size_t k : st)
+          run_shard_chunk(*shards[k], *rig, ctx, quotas[k]);
+      } catch (...) {
+        if (ctx.watchdog) ctx.watchdog->clear(rig->index);
+        throw;
+      }
+      if (ctx.watchdog) ctx.watchdog->clear(rig->index);
+    };
+
     if (pool) {
-      for (std::size_t k = 0; k < nshards; ++k) {
-        if (quotas[k] == 0) continue;
-        ShardState* sh = shards[k].get();
-        const std::size_t quota = quotas[k];
-        pool->submit([sh, &cfg, &pools, quota] {
+      for (std::size_t r = 0; r < nshards; ++r) {
+        if (lane_states[r].empty()) continue;
+        ShardState* rig = shards[r].get();
+        const std::vector<std::size_t>& st = lane_states[r];
+        pool->submit(token, [&run_lane, rig, &st] {
           try {
-            run_shard_chunk(*sh, cfg, pools, quota);
+            run_lane(rig, st);
           } catch (...) {
-            sh->error = std::current_exception();
+            rig->error = std::current_exception();
           }
         });
       }
       pool->wait();
     } else {
-      for (std::size_t k = 0; k < nshards; ++k) {
-        if (quotas[k] == 0) continue;
+      for (std::size_t r = 0; r < nshards; ++r) {
+        if (lane_states[r].empty()) continue;
         try {
-          run_shard_chunk(*shards[k], cfg, pools, quotas[k]);
+          run_lane(shards[r].get(), lane_states[r]);
         } catch (...) {
-          shards[k]->error = std::current_exception();
+          shards[r]->error = std::current_exception();
           break;
         }
       }
     }
-    // Deterministic error propagation: the lowest-index failed shard
-    // wins, regardless of completion order.
-    for (const auto& sh : shards)
-      if (sh->error) std::rethrow_exception(sh->error);
+    if (watchdog) watchdog->disarm();
+
+    // Barrier-time error triage, in deterministic (lane-index) order:
+    // real defects rethrow (lowest lane wins), InstrumentLost marks the
+    // rig dead and re-homes its work, Interrupted subtypes fall through
+    // to the token classification below.
+    std::vector<std::size_t> dead_lanes;
+    for (std::size_t r = 0; r < nshards; ++r) {
+      if (!shards[r]->error) continue;
+      std::exception_ptr err = shards[r]->error;
+      shards[r]->error = nullptr;
+      try {
+        std::rethrow_exception(err);
+      } catch (const Interrupted&) {
+        // Cooperative unwind from token.check(); the token holds the
+        // reason and is classified once, below.
+      } catch (const InstrumentLost&) {
+        dead_lanes.push_back(r);
+      }
+      // Anything else escapes run_internal via this rethrow.
+    }
+    for (std::size_t r : dead_lanes)
+      if (!declare_lost(r)) {
+        flush_checkpoint();
+        throw InstrumentLost(
+            "campaign: every shard instrument was lost; wrote checkpoint "
+            "with " +
+            std::to_string(base_recorded + recorded_this_run) +
+            " measurements recorded");
+      }
 
     // Propagate event drops across shards: an event one shard lost is
     // excluded campaign-wide (its cells are cleared at merge time).
@@ -796,21 +1050,47 @@ CampaignResult Campaign::run_internal(CampaignResult result) {
                   " measurement slots exhausted their retry budget; "
                   "giving up on this provider");
 
-    recorded_this_run += chunk;
+    // Recomputed, not accumulated: a chunk interrupted by a cancel or a
+    // dying instrument records fewer measurements than its quota.
+    recorded_this_run = 0;
+    for (const auto& sh : shards)
+      recorded_this_run += sh->diag.measurements_recorded;
 
-    if (cfg.checkpoint_every > 0 && chunk > 0 &&
-        (base_recorded + recorded_this_run) % cfg.checkpoint_every == 0) {
+    const std::size_t done = base_recorded + recorded_this_run;
+    if (cfg.checkpoint_every > 0 && done >= next_checkpoint_at) {
       ++checkpoints_total;
       save_checkpoint(cfg.checkpoint_path, make_checkpoint(merge(), cfg));
+      next_checkpoint_at =
+          (done / cfg.checkpoint_every + 1) * cfg.checkpoint_every;
     }
     emit_progress();
+  }
+
+  // Supervision stop: classify the token once, flush a resumable
+  // checkpoint, and return Partial instead of throwing — interruption is
+  // policy, not failure.
+  if (total_remaining() > 0 && token.cancelled()) {
+    switch (token.reason()) {
+      case util::CancelReason::kDeadline:
+        stop_reason = StopReason::kDeadline;
+        break;
+      case util::CancelReason::kStalled:
+        stop_reason = StopReason::kShardStalled;
+        break;
+      default:
+        stop_reason = StopReason::kCancelled;
+        break;
+    }
+    util::log_info("campaign: stopping (", to_string(stop_reason),
+                   "): ", token.message());
+    flush_checkpoint();
   }
 
   emit_progress();
   CampaignResult final_result = merge();
   const CampaignDiagnostics& d = final_result.diagnostics;
   if (!d.dropped_events.empty() || !d.unsupported_events.empty() ||
-      d.failed_measurements > 0)
+      d.failed_measurements > 0 || !d.complete)
     util::log_info("campaign: degraded acquisition — ", d.summary());
   return final_result;
 }

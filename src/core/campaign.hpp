@@ -26,6 +26,7 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -37,6 +38,7 @@
 #include "hpc/instrument_factory.hpp"
 #include "nn/model.hpp"
 #include "uarch/trace.hpp"
+#include "util/cancel.hpp"
 #include "util/retry.hpp"
 
 namespace sce::nn {
@@ -44,6 +46,26 @@ class InferencePlan;
 }
 
 namespace sce::core {
+
+/// Whether a run delivered everything it was asked for.  A Partial
+/// result is still valid data — every recorded cell is complete and
+/// resumable — it just stopped before the full budget.
+enum class RunStatus { kComplete, kPartial };
+
+/// Why a run returned when it did.  Everything except kCompleted means
+/// status() == kPartial (and, when a checkpoint path is configured, a
+/// flushed checkpoint to resume from).
+enum class StopReason {
+  kCompleted,          ///< full sample budget acquired
+  kMeasurementBudget,  ///< stop_after_measurements reached
+  kCancelled,          ///< the run's CancelToken was tripped
+  kDeadline,           ///< the run's wall-clock deadline expired
+  kShardStalled,       ///< the watchdog declared a shard stuck
+};
+
+std::string to_string(StopReason reason);
+/// Inverse of to_string; throws InvalidArgument on unknown names.
+StopReason parse_stop_reason(const std::string& name);
 
 struct CampaignConfig {
   /// Class labels to profile (the paper uses four categories per dataset).
@@ -112,6 +134,38 @@ struct CampaignConfig {
   /// is accepted anyway (prevents livelock on a genuinely shifted cell).
   std::size_t max_outlier_retries = 3;
 
+  // --- Supervision ------------------------------------------------------
+
+  /// Cooperative cancel handle.  Shards poll it between measurement
+  /// attempts and the coordinator polls it between chunks; once tripped,
+  /// the run flushes a checkpoint (when checkpoint_path is set) and
+  /// returns a Partial result with StopReason::kCancelled instead of
+  /// throwing.  Copies share state — hand the same token to whatever
+  /// should be able to stop this run.
+  util::CancelToken cancel;
+  /// Wall-clock budget for this run() call (0 = none).  Internally a
+  /// deadline armed on a child of `cancel`; expiry stops the run the
+  /// same cooperative way with StopReason::kDeadline.
+  std::chrono::milliseconds deadline{0};
+  /// Watchdog quiet window (0 = watchdog off): a shard that records no
+  /// heartbeat for this long while it has work is declared stalled, the
+  /// run token is tripped with CancelReason::kStalled, and the run winds
+  /// down to a Partial result with StopReason::kShardStalled.  Shards
+  /// beat once per measurement *attempt*, so retry storms do not trip it
+  /// — only a rig that stops returning does.
+  std::chrono::milliseconds stall_timeout{0};
+  /// Watchdog poll cadence (0 = stall_timeout / 4).
+  std::chrono::milliseconds watchdog_poll{0};
+  /// Consecutive retry-exhausted slots on one instrument before that
+  /// instrument is declared lost (util-error InstrumentLost) and its
+  /// shard's remaining slots fail over to healthy instruments (0 =
+  /// failover off; exhausted slots then only count toward
+  /// max_failed_measurements as before).  Because every measurement is
+  /// keyed by its global slot index, the requeued slots record the same
+  /// values a fault-free run would — the merged result is bit-identical
+  /// for providers whose values do not depend on the rig instance.
+  std::size_t instrument_lost_after = 0;
+
   // --- Checkpoint / early stop -----------------------------------------
 
   /// Write a checkpoint to `checkpoint_path` every this many recorded
@@ -119,6 +173,9 @@ struct CampaignConfig {
   /// the chunk barrier that lands on each multiple.
   std::size_t checkpoint_every = 0;
   /// Destination file for checkpoints (required if checkpoint_every > 0).
+  /// May also be set with checkpoint_every == 0: the run then checkpoints
+  /// only when supervision stops it (cancel/deadline/stall or a lost
+  /// final instrument), so an evicted job is always resumable.
   std::string checkpoint_path;
   /// Stop after this many recorded measurements in this run and return
   /// the partial result (0 = run to completion).  Used to bound a run's
@@ -163,6 +220,16 @@ struct CampaignDiagnostics {
   std::vector<hpc::HpcEvent> unsupported_events;
   /// True when every cell reached samples_per_category.
   bool complete = false;
+  /// Why the run returned (kCompleted iff complete).
+  StopReason stop_reason = StopReason::kCompleted;
+  /// Shards whose instrument was declared lost (InstrumentLost) during
+  /// this campaign, cumulative across resumed legs.
+  std::vector<std::size_t> lost_instrument_shards;
+  /// Shards the watchdog flagged as stalled when the run stopped.
+  std::vector<std::size_t> stalled_shards;
+  /// Measurements recorded on a healthy instrument on behalf of a shard
+  /// whose own instrument had been lost (the failover path).
+  std::size_t failed_over_measurements = 0;
   /// True if this result continued from a checkpoint.
   bool resumed = false;
   std::size_t checkpoints_written = 0;
@@ -191,6 +258,11 @@ struct CampaignResult {
 
   const std::vector<double>& of(hpc::HpcEvent event,
                                 std::size_t category_index) const;
+  /// kComplete when the full budget was acquired, kPartial otherwise
+  /// (see diagnostics.stop_reason for why the run returned early).
+  RunStatus status() const {
+    return diagnostics.complete ? RunStatus::kComplete : RunStatus::kPartial;
+  }
   std::size_t category_count() const { return categories.size(); }
   /// True when this event's cells hold data (not dropped/unsupported).
   bool has_event(hpc::HpcEvent event) const;
@@ -216,6 +288,7 @@ struct FixedVsRandomConfig;
 struct FixedVsRandomResult;
 struct SweepConfig;
 struct SweepResult;
+struct SweepCheckpoint;
 
 /// The campaign entry point: binds a model, a dataset and an
 /// InstrumentFactory, then runs (or resumes) sharded acquisition.
@@ -280,6 +353,20 @@ class Campaign {
   /// core/sweep.cpp.
   SweepResult sweep(const SweepConfig& config);
 
+  /// Resume an interrupted sweep from its checkpoint: completed slots'
+  /// traces are re-recorded and replayed into the stateful component
+  /// classes only (cacheable classes carry no cross-measurement state),
+  /// after which acquisition continues from the slot cursor.  The final
+  /// result is bit-identical to an uninterrupted sweep, at any
+  /// num_threads — provided the resuming Campaign's recording layout
+  /// matches the one that wrote the checkpoint (the simulated counts
+  /// depend on the staging buffers' page offsets).  In-process that
+  /// means resuming on the same Campaign, whose plan cache guarantees
+  /// it; across processes it holds whenever the recorded counts are
+  /// invariant to buffer placement.  Defined in core/sweep.cpp.
+  SweepResult resume_sweep(const SweepConfig& config,
+                           const SweepCheckpoint& checkpoint);
+
   const nn::Sequential& model() const { return model_; }
   const data::Dataset& dataset() const { return dataset_; }
   hpc::InstrumentFactory& instruments() const { return instruments_; }
@@ -293,6 +380,11 @@ class Campaign {
   CampaignConfig config_{};
   ProgressCallback progress_;
   std::size_t progress_every_ = 0;
+
+  /// Shared implementation of sweep()/resume_sweep() (resume may be
+  /// null).  Defined in core/sweep.cpp.
+  SweepResult sweep_internal(const SweepConfig& config,
+                             const SweepCheckpoint* resume);
 
   /// Recording scaffolding cached across sweep() calls.  The staging
   /// tensor and plan are allocated once because the simulated counters

@@ -4,6 +4,13 @@
 #include <fstream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define SCE_HAVE_FSYNC 1
+#endif
+
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
@@ -13,10 +20,59 @@ namespace sce::core {
 namespace {
 
 constexpr const char* kFormatTag = "sce-campaign-checkpoint";
-constexpr int kVersion = 2;
+constexpr int kVersion = 3;
 /// Oldest version we can still read.  v1 lacks diagnostics.shard_recorded;
 /// loading one yields an empty matrix, which resumes as a serial prefix.
+/// v2 lacks the supervision diagnostics, which default to "completed /
+/// nothing lost".
 constexpr int kMinReadVersion = 1;
+
+/// Footer marker; everything before the preceding newline is the body
+/// the CRC covers.  A '#' line keeps the file a valid
+/// one-JSON-document-plus-comment for humans and greppers.
+constexpr const char* kCrcMarker = "\n#crc32:";
+
+/// fsync a file by path (best-effort no-op on platforms without POSIX
+/// fds — the rename is still atomic there, just not power-fail durable).
+void fsync_path(const std::string& path, bool directory) {
+#ifdef SCE_HAVE_FSYNC
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    if (!directory)
+      throw IoError("save_checkpoint: cannot reopen " + path + " for fsync");
+    return;  // some filesystems refuse directory opens; rename still atomic
+  }
+  if (::fsync(fd) != 0 && !directory) {
+    ::close(fd);
+    throw IoError("save_checkpoint: fsync of " + path + " failed");
+  }
+  ::close(fd);
+#else
+  (void)path;
+  (void)directory;
+#endif
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return static_cast<bool>(in);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("load_checkpoint: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
 
 void write_event_name_array(util::JsonWriter& w,
                             const std::vector<hpc::HpcEvent>& events) {
@@ -120,6 +176,19 @@ std::string checkpoint_to_json(const CampaignCheckpoint& cp) {
   w.key("resumed").value(d.resumed);
   w.key("checkpoints_written")
       .value(static_cast<std::uint64_t>(d.checkpoints_written));
+  // v3: supervision outcome, so a resumed run knows why (and how
+  // degraded) its predecessor stopped.
+  w.key("stop_reason").value(to_string(d.stop_reason));
+  w.key("lost_instrument_shards").begin_array();
+  for (std::size_t k : d.lost_instrument_shards)
+    w.value(static_cast<std::uint64_t>(k));
+  w.end_array();
+  w.key("stalled_shards").begin_array();
+  for (std::size_t k : d.stalled_shards)
+    w.value(static_cast<std::uint64_t>(k));
+  w.end_array();
+  w.key("failed_over_measurements")
+      .value(static_cast<std::uint64_t>(d.failed_over_measurements));
   w.key("shard_recorded").begin_array();
   for (const auto& row : d.shard_recorded) {
     w.begin_array();
@@ -199,6 +268,19 @@ CampaignCheckpoint checkpoint_from_json(const std::string& json) {
   d.resumed = diag.at("resumed").as_bool();
   d.checkpoints_written =
       static_cast<std::size_t>(diag.at("checkpoints_written").as_int());
+  // v3 supervision fields; absent in v1/v2 files, where the run either
+  // completed or died without recording why.
+  if (const util::JsonValue* reason = diag.find("stop_reason"))
+    d.stop_reason = parse_stop_reason(reason->as_string());
+  if (const util::JsonValue* lost = diag.find("lost_instrument_shards"))
+    for (const auto& k : lost->items())
+      d.lost_instrument_shards.push_back(
+          static_cast<std::size_t>(k.as_int()));
+  if (const util::JsonValue* stalled = diag.find("stalled_shards"))
+    for (const auto& k : stalled->items())
+      d.stalled_shards.push_back(static_cast<std::size_t>(k.as_int()));
+  if (const util::JsonValue* fo = diag.find("failed_over_measurements"))
+    d.failed_over_measurements = static_cast<std::size_t>(fo->as_int());
   if (const util::JsonValue* matrix = diag.find("shard_recorded")) {
     for (const auto& row : matrix->items()) {
       std::vector<std::size_t> counts;
@@ -214,28 +296,87 @@ CampaignCheckpoint checkpoint_from_json(const std::string& json) {
   return cp;
 }
 
-void save_checkpoint(const std::string& path,
-                     const CampaignCheckpoint& checkpoint) {
+std::string with_crc_footer(const std::string& body) {
+  return body + kCrcMarker + util::crc32_hex(util::crc32(body)) + "\n";
+}
+
+std::string strip_crc_footer(const std::string& text, bool& had_footer) {
+  const std::size_t marker = text.rfind(kCrcMarker);
+  if (marker == std::string::npos) {
+    had_footer = false;
+    return text;
+  }
+  had_footer = true;
+  const std::string body = text.substr(0, marker);
+  std::string hex = text.substr(marker + std::string(kCrcMarker).size());
+  while (!hex.empty() && (hex.back() == '\n' || hex.back() == '\r'))
+    hex.pop_back();
+  const std::uint32_t stored = util::parse_crc32_hex(hex);
+  const std::uint32_t actual = util::crc32(body);
+  if (stored != actual)
+    throw InvalidArgument("checkpoint: CRC mismatch (stored " +
+                          util::crc32_hex(stored) + ", computed " +
+                          util::crc32_hex(actual) + ")");
+  return body;
+}
+
+void write_durable(const std::string& path, const std::string& text) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw IoError("save_checkpoint: cannot open " + tmp);
-    out << checkpoint_to_json(checkpoint);
+    out << text;
+    out.flush();
     if (!out) throw IoError("save_checkpoint: write to " + tmp + " failed");
+  }
+  // Order matters: the temp file's bytes must be on stable storage
+  // before the rename publishes it, or a power cut could leave the live
+  // name pointing at a hole.
+  fsync_path(tmp, /*directory=*/false);
+  if (file_exists(path)) {
+    const std::string prev = path + ".prev";
+    if (std::rename(path.c_str(), prev.c_str()) != 0)
+      throw IoError("save_checkpoint: rotate to " + prev + " failed");
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0)
     throw IoError("save_checkpoint: rename to " + path + " failed");
+  // Persist both directory entries (the new name and the rotation).
+  fsync_path(parent_dir(path), /*directory=*/true);
+}
+
+std::string read_verified(const std::string& path) {
+  const std::string text = read_file(path);
+  bool had_footer = false;
+  try {
+    return strip_crc_footer(text, had_footer);
+  } catch (const InvalidArgument& e) {
+    // Quarantine, keep the evidence, fall back to the previous
+    // generation if the rotation left one behind.
+    const std::string corrupt = path + ".corrupt";
+    if (std::rename(path.c_str(), corrupt.c_str()) == 0)
+      util::log_warn("checkpoint: ", e.what(), "; quarantined ", path,
+                     " to ", corrupt);
+    else
+      util::log_warn("checkpoint: ", e.what(), " (quarantine of ", path,
+                     " failed)");
+    const std::string prev = path + ".prev";
+    if (!file_exists(prev)) throw;
+    util::log_warn("checkpoint: falling back to ", prev);
+    const std::string prev_text = read_file(prev);
+    return strip_crc_footer(prev_text, had_footer);  // rethrows if also bad
+  }
+}
+
+void save_checkpoint(const std::string& path,
+                     const CampaignCheckpoint& checkpoint) {
+  write_durable(path, with_crc_footer(checkpoint_to_json(checkpoint)));
   util::log_debug("checkpoint: wrote ", path, " (",
                   checkpoint.partial.diagnostics.measurements_recorded,
                   " measurements)");
 }
 
 CampaignCheckpoint load_checkpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw IoError("load_checkpoint: cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return checkpoint_from_json(buffer.str());
+  return checkpoint_from_json(read_verified(path));
 }
 
 }  // namespace sce::core

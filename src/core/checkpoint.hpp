@@ -7,6 +7,15 @@
 // and a deterministic provider, a killed-and-resumed campaign reproduces
 // the uninterrupted run's distributions bit-for-bit (sample values are
 // written with round-trip-exact precision).
+//
+// Durability contract (save_checkpoint): the JSON body is written to a
+// temp file, fsync'd, rotated over any previous checkpoint (kept as
+// `<path>.prev`), renamed into place, and the directory entry is fsync'd
+// — a power cut at any instant leaves either the old or the new file
+// intact, never a torn one.  Every file carries a CRC32 footer;
+// load_checkpoint verifies it, quarantines a corrupt file to
+// `<path>.corrupt`, and falls back to `<path>.prev` before giving up.
+// Legacy (pre-v3) files without a footer still load.
 #pragma once
 
 #include <string>
@@ -16,11 +25,13 @@
 namespace sce::core {
 
 struct CampaignCheckpoint {
-  /// Format version; bumped on layout changes.  v2 added the
-  /// diagnostics.shard_recorded matrix (sharded acquisition); v1
-  /// documents load as serial (empty matrix) and resume at any shard
-  /// count.
-  int version = 2;
+  /// Format version; bumped on layout changes.  v3 added the supervision
+  /// diagnostics (stop reason, lost/stalled shards, failed-over count)
+  /// and the CRC32 file footer; v2 added the diagnostics.shard_recorded
+  /// matrix (sharded acquisition); v1 documents load as serial (empty
+  /// matrix) and resume at any shard count.  All older versions still
+  /// load (missing fields default).
+  int version = 3;
   std::size_t samples_per_category = 0;
   bool interleave_categories = true;
   /// nn::to_string(KernelMode) of the campaign being checkpointed.
@@ -36,11 +47,30 @@ std::string checkpoint_to_json(const CampaignCheckpoint& checkpoint);
 /// Throws InvalidArgument on malformed or version-incompatible input.
 CampaignCheckpoint checkpoint_from_json(const std::string& json);
 
-/// Write atomically (temp file + rename), so a kill mid-write cannot
-/// corrupt the previous checkpoint.  Throws IoError on failure.
+/// Write atomically and durably (temp file + fsync + `.prev` rotation +
+/// rename + directory fsync) with a CRC32 footer.  Throws IoError on
+/// failure.
 void save_checkpoint(const std::string& path,
                      const CampaignCheckpoint& checkpoint);
-/// Throws IoError if unreadable, InvalidArgument if malformed.
+/// Verifies the CRC32 footer; a corrupt file is quarantined to
+/// `<path>.corrupt` and `<path>.prev` is tried before failing.  Throws
+/// IoError if unreadable, InvalidArgument if malformed or corrupt with
+/// no usable fallback.
 CampaignCheckpoint load_checkpoint(const std::string& path);
+
+// --- Shared footer/durability plumbing (reused by the sweep
+// checkpoint; exposed for tests). ---------------------------------------
+
+/// `body` + "\n#crc32:XXXXXXXX\n".
+std::string with_crc_footer(const std::string& body);
+/// Split and verify a footer.  Returns the body; sets `had_footer`.
+/// Throws InvalidArgument on CRC mismatch.
+std::string strip_crc_footer(const std::string& text, bool& had_footer);
+/// Atomic + durable write of `text` (already footered) to `path` with
+/// `.prev` rotation.  Throws IoError on failure.
+void write_durable(const std::string& path, const std::string& text);
+/// Read `path`, verify/strip any CRC footer; on corruption quarantine to
+/// `<path>.corrupt` and fall back to `<path>.prev`.  Returns the body.
+std::string read_verified(const std::string& path);
 
 }  // namespace sce::core

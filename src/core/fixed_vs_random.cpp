@@ -20,6 +20,8 @@ void FixedVsRandomConfig::validate() const {
     throw InvalidArgument("fixed_vs_random: t_threshold must be > 0");
   if (num_shards == 0)
     throw InvalidArgument("fixed_vs_random: num_shards must be >= 1");
+  if (deadline < std::chrono::milliseconds::zero())
+    throw InvalidArgument("fixed_vs_random: deadline must be >= 0");
 }
 
 const FixedVsRandomEventResult& FixedVsRandomResult::of(
@@ -64,6 +66,9 @@ struct FvrShard {
   std::array<std::vector<double>, hpc::kNumEvents> fixed_samples;
   std::array<std::vector<double>, hpc::kNumEvents> random_samples;
   std::exception_ptr error;
+  /// Set when the shard's full pair range was acquired (distinguishes a
+  /// pool task dropped by a cancelled token from one that ran).
+  bool done = false;
 };
 
 void measure_one(FvrShard& sh, const FixedVsRandomConfig& cfg,
@@ -95,6 +100,7 @@ void measure_one(FvrShard& sh, const FixedVsRandomConfig& cfg,
 /// Measurement keys mirror the interleaved serial order: pair i is
 /// measurement 2i (fixed) then 2i+1 (random).
 void run_fvr_shard(FvrShard& sh, const FixedVsRandomConfig& cfg,
+                   const util::CancelToken& token,
                    const data::Dataset& dataset,
                    const nn::Tensor& fixed_input) {
   // Warm-up: reach steady heap/process state before recording.
@@ -104,6 +110,7 @@ void run_fvr_shard(FvrShard& sh, const FixedVsRandomConfig& cfg,
                     w,
                 nullptr);
   for (std::size_t i = sh.lo; i < sh.hi; ++i) {
+    token.check();
     measure_one(sh, cfg, fixed_input,
                 (static_cast<std::uint64_t>(2 * i) << 8), &sh.fixed_samples);
     util::Rng pick(util::mix64(cfg.random_seed, i));
@@ -114,6 +121,7 @@ void run_fvr_shard(FvrShard& sh, const FixedVsRandomConfig& cfg,
                 (static_cast<std::uint64_t>(2 * i + 1) << 8),
                 &sh.random_samples);
   }
+  sh.done = true;
 }
 
 }  // namespace
@@ -150,6 +158,13 @@ FixedVsRandomResult Campaign::fixed_vs_random(
     sh.plan = std::make_unique<nn::InferencePlan>(model_, fixed_input.shape());
   }
 
+  // Supervision: a tripped token (or expired deadline) unwinds every
+  // shard at its next pair boundary and the first shard's taxonomy
+  // error propagates — the screen is all-or-nothing by design.
+  util::CancelToken token = config.cancel.child();
+  if (config.deadline > std::chrono::milliseconds::zero())
+    token.set_deadline_after(config.deadline);
+
   const std::size_t threads = config.num_threads == 0
                                   ? nshards
                                   : std::min(config.num_threads, nshards);
@@ -157,9 +172,9 @@ FixedVsRandomResult Campaign::fixed_vs_random(
     util::ThreadPool pool(threads);
     for (auto& sh : shards) {
       FvrShard* shard = sh.get();
-      pool.submit([shard, &config, this, &fixed_input] {
+      pool.submit(token, [shard, &config, &token, this, &fixed_input] {
         try {
-          run_fvr_shard(*shard, config, dataset_, fixed_input);
+          run_fvr_shard(*shard, config, token, dataset_, fixed_input);
         } catch (...) {
           shard->error = std::current_exception();
         }
@@ -168,8 +183,11 @@ FixedVsRandomResult Campaign::fixed_vs_random(
     pool.wait();
     for (const auto& sh : shards)
       if (sh->error) std::rethrow_exception(sh->error);
+    for (const auto& sh : shards)
+      if (!sh->done) token.check();  // task dropped by the cancelled token
   } else {
-    for (auto& sh : shards) run_fvr_shard(*sh, config, dataset_, fixed_input);
+    for (auto& sh : shards)
+      run_fvr_shard(*sh, config, token, dataset_, fixed_input);
   }
 
   // Merge the population segments in shard order = ascending pair index.

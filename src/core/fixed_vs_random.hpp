@@ -18,10 +18,12 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <vector>
 
 #include "core/campaign.hpp"
 #include "stats/t_test.hpp"
+#include "util/cancel.hpp"
 
 namespace sce::core {
 
@@ -40,6 +42,17 @@ struct FixedVsRandomConfig {
   std::size_t num_shards = 1;
   /// Worker threads; 0 = one per shard.
   std::size_t num_threads = 0;
+
+  /// Cooperative cancel handle, polled between measurement pairs.
+  /// Unlike the campaign, the screen has no partial-result channel — a
+  /// t-test over a fragment of the two populations would invite
+  /// misreading — so a tripped token propagates the matching taxonomy
+  /// error (util-error Cancelled / DeadlineExceeded) out of
+  /// fixed_vs_random().
+  util::CancelToken cancel;
+  /// Wall-clock budget for the screen (0 = none), armed on a child of
+  /// `cancel`.
+  std::chrono::milliseconds deadline{0};
 
   /// Throws InvalidArgument when the configuration is unusable.
   void validate() const;

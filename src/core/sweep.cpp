@@ -10,10 +10,12 @@
 #include <utility>
 
 #include "core/acquisition_keys.hpp"
+#include "core/checkpoint.hpp"
 #include "nn/model.hpp"
 #include "nn/plan.hpp"
 #include "uarch/trace_buffer.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -25,6 +27,11 @@ void SweepConfig::validate() const {
   if (samples_per_category == 0)
     throw InvalidArgument("sweep: samples_per_category must be > 0");
   if (grid.empty()) throw InvalidArgument("sweep: empty grid");
+  if (deadline < std::chrono::milliseconds::zero())
+    throw InvalidArgument("sweep: deadline must be >= 0");
+  if (checkpoint_every_slots > 0 && checkpoint_path.empty())
+    throw InvalidArgument(
+        "sweep: checkpoint_every_slots set but checkpoint_path empty");
   std::unordered_set<std::string> labels;
   for (const SweepPoint& p : grid) {
     if (p.label.empty()) throw InvalidArgument("sweep: unlabeled grid point");
@@ -135,9 +142,29 @@ void replay_br(BrClass& bc, const uarch::TraceBuffer& trace,
   bc.out = {pmu.predictor().stats().mispredicts};
 }
 
+/// Samples category `c` holds after `done` slots of the schedule.
+std::size_t cat_count(bool interleave, std::size_t ncat, std::size_t per_cat,
+                      std::size_t done, std::size_t c) {
+  if (interleave)
+    return done / ncat + (c < done % ncat ? 1 : 0);
+  const std::size_t start = c * per_cat;
+  if (done <= start) return 0;
+  return std::min(done - start, per_cat);
+}
+
 }  // namespace
 
 SweepResult Campaign::sweep(const SweepConfig& cfg) {
+  return sweep_internal(cfg, nullptr);
+}
+
+SweepResult Campaign::resume_sweep(const SweepConfig& cfg,
+                                   const SweepCheckpoint& checkpoint) {
+  return sweep_internal(cfg, &checkpoint);
+}
+
+SweepResult Campaign::sweep_internal(const SweepConfig& cfg,
+                                     const SweepCheckpoint* resume) {
   cfg.validate();
   const std::size_t ncat = cfg.categories.size();
   const std::size_t per_cat = cfg.samples_per_category;
@@ -209,6 +236,49 @@ SweepResult Campaign::sweep(const SweepConfig& cfg) {
     br_of[g] = static_cast<std::size_t>(bit - br_classes.begin());
   }
 
+  // --- Resume validation: the checkpoint must describe this exact
+  // schedule, grid and dedup structure, or its per-point prefixes would
+  // be silently misattributed.
+  const std::size_t total_slots = ncat * per_cat;
+  std::size_t done = 0;
+  if (resume) {
+    auto reject = [](const std::string& what) {
+      throw InvalidArgument("sweep: checkpoint does not match config (" +
+                            what + ")");
+    };
+    if (resume->samples_per_category != per_cat)
+      reject("samples_per_category");
+    if (resume->interleave_categories != cfg.interleave_categories)
+      reject("interleave_categories");
+    if (resume->warmup_measurements != cfg.warmup_measurements)
+      reject("warmup_measurements");
+    if (resume->verify_live != cfg.verify_live) reject("verify_live");
+    if (resume->kernel_mode != nn::to_string(cfg.kernel_mode))
+      reject("kernel_mode");
+    if (resume->categories != cfg.categories) reject("categories");
+    std::vector<std::string> labels;
+    for (const SweepPoint& p : cfg.grid) labels.push_back(p.label);
+    if (resume->grid_labels != labels) reject("grid labels");
+    if (resume->mem_class_of != mem_of || resume->br_class_of != br_of)
+      reject("component class structure");
+    if (resume->slots_completed > total_slots) reject("slot cursor");
+    if (resume->partial.points.size() != cfg.grid.size())
+      reject("point count");
+    done = resume->slots_completed;
+    for (std::size_t g = 0; g < cfg.grid.size(); ++g)
+      for (std::size_t c = 0; c < ncat; ++c) {
+        const std::size_t expect = cat_count(cfg.interleave_categories, ncat,
+                                             per_cat, done, c);
+        for (hpc::HpcEvent e : hpc::all_events())
+          if (resume->partial.points[g]
+                  .result.samples[static_cast<std::size_t>(e)][c]
+                  .size() != expect)
+            reject("cell sizes vs slot cursor");
+      }
+    util::log_info("sweep: resuming from checkpoint at slot ", done, "/",
+                   total_slots);
+  }
+
   SweepStats stats;
   stats.grid_points = cfg.grid.size();
   stats.memory_classes = mem_classes.size();
@@ -271,11 +341,20 @@ SweepResult Campaign::sweep(const SweepConfig& cfg) {
   // is touched by exactly one task, and the per-trace barrier means the
   // replay order within a slot cannot matter — results are bit-identical
   // at any thread count.
+  //
+  // `stateful_only` is the resume catch-up mode: replay solely into the
+  // classes that carry cross-measurement state (warm hierarchies, random
+  // replacement victim RNGs, pollution streams).  Cacheable classes are,
+  // by the same definition that makes them cacheable, pure functions of
+  // the input — skipping their history cannot change anything they
+  // produce later.
   auto replay_all = [&](std::uint64_t key,
-                        std::optional<std::uint64_t> cache_key) {
+                        std::optional<std::uint64_t> cache_key,
+                        bool stateful_only = false) {
     const auto t0 = Clock::now();
     std::vector<std::function<void()>> tasks;
     for (MemClass& mc : mem_classes) {
+      if (stateful_only && mc.cacheable) continue;
       if (cache_key && mc.cacheable) {
         const auto hit = mc.cache.find(*cache_key);
         if (hit != mc.cache.end()) {
@@ -288,6 +367,7 @@ SweepResult Campaign::sweep(const SweepConfig& cfg) {
       tasks.push_back([&mc, &trace, key] { replay_mem(mc, trace, key); });
     }
     for (BrClass& bc : br_classes) {
+      if (stateful_only && bc.cacheable) continue;
       if (cache_key && bc.cacheable) {
         const auto hit = bc.cache.find(*cache_key);
         if (hit != bc.cache.end()) {
@@ -314,7 +394,8 @@ SweepResult Campaign::sweep(const SweepConfig& cfg) {
     stats.replay_seconds += seconds_since(t0);
   };
 
-  // --- Per-point result shells. ----------------------------------------
+  // --- Per-point result shells (prefilled with the checkpointed prefix
+  // on resume). ---------------------------------------------------------
   SweepResult result;
   result.points.resize(cfg.grid.size());
   for (std::size_t g = 0; g < cfg.grid.size(); ++g) {
@@ -326,6 +407,13 @@ SweepResult Campaign::sweep(const SweepConfig& cfg) {
       per_event.assign(ncat, {});
       for (auto& cell : per_event) cell.reserve(per_cat);
     }
+    if (resume)
+      for (hpc::HpcEvent e : hpc::all_events()) {
+        const std::size_t idx = static_cast<std::size_t>(e);
+        for (std::size_t c = 0; c < ncat; ++c)
+          pr.result.samples[idx][c] =
+              resume->partial.points[g].result.samples[idx][c];
+      }
   }
 
   // --- Warmups: recorded and replayed into every class, mirroring the
@@ -383,21 +471,97 @@ SweepResult Campaign::sweep(const SweepConfig& cfg) {
     }
   };
 
-  if (cfg.interleave_categories) {
-    for (std::size_t s = 0; s < per_cat; ++s)
-      for (std::size_t c = 0; c < ncat; ++c) measure_slot(c, s);
-  } else {
-    for (std::size_t c = 0; c < ncat; ++c)
-      for (std::size_t s = 0; s < per_cat; ++s) measure_slot(c, s);
+  // The schedule as a flat slot sequence, so the cursor (and with it the
+  // checkpoint) is a single integer.
+  auto slot_of = [&](std::size_t idx) -> std::pair<std::size_t, std::size_t> {
+    if (cfg.interleave_categories) return {idx % ncat, idx / ncat};
+    return {idx / per_cat, idx % per_cat};
+  };
+
+  // --- Resume catch-up: re-record the completed slots' traces and
+  // replay them into the stateful classes only, rebuilding exactly the
+  // internal state (warm caches, victim RNGs, pollution cursors) an
+  // uninterrupted run would hold at the cursor.  verify_live PMUs are
+  // stateful in the same way, so their history is re-run too (without
+  // re-scoring mismatches — those slots' samples are already committed).
+  for (std::size_t idx = 0; idx < done; ++idx) {
+    const auto [c, s] = slot_of(idx);
+    const std::uint64_t slot = acquisition::global_slot(
+        cfg.interleave_categories, ncat, per_cat, c, s);
+    const std::uint64_t key = acquisition::slot_key(slot, 0);
+    record(*pools[c][s % pools[c].size()]);
+    replay_all(key, std::nullopt, /*stateful_only=*/true);
+    for (std::size_t g = 0; g < live.size(); ++g) (void)live_measure(g, key);
   }
 
-  // --- Diagnostics: a faultless, complete, serial-shaped acquisition. --
+  // --- Supervised slot loop. -------------------------------------------
+  util::CancelToken token = cfg.cancel.child();
+  if (cfg.deadline > std::chrono::milliseconds::zero())
+    token.set_deadline_after(cfg.deadline);
+
+  auto flush_checkpoint = [&](std::size_t cursor) {
+    if (cfg.checkpoint_path.empty()) return;
+    SweepCheckpoint cp;
+    cp.samples_per_category = per_cat;
+    cp.interleave_categories = cfg.interleave_categories;
+    cp.warmup_measurements = cfg.warmup_measurements;
+    cp.verify_live = cfg.verify_live;
+    cp.kernel_mode = nn::to_string(cfg.kernel_mode);
+    cp.categories = cfg.categories;
+    for (const SweepPoint& p : cfg.grid) cp.grid_labels.push_back(p.label);
+    cp.mem_class_of = mem_of;
+    cp.br_class_of = br_of;
+    cp.slots_completed = cursor;
+    cp.partial = result;
+    cp.partial.slots_completed = cursor;
+    cp.partial.complete = cursor == total_slots;
+    save_sweep_checkpoint(cfg.checkpoint_path, cp);
+  };
+
+  std::size_t cursor = done;
+  while (cursor < total_slots) {
+    if (token.cancelled()) break;
+    const auto [c, s] = slot_of(cursor);
+    measure_slot(c, s);
+    ++cursor;
+    if (cfg.checkpoint_every_slots > 0 &&
+        cursor % cfg.checkpoint_every_slots == 0 && cursor < total_slots)
+      flush_checkpoint(cursor);
+  }
+
+  result.slots_completed = cursor;
+  result.complete = cursor == total_slots;
+  if (!result.complete) {
+    switch (token.reason()) {
+      case util::CancelReason::kDeadline:
+        result.stop_reason = StopReason::kDeadline;
+        break;
+      case util::CancelReason::kStalled:
+        result.stop_reason = StopReason::kShardStalled;
+        break;
+      default:
+        result.stop_reason = StopReason::kCancelled;
+        break;
+    }
+    util::log_info("sweep: stopping at slot ", cursor, "/", total_slots,
+                   " (", to_string(result.stop_reason),
+                   "): ", token.message());
+    flush_checkpoint(cursor);
+  }
+
+  // --- Diagnostics: a faultless, serial-shaped acquisition (partial
+  // when supervision stopped it early). --------------------------------
   for (SweepPointResult& pr : result.points) {
     CampaignDiagnostics& d = pr.result.diagnostics;
-    d.measurements_attempted = ncat * per_cat;
-    d.measurements_recorded = ncat * per_cat;
-    d.complete = true;
-    d.shard_recorded.assign(1, std::vector<std::size_t>(ncat, per_cat));
+    d.measurements_attempted = cursor;
+    d.measurements_recorded = cursor;
+    d.complete = result.complete;
+    d.stop_reason = result.stop_reason;
+    d.resumed = resume != nullptr;
+    d.shard_recorded.assign(1, std::vector<std::size_t>(ncat, 0));
+    for (std::size_t c = 0; c < ncat; ++c)
+      d.shard_recorded[0][c] =
+          cat_count(cfg.interleave_categories, ncat, per_cat, cursor, c);
   }
 
   result.stats = stats;
@@ -407,6 +571,141 @@ SweepResult Campaign::sweep(const SweepConfig& cfg) {
                  " traces recorded, ", stats.replays, " replays (",
                  stats.replay_cache_hits, " cache hits)");
   return result;
+}
+
+// --- Sweep checkpoint serialization. -----------------------------------
+
+namespace {
+
+constexpr const char* kSweepFormatTag = "sce-sweep-checkpoint";
+constexpr int kSweepVersion = 3;
+
+}  // namespace
+
+std::string sweep_checkpoint_to_json(const SweepCheckpoint& cp) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("format").value(kSweepFormatTag);
+  w.key("version").value(static_cast<std::int64_t>(cp.version));
+  w.key("samples_per_category")
+      .value(static_cast<std::uint64_t>(cp.samples_per_category));
+  w.key("interleave_categories").value(cp.interleave_categories);
+  w.key("warmup_measurements")
+      .value(static_cast<std::uint64_t>(cp.warmup_measurements));
+  w.key("verify_live").value(cp.verify_live);
+  w.key("kernel_mode").value(cp.kernel_mode);
+  w.key("categories").begin_array();
+  for (int c : cp.categories) w.value(static_cast<std::int64_t>(c));
+  w.end_array();
+  w.key("grid_labels").begin_array();
+  for (const std::string& l : cp.grid_labels) w.value(l);
+  w.end_array();
+  w.key("mem_class_of").begin_array();
+  for (std::size_t m : cp.mem_class_of)
+    w.value(static_cast<std::uint64_t>(m));
+  w.end_array();
+  w.key("br_class_of").begin_array();
+  for (std::size_t b : cp.br_class_of) w.value(static_cast<std::uint64_t>(b));
+  w.end_array();
+  w.key("slots_completed")
+      .value(static_cast<std::uint64_t>(cp.slots_completed));
+  w.key("stop_reason").value(to_string(cp.partial.stop_reason));
+
+  // Per-point samples, value_exact for the same bit-for-bit resume
+  // guarantee the campaign checkpoint makes.
+  w.key("points").begin_array();
+  for (const SweepPointResult& pr : cp.partial.points) {
+    w.begin_object();
+    w.key("label").value(pr.label);
+    w.key("samples").begin_object();
+    for (hpc::HpcEvent e : hpc::all_events()) {
+      w.key(hpc::to_string(e)).begin_array();
+      for (const auto& cell : pr.result.samples[static_cast<std::size_t>(e)]) {
+        w.begin_array();
+        for (double v : cell) w.value_exact(v);
+        w.end_array();
+      }
+      w.end_array();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+SweepCheckpoint sweep_checkpoint_from_json(const std::string& json) {
+  const util::JsonValue doc = util::parse_json(json);
+  if (!doc.is_object() || !doc.find("format") ||
+      doc.at("format").as_string() != kSweepFormatTag)
+    throw InvalidArgument("sweep checkpoint: not a sweep checkpoint document");
+  SweepCheckpoint cp;
+  cp.version = static_cast<int>(doc.at("version").as_int());
+  if (cp.version > kSweepVersion)
+    throw InvalidArgument("sweep checkpoint: unsupported version " +
+                          std::to_string(cp.version));
+  cp.samples_per_category =
+      static_cast<std::size_t>(doc.at("samples_per_category").as_int());
+  cp.interleave_categories = doc.at("interleave_categories").as_bool();
+  cp.warmup_measurements =
+      static_cast<std::size_t>(doc.at("warmup_measurements").as_int());
+  cp.verify_live = doc.at("verify_live").as_bool();
+  cp.kernel_mode = doc.at("kernel_mode").as_string();
+  for (const auto& c : doc.at("categories").items())
+    cp.categories.push_back(static_cast<int>(c.as_int()));
+  for (const auto& l : doc.at("grid_labels").items())
+    cp.grid_labels.push_back(l.as_string());
+  for (const auto& m : doc.at("mem_class_of").items())
+    cp.mem_class_of.push_back(static_cast<std::size_t>(m.as_int()));
+  for (const auto& b : doc.at("br_class_of").items())
+    cp.br_class_of.push_back(static_cast<std::size_t>(b.as_int()));
+  cp.slots_completed =
+      static_cast<std::size_t>(doc.at("slots_completed").as_int());
+  cp.partial.stop_reason = parse_stop_reason(doc.at("stop_reason").as_string());
+  cp.partial.slots_completed = cp.slots_completed;
+  cp.partial.complete = false;
+
+  const util::JsonValue& points = doc.at("points");
+  if (points.size() != cp.grid_labels.size())
+    throw InvalidArgument("sweep checkpoint: point / label count mismatch");
+  std::size_t g = 0;
+  for (const auto& pt : points.items()) {
+    SweepPointResult pr;
+    pr.label = pt.at("label").as_string();
+    if (pr.label != cp.grid_labels[g])
+      throw InvalidArgument("sweep checkpoint: point order mismatch");
+    pr.result.categories = cp.categories;
+    const util::JsonValue& samples = pt.at("samples");
+    for (hpc::HpcEvent e : hpc::all_events()) {
+      auto& per_event = pr.result.samples[static_cast<std::size_t>(e)];
+      const util::JsonValue& cells = samples.at(hpc::to_string(e));
+      if (cells.size() != cp.categories.size())
+        throw InvalidArgument(
+            "sweep checkpoint: wrong cell count for event " +
+            hpc::to_string(e));
+      for (const auto& cell : cells.items()) {
+        std::vector<double> values;
+        values.reserve(cell.size());
+        for (const auto& v : cell.items()) values.push_back(v.as_number());
+        per_event.push_back(std::move(values));
+      }
+    }
+    cp.partial.points.push_back(std::move(pr));
+    ++g;
+  }
+  return cp;
+}
+
+void save_sweep_checkpoint(const std::string& path,
+                           const SweepCheckpoint& checkpoint) {
+  write_durable(path, with_crc_footer(sweep_checkpoint_to_json(checkpoint)));
+  util::log_debug("sweep checkpoint: wrote ", path, " (slot ",
+                  checkpoint.slots_completed, ")");
+}
+
+SweepCheckpoint load_sweep_checkpoint(const std::string& path) {
+  return sweep_checkpoint_from_json(read_verified(path));
 }
 
 }  // namespace sce::core

@@ -20,6 +20,7 @@
 // counts, so repeated inputs cost nothing to re-measure.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -27,6 +28,7 @@
 
 #include "core/campaign.hpp"
 #include "hpc/simulated_pmu.hpp"
+#include "util/cancel.hpp"
 
 namespace sce::core {
 
@@ -68,6 +70,21 @@ struct SweepConfig {
 
   /// The configurations to evaluate.
   std::vector<SweepPoint> grid;
+
+  // --- Supervision (same semantics as the CampaignConfig knobs) --------
+  /// Cooperative cancel handle, polled between slots.  A tripped token
+  /// flushes a checkpoint (when checkpoint_path is set) and returns a
+  /// Partial SweepResult instead of throwing.
+  util::CancelToken cancel;
+  /// Wall-clock budget for this sweep (0 = none), armed on a child of
+  /// `cancel`.
+  std::chrono::milliseconds deadline{0};
+
+  /// Checkpoint file; written every `checkpoint_every_slots` completed
+  /// slots and on any supervision stop.  May be set with the cadence at
+  /// 0 for stop-only flushing.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every_slots = 0;
 
   /// Throws util-error InvalidArgument on the first violation.  Every
   /// grid point must keep normalize_addresses on: replay reproduces the
@@ -113,9 +130,62 @@ struct SweepResult {
   std::vector<SweepPointResult> points;
   SweepStats stats;
 
+  /// Measurement slots fully assembled across every grid point, in
+  /// global (serial acquisition) slot order.  ncat * samples_per_category
+  /// when complete.
+  std::size_t slots_completed = 0;
+  /// False when supervision stopped the sweep early; every point then
+  /// holds the same `slots_completed`-slot prefix of the full result.
+  bool complete = true;
+  StopReason stop_reason = StopReason::kCompleted;
+
+  RunStatus status() const {
+    return complete ? RunStatus::kComplete : RunStatus::kPartial;
+  }
+
   /// Result of the point with this label; throws InvalidArgument if the
   /// label is unknown.
   const CampaignResult& of(const std::string& label) const;
 };
+
+/// Resumable snapshot of an interrupted sweep: the acquisition schedule,
+/// the component-class structure of the grid (for validation), the slot
+/// cursor, and every point's partial samples.  Like the campaign
+/// checkpoint, the file carries a CRC32 footer and is written durably
+/// (see core/checkpoint.hpp); resume is valid at any num_threads — the
+/// per-trace replay barrier keeps results bit-identical regardless.
+struct SweepCheckpoint {
+  /// Version of the sweep checkpoint layout (introduced at 3, alongside
+  /// the campaign checkpoint's supervision revision).
+  int version = 3;
+  std::size_t samples_per_category = 0;
+  bool interleave_categories = true;
+  std::size_t warmup_measurements = 0;
+  bool verify_live = false;
+  std::string kernel_mode;
+  std::vector<int> categories;
+  /// Grid labels in grid order, plus each point's memory/branch
+  /// component class — the dedup structure the samples were produced
+  /// under.  A resume with a reordered or re-deduplicated grid is
+  /// rejected rather than silently misattributed.
+  std::vector<std::string> grid_labels;
+  std::vector<std::size_t> mem_class_of;
+  std::vector<std::size_t> br_class_of;
+  /// Slots completed (== every point's appended sample count).
+  std::size_t slots_completed = 0;
+  /// points[g].result.samples hold each point's prefix cells.
+  SweepResult partial;
+};
+
+/// Snapshot an interrupted sweep (points carry `slots_completed` slots).
+std::string sweep_checkpoint_to_json(const SweepCheckpoint& checkpoint);
+/// Throws InvalidArgument on malformed or version-incompatible input.
+SweepCheckpoint sweep_checkpoint_from_json(const std::string& json);
+/// Durable write with CRC footer (shares the campaign checkpoint's
+/// write path: tmp + fsync + .prev rotation + rename + dir fsync).
+void save_sweep_checkpoint(const std::string& path,
+                           const SweepCheckpoint& checkpoint);
+/// CRC-verified load with .corrupt quarantine and .prev fallback.
+SweepCheckpoint load_sweep_checkpoint(const std::string& path);
 
 }  // namespace sce::core

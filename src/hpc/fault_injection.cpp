@@ -37,6 +37,18 @@ bool FaultInjectingProvider::permanent_failure_active() const {
          successful_reads_ >= config_.permanent_fail_after;
 }
 
+bool FaultInjectingProvider::dead() const {
+  return config_.die_after_reads > 0 &&
+         successful_reads_ >= config_.die_after_reads;
+}
+
+void FaultInjectingProvider::throw_if_dead(const char* op) {
+  if (!dead()) return;
+  ++stats_.transient_failures;
+  throw TransientFailure(std::string("injected instrument death in ") + op +
+                         " (" + inner_.name() + ")");
+}
+
 void FaultInjectingProvider::maybe_throw(const char* op, bool enabled) {
   if (!enabled) return;
   if (config_.transient_rate > 0.0 && rng_.chance(config_.transient_rate)) {
@@ -50,6 +62,7 @@ void FaultInjectingProvider::start() {
   ++stats_.start_calls;
   // The fault fires before the inner provider arms: a failed
   // perf_event ioctl leaves the counters untouched.
+  throw_if_dead("start");
   maybe_throw("start", config_.faulty_start);
   inner_.start();
   ++stats_.running_depth;
@@ -57,6 +70,7 @@ void FaultInjectingProvider::start() {
 
 void FaultInjectingProvider::stop() {
   ++stats_.stop_calls;
+  throw_if_dead("stop");
   maybe_throw("stop", config_.faulty_stop);
   inner_.stop();
   --stats_.running_depth;
@@ -64,6 +78,7 @@ void FaultInjectingProvider::stop() {
 
 CounterSample FaultInjectingProvider::read() {
   ++stats_.read_calls;
+  throw_if_dead("read");
   maybe_throw("read", config_.faulty_read);
   CounterSample sample = inner_.read();
 

@@ -43,6 +43,13 @@ struct FaultConfig {
   /// a counter lost for good mid-campaign.
   std::optional<HpcEvent> permanent_fail_event;
   std::size_t permanent_fail_after = 0;
+  /// If > 0, the whole instrument dies after this many successful reads:
+  /// every subsequent start()/stop()/read() throws TransientFailure
+  /// until the caller's retry budget concedes the rig is gone.  This is
+  /// *instance* state, not keyed randomness — the same measurement
+  /// retried on a healthy instrument succeeds, which is exactly the
+  /// contract the campaign's shard failover relies on.
+  std::size_t die_after_reads = 0;
   std::uint64_t seed = 0xFA17;
 };
 
@@ -83,9 +90,12 @@ class FaultInjectingProvider final : public CounterProvider {
   const FaultStats& stats() const { return stats_; }
   /// True once the configured permanent event failure has tripped.
   bool permanent_failure_active() const;
+  /// True once die_after_reads has tripped (the instrument is gone).
+  bool dead() const;
 
  private:
   void maybe_throw(const char* op, bool enabled);
+  void throw_if_dead(const char* op);
 
   CounterProvider& inner_;
   FaultConfig config_;

@@ -1,0 +1,61 @@
+#include "util/crc32.hpp"
+
+#include <array>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace sce::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[n] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const char ch : data)
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string crc32_hex(std::uint32_t crc) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[crc & 0xFu];
+    crc >>= 4;
+  }
+  return out;
+}
+
+std::uint32_t parse_crc32_hex(std::string_view hex) {
+  if (hex.size() != 8)
+    throw InvalidArgument("crc32: expected 8 hex digits");
+  std::uint32_t value = 0;
+  for (const char ch : hex) {
+    value <<= 4;
+    if (ch >= '0' && ch <= '9')
+      value |= static_cast<std::uint32_t>(ch - '0');
+    else if (ch >= 'a' && ch <= 'f')
+      value |= static_cast<std::uint32_t>(ch - 'a' + 10);
+    else if (ch >= 'A' && ch <= 'F')
+      value |= static_cast<std::uint32_t>(ch - 'A' + 10);
+    else
+      throw InvalidArgument("crc32: invalid hex digit");
+  }
+  return value;
+}
+
+}  // namespace sce::util

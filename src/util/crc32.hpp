@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) for checkpoint integrity
+// footers.  Not a cryptographic MAC — the threat model is torn writes
+// and bit rot on crash-interrupted filesystems, not an adversary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sce::util {
+
+/// Incremental update: feed `crc32(data, previous)` to chain buffers;
+/// start from the default 0 for a fresh checksum.
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+/// Render as fixed-width lowercase hex ("00000000".."ffffffff").
+std::string crc32_hex(std::uint32_t crc);
+
+/// Parse the 8-hex-digit rendering; throws InvalidArgument otherwise.
+std::uint32_t parse_crc32_hex(std::string_view hex);
+
+}  // namespace sce::util

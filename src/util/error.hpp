@@ -39,4 +39,48 @@ class TransientFailure : public Error {
   explicit TransientFailure(const std::string& what) : Error(what) {}
 };
 
+// --- Supervision taxonomy ------------------------------------------------
+// The supervised execution runtime (util/cancel.hpp, util/watchdog.hpp,
+// core::Campaign) stops work through these four types rather than a bare
+// Error, so drivers can tell a user cancel from a blown deadline from a
+// sick instrument and react per cause.  Campaign::run/sweep themselves
+// translate Cancelled/DeadlineExceeded/ShardStalled raised inside their
+// shards into a Partial result with a flushed checkpoint; the types still
+// escape from code without a partial-result channel (CancelToken::check
+// in user workloads, the fixed-vs-random screen).
+
+/// Base of the supervision taxonomy: the work was stopped by policy, not
+/// by a defect — completed measurements remain valid.
+class Interrupted : public Error {
+ public:
+  explicit Interrupted(const std::string& what) : Error(what) {}
+};
+
+/// A CancelToken was tripped explicitly (operator stop, job eviction).
+class Cancelled : public Interrupted {
+ public:
+  explicit Cancelled(const std::string& what) : Interrupted(what) {}
+};
+
+/// A wall-clock deadline armed on a CancelToken expired.
+class DeadlineExceeded : public Interrupted {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Interrupted(what) {}
+};
+
+/// A Watchdog observed no heartbeat from a shard within its quiet
+/// window — the shard is stuck inside a measurement, not merely slow.
+class ShardStalled : public Interrupted {
+ public:
+  explicit ShardStalled(const std::string& what) : Interrupted(what) {}
+};
+
+/// A shard's instrument failed permanently (its RetryPolicy kept
+/// exhausting).  Raised by the shard loop to request failover; escapes
+/// Campaign::run only when no healthy instrument remains.
+class InstrumentLost : public Error {
+ public:
+  explicit InstrumentLost(const std::string& what) : Error(what) {}
+};
+
 }  // namespace sce

@@ -21,6 +21,12 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+void ThreadPool::submit(const CancelToken& token, std::function<void()> task) {
+  submit([token, task = std::move(task)] {
+    if (!token.cancelled()) task();
+  });
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);

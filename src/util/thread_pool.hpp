@@ -20,6 +20,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.hpp"
+
 namespace sce::util {
 
 class ThreadPool {
@@ -37,6 +39,13 @@ class ThreadPool {
   /// Enqueue one task.  Tasks must not call submit() or wait() on their
   /// own pool (the pool is a fan-out/barrier primitive, not a scheduler).
   void submit(std::function<void()> task);
+
+  /// Enqueue one cancellable task: if `token` reports cancelled by the
+  /// time a worker dequeues it, the task body is skipped (it still
+  /// counts as completed for wait()).  This is how a supervised fan-out
+  /// drains promptly on cancel — queued-but-unstarted work is dropped at
+  /// the pool instead of each task re-checking on entry.
+  void submit(const CancelToken& token, std::function<void()> task);
 
   /// Block until every submitted task has completed.  If any task threw,
   /// rethrows the first captured exception (in completion order) and

@@ -1,0 +1,143 @@
+#include "util/watchdog.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace sce::util {
+
+namespace {
+
+std::chrono::steady_clock::rep now_ticks() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace
+
+void WatchdogConfig::validate() const {
+  if (quiet_window <= std::chrono::milliseconds::zero())
+    throw InvalidArgument("watchdog: quiet_window must be > 0");
+  if (poll_interval < std::chrono::milliseconds::zero())
+    throw InvalidArgument("watchdog: poll_interval must be >= 0");
+}
+
+Watchdog::Watchdog(std::size_t lanes, WatchdogConfig config,
+                   std::function<void(std::size_t)> on_stall)
+    : config_(config), on_stall_(std::move(on_stall)), beats_(lanes) {
+  config_.validate();
+  if (lanes == 0) throw InvalidArgument("watchdog: need at least one lane");
+  if (!on_stall_) throw InvalidArgument("watchdog: on_stall must be set");
+  armed_lanes_.assign(lanes, false);
+  flagged_.assign(lanes, false);
+  for (auto& b : beats_) b.store(now_ticks(), std::memory_order_relaxed);
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+std::chrono::milliseconds Watchdog::poll() const {
+  if (config_.poll_interval > std::chrono::milliseconds::zero())
+    return config_.poll_interval;
+  return std::max(std::chrono::milliseconds(1), config_.quiet_window / 4);
+}
+
+void Watchdog::beat(std::size_t lane) {
+  if (lane >= beats_.size())
+    throw InvalidArgument("watchdog: lane out of range");
+  beats_[lane].store(now_ticks(), std::memory_order_release);
+}
+
+void Watchdog::arm(const std::vector<bool>& active) {
+  if (active.size() != beats_.size())
+    throw InvalidArgument("watchdog: arm() lane-set size mismatch");
+  const auto t = now_ticks();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_lanes_ = active;
+    std::fill(flagged_.begin(), flagged_.end(), false);
+    for (std::size_t k = 0; k < beats_.size(); ++k)
+      if (active[k]) beats_[k].store(t, std::memory_order_release);
+    armed_ = std::any_of(active.begin(), active.end(),
+                         [](bool a) { return a; });
+  }
+  wake_.notify_all();
+}
+
+void Watchdog::arm_all() { arm(std::vector<bool>(beats_.size(), true)); }
+
+void Watchdog::arm_lane(std::size_t lane) {
+  if (lane >= beats_.size())
+    throw InvalidArgument("watchdog: lane out of range");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_lanes_[lane] = true;
+    flagged_[lane] = false;
+    beats_[lane].store(now_ticks(), std::memory_order_release);
+    armed_ = true;
+  }
+  wake_.notify_all();
+}
+
+void Watchdog::clear(std::size_t lane) {
+  if (lane >= beats_.size())
+    throw InvalidArgument("watchdog: lane out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_lanes_[lane] = false;
+}
+
+void Watchdog::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+}
+
+std::vector<std::size_t> Watchdog::stalled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::size_t> lanes;
+  for (std::size_t k = 0; k < flagged_.size(); ++k)
+    if (flagged_[k]) lanes.push_back(k);
+  return lanes;
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  wake_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+}
+
+void Watchdog::monitor_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stop_) return;
+    if (!armed_) {
+      wake_.wait(lock, [this] { return stop_ || armed_; });
+      continue;
+    }
+    wake_.wait_for(lock, poll(), [this] { return stop_; });
+    if (stop_) return;
+    if (!armed_) continue;
+    const auto now = now_ticks();
+    const auto quiet = std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           config_.quiet_window)
+                           .count();
+    for (std::size_t k = 0; k < beats_.size(); ++k) {
+      if (!armed_lanes_[k] || flagged_[k]) continue;
+      const auto last = beats_[k].load(std::memory_order_acquire);
+      if (now - last < quiet) continue;
+      flagged_[k] = true;
+      // Fire outside the lock: the callback may grab unrelated locks
+      // (log sinks, cancel-token message mutexes).
+      lock.unlock();
+      on_stall_(k);
+      lock.lock();
+      if (stop_) return;
+    }
+  }
+}
+
+}  // namespace sce::util

@@ -1,0 +1,106 @@
+// Heartbeat watchdog for sharded acquisition.
+//
+// A shard that dies loudly is easy; the dangerous failure is the shard
+// that silently stops making progress — a perf read blocked in the
+// kernel, an instrument wedged by a driver bug — while the rest of the
+// campaign keeps running and the merged result quietly never completes.
+// The Watchdog gives every worker lane a heartbeat slot: lanes beat()
+// on every measurement attempt, the coordinator arms the lanes that
+// have work before a fan-out and disarms them at the barrier, and a
+// monitor thread flags any armed lane whose last beat is older than the
+// quiet window.
+//
+// The watchdog never kills anything — preemptive teardown would leak
+// the lane's instrument state mid-measurement.  It reports: the
+// on_stall callback (invoked once per lane per arm cycle, from the
+// monitor thread) typically trips a CancelToken with
+// CancelReason::kStalled so the stuck call, whenever it returns,
+// unwinds cooperatively through the ShardStalled taxonomy error.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sce::util {
+
+struct WatchdogConfig {
+  /// A lane is stalled when its last beat is older than this.
+  std::chrono::milliseconds quiet_window{1000};
+  /// Monitor wake-up cadence (0 = quiet_window / 4, min 1ms).
+  std::chrono::milliseconds poll_interval{0};
+
+  /// Throws InvalidArgument on a malformed config.
+  void validate() const;
+};
+
+class Watchdog {
+ public:
+  /// `on_stall(lane)` fires on the monitor thread, at most once per lane
+  /// per arm() cycle.  The callback must not call back into the Watchdog.
+  Watchdog(std::size_t lanes, WatchdogConfig config,
+           std::function<void(std::size_t lane)> on_stall);
+  /// Stops the monitor thread (idempotent with stop()).
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  std::size_t lanes() const { return beats_.size(); }
+
+  /// Record progress on `lane`.  Thread-safe, wait-free (one atomic
+  /// store) — cheap enough to call per measurement attempt.
+  void beat(std::size_t lane);
+
+  /// Start monitoring `active` lanes (others are exempt).  Every armed
+  /// lane's clock restarts now; stall flags from the previous cycle are
+  /// cleared.  Arming while armed re-arms with the new set.  Arming an
+  /// all-false set starts a fresh cycle with no lane monitored yet —
+  /// the per-lane entry point for workers that arm themselves as they
+  /// start (see arm_lane).
+  void arm(const std::vector<bool>& active);
+  /// Convenience: arm every lane.
+  void arm_all();
+  /// Arm one lane, restarting its clock and clearing its flag.  Lets a
+  /// worker opt in when its task actually begins executing, so lanes
+  /// still queued behind a small thread pool cannot be mistaken for
+  /// stalls.  (The flip side: a task that never starts is invisible —
+  /// the watchdog watches instruments, not the scheduler.)
+  void arm_lane(std::size_t lane);
+  /// Retire one lane from the current cycle (its work completed or
+  /// failed); a retired lane cannot be flagged until re-armed.
+  void clear(std::size_t lane);
+  /// Stop monitoring (beats are still accepted and ignored).
+  void disarm();
+
+  /// Lanes flagged since the last arm(), in lane order.
+  std::vector<std::size_t> stalled() const;
+
+  /// Permanently stop the monitor thread.
+  void stop();
+
+ private:
+  void monitor_loop();
+  std::chrono::milliseconds poll() const;
+
+  WatchdogConfig config_;
+  std::function<void(std::size_t)> on_stall_;
+
+  /// beats_[lane] = steady_clock ticks of the lane's last beat.
+  std::vector<std::atomic<std::chrono::steady_clock::rep>> beats_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<bool> armed_lanes_;
+  std::vector<bool> flagged_;
+  bool armed_ = false;
+  bool stop_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace sce::util

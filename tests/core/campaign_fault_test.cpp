@@ -262,7 +262,7 @@ TEST(CampaignCheckpoint, JsonRoundTripPreservesEverything) {
   const std::string json = checkpoint_to_json(cp);
   const CampaignCheckpoint back = checkpoint_from_json(json);
 
-  EXPECT_EQ(back.version, 2);
+  EXPECT_EQ(back.version, 3);
   EXPECT_EQ(back.samples_per_category, 20u);
   EXPECT_EQ(back.kernel_mode, nn::to_string(cfg.kernel_mode));
   EXPECT_TRUE(same_distributions(cp.partial, back.partial));

@@ -143,6 +143,49 @@ TEST(FaultInjection, PermanentEventFailureTripsAfterThreshold) {
   }
 }
 
+TEST(FaultInjection, InstrumentDeathTripsAfterConfiguredReads) {
+  SimulatedPmu pmu = quiet_pmu();
+  FaultConfig cfg;
+  cfg.die_after_reads = 3;
+  FaultInjectingProvider provider(pmu, cfg);
+  EXPECT_FALSE(provider.dead());
+  for (int i = 0; i < 3; ++i) (void)one_measurement(provider, pmu);
+  EXPECT_TRUE(provider.dead());
+  // Every operation now fails, forever.
+  EXPECT_THROW(provider.start(), TransientFailure);
+  EXPECT_THROW(provider.stop(), TransientFailure);
+  EXPECT_THROW(provider.read(), TransientFailure);
+  EXPECT_THROW(provider.start(), TransientFailure);
+}
+
+TEST(FaultInjection, InstrumentDeathIsInstanceStateNotKeyed) {
+  // The same measurement keys on a fresh instrument succeed: death is a
+  // property of the rig, not of the measurement — the contract the
+  // campaign's shard failover depends on.
+  SimulatedPmu pmu_a = quiet_pmu();
+  SimulatedPmu pmu_b = quiet_pmu();
+  FaultConfig cfg;
+  cfg.die_after_reads = 2;
+  FaultInjectingProvider dying(pmu_a, cfg);
+  FaultInjectingProvider healthy(pmu_b, FaultConfig{});
+  for (std::uint64_t key = 0; key < 2; ++key) {
+    (void)dying.set_measurement_key(key);
+    (void)one_measurement(dying, pmu_a);
+  }
+  (void)dying.set_measurement_key(7);
+  EXPECT_THROW(one_measurement(dying, pmu_a), TransientFailure);
+  (void)healthy.set_measurement_key(7);
+  const CounterSample s = one_measurement(healthy, pmu_b);
+  EXPECT_TRUE(s.complete());
+}
+
+TEST(FaultInjection, DeathUnconfiguredByDefault) {
+  SimulatedPmu pmu = quiet_pmu();
+  FaultInjectingProvider provider(pmu);
+  for (int i = 0; i < 50; ++i) (void)one_measurement(provider, pmu);
+  EXPECT_FALSE(provider.dead());
+}
+
 TEST(CounterSample, PresenceMaskBasics) {
   CounterSample s;
   EXPECT_TRUE(s.complete());

@@ -1,0 +1,50 @@
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sce::util {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string text = "split anywhere, same answer";
+  for (std::size_t cut = 0; cut <= text.size(); ++cut) {
+    const std::uint32_t first = crc32(text.substr(0, cut));
+    EXPECT_EQ(crc32(text.substr(cut), first), crc32(text));
+  }
+}
+
+TEST(Crc32, SingleBitFlipChangesChecksum) {
+  std::string text = "checkpoint body bytes";
+  const std::uint32_t clean = crc32(text);
+  text[5] ^= 0x01;
+  EXPECT_NE(crc32(text), clean);
+}
+
+TEST(Crc32, HexRoundTrip) {
+  for (std::uint32_t v : {0x00000000u, 0xCBF43926u, 0xFFFFFFFFu, 0x0000ABCDu}) {
+    const std::string hex = crc32_hex(v);
+    EXPECT_EQ(hex.size(), 8u);
+    EXPECT_EQ(parse_crc32_hex(hex), v);
+  }
+  EXPECT_EQ(crc32_hex(0xCBF43926u), "cbf43926");
+}
+
+TEST(Crc32, ParseRejectsMalformedHex) {
+  EXPECT_THROW(parse_crc32_hex(""), InvalidArgument);
+  EXPECT_THROW(parse_crc32_hex("abcd"), InvalidArgument);
+  EXPECT_THROW(parse_crc32_hex("cbf4392g"), InvalidArgument);
+  EXPECT_THROW(parse_crc32_hex("cbf439261"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sce::util

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 
 namespace sce::util {
@@ -74,6 +75,40 @@ TEST(ThreadPool, DestructorDrainsPendingTasks) {
 
 TEST(ThreadPool, ZeroThreadsIsInvalid) {
   EXPECT_THROW(ThreadPool pool(0), InvalidArgument);
+}
+
+TEST(ThreadPool, TokenGatedSubmitRunsWhileTokenLive) {
+  CancelToken token;
+  std::atomic<int> ran{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i)
+    pool.submit(token, [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, TokenGatedSubmitDropsQueuedWorkOnCancel) {
+  CancelToken token;
+  token.cancel("shed the queue");
+  std::atomic<int> ran{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i)
+    pool.submit(token, [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 0) << "cancelled token must shed queued tasks";
+}
+
+TEST(ThreadPool, CancelMidStreamDropsOnlyLaterTasks) {
+  // One worker so execution order is queue order: the first task trips
+  // the token, everything behind it in the queue must be shed.
+  CancelToken token;
+  std::atomic<int> ran{0};
+  ThreadPool pool(1);
+  pool.submit(token, [&token] { token.cancel("first task pulls the plug"); });
+  for (int i = 0; i < 8; ++i)
+    pool.submit(token, [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 0);
 }
 
 TEST(ThreadPool, ReportsItsSize) {

@@ -1,0 +1,194 @@
+#include "util/watchdog.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/cancel.hpp"
+#include "util/error.hpp"
+
+namespace sce::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Collects on_stall lanes under a lock (the callback runs on the
+/// monitor thread).
+struct StallLog {
+  std::mutex mutex;
+  std::vector<std::size_t> lanes;
+  void operator()(std::size_t lane) {
+    std::lock_guard<std::mutex> lock(mutex);
+    lanes.push_back(lane);
+  }
+  std::vector<std::size_t> snapshot() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return lanes;
+  }
+};
+
+TEST(WatchdogConfig, ValidatesQuietWindow) {
+  WatchdogConfig cfg;
+  cfg.quiet_window = 0ms;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.quiet_window = -5ms;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.quiet_window = 10ms;
+  cfg.poll_interval = -1ms;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.poll_interval = 0ms;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Watchdog, QuietArmedLaneIsFlagged) {
+  StallLog log;
+  WatchdogConfig cfg;
+  cfg.quiet_window = 30ms;
+  cfg.poll_interval = 5ms;
+  Watchdog dog(2, cfg, [&log](std::size_t lane) { log(lane); });
+  dog.arm_all();
+  // Lane 0 beats continuously; lane 1 goes silent.
+  const auto until = std::chrono::steady_clock::now() + 150ms;
+  while (std::chrono::steady_clock::now() < until &&
+         log.snapshot().empty()) {
+    dog.beat(0);
+    std::this_thread::sleep_for(2ms);
+  }
+  dog.disarm();
+  const auto lanes = log.snapshot();
+  ASSERT_FALSE(lanes.empty());
+  for (std::size_t lane : lanes) EXPECT_EQ(lane, 1u);
+  EXPECT_EQ(lanes.size(), 1u) << "once per lane per arm cycle";
+}
+
+TEST(Watchdog, BeatingLaneIsNeverFlagged) {
+  StallLog log;
+  WatchdogConfig cfg;
+  cfg.quiet_window = 40ms;
+  cfg.poll_interval = 5ms;
+  Watchdog dog(1, cfg, [&log](std::size_t lane) { log(lane); });
+  dog.arm_all();
+  const auto until = std::chrono::steady_clock::now() + 120ms;
+  while (std::chrono::steady_clock::now() < until) {
+    dog.beat(0);
+    std::this_thread::sleep_for(2ms);
+  }
+  dog.disarm();
+  EXPECT_TRUE(log.snapshot().empty());
+  EXPECT_TRUE(dog.stalled().empty());
+}
+
+TEST(Watchdog, UnarmedLanesAreExempt) {
+  StallLog log;
+  WatchdogConfig cfg;
+  cfg.quiet_window = 25ms;
+  cfg.poll_interval = 5ms;
+  Watchdog dog(2, cfg, [&log](std::size_t lane) { log(lane); });
+  dog.arm({true, false});  // lane 1 idle by design
+  std::thread beater([&dog] {
+    for (int i = 0; i < 50; ++i) {
+      dog.beat(0);
+      std::this_thread::sleep_for(2ms);
+    }
+  });
+  beater.join();
+  dog.disarm();
+  EXPECT_TRUE(log.snapshot().empty());
+}
+
+TEST(Watchdog, DisarmedWatchdogReportsNothing) {
+  StallLog log;
+  WatchdogConfig cfg;
+  cfg.quiet_window = 20ms;
+  cfg.poll_interval = 5ms;
+  Watchdog dog(1, cfg, [&log](std::size_t lane) { log(lane); });
+  // Never armed: silence is fine.
+  std::this_thread::sleep_for(80ms);
+  EXPECT_TRUE(log.snapshot().empty());
+}
+
+TEST(Watchdog, RearmClearsPreviousFlags) {
+  StallLog log;
+  WatchdogConfig cfg;
+  cfg.quiet_window = 20ms;
+  cfg.poll_interval = 5ms;
+  Watchdog dog(1, cfg, [&log](std::size_t lane) { log(lane); });
+  dog.arm_all();
+  while (log.snapshot().empty()) std::this_thread::sleep_for(5ms);
+  EXPECT_EQ(dog.stalled(), std::vector<std::size_t>{0});
+  dog.arm_all();  // new cycle: flag cleared, clock restarted
+  EXPECT_TRUE(dog.stalled().empty());
+  while (log.snapshot().size() < 2) std::this_thread::sleep_for(5ms);
+  dog.disarm();
+  EXPECT_EQ(log.snapshot().size(), 2u);
+}
+
+TEST(Watchdog, TypicalUseTripsCancelTokenWithStalledReason) {
+  CancelToken token;
+  WatchdogConfig cfg;
+  cfg.quiet_window = 20ms;
+  cfg.poll_interval = 5ms;
+  Watchdog dog(3, cfg, [&token](std::size_t lane) {
+    token.cancel_with(CancelReason::kStalled,
+                      "lane " + std::to_string(lane) + " stalled");
+  });
+  dog.arm({false, false, true});
+  const auto until = std::chrono::steady_clock::now() + 500ms;
+  while (!token.cancelled() && std::chrono::steady_clock::now() < until)
+    std::this_thread::sleep_for(5ms);
+  dog.disarm();
+  ASSERT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kStalled);
+  EXPECT_THROW(token.check(), ShardStalled);
+}
+
+TEST(Watchdog, ClearRetiresALaneMidCycle) {
+  StallLog log;
+  WatchdogConfig cfg;
+  cfg.quiet_window = 25ms;
+  cfg.poll_interval = 5ms;
+  Watchdog dog(2, cfg, [&log](std::size_t lane) { log(lane); });
+  dog.arm_all();
+  dog.clear(0);  // lane 0's work is done; lane 1 goes quiet
+  const auto until = std::chrono::steady_clock::now() + 200ms;
+  while (std::chrono::steady_clock::now() < until && log.snapshot().empty())
+    std::this_thread::sleep_for(5ms);
+  dog.disarm();
+  const auto lanes = log.snapshot();
+  ASSERT_EQ(lanes.size(), 1u);
+  EXPECT_EQ(lanes.front(), 1u);  // the retired lane was never flagged
+}
+
+TEST(Watchdog, ArmLaneMonitorsJustThatLane) {
+  StallLog log;
+  WatchdogConfig cfg;
+  cfg.quiet_window = 25ms;
+  cfg.poll_interval = 5ms;
+  Watchdog dog(3, cfg, [&log](std::size_t lane) { log(lane); });
+  dog.arm(std::vector<bool>(3, false));  // fresh cycle, nothing armed
+  dog.arm_lane(1);                       // worker 1 started executing
+  const auto until = std::chrono::steady_clock::now() + 200ms;
+  while (std::chrono::steady_clock::now() < until && log.snapshot().empty())
+    std::this_thread::sleep_for(5ms);
+  dog.disarm();
+  const auto lanes = log.snapshot();
+  ASSERT_EQ(lanes.size(), 1u);
+  EXPECT_EQ(lanes.front(), 1u);  // never-started lanes are invisible
+}
+
+TEST(Watchdog, StopIsIdempotentAndDestructorSafe) {
+  WatchdogConfig cfg;
+  cfg.quiet_window = 10ms;
+  Watchdog dog(1, cfg, [](std::size_t) {});
+  dog.arm_all();
+  dog.stop();
+  dog.stop();
+  // Destructor runs stop() again on scope exit.
+}
+
+}  // namespace
+}  // namespace sce::util

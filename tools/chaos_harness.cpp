@@ -1,0 +1,462 @@
+// Chaos harness: drives the supervised campaign/sweep runtimes through a
+// deterministic kill-point matrix — cancellation at several exact
+// measurement counts, pre-expired deadlines, instrument death with
+// failover, total instrument loss, and cadence-checkpoint sweep cuts —
+// and gates every cell on the same invariant the unit tests assert:
+// however a run is interrupted, resuming it reproduces the uninterrupted
+// result bit for bit.  CI runs this after the tier-1 suite; any FAIL row
+// exits non-zero.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/checkpoint.hpp"
+#include "core/sweep.hpp"
+#include "data/synthetic.hpp"
+#include "hpc/fault_injection.hpp"
+#include "hpc/instrument_factory.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/model.hpp"
+#include "nn/pool.hpp"
+#include "nn/shape_ops.hpp"
+#include "util/cancel.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace sce;
+using namespace std::chrono_literals;
+
+namespace {
+
+// A PMU whose counters are a pure function of the dynamic trace *counts*
+// (loads, stores, branches, retires) — no addresses, no RNG, no carried
+// state — so a resumed run's values can be compared bit for bit against
+// an uninterrupted one regardless of heap layout.  Mirrors the rig the
+// acquisition tests use; the SimulatedPmu would not do, since its cache
+// counters depend on the buffers' actual addresses.
+class TracePurePmu final : public hpc::CounterProvider,
+                           public uarch::TraceSink {
+ public:
+  std::string name() const override { return "trace-pure-pmu"; }
+  std::vector<hpc::HpcEvent> supported_events() const override {
+    return {hpc::all_events().begin(), hpc::all_events().end()};
+  }
+  void start() override { counts_ = {}; }
+  void stop() override {}
+  hpc::CounterSample read() override {
+    const std::uint64_t mem = counts_.loads() + counts_.stores();
+    const std::uint64_t instr = counts_.instructions();
+    hpc::CounterSample s;
+    s[hpc::HpcEvent::kInstructions] = instr;
+    s[hpc::HpcEvent::kBranches] = counts_.branches();
+    s[hpc::HpcEvent::kBranchMisses] = counts_.taken_branches() / 9 + 1;
+    s[hpc::HpcEvent::kCacheReferences] = mem;
+    s[hpc::HpcEvent::kCacheMisses] = mem / 13 + counts_.taken_branches() % 7;
+    s[hpc::HpcEvent::kCycles] = instr / 2 + 4 * (mem / 13);
+    s[hpc::HpcEvent::kBusCycles] = instr / 32;
+    s[hpc::HpcEvent::kRefCycles] = instr / 2 + instr / 8;
+    return s;
+  }
+
+  void load(const void* a, std::size_t b) override { counts_.load(a, b); }
+  void store(const void* a, std::size_t b) override { counts_.store(a, b); }
+  void branch(std::uintptr_t pc, bool taken) override {
+    counts_.branch(pc, taken);
+  }
+  void structural_branches(std::uint64_t n) override {
+    counts_.structural_branches(n);
+  }
+  void retire(std::uint64_t n) override { counts_.retire(n); }
+
+ private:
+  uarch::CountingSink counts_;
+};
+
+hpc::CallbackInstrumentFactory trace_pure_factory() {
+  return hpc::CallbackInstrumentFactory(
+      [](std::size_t, std::size_t) {
+        return hpc::Instrument::adopt(std::make_unique<TracePurePmu>());
+      },
+      "trace-pure");
+}
+
+/// Trace-pure rigs where the listed shards' instruments die (every call
+/// throws TransientFailure) after `die_after_reads` successful reads.
+hpc::CallbackInstrumentFactory dying_factory(std::vector<std::size_t> dying,
+                                             std::size_t die_after_reads) {
+  return hpc::CallbackInstrumentFactory(
+      [dying, die_after_reads](std::size_t shard, std::size_t) {
+        auto pmu = std::make_unique<TracePurePmu>();
+        hpc::FaultConfig faults;
+        if (std::find(dying.begin(), dying.end(), shard) != dying.end())
+          faults.die_after_reads = die_after_reads;
+        auto provider =
+            std::make_unique<hpc::FaultInjectingProvider>(*pmu, faults);
+        return hpc::Instrument::adopt(std::move(provider), std::move(pmu));
+      },
+      "dying-trace-pure");
+}
+
+nn::Sequential tiny_model() {
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Conv2D>(1, 2, 3))
+      .add(std::make_unique<nn::ReLU>())
+      .add(std::make_unique<nn::MaxPool2D>(2))
+      .add(std::make_unique<nn::Flatten>())
+      .add(std::make_unique<nn::Dense>(2 * 5 * 5, 4))
+      .add(std::make_unique<nn::Softmax>());
+  util::Rng rng(3);
+  model.initialize(rng);
+  return model;
+}
+
+data::Dataset tiny_dataset() {
+  data::SyntheticConfig cfg;
+  cfg.seed = 4;
+  cfg.examples_per_class = 6;
+  cfg.num_classes = 4;
+  const data::Dataset full = data::make_mnist_like(cfg);
+  data::Dataset cropped({}, full.class_names());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    data::Example e;
+    e.label = full[i].label;
+    e.image = data::Image(1, 12, 12);
+    for (std::size_t y = 0; y < 12; ++y)
+      for (std::size_t x = 0; x < 12; ++x)
+        e.image.at(0, y, x) = full[i].image.at(0, y + 8, x + 8);
+    cropped.add(std::move(e));
+  }
+  return cropped;
+}
+
+bool same_samples(const core::CampaignResult& a,
+                  const core::CampaignResult& b) {
+  if (a.categories != b.categories) return false;
+  for (hpc::HpcEvent e : hpc::all_events()) {
+    const std::size_t idx = static_cast<std::size_t>(e);
+    if (a.samples[idx] != b.samples[idx]) return false;  // bit-for-bit
+  }
+  return true;
+}
+
+bool same_sweep_points(const core::SweepResult& a,
+                       const core::SweepResult& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t g = 0; g < a.points.size(); ++g) {
+    if (a.points[g].label != b.points[g].label) return false;
+    if (!same_samples(a.points[g].result, b.points[g].result)) return false;
+  }
+  return true;
+}
+
+// --- Harness bookkeeping ---------------------------------------------------
+
+struct Harness {
+  std::filesystem::path scratch;
+  int failures = 0;
+
+  explicit Harness() {
+    scratch = std::filesystem::temp_directory_path() / "sce_chaos";
+    std::filesystem::remove_all(scratch);
+    std::filesystem::create_directories(scratch);
+  }
+  ~Harness() {
+    std::error_code ec;
+    std::filesystem::remove_all(scratch, ec);
+  }
+
+  std::string path(const std::string& name) const {
+    return (scratch / name).string();
+  }
+
+  void report(const std::string& cell, bool pass, const std::string& detail) {
+    std::printf("  [%s] %-46s %s\n", pass ? "PASS" : "FAIL", cell.c_str(),
+                detail.c_str());
+    if (!pass) ++failures;
+  }
+
+  /// Run one cell; an unexpected exception is a FAIL, not a crash of the
+  /// whole matrix.
+  template <typename Fn>
+  void cell(const std::string& name, Fn&& fn) {
+    try {
+      fn(name);
+    } catch (const std::exception& e) {
+      report(name, false, std::string("unexpected exception: ") + e.what());
+    }
+  }
+};
+
+core::CampaignConfig base_config() {
+  core::CampaignConfig cfg;
+  cfg.categories = {0, 1, 2, 3};
+  cfg.samples_per_category = 5;  // 20 slots
+  cfg.num_shards = 3;
+  cfg.num_threads = 2;
+  cfg.warmup_measurements = 1;
+  return cfg;
+}
+
+core::SweepConfig sweep_config() {
+  core::SweepConfig cfg;
+  cfg.categories = {0, 1, 2, 3};
+  cfg.samples_per_category = 3;  // 12 slots
+  cfg.warmup_measurements = 1;
+  hpc::SimulatedPmuConfig quiet;
+  quiet.environment = hpc::SimulatedPmuConfig::no_environment();
+  cfg.grid.push_back({"default", hpc::SimulatedPmuConfig{}});
+  {
+    hpc::SimulatedPmuConfig c = quiet;
+    c.cold_start_per_measurement = false;
+    cfg.grid.push_back({"warm", c});
+  }
+  {
+    hpc::SimulatedPmuConfig c = quiet;
+    c.pollution_period = 64;
+    c.noise_seed = 7;
+    cfg.grid.push_back({"polluted", c});
+  }
+  return cfg;
+}
+
+// --- Campaign cells --------------------------------------------------------
+
+void campaign_matrix(Harness& h, const nn::Sequential& model,
+                     const data::Dataset& ds) {
+  std::printf("campaign (20 slots, 3 shards, 2 threads):\n");
+  const core::CampaignConfig cfg = base_config();
+
+  auto ref_factory = trace_pure_factory();
+  const core::CampaignResult reference =
+      core::Campaign(model, ds, ref_factory).with_config(cfg).run();
+
+  // Cancellation at exact recorded counts: progress granularity 1 makes
+  // the coordinator's chunk barrier land on every measurement, so the
+  // kill point is deterministic, not racy.
+  for (std::size_t kill : {std::size_t{1}, std::size_t{4}, std::size_t{9},
+                           std::size_t{17}}) {
+    h.cell("cancel@" + std::to_string(kill), [&](const std::string& name) {
+      core::CampaignConfig leg = cfg;
+      leg.checkpoint_path = h.path(name + ".json");
+      leg.cancel = util::CancelToken();  // config copies share token state
+      util::CancelToken stopper = leg.cancel;
+      auto factory = trace_pure_factory();
+      core::Campaign interrupted(model, ds, factory);
+      interrupted.with_config(leg).on_progress(
+          [&stopper, kill](const core::CampaignProgress& p) {
+            if (p.measurements_recorded >= kill)
+              stopper.cancel("chaos kill-point");
+          },
+          /*every=*/1);
+      const core::CampaignResult partial = interrupted.run();
+      if (partial.status() != core::RunStatus::kPartial ||
+          partial.diagnostics.stop_reason != core::StopReason::kCancelled ||
+          partial.diagnostics.measurements_recorded != kill) {
+        h.report(name, false, "wrong partial state at kill point");
+        return;
+      }
+      const core::CampaignCheckpoint cp =
+          core::load_checkpoint(leg.checkpoint_path);
+      auto factory_b = trace_pure_factory();
+      const core::CampaignResult resumed =
+          core::Campaign(model, ds, factory_b).with_config(cfg).resume(cp);
+      const bool ok = resumed.status() == core::RunStatus::kComplete &&
+                      same_samples(resumed, reference);
+      h.report(name, ok,
+               ok ? "resume bit-identical" : "resumed result diverged");
+    });
+  }
+
+  h.cell("deadline-pre-expired", [&](const std::string& name) {
+    core::CampaignConfig leg = cfg;
+    leg.checkpoint_path = h.path(name + ".json");
+    leg.cancel = util::CancelToken();
+    leg.cancel.set_deadline_after(0ms);
+    auto factory = trace_pure_factory();
+    const core::CampaignResult partial =
+        core::Campaign(model, ds, factory).with_config(leg).run();
+    if (partial.diagnostics.stop_reason != core::StopReason::kDeadline) {
+      h.report(name, false, "stop reason is not deadline");
+      return;
+    }
+    const core::CampaignCheckpoint cp =
+        core::load_checkpoint(leg.checkpoint_path);
+    auto factory_b = trace_pure_factory();
+    const core::CampaignResult resumed =
+        core::Campaign(model, ds, factory_b).with_config(cfg).resume(cp);
+    const bool ok = resumed.status() == core::RunStatus::kComplete &&
+                    same_samples(resumed, reference);
+    h.report(name, ok,
+             ok ? "resume bit-identical" : "resumed result diverged");
+  });
+
+  h.cell("instrument-death-failover", [&](const std::string& name) {
+    core::CampaignConfig leg = cfg;
+    leg.num_shards = 2;
+    leg.warmup_measurements = 2;
+    leg.retry.max_attempts = 2;
+    leg.instrument_lost_after = 2;
+    auto ref2_factory = trace_pure_factory();
+    const core::CampaignResult ref2 =
+        core::Campaign(model, ds, ref2_factory).with_config(leg).run();
+    // Shard 1 survives warmups plus one measurement, then dies; its
+    // remaining range fails over to shard 0 under global-slot keying.
+    auto factory = dying_factory({1}, /*die_after_reads=*/3);
+    const core::CampaignResult result =
+        core::Campaign(model, ds, factory).with_config(leg).run();
+    const bool ok =
+        result.status() == core::RunStatus::kComplete &&
+        result.diagnostics.lost_instrument_shards ==
+            std::vector<std::size_t>{1} &&
+        result.diagnostics.failed_over_measurements > 0 &&
+        same_samples(result, ref2);
+    h.report(name, ok,
+             ok ? "failover bit-identical" : "failover result diverged");
+  });
+
+  h.cell("all-instruments-lost", [&](const std::string& name) {
+    core::CampaignConfig leg = cfg;
+    leg.num_shards = 1;
+    leg.warmup_measurements = 2;
+    leg.retry.max_attempts = 2;
+    leg.instrument_lost_after = 1;
+    leg.checkpoint_path = h.path(name + ".json");
+    auto ref1_factory = trace_pure_factory();
+    core::CampaignConfig ref_cfg = leg;
+    ref_cfg.checkpoint_path.clear();
+    const core::CampaignResult ref1 =
+        core::Campaign(model, ds, ref1_factory).with_config(ref_cfg).run();
+    auto factory = dying_factory({0}, /*die_after_reads=*/4);
+    bool threw = false;
+    try {
+      (void)core::Campaign(model, ds, factory).with_config(leg).run();
+    } catch (const InstrumentLost&) {
+      threw = true;
+    }
+    if (!threw) {
+      h.report(name, false, "expected InstrumentLost was not thrown");
+      return;
+    }
+    const core::CampaignCheckpoint cp =
+        core::load_checkpoint(leg.checkpoint_path);
+    auto factory_b = trace_pure_factory();
+    const core::CampaignResult resumed =
+        core::Campaign(model, ds, factory_b).with_config(ref_cfg).resume(cp);
+    const bool ok = resumed.status() == core::RunStatus::kComplete &&
+                    same_samples(resumed, ref1);
+    h.report(name, ok,
+             ok ? "post-flush resume bit-identical"
+                : "resumed result diverged");
+  });
+}
+
+// --- Sweep cells -----------------------------------------------------------
+
+void sweep_matrix(Harness& h, const nn::Sequential& model,
+                  const data::Dataset& ds) {
+  std::printf("sweep (12 slots, 3 configs):\n");
+
+  // ONE campaign for every sweep cell: repeated sweep()/resume_sweep()
+  // calls share the cached recording plan, which is what keeps the
+  // simulated counts bit-comparable across legs (the counts depend on
+  // the staging buffers' page offsets).
+  auto instruments = trace_pure_factory();
+  core::Campaign recorder(model, ds, instruments);
+  const core::SweepResult reference = recorder.sweep(sweep_config());
+
+  h.cell("cancel-pre-tripped", [&](const std::string& name) {
+    core::SweepConfig leg = sweep_config();
+    leg.checkpoint_path = h.path(name + ".json");
+    leg.cancel.cancel("chaos abort");
+    const core::SweepResult partial = recorder.sweep(leg);
+    if (partial.status() != core::RunStatus::kPartial ||
+        partial.stop_reason != core::StopReason::kCancelled) {
+      h.report(name, false, "wrong partial state");
+      return;
+    }
+    const core::SweepCheckpoint cp =
+        core::load_sweep_checkpoint(leg.checkpoint_path);
+    const core::SweepResult resumed =
+        recorder.resume_sweep(sweep_config(), cp);
+    const bool ok = resumed.status() == core::RunStatus::kComplete &&
+                    same_sweep_points(resumed, reference);
+    h.report(name, ok,
+             ok ? "resume bit-identical" : "resumed result diverged");
+  });
+
+  h.cell("deadline-pre-expired", [&](const std::string& name) {
+    core::SweepConfig leg = sweep_config();
+    leg.checkpoint_path = h.path("sweep_" + name + ".json");
+    leg.cancel.set_deadline_after(0ms);
+    const core::SweepResult partial = recorder.sweep(leg);
+    const bool ok = partial.status() == core::RunStatus::kPartial &&
+                    partial.stop_reason == core::StopReason::kDeadline;
+    h.report(name, ok,
+             ok ? "deadline reported, checkpoint flushed"
+                : "stop reason is not deadline");
+  });
+
+  h.cell("cadence-checkpoint-cuts", [&](const std::string& name) {
+    const std::string path = h.path(name + ".json");
+    core::SweepConfig leg = sweep_config();
+    leg.checkpoint_path = path;
+    leg.checkpoint_every_slots = 5;  // flushes at slot 5 and 10
+    leg.num_threads = 1;
+    const core::SweepResult full = recorder.sweep(leg);
+    if (full.status() != core::RunStatus::kComplete) {
+      h.report(name, false, "cadence run did not complete");
+      return;
+    }
+    // The cadence left two generations behind — slot 10 live, slot 5 in
+    // .prev — two genuinely mid-run kill points, for free.
+    struct Cut {
+      std::string file;
+      std::size_t slots;
+    };
+    for (const Cut& cut : {Cut{path, 10}, Cut{path + ".prev", 5}}) {
+      const core::SweepCheckpoint cp = core::load_sweep_checkpoint(cut.file);
+      if (cp.slots_completed != cut.slots) {
+        h.report(name, false, "unexpected cursor in " + cut.file);
+        return;
+      }
+      core::SweepConfig rest = sweep_config();
+      rest.num_threads = 3;  // resume at a different thread count
+      const core::SweepResult resumed = recorder.resume_sweep(rest, cp);
+      if (resumed.status() != core::RunStatus::kComplete ||
+          !same_sweep_points(resumed, reference)) {
+        h.report(name, false,
+                 "resume from slot " + std::to_string(cut.slots) +
+                     " diverged");
+        return;
+      }
+    }
+    h.report(name, true, "both cuts resume bit-identical");
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("chaos harness: supervised-runtime kill-point matrix\n");
+  Harness h;
+  const nn::Sequential model = tiny_model();
+  const data::Dataset ds = tiny_dataset();
+
+  campaign_matrix(h, model, ds);
+  sweep_matrix(h, model, ds);
+
+  if (h.failures != 0) {
+    std::printf("chaos harness: %d cell(s) FAILED\n", h.failures);
+    return 1;
+  }
+  std::printf("chaos harness: all cells recovered bit-identically\n");
+  return 0;
+}

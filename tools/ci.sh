@@ -52,6 +52,14 @@ echo "==> lint gate rejects the data-dependent model (expected)"
 echo "==> running tier-1 suite"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+echo "==> chaos: supervised-runtime kill-point matrix"
+# Deterministic kill points — cancel at exact measurement counts,
+# pre-expired deadlines, instrument death with failover, cadence
+# checkpoint cuts — each cell gating on bit-identical recovery.  Any
+# divergence between an interrupted-then-resumed run and the
+# uninterrupted reference exits non-zero.
+"$BUILD_DIR/tools/chaos_harness"
+
 echo "==> smoke: record-once/replay-many hardware sweep"
 # Tiny sample budget: the point is to exercise the sweep engine end to
 # end (record, replay, verify_live bit-identity — the bench exits
