@@ -4,10 +4,19 @@
 // by GEMM-shape attacks like Cache Telepathy); our reference kernels use
 // the direct loop nest.  This bench swaps the strategy on the trained
 // MNIST model and compares the category-leakage profile and the cost.
+//
+// The fast (SIMD) execution path rides along as a third column: it is
+// bit-identical to whichever instrumented algorithm is selected, but it
+// emits no trace, so the campaign machinery cannot observe it — the
+// comparison it contributes is deployment cost, not leakage.  Results
+// are also written to BENCH_conv_algorithm.json.
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 
 #include "core/evaluator.hpp"
 #include "nn/conv.hpp"
+#include "util/json.hpp"
 #include "common.hpp"
 
 namespace {
@@ -20,8 +29,33 @@ void set_algorithm(nn::Sequential& model, nn::ConvAlgorithm algorithm) {
       conv->set_algorithm(algorithm);
 }
 
+/// ns/inference for one planned path, best of three 50 ms windows.
+template <typename Fn>
+double time_ns(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < 3; ++i) fn();
+  constexpr auto kWindow = std::chrono::milliseconds(50);
+  constexpr std::size_t kMaxReps = 4096;
+  double best = 0.0;
+  for (int window = 0; window < 3; ++window) {
+    const auto begin = clock::now();
+    std::size_t reps = 0;
+    while (reps < kMaxReps && clock::now() - begin < kWindow) {
+      fn();
+      ++reps;
+    }
+    const double ns =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                clock::now() - begin)
+                                .count()) /
+        static_cast<double>(reps);
+    if (window == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
 void run(bench::Workload& workload, nn::ConvAlgorithm algorithm,
-         std::size_t samples) {
+         std::size_t samples, util::JsonWriter& json) {
   set_algorithm(workload.trained.model, algorithm);
   const core::CampaignResult campaign =
       bench::run_workload(workload, samples);
@@ -38,14 +72,45 @@ void run(bench::Workload& workload, nn::ConvAlgorithm algorithm,
       ++n;
     }
   }
+
+  // Deployment cost of this lowering: the scalar planned path (the
+  // instrumented loop structure, trace compiled out) against the fast
+  // SIMD path that replaces it bit-for-bit when nothing observes.
+  const nn::Tensor probe(std::vector<std::size_t>{1, 28, 28});
+  nn::InferencePlan plan = workload.trained.model.plan(probe.shape());
+  uarch::NullSink discarding;
+  const double scalar_ns = time_ns([&] {
+    (void)plan.run(probe, discarding, nn::KernelMode::kDataDependent,
+                   nn::ExecutionPath::kInstrumented);
+  });
+  const double fast_ns = time_ns([&] { (void)plan.run(probe); });
+  const double fast_speedup = fast_ns > 0.0 ? scalar_ns / fast_ns : 0.0;
+
   const auto& cm = assessment.analysis_of(hpc::HpcEvent::kCacheMisses);
   const auto& br = assessment.analysis_of(hpc::HpcEvent::kBranches);
   std::printf("  %-8s alarms=%3zu  cache pairs=%zu/6  branch pairs=%zu/6  "
-              "mean misses=%8.0f  mean instructions=%10.0f\n",
+              "mean misses=%8.0f  mean instructions=%10.0f\n"
+              "           scalar %8.0f ns  fast %8.0f ns  speedup %.2fx "
+              "(fast path: untraced, campaign-invisible)\n",
               nn::to_string(algorithm).c_str(), assessment.alarms.size(),
               cm.significant_pairs(0.05), br.significant_pairs(0.05),
               misses / static_cast<double>(n),
-              instructions / static_cast<double>(n));
+              instructions / static_cast<double>(n), scalar_ns, fast_ns,
+              fast_speedup);
+
+  json.begin_object();
+  json.key("algorithm").value(nn::to_string(algorithm));
+  json.key("alarms").value(static_cast<std::uint64_t>(assessment.alarms.size()));
+  json.key("cache_miss_pairs")
+      .value(static_cast<std::uint64_t>(cm.significant_pairs(0.05)));
+  json.key("branch_pairs")
+      .value(static_cast<std::uint64_t>(br.significant_pairs(0.05)));
+  json.key("mean_cache_misses").value(misses / static_cast<double>(n));
+  json.key("mean_instructions").value(instructions / static_cast<double>(n));
+  json.key("planned_scalar_ns").value(scalar_ns);
+  json.key("planned_fast_ns").value(fast_ns);
+  json.key("fast_speedup").value(fast_speedup);
+  json.end_object();
 }
 
 }  // namespace
@@ -57,11 +122,24 @@ int main() {
   std::printf("(MNIST, data-dependent kernels, %zu samples/category)\n\n",
               samples);
   bench::Workload mnist = bench::mnist_workload();
-  run(mnist, nn::ConvAlgorithm::kDirect, samples);
-  run(mnist, nn::ConvAlgorithm::kIm2col, samples);
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("conv_algorithm");
+  json.key("samples_per_category").value(static_cast<std::uint64_t>(samples));
+  json.key("algorithms").begin_array();
+  run(mnist, nn::ConvAlgorithm::kDirect, samples, json);
+  run(mnist, nn::ConvAlgorithm::kIm2col, samples, json);
+  json.end_array();
+  json.end_object();
+  std::ofstream out("BENCH_conv_algorithm.json");
+  out << json.str() << '\n';
+  std::printf("\nwrote BENCH_conv_algorithm.json\n");
   std::printf("\nim2col adds patch-matrix traffic (larger footprint, more\n"
               "instructions) but the zero-skipping GEMM leaks the input\n"
               "sparsity just the same — switching the lowering strategy is\n"
-              "not a countermeasure.\n");
+              "not a countermeasure.  The fast path executes the same\n"
+              "arithmetic bit-for-bit at a fraction of the cost, and the\n"
+              "campaign cannot see it: leakage claims apply only to the\n"
+              "instrumented kernels it replaces.\n");
   return 0;
 }

@@ -2,18 +2,22 @@
 // kernel building blocks.  These are engineering benches, not paper
 // artifacts — they track the cost of the instrumentation machinery.
 //
-// Before the google-benchmark suite runs, main() measures planned vs
-// allocating inference on the MNIST and CIFAR zoo models and writes
-// BENCH_inference.json (ns/inference and allocations/inference for both
-// paths).
+// Before the google-benchmark suite runs, main() measures allocating vs
+// planned-scalar vs planned-fast inference on the MNIST and CIFAR zoo
+// models, times the conv/dense hot-loop kernels scalar-vs-fast at zoo
+// shapes, and writes it all to BENCH_inference.json.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include "data/synthetic.hpp"
 #include "hpc/simulated_pmu.hpp"
+#include "nn/conv.hpp"
+#include "nn/kernels/conv2d.hpp"
+#include "nn/kernels/dense.hpp"
 #include "nn/zoo.hpp"
 #include "stats/t_test.hpp"
 #include "uarch/branch_predictor.hpp"
@@ -209,8 +213,19 @@ void report_model(util::JsonWriter& json, const char* tag,
         model.forward(input, null_sink, nn::KernelMode::kDataDependent));
   });
 
-  // Planned path: preallocated buffers, trace generation compiled out.
   nn::InferencePlan plan = model.plan(input.shape());
+
+  // Planned scalar path: preallocated buffers, instrumented loop
+  // structure with trace generation compiled out — the fast kernels'
+  // reference implementation and timing baseline.
+  uarch::NullSink discarding;
+  const InferenceTiming planned_scalar = time_inference([&] {
+    benchmark::DoNotOptimize(
+        &plan.run(input, discarding, nn::KernelMode::kDataDependent,
+                  nn::ExecutionPath::kInstrumented));
+  });
+
+  // Planned fast path: what an untraced plan.run dispatches to.
   const InferenceTiming planned =
       time_inference([&] { benchmark::DoNotOptimize(&plan.run(input)); });
 
@@ -218,11 +233,17 @@ void report_model(util::JsonWriter& json, const char* tag,
                              ? allocating.ns_per_inference /
                                    planned.ns_per_inference
                              : 0.0;
+  const double fast_speedup = planned.ns_per_inference > 0.0
+                                  ? planned_scalar.ns_per_inference /
+                                        planned.ns_per_inference
+                                  : 0.0;
   std::printf(
-      "[inference] %-8s allocating %10.0f ns (%5.1f allocs)  planned "
-      "%10.0f ns (%4.1f allocs)  speedup %.2fx\n",
+      "[inference] %-8s allocating %10.0f ns (%5.1f allocs)  scalar "
+      "%10.0f ns  fast %10.0f ns (%4.1f allocs)  vs-allocating %.2fx  "
+      "vs-scalar %.2fx\n",
       tag, allocating.ns_per_inference, allocating.allocations_per_inference,
-      planned.ns_per_inference, planned.allocations_per_inference, speedup);
+      planned_scalar.ns_per_inference, planned.ns_per_inference,
+      planned.allocations_per_inference, speedup, fast_speedup);
 
   json.begin_object();
   json.key("model").value(tag);
@@ -235,13 +256,150 @@ void report_model(util::JsonWriter& json, const char* tag,
   json.key("allocations_per_inference")
       .value(allocating.allocations_per_inference);
   json.end_object();
+  json.key("planned_scalar").begin_object();
+  json.key("ns_per_inference").value(planned_scalar.ns_per_inference);
+  json.key("allocations_per_inference")
+      .value(planned_scalar.allocations_per_inference);
+  json.end_object();
   json.key("planned").begin_object();
   json.key("ns_per_inference").value(planned.ns_per_inference);
   json.key("allocations_per_inference")
       .value(planned.allocations_per_inference);
   json.end_object();
   json.key("speedup").value(speedup);
+  json.key("fast_speedup").value(fast_speedup);
   json.end_object();
+}
+
+/// Best-of-three-windows timer for microsecond-scale kernel calls (the
+/// minimum is the least scheduler-noise-sensitive estimator).
+template <typename Fn>
+double time_kernel_ns(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < 8; ++i) fn();  // warmup
+  constexpr auto kWindow = std::chrono::milliseconds(40);
+  constexpr std::size_t kMaxReps = 100000;
+  double best = 0.0;
+  for (int window = 0; window < 3; ++window) {
+    const auto begin = clock::now();
+    std::size_t reps = 0;
+    while (reps < kMaxReps && clock::now() - begin < kWindow) {
+      fn();
+      ++reps;
+    }
+    const auto elapsed = clock::now() - begin;
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()) /
+        static_cast<double>(reps);
+    if (window == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+void fill_normal(std::vector<float>& v, util::Rng& rng) {
+  for (float& x : v) x = static_cast<float>(rng.normal(0.0, 1.0));
+}
+
+/// Scalar-vs-fast hot-loop timing for one conv shape (the zoo models'
+/// heaviest layers), in the deployed data-dependent mode.
+void report_conv_kernel(util::JsonWriter& json, const char* tag,
+                        std::size_t in_c, std::size_t out_c, std::size_t k,
+                        std::size_t in_hw) {
+  const std::size_t out_hw = in_hw - k + 1;  // stride 1, no padding (zoo)
+  util::Rng rng(11);
+  std::vector<float> in(in_c * in_hw * in_hw);
+  std::vector<float> w(out_c * in_c * k * k);
+  std::vector<float> bias(out_c);
+  std::vector<float> out(out_c * out_hw * out_hw);
+  fill_normal(in, rng);
+  fill_normal(w, rng);
+  fill_normal(bias, rng);
+  // Post-ReLU feature maps are the real conv inputs past layer 1: clamp
+  // negatives to zero so the data-dependent zero-skip has work to skip.
+  for (float& x : in) x = x < 0.0f ? 0.0f : x;
+
+  nn::kernels::Conv2DShape s;
+  s.in = in.data();
+  s.weights = w.data();
+  s.bias = bias.data();
+  s.out = out.data();
+  s.in_channels = in_c;
+  s.out_channels = out_c;
+  s.kernel = k;
+  s.stride = 1;
+  s.padding = 0;
+  s.in_h = in_hw;
+  s.in_w = in_hw;
+  s.out_h = out_hw;
+  s.out_w = out_hw;
+
+  nn::Workspace ws;
+  for (const auto mode :
+       {nn::KernelMode::kDataDependent, nn::KernelMode::kConstantFlow}) {
+    const double scalar_ns =
+        time_kernel_ns([&] { nn::kernels::conv2d_direct_scalar(s, mode); });
+    const double fast_ns = time_kernel_ns([&] {
+      nn::kernels::conv2d_fast(s, ws, nn::ConvAlgorithm::kDirect, mode);
+    });
+    const double speedup = fast_ns > 0.0 ? scalar_ns / fast_ns : 0.0;
+    std::printf("[kernel]    %-22s %-15s scalar %9.0f ns  fast %8.0f ns  "
+                "speedup %.2fx\n",
+                tag, nn::to_string(mode).c_str(), scalar_ns, fast_ns, speedup);
+
+    json.begin_object();
+    json.key("kernel").value("conv2d.direct");
+    json.key("shape").value(tag);
+    json.key("mode").value(nn::to_string(mode));
+    json.key("scalar_ns").value(scalar_ns);
+    json.key("fast_ns").value(fast_ns);
+    json.key("speedup").value(speedup);
+    json.end_object();
+  }
+}
+
+/// Scalar-vs-fast hot-loop timing for one dense shape.
+void report_dense_kernel(util::JsonWriter& json, const char* tag,
+                         std::size_t in_f, std::size_t out_f) {
+  util::Rng rng(13);
+  std::vector<float> in(in_f);
+  std::vector<float> w(in_f * out_f);
+  std::vector<float> bias(out_f);
+  std::vector<float> out(out_f);
+  fill_normal(in, rng);
+  fill_normal(w, rng);
+  fill_normal(bias, rng);
+  for (float& x : in) x = x < 0.0f ? 0.0f : x;  // post-ReLU activations
+
+  nn::kernels::DenseShape s;
+  s.in = in.data();
+  s.weights = w.data();
+  s.bias = bias.data();
+  s.out = out.data();
+  s.in_features = in_f;
+  s.out_features = out_f;
+
+  for (const auto mode :
+       {nn::KernelMode::kDataDependent, nn::KernelMode::kConstantFlow}) {
+    const double scalar_ns =
+        time_kernel_ns([&] { nn::kernels::dense_scalar(s, mode); });
+    const double fast_ns =
+        time_kernel_ns([&] { nn::kernels::dense_fast(s, mode); });
+    const double speedup = fast_ns > 0.0 ? scalar_ns / fast_ns : 0.0;
+    std::printf("[kernel]    %-22s %-15s scalar %9.0f ns  fast %8.0f ns  "
+                "speedup %.2fx\n",
+                tag, nn::to_string(mode).c_str(), scalar_ns, fast_ns, speedup);
+
+    json.begin_object();
+    json.key("kernel").value("dense");
+    json.key("shape").value(tag);
+    json.key("mode").value(nn::to_string(mode));
+    json.key("scalar_ns").value(scalar_ns);
+    json.key("fast_ns").value(fast_ns);
+    json.key("speedup").value(speedup);
+    json.end_object();
+  }
 }
 
 void write_inference_report() {
@@ -269,6 +427,14 @@ void write_inference_report() {
     report_model(json, "cifar_cnn", std::move(model),
                  nn::image_to_tensor(data::make_cifar_like(cfg)[0].image));
   }
+  json.end_array();
+  json.key("kernels").begin_array();
+  // The zoo models' hottest layers: each CNN's second conv (most MACs)
+  // and first dense (largest weight matrix).
+  report_conv_kernel(json, "mnist_conv2_8x16x5", 8, 16, 5, 12);
+  report_conv_kernel(json, "cifar_conv2_12x24x3", 12, 24, 3, 15);
+  report_dense_kernel(json, "mnist_dense1_256x64", 256, 64);
+  report_dense_kernel(json, "cifar_dense1_864x64", 864, 64);
   json.end_array();
   json.end_object();
   std::ofstream out("BENCH_inference.json");

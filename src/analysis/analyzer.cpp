@@ -51,10 +51,12 @@ PlanAnalyzer::PlanAnalyzer(AnalyzerOptions options) : options_(options) {}
 AnalysisReport PlanAnalyzer::analyze(const nn::Sequential& model,
                                      const std::vector<std::size_t>& input_shape,
                                      nn::KernelMode mode,
-                                     std::string model_name) const {
+                                     std::string model_name,
+                                     nn::ExecutionPath path) const {
   AnalysisReport report;
   report.model_name = std::move(model_name);
   report.mode = mode;
+  report.path = path;
   report.input_shape = input_shape;
   report.findings.reserve(model.layer_count());
 
@@ -68,7 +70,7 @@ AnalysisReport PlanAnalyzer::analyze(const nn::Sequential& model,
     finding.input_shape = shape;
     shape = layer.output_shape(shape);  // throws on a mis-chained model
     finding.output_shape = shape;
-    finding.contract = layer.leakage_contract(mode);
+    finding.contract = layer.leakage_contract(mode, path);
     finding.input_taint = taint;
     finding.kernel_verdict = verdict_for(finding.contract);
     finding.exploitable = finding.kernel_verdict != Verdict::kConstantFlow &&
@@ -90,6 +92,12 @@ AnalysisReport PlanAnalyzer::analyze(const nn::Sequential& model,
     }
     if (finding.contract.consumes_rng) ++report.rng_layers;
     finding.detail = describe(finding);
+    if (!finding.contract.oracle_verifiable()) {
+      ++report.unverified_layers;
+      finding.detail +=
+          "; fast-path claim: describes the generated code, not a trace — "
+          "the oracle cannot falsify it";
+    }
 
     report.findings.push_back(std::move(finding));
     taint = propagate(taint, report.findings.back().contract);

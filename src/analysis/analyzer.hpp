@@ -46,6 +46,10 @@ struct LayerFinding {
 struct AnalysisReport {
   std::string model_name;
   nn::KernelMode mode = nn::KernelMode::kDataDependent;
+  /// Execution path the analyzed contracts describe.  Only instrumented
+  /// contracts are cross-validated by the trace oracle; a fast-path
+  /// report is an honest static description with zero dynamic backing.
+  nn::ExecutionPath path = nn::ExecutionPath::kInstrumented;
   std::vector<std::size_t> input_shape;
   std::vector<LayerFinding> findings;  // one per layer
   /// Join over exploitable layer verdicts.
@@ -57,6 +61,9 @@ struct AnalysisReport {
   std::size_t exploitable_layers = 0;
   std::size_t undeclared_layers = 0;
   std::size_t rng_layers = 0;
+  /// Layers whose analyzed contract the trace oracle cannot falsify
+  /// (always zero on the instrumented path; every layer on the fast one).
+  std::size_t unverified_layers = 0;
 
   /// True if `verdict` is at least `threshold` (the --fail-on test), or
   /// if undeclared contracts were found and `fail_on_undeclared` is set.
@@ -78,13 +85,16 @@ class PlanAnalyzer {
  public:
   explicit PlanAnalyzer(AnalyzerOptions options = {});
 
-  /// Analyze `model` for inputs of `input_shape` under `mode`.  Runs the
-  /// same shape inference an InferencePlan would (and throws the same
-  /// InvalidArgument on a mis-chained architecture); executes nothing.
-  AnalysisReport analyze(const nn::Sequential& model,
-                         const std::vector<std::size_t>& input_shape,
-                         nn::KernelMode mode,
-                         std::string model_name = "model") const;
+  /// Analyze `model` for inputs of `input_shape` under `mode`, for the
+  /// contracts of `path`'s kernels.  Runs the same shape inference an
+  /// InferencePlan would (and throws the same InvalidArgument on a
+  /// mis-chained architecture); executes nothing.  Fast-path findings
+  /// are additionally marked unverified-by-oracle, since no trace exists
+  /// to falsify them.
+  AnalysisReport analyze(
+      const nn::Sequential& model, const std::vector<std::size_t>& input_shape,
+      nn::KernelMode mode, std::string model_name = "model",
+      nn::ExecutionPath path = nn::ExecutionPath::kInstrumented) const;
 
  private:
   AnalyzerOptions options_;

@@ -36,8 +36,11 @@ void append_events(util::JsonWriter& json, const char* key,
 std::string render_text(const AnalysisReport& report) {
   std::string out;
   out += "leakage lint: " + report.model_name + " [" +
-         nn::to_string(report.mode) + "], input " +
-         shape_string(report.input_shape) + "\n";
+         nn::to_string(report.mode) + ", " + nn::to_string(report.path) +
+         "], input " + shape_string(report.input_shape) + "\n";
+  if (report.path == nn::ExecutionPath::kFast)
+    out += "  NOTE: fast-path contracts are static claims about generated "
+           "code; no trace exists, so the oracle verifies none of them\n";
   for (const LayerFinding& f : report.findings) {
     char line[256];
     std::snprintf(line, sizeof(line), "  #%-2zu %-10s %-18s %-8s ", f.index,
@@ -61,6 +64,10 @@ std::string render_text(const AnalysisReport& report) {
   if (report.rng_layers > 0)
     out += ", " + std::to_string(report.rng_layers) + " rng consumer" +
            (report.rng_layers == 1 ? "" : "s");
+  if (report.unverified_layers > 0)
+    out += ", " + std::to_string(report.unverified_layers) +
+           " oracle-unverified contract" +
+           (report.unverified_layers == 1 ? "" : "s");
   out += "\n";
   if (!report.predicted.empty())
     out += "predicted distinguishable events: " + report.predicted.to_string() +
@@ -73,6 +80,7 @@ std::string render_json(const AnalysisReport& report) {
   json.begin_object();
   json.key("model").value(report.model_name);
   json.key("mode").value(nn::to_string(report.mode));
+  json.key("path").value(nn::to_string(report.path));
   append_shape(json, "input_shape", report.input_shape);
   json.key("verdict").value(to_string(report.verdict));
   append_events(json, "predicted_events", report.predicted);
@@ -81,6 +89,8 @@ std::string render_json(const AnalysisReport& report) {
   json.key("undeclared_layers")
       .value(static_cast<std::uint64_t>(report.undeclared_layers));
   json.key("rng_layers").value(static_cast<std::uint64_t>(report.rng_layers));
+  json.key("unverified_layers")
+      .value(static_cast<std::uint64_t>(report.unverified_layers));
   json.key("findings").begin_array();
   for (const LayerFinding& f : report.findings) {
     json.begin_object();
@@ -102,6 +112,8 @@ std::string render_json(const AnalysisReport& report) {
     json.key("consumes_rng").value(f.contract.consumes_rng);
     json.key("shape_scales_trace").value(f.contract.shape_scales_trace);
     json.key("taint_transfer").value(nn::to_string(f.contract.taint));
+    json.key("path").value(nn::to_string(f.contract.path));
+    json.key("oracle_verifiable").value(f.contract.oracle_verifiable());
     json.end_object();
     append_events(json, "predicted_events", f.predicted);
     json.key("detail").value(f.detail);

@@ -1,52 +1,32 @@
 #include "nn/activation.hpp"
 
+#include "nn/kernels/activation.hpp"
 #include "util/error.hpp"
 
 namespace sce::nn {
 
 void ReLU::forward_into(const Tensor& input, Tensor& output,
                         Workspace& /*workspace*/, uarch::TraceSink& sink,
-                        KernelMode mode) const {
+                        KernelMode mode, ExecutionPath path) const {
   if (!output.same_shape(input)) output.resize(input.shape());
-  if (sink.discards()) {
-    uarch::DiscardSink fast;
-    forward_kernel(input, output, fast, mode);
-  } else {
-    forward_kernel(input, output, sink, mode);
-  }
-}
-
-template <typename Sink>
-void ReLU::forward_kernel(const Tensor& input, Tensor& output, Sink& sink,
-                          KernelMode mode) const {
-  const float* in_data = input.data();
-  float* out_data = output.data();
-  const std::uintptr_t negative_site = SCE_BRANCH_SITE();
-
-  for (std::size_t i = 0; i < input.numel(); ++i) {
-    const float v = in_data[i];
-    sink.load(&in_data[i], sizeof(float));
-    if (mode == KernelMode::kDataDependent) {
-      // `if (v < 0) out = 0; else out = v;` compiled as a branch: whether
-      // it is taken depends on the sign of the activation.
-      const bool negative = v < 0.0f;
-      sink.branch(negative_site, negative);
-      out_data[i] = negative ? 0.0f : v;
-      sink.retire(detail::kLoopOverhead);
-    } else {
-      // Branchless maxss(v, 0).
-      out_data[i] = v < 0.0f ? 0.0f : v;
-      sink.retire(detail::kLoopOverhead + 1);
-    }
-    sink.store(&out_data[i], sizeof(float));
-  }
-  sink.structural_branches(input.numel());
+  const std::size_t n = input.numel();
+  if (kernels::select_path(sink, path) == ExecutionPath::kFast)
+    kernels::relu_fast(input.data(), output.data(), n);
+  else if (sink.discards())
+    kernels::relu_scalar(input.data(), output.data(), n, mode);
+  else
+    kernels::relu_instrumented(input.data(), output.data(), n, sink, mode);
 }
 
 LeakageContract ReLU::leakage_contract(KernelMode mode) const {
   LeakageContract c;
   if (mode == KernelMode::kDataDependent) c.branch_outcomes_vary = true;
   return c;
+}
+
+LeakageContract ReLU::fast_leakage_contract(KernelMode /*mode*/) const {
+  // Vector compare + blend: no branch in either mode.
+  return LeakageContract{};
 }
 
 Tensor ReLU::train_forward(const Tensor& input) {

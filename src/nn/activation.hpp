@@ -9,9 +9,10 @@ namespace sce::nn {
 class ReLU final : public Layer {
  public:
   std::string name() const override { return "relu"; }
+  using Layer::forward_into;
   void forward_into(const Tensor& input, Tensor& output,
                     Workspace& workspace, uarch::TraceSink& sink,
-                    KernelMode mode) const override;
+                    KernelMode mode, ExecutionPath path) const override;
   Tensor train_forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<std::size_t> output_shape(
@@ -21,13 +22,13 @@ class ReLU final : public Layer {
   /// Data-dependent: the sign test is a real branch whose outcome tracks
   /// each activation, but load/store/retire counts are fixed — the leak
   /// is purely branch-outcome shaped.  Constant-flow: branchless maxss.
+  using Layer::leakage_contract;
   LeakageContract leakage_contract(KernelMode mode) const override;
 
- private:
-  template <typename Sink>
-  void forward_kernel(const Tensor& input, Tensor& output, Sink& sink,
-                      KernelMode mode) const;
+  /// The fast kernel is a vector blend in both modes: branch-free.
+  LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
+ private:
   Tensor cached_input_;
 };
 

@@ -1,5 +1,6 @@
 #include "nn/avgpool.hpp"
 
+#include "nn/kernels/pooling.hpp"
 #include "util/error.hpp"
 
 namespace sce::nn {
@@ -18,7 +19,7 @@ std::vector<std::size_t> AvgPool2D::output_shape(
 
 void AvgPool2D::forward_into(const Tensor& input, Tensor& output,
                              Workspace& /*workspace*/, uarch::TraceSink& sink,
-                             KernelMode /*mode*/) const {
+                             KernelMode /*mode*/, ExecutionPath path) const {
   // No data-dependent shortcuts exist; both kernel modes are identical.
   if (input.rank() != 3 || input.dim(1) < window_ || input.dim(2) < window_)
     (void)output_shape(input.shape());  // throws with the full diagnosis
@@ -27,58 +28,36 @@ void AvgPool2D::forward_into(const Tensor& input, Tensor& output,
   if (output.rank() != 3 || output.dim(0) != input.dim(0) ||
       output.dim(1) != out_h || output.dim(2) != out_w)
     output.resize({input.dim(0), out_h, out_w});
-  if (sink.discards()) {
-    uarch::DiscardSink fast;
-    forward_kernel(input, output, fast);
-  } else {
-    forward_kernel(input, output, sink);
-  }
-}
 
-template <typename Sink>
-void AvgPool2D::forward_kernel(const Tensor& input, Tensor& output,
-                               Sink& sink) const {
-  const std::size_t channels = output.dim(0);
-  const std::size_t out_h = output.dim(1);
-  const std::size_t out_w = output.dim(2);
-  const std::size_t in_h = input.dim(1);
-  const std::size_t in_w = input.dim(2);
-  const float* in_data = input.data();
-  float* out_data = output.data();
-  const float inv_area =
-      1.0f / static_cast<float>(window_ * window_);
+  kernels::Pool2DShape shape;
+  shape.in = input.data();
+  shape.out = output.data();
+  shape.channels = input.dim(0);
+  shape.in_h = input.dim(1);
+  shape.in_w = input.dim(2);
+  shape.out_h = out_h;
+  shape.out_w = out_w;
+  shape.window = window_;
 
-  for (std::size_t c = 0; c < channels; ++c) {
-    for (std::size_t oy = 0; oy < out_h; ++oy) {
-      for (std::size_t ox = 0; ox < out_w; ++ox) {
-        float sum = 0.0f;
-        for (std::size_t wy = 0; wy < window_; ++wy) {
-          for (std::size_t wx = 0; wx < window_; ++wx) {
-            const std::size_t idx =
-                (c * in_h + (oy * window_ + wy)) * in_w + (ox * window_ + wx);
-            sum += in_data[idx];
-            sink.load(&in_data[idx], sizeof(float));
-            sink.retire(detail::kLoopOverhead + 1);
-          }
-        }
-        const std::size_t out_idx = (c * out_h + oy) * out_w + ox;
-        out_data[out_idx] = sum * inv_area;
-        sink.store(&out_data[out_idx], sizeof(float));
-        sink.retire(1);
-        sink.structural_branches(window_ * window_ + window_ + 1);
-      }
-    }
-  }
+  if (kernels::select_path(sink, path) == ExecutionPath::kFast)
+    kernels::avgpool2d_fast(shape);
+  else if (sink.discards())
+    kernels::avgpool2d_scalar(shape);
+  else
+    kernels::avgpool2d_instrumented(shape, sink);
 }
 
 LeakageContract AvgPool2D::leakage_contract(KernelMode /*mode*/) const {
   return LeakageContract::constant();
 }
 
+LeakageContract AvgPool2D::fast_leakage_contract(KernelMode /*mode*/) const {
+  return LeakageContract::constant();
+}
+
 Tensor AvgPool2D::train_forward(const Tensor& input) {
   cached_input_shape_ = input.shape();
-  uarch::NullSink sink;
-  return forward(input, sink, KernelMode::kConstantFlow);
+  return forward(input);
 }
 
 Tensor AvgPool2D::backward(const Tensor& grad_output) {

@@ -16,9 +16,10 @@ class AvgPool2D final : public Layer {
   explicit AvgPool2D(std::size_t window = 2);
 
   std::string name() const override { return "avgpool2d"; }
+  using Layer::forward_into;
   void forward_into(const Tensor& input, Tensor& output,
                     Workspace& workspace, uarch::TraceSink& sink,
-                    KernelMode mode) const override;
+                    KernelMode mode, ExecutionPath path) const override;
   Tensor train_forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<std::size_t> output_shape(
@@ -28,12 +29,13 @@ class AvgPool2D final : public Layer {
 
   /// Constant-footprint reduction in both modes: fixed loads, fixed
   /// arithmetic, no data-dependent branches anywhere.
+  using Layer::leakage_contract;
   LeakageContract leakage_contract(KernelMode mode) const override;
 
- private:
-  template <typename Sink>
-  void forward_kernel(const Tensor& input, Tensor& output, Sink& sink) const;
+  /// Same constant-footprint reduction on the fast path.
+  LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
+ private:
   std::size_t window_;
   std::vector<std::size_t> cached_input_shape_;
 };

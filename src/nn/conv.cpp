@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "nn/kernels/conv2d.hpp"
 #include "nn/serialize.hpp"
 #include "util/error.hpp"
 
@@ -80,7 +81,7 @@ std::string to_string(ConvAlgorithm algorithm) {
 
 void Conv2D::forward_into(const Tensor& input, Tensor& output,
                           Workspace& workspace, uarch::TraceSink& sink,
-                          KernelMode mode) const {
+                          KernelMode mode, ExecutionPath path) const {
   // Validate and size the output without allocating on the hot path: the
   // cheap scalar checks pass when the caller (an InferencePlan) already
   // shaped everything, and the allocating output_shape() call only runs
@@ -97,176 +98,40 @@ void Conv2D::forward_into(const Tensor& input, Tensor& output,
       output.dim(1) != out_h || output.dim(2) != out_w)
     output.resize({out_channels_, out_h, out_w});
 
+  kernels::Conv2DShape shape;
+  shape.in = input.data();
+  shape.weights = weights_.data();
+  shape.bias = bias_.data();
+  shape.out = output.data();
+  shape.in_channels = in_channels_;
+  shape.out_channels = out_channels_;
+  shape.kernel = kernel_;
+  shape.stride = stride_;
+  shape.padding = padding_;
+  shape.in_h = input.dim(1);
+  shape.in_w = input.dim(2);
+  shape.out_h = out_h;
+  shape.out_w = out_w;
+
+  if (kernels::select_path(sink, path) == ExecutionPath::kFast) {
+    kernels::conv2d_fast(shape, workspace, algorithm_, mode);
+    return;
+  }
   switch (algorithm_) {
     case ConvAlgorithm::kDirect:
-      if (sink.discards()) {
-        uarch::DiscardSink fast;
-        forward_direct(input, output, fast, mode);
-      } else {
-        forward_direct(input, output, sink, mode);
-      }
+      if (sink.discards())
+        kernels::conv2d_direct_scalar(shape, mode);
+      else
+        kernels::conv2d_direct_instrumented(shape, sink, mode);
       return;
     case ConvAlgorithm::kIm2col:
-      if (sink.discards()) {
-        uarch::DiscardSink fast;
-        forward_im2col(input, output, workspace, fast, mode);
-      } else {
-        forward_im2col(input, output, workspace, sink, mode);
-      }
+      if (sink.discards())
+        kernels::conv2d_im2col_scalar(shape, workspace, mode);
+      else
+        kernels::conv2d_im2col_instrumented(shape, workspace, sink, mode);
       return;
   }
   throw InvalidArgument("Conv2D: unknown algorithm");
-}
-
-template <typename Sink>
-void Conv2D::forward_direct(const Tensor& input, Tensor& output, Sink& sink,
-                            KernelMode mode) const {
-  const std::size_t in_h = input.dim(1);
-  const std::size_t in_w = input.dim(2);
-  const std::size_t out_h = output.dim(1);
-  const std::size_t out_w = output.dim(2);
-  const float* in_data = input.data();
-  const float* w_data = weights_.data();
-  float* out_data = output.data();
-
-  const std::uintptr_t zero_skip_site = SCE_BRANCH_SITE();
-
-  for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-    for (std::size_t oy = 0; oy < out_h; ++oy) {
-      for (std::size_t ox = 0; ox < out_w; ++ox) {
-        float acc = bias_[oc];
-        sink.load(&bias_[oc], sizeof(float));
-        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
-          for (std::size_t ky = 0; ky < kernel_; ++ky) {
-            const std::ptrdiff_t iy =
-                static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
-                static_cast<std::ptrdiff_t>(padding_);
-            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h)) continue;
-            const std::size_t in_row_base =
-                (ic * in_h + static_cast<std::size_t>(iy)) * in_w;
-            const std::size_t w_row_base =
-                ((oc * in_channels_ + ic) * kernel_ + ky) * kernel_;
-            for (std::size_t kx = 0; kx < kernel_; ++kx) {
-              const std::ptrdiff_t ix =
-                  static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
-                  static_cast<std::ptrdiff_t>(padding_);
-              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in_w))
-                continue;  // implicit zero padding: nothing loaded
-              const std::size_t in_idx =
-                  in_row_base + static_cast<std::size_t>(ix);
-              const float v = in_data[in_idx];
-              sink.load(&in_data[in_idx], sizeof(float));
-              if (mode == KernelMode::kDataDependent) {
-                // Zero-skipping: a zero activation contributes nothing, so
-                // the weight load and MAC are elided behind a branch.
-                const bool skip = (v == 0.0f);
-                sink.branch(zero_skip_site, skip);
-                if (skip) {
-                  sink.retire(detail::kLoopOverhead);
-                  continue;
-                }
-              }
-              const float w = w_data[w_row_base + kx];
-              sink.load(&w_data[w_row_base + kx], sizeof(float));
-              acc += v * w;
-              sink.retire(detail::kMacInstructions + detail::kLoopOverhead);
-            }
-          }
-        }
-        out_data[(oc * out_h + oy) * out_w + ox] = acc;
-        sink.store(&out_data[(oc * out_h + oy) * out_w + ox], sizeof(float));
-        sink.retire(detail::kLoopOverhead);
-        // Loop back-edges for the kx/ky/ic loops of this output pixel.
-        sink.structural_branches(in_channels_ * kernel_ * kernel_ +
-                                 in_channels_ * kernel_ + in_channels_ + 1);
-      }
-    }
-  }
-}
-
-template <typename Sink>
-void Conv2D::forward_im2col(const Tensor& input, Tensor& output,
-                            Workspace& workspace, Sink& sink,
-                            KernelMode mode) const {
-  const std::size_t in_h = input.dim(1);
-  const std::size_t in_w = input.dim(2);
-  const std::size_t out_h = output.dim(1);
-  const std::size_t out_w = output.dim(2);
-  const std::size_t pixels = out_h * out_w;
-  const std::size_t patch_len = in_channels_ * kernel_ * kernel_;
-  const float* in_data = input.data();
-  const float* w_data = weights_.data();
-
-  // Phase 1: materialize the patch matrix (the "im2col" buffer).  Every
-  // input element inside a window is loaded and stored once per window it
-  // appears in — the extra memory traffic that distinguishes this
-  // strategy from the direct loop nest.  The buffer is workspace scratch:
-  // after the sizing pass it is reused allocation-free, and every element
-  // is written in this phase before phase 2 reads it.
-  Tensor& patches = workspace.scratch(0, pixels, patch_len);
-  float* patch_data = patches.data();
-  for (std::size_t oy = 0; oy < out_h; ++oy) {
-    for (std::size_t ox = 0; ox < out_w; ++ox) {
-      const std::size_t row = oy * out_w + ox;
-      std::size_t column = 0;
-      for (std::size_t ic = 0; ic < in_channels_; ++ic) {
-        for (std::size_t ky = 0; ky < kernel_; ++ky) {
-          for (std::size_t kx = 0; kx < kernel_; ++kx, ++column) {
-            const std::ptrdiff_t iy =
-                static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
-                static_cast<std::ptrdiff_t>(padding_);
-            const std::ptrdiff_t ix =
-                static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
-                static_cast<std::ptrdiff_t>(padding_);
-            float v = 0.0f;
-            if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(in_h) &&
-                ix >= 0 && ix < static_cast<std::ptrdiff_t>(in_w)) {
-              const std::size_t in_idx =
-                  (ic * in_h + static_cast<std::size_t>(iy)) * in_w +
-                  static_cast<std::size_t>(ix);
-              v = in_data[in_idx];
-              sink.load(&in_data[in_idx], sizeof(float));
-            }
-            patch_data[row * patch_len + column] = v;
-            sink.store(&patch_data[row * patch_len + column], sizeof(float));
-            sink.retire(detail::kLoopOverhead);
-          }
-        }
-      }
-      sink.structural_branches(patch_len + kernel_ + in_channels_ + 1);
-    }
-  }
-
-  // Phase 2: GEMM — output[oc][pixel] = bias[oc] + W[oc][:] . P[pixel][:].
-  // Weight rows are exactly the {out, in, k, k} layout flattened.
-  const std::uintptr_t gemm_skip_site = SCE_BRANCH_SITE();
-  float* out_data = output.data();
-  for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-    for (std::size_t pixel = 0; pixel < pixels; ++pixel) {
-      float acc = bias_[oc];
-      sink.load(&bias_[oc], sizeof(float));
-      const float* patch_row = &patch_data[pixel * patch_len];
-      const float* weight_row = &w_data[oc * patch_len];
-      for (std::size_t j = 0; j < patch_len; ++j) {
-        const float v = patch_row[j];
-        sink.load(&patch_row[j], sizeof(float));
-        if (mode == KernelMode::kDataDependent) {
-          const bool skip = (v == 0.0f);
-          sink.branch(gemm_skip_site, skip);
-          if (skip) {
-            sink.retire(detail::kLoopOverhead);
-            continue;
-          }
-        }
-        acc += v * weight_row[j];
-        sink.load(&weight_row[j], sizeof(float));
-        sink.retire(detail::kMacInstructions + detail::kLoopOverhead);
-      }
-      out_data[oc * pixels + pixel] = acc;
-      sink.store(&out_data[oc * pixels + pixel], sizeof(float));
-      sink.structural_branches(patch_len + 1);
-    }
-  }
 }
 
 void Conv2D::visit_buffers(const BufferVisitor& visit) const {
@@ -282,6 +147,13 @@ LeakageContract Conv2D::leakage_contract(KernelMode mode) const {
     c.instruction_count_varies = true;
   }
   return c;
+}
+
+LeakageContract Conv2D::fast_leakage_contract(KernelMode /*mode*/) const {
+  // The tiled GEMM runs the same loop trip counts and touches the same
+  // buffers for every input; the data-dependent zero skip is a branchless
+  // lane blend, so even that mode leaks nothing through control flow.
+  return LeakageContract{};
 }
 
 Tensor Conv2D::train_forward(const Tensor& input) {

@@ -27,9 +27,10 @@ class Conv2D final : public Layer {
          std::size_t padding = 0);
 
   std::string name() const override { return "conv2d"; }
+  using Layer::forward_into;
   void forward_into(const Tensor& input, Tensor& output,
                     Workspace& workspace, uarch::TraceSink& sink,
-                    KernelMode mode) const override;
+                    KernelMode mode, ExecutionPath path) const override;
   Tensor train_forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   void sgd_step(float learning_rate, float momentum) override;
@@ -56,7 +57,14 @@ class Conv2D final : public Layer {
   /// direct loop nest and the im2col GEMM (the im2col gather itself is a
   /// fixed pattern; only the GEMM inner loop skips).  Constant-flow:
   /// every element does full work.
+  using Layer::leakage_contract;
   LeakageContract leakage_contract(KernelMode mode) const override;
+
+  /// The fast GEMM has no data-dependent branches in either mode (the
+  /// zero skip is a lane blend), but in data-dependent mode its *results*
+  /// are still pinned to the skipping semantics — the claims below
+  /// describe the generated code, and are never oracle-verified.
+  LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
   void visit_buffers(const BufferVisitor& visit) const override;
 
@@ -68,16 +76,6 @@ class Conv2D final : public Layer {
  private:
   float weight_at(std::size_t oc, std::size_t ic, std::size_t ky,
                   std::size_t kx) const;
-  /// Kernels are templates over the sink so the untraced fast path (a
-  /// DiscardSink instantiation) compiles the trace calls away while the
-  /// arithmetic stays bit-identical to the traced instantiation.
-  template <typename Sink>
-  void forward_direct(const Tensor& input, Tensor& output, Sink& sink,
-                      KernelMode mode) const;
-  template <typename Sink>
-  void forward_im2col(const Tensor& input, Tensor& output,
-                      Workspace& workspace, Sink& sink,
-                      KernelMode mode) const;
 
   ConvAlgorithm algorithm_ = ConvAlgorithm::kDirect;
   std::size_t in_channels_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/kernels/dense.hpp"
 #include "nn/serialize.hpp"
 #include "util/error.hpp"
 
@@ -44,58 +45,25 @@ void Dense::initialize(util::Rng& rng) {
 
 void Dense::forward_into(const Tensor& input, Tensor& output,
                          Workspace& /*workspace*/, uarch::TraceSink& sink,
-                         KernelMode mode) const {
+                         KernelMode mode, ExecutionPath path) const {
   if (input.numel() != in_)
     throw InvalidArgument("Dense::forward: input has wrong element count");
   if (output.rank() != 1 || output.dim(0) != out_) output.resize({out_});
-  if (sink.discards()) {
-    uarch::DiscardSink fast;
-    forward_kernel(input, output, fast, mode);
-  } else {
-    forward_kernel(input, output, sink, mode);
-  }
-}
 
-template <typename Sink>
-void Dense::forward_kernel(const Tensor& input, Tensor& output, Sink& sink,
-                           KernelMode mode) const {
-  const float* x = input.data();
-  const float* w = weights_.data();
-  float* y = output.data();
+  kernels::DenseShape shape;
+  shape.in = input.data();
+  shape.weights = weights_.data();
+  shape.bias = bias_.data();
+  shape.out = output.data();
+  shape.in_features = in_;
+  shape.out_features = out_;
 
-  const std::uintptr_t row_skip_site = SCE_BRANCH_SITE();
-
-  // Accumulators initialized with the bias vector.
-  for (std::size_t o = 0; o < out_; ++o) {
-    y[o] = bias_[o];
-    sink.load(&bias_[o], sizeof(float));
-    sink.store(&y[o], sizeof(float));
-  }
-  sink.structural_branches(out_);
-
-  for (std::size_t i = 0; i < in_; ++i) {
-    const float v = x[i];
-    sink.load(&x[i], sizeof(float));
-    if (mode == KernelMode::kDataDependent) {
-      // Sparse-GEMM row skip: a zero activation's whole weight row is
-      // never touched and its inner loop never runs.
-      const bool skip = (v == 0.0f);
-      sink.branch(row_skip_site, skip);
-      if (skip) {
-        sink.retire(detail::kLoopOverhead);
-        continue;
-      }
-    }
-    const float* row = &w[i * out_];
-    for (std::size_t o = 0; o < out_; ++o) {
-      sink.load(&row[o], sizeof(float));
-      y[o] += v * row[o];
-      sink.store(&y[o], sizeof(float));
-      sink.retire(detail::kMacInstructions + detail::kLoopOverhead);
-    }
-    sink.structural_branches(out_ + 1);
-  }
-  sink.structural_branches(in_);
+  if (kernels::select_path(sink, path) == ExecutionPath::kFast)
+    kernels::dense_fast(shape, mode);
+  else if (sink.discards())
+    kernels::dense_scalar(shape, mode);
+  else
+    kernels::dense_instrumented(shape, sink, mode);
 }
 
 void Dense::visit_buffers(const BufferVisitor& visit) const {
@@ -112,6 +80,12 @@ LeakageContract Dense::leakage_contract(KernelMode mode) const {
     c.instruction_count_varies = true;
   }
   return c;
+}
+
+LeakageContract Dense::fast_leakage_contract(KernelMode mode) const {
+  // The row skip survives as a scalar branch on the fast path (it elides
+  // whole weight-row loads), so data-dependent mode leaks there too.
+  return leakage_contract(mode);
 }
 
 Tensor Dense::train_forward(const Tensor& input) {

@@ -19,9 +19,10 @@ class Dense final : public Layer {
   Dense(std::size_t in_features, std::size_t out_features);
 
   std::string name() const override { return "dense"; }
+  using Layer::forward_into;
   void forward_into(const Tensor& input, Tensor& output,
                     Workspace& workspace, uarch::TraceSink& sink,
-                    KernelMode mode) const override;
+                    KernelMode mode, ExecutionPath path) const override;
   Tensor train_forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   void sgd_step(float learning_rate, float momentum) override;
@@ -39,7 +40,13 @@ class Dense final : public Layer {
   /// — its loads, its inner-loop back-edges and its MACs — so every
   /// trace aspect varies with the input's zero pattern.  The strongest
   /// single leak source in the model.  Constant-flow: dense GEMM.
+  using Layer::leakage_contract;
   LeakageContract leakage_contract(KernelMode mode) const override;
+
+  /// The fast GEMV keeps the per-input row-skip *branch* in
+  /// data-dependent mode (it elides whole weight rows, like the scalar
+  /// kernel), so that mode stays leaky on the fast path too.
+  LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
   void visit_buffers(const BufferVisitor& visit) const override;
 
@@ -47,10 +54,6 @@ class Dense final : public Layer {
   const Tensor& weights() const { return weights_; }
 
  private:
-  template <typename Sink>
-  void forward_kernel(const Tensor& input, Tensor& output, Sink& sink,
-                      KernelMode mode) const;
-
   std::size_t in_;
   std::size_t out_;
   Tensor weights_;           // {in, out}

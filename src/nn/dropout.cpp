@@ -13,10 +13,10 @@ Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
 
 void Dropout::forward_into(const Tensor& input, Tensor& output,
                            Workspace& /*workspace*/,
-                           uarch::TraceSink& /*sink*/,
-                           KernelMode /*mode*/) const {
+                           uarch::TraceSink& /*sink*/, KernelMode /*mode*/,
+                           ExecutionPath /*path*/) const {
   // Dropout is compiled out of the deployed network: inference is the
-  // identity and emits no trace events.
+  // identity and emits no trace events, on every path.
   if (!output.same_shape(input)) output.resize(input.shape());
   std::copy(input.data(), input.data() + input.numel(), output.data());
 }
@@ -24,6 +24,10 @@ void Dropout::forward_into(const Tensor& input, Tensor& output,
 LeakageContract Dropout::leakage_contract(KernelMode /*mode*/) const {
   // Identity at inference: no trace, and the RNG is only consumed by
   // train_forward — a deployed Dropout is side-channel-silent.
+  return LeakageContract::constant();
+}
+
+LeakageContract Dropout::fast_leakage_contract(KernelMode /*mode*/) const {
   return LeakageContract::constant();
 }
 

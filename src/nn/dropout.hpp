@@ -15,9 +15,10 @@ class Dropout final : public Layer {
   explicit Dropout(float rate, std::uint64_t seed = 1234);
 
   std::string name() const override { return "dropout"; }
+  using Layer::forward_into;
   void forward_into(const Tensor& input, Tensor& output,
                     Workspace& workspace, uarch::TraceSink& sink,
-                    KernelMode mode) const override;
+                    KernelMode mode, ExecutionPath path) const override;
   Tensor train_forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<std::size_t> output_shape(
@@ -30,7 +31,9 @@ class Dropout final : public Layer {
   /// Inference is the identity and emits no trace: constant-flow in both
   /// modes, and — crucially — no RNG draw (the mask is a training-only
   /// construct), so the RNG contract must not fire on deployed models.
+  using Layer::leakage_contract;
   LeakageContract leakage_contract(KernelMode mode) const override;
+  LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
  private:
   float rate_;

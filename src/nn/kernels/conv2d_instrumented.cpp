@@ -1,0 +1,214 @@
+// Instrumented Conv2D kernels — the leakage ground truth.
+//
+// These loop bodies moved verbatim from nn/conv.cpp: every sink event
+// (loads, the zero-skip branch, retire bookkeeping, structural
+// back-edges) and the loop order are pinned by trace tests and the
+// oracle cross-check.  Each kernel is a template over the sink type; the
+// TraceSink instantiation serves observing sinks, the DiscardSink
+// instantiation compiles the trace calls away and is the scalar path the
+// fast kernels are measured against.
+#include "nn/kernels/conv2d.hpp"
+
+#include "nn/kernels/registry.hpp"
+#include "nn/layer.hpp"
+
+namespace sce::nn::kernels {
+namespace detail {
+// The instrumented loop bodies below were moved verbatim from the layer
+// translation units, where unqualified `detail::` named sce::nn::detail.
+// Re-export the cost-model constants here so the moved text still
+// compiles unchanged inside kernels::detail's enclosing scope.
+using nn::detail::kCompareInstructions;
+using nn::detail::kLoopOverhead;
+using nn::detail::kMacInstructions;
+}  // namespace detail
+
+namespace {
+
+template <typename Sink>
+void forward_direct(const Conv2DShape& s, Sink& sink, KernelMode mode) {
+  const std::size_t in_h = s.in_h;
+  const std::size_t in_w = s.in_w;
+  const std::size_t out_h = s.out_h;
+  const std::size_t out_w = s.out_w;
+  const float* in_data = s.in;
+  const float* w_data = s.weights;
+  float* out_data = s.out;
+
+  const std::uintptr_t zero_skip_site = SCE_BRANCH_SITE();
+
+  for (std::size_t oc = 0; oc < s.out_channels; ++oc) {
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        float acc = s.bias[oc];
+        sink.load(&s.bias[oc], sizeof(float));
+        for (std::size_t ic = 0; ic < s.in_channels; ++ic) {
+          for (std::size_t ky = 0; ky < s.kernel; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * s.stride + ky) -
+                static_cast<std::ptrdiff_t>(s.padding);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h)) continue;
+            const std::size_t in_row_base =
+                (ic * in_h + static_cast<std::size_t>(iy)) * in_w;
+            const std::size_t w_row_base =
+                ((oc * s.in_channels + ic) * s.kernel + ky) * s.kernel;
+            for (std::size_t kx = 0; kx < s.kernel; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * s.stride + kx) -
+                  static_cast<std::ptrdiff_t>(s.padding);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in_w))
+                continue;  // implicit zero padding: nothing loaded
+              const std::size_t in_idx =
+                  in_row_base + static_cast<std::size_t>(ix);
+              const float v = in_data[in_idx];
+              sink.load(&in_data[in_idx], sizeof(float));
+              if (mode == KernelMode::kDataDependent) {
+                // Zero-skipping: a zero activation contributes nothing, so
+                // the weight load and MAC are elided behind a branch.
+                const bool skip = (v == 0.0f);
+                sink.branch(zero_skip_site, skip);
+                if (skip) {
+                  sink.retire(detail::kLoopOverhead);
+                  continue;
+                }
+              }
+              const float w = w_data[w_row_base + kx];
+              sink.load(&w_data[w_row_base + kx], sizeof(float));
+              acc += v * w;
+              sink.retire(detail::kMacInstructions + detail::kLoopOverhead);
+            }
+          }
+        }
+        out_data[(oc * out_h + oy) * out_w + ox] = acc;
+        sink.store(&out_data[(oc * out_h + oy) * out_w + ox], sizeof(float));
+        sink.retire(detail::kLoopOverhead);
+        // Loop back-edges for the kx/ky/ic loops of this output pixel.
+        sink.structural_branches(s.in_channels * s.kernel * s.kernel +
+                                 s.in_channels * s.kernel + s.in_channels +
+                                 1);
+      }
+    }
+  }
+}
+
+template <typename Sink>
+void forward_im2col(const Conv2DShape& s, Workspace& workspace, Sink& sink,
+                    KernelMode mode) {
+  const std::size_t in_h = s.in_h;
+  const std::size_t in_w = s.in_w;
+  const std::size_t out_h = s.out_h;
+  const std::size_t out_w = s.out_w;
+  const std::size_t pixels = out_h * out_w;
+  const std::size_t patch_len = s.in_channels * s.kernel * s.kernel;
+  const float* in_data = s.in;
+  const float* w_data = s.weights;
+
+  // Phase 1: materialize the patch matrix (the "im2col" buffer).  Every
+  // input element inside a window is loaded and stored once per window it
+  // appears in — the extra memory traffic that distinguishes this
+  // strategy from the direct loop nest.  The buffer is workspace scratch:
+  // after the sizing pass it is reused allocation-free, and every element
+  // is written in this phase before phase 2 reads it.
+  Tensor& patches = workspace.scratch(0, pixels, patch_len);
+  float* patch_data = patches.data();
+  for (std::size_t oy = 0; oy < out_h; ++oy) {
+    for (std::size_t ox = 0; ox < out_w; ++ox) {
+      const std::size_t row = oy * out_w + ox;
+      std::size_t column = 0;
+      for (std::size_t ic = 0; ic < s.in_channels; ++ic) {
+        for (std::size_t ky = 0; ky < s.kernel; ++ky) {
+          for (std::size_t kx = 0; kx < s.kernel; ++kx, ++column) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * s.stride + ky) -
+                static_cast<std::ptrdiff_t>(s.padding);
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * s.stride + kx) -
+                static_cast<std::ptrdiff_t>(s.padding);
+            float v = 0.0f;
+            if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(in_h) &&
+                ix >= 0 && ix < static_cast<std::ptrdiff_t>(in_w)) {
+              const std::size_t in_idx =
+                  (ic * in_h + static_cast<std::size_t>(iy)) * in_w +
+                  static_cast<std::size_t>(ix);
+              v = in_data[in_idx];
+              sink.load(&in_data[in_idx], sizeof(float));
+            }
+            patch_data[row * patch_len + column] = v;
+            sink.store(&patch_data[row * patch_len + column], sizeof(float));
+            sink.retire(detail::kLoopOverhead);
+          }
+        }
+      }
+      sink.structural_branches(patch_len + s.kernel + s.in_channels + 1);
+    }
+  }
+
+  // Phase 2: GEMM — output[oc][pixel] = bias[oc] + W[oc][:] . P[pixel][:].
+  // Weight rows are exactly the {out, in, k, k} layout flattened.
+  const std::uintptr_t gemm_skip_site = SCE_BRANCH_SITE();
+  float* out_data = s.out;
+  for (std::size_t oc = 0; oc < s.out_channels; ++oc) {
+    for (std::size_t pixel = 0; pixel < pixels; ++pixel) {
+      float acc = s.bias[oc];
+      sink.load(&s.bias[oc], sizeof(float));
+      const float* patch_row = &patch_data[pixel * patch_len];
+      const float* weight_row = &w_data[oc * patch_len];
+      for (std::size_t j = 0; j < patch_len; ++j) {
+        const float v = patch_row[j];
+        sink.load(&patch_row[j], sizeof(float));
+        if (mode == KernelMode::kDataDependent) {
+          const bool skip = (v == 0.0f);
+          sink.branch(gemm_skip_site, skip);
+          if (skip) {
+            sink.retire(detail::kLoopOverhead);
+            continue;
+          }
+        }
+        acc += v * weight_row[j];
+        sink.load(&weight_row[j], sizeof(float));
+        sink.retire(detail::kMacInstructions + detail::kLoopOverhead);
+      }
+      out_data[oc * pixels + pixel] = acc;
+      sink.store(&out_data[oc * pixels + pixel], sizeof(float));
+      sink.structural_branches(patch_len + 1);
+    }
+  }
+}
+
+}  // namespace
+
+void conv2d_direct_instrumented(const Conv2DShape& s, uarch::TraceSink& sink,
+                                KernelMode mode) {
+  forward_direct(s, sink, mode);
+}
+
+void conv2d_direct_scalar(const Conv2DShape& s, KernelMode mode) {
+  uarch::DiscardSink sink;
+  forward_direct(s, sink, mode);
+}
+
+void conv2d_im2col_instrumented(const Conv2DShape& s, Workspace& workspace,
+                                uarch::TraceSink& sink, KernelMode mode) {
+  forward_im2col(s, workspace, sink, mode);
+}
+
+void conv2d_im2col_scalar(const Conv2DShape& s, Workspace& workspace,
+                          KernelMode mode) {
+  uarch::DiscardSink sink;
+  forward_im2col(s, workspace, sink, mode);
+}
+
+namespace {
+const detail::KernelRegistration registration{
+    {"conv2d.direct", KernelMode::kDataDependent, ExecutionPath::kInstrumented,
+     "scalar loop nest, zero-skip branch per element, full trace"},
+    {"conv2d.direct", KernelMode::kConstantFlow, ExecutionPath::kInstrumented,
+     "scalar loop nest, every in-bounds element does full work"},
+    {"conv2d.im2col", KernelMode::kDataDependent, ExecutionPath::kInstrumented,
+     "patch-matrix gather + scalar GEMM with zero-skip branch"},
+    {"conv2d.im2col", KernelMode::kConstantFlow, ExecutionPath::kInstrumented,
+     "patch-matrix gather + dense scalar GEMM"},
+};
+}  // namespace
+
+}  // namespace sce::nn::kernels

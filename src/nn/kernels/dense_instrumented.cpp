@@ -1,0 +1,84 @@
+// Instrumented Dense kernel — moved verbatim from nn/dense.cpp.
+#include "nn/kernels/dense.hpp"
+
+#include "nn/kernels/registry.hpp"
+#include "nn/layer.hpp"
+
+namespace sce::nn::kernels {
+namespace detail {
+// The instrumented loop bodies below were moved verbatim from the layer
+// translation units, where unqualified `detail::` named sce::nn::detail.
+// Re-export the cost-model constants here so the moved text still
+// compiles unchanged inside kernels::detail's enclosing scope.
+using nn::detail::kCompareInstructions;
+using nn::detail::kLoopOverhead;
+using nn::detail::kMacInstructions;
+}  // namespace detail
+
+namespace {
+
+template <typename Sink>
+void forward_kernel(const DenseShape& s, Sink& sink, KernelMode mode) {
+  const std::size_t in = s.in_features;
+  const std::size_t out = s.out_features;
+  const float* x = s.in;
+  const float* w = s.weights;
+  float* y = s.out;
+
+  const std::uintptr_t row_skip_site = SCE_BRANCH_SITE();
+
+  // Accumulators initialized with the bias vector.
+  for (std::size_t o = 0; o < out; ++o) {
+    y[o] = s.bias[o];
+    sink.load(&s.bias[o], sizeof(float));
+    sink.store(&y[o], sizeof(float));
+  }
+  sink.structural_branches(out);
+
+  for (std::size_t i = 0; i < in; ++i) {
+    const float v = x[i];
+    sink.load(&x[i], sizeof(float));
+    if (mode == KernelMode::kDataDependent) {
+      // Sparse-GEMM row skip: a zero activation's whole weight row is
+      // never touched and its inner loop never runs.
+      const bool skip = (v == 0.0f);
+      sink.branch(row_skip_site, skip);
+      if (skip) {
+        sink.retire(detail::kLoopOverhead);
+        continue;
+      }
+    }
+    const float* row = &w[i * out];
+    for (std::size_t o = 0; o < out; ++o) {
+      sink.load(&row[o], sizeof(float));
+      y[o] += v * row[o];
+      sink.store(&y[o], sizeof(float));
+      sink.retire(detail::kMacInstructions + detail::kLoopOverhead);
+    }
+    sink.structural_branches(out + 1);
+  }
+  sink.structural_branches(in);
+}
+
+}  // namespace
+
+void dense_instrumented(const DenseShape& s, uarch::TraceSink& sink,
+                        KernelMode mode) {
+  forward_kernel(s, sink, mode);
+}
+
+void dense_scalar(const DenseShape& s, KernelMode mode) {
+  uarch::DiscardSink sink;
+  forward_kernel(s, sink, mode);
+}
+
+namespace {
+const detail::KernelRegistration registration{
+    {"dense", KernelMode::kDataDependent, ExecutionPath::kInstrumented,
+     "input-stationary scalar GEMV with sparse row skip, full trace"},
+    {"dense", KernelMode::kConstantFlow, ExecutionPath::kInstrumented,
+     "input-stationary scalar GEMV, every row streamed"},
+};
+}  // namespace
+
+}  // namespace sce::nn::kernels

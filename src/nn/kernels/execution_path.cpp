@@ -1,0 +1,26 @@
+#include "nn/kernels/execution_path.hpp"
+
+#include "uarch/trace.hpp"
+
+namespace sce::nn {
+
+std::string to_string(ExecutionPath path) {
+  switch (path) {
+    case ExecutionPath::kInstrumented:
+      return "instrumented";
+    case ExecutionPath::kFast:
+      return "fast";
+  }
+  return "?";
+}
+
+namespace kernels {
+
+ExecutionPath select_path(const uarch::TraceSink& sink,
+                          ExecutionPath requested) {
+  if (!sink.discards()) return ExecutionPath::kInstrumented;
+  return requested;
+}
+
+}  // namespace kernels
+}  // namespace sce::nn

@@ -1,0 +1,133 @@
+// Instrumented pooling kernels — moved verbatim from nn/pool.cpp and
+// nn/avgpool.cpp.
+#include "nn/kernels/pooling.hpp"
+
+#include "nn/kernels/registry.hpp"
+#include "nn/layer.hpp"
+
+namespace sce::nn::kernels {
+namespace detail {
+// The instrumented loop bodies below were moved verbatim from the layer
+// translation units, where unqualified `detail::` named sce::nn::detail.
+// Re-export the cost-model constants here so the moved text still
+// compiles unchanged inside kernels::detail's enclosing scope.
+using nn::detail::kCompareInstructions;
+using nn::detail::kLoopOverhead;
+using nn::detail::kMacInstructions;
+}  // namespace detail
+
+namespace {
+
+template <typename Sink>
+void maxpool_kernel(const Pool2DShape& s, Sink& sink, KernelMode mode) {
+  const float* in_data = s.in;
+  float* out_data = s.out;
+
+  const std::uintptr_t max_update_site = SCE_BRANCH_SITE();
+
+  for (std::size_t c = 0; c < s.channels; ++c) {
+    for (std::size_t oy = 0; oy < s.out_h; ++oy) {
+      for (std::size_t ox = 0; ox < s.out_w; ++ox) {
+        float best = 0.0f;
+        bool first = true;
+        for (std::size_t wy = 0; wy < s.window; ++wy) {
+          for (std::size_t wx = 0; wx < s.window; ++wx) {
+            const std::size_t idx =
+                (c * s.in_h + (oy * s.window + wy)) * s.in_w +
+                (ox * s.window + wx);
+            const float v = in_data[idx];
+            sink.load(&in_data[idx], sizeof(float));
+            if (first) {
+              best = v;
+              first = false;
+              sink.retire(detail::kLoopOverhead);
+              continue;
+            }
+            if (mode == KernelMode::kDataDependent) {
+              // Which window element is the max depends on the data; the
+              // update is a real conditional branch.
+              const bool update = v > best;
+              sink.branch(max_update_site, update);
+              if (update) best = v;
+              sink.retire(detail::kCompareInstructions);
+            } else {
+              // Branchless max (cmov / maxss).
+              best = v > best ? v : best;
+              sink.retire(detail::kCompareInstructions + 1);
+            }
+          }
+        }
+        const std::size_t out_idx = (c * s.out_h + oy) * s.out_w + ox;
+        out_data[out_idx] = best;
+        sink.store(&out_data[out_idx], sizeof(float));
+        sink.structural_branches(s.window * s.window + s.window + 1);
+      }
+    }
+  }
+}
+
+template <typename Sink>
+void avgpool_kernel(const Pool2DShape& s, Sink& sink) {
+  const float* in_data = s.in;
+  float* out_data = s.out;
+  const float inv_area = 1.0f / static_cast<float>(s.window * s.window);
+
+  for (std::size_t c = 0; c < s.channels; ++c) {
+    for (std::size_t oy = 0; oy < s.out_h; ++oy) {
+      for (std::size_t ox = 0; ox < s.out_w; ++ox) {
+        float sum = 0.0f;
+        for (std::size_t wy = 0; wy < s.window; ++wy) {
+          for (std::size_t wx = 0; wx < s.window; ++wx) {
+            const std::size_t idx =
+                (c * s.in_h + (oy * s.window + wy)) * s.in_w +
+                (ox * s.window + wx);
+            sum += in_data[idx];
+            sink.load(&in_data[idx], sizeof(float));
+            sink.retire(detail::kLoopOverhead + 1);
+          }
+        }
+        const std::size_t out_idx = (c * s.out_h + oy) * s.out_w + ox;
+        out_data[out_idx] = sum * inv_area;
+        sink.store(&out_data[out_idx], sizeof(float));
+        sink.retire(1);
+        sink.structural_branches(s.window * s.window + s.window + 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void maxpool2d_instrumented(const Pool2DShape& s, uarch::TraceSink& sink,
+                            KernelMode mode) {
+  maxpool_kernel(s, sink, mode);
+}
+
+void maxpool2d_scalar(const Pool2DShape& s, KernelMode mode) {
+  uarch::DiscardSink sink;
+  maxpool_kernel(s, sink, mode);
+}
+
+void avgpool2d_instrumented(const Pool2DShape& s, uarch::TraceSink& sink) {
+  avgpool_kernel(s, sink);
+}
+
+void avgpool2d_scalar(const Pool2DShape& s) {
+  uarch::DiscardSink sink;
+  avgpool_kernel(s, sink);
+}
+
+namespace {
+const detail::KernelRegistration registration{
+    {"maxpool2d", KernelMode::kDataDependent, ExecutionPath::kInstrumented,
+     "windowed scan, per-element max-update branch traced"},
+    {"maxpool2d", KernelMode::kConstantFlow, ExecutionPath::kInstrumented,
+     "windowed scan, branchless max with fixed cost"},
+    {"avgpool2d", KernelMode::kDataDependent, ExecutionPath::kInstrumented,
+     "windowed sum; data-independent by nature, modes identical"},
+    {"avgpool2d", KernelMode::kConstantFlow, ExecutionPath::kInstrumented,
+     "windowed sum; data-independent by nature, modes identical"},
+};
+}  // namespace
+
+}  // namespace sce::nn::kernels

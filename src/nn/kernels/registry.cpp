@@ -1,0 +1,57 @@
+#include "nn/kernels/registry.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "nn/layer.hpp"
+
+namespace sce::nn::kernels {
+
+namespace {
+
+/// Function-local static: safe to use from other TUs' static
+/// initializers (construct-on-first-use).
+std::vector<KernelEntry>& table() {
+  static std::vector<KernelEntry> entries;
+  return entries;
+}
+
+bool entry_less(const KernelEntry& a, const KernelEntry& b) {
+  const int op_cmp = std::strcmp(a.op, b.op);
+  if (op_cmp != 0) return op_cmp < 0;
+  if (a.mode != b.mode) return a.mode < b.mode;
+  return a.path < b.path;
+}
+
+}  // namespace
+
+const KernelEntry* find_kernel(const std::string& op, KernelMode mode,
+                               ExecutionPath path) {
+  for (const KernelEntry& e : table())
+    if (op == e.op && e.mode == mode && e.path == path) return &e;
+  return nullptr;
+}
+
+std::vector<KernelEntry> all_kernels() {
+  std::vector<KernelEntry> entries = table();
+  std::sort(entries.begin(), entries.end(), entry_less);
+  return entries;
+}
+
+std::vector<std::string> all_ops() {
+  std::vector<std::string> ops;
+  for (const KernelEntry& e : all_kernels())
+    if (ops.empty() || ops.back() != e.op) ops.emplace_back(e.op);
+  return ops;
+}
+
+namespace detail {
+
+KernelRegistration::KernelRegistration(
+    std::initializer_list<KernelEntry> entries) {
+  for (const KernelEntry& e : entries) table().push_back(e);
+}
+
+}  // namespace detail
+
+}  // namespace sce::nn::kernels

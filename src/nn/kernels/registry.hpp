@@ -1,0 +1,54 @@
+// Kernel registry: the introspection table over every kernel
+// implementation in src/nn/kernels/, keyed by (op, KernelMode,
+// ExecutionPath).
+//
+// Each kernel translation unit registers its implementations at static
+// initialization (the TUs are pulled into the link by the layers' direct
+// calls, so registration cannot be dead-stripped).  Layers dispatch to
+// the kernel functions statically — the table adds no indirection to the
+// hot path; it exists so tests can assert coverage (every op has both
+// paths in both modes), so `leakage_lint --list-kernels` and DESIGN.md
+// stay truthful, and so a missing registration is a test failure rather
+// than a silent gap.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "nn/kernels/execution_path.hpp"
+
+namespace sce::nn {
+enum class KernelMode;
+}
+
+namespace sce::nn::kernels {
+
+struct KernelEntry {
+  /// Operation key, e.g. "conv2d.direct", "conv2d.im2col", "dense".
+  const char* op;
+  KernelMode mode;
+  ExecutionPath path;
+  /// One-line implementation description (shown by --list-kernels).
+  const char* impl;
+};
+
+/// The implementation registered for (op, mode, path), or nullptr.
+const KernelEntry* find_kernel(const std::string& op, KernelMode mode,
+                               ExecutionPath path);
+
+/// Every registered kernel, sorted by (op, mode, path) — deterministic
+/// regardless of static-initialization order.
+std::vector<KernelEntry> all_kernels();
+
+/// Distinct op keys, sorted.
+std::vector<std::string> all_ops();
+
+namespace detail {
+/// Self-registration helper: a namespace-scope instance per kernel TU.
+struct KernelRegistration {
+  explicit KernelRegistration(std::initializer_list<KernelEntry> entries);
+};
+}  // namespace detail
+
+}  // namespace sce::nn::kernels

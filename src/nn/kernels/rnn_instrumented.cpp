@@ -1,0 +1,126 @@
+// Instrumented Elman RNN kernel — moved verbatim from nn/rnn.cpp.
+#include "nn/kernels/registry.hpp"
+#include "nn/kernels/rnn.hpp"
+#include "nn/layer.hpp"
+
+namespace sce::nn::kernels {
+namespace detail {
+// The instrumented loop bodies below were moved verbatim from the layer
+// translation units, where unqualified `detail::` named sce::nn::detail.
+// Re-export the cost-model constants here so the moved text still
+// compiles unchanged inside kernels::detail's enclosing scope.
+using nn::detail::kCompareInstructions;
+using nn::detail::kLoopOverhead;
+using nn::detail::kMacInstructions;
+}  // namespace detail
+
+namespace {
+
+template <typename Sink>
+void forward_kernel(const RnnShape& s, Sink& sink, KernelMode mode) {
+  const std::size_t input_dim = s.input_dim;
+  const std::size_t hidden_dim = s.hidden_dim;
+  const float* x = s.in;
+  const float* wx = s.wx;
+  const float* wh = s.wh;
+  float* h = s.h;
+  float* acc = s.acc;
+
+  const std::uintptr_t input_skip_site = SCE_BRANCH_SITE();
+  const std::uintptr_t hidden_skip_site = SCE_BRANCH_SITE();
+  const std::uintptr_t relu_site = SCE_BRANCH_SITE();
+
+  for (std::size_t t = 0; t < s.t_steps; ++t) {
+    // acc = b
+    for (std::size_t j = 0; j < hidden_dim; ++j) {
+      acc[j] = s.bias[j];
+      sink.load(&s.bias[j], sizeof(float));
+      sink.store(&acc[j], sizeof(float));
+    }
+    sink.structural_branches(hidden_dim);
+    // acc += Wx^T x_t, input-stationary with zero-skipping rows.
+    const float* xt = &x[t * input_dim];
+    for (std::size_t i = 0; i < input_dim; ++i) {
+      const float v = xt[i];
+      sink.load(&xt[i], sizeof(float));
+      if (mode == KernelMode::kDataDependent) {
+        const bool skip = (v == 0.0f);
+        sink.branch(input_skip_site, skip);
+        if (skip) {
+          sink.retire(detail::kLoopOverhead);
+          continue;
+        }
+      }
+      const float* row = &wx[i * hidden_dim];
+      for (std::size_t j = 0; j < hidden_dim; ++j) {
+        sink.load(&row[j], sizeof(float));
+        acc[j] += v * row[j];
+        sink.store(&acc[j], sizeof(float));
+        sink.retire(detail::kMacInstructions + detail::kLoopOverhead);
+      }
+      sink.structural_branches(hidden_dim + 1);
+    }
+    sink.structural_branches(input_dim);
+    // acc += Wh^T h_{t-1}: ReLU-sparse hidden state skips its rows too.
+    for (std::size_t i = 0; i < hidden_dim; ++i) {
+      const float v = h[i];
+      sink.load(&h[i], sizeof(float));
+      if (mode == KernelMode::kDataDependent) {
+        const bool skip = (v == 0.0f);
+        sink.branch(hidden_skip_site, skip);
+        if (skip) {
+          sink.retire(detail::kLoopOverhead);
+          continue;
+        }
+      }
+      const float* row = &wh[i * hidden_dim];
+      for (std::size_t j = 0; j < hidden_dim; ++j) {
+        sink.load(&row[j], sizeof(float));
+        acc[j] += v * row[j];
+        sink.store(&acc[j], sizeof(float));
+        sink.retire(detail::kMacInstructions + detail::kLoopOverhead);
+      }
+      sink.structural_branches(hidden_dim + 1);
+    }
+    sink.structural_branches(hidden_dim);
+    // h = ReLU(acc)
+    for (std::size_t j = 0; j < hidden_dim; ++j) {
+      const float v = acc[j];
+      sink.load(&acc[j], sizeof(float));
+      if (mode == KernelMode::kDataDependent) {
+        const bool negative = v < 0.0f;
+        sink.branch(relu_site, negative);
+        h[j] = negative ? 0.0f : v;
+        sink.retire(detail::kLoopOverhead);
+      } else {
+        h[j] = v < 0.0f ? 0.0f : v;
+        sink.retire(detail::kLoopOverhead + 1);
+      }
+      sink.store(&h[j], sizeof(float));
+    }
+    sink.structural_branches(hidden_dim + 1);
+  }
+}
+
+}  // namespace
+
+void rnn_instrumented(const RnnShape& s, uarch::TraceSink& sink,
+                      KernelMode mode) {
+  forward_kernel(s, sink, mode);
+}
+
+void rnn_scalar(const RnnShape& s, KernelMode mode) {
+  uarch::DiscardSink sink;
+  forward_kernel(s, sink, mode);
+}
+
+namespace {
+const detail::KernelRegistration registration{
+    {"elman-rnn", KernelMode::kDataDependent, ExecutionPath::kInstrumented,
+     "per-step scalar AXPY sweeps with row skips + ReLU branch, full trace"},
+    {"elman-rnn", KernelMode::kConstantFlow, ExecutionPath::kInstrumented,
+     "per-step scalar AXPY sweeps, every row streamed, branchless ReLU"},
+};
+}  // namespace
+
+}  // namespace sce::nn::kernels

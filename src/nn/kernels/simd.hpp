@@ -1,0 +1,85 @@
+// Private SIMD vocabulary of the fast kernels (src/nn/kernels/*_fast.cpp
+// only — never include this from an instrumented TU or a public header).
+//
+// Built on GCC/Clang vector extensions: the semantics of every operation
+// are plain IEEE-754 single-precision lane arithmetic, identical whether
+// the compiler lowers a v8f to one AVX register, two SSE registers or
+// eight scalars.  That ISA-independence is what lets the fast kernels
+// promise bit-for-bit equality with the scalar instrumented loops on any
+// target: the *order* of operations per output element is fixed by the
+// kernel, and each operation is the same IEEE operation everywhere.
+//
+// Two rules keep that promise honest:
+//  * vectorize across independent outputs (pixels, output features) —
+//    never across a reduction; reduction indices advance sequentially so
+//    each lane's accumulation order matches the scalar kernel's.
+//  * no FMA: multiplies and adds stay separate (sce_nn builds with
+//    -ffp-contract=off), because the instrumented loops round after the
+//    multiply.
+//
+// The skip-aware accumulate mirrors the instrumented zero-skip *exactly*,
+// including the corner cases: a skipped lane keeps its old accumulator
+// bits (never "adds zero", which would turn -0.0 into +0.0), and a NaN
+// activation is not equal to zero, so it participates — just as the
+// scalar `if (v == 0.0f) continue;` does.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+namespace sce::nn::kernels {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SCE_HAVE_VECTOR_EXTENSIONS 1
+#endif
+
+#ifdef SCE_HAVE_VECTOR_EXTENSIONS
+
+inline constexpr std::size_t kLanes = 8;
+
+typedef float v8f __attribute__((vector_size(kLanes * sizeof(float))));
+typedef int v8i __attribute__((vector_size(kLanes * sizeof(int))));
+
+inline v8f loadu(const float* p) {
+  v8f v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void storeu(float* p, v8f v) { std::memcpy(p, &v, sizeof(v)); }
+
+inline v8f broadcast(float x) { return v8f{x, x, x, x, x, x, x, x}; }
+
+/// Lane-wise select: mask lanes are comparison results (all-ones /
+/// all-zeros); a set lane takes `a`, a clear lane takes `b`.
+inline v8f select(v8i mask, v8f a, v8f b) { return mask ? a : b; }
+
+/// acc + v*w where lanes with v == 0.0f keep their accumulator bits —
+/// the vector form of the instrumented data-dependent zero-skip.
+inline v8f mac_skip_zero(v8f acc, v8f v, v8f w) {
+  return select(v == broadcast(0.0f), acc, acc + v * w);
+}
+
+/// acc + v*w on lanes where `valid` is nonzero; invalid lanes keep their
+/// accumulator bits (the direct algorithm's out-of-bounds skip).
+inline v8f mac_where(v8f valid, v8f acc, v8f v, v8f w) {
+  return select(valid != broadcast(0.0f), acc + v * w, acc);
+}
+
+#else  // scalar fallback for compilers without vector extensions
+
+inline constexpr std::size_t kLanes = 1;
+
+#endif
+
+/// Scalar twins of the vector accumulate steps, used for tail elements so
+/// a tail lane computes exactly what a vector lane would.
+inline float scalar_mac_skip_zero(float acc, float v, float w) {
+  return v == 0.0f ? acc : acc + v * w;
+}
+
+inline float scalar_mac_where(bool valid, float acc, float v, float w) {
+  return valid ? acc + v * w : acc;
+}
+
+}  // namespace sce::nn::kernels

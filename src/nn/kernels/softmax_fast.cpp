@@ -1,0 +1,33 @@
+// Fast softmax: the same three scalar passes with the trace machinery
+// compiled out.  exp() dominates; the reductions keep their sequential
+// order so every intermediate rounds identically.
+#include <cmath>
+
+#include "nn/kernels/registry.hpp"
+#include "nn/kernels/softmax.hpp"
+#include "nn/layer.hpp"
+
+namespace sce::nn::kernels {
+
+void softmax_fast(const float* x, float* y, std::size_t n) {
+  float max_v = x[0];
+  for (std::size_t i = 0; i < n; ++i)
+    if (x[i] > max_v) max_v = x[i];
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = std::exp(x[i] - max_v);
+    sum += y[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) y[i] /= sum;
+}
+
+namespace {
+const detail::KernelRegistration registration{
+    {"softmax", KernelMode::kDataDependent, ExecutionPath::kFast,
+     "stable exp-normalize, trace-free"},
+    {"softmax", KernelMode::kConstantFlow, ExecutionPath::kFast,
+     "stable exp-normalize, trace-free"},
+};
+}  // namespace
+
+}  // namespace sce::nn::kernels

@@ -1,0 +1,66 @@
+// Instrumented softmax kernel — moved verbatim from nn/shape_ops.cpp.
+#include <cmath>
+
+#include "nn/kernels/registry.hpp"
+#include "nn/kernels/softmax.hpp"
+#include "nn/layer.hpp"
+
+namespace sce::nn::kernels {
+namespace detail {
+// The instrumented loop bodies below were moved verbatim from the layer
+// translation units, where unqualified `detail::` named sce::nn::detail.
+// Re-export the cost-model constants here so the moved text still
+// compiles unchanged inside kernels::detail's enclosing scope.
+using nn::detail::kCompareInstructions;
+using nn::detail::kLoopOverhead;
+using nn::detail::kMacInstructions;
+}  // namespace detail
+
+namespace {
+
+template <typename Sink>
+void forward_kernel(const float* x, float* y, std::size_t n, Sink& sink) {
+  float max_v = x[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    sink.load(&x[i], sizeof(float));
+    if (x[i] > max_v) max_v = x[i];
+    sink.retire(detail::kCompareInstructions + 1);
+  }
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = std::exp(x[i] - max_v);
+    sum += y[i];
+    sink.store(&y[i], sizeof(float));
+    // exp() costs ~20 instructions in a vectorized libm.
+    sink.retire(20);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] /= sum;
+    sink.store(&y[i], sizeof(float));
+    sink.retire(detail::kLoopOverhead + 1);
+  }
+  sink.structural_branches(3 * n);
+}
+
+}  // namespace
+
+void softmax_instrumented(const float* in, float* out, std::size_t n,
+                          uarch::TraceSink& sink) {
+  forward_kernel(in, out, n, sink);
+}
+
+void softmax_scalar(const float* in, float* out, std::size_t n) {
+  uarch::DiscardSink sink;
+  forward_kernel(in, out, n, sink);
+}
+
+namespace {
+const detail::KernelRegistration registration{
+    {"softmax", KernelMode::kDataDependent, ExecutionPath::kInstrumented,
+     "stable exp-normalize; data-independent, modes identical"},
+    {"softmax", KernelMode::kConstantFlow, ExecutionPath::kInstrumented,
+     "stable exp-normalize; data-independent, modes identical"},
+};
+}  // namespace
+
+}  // namespace sce::nn::kernels

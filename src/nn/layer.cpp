@@ -6,12 +6,38 @@ LeakageContract Layer::leakage_contract(KernelMode /*mode*/) const {
   return LeakageContract::undeclared();
 }
 
+LeakageContract Layer::fast_leakage_contract(KernelMode /*mode*/) const {
+  return LeakageContract::undeclared();
+}
+
+LeakageContract Layer::leakage_contract(KernelMode mode,
+                                        ExecutionPath path) const {
+  LeakageContract c = path == ExecutionPath::kFast
+                          ? fast_leakage_contract(mode)
+                          : leakage_contract(mode);
+  c.path = path;
+  return c;
+}
+
 Tensor Layer::forward(const Tensor& input, uarch::TraceSink& sink,
-                      KernelMode mode) const {
+                      KernelMode mode, ExecutionPath path) const {
   Workspace workspace;
   Tensor output;
-  forward_into(input, output, workspace, sink, mode);
+  forward_into(input, output, workspace, sink, mode, path);
   return output;
+}
+
+Tensor Layer::forward(const Tensor& input, uarch::TraceSink& sink,
+                      KernelMode mode) const {
+  return forward(input, sink, mode,
+                 sink.discards() ? ExecutionPath::kFast
+                                 : ExecutionPath::kInstrumented);
+}
+
+Tensor Layer::forward(const Tensor& input) const {
+  uarch::NullSink sink;
+  return forward(input, sink, KernelMode::kDataDependent,
+                 ExecutionPath::kFast);
 }
 
 std::string to_string(KernelMode mode) {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/kernels/execution_path.hpp"
 #include "nn/leakage_contract.hpp"
 #include "nn/tensor.hpp"
 #include "nn/workspace.hpp"
@@ -48,22 +49,42 @@ class Layer {
 
   virtual std::string name() const = 0;
 
-  /// Inference with microarchitectural tracing, writing into caller-owned
-  /// storage.  Must not mutate the layer; `input` and `output` must be
-  /// distinct objects.  `output` is reshaped as needed (allocation-free
-  /// when it already has the right shape, or enough reserved capacity)
-  /// and `workspace` lends whatever per-layer scratch the kernel needs,
-  /// so a caller that reuses both across calls — the InferencePlan — runs
-  /// the whole forward pass without touching the heap.
+  /// Inference, writing into caller-owned storage.  Must not mutate the
+  /// layer; `input` and `output` must be distinct objects.  `output` is
+  /// reshaped as needed (allocation-free when it already has the right
+  /// shape, or enough reserved capacity) and `workspace` lends whatever
+  /// per-layer scratch the kernel needs, so a caller that reuses both
+  /// across calls — the InferencePlan — runs the whole forward pass
+  /// without touching the heap.
+  ///
+  /// `path` is a *request*: implementations resolve it through
+  /// kernels::select_path, so an observing sink always executes the
+  /// instrumented kernels regardless of what the caller asked for, and
+  /// the fast kernels run only when the sink provably discards.
   virtual void forward_into(const Tensor& input, Tensor& output,
                             Workspace& workspace, uarch::TraceSink& sink,
-                            KernelMode mode) const = 0;
+                            KernelMode mode, ExecutionPath path) const = 0;
+
+  /// Default-path convenience: fast when the sink discards (nothing to
+  /// trace — deployed inference), instrumented when it observes.
+  void forward_into(const Tensor& input, Tensor& output, Workspace& workspace,
+                    uarch::TraceSink& sink, KernelMode mode) const {
+    forward_into(input, output, workspace, sink, mode,
+                 sink.discards() ? ExecutionPath::kFast
+                                 : ExecutionPath::kInstrumented);
+  }
 
   /// Allocating convenience wrapper around forward_into (fresh output and
   /// scratch per call — the pre-plan behaviour, kept for tests and one-off
   /// calls; hot loops should go through an InferencePlan instead).
+  Tensor forward(const Tensor& input, uarch::TraceSink& sink, KernelMode mode,
+                 ExecutionPath path) const;
   Tensor forward(const Tensor& input, uarch::TraceSink& sink,
                  KernelMode mode) const;
+  /// Deployed-default dispatch: untraced, data-dependent kernels, fast
+  /// path.  What an un-instrumented caller (training's forward pass, a
+  /// one-off evaluation) gets without spelling out the policy.
+  Tensor forward(const Tensor& input) const;
 
   /// Forward pass that caches whatever backward() needs.
   virtual Tensor train_forward(const Tensor& input) = 0;
@@ -79,12 +100,23 @@ class Layer {
   virtual std::vector<std::size_t> output_shape(
       const std::vector<std::size_t>& input_shape) const = 0;
 
-  /// Static leakage metadata for this layer's inference kernel in `mode`.
-  /// The base default is the conservative worst case (`undeclared()`), so
-  /// a kernel that never states its behaviour is flagged, not trusted;
-  /// every layer in this library overrides it with claims the trace
-  /// oracle cross-validates (tests/analysis).
+  /// Static leakage metadata for this layer's *instrumented* inference
+  /// kernel in `mode`.  The base default is the conservative worst case
+  /// (`undeclared()`), so a kernel that never states its behaviour is
+  /// flagged, not trusted; every layer in this library overrides it with
+  /// claims the trace oracle cross-validates (tests/analysis).
   virtual LeakageContract leakage_contract(KernelMode mode) const;
+
+  /// Claims about the *fast* kernel in `mode`.  No trace exists on that
+  /// path, so these describe the generated code (blend-based skips are
+  /// branchless; a row-skip branch is still a branch) and can never be
+  /// oracle-verified — the analyzer reports them as such.  The base
+  /// default is `undeclared()`: a layer that adds a fast kernel without
+  /// describing it is assumed worst-case.
+  virtual LeakageContract fast_leakage_contract(KernelMode mode) const;
+
+  /// Path-dispatching accessor; stamps `path` into the returned contract.
+  LeakageContract leakage_contract(KernelMode mode, ExecutionPath path) const;
 
   virtual std::size_t parameter_count() const { return 0; }
 

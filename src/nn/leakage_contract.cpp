@@ -25,7 +25,7 @@ bool operator==(const LeakageContract& a, const LeakageContract& b) {
          a.instruction_count_varies == b.instruction_count_varies &&
          a.consumes_rng == b.consumes_rng &&
          a.shape_scales_trace == b.shape_scales_trace &&
-         a.taint == b.taint && a.declared == b.declared;
+         a.taint == b.taint && a.declared == b.declared && a.path == b.path;
 }
 
 bool operator!=(const LeakageContract& a, const LeakageContract& b) {
@@ -52,6 +52,7 @@ std::string to_string(const LeakageContract& contract) {
     out += (out.empty() ? "" : " ") + std::string("shape-scaled");
   if (out.empty()) out = "constant-flow";
   if (contract.taint == TaintTransfer::kSanitize) out += " [sanitizes]";
+  if (!contract.oracle_verifiable()) out += " [fast path: oracle-unverified]";
   return out;
 }
 

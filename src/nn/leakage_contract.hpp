@@ -12,6 +12,8 @@
 
 #include <string>
 
+#include "nn/kernels/execution_path.hpp"
+
 namespace sce::nn {
 
 enum class KernelMode;
@@ -54,6 +56,12 @@ struct LeakageContract {
   /// False for the conservative Layer-base default: the layer never
   /// declared a contract, so the analyzer must assume the worst.
   bool declared = true;
+  /// Which execution path these claims describe.  Only the instrumented
+  /// path emits trace events, so only its contracts can be (and are)
+  /// cross-validated by the uarch trace oracle; fast-path contracts are
+  /// honest static descriptions of the generated code that the analyzer
+  /// must report as unverified rather than silently trusting.
+  ExecutionPath path = ExecutionPath::kInstrumented;
 
   /// True if any per-input trace aspect varies (RNG aside).
   bool input_dependent() const {
@@ -64,6 +72,13 @@ struct LeakageContract {
   /// A kernel with no input dependence, no RNG draw and declared
   /// metadata is constant-flow: its trace is a pure function of shape.
   bool constant_flow() const { return !input_dependent() && !consumes_rng; }
+
+  /// True when the trace oracle can falsify these claims: it replays the
+  /// kernel through a RecordingSink, which exists only on the
+  /// instrumented path.
+  bool oracle_verifiable() const {
+    return path == ExecutionPath::kInstrumented;
+  }
 
   /// Fully invariant kernel (the countermeasure claim).
   static LeakageContract constant();

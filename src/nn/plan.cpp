@@ -38,10 +38,18 @@ InferencePlan::InferencePlan(const Sequential& model,
   buffer_capacity_ = max_numel;
   workspaces_.resize(layers_.size());
 
-  // Warmup pass: first-touch sizing of every buffer and scratch slot so
-  // steady-state runs are allocation-free.
+  // Warmup passes: first-touch sizing of every buffer and scratch slot so
+  // steady-state runs are allocation-free.  All three kernel variants are
+  // exercised because their scratch layouts differ — the fast conv GEMM
+  // stores its patch matrix transposed (same slot, same element count)
+  // and only allocates its validity-mask slot in constant-flow mode,
+  // while the instrumented im2col path uses the row-major layout.
   const Tensor warm(input_shape);
-  (void)run(warm);
+  (void)run(warm);  // fast, data-dependent (the deployed default)
+  uarch::NullSink sink;
+  (void)run(warm, sink, KernelMode::kConstantFlow, ExecutionPath::kFast);
+  (void)run(warm, sink, KernelMode::kDataDependent,
+            ExecutionPath::kInstrumented);
 }
 
 const std::vector<std::size_t>& InferencePlan::layer_output_shape(
@@ -52,7 +60,7 @@ const std::vector<std::size_t>& InferencePlan::layer_output_shape(
 }
 
 const Tensor& InferencePlan::run(const Tensor& input, uarch::TraceSink& sink,
-                                 KernelMode mode) {
+                                 KernelMode mode, ExecutionPath path) {
   if (input.shape() != shapes_.front())
     throw InvalidArgument("InferencePlan::run: input shape mismatch");
   Tensor* const bufs[2] = {&ping_, &pong_};
@@ -64,15 +72,22 @@ const Tensor& InferencePlan::run(const Tensor& input, uarch::TraceSink& sink,
     // (from the stored shape vector, no temporaries) keeps the layers'
     // own resize-on-mismatch paths cold — and the run allocation-free.
     out->resize(shapes_[i + 1]);
-    layers_[i]->forward_into(*in, *out, workspaces_[i], sink, mode);
+    layers_[i]->forward_into(*in, *out, workspaces_[i], sink, mode, path);
     in = out;
   }
   return *in;
 }
 
+const Tensor& InferencePlan::run(const Tensor& input, uarch::TraceSink& sink,
+                                 KernelMode mode) {
+  return run(input, sink, mode,
+             sink.discards() ? ExecutionPath::kFast
+                             : ExecutionPath::kInstrumented);
+}
+
 const Tensor& InferencePlan::run(const Tensor& input) {
   uarch::NullSink sink;
-  return run(input, sink, KernelMode::kDataDependent);
+  return run(input, sink, KernelMode::kDataDependent, ExecutionPath::kFast);
 }
 
 void InferencePlan::register_regions(uarch::TraceBuffer& trace) const {

@@ -32,12 +32,20 @@ class InferencePlan {
   /// Inferred output shape of layer `i` (as computed at plan time).
   const std::vector<std::size_t>& layer_output_shape(std::size_t i) const;
 
-  /// Instrumented planned forward pass.  The returned reference points at
-  /// an internal buffer and is valid until the next run() or move.
+  /// Planned forward pass with an explicit execution-path request.  The
+  /// request is resolved per layer through kernels::select_path, so an
+  /// observing sink always runs instrumented kernels no matter what was
+  /// asked for.  The returned reference points at an internal buffer and
+  /// is valid until the next run() or move.
+  const Tensor& run(const Tensor& input, uarch::TraceSink& sink,
+                    KernelMode mode, ExecutionPath path);
+  /// Default-path run: instrumented when the sink observes, fast when it
+  /// discards.  (Pass ExecutionPath::kInstrumented explicitly to time the
+  /// scalar kernels without a trace — the fast paths' baseline.)
   const Tensor& run(const Tensor& input, uarch::TraceSink& sink,
                     KernelMode mode);
   /// Untraced forward pass (predict semantics: deployed data-dependent
-  /// kernels, trace events discarded).
+  /// kernels on the fast path, trace events discarded).
   const Tensor& run(const Tensor& input);
 
   /// Registers every buffer a traced run() touches with `trace` so its

@@ -1,5 +1,6 @@
 #include "nn/pool.hpp"
 
+#include "nn/kernels/pooling.hpp"
 #include "util/error.hpp"
 
 namespace sce::nn {
@@ -19,7 +20,7 @@ std::vector<std::size_t> MaxPool2D::output_shape(
 
 void MaxPool2D::forward_into(const Tensor& input, Tensor& output,
                              Workspace& /*workspace*/, uarch::TraceSink& sink,
-                             KernelMode mode) const {
+                             KernelMode mode, ExecutionPath path) const {
   if (input.rank() != 3 || input.dim(1) < window_ || input.dim(2) < window_)
     (void)output_shape(input.shape());  // throws with the full diagnosis
   const std::size_t out_h = input.dim(1) / window_;
@@ -27,71 +28,34 @@ void MaxPool2D::forward_into(const Tensor& input, Tensor& output,
   if (output.rank() != 3 || output.dim(0) != input.dim(0) ||
       output.dim(1) != out_h || output.dim(2) != out_w)
     output.resize({input.dim(0), out_h, out_w});
-  if (sink.discards()) {
-    uarch::DiscardSink fast;
-    forward_kernel(input, output, fast, mode);
-  } else {
-    forward_kernel(input, output, sink, mode);
-  }
-}
 
-template <typename Sink>
-void MaxPool2D::forward_kernel(const Tensor& input, Tensor& output,
-                               Sink& sink, KernelMode mode) const {
-  const std::size_t channels = output.dim(0);
-  const std::size_t out_h = output.dim(1);
-  const std::size_t out_w = output.dim(2);
-  const std::size_t in_h = input.dim(1);
-  const std::size_t in_w = input.dim(2);
-  const float* in_data = input.data();
-  float* out_data = output.data();
+  kernels::Pool2DShape shape;
+  shape.in = input.data();
+  shape.out = output.data();
+  shape.channels = input.dim(0);
+  shape.in_h = input.dim(1);
+  shape.in_w = input.dim(2);
+  shape.out_h = out_h;
+  shape.out_w = out_w;
+  shape.window = window_;
 
-  const std::uintptr_t max_update_site = SCE_BRANCH_SITE();
-
-  for (std::size_t c = 0; c < channels; ++c) {
-    for (std::size_t oy = 0; oy < out_h; ++oy) {
-      for (std::size_t ox = 0; ox < out_w; ++ox) {
-        float best = 0.0f;
-        bool first = true;
-        for (std::size_t wy = 0; wy < window_; ++wy) {
-          for (std::size_t wx = 0; wx < window_; ++wx) {
-            const std::size_t idx =
-                (c * in_h + (oy * window_ + wy)) * in_w + (ox * window_ + wx);
-            const float v = in_data[idx];
-            sink.load(&in_data[idx], sizeof(float));
-            if (first) {
-              best = v;
-              first = false;
-              sink.retire(detail::kLoopOverhead);
-              continue;
-            }
-            if (mode == KernelMode::kDataDependent) {
-              // Which window element is the max depends on the data; the
-              // update is a real conditional branch.
-              const bool update = v > best;
-              sink.branch(max_update_site, update);
-              if (update) best = v;
-              sink.retire(detail::kCompareInstructions);
-            } else {
-              // Branchless max (cmov / maxss).
-              best = v > best ? v : best;
-              sink.retire(detail::kCompareInstructions + 1);
-            }
-          }
-        }
-        const std::size_t out_idx = (c * out_h + oy) * out_w + ox;
-        out_data[out_idx] = best;
-        sink.store(&out_data[out_idx], sizeof(float));
-        sink.structural_branches(window_ * window_ + window_ + 1);
-      }
-    }
-  }
+  if (kernels::select_path(sink, path) == ExecutionPath::kFast)
+    kernels::maxpool2d_fast(shape);
+  else if (sink.discards())
+    kernels::maxpool2d_scalar(shape, mode);
+  else
+    kernels::maxpool2d_instrumented(shape, sink, mode);
 }
 
 LeakageContract MaxPool2D::leakage_contract(KernelMode mode) const {
   LeakageContract c;
   if (mode == KernelMode::kDataDependent) c.branch_outcomes_vary = true;
   return c;
+}
+
+LeakageContract MaxPool2D::fast_leakage_contract(KernelMode /*mode*/) const {
+  // The windowed max compiles to cmov/maxss on the fast path.
+  return LeakageContract{};
 }
 
 Tensor MaxPool2D::train_forward(const Tensor& input) {

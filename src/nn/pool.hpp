@@ -12,9 +12,10 @@ class MaxPool2D final : public Layer {
   explicit MaxPool2D(std::size_t window = 2);
 
   std::string name() const override { return "maxpool2d"; }
+  using Layer::forward_into;
   void forward_into(const Tensor& input, Tensor& output,
                     Workspace& workspace, uarch::TraceSink& sink,
-                    KernelMode mode) const override;
+                    KernelMode mode, ExecutionPath path) const override;
   Tensor train_forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<std::size_t> output_shape(
@@ -25,13 +26,13 @@ class MaxPool2D final : public Layer {
   /// Data-dependent: one max-update branch per non-first window element,
   /// outcome decided by where the max sits; memory traffic and counts
   /// are fixed.  Constant-flow: branchless max.
+  using Layer::leakage_contract;
   LeakageContract leakage_contract(KernelMode mode) const override;
 
- private:
-  template <typename Sink>
-  void forward_kernel(const Tensor& input, Tensor& output, Sink& sink,
-                      KernelMode mode) const;
+  /// The fast kernel's max is a cmov in both modes: branch-free.
+  LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
+ private:
   std::size_t window_;
   Tensor cached_input_;
   std::vector<std::size_t> cached_argmax_;  // flat input index per output

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/kernels/rnn.hpp"
 #include "nn/serialize.hpp"
 #include "util/error.hpp"
 
@@ -69,7 +70,7 @@ void ElmanRNN::initialize(util::Rng& rng) {
 
 void ElmanRNN::forward_into(const Tensor& input, Tensor& output,
                             Workspace& workspace, uarch::TraceSink& sink,
-                            KernelMode mode) const {
+                            KernelMode mode, ExecutionPath path) const {
   const auto [t_steps, d] = sequence_dims(input.shape());
   (void)d;
   if (output.rank() != 1 || output.dim(0) != hidden_dim_)
@@ -79,96 +80,24 @@ void ElmanRNN::forward_into(const Tensor& input, Tensor& output,
   // unspecified, so h_0 = 0 must be established explicitly.
   output.fill(0.0f);
   Tensor& acc = workspace.scratch(0, hidden_dim_);
-  if (sink.discards()) {
-    uarch::DiscardSink fast;
-    forward_kernel(input, t_steps, output, acc, fast, mode);
-  } else {
-    forward_kernel(input, t_steps, output, acc, sink, mode);
-  }
-}
 
-template <typename Sink>
-void ElmanRNN::forward_kernel(const Tensor& input, std::size_t t_steps,
-                              Tensor& h, Tensor& acc, Sink& sink,
-                              KernelMode mode) const {
-  const float* x = input.data();
-  const float* wx = wx_.data();
-  const float* wh = wh_.data();
+  kernels::RnnShape shape;
+  shape.in = input.data();
+  shape.wx = wx_.data();
+  shape.wh = wh_.data();
+  shape.bias = bias_.data();
+  shape.h = output.data();
+  shape.acc = acc.data();
+  shape.t_steps = t_steps;
+  shape.input_dim = input_dim_;
+  shape.hidden_dim = hidden_dim_;
 
-  const std::uintptr_t input_skip_site = SCE_BRANCH_SITE();
-  const std::uintptr_t hidden_skip_site = SCE_BRANCH_SITE();
-  const std::uintptr_t relu_site = SCE_BRANCH_SITE();
-
-  for (std::size_t t = 0; t < t_steps; ++t) {
-    // acc = b
-    for (std::size_t j = 0; j < hidden_dim_; ++j) {
-      acc[j] = bias_[j];
-      sink.load(&bias_[j], sizeof(float));
-      sink.store(&acc[j], sizeof(float));
-    }
-    sink.structural_branches(hidden_dim_);
-    // acc += Wx^T x_t, input-stationary with zero-skipping rows.
-    const float* xt = &x[t * input_dim_];
-    for (std::size_t i = 0; i < input_dim_; ++i) {
-      const float v = xt[i];
-      sink.load(&xt[i], sizeof(float));
-      if (mode == KernelMode::kDataDependent) {
-        const bool skip = (v == 0.0f);
-        sink.branch(input_skip_site, skip);
-        if (skip) {
-          sink.retire(detail::kLoopOverhead);
-          continue;
-        }
-      }
-      const float* row = &wx[i * hidden_dim_];
-      for (std::size_t j = 0; j < hidden_dim_; ++j) {
-        sink.load(&row[j], sizeof(float));
-        acc[j] += v * row[j];
-        sink.store(&acc[j], sizeof(float));
-        sink.retire(detail::kMacInstructions + detail::kLoopOverhead);
-      }
-      sink.structural_branches(hidden_dim_ + 1);
-    }
-    sink.structural_branches(input_dim_);
-    // acc += Wh^T h_{t-1}: ReLU-sparse hidden state skips its rows too.
-    for (std::size_t i = 0; i < hidden_dim_; ++i) {
-      const float v = h[i];
-      sink.load(&h[i], sizeof(float));
-      if (mode == KernelMode::kDataDependent) {
-        const bool skip = (v == 0.0f);
-        sink.branch(hidden_skip_site, skip);
-        if (skip) {
-          sink.retire(detail::kLoopOverhead);
-          continue;
-        }
-      }
-      const float* row = &wh[i * hidden_dim_];
-      for (std::size_t j = 0; j < hidden_dim_; ++j) {
-        sink.load(&row[j], sizeof(float));
-        acc[j] += v * row[j];
-        sink.store(&acc[j], sizeof(float));
-        sink.retire(detail::kMacInstructions + detail::kLoopOverhead);
-      }
-      sink.structural_branches(hidden_dim_ + 1);
-    }
-    sink.structural_branches(hidden_dim_);
-    // h = ReLU(acc)
-    for (std::size_t j = 0; j < hidden_dim_; ++j) {
-      const float v = acc[j];
-      sink.load(&acc[j], sizeof(float));
-      if (mode == KernelMode::kDataDependent) {
-        const bool negative = v < 0.0f;
-        sink.branch(relu_site, negative);
-        h[j] = negative ? 0.0f : v;
-        sink.retire(detail::kLoopOverhead);
-      } else {
-        h[j] = v < 0.0f ? 0.0f : v;
-        sink.retire(detail::kLoopOverhead + 1);
-      }
-      sink.store(&h[j], sizeof(float));
-    }
-    sink.structural_branches(hidden_dim_ + 1);
-  }
+  if (kernels::select_path(sink, path) == ExecutionPath::kFast)
+    kernels::rnn_fast(shape, mode);
+  else if (sink.discards())
+    kernels::rnn_scalar(shape, mode);
+  else
+    kernels::rnn_instrumented(shape, sink, mode);
 }
 
 void ElmanRNN::visit_buffers(const BufferVisitor& visit) const {
@@ -187,6 +116,12 @@ LeakageContract ElmanRNN::leakage_contract(KernelMode mode) const {
     c.instruction_count_varies = true;
   }
   return c;
+}
+
+LeakageContract ElmanRNN::fast_leakage_contract(KernelMode mode) const {
+  // Row skips survive as scalar branches on the fast path, and the
+  // per-timestep scaling is inherent to the recurrence.
+  return leakage_contract(mode);
 }
 
 Tensor ElmanRNN::train_forward(const Tensor& input) {

@@ -21,9 +21,10 @@ class ElmanRNN final : public Layer {
   ElmanRNN(std::size_t input_dim, std::size_t hidden_dim);
 
   std::string name() const override { return "elman-rnn"; }
+  using Layer::forward_into;
   void forward_into(const Tensor& input, Tensor& output,
                     Workspace& workspace, uarch::TraceSink& sink,
-                    KernelMode mode) const override;
+                    KernelMode mode, ExecutionPath path) const override;
   Tensor train_forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   void sgd_step(float learning_rate, float momentum) override;
@@ -42,7 +43,13 @@ class ElmanRNN final : public Layer {
   /// trace aspect varies.  In both modes the trace additionally scales
   /// with the timestep count, so variable-length deployments broadcast
   /// their sequence length even under the countermeasure.
+  using Layer::leakage_contract;
   LeakageContract leakage_contract(KernelMode mode) const override;
+
+  /// The fast kernel keeps the row-skip branches in data-dependent mode
+  /// (and the timestep scaling in both), so its claims match the
+  /// instrumented ones.
+  LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
   void visit_buffers(const BufferVisitor& visit) const override;
 
@@ -53,12 +60,6 @@ class ElmanRNN final : public Layer {
   /// Normalize {T, D} / {1, T, D} to (T, D); throws on mismatch.
   std::pair<std::size_t, std::size_t> sequence_dims(
       const std::vector<std::size_t>& shape) const;
-
-  /// `h` is the caller-owned output tensor (already zeroed: h_0 = 0);
-  /// `acc` is workspace scratch for the pre-activation accumulator.
-  template <typename Sink>
-  void forward_kernel(const Tensor& input, std::size_t t_steps, Tensor& h,
-                      Tensor& acc, Sink& sink, KernelMode mode) const;
 
   std::size_t input_dim_;
   std::size_t hidden_dim_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/kernels/softmax.hpp"
 #include "util/error.hpp"
 
 namespace sce::nn {
@@ -17,9 +18,10 @@ std::vector<std::size_t> Flatten::output_shape(
 
 void Flatten::forward_into(const Tensor& input, Tensor& output,
                            Workspace& /*workspace*/,
-                           uarch::TraceSink& /*sink*/,
-                           KernelMode /*mode*/) const {
-  // A real implementation is a view; here it is a traceless copy.
+                           uarch::TraceSink& /*sink*/, KernelMode /*mode*/,
+                           ExecutionPath /*path*/) const {
+  // A real implementation is a view; here it is a traceless copy — the
+  // same on every path.
   if (input.rank() == 0) (void)output_shape(input.shape());  // throws
   if (output.rank() != 1 || output.dim(0) != input.numel())
     output.resize({input.numel()});
@@ -27,6 +29,10 @@ void Flatten::forward_into(const Tensor& input, Tensor& output,
 }
 
 LeakageContract Flatten::leakage_contract(KernelMode /*mode*/) const {
+  return LeakageContract::constant();
+}
+
+LeakageContract Flatten::fast_leakage_contract(KernelMode /*mode*/) const {
   return LeakageContract::constant();
 }
 
@@ -50,54 +56,30 @@ std::vector<std::size_t> Softmax::output_shape(
 
 void Softmax::forward_into(const Tensor& input, Tensor& output,
                            Workspace& /*workspace*/, uarch::TraceSink& sink,
-                           KernelMode /*mode*/) const {
+                           KernelMode /*mode*/, ExecutionPath path) const {
   // Softmax has no useful data-dependent shortcuts; both kernel modes use
   // the same stable exp-normalize code.
   if (input.numel() == 0) throw InvalidArgument("Softmax: empty input");
   if (!output.same_shape(input)) output.resize(input.shape());
-  if (sink.discards()) {
-    uarch::DiscardSink fast;
-    forward_kernel(input, output, fast);
-  } else {
-    forward_kernel(input, output, sink);
-  }
-}
-
-template <typename Sink>
-void Softmax::forward_kernel(const Tensor& input, Tensor& output,
-                             Sink& sink) const {
   const std::size_t n = input.numel();
-  const float* x = input.data();
-  float* y = output.data();
-  float max_v = x[0];
-  for (std::size_t i = 0; i < n; ++i) {
-    sink.load(&x[i], sizeof(float));
-    if (x[i] > max_v) max_v = x[i];
-    sink.retire(detail::kCompareInstructions + 1);
-  }
-  float sum = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) {
-    y[i] = std::exp(x[i] - max_v);
-    sum += y[i];
-    sink.store(&y[i], sizeof(float));
-    // exp() costs ~20 instructions in a vectorized libm.
-    sink.retire(20);
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    y[i] /= sum;
-    sink.store(&y[i], sizeof(float));
-    sink.retire(detail::kLoopOverhead + 1);
-  }
-  sink.structural_branches(3 * n);
+  if (kernels::select_path(sink, path) == ExecutionPath::kFast)
+    kernels::softmax_fast(input.data(), output.data(), n);
+  else if (sink.discards())
+    kernels::softmax_scalar(input.data(), output.data(), n);
+  else
+    kernels::softmax_instrumented(input.data(), output.data(), n, sink);
 }
 
 LeakageContract Softmax::leakage_contract(KernelMode /*mode*/) const {
   return LeakageContract::constant();
 }
 
+LeakageContract Softmax::fast_leakage_contract(KernelMode /*mode*/) const {
+  return LeakageContract::constant();
+}
+
 Tensor Softmax::train_forward(const Tensor& input) {
-  uarch::NullSink sink;
-  cached_output_ = forward(input, sink, KernelMode::kConstantFlow);
+  cached_output_ = forward(input);
   return cached_output_;
 }
 

@@ -10,17 +10,20 @@ namespace sce::nn {
 class Flatten final : public Layer {
  public:
   std::string name() const override { return "flatten"; }
+  using Layer::forward_into;
   void forward_into(const Tensor& input, Tensor& output,
                     Workspace& workspace, uarch::TraceSink& sink,
-                    KernelMode mode) const override;
+                    KernelMode mode, ExecutionPath path) const override;
   Tensor train_forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<std::size_t> output_shape(
       const std::vector<std::size_t>& input_shape) const override;
 
   /// A view in a real implementation; here a traceless copy.  Nothing to
-  /// observe in either mode.
+  /// observe in either mode, on either path.
+  using Layer::leakage_contract;
   LeakageContract leakage_contract(KernelMode mode) const override;
+  LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
  private:
   std::vector<std::size_t> cached_shape_;
@@ -30,9 +33,10 @@ class Flatten final : public Layer {
 class Softmax final : public Layer {
  public:
   std::string name() const override { return "softmax"; }
+  using Layer::forward_into;
   void forward_into(const Tensor& input, Tensor& output,
                     Workspace& workspace, uarch::TraceSink& sink,
-                    KernelMode mode) const override;
+                    KernelMode mode, ExecutionPath path) const override;
   Tensor train_forward(const Tensor& input) override;
   /// Full softmax Jacobian backward (rarely used: the trainer fuses
   /// softmax with cross-entropy and skips this layer).
@@ -43,12 +47,13 @@ class Softmax final : public Layer {
   /// The running-max compare compiles branchless (cmov) and the
   /// exp-normalize loops do fixed work per element: constant-flow in
   /// both modes despite the value-dependent arithmetic.
+  using Layer::leakage_contract;
   LeakageContract leakage_contract(KernelMode mode) const override;
 
- private:
-  template <typename Sink>
-  void forward_kernel(const Tensor& input, Tensor& output, Sink& sink) const;
+  /// Identical code shape on the fast path.
+  LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
+ private:
   Tensor cached_output_;
 };
 

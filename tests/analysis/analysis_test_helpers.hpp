@@ -24,9 +24,11 @@ class LeakyProbeLayer final : public nn::Layer {
 
   std::string name() const override { return "leaky-probe"; }
 
+  using nn::Layer::forward_into;
   void forward_into(const nn::Tensor& input, nn::Tensor& output,
                     nn::Workspace& /*workspace*/, uarch::TraceSink& sink,
-                    nn::KernelMode /*mode*/) const override {
+                    nn::KernelMode /*mode*/,
+                    nn::ExecutionPath /*path*/) const override {
     if (!output.same_shape(input)) output.resize(input.shape());
     const float* in = input.data();
     float* out = output.data();
@@ -39,6 +41,7 @@ class LeakyProbeLayer final : public nn::Layer {
     }
   }
 
+  using nn::Layer::leakage_contract;
   nn::LeakageContract leakage_contract(nn::KernelMode /*mode*/) const override {
     nn::LeakageContract c;
     if (!lie_constant_) c.branch_outcomes_vary = true;
@@ -65,13 +68,16 @@ class SanitizingLayer final : public nn::Layer {
  public:
   std::string name() const override { return "sanitizer"; }
 
+  using nn::Layer::forward_into;
   void forward_into(const nn::Tensor& input, nn::Tensor& output,
                     nn::Workspace& /*workspace*/, uarch::TraceSink& /*sink*/,
-                    nn::KernelMode /*mode*/) const override {
+                    nn::KernelMode /*mode*/,
+                    nn::ExecutionPath /*path*/) const override {
     if (!output.same_shape(input)) output.resize(input.shape());
     std::fill(output.data(), output.data() + output.numel(), 0.5f);
   }
 
+  using nn::Layer::leakage_contract;
   nn::LeakageContract leakage_contract(nn::KernelMode /*mode*/) const override {
     nn::LeakageContract c;
     c.taint = nn::TaintTransfer::kSanitize;
@@ -92,9 +98,11 @@ class UndeclaredLayer final : public nn::Layer {
  public:
   std::string name() const override { return "undeclared"; }
 
+  using nn::Layer::forward_into;
   void forward_into(const nn::Tensor& input, nn::Tensor& output,
                     nn::Workspace& /*workspace*/, uarch::TraceSink& /*sink*/,
-                    nn::KernelMode /*mode*/) const override {
+                    nn::KernelMode /*mode*/,
+                    nn::ExecutionPath /*path*/) const override {
     if (!output.same_shape(input)) output.resize(input.shape());
     std::copy(input.data(), input.data() + input.numel(), output.data());
   }

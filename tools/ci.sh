@@ -67,9 +67,24 @@ echo "==> smoke: record-once/replay-many hardware sweep"
 # accounting in BENCH_uarch_sweep.json as a CI artifact.
 SCE_BENCH_SAMPLES=4 "$BUILD_DIR/bench/ablation_uarch_sweep"
 
+echo "==> bench: fast-vs-scalar inference speedups"
+# Publishes BENCH_inference.json (allocating / planned-scalar /
+# planned-fast per model, plus conv/dense hot-loop scalar-vs-fast
+# timings) as the CI artifact backing the fast kernels' speedup claims.
+"$BUILD_DIR/bench/micro_kernels" --benchmark_filter=DoNotRunMicrobenches
+
 if [ "${SCE_CI_SKIP_SANITIZERS:-0}" = "1" ]; then
   echo "==> SCE_CI_SKIP_SANITIZERS=1: skipping sanitized passes"
 else
+  echo "==> fast-vs-instrumented bit-identity under address;undefined"
+  # The KernelPath suite asserts the SIMD fast kernels are bit-for-bit
+  # identical to the instrumented scalar loops (every zoo model, both
+  # kernel modes, edge shapes, plan buffer reuse).  Running it under
+  # ASan/UBSan first gives the refactor-critical gate its own named
+  # stage; the full sanitized suite below reuses the same build tree.
+  "$SRC_DIR/tools/run_sanitized_tests.sh" "address;undefined" \
+    "${BUILD_DIR}-sanitize" 'KernelPath'
+
   echo "==> running tier-1 suite under address;undefined"
   "$SRC_DIR/tools/run_sanitized_tests.sh" "address;undefined" \
     "${BUILD_DIR}-sanitize"

@@ -13,6 +13,7 @@
 #include "analysis/analyzer.hpp"
 #include "analysis/oracle.hpp"
 #include "analysis/report.hpp"
+#include "nn/kernels/registry.hpp"
 #include "nn/zoo.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -57,6 +58,13 @@ nn::KernelMode parse_mode(const std::string& name) {
                         "' (expected data-dependent|constant-flow)");
 }
 
+nn::ExecutionPath parse_path(const std::string& name) {
+  if (name == "instrumented") return nn::ExecutionPath::kInstrumented;
+  if (name == "fast") return nn::ExecutionPath::kFast;
+  throw InvalidArgument("unknown --path '" + name +
+                        "' (expected instrumented|fast)");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -64,6 +72,10 @@ int main(int argc, char** argv) {
   cli.add_option("model", "zoo model to lint: mnist|cifar|sequence", "mnist");
   cli.add_option("mode", "kernel mode: data-dependent|constant-flow",
                  "data-dependent");
+  cli.add_option("path",
+                 "execution path whose contracts to lint: instrumented|fast "
+                 "(fast contracts are never oracle-verifiable)",
+                 "instrumented");
   cli.add_option("fail-on",
                  "exit non-zero when the model verdict reaches this level: "
                  "none|constant_flow|leaks_control_flow|leaks_addresses",
@@ -73,6 +85,8 @@ int main(int argc, char** argv) {
                "also fail when any layer lacks a leakage contract");
   cli.add_flag("cross-check",
                "validate declared contracts against the uarch trace oracle");
+  cli.add_flag("list-kernels",
+               "print the kernel registry (op x mode x path) and exit");
   cli.add_flag("quiet", "suppress the text report");
 
   try {
@@ -84,12 +98,26 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (cli.get_flag("list-kernels")) {
+      std::printf("%-14s %-15s %-13s %s\n", "op", "mode", "path", "impl");
+      for (const nn::kernels::KernelEntry& e : nn::kernels::all_kernels())
+        std::printf("%-14s %-15s %-13s %s\n", e.op,
+                    nn::to_string(e.mode).c_str(),
+                    nn::to_string(e.path).c_str(), e.impl);
+      return 0;
+    }
+
     const ModelSpec spec = build_model(cli.get("model"));
     const nn::KernelMode mode = parse_mode(cli.get("mode"));
+    const nn::ExecutionPath path = parse_path(cli.get("path"));
+    if (cli.get_flag("cross-check") && path == nn::ExecutionPath::kFast)
+      throw InvalidArgument(
+          "--cross-check requires --path instrumented: the oracle replays "
+          "trace events, and the fast kernels emit none");
 
     const analysis::PlanAnalyzer analyzer;
-    const analysis::AnalysisReport report =
-        analyzer.analyze(spec.model, spec.input_shape, mode, cli.get("model"));
+    const analysis::AnalysisReport report = analyzer.analyze(
+        spec.model, spec.input_shape, mode, cli.get("model"), path);
 
     if (!cli.get_flag("quiet"))
       std::fputs(analysis::render_text(report).c_str(), stdout);

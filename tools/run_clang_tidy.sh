@@ -38,10 +38,10 @@ else
           git rev-parse HEAD~1 2>/dev/null || true)"
   if [ -n "$BASE" ]; then
     FILES="$(git diff --name-only --diff-filter=d "$BASE" -- \
-             'src/*.cpp' 'tools/*.cpp' 'bench/*.cpp' 'examples/*.cpp' \
-             'tests/*.cpp' || true)"
+             'src/*.cpp' 'src/nn/kernels/*.cpp' 'tools/*.cpp' \
+             'bench/*.cpp' 'examples/*.cpp' 'tests/*.cpp' || true)"
   else
-    FILES="$(git ls-files 'src/*.cpp')"
+    FILES="$(git ls-files 'src/*.cpp' 'src/nn/kernels/*.cpp')"
   fi
 fi
 
