@@ -1,0 +1,57 @@
+#include "analysis/lint.hpp"
+
+#include "util/error.hpp"
+
+namespace sce::analysis {
+
+LintReport lint(const nn::Sequential& model,
+                const std::vector<std::size_t>& input_shape,
+                const LintOptions& options) {
+  if (options.cross_check && options.path == nn::ExecutionPath::kFast)
+    throw InvalidArgument(
+        "lint: cross_check requires the instrumented path — the oracle "
+        "replays trace events, and the fast kernels emit none");
+
+  LintReport report;
+  const PlanAnalyzer analyzer(options.analyzer);
+  report.analysis = analyzer.analyze(model, input_shape, options.mode,
+                                     options.model_name, options.path);
+
+  auto fail = [&report](const std::string& why) {
+    if (report.passed) {
+      report.passed = false;
+      report.failure = why;
+    }
+  };
+
+  if (options.fail_on &&
+      report.analysis.fails(*options.fail_on, options.fail_on_undeclared)) {
+    if (report.analysis.verdict >= *options.fail_on)
+      fail("verdict " + to_string(report.analysis.verdict) +
+           " reaches fail-on threshold " + to_string(*options.fail_on));
+    else
+      fail(std::to_string(report.analysis.undeclared_layers) +
+           " undeclared contract(s)");
+  } else if (options.fail_on_undeclared &&
+             report.analysis.undeclared_layers > 0) {
+    fail(std::to_string(report.analysis.undeclared_layers) +
+         " undeclared contract(s)");
+  }
+
+  if (options.cross_check) {
+    report.mismatches = cross_check_model(model, input_shape, options.mode,
+                                          /*report_undeclared=*/false);
+    report.cross_checked = true;
+    if (!report.mismatches.empty())
+      fail("trace oracle disagrees with " +
+           std::to_string(report.mismatches.size()) +
+           " declared contract(s); first: #" +
+           std::to_string(report.mismatches.front().layer_index) + " " +
+           report.mismatches.front().layer_name + ": " +
+           report.mismatches.front().detail);
+  }
+
+  return report;
+}
+
+}  // namespace sce::analysis

@@ -75,27 +75,28 @@ StopReason parse_stop_reason(const std::string& name) {
 
 void CampaignConfig::validate() const {
   if (categories.empty())
-    throw InvalidArgument("campaign: no categories");
+    throw ValidationError("campaign", "categories", "must not be empty");
   if (samples_per_category == 0)
-    throw InvalidArgument("campaign: samples_per_category must be > 0");
+    throw ValidationError("campaign", "samples_per_category", "must be > 0");
   if (num_shards == 0)
-    throw InvalidArgument("campaign: num_shards must be >= 1");
+    throw ValidationError("campaign", "num_shards", "must be >= 1");
   retry.validate();
   if (checkpoint_every > 0 && checkpoint_path.empty())
-    throw InvalidArgument(
-        "campaign: checkpoint_every set but checkpoint_path empty");
+    throw ValidationError("campaign", "checkpoint_path",
+                          "required when checkpoint_every is set");
   if (event_drop_after == 0)
-    throw InvalidArgument("campaign: event_drop_after must be >= 1");
+    throw ValidationError("campaign", "event_drop_after", "must be >= 1");
   if (outlier_mad_threshold < 0.0)
-    throw InvalidArgument("campaign: outlier_mad_threshold must be >= 0");
+    throw ValidationError("campaign", "outlier_mad_threshold",
+                          "must be >= 0");
   if (outlier_mad_floor < 0.0)
-    throw InvalidArgument("campaign: outlier_mad_floor must be >= 0");
+    throw ValidationError("campaign", "outlier_mad_floor", "must be >= 0");
   if (deadline < std::chrono::milliseconds::zero())
-    throw InvalidArgument("campaign: deadline must be >= 0");
+    throw ValidationError("campaign", "deadline", "must be >= 0");
   if (stall_timeout < std::chrono::milliseconds::zero())
-    throw InvalidArgument("campaign: stall_timeout must be >= 0");
+    throw ValidationError("campaign", "stall_timeout", "must be >= 0");
   if (watchdog_poll < std::chrono::milliseconds::zero())
-    throw InvalidArgument("campaign: watchdog_poll must be >= 0");
+    throw ValidationError("campaign", "watchdog_poll", "must be >= 0");
 }
 
 bool CampaignDiagnostics::event_dropped(hpc::HpcEvent event) const {

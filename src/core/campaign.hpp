@@ -182,11 +182,14 @@ struct CampaignConfig {
   /// budget and to test kill/resume.
   std::size_t stop_after_measurements = 0;
 
-  /// Field validation (ranges, required pairings).  Throws
-  /// util-error InvalidArgument on the first violation; checks that need
-  /// the dataset (label ranges, pool sizes) happen in Campaign::run().
-  /// Every campaign-facing config follows this convention — see
-  /// FixedVsRandomConfig::validate() and OnlineConfig::validate().
+  /// Field validation (ranges, required pairings).  Throws a structured
+  /// util-error ValidationError (domain/field/constraint) on the first
+  /// violation; checks that need the dataset (label ranges, pool sizes)
+  /// happen in Campaign::run().  Every campaign-facing config follows
+  /// this convention — see FixedVsRandomConfig::validate(),
+  /// SweepConfig::validate() and OnlineConfig::validate(); the
+  /// evaluation service relays the same structured fields as its
+  /// rejection replies.
   void validate() const;
 };
 

@@ -15,13 +15,14 @@ namespace sce::core {
 
 void FixedVsRandomConfig::validate() const {
   if (samples_per_population < 4)
-    throw InvalidArgument("fixed_vs_random: need >= 4 samples");
+    throw ValidationError("fixed_vs_random", "samples_per_population",
+                          "must be >= 4");
   if (t_threshold <= 0.0)
-    throw InvalidArgument("fixed_vs_random: t_threshold must be > 0");
+    throw ValidationError("fixed_vs_random", "t_threshold", "must be > 0");
   if (num_shards == 0)
-    throw InvalidArgument("fixed_vs_random: num_shards must be >= 1");
+    throw ValidationError("fixed_vs_random", "num_shards", "must be >= 1");
   if (deadline < std::chrono::milliseconds::zero())
-    throw InvalidArgument("fixed_vs_random: deadline must be >= 0");
+    throw ValidationError("fixed_vs_random", "deadline", "must be >= 0");
 }
 
 const FixedVsRandomEventResult& FixedVsRandomResult::of(

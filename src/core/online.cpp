@@ -29,13 +29,14 @@ stats::Summary to_summary(const stats::RunningStats& rs) {
 
 void OnlineConfig::validate() const {
   if (num_categories < 2)
-    throw InvalidArgument("OnlineEvaluator: need >= 2 categories");
+    throw ValidationError("OnlineEvaluator", "num_categories", "must be >= 2");
   if (!(alpha > 0.0) || !(alpha < 1.0))
-    throw InvalidArgument("OnlineEvaluator: alpha must be in (0, 1)");
+    throw ValidationError("OnlineEvaluator", "alpha", "must be in (0, 1)");
   if (min_samples_per_category < 2)
-    throw InvalidArgument("OnlineEvaluator: min_samples must be >= 2");
+    throw ValidationError("OnlineEvaluator", "min_samples_per_category",
+                          "must be >= 2");
   if (events.empty())
-    throw InvalidArgument("OnlineEvaluator: no events to monitor");
+    throw ValidationError("OnlineEvaluator", "events", "must not be empty");
 }
 
 OnlineEvaluator::OnlineEvaluator(OnlineConfig config)

@@ -23,25 +23,29 @@
 namespace sce::core {
 
 void SweepConfig::validate() const {
-  if (categories.empty()) throw InvalidArgument("sweep: no categories");
+  if (categories.empty())
+    throw ValidationError("sweep", "categories", "must not be empty");
   if (samples_per_category == 0)
-    throw InvalidArgument("sweep: samples_per_category must be > 0");
-  if (grid.empty()) throw InvalidArgument("sweep: empty grid");
+    throw ValidationError("sweep", "samples_per_category", "must be > 0");
+  if (grid.empty()) throw ValidationError("sweep", "grid", "must not be empty");
   if (deadline < std::chrono::milliseconds::zero())
-    throw InvalidArgument("sweep: deadline must be >= 0");
+    throw ValidationError("sweep", "deadline", "must be >= 0");
   if (checkpoint_every_slots > 0 && checkpoint_path.empty())
-    throw InvalidArgument(
-        "sweep: checkpoint_every_slots set but checkpoint_path empty");
+    throw ValidationError("sweep", "checkpoint_path",
+                          "required when checkpoint_every_slots is set");
   std::unordered_set<std::string> labels;
   for (const SweepPoint& p : grid) {
-    if (p.label.empty()) throw InvalidArgument("sweep: unlabeled grid point");
+    if (p.label.empty())
+      throw ValidationError("sweep", "grid", "contains an unlabeled point");
     if (!labels.insert(p.label).second)
-      throw InvalidArgument("sweep: duplicate grid label '" + p.label + "'");
+      throw ValidationError("sweep", "grid",
+                            "contains duplicate label '" + p.label + "'");
     if (!p.pmu.normalize_addresses)
-      throw InvalidArgument(
-          "sweep: grid point '" + p.label +
-          "' disables normalize_addresses; replayed traces only reproduce "
-          "the live counts under address normalization");
+      throw ValidationError(
+          "sweep", "grid",
+          "point '" + p.label +
+              "' disables normalize_addresses; replayed traces only "
+              "reproduce the live counts under address normalization");
   }
 }
 

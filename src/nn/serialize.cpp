@@ -4,7 +4,10 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <utility>
 
+#include "util/digest.hpp"
 #include "util/error.hpp"
 
 namespace sce::nn {
@@ -102,6 +105,16 @@ void load_model(Sequential& model, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("model load: cannot open " + path);
   load_model(model, in);
+}
+
+std::string serialized_bytes(const Sequential& model) {
+  std::ostringstream out(std::ios::binary);
+  save_model(model, out);
+  return std::move(out).str();
+}
+
+std::string model_digest(const Sequential& model) {
+  return util::content_digest_hex(serialized_bytes(model));
 }
 
 }  // namespace sce::nn

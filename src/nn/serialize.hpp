@@ -20,6 +20,20 @@ void save_model(const Sequential& model, const std::string& path);
 void load_model(Sequential& model, std::istream& in);
 void load_model(Sequential& model, const std::string& path);
 
+/// The canonical serialized bytes of a model: exactly what save_model
+/// writes to a stream.  This is the digest preimage — one byte sequence
+/// per (architecture, weights) pair.
+std::string serialized_bytes(const Sequential& model);
+
+/// Stable content hash over the canonical serialized bytes (32 lowercase
+/// hex characters).  Two models digest equal iff save_model writes the
+/// same bytes for both: same layer sequence, same parameters bit-for-bit.
+/// The evaluation service keys its result cache and names its checkpoint
+/// files with this digest, so it must never depend on process state,
+/// pointer values or build flavor — it is a pure function of the model's
+/// content.
+std::string model_digest(const Sequential& model);
+
 namespace detail {
 void write_floats(std::ostream& out, const std::vector<float>& values);
 void read_floats(std::istream& in, std::vector<float>& values);

@@ -1,0 +1,58 @@
+#include "service/cache.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace sce::service {
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0)
+    throw ValidationError("cache", "capacity", "must be >= 1");
+}
+
+std::optional<CachedResult> ResultCache::lookup(
+    const std::string& model_digest, const std::string& config_digest) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key_of(model_digest, config_digest));
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  stats_.measurements_saved += it->second->result.measurements;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->result;
+}
+
+void ResultCache::insert(const std::string& model_digest,
+                         const std::string& config_digest,
+                         CachedResult result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = key_of(model_digest, config_digest);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.insertions;
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(result)});
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace sce::service

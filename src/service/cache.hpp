@@ -1,0 +1,79 @@
+// Result cache of the evaluation service.
+//
+// Keyed by (model digest, config digest): both halves are pure content
+// hashes, so a hit proves the cached report was produced from the same
+// serialized model bytes and the same result-affecting config — the
+// service can return the stored bytes verbatim and skip the campaign
+// entirely.  Bounded LRU with full hit/miss/eviction accounting (the
+// accounting is load-bearing: tests and the CI smoke stage assert that a
+// resubmission is a hit that executed zero new measurements).
+//
+// Thread-safe; every public member takes the internal mutex.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace sce::service {
+
+/// One completed evaluation, as the cache stores it.
+struct CachedResult {
+  /// The final report document, returned byte-identically on every hit.
+  std::string report_json;
+  /// Campaign measurements the producing run executed (for accounting —
+  /// these are the measurements a hit saves).
+  std::size_t measurements = 0;
+};
+
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t insertions = 0;
+  std::size_t evictions = 0;
+  std::size_t entries = 0;
+  /// Sum of `measurements` over all hits: campaign work the cache
+  /// amortized away.
+  std::size_t measurements_saved = 0;
+};
+
+class ResultCache {
+ public:
+  /// `capacity` = max entries; at least 1.
+  explicit ResultCache(std::size_t capacity);
+
+  /// Look up (model_digest, config_digest); counts a hit or a miss and
+  /// refreshes LRU order on hit.
+  std::optional<CachedResult> lookup(const std::string& model_digest,
+                                     const std::string& config_digest);
+
+  /// Insert (or overwrite) an entry, evicting the least recently used
+  /// entry beyond capacity.
+  void insert(const std::string& model_digest,
+              const std::string& config_digest, CachedResult result);
+
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    CachedResult result;
+  };
+
+  static std::string key_of(const std::string& model_digest,
+                            const std::string& config_digest) {
+    return model_digest + "/" + config_digest;
+  }
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  /// Most recently used at the front.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace sce::service

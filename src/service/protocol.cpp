@@ -1,0 +1,274 @@
+#include "service/protocol.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "nn/serialize.hpp"
+#include "nn/zoo.hpp"
+#include "util/base64.hpp"
+#include "util/error.hpp"
+
+namespace sce::service {
+
+namespace {
+
+std::string ok_prefix() { return "{\"ok\":true"; }
+
+std::string error_response(const std::string& type,
+                           const std::string& message) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("ok").value(false);
+  w.key("error_type").value(type);
+  w.key("error").value(message);
+  w.end_object();
+  return w.str();
+}
+
+std::string id_request(const std::string& verb, std::uint64_t id) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("verb").value(verb);
+  w.key("id").value(static_cast<std::uint64_t>(id));
+  w.end_object();
+  return w.str();
+}
+
+std::uint64_t require_id(const util::JsonValue& doc) {
+  const util::JsonValue* id = doc.find("id");
+  if (id == nullptr)
+    throw InvalidArgument("protocol: request is missing 'id'");
+  const std::int64_t value = id->as_int();
+  if (value < 0) throw InvalidArgument("protocol: 'id' must be >= 0");
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+nn::Sequential build_architecture(const std::string& name) {
+  if (name == "mnist-cnn") return nn::build_mnist_cnn();
+  if (name == "cifar-cnn") return nn::build_cifar_cnn();
+  if (name == "sequence-rnn") return nn::build_sequence_rnn();
+  throw InvalidArgument("protocol: unknown architecture '" + name +
+                        "' (known: mnist-cnn, cifar-cnn, sequence-rnn)");
+}
+
+std::vector<std::string> known_architectures() {
+  return {"mnist-cnn", "cifar-cnn", "sequence-rnn"};
+}
+
+std::string make_submit_request(const std::string& architecture,
+                                const nn::Sequential& model,
+                                const JobConfig& config) {
+  // config is already a complete JSON object from the job layer; splice
+  // it rather than re-walking the fields here.
+  std::string out = "{\"verb\":\"submit\"";
+  out += ",\"architecture\":" + util::json_quote(architecture);
+  out += ",\"weights_b64\":" +
+         util::json_quote(util::base64_encode(nn::serialized_bytes(model)));
+  out += ",\"config\":" + job_config_to_json(config);
+  out += "}";
+  return out;
+}
+
+std::string make_status_request(std::uint64_t id) {
+  return id_request("status", id);
+}
+
+std::string make_wait_request(std::uint64_t id) {
+  return id_request("wait", id);
+}
+
+std::string make_stream_progress_request(std::uint64_t id,
+                                         std::uint64_t last_seq) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("verb").value("stream-progress");
+  w.key("id").value(static_cast<std::uint64_t>(id));
+  w.key("last_seq").value(static_cast<std::uint64_t>(last_seq));
+  w.end_object();
+  return w.str();
+}
+
+std::string make_cancel_request(std::uint64_t id, const std::string& why) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("verb").value("cancel");
+  w.key("id").value(static_cast<std::uint64_t>(id));
+  w.key("why").value(why);
+  w.end_object();
+  return w.str();
+}
+
+std::string make_report_request(std::uint64_t id) {
+  return id_request("report", id);
+}
+
+std::string make_stats_request() { return "{\"verb\":\"stats\"}"; }
+
+std::string make_shutdown_request() { return "{\"verb\":\"shutdown\"}"; }
+
+std::string status_json(const JobStatus& status) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(static_cast<std::uint64_t>(status.id));
+  w.key("state").value(to_string(status.state));
+  w.key("priority").value(to_string(status.priority));
+  w.key("model_digest").value(status.model_digest);
+  w.key("config_digest").value(status.config_digest);
+  w.key("from_cache").value(status.from_cache);
+  w.key("measurements_recorded")
+      .value(static_cast<std::uint64_t>(status.measurements_recorded));
+  w.key("measurements_target")
+      .value(static_cast<std::uint64_t>(status.measurements_target));
+  w.key("measurements_executed")
+      .value(static_cast<std::uint64_t>(status.measurements_executed));
+  w.key("preemptions").value(static_cast<std::uint64_t>(status.preemptions));
+  w.key("legs").value(static_cast<std::uint64_t>(status.legs));
+  w.key("progress_seq")
+      .value(static_cast<std::uint64_t>(status.progress_seq));
+  w.key("error").value(status.error);
+  w.key("reject_domain").value(status.reject_domain);
+  w.key("reject_field").value(status.reject_field);
+  w.key("reject_constraint").value(status.reject_constraint);
+  w.end_object();
+  return w.str();
+}
+
+JobStatus parse_status(const util::JsonValue& doc) {
+  JobStatus s;
+  s.id = static_cast<std::uint64_t>(doc.at("id").as_int());
+  const std::string& state = doc.at("state").as_string();
+  bool known = false;
+  for (const JobState candidate :
+       {JobState::kQueued, JobState::kRunning, JobState::kPreempted,
+        JobState::kCompleted, JobState::kCancelled, JobState::kFailed,
+        JobState::kRejected}) {
+    if (to_string(candidate) == state) {
+      s.state = candidate;
+      known = true;
+      break;
+    }
+  }
+  if (!known)
+    throw InvalidArgument("protocol: unknown job state '" + state + "'");
+  s.priority = parse_priority(doc.at("priority").as_string());
+  s.model_digest = doc.at("model_digest").as_string();
+  s.config_digest = doc.at("config_digest").as_string();
+  s.from_cache = doc.at("from_cache").as_bool();
+  s.measurements_recorded =
+      static_cast<std::size_t>(doc.at("measurements_recorded").as_int());
+  s.measurements_target =
+      static_cast<std::size_t>(doc.at("measurements_target").as_int());
+  s.measurements_executed =
+      static_cast<std::size_t>(doc.at("measurements_executed").as_int());
+  s.preemptions = static_cast<std::size_t>(doc.at("preemptions").as_int());
+  s.legs = static_cast<std::size_t>(doc.at("legs").as_int());
+  s.progress_seq =
+      static_cast<std::uint64_t>(doc.at("progress_seq").as_int());
+  s.error = doc.at("error").as_string();
+  s.reject_domain = doc.at("reject_domain").as_string();
+  s.reject_field = doc.at("reject_field").as_string();
+  s.reject_constraint = doc.at("reject_constraint").as_string();
+  return s;
+}
+
+std::string handle_request(EvaluationServer& server,
+                           const std::string& request_json,
+                           bool& shutdown_requested) {
+  shutdown_requested = false;
+  try {
+    const util::JsonValue doc = util::parse_json(request_json);
+    const util::JsonValue* verb_value = doc.find("verb");
+    if (verb_value == nullptr)
+      return error_response("invalid-argument",
+                            "protocol: request is missing 'verb'");
+    const std::string& verb = verb_value->as_string();
+
+    if (verb == "submit") {
+      nn::Sequential model =
+          build_architecture(doc.at("architecture").as_string());
+      const std::string weights =
+          util::base64_decode(doc.at("weights_b64").as_string());
+      std::istringstream in(weights);
+      nn::load_model(model, in);
+      const JobConfig config = job_config_from_value(doc.at("config"));
+      const std::uint64_t id = server.submit(std::move(model), config);
+      JobStatus status = server.status(id);
+      if (const util::JsonValue* wait = doc.find("wait");
+          wait != nullptr && wait->as_bool())
+        status = server.wait(id);
+      return ok_prefix() + ",\"id\":" + std::to_string(id) +
+             ",\"status\":" + status_json(status) + "}";
+    }
+    if (verb == "status")
+      return ok_prefix() +
+             ",\"status\":" + status_json(server.status(require_id(doc))) +
+             "}";
+    if (verb == "wait")
+      return ok_prefix() +
+             ",\"status\":" + status_json(server.wait(require_id(doc))) + "}";
+    if (verb == "stream-progress") {
+      const std::uint64_t id = require_id(doc);
+      const std::uint64_t last_seq =
+          static_cast<std::uint64_t>(doc.at("last_seq").as_int());
+      return ok_prefix() +
+             ",\"status\":" + status_json(server.wait_progress(id, last_seq)) +
+             "}";
+    }
+    if (verb == "cancel") {
+      const std::uint64_t id = require_id(doc);
+      std::string why = "client cancel";
+      if (const util::JsonValue* w = doc.find("why")) why = w->as_string();
+      const bool cancelled = server.cancel(id, why);
+      return ok_prefix() +
+             std::string(",\"cancelled\":") + (cancelled ? "true" : "false") +
+             "}";
+    }
+    if (verb == "report")
+      return ok_prefix() + ",\"report\":" + server.report(require_id(doc)) +
+             "}";
+    if (verb == "stats") {
+      const ServerStats s = server.stats();
+      const CacheStats c = server.cache_stats();
+      util::JsonWriter w;
+      w.begin_object();
+      w.key("ok").value(true);
+      w.key("server").begin_object();
+      w.key("submissions").value(static_cast<std::uint64_t>(s.submissions));
+      w.key("rejected").value(static_cast<std::uint64_t>(s.rejected));
+      w.key("completed").value(static_cast<std::uint64_t>(s.completed));
+      w.key("cancelled").value(static_cast<std::uint64_t>(s.cancelled));
+      w.key("failed").value(static_cast<std::uint64_t>(s.failed));
+      w.key("cache_completions")
+          .value(static_cast<std::uint64_t>(s.cache_completions));
+      w.key("preemptions").value(static_cast<std::uint64_t>(s.preemptions));
+      w.key("measurements_executed")
+          .value(static_cast<std::uint64_t>(s.measurements_executed));
+      w.end_object();
+      w.key("cache").begin_object();
+      w.key("hits").value(static_cast<std::uint64_t>(c.hits));
+      w.key("misses").value(static_cast<std::uint64_t>(c.misses));
+      w.key("insertions").value(static_cast<std::uint64_t>(c.insertions));
+      w.key("evictions").value(static_cast<std::uint64_t>(c.evictions));
+      w.key("entries").value(static_cast<std::uint64_t>(c.entries));
+      w.key("measurements_saved")
+          .value(static_cast<std::uint64_t>(c.measurements_saved));
+      w.end_object();
+      w.end_object();
+      return w.str();
+    }
+    if (verb == "shutdown") {
+      shutdown_requested = true;
+      return "{\"ok\":true}";
+    }
+    return error_response("invalid-argument",
+                          "protocol: unknown verb '" + verb + "'");
+  } catch (const InvalidArgument& e) {
+    return error_response("invalid-argument", e.what());
+  } catch (const std::exception& e) {
+    return error_response("error", e.what());
+  }
+}
+
+}  // namespace sce::service

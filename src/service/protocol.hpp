@@ -1,0 +1,80 @@
+// Wire protocol of the evaluation service, transport-free.
+//
+// Every message is a single JSON document; the socket layer frames it
+// with a 4-byte little-endian length prefix (see socket.hpp).  Requests
+// carry a "verb"; models travel as an architecture name from the
+// reference zoo plus base64 canonical nn/serialize weight bytes (the
+// format stores weights only, so the receiver rebuilds the architecture
+// and loads the weights into it).
+//
+// Verbs:
+//   submit           {verb, architecture, weights_b64, config, wait?}
+//   status           {verb, id}
+//   wait             {verb, id}               — blocks until terminal
+//   stream-progress  {verb, id, last_seq}     — long-poll one update
+//   cancel           {verb, id, why?}
+//   report           {verb, id}
+//   stats            {verb}
+//   shutdown         {verb}
+//
+// Responses are {"ok":true, ...} or {"ok":false,"error":...,
+// "error_type":"invalid-argument"|"error"}.  handle_request is the whole
+// server-side dispatcher: one request document in, one response document
+// out — the socket front end adds nothing but framing, which is what
+// makes the protocol testable in-process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/job.hpp"
+#include "service/server.hpp"
+#include "util/json.hpp"
+
+namespace sce::service {
+
+/// Frames larger than this are rejected as malformed (a corrupt length
+/// prefix must not trigger a multi-gigabyte allocation).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Rebuild a reference architecture by wire name: "mnist-cnn",
+/// "cifar-cnn" or "sequence-rnn".  Throws InvalidArgument otherwise.
+nn::Sequential build_architecture(const std::string& name);
+std::vector<std::string> known_architectures();
+
+// --- Client-side request builders --------------------------------------
+
+/// Serialize `model`'s weights (canonical bytes, base64) into a submit
+/// request for architecture `architecture`.
+std::string make_submit_request(const std::string& architecture,
+                                const nn::Sequential& model,
+                                const JobConfig& config);
+std::string make_status_request(std::uint64_t id);
+std::string make_wait_request(std::uint64_t id);
+std::string make_stream_progress_request(std::uint64_t id,
+                                         std::uint64_t last_seq);
+std::string make_cancel_request(std::uint64_t id, const std::string& why);
+std::string make_report_request(std::uint64_t id);
+std::string make_stats_request();
+std::string make_shutdown_request();
+
+// --- Status document ----------------------------------------------------
+
+/// Render a job snapshot as the protocol's status object.
+std::string status_json(const JobStatus& status);
+/// Parse the status object back (client side).
+JobStatus parse_status(const util::JsonValue& doc);
+
+// --- Server-side dispatcher ---------------------------------------------
+
+/// Execute one request against `server` and return the response
+/// document.  Tenant mistakes (unknown verbs, malformed JSON, unknown
+/// ids) come back as ok:false responses, never as exceptions.  Sets
+/// `shutdown_requested` when the request was a shutdown verb (the
+/// transport decides what that means for its accept loop).
+std::string handle_request(EvaluationServer& server,
+                           const std::string& request_json,
+                           bool& shutdown_requested);
+
+}  // namespace sce::service

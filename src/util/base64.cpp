@@ -1,0 +1,89 @@
+#include "util/base64.hpp"
+
+#include <array>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace sce::util {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> decode_table() {
+  std::array<std::int8_t, 256> table{};
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i)
+    table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  return table;
+}
+
+}  // namespace
+
+std::string base64_encode(std::string_view bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    const std::uint32_t v = (static_cast<unsigned char>(bytes[i]) << 16) |
+                            (static_cast<unsigned char>(bytes[i + 1]) << 8) |
+                            static_cast<unsigned char>(bytes[i + 2]);
+    out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3F]);
+    out.push_back(kAlphabet[v & 0x3F]);
+  }
+  const std::size_t rest = bytes.size() - i;
+  if (rest == 1) {
+    const std::uint32_t v = static_cast<unsigned char>(bytes[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    const std::uint32_t v = (static_cast<unsigned char>(bytes[i]) << 16) |
+                            (static_cast<unsigned char>(bytes[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3F]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::string base64_decode(std::string_view text) {
+  static const std::array<std::int8_t, 256> kDecode = decode_table();
+  if (text.size() % 4 != 0)
+    throw InvalidArgument("base64: length must be a multiple of 4");
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    const bool last = i + 4 == text.size();
+    int pad = 0;
+    std::uint32_t v = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        // Padding is only legal in the final quantum, last two slots.
+        if (!last || j < 2)
+          throw InvalidArgument("base64: misplaced padding");
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) throw InvalidArgument("base64: data after padding");
+      const std::int8_t d = kDecode[static_cast<unsigned char>(c)];
+      if (d < 0)
+        throw InvalidArgument("base64: invalid character");
+      v = (v << 6) | static_cast<std::uint32_t>(d);
+    }
+    out.push_back(static_cast<char>((v >> 16) & 0xFF));
+    if (pad < 2) out.push_back(static_cast<char>((v >> 8) & 0xFF));
+    if (pad < 1) out.push_back(static_cast<char>(v & 0xFF));
+  }
+  return out;
+}
+
+}  // namespace sce::util

@@ -1,0 +1,20 @@
+// Base64 (RFC 4648, with padding) for carrying binary payloads inside
+// the evaluation service's JSON protocol frames — serialized model
+// weights are a few hundred kilobytes, and the framing layer speaks
+// text.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sce::util {
+
+/// Standard alphabet, '=' padded, no line breaks.
+std::string base64_encode(std::string_view bytes);
+
+/// Strict decode: rejects non-alphabet characters, bad padding and
+/// trailing garbage with InvalidArgument (protocol frames are machine
+/// generated; leniency would only mask corruption).
+std::string base64_decode(std::string_view text);
+
+}  // namespace sce::util

@@ -1,0 +1,46 @@
+#include "util/digest.hpp"
+
+namespace sce::util {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+// Stream A uses the standard FNV-1a offset basis; stream B a second
+// arbitrary odd constant so the two halves decorrelate.
+constexpr std::uint64_t kOffsetA = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kOffsetB = 0x9ae16a3b2f90404fULL;
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t state) {
+  for (unsigned char c : bytes) {
+    state ^= static_cast<std::uint64_t>(c);
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+}  // namespace
+
+std::string Digest::hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i)
+    out[static_cast<std::size_t>(15 - i)] = kHex[(hi >> (4 * i)) & 0xF];
+  for (int i = 0; i < 16; ++i)
+    out[static_cast<std::size_t>(31 - i)] = kHex[(lo >> (4 * i)) & 0xF];
+  return out;
+}
+
+Digest content_digest(std::string_view bytes) {
+  Digest d;
+  d.hi = fnv1a(bytes, kOffsetA);
+  // Folding the length into stream B separates messages that FNV's
+  // byte-at-a-time mixing would otherwise treat as related prefixes.
+  d.lo = fnv1a(bytes, kOffsetB ^ (0x9e3779b97f4a7c15ULL * bytes.size()));
+  return d;
+}
+
+std::string content_digest_hex(std::string_view bytes) {
+  return content_digest(bytes).hex();
+}
+
+}  // namespace sce::util

@@ -1,0 +1,40 @@
+// Stable content digests for cache keys and checkpoint naming.
+//
+// The evaluation service keys its result cache by (model digest, config
+// digest) and derives checkpoint file names from the same pair, so the
+// digest must be a pure function of the bytes — stable across processes,
+// platforms and library versions.  A 128-bit FNV-1a variant (two
+// independent 64-bit streams with distinct offset bases) rendered as 32
+// lowercase hex characters is plenty for this: the threat model is
+// accidental collision between a few thousand cached jobs, not an
+// adversary forging digests (nothing security-relevant hangs off them).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sce::util {
+
+/// 128-bit digest state; value type, comparable.
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Digest& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator!=(const Digest& other) const { return !(*this == other); }
+
+  /// 32 lowercase hex characters, hi half first.
+  std::string hex() const;
+};
+
+/// Digest of a byte string.  Deterministic: same bytes, same digest,
+/// everywhere.
+Digest content_digest(std::string_view bytes);
+
+/// Convenience: content_digest(bytes).hex().
+std::string content_digest_hex(std::string_view bytes);
+
+}  // namespace sce::util

@@ -3,6 +3,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace sce {
 
@@ -16,6 +17,35 @@ class Error : public std::runtime_error {
 class InvalidArgument : public Error {
  public:
   explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A config field failed validation.  Every campaign-facing config's
+/// validate() (CampaignConfig, FixedVsRandomConfig, SweepConfig,
+/// OnlineConfig, RetryPolicy, service::JobConfig) throws this structured
+/// form: `domain` names the config family ("campaign", "sweep", ...),
+/// `field` the offending member, `constraint` the violated rule.  The
+/// rendered message stays the familiar "domain: field constraint" text,
+/// and the type derives from InvalidArgument so existing catch sites are
+/// untouched — but a remote caller (the evaluation service relays these
+/// verbatim as rejection replies) can report which field to fix without
+/// parsing prose.
+class ValidationError : public InvalidArgument {
+ public:
+  ValidationError(std::string domain, std::string field,
+                  std::string constraint)
+      : InvalidArgument(domain + ": " + field + " " + constraint),
+        domain_(std::move(domain)),
+        field_(std::move(field)),
+        constraint_(std::move(constraint)) {}
+
+  const std::string& domain() const { return domain_; }
+  const std::string& field() const { return field_; }
+  const std::string& constraint() const { return constraint_; }
+
+ private:
+  std::string domain_;
+  std::string field_;
+  std::string constraint_;
 };
 
 /// An I/O operation (file load/store) failed.

@@ -7,11 +7,12 @@ namespace sce::util {
 
 void RetryPolicy::validate() const {
   if (max_attempts == 0)
-    throw InvalidArgument("RetryPolicy: max_attempts must be >= 1");
+    throw ValidationError("RetryPolicy", "max_attempts", "must be >= 1");
   if (backoff_multiplier < 1.0)
-    throw InvalidArgument("RetryPolicy: backoff_multiplier must be >= 1");
+    throw ValidationError("RetryPolicy", "backoff_multiplier",
+                          "must be >= 1");
   if (initial_backoff.count() < 0 || max_backoff.count() < 0)
-    throw InvalidArgument("RetryPolicy: backoff durations must be >= 0");
+    throw ValidationError("RetryPolicy", "backoff durations", "must be >= 0");
 }
 
 std::chrono::microseconds RetryPolicy::backoff_for(std::size_t retry) const {

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "analysis/lint.hpp"
+#include "tests/core/campaign_helpers.hpp"
+#include "util/error.hpp"
+
+namespace sce::analysis {
+namespace {
+
+const std::vector<std::size_t> kTinyShape = {1, 12, 12};
+
+TEST(Lint, PassesWithNoGatesConfigured) {
+  const nn::Sequential model = core::testing::tiny_model();
+  LintOptions options;
+  const LintReport report = lint(model, kTinyShape, options);
+  EXPECT_TRUE(report.passed);
+  EXPECT_TRUE(report.failure.empty());
+  EXPECT_FALSE(report.cross_checked);
+  EXPECT_FALSE(report.analysis.findings.empty());
+}
+
+TEST(Lint, VerdictGateFailsDataDependentModel) {
+  const nn::Sequential model = core::testing::tiny_model();
+  LintOptions options;
+  options.mode = nn::KernelMode::kDataDependent;
+  // A data-dependent CNN leaks at least control flow; gating at the
+  // bottom of the lattice must therefore trip.
+  options.fail_on = Verdict::kConstantFlow;
+  const LintReport report = lint(model, kTinyShape, options);
+  EXPECT_FALSE(report.passed);
+  EXPECT_NE(report.failure.find("fail-on threshold"), std::string::npos)
+      << report.failure;
+}
+
+TEST(Lint, ConstantFlowModePassesVerdictGate) {
+  const nn::Sequential model = core::testing::tiny_model();
+  LintOptions options;
+  options.mode = nn::KernelMode::kConstantFlow;
+  options.fail_on = Verdict::kLeaksControlFlow;
+  const LintReport report = lint(model, kTinyShape, options);
+  EXPECT_TRUE(report.passed) << report.failure;
+  EXPECT_EQ(report.analysis.verdict, Verdict::kConstantFlow);
+}
+
+TEST(Lint, CrossCheckRunsAndAgreesOnDeclaredContracts) {
+  const nn::Sequential model = core::testing::tiny_model();
+  LintOptions options;
+  options.cross_check = true;
+  const LintReport report = lint(model, kTinyShape, options);
+  EXPECT_TRUE(report.cross_checked);
+  EXPECT_TRUE(report.mismatches.empty());
+  EXPECT_TRUE(report.passed) << report.failure;
+}
+
+TEST(Lint, CrossCheckOnFastPathIsRejected) {
+  const nn::Sequential model = core::testing::tiny_model();
+  LintOptions options;
+  options.cross_check = true;
+  options.path = nn::ExecutionPath::kFast;
+  EXPECT_THROW(lint(model, kTinyShape, options), InvalidArgument);
+}
+
+TEST(Lint, MismatchedInputShapeThrows) {
+  const nn::Sequential model = core::testing::tiny_model();
+  LintOptions options;
+  // 28x28 inputs do not chain through a model built for 12x12.
+  EXPECT_THROW(lint(model, {1, 28, 28}, options), Error);
+}
+
+}  // namespace
+}  // namespace sce::analysis

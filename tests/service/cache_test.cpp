@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "service/cache.hpp"
+#include "util/error.hpp"
+
+namespace sce::service {
+namespace {
+
+TEST(ResultCache, MissThenHitAccounting) {
+  ResultCache cache(4);
+  EXPECT_FALSE(cache.lookup("m1", "c1").has_value());
+  cache.insert("m1", "c1", CachedResult{"{\"report\":1}", 32});
+
+  const auto hit = cache.lookup("m1", "c1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->report_json, "{\"report\":1}");
+  EXPECT_EQ(hit->measurements, 32u);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.measurements_saved, 32u);
+}
+
+TEST(ResultCache, KeyUsesBothDigestHalves) {
+  ResultCache cache(4);
+  cache.insert("m1", "c1", CachedResult{"r", 1});
+  EXPECT_FALSE(cache.lookup("m1", "c2").has_value());
+  EXPECT_FALSE(cache.lookup("m2", "c1").has_value());
+  EXPECT_TRUE(cache.lookup("m1", "c1").has_value());
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.insert("a", "c", CachedResult{"ra", 1});
+  cache.insert("b", "c", CachedResult{"rb", 1});
+  ASSERT_TRUE(cache.lookup("a", "c").has_value());  // refresh "a"
+  cache.insert("d", "c", CachedResult{"rd", 1});    // evicts "b"
+
+  EXPECT_TRUE(cache.lookup("a", "c").has_value());
+  EXPECT_FALSE(cache.lookup("b", "c").has_value());
+  EXPECT_TRUE(cache.lookup("d", "c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResultCache, OverwriteRefreshesEntry) {
+  ResultCache cache(2);
+  cache.insert("a", "c", CachedResult{"old", 1});
+  cache.insert("a", "c", CachedResult{"new", 2});
+  const auto hit = cache.lookup("a", "c");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->report_json, "new");
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ResultCache, ZeroCapacityIsRejected) {
+  EXPECT_THROW(ResultCache cache(0), ValidationError);
+}
+
+}  // namespace
+}  // namespace sce::service

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/base64.hpp"
+#include "util/digest.hpp"
+#include "util/error.hpp"
+
+namespace sce::util {
+namespace {
+
+TEST(Digest, IsDeterministic) {
+  EXPECT_EQ(content_digest_hex("hello"), content_digest_hex("hello"));
+  EXPECT_EQ(content_digest("hello").hex(), content_digest_hex("hello"));
+}
+
+TEST(Digest, Is32LowercaseHexChars) {
+  const std::string hex = content_digest_hex("payload");
+  ASSERT_EQ(hex.size(), 32u);
+  for (const char c : hex)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+}
+
+TEST(Digest, DistinguishesContent) {
+  EXPECT_NE(content_digest_hex("a"), content_digest_hex("b"));
+  EXPECT_NE(content_digest_hex(""), content_digest_hex(std::string(1, '\0')));
+  // Length is part of the identity: a trailing NUL is not invisible.
+  EXPECT_NE(content_digest_hex(std::string("x")),
+            content_digest_hex(std::string("x\0", 2)));
+}
+
+TEST(Digest, EmptyInputHasStableValue) {
+  EXPECT_EQ(content_digest_hex(""), content_digest_hex(std::string()));
+}
+
+TEST(Base64, RoundTripsAllLengthsMod3) {
+  for (const std::string plain :
+       {std::string(""), std::string("f"), std::string("fo"),
+        std::string("foo"), std::string("foob"), std::string("fooba"),
+        std::string("foobar")}) {
+    EXPECT_EQ(base64_decode(base64_encode(plain)), plain) << plain;
+  }
+}
+
+TEST(Base64, RoundTripsBinaryBytes) {
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary.push_back(static_cast<char>(i));
+  EXPECT_EQ(base64_decode(base64_encode(binary)), binary);
+}
+
+TEST(Base64, KnownVector) {
+  // RFC 4648 test vector.
+  EXPECT_EQ(base64_encode("foobar"), "Zm9vYmFy");
+  EXPECT_EQ(base64_encode("foob"), "Zm9vYg==");
+}
+
+TEST(Base64, StrictDecodeRejectsMalformedInput) {
+  EXPECT_THROW(base64_decode("abc"), InvalidArgument);     // bad length
+  EXPECT_THROW(base64_decode("ab!d"), InvalidArgument);    // bad character
+  EXPECT_THROW(base64_decode("=abc"), InvalidArgument);    // padding first
+  EXPECT_THROW(base64_decode("ab=c"), InvalidArgument);    // padding inside
+}
+
+}  // namespace
+}  // namespace sce::util

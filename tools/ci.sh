@@ -67,6 +67,39 @@ echo "==> smoke: record-once/replay-many hardware sweep"
 # accounting in BENCH_uarch_sweep.json as a CI artifact.
 SCE_BENCH_SAMPLES=4 "$BUILD_DIR/bench/ablation_uarch_sweep"
 
+echo "==> smoke: evaluation service (submit, cache hit, shutdown)"
+# Boot the multi-tenant evaluation server, submit the mnist campaign
+# twice with identical (weights, config), and assert the second reply is
+# served from the result cache with zero new measurements
+# (--expect-cached exits 3 otherwise).  The client publishes cold/warm
+# wall-clock and measurement accounting in BENCH_service.json as the CI
+# artifact.
+SVC_SOCK="$BUILD_DIR/eval.sock"
+SVC_LOG="$BUILD_DIR/eval_server.log"
+rm -f "$SVC_SOCK" BENCH_service.json
+rm -rf "$BUILD_DIR/eval_work"
+"$BUILD_DIR/tools/leakage_eval_server" --socket "$SVC_SOCK" \
+  --work-dir "$BUILD_DIR/eval_work" --executors 2 > "$SVC_LOG" 2>&1 &
+SVC_PID=$!
+svc_up=0
+for _ in $(seq 1 100); do
+  [ -S "$SVC_SOCK" ] && { svc_up=1; break; }
+  sleep 0.1
+done
+if [ "$svc_up" != 1 ]; then
+  echo "==> evaluation server did not come up" >&2
+  cat "$SVC_LOG" >&2 || true
+  exit 1
+fi
+SVC_CLIENT="$BUILD_DIR/tools/leakage_eval_client"
+SVC_ARGS="--socket $SVC_SOCK --arch mnist-cnn --categories 0,1 \
+  --samples 4 --examples-per-class 4 --wait --bench-json BENCH_service.json"
+"$SVC_CLIENT" submit $SVC_ARGS --bench-label cold --expect-executed
+"$SVC_CLIENT" submit $SVC_ARGS --bench-label warm --expect-cached
+"$SVC_CLIENT" shutdown --socket "$SVC_SOCK"
+wait "$SVC_PID"
+echo "==> evaluation service smoke OK (warm submit served from cache)"
+
 echo "==> bench: fast-vs-scalar inference speedups"
 # Publishes BENCH_inference.json (allocating / planned-scalar /
 # planned-fast per model, plus conv/dense hot-loop scalar-vs-fast

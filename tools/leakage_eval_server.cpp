@@ -1,0 +1,83 @@
+// leakage_eval_server: socket front end of the multi-tenant evaluation
+// service.  Binds an AF_UNIX socket, prints one "listening on <path>"
+// line once ready (what scripts wait for) and serves until a client
+// sends the shutdown verb.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "analysis/events.hpp"
+#include "service/server.hpp"
+#include "service/socket.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  sce::util::CliParser cli;
+  cli.add_option("socket", "AF_UNIX socket path to listen on",
+                 ".sce_service/eval.sock");
+  cli.add_option("executors", "concurrent campaign executors", "2");
+  cli.add_option("work-dir", "directory for job checkpoints",
+                 ".sce_service");
+  cli.add_option("cache-capacity", "result cache entries", "64");
+  cli.add_option("admit-fail-on",
+                 "reject models whose lint verdict reaches this level "
+                 "(constant-flow|leaks-control-flow|leaks-addresses|none)",
+                 "none");
+  cli.add_flag("admit-allow-undeclared",
+               "admit models with layers the analyzer cannot classify");
+  cli.add_flag("admit-cross-check",
+               "cross-validate contracts against the trace oracle at "
+               "admission (slow)");
+  cli.add_option("progress-every",
+                 "campaign progress/preemption granularity in measurements",
+                 "1");
+
+  try {
+    cli.parse(argc, argv);
+  } catch (const sce::InvalidArgument& e) {
+    std::cerr << e.what() << "\n" << cli.usage(argv[0]);
+    return 2;
+  }
+
+  sce::service::ServerConfig config;
+  config.executors = static_cast<std::size_t>(cli.get_int("executors"));
+  config.work_dir = cli.get("work-dir");
+  config.cache_capacity =
+      static_cast<std::size_t>(cli.get_int("cache-capacity"));
+  config.admit_fail_on_undeclared = !cli.get_flag("admit-allow-undeclared");
+  config.admit_cross_check = cli.get_flag("admit-cross-check");
+  config.progress_every =
+      static_cast<std::size_t>(cli.get_int("progress-every"));
+  if (const std::string gate = cli.get("admit-fail-on"); gate != "none") {
+    config.admit_fail_on = sce::analysis::parse_verdict(gate);
+    if (!config.admit_fail_on.has_value()) {
+      std::cerr << "unknown --admit-fail-on verdict '" << gate << "'\n";
+      return 2;
+    }
+  }
+
+  sce::service::EvaluationServer server(std::move(config));
+  sce::service::SocketFrontEnd front_end(server, cli.get("socket"));
+  std::cout << "listening on " << front_end.socket_path() << std::endl;
+  front_end.serve();
+  const sce::service::ServerStats stats = server.stats();
+  std::cout << "served " << stats.submissions << " submissions ("
+            << stats.completed << " completed, " << stats.cache_completions
+            << " from cache, " << stats.rejected << " rejected, "
+            << stats.preemptions << " preemptions)" << std::endl;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "leakage_eval_server: " << e.what() << "\n";
+    return 2;
+  }
+}

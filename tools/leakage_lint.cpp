@@ -1,8 +1,7 @@
-// Static leakage linter: analyze a model's layer graph without running a
-// campaign (or even a forward pass), print per-layer findings, and gate
-// CI with --fail-on.  --cross-check additionally validates every declared
-// contract against the µarch trace oracle, so the static claims stay
-// anchored to the simulator the dynamic experiments use.
+// Static leakage linter CLI: a thin front end over analysis::lint()
+// (src/analysis/lint.hpp) — the same library gate the evaluation
+// service runs at admission.  The CLI only parses flags, renders the
+// report and maps the LintReport onto exit codes.
 //
 // Exit codes: 0 clean, 1 lint gate failed (--fail-on threshold reached,
 // undeclared contract with --fail-on-undeclared, or --cross-check
@@ -10,8 +9,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "analysis/analyzer.hpp"
-#include "analysis/oracle.hpp"
+#include "analysis/lint.hpp"
 #include "analysis/report.hpp"
 #include "nn/kernels/registry.hpp"
 #include "nn/zoo.hpp"
@@ -108,63 +106,52 @@ int main(int argc, char** argv) {
     }
 
     const ModelSpec spec = build_model(cli.get("model"));
-    const nn::KernelMode mode = parse_mode(cli.get("mode"));
-    const nn::ExecutionPath path = parse_path(cli.get("path"));
-    if (cli.get_flag("cross-check") && path == nn::ExecutionPath::kFast)
-      throw InvalidArgument(
-          "--cross-check requires --path instrumented: the oracle replays "
-          "trace events, and the fast kernels emit none");
 
-    const analysis::PlanAnalyzer analyzer;
-    const analysis::AnalysisReport report = analyzer.analyze(
-        spec.model, spec.input_shape, mode, cli.get("model"), path);
+    analysis::LintOptions options;
+    options.mode = parse_mode(cli.get("mode"));
+    options.path = parse_path(cli.get("path"));
+    options.model_name = cli.get("model");
+    options.fail_on_undeclared = cli.get_flag("fail-on-undeclared");
+    options.cross_check = cli.get_flag("cross-check");
+    const std::string fail_on = cli.get("fail-on");
+    if (fail_on != "none") {
+      options.fail_on = analysis::parse_verdict(fail_on);
+      if (!options.fail_on)
+        throw InvalidArgument("unknown --fail-on '" + fail_on + "'");
+    }
+
+    const analysis::LintReport report =
+        analysis::lint(spec.model, spec.input_shape, options);
 
     if (!cli.get_flag("quiet"))
-      std::fputs(analysis::render_text(report).c_str(), stdout);
+      std::fputs(analysis::render_text(report.analysis).c_str(), stdout);
 
     const std::string json_path = cli.get("json");
     if (!json_path.empty()) {
       std::ofstream out(json_path);
       if (!out) throw IoError("cannot write " + json_path);
-      out << analysis::render_json(report) << "\n";
+      out << analysis::render_json(report.analysis) << "\n";
     }
 
-    int status = 0;
-    const std::string fail_on = cli.get("fail-on");
-    if (fail_on != "none") {
-      const auto threshold = analysis::parse_verdict(fail_on);
-      if (!threshold)
-        throw InvalidArgument("unknown --fail-on '" + fail_on + "'");
-      if (report.fails(*threshold, cli.get_flag("fail-on-undeclared"))) {
-        std::fprintf(stderr,
-                     "leakage_lint: FAIL — verdict %s reaches --fail-on %s\n",
-                     analysis::to_string(report.verdict).c_str(),
-                     analysis::to_string(*threshold).c_str());
-        status = 1;
-      }
-    } else if (cli.get_flag("fail-on-undeclared") &&
-               report.undeclared_layers > 0) {
-      std::fprintf(stderr, "leakage_lint: FAIL — %zu undeclared contract(s)\n",
-                   report.undeclared_layers);
-      status = 1;
-    }
-
-    if (cli.get_flag("cross-check")) {
-      const auto mismatches = analysis::cross_check_model(
-          spec.model, spec.input_shape, mode, /*report_undeclared=*/false);
-      if (mismatches.empty()) {
+    if (report.cross_checked) {
+      if (report.mismatches.empty()) {
         if (!cli.get_flag("quiet"))
           std::printf("cross-check: static verdicts agree with the uarch "
                       "trace oracle (%zu layers)\n",
                       spec.model.layer_count());
       } else {
-        for (const auto& m : mismatches)
+        for (const auto& m : report.mismatches)
           std::fprintf(stderr, "cross-check: #%zu %s: %s\n", m.layer_index,
                        m.layer_name.c_str(), m.detail.c_str());
-        status = 1;
       }
     }
-    return status;
+
+    if (!report.passed) {
+      std::fprintf(stderr, "leakage_lint: FAIL — %s\n",
+                   report.failure.c_str());
+      return 1;
+    }
+    return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "leakage_lint: %s\n", e.what());
     return 2;
