@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "analysis/symexec/verifier.hpp"
+
 namespace sce::analysis {
 
 std::string to_string(Severity severity) {
@@ -72,12 +74,43 @@ AnalysisReport PlanAnalyzer::analyze(const nn::Sequential& model,
     finding.output_shape = shape;
     finding.contract = layer.leakage_contract(mode, path);
     finding.input_taint = taint;
-    finding.kernel_verdict = verdict_for(finding.contract);
+
+    // Derive the contract from the layer's symbolic kernel model.  When
+    // one exists, the *derived* claims drive the verdict — the gate runs
+    // on what the code does, with the declaration only cross-checked.
+    const symexec::LayerVerification verification =
+        symexec::verify_layer(layer, finding.input_shape, mode, path);
+    nn::LeakageContract effective = finding.contract;
+    if (verification.checked) {
+      finding.derived_available = true;
+      finding.derived = verification.derived.contract;
+      finding.derived.symbolically_verified =
+          verification.symbolically_verified;
+      finding.witnesses = verification.derived.witnesses;
+      finding.derived_matches = verification.matches_declared;
+      finding.contract.symbolically_verified =
+          verification.symbolically_verified;
+
+      effective.branch_outcomes_vary = finding.derived.branch_outcomes_vary;
+      effective.branch_count_varies = finding.derived.branch_count_varies;
+      effective.address_stream_varies = finding.derived.address_stream_varies;
+      effective.instruction_count_varies =
+          finding.derived.instruction_count_varies;
+      effective.consumes_rng = finding.derived.consumes_rng;
+      effective.taint = finding.derived.taint;
+      effective.declared = true;  // the code itself is the declaration
+      effective.symbolically_verified =
+          verification.symbolically_verified;
+    } else {
+      ++report.underived_layers;
+    }
+
+    finding.kernel_verdict = verdict_for(effective);
     finding.exploitable = finding.kernel_verdict != Verdict::kConstantFlow &&
                           taint == Taint::kSecret;
 
     if (finding.exploitable) {
-      finding.predicted = predicted_events(finding.contract);
+      finding.predicted = predicted_events(effective);
       report.verdict = join(report.verdict, finding.kernel_verdict);
       report.predicted |= finding.predicted;
       ++report.exploitable_layers;
@@ -85,22 +118,36 @@ AnalysisReport PlanAnalyzer::analyze(const nn::Sequential& model,
                              ? options_.address_severity
                              : options_.control_flow_severity;
     }
-    if (!finding.contract.declared) {
+    if (!effective.declared) {
       ++report.undeclared_layers;
       if (finding.severity < options_.undeclared_severity)
         finding.severity = options_.undeclared_severity;
     }
-    if (finding.contract.consumes_rng) ++report.rng_layers;
+    if (effective.consumes_rng) ++report.rng_layers;
     finding.detail = describe(finding);
-    if (!finding.contract.oracle_verifiable()) {
+    if (finding.derived_available && !finding.derived_matches) {
+      finding.mismatch_detail = verification.detail;
+      ++report.mismatched_contracts;
+      finding.severity = Severity::kError;
+      finding.detail += "; contract mismatch — " + finding.mismatch_detail;
+    }
+    if (finding.contract.symbolically_verified)
+      ++report.symbolically_verified_layers;
+    if (!finding.contract.verified()) {
       ++report.unverified_layers;
       finding.detail +=
-          "; fast-path claim: describes the generated code, not a trace — "
-          "the oracle cannot falsify it";
+          verification.checked
+              ? "; fast-path claim could not be anchored to the "
+                "instrumented contract — " +
+                    (verification.detail.empty() ? "refinement chain broken"
+                                                 : verification.detail)
+              : "; fast-path claim: describes the generated code, not a "
+                "trace — the oracle cannot falsify it, and no symbolic "
+                "model exists to verify it";
     }
 
     report.findings.push_back(std::move(finding));
-    taint = propagate(taint, report.findings.back().contract);
+    taint = propagate(taint, effective);
   }
   return report;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analysis/events.hpp"
+#include "analysis/symexec/engine.hpp"
 #include "analysis/taint.hpp"
 #include "nn/model.hpp"
 
@@ -29,6 +30,21 @@ struct LayerFinding {
   std::vector<std::size_t> input_shape;
   std::vector<std::size_t> output_shape;
   nn::LeakageContract contract;
+  /// True when the layer has a symbolic kernel model and `derived` below
+  /// is meaningful.  When set, the verdict/exploitability/taint fields of
+  /// this finding are computed from the DERIVED contract — what the code
+  /// does — with the declaration only cross-checked against it.
+  bool derived_available = false;
+  /// The contract derived by symbolically executing the layer's kernel
+  /// (analysis/symexec), for this (mode, path).
+  nn::LeakageContract derived;
+  /// claims_equal(derived, declared): false means a lying or stale
+  /// declaration, reported at error severity.
+  bool derived_matches = true;
+  /// Which claims disagree, when they do ("" otherwise).
+  std::string mismatch_detail;
+  /// First witness per derived leak aspect (model source site + label).
+  std::vector<symexec::Witness> witnesses;
   /// Taint of the activations *entering* this layer.
   Taint input_taint = Taint::kSecret;
   /// Kernel-level classification from the contract alone.
@@ -61,9 +77,20 @@ struct AnalysisReport {
   std::size_t exploitable_layers = 0;
   std::size_t undeclared_layers = 0;
   std::size_t rng_layers = 0;
-  /// Layers whose analyzed contract the trace oracle cannot falsify
-  /// (always zero on the instrumented path; every layer on the fast one).
+  /// Layers whose analyzed contract nothing can vouch for: neither the
+  /// trace oracle (instrumented path) nor the symbolic verifier's
+  /// refinement chain (fast path).  Zero for any model built purely from
+  /// this library's layers; nonzero only for custom layers with no
+  /// symbolic model analyzed on the fast path.
   std::size_t unverified_layers = 0;
+  /// Layers whose derived contract disagrees with the declared one.
+  std::size_t mismatched_contracts = 0;
+  /// Layers with no symbolic kernel model (analysis fell back to the
+  /// declaration, unchecked).
+  std::size_t underived_layers = 0;
+  /// Fast-path layers whose contract the symbolic verifier anchored to
+  /// the oracle-validated instrumented contract via refinement.
+  std::size_t symbolically_verified_layers = 0;
 
   /// True if `verdict` is at least `threshold` (the --fail-on test), or
   /// if undeclared contracts were found and `fail_on_undeclared` is set.

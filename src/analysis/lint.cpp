@@ -1,17 +1,10 @@
 #include "analysis/lint.hpp"
 
-#include "util/error.hpp"
-
 namespace sce::analysis {
 
 LintReport lint(const nn::Sequential& model,
                 const std::vector<std::size_t>& input_shape,
                 const LintOptions& options) {
-  if (options.cross_check && options.path == nn::ExecutionPath::kFast)
-    throw InvalidArgument(
-        "lint: cross_check requires the instrumented path — the oracle "
-        "replays trace events, and the fast kernels emit none");
-
   LintReport report;
   const PlanAnalyzer analyzer(options.analyzer);
   report.analysis = analyzer.analyze(model, input_shape, options.mode,
@@ -38,7 +31,27 @@ LintReport lint(const nn::Sequential& model,
          " undeclared contract(s)");
   }
 
+  if (options.fail_on_mismatch && report.analysis.mismatched_contracts > 0) {
+    for (const LayerFinding& finding : report.analysis.findings) {
+      if (finding.derived_available && !finding.derived_matches) {
+        fail(std::to_string(report.analysis.mismatched_contracts) +
+             " derived-vs-declared contract mismatch(es); first: #" +
+             std::to_string(finding.index) + " " + finding.layer_name + ": " +
+             finding.mismatch_detail);
+        break;
+      }
+    }
+  }
+  if (options.fail_on_unverified && report.analysis.unverified_layers > 0) {
+    fail(std::to_string(report.analysis.unverified_layers) +
+         " contract(s) neither oracle-verifiable nor symbolically verified");
+  }
+
   if (options.cross_check) {
+    // The oracle replays instrumented kernels regardless of the linted
+    // path: on the fast path it validates the instrumented *anchor*
+    // contracts, which the symbolic refinement chain ties to the fast
+    // claims — together they cover what the oracle alone cannot see.
     report.mismatches = cross_check_model(model, input_shape, options.mode,
                                           /*report_undeclared=*/false);
     report.cross_checked = true;

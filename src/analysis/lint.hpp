@@ -19,9 +19,10 @@ namespace sce::analysis {
 
 struct LintOptions {
   nn::KernelMode mode = nn::KernelMode::kDataDependent;
-  /// Execution path whose contracts to lint.  Fast-path contracts are
-  /// never oracle-verifiable, so cross_check requires kInstrumented
-  /// (InvalidArgument otherwise).
+  /// Execution path whose contracts to lint.  On the fast path the
+  /// dynamic oracle observes nothing directly; cross_check instead runs
+  /// the oracle against the *instrumented* anchor contracts, which the
+  /// symbolic verifier's refinement chain ties to the fast claims.
   nn::ExecutionPath path = nn::ExecutionPath::kInstrumented;
   /// Name stamped into the report (and into failure messages).
   std::string model_name = "model";
@@ -33,6 +34,14 @@ struct LintOptions {
   /// Dynamically validate every declared contract against the trace
   /// oracle; any static-vs-dynamic disagreement fails the lint.
   bool cross_check = false;
+  /// Gate: fail when any layer's symbolically derived contract disagrees
+  /// with its declaration (a lying or stale declaration).  On by default
+  /// — this is the static half of the verification story.
+  bool fail_on_mismatch = true;
+  /// Gate: fail when any analyzed contract is neither oracle-verifiable
+  /// nor symbolically verified (custom layers with no symbolic model, on
+  /// the fast path).  CI turns this on to keep the zoo fully verified.
+  bool fail_on_unverified = false;
   AnalyzerOptions analyzer{};
 };
 
@@ -49,10 +58,9 @@ struct LintReport {
   std::string failure;
 };
 
-/// Run the full lint pass.  Throws InvalidArgument on an inconsistent
-/// option set or a mis-chained model (the same shape-inference error an
-/// InferencePlan would raise); gate failures are reported through
-/// LintReport::passed, not exceptions.
+/// Run the full lint pass.  Throws InvalidArgument on a mis-chained
+/// model (the same shape-inference error an InferencePlan would raise);
+/// gate failures are reported through LintReport::passed, not exceptions.
 LintReport lint(const nn::Sequential& model,
                 const std::vector<std::size_t>& input_shape,
                 const LintOptions& options);

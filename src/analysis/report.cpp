@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "analysis/symexec/verifier.hpp"
 #include "util/json.hpp"
 
 namespace sce::analysis {
@@ -39,8 +40,9 @@ std::string render_text(const AnalysisReport& report) {
          nn::to_string(report.mode) + ", " + nn::to_string(report.path) +
          "], input " + shape_string(report.input_shape) + "\n";
   if (report.path == nn::ExecutionPath::kFast)
-    out += "  NOTE: fast-path contracts are static claims about generated "
-           "code; no trace exists, so the oracle verifies none of them\n";
+    out += "  NOTE: fast-path contracts carry no trace; the symbolic "
+           "verifier anchors each one to its oracle-validated instrumented "
+           "contract (unanchored claims are reported unverified)\n";
   for (const LayerFinding& f : report.findings) {
     char line[256];
     std::snprintf(line, sizeof(line), "  #%-2zu %-10s %-18s %-8s ", f.index,
@@ -64,6 +66,18 @@ std::string render_text(const AnalysisReport& report) {
   if (report.rng_layers > 0)
     out += ", " + std::to_string(report.rng_layers) + " rng consumer" +
            (report.rng_layers == 1 ? "" : "s");
+  if (report.mismatched_contracts > 0)
+    out += ", " + std::to_string(report.mismatched_contracts) +
+           " derived-vs-declared mismatch" +
+           (report.mismatched_contracts == 1 ? "" : "es");
+  if (report.underived_layers > 0)
+    out += ", " + std::to_string(report.underived_layers) +
+           " layer" + (report.underived_layers == 1 ? "" : "s") +
+           " without a symbolic model";
+  if (report.symbolically_verified_layers > 0)
+    out += ", " + std::to_string(report.symbolically_verified_layers) +
+           " symbolically verified contract" +
+           (report.symbolically_verified_layers == 1 ? "" : "s");
   if (report.unverified_layers > 0)
     out += ", " + std::to_string(report.unverified_layers) +
            " oracle-unverified contract" +
@@ -78,6 +92,9 @@ std::string render_text(const AnalysisReport& report) {
 std::string render_json(const AnalysisReport& report) {
   util::JsonWriter json;
   json.begin_object();
+  // Bump schema_version on any structural change to this document.
+  json.key("schema_version").value(static_cast<std::uint64_t>(2));
+  json.key("analyzer_version").value(analyzer_version());
   json.key("model").value(report.model_name);
   json.key("mode").value(nn::to_string(report.mode));
   json.key("path").value(nn::to_string(report.path));
@@ -91,6 +108,12 @@ std::string render_json(const AnalysisReport& report) {
   json.key("rng_layers").value(static_cast<std::uint64_t>(report.rng_layers));
   json.key("unverified_layers")
       .value(static_cast<std::uint64_t>(report.unverified_layers));
+  json.key("mismatched_contracts")
+      .value(static_cast<std::uint64_t>(report.mismatched_contracts));
+  json.key("underived_layers")
+      .value(static_cast<std::uint64_t>(report.underived_layers));
+  json.key("symbolically_verified_layers")
+      .value(static_cast<std::uint64_t>(report.symbolically_verified_layers));
   json.key("findings").begin_array();
   for (const LayerFinding& f : report.findings) {
     json.begin_object();
@@ -114,7 +137,36 @@ std::string render_json(const AnalysisReport& report) {
     json.key("taint_transfer").value(nn::to_string(f.contract.taint));
     json.key("path").value(nn::to_string(f.contract.path));
     json.key("oracle_verifiable").value(f.contract.oracle_verifiable());
+    json.key("symbolically_verified")
+        .value(f.contract.symbolically_verified);
     json.end_object();
+    json.key("derived_available").value(f.derived_available);
+    if (f.derived_available) {
+      json.key("derived").begin_object();
+      json.key("branch_outcomes_vary").value(f.derived.branch_outcomes_vary);
+      json.key("branch_count_varies").value(f.derived.branch_count_varies);
+      json.key("address_stream_varies")
+          .value(f.derived.address_stream_varies);
+      json.key("instruction_count_varies")
+          .value(f.derived.instruction_count_varies);
+      json.key("consumes_rng").value(f.derived.consumes_rng);
+      json.key("taint_transfer").value(nn::to_string(f.derived.taint));
+      json.end_object();
+      json.key("derived_matches_declared").value(f.derived_matches);
+      if (!f.derived_matches)
+        json.key("mismatch_detail").value(f.mismatch_detail);
+      json.key("witnesses").begin_array();
+      for (const symexec::Witness& w : f.witnesses) {
+        json.begin_object();
+        json.key("aspect").value(w.aspect);
+        json.key("file").value(w.file);
+        json.key("line").value(static_cast<std::int64_t>(w.line));
+        json.key("label").value(w.label);
+        json.key("detail").value(w.detail);
+        json.end_object();
+      }
+      json.end_array();
+    }
     append_events(json, "predicted_events", f.predicted);
     json.key("detail").value(f.detail);
     json.end_object();

@@ -1,6 +1,7 @@
 #include "nn/activation.hpp"
 
 #include "nn/kernels/activation.hpp"
+#include "nn/kernels/symbolic.hpp"
 #include "util/error.hpp"
 
 namespace sce::nn {
@@ -27,6 +28,14 @@ LeakageContract ReLU::leakage_contract(KernelMode mode) const {
 LeakageContract ReLU::fast_leakage_contract(KernelMode /*mode*/) const {
   // Vector compare + blend: no branch in either mode.
   return LeakageContract{};
+}
+
+void ReLU::symbolic_forward(kernels::SymbolicExecutor& exec,
+                            const std::vector<std::size_t>& input_shape,
+                            KernelMode mode, ExecutionPath path) const {
+  std::size_t n = 1;
+  for (std::size_t d : input_shape) n *= d;
+  kernels::relu_symbolic(n, exec, mode, path);
 }
 
 Tensor ReLU::train_forward(const Tensor& input) {

@@ -28,6 +28,10 @@ class ReLU final : public Layer {
   /// The fast kernel is a vector blend in both modes: branch-free.
   LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
+  void symbolic_forward(kernels::SymbolicExecutor& exec,
+                        const std::vector<std::size_t>& input_shape,
+                        KernelMode mode, ExecutionPath path) const override;
+
  private:
   Tensor cached_input_;
 };

@@ -1,6 +1,7 @@
 #include "nn/avgpool.hpp"
 
 #include "nn/kernels/pooling.hpp"
+#include "nn/kernels/symbolic.hpp"
 #include "util/error.hpp"
 
 namespace sce::nn {
@@ -53,6 +54,21 @@ LeakageContract AvgPool2D::leakage_contract(KernelMode /*mode*/) const {
 
 LeakageContract AvgPool2D::fast_leakage_contract(KernelMode /*mode*/) const {
   return LeakageContract::constant();
+}
+
+void AvgPool2D::symbolic_forward(kernels::SymbolicExecutor& exec,
+                                 const std::vector<std::size_t>& input_shape,
+                                 KernelMode /*mode*/,
+                                 ExecutionPath path) const {
+  const std::vector<std::size_t> out = output_shape(input_shape);
+  kernels::Pool2DGeom g;
+  g.channels = input_shape[0];
+  g.in_h = input_shape[1];
+  g.in_w = input_shape[2];
+  g.out_h = out[1];
+  g.out_w = out[2];
+  g.window = window_;
+  kernels::avgpool2d_symbolic(g, exec, path);
 }
 
 Tensor AvgPool2D::train_forward(const Tensor& input) {

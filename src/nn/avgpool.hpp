@@ -35,6 +35,10 @@ class AvgPool2D final : public Layer {
   /// Same constant-footprint reduction on the fast path.
   LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
+  void symbolic_forward(kernels::SymbolicExecutor& exec,
+                        const std::vector<std::size_t>& input_shape,
+                        KernelMode mode, ExecutionPath path) const override;
+
  private:
   std::size_t window_;
   std::vector<std::size_t> cached_input_shape_;

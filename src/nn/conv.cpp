@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "nn/kernels/conv2d.hpp"
+#include "nn/kernels/symbolic.hpp"
 #include "nn/serialize.hpp"
 #include "util/error.hpp"
 
@@ -154,6 +155,23 @@ LeakageContract Conv2D::fast_leakage_contract(KernelMode /*mode*/) const {
   // buffers for every input; the data-dependent zero skip is a branchless
   // lane blend, so even that mode leaks nothing through control flow.
   return LeakageContract{};
+}
+
+void Conv2D::symbolic_forward(kernels::SymbolicExecutor& exec,
+                              const std::vector<std::size_t>& input_shape,
+                              KernelMode mode, ExecutionPath path) const {
+  const std::vector<std::size_t> out = output_shape(input_shape);
+  kernels::Conv2DGeom g;
+  g.in_channels = in_channels_;
+  g.out_channels = out_channels_;
+  g.kernel = kernel_;
+  g.stride = stride_;
+  g.padding = padding_;
+  g.in_h = input_shape[1];
+  g.in_w = input_shape[2];
+  g.out_h = out[1];
+  g.out_w = out[2];
+  kernels::conv2d_symbolic(g, algorithm_, exec, mode, path);
 }
 
 Tensor Conv2D::train_forward(const Tensor& input) {

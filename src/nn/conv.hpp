@@ -66,6 +66,12 @@ class Conv2D final : public Layer {
   /// describe the generated code, and are never oracle-verified.
   LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
+  /// Replays the (mode, path, algorithm) conv kernel's loop nest over
+  /// the symbolic domain (kernels::conv2d_symbolic).
+  void symbolic_forward(kernels::SymbolicExecutor& exec,
+                        const std::vector<std::size_t>& input_shape,
+                        KernelMode mode, ExecutionPath path) const override;
+
   void visit_buffers(const BufferVisitor& visit) const override;
 
   Tensor& weights() { return weights_; }

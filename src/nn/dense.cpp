@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/kernels/dense.hpp"
+#include "nn/kernels/symbolic.hpp"
 #include "nn/serialize.hpp"
 #include "util/error.hpp"
 
@@ -86,6 +87,12 @@ LeakageContract Dense::fast_leakage_contract(KernelMode mode) const {
   // The row skip survives as a scalar branch on the fast path (it elides
   // whole weight-row loads), so data-dependent mode leaks there too.
   return leakage_contract(mode);
+}
+
+void Dense::symbolic_forward(kernels::SymbolicExecutor& exec,
+                             const std::vector<std::size_t>& /*input_shape*/,
+                             KernelMode mode, ExecutionPath path) const {
+  kernels::dense_symbolic(kernels::DenseGeom{in_, out_}, exec, mode, path);
 }
 
 Tensor Dense::train_forward(const Tensor& input) {

@@ -48,6 +48,10 @@ class Dense final : public Layer {
   /// kernel), so that mode stays leaky on the fast path too.
   LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
+  void symbolic_forward(kernels::SymbolicExecutor& exec,
+                        const std::vector<std::size_t>& input_shape,
+                        KernelMode mode, ExecutionPath path) const override;
+
   void visit_buffers(const BufferVisitor& visit) const override;
 
   Tensor& weights() { return weights_; }

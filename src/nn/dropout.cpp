@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nn/kernels/symbolic.hpp"
 #include "util/error.hpp"
 
 namespace sce::nn {
@@ -29,6 +30,19 @@ LeakageContract Dropout::leakage_contract(KernelMode /*mode*/) const {
 
 LeakageContract Dropout::fast_leakage_contract(KernelMode /*mode*/) const {
   return LeakageContract::constant();
+}
+
+void Dropout::symbolic_forward(kernels::SymbolicExecutor& exec,
+                               const std::vector<std::size_t>& input_shape,
+                               KernelMode /*mode*/,
+                               ExecutionPath /*path*/) const {
+  // No rng_draw here: the mask is drawn in train_forward only, and this
+  // model is what proves the deployed layer keeps that promise.
+  std::size_t n = 1;
+  for (std::size_t d : input_shape) n *= d;
+  const kernels::SymBuffer in = exec.input_buffer();
+  const kernels::SymBuffer out = exec.output_buffer(n);
+  for (std::size_t i = 0; i < n; ++i) exec.assign(out, i, exec.value(in, i));
 }
 
 Tensor Dropout::train_forward(const Tensor& input) {

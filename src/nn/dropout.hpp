@@ -35,6 +35,11 @@ class Dropout final : public Layer {
   LeakageContract leakage_contract(KernelMode mode) const override;
   LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
+  /// Identity at inference: a traceless copy that draws no randomness.
+  void symbolic_forward(kernels::SymbolicExecutor& exec,
+                        const std::vector<std::size_t>& input_shape,
+                        KernelMode mode, ExecutionPath path) const override;
+
  private:
   float rate_;
   util::Rng rng_;

@@ -1,0 +1,229 @@
+// Symbolic kernel descriptions: every kernel in this directory, restated
+// as a program over an abstract executor instead of float buffers.
+//
+// The real kernels compute on concrete floats and report their dynamic
+// behaviour to a TraceSink; these models replay the *same loop nests and
+// event sites* against a SymbolicExecutor, whose values carry only a
+// secrecy taint.  Loop trip counts stay concrete (shapes come from the
+// InferencePlan's shape inference), data stays symbolic — so one run of a
+// model covers every input of that shape, and the engine behind the
+// executor (src/analysis/symexec) can decide which trace aspects *can*
+// vary with the secret input.  That derived LeakageContract is compared
+// against the hand-declared one: a lying or stale declaration becomes a
+// static lint failure instead of waiting for the dynamic oracle.
+//
+// Two fidelity conventions, one per execution path:
+//  * Instrumented models mirror the kernel's *emitted sink events*
+//    exactly (same sites, same loop structure, same guarded regions).
+//    The dynamic trace oracle validates this mirror end to end: derived
+//    claims must match what RecordingSink probes actually observe.
+//  * Fast models mirror the *source structure of the generated code*
+//    (a lane blend is branchless; a scalar row-skip is a real branch; a
+//    source loop inside a skipped region counts as structural branches
+//    even if the compiler unrolls it — conservative in the direction
+//    that never hides a leak).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "nn/kernels/execution_path.hpp"
+
+namespace sce::nn {
+enum class KernelMode;
+enum class ConvAlgorithm;
+}
+
+namespace sce::nn::kernels {
+
+/// Two-point secrecy lattice: the abstract "value" of the symbolic
+/// domain.  kSecret marks data derived from the model input; parameters
+/// (weights, biases) and constants are kPublic.
+enum class SymTaint : std::uint8_t { kPublic = 0, kSecret = 1 };
+
+inline SymTaint join(SymTaint a, SymTaint b) {
+  return (a == SymTaint::kSecret || b == SymTaint::kSecret)
+             ? SymTaint::kSecret
+             : SymTaint::kPublic;
+}
+
+/// A symbolic scalar: no magnitude, only provenance.
+struct SymValue {
+  SymTaint taint = SymTaint::kPublic;
+  bool secret() const { return taint == SymTaint::kSecret; }
+};
+
+inline SymValue join(SymValue a, SymValue b) {
+  return SymValue{join(a.taint, b.taint)};
+}
+inline SymValue join(SymValue a, SymValue b, SymValue c) {
+  return join(join(a, b), c);
+}
+
+/// Engine-issued handle to a symbolic tensor (per-element taints).
+struct SymBuffer {
+  std::size_t id = 0;
+};
+
+/// Source location of a leak-relevant construct inside a symbolic model.
+/// The file/line point into the model translation unit; the label names
+/// the mirrored kernel construct (e.g. "dense row-skip (x[i]==0)"), so a
+/// witness survives even when the model and kernel files diverge.
+struct SymSite {
+  const char* file = "";
+  int line = 0;
+  const char* label = "";
+};
+
+#define SCE_SYM_SITE(label) \
+  (::sce::nn::kernels::SymSite{__FILE__, __LINE__, (label)})
+
+/// The abstract machine a symbolic kernel model runs against.  Mirrors
+/// the TraceSink event vocabulary (load/store/branch/retire/structural)
+/// plus the control construct the sink cannot express: a region whose
+/// *execution* depends on a predicate (`if_else`), which is what turns
+/// value taint into count/address variance.
+///
+/// Contract for model authors:
+///  * Use `load`/`store` for accesses the real kernel performs (traced
+///    or machine-level), `value`/`assign` for taint bookkeeping with no
+///    memory traffic (views, register copies).
+///  * Use plain C++ control flow for public predicates (loop bounds,
+///    padding tests) and `branch`/`if_else` for data predicates.
+///  * Arm thunks must only move engine state upward (accumulate via
+///    join) — both arms are executed abstractly.
+class SymbolicExecutor {
+ public:
+  virtual ~SymbolicExecutor() = default;
+
+  /// The kernel's (secret) input activations.
+  virtual SymBuffer input_buffer() = 0;
+  /// A (public) parameter tensor: weights, biases.
+  virtual SymBuffer param_buffer(const char* name, std::size_t numel) = 0;
+  /// The kernel's output activations; its final taint decides the
+  /// derived TaintTransfer.
+  virtual SymBuffer output_buffer(std::size_t numel) = 0;
+  /// Workspace scratch (im2col patches, RNN accumulator).
+  virtual SymBuffer scratch_buffer(const char* name, std::size_t numel) = 0;
+
+  /// A memory read/write the kernel performs, at a public (loop-derived)
+  /// element index.
+  virtual SymValue load(SymBuffer buffer, std::size_t index) = 0;
+  virtual void store(SymBuffer buffer, std::size_t index, SymValue v) = 0;
+  /// A read whose *address* is itself data-derived (table lookup keyed
+  /// on an activation): leaks through the address stream no matter what
+  /// the control flow does.
+  virtual SymValue load_indexed(const SymSite& site, SymBuffer buffer,
+                                SymValue index) = 0;
+  /// Taint bookkeeping without memory traffic.
+  virtual SymValue value(SymBuffer buffer, std::size_t index) = 0;
+  virtual void assign(SymBuffer buffer, std::size_t index, SymValue v) = 0;
+
+  /// Instruction-count and loop-back-edge bookkeeping (the sink's
+  /// retire/structural_branches).
+  virtual void retire(std::uint64_t instructions) = 0;
+  virtual void structural_branches(std::uint64_t count) = 0;
+
+  /// An emitted conditional branch that does NOT guard any events (the
+  /// ReLU sign test: both continuations do identical work).
+  virtual void branch(const SymSite& site, SymValue predicate) = 0;
+  /// A conditional branch guarding divergent work.  Executes both arms
+  /// abstractly and diffs their event streams: arms that differ in
+  /// memory / branch / retire events make the corresponding aspect
+  /// input-dependent when `predicate` is secret.
+  virtual void if_else(const SymSite& site, SymValue predicate,
+                       const std::function<void()>& then_arm,
+                       const std::function<void()>& else_arm) = 0;
+
+  /// The kernel draws inference-time randomness (a masking
+  /// countermeasure would; none of the stock kernels do).
+  virtual SymValue rng_draw(const SymSite& site) = 0;
+
+  /// Called by Layer::symbolic_forward's base default: this layer has no
+  /// symbolic model, so nothing can be derived for it.
+  virtual void unmodeled(const char* why) = 0;
+};
+
+/// Per-op geometry, mirroring the pointerless half of the kernel shape
+/// structs.  Layers fill these exactly the way forward_into fills
+/// Conv2DShape/DenseShape/....
+struct DenseGeom {
+  std::size_t in_features = 0;
+  std::size_t out_features = 0;
+};
+
+struct Conv2DGeom {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 0;
+  std::size_t stride = 0;
+  std::size_t padding = 0;
+  std::size_t in_h = 0;
+  std::size_t in_w = 0;
+  std::size_t out_h = 0;
+  std::size_t out_w = 0;
+};
+
+struct Pool2DGeom {
+  std::size_t channels = 0;
+  std::size_t in_h = 0;
+  std::size_t in_w = 0;
+  std::size_t out_h = 0;
+  std::size_t out_w = 0;
+  std::size_t window = 0;
+};
+
+struct RnnGeom {
+  std::size_t t_steps = 0;
+  std::size_t input_dim = 0;
+  std::size_t hidden_dim = 0;
+};
+
+/// Symbolic models, one per registered op, covering both modes and both
+/// paths (the `path` argument selects which implementation's structure
+/// is replayed).  Implemented in symbolic_models.cpp.
+void conv2d_symbolic(const Conv2DGeom& g, ConvAlgorithm algorithm,
+                     SymbolicExecutor& exec, KernelMode mode,
+                     ExecutionPath path);
+void dense_symbolic(const DenseGeom& g, SymbolicExecutor& exec,
+                    KernelMode mode, ExecutionPath path);
+void relu_symbolic(std::size_t n, SymbolicExecutor& exec, KernelMode mode,
+                   ExecutionPath path);
+void maxpool2d_symbolic(const Pool2DGeom& g, SymbolicExecutor& exec,
+                        KernelMode mode, ExecutionPath path);
+void avgpool2d_symbolic(const Pool2DGeom& g, SymbolicExecutor& exec,
+                        ExecutionPath path);
+void softmax_symbolic(std::size_t n, SymbolicExecutor& exec,
+                      ExecutionPath path);
+void rnn_symbolic(const RnnGeom& g, SymbolicExecutor& exec, KernelMode mode,
+                  ExecutionPath path);
+
+/// Registry of modeled (op, mode, path) cells, self-registered by
+/// symbolic_models.cpp the way kernel TUs register KernelEntries.  The
+/// completeness test walks kernels::all_kernels() and requires
+/// has_symbolic_model for every cell, so a new kernel cannot land
+/// unanalyzed.
+struct SymbolicModelEntry {
+  const char* op;
+  KernelMode mode;
+  ExecutionPath path;
+};
+
+bool has_symbolic_model(const std::string& op, KernelMode mode,
+                        ExecutionPath path);
+
+/// Every modeled cell, sorted by (op, mode, path).
+std::vector<SymbolicModelEntry> all_symbolic_models();
+
+namespace detail {
+struct SymbolicModelRegistration {
+  explicit SymbolicModelRegistration(
+      std::initializer_list<SymbolicModelEntry> entries);
+};
+}  // namespace detail
+
+}  // namespace sce::nn::kernels

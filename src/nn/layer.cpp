@@ -1,5 +1,7 @@
 #include "nn/layer.hpp"
 
+#include "nn/kernels/symbolic.hpp"
+
 namespace sce::nn {
 
 LeakageContract Layer::leakage_contract(KernelMode /*mode*/) const {
@@ -17,6 +19,13 @@ LeakageContract Layer::leakage_contract(KernelMode mode,
                           : leakage_contract(mode);
   c.path = path;
   return c;
+}
+
+void Layer::symbolic_forward(kernels::SymbolicExecutor& exec,
+                             const std::vector<std::size_t>& /*input_shape*/,
+                             KernelMode /*mode*/,
+                             ExecutionPath /*path*/) const {
+  exec.unmodeled("layer has no symbolic kernel model");
 }
 
 Tensor Layer::forward(const Tensor& input, uarch::TraceSink& sink,

@@ -32,6 +32,10 @@
 
 namespace sce::nn {
 
+namespace kernels {
+class SymbolicExecutor;
+}
+
 enum class KernelMode { kDataDependent, kConstantFlow };
 
 std::string to_string(KernelMode mode);
@@ -117,6 +121,16 @@ class Layer {
 
   /// Path-dispatching accessor; stamps `path` into the returned contract.
   LeakageContract leakage_contract(KernelMode mode, ExecutionPath path) const;
+
+  /// Replay this layer's (mode, path) kernel against a symbolic executor
+  /// (nn/kernels/symbolic.hpp) so the analyzer can *derive* its leakage
+  /// contract from the code instead of trusting the declaration above.
+  /// Every layer in this library overrides it with its kernel's symbolic
+  /// model; the base default reports the layer as unmodeled, which the
+  /// analyzer surfaces rather than guessing.
+  virtual void symbolic_forward(kernels::SymbolicExecutor& exec,
+                                const std::vector<std::size_t>& input_shape,
+                                KernelMode mode, ExecutionPath path) const;
 
   virtual std::size_t parameter_count() const { return 0; }
 

@@ -52,7 +52,10 @@ std::string to_string(const LeakageContract& contract) {
     out += (out.empty() ? "" : " ") + std::string("shape-scaled");
   if (out.empty()) out = "constant-flow";
   if (contract.taint == TaintTransfer::kSanitize) out += " [sanitizes]";
-  if (!contract.oracle_verifiable()) out += " [fast path: oracle-unverified]";
+  if (!contract.oracle_verifiable())
+    out += contract.symbolically_verified
+               ? " [fast path: symbolically verified]"
+               : " [fast path: oracle-unverified]";
   return out;
 }
 

@@ -62,6 +62,13 @@ struct LeakageContract {
   /// honest static descriptions of the generated code that the analyzer
   /// must report as unverified rather than silently trusting.
   ExecutionPath path = ExecutionPath::kInstrumented;
+  /// Verification metadata, stamped by the analyzer (never declared by a
+  /// layer): the symbolic verifier derived this contract from the kernel
+  /// code, matched it against the declaration, and — on the fast path —
+  /// anchored it to the oracle-validated instrumented contract via
+  /// refinement.  Excluded from operator== (it describes our confidence
+  /// in the claims, not the claims themselves).
+  bool symbolically_verified = false;
 
   /// True if any per-input trace aspect varies (RNG aside).
   bool input_dependent() const {
@@ -79,6 +86,11 @@ struct LeakageContract {
   bool oracle_verifiable() const {
     return path == ExecutionPath::kInstrumented;
   }
+
+  /// True when some authority backs these claims: the dynamic trace
+  /// oracle (instrumented path) or the symbolic verifier's refinement
+  /// chain (fast path).
+  bool verified() const { return oracle_verifiable() || symbolically_verified; }
 
   /// Fully invariant kernel (the countermeasure claim).
   static LeakageContract constant();

@@ -32,6 +32,10 @@ class MaxPool2D final : public Layer {
   /// The fast kernel's max is a cmov in both modes: branch-free.
   LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
+  void symbolic_forward(kernels::SymbolicExecutor& exec,
+                        const std::vector<std::size_t>& input_shape,
+                        KernelMode mode, ExecutionPath path) const override;
+
  private:
   std::size_t window_;
   Tensor cached_input_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/kernels/rnn.hpp"
+#include "nn/kernels/symbolic.hpp"
 #include "nn/serialize.hpp"
 #include "util/error.hpp"
 
@@ -122,6 +123,15 @@ LeakageContract ElmanRNN::fast_leakage_contract(KernelMode mode) const {
   // Row skips survive as scalar branches on the fast path, and the
   // per-timestep scaling is inherent to the recurrence.
   return leakage_contract(mode);
+}
+
+void ElmanRNN::symbolic_forward(kernels::SymbolicExecutor& exec,
+                                const std::vector<std::size_t>& input_shape,
+                                KernelMode mode, ExecutionPath path) const {
+  const auto [t_steps, d] = sequence_dims(input_shape);
+  (void)d;
+  kernels::rnn_symbolic(kernels::RnnGeom{t_steps, input_dim_, hidden_dim_},
+                        exec, mode, path);
 }
 
 Tensor ElmanRNN::train_forward(const Tensor& input) {

@@ -51,6 +51,10 @@ class ElmanRNN final : public Layer {
   /// instrumented ones.
   LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
+  void symbolic_forward(kernels::SymbolicExecutor& exec,
+                        const std::vector<std::size_t>& input_shape,
+                        KernelMode mode, ExecutionPath path) const override;
+
   void visit_buffers(const BufferVisitor& visit) const override;
 
   Tensor& input_weights() { return wx_; }

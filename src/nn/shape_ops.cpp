@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/kernels/softmax.hpp"
+#include "nn/kernels/symbolic.hpp"
 #include "util/error.hpp"
 
 namespace sce::nn {
@@ -34,6 +35,17 @@ LeakageContract Flatten::leakage_contract(KernelMode /*mode*/) const {
 
 LeakageContract Flatten::fast_leakage_contract(KernelMode /*mode*/) const {
   return LeakageContract::constant();
+}
+
+void Flatten::symbolic_forward(kernels::SymbolicExecutor& exec,
+                               const std::vector<std::size_t>& input_shape,
+                               KernelMode /*mode*/,
+                               ExecutionPath /*path*/) const {
+  std::size_t n = 1;
+  for (std::size_t d : input_shape) n *= d;
+  const kernels::SymBuffer in = exec.input_buffer();
+  const kernels::SymBuffer out = exec.output_buffer(n);
+  for (std::size_t i = 0; i < n; ++i) exec.assign(out, i, exec.value(in, i));
 }
 
 Tensor Flatten::train_forward(const Tensor& input) {
@@ -76,6 +88,14 @@ LeakageContract Softmax::leakage_contract(KernelMode /*mode*/) const {
 
 LeakageContract Softmax::fast_leakage_contract(KernelMode /*mode*/) const {
   return LeakageContract::constant();
+}
+
+void Softmax::symbolic_forward(kernels::SymbolicExecutor& exec,
+                               const std::vector<std::size_t>& input_shape,
+                               KernelMode /*mode*/, ExecutionPath path) const {
+  std::size_t n = 1;
+  for (std::size_t d : input_shape) n *= d;
+  kernels::softmax_symbolic(n, exec, path);
 }
 
 Tensor Softmax::train_forward(const Tensor& input) {

@@ -25,6 +25,11 @@ class Flatten final : public Layer {
   LeakageContract leakage_contract(KernelMode mode) const override;
   LeakageContract fast_leakage_contract(KernelMode mode) const override;
 
+  /// A traceless value copy: no events in the symbolic domain either.
+  void symbolic_forward(kernels::SymbolicExecutor& exec,
+                        const std::vector<std::size_t>& input_shape,
+                        KernelMode mode, ExecutionPath path) const override;
+
  private:
   std::vector<std::size_t> cached_shape_;
 };
@@ -52,6 +57,10 @@ class Softmax final : public Layer {
 
   /// Identical code shape on the fast path.
   LeakageContract fast_leakage_contract(KernelMode mode) const override;
+
+  void symbolic_forward(kernels::SymbolicExecutor& exec,
+                        const std::vector<std::size_t>& input_shape,
+                        KernelMode mode, ExecutionPath path) const override;
 
  private:
   Tensor cached_output_;

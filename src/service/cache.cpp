@@ -12,9 +12,11 @@ ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
 }
 
 std::optional<CachedResult> ResultCache::lookup(
-    const std::string& model_digest, const std::string& config_digest) {
+    const std::string& model_digest, const std::string& config_digest,
+    const std::string& analyzer_version) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key_of(model_digest, config_digest));
+  const auto it =
+      index_.find(key_of(model_digest, config_digest, analyzer_version));
   if (it == index_.end()) {
     ++stats_.misses;
     return std::nullopt;
@@ -27,9 +29,11 @@ std::optional<CachedResult> ResultCache::lookup(
 
 void ResultCache::insert(const std::string& model_digest,
                          const std::string& config_digest,
+                         const std::string& analyzer_version,
                          CachedResult result) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const std::string key = key_of(model_digest, config_digest);
+  const std::string key =
+      key_of(model_digest, config_digest, analyzer_version);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->result = std::move(result);

@@ -1,12 +1,15 @@
 // Result cache of the evaluation service.
 //
-// Keyed by (model digest, config digest): both halves are pure content
-// hashes, so a hit proves the cached report was produced from the same
-// serialized model bytes and the same result-affecting config — the
-// service can return the stored bytes verbatim and skip the campaign
-// entirely.  Bounded LRU with full hit/miss/eviction accounting (the
-// accounting is load-bearing: tests and the CI smoke stage assert that a
-// resubmission is a hit that executed zero new measurements).
+// Keyed by (model digest, config digest, analyzer version): the digests
+// are pure content hashes, so a hit proves the cached report was
+// produced from the same serialized model bytes and the same
+// result-affecting config; the analyzer version pins the *code* that
+// judged them — an admission verdict can change when the analyzer does
+// (new derivation rules, new symbolic models), so reports cached by an
+// older analyzer must miss rather than be served stale.  Bounded LRU
+// with full hit/miss/eviction accounting (the accounting is
+// load-bearing: tests and the CI smoke stage assert that a resubmission
+// is a hit that executed zero new measurements).
 //
 // Thread-safe; every public member takes the internal mutex.
 #pragma once
@@ -45,15 +48,19 @@ class ResultCache {
   /// `capacity` = max entries; at least 1.
   explicit ResultCache(std::size_t capacity);
 
-  /// Look up (model_digest, config_digest); counts a hit or a miss and
-  /// refreshes LRU order on hit.
+  /// Look up (model_digest, config_digest, analyzer_version); counts a
+  /// hit or a miss and refreshes LRU order on hit.  The server passes
+  /// analysis::analyzer_version() — the cache itself stays agnostic so
+  /// tests can exercise version transitions.
   std::optional<CachedResult> lookup(const std::string& model_digest,
-                                     const std::string& config_digest);
+                                     const std::string& config_digest,
+                                     const std::string& analyzer_version);
 
   /// Insert (or overwrite) an entry, evicting the least recently used
   /// entry beyond capacity.
   void insert(const std::string& model_digest,
-              const std::string& config_digest, CachedResult result);
+              const std::string& config_digest,
+              const std::string& analyzer_version, CachedResult result);
 
   CacheStats stats() const;
 
@@ -64,8 +71,9 @@ class ResultCache {
   };
 
   static std::string key_of(const std::string& model_digest,
-                            const std::string& config_digest) {
-    return model_digest + "/" + config_digest;
+                            const std::string& config_digest,
+                            const std::string& analyzer_version) {
+    return model_digest + "/" + config_digest + "/" + analyzer_version;
   }
 
   mutable std::mutex mutex_;

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "analysis/symexec/verifier.hpp"
 #include "core/checkpoint.hpp"
 #include "core/evaluator.hpp"
 #include "core/report.hpp"
@@ -85,8 +86,10 @@ std::uint64_t EvaluationServer::submit(nn::Sequential model,
       job->config.categories.size() * job->config.samples_per_category;
 
   // --- Result cache: identical submissions are free --------------------
-  if (auto cached =
-          cache_.lookup(job->model_digest, job->config_digest)) {
+  // The analyzer version is part of the key: an upgraded lint gate must
+  // re-judge a submission, not replay a verdict from the old analyzer.
+  if (auto cached = cache_.lookup(job->model_digest, job->config_digest,
+                                  analysis::analyzer_version())) {
     job->state = JobState::kCompleted;
     job->from_cache = true;
     job->report_json = std::move(cached->report_json);
@@ -211,6 +214,7 @@ void EvaluationServer::finish_leg_locked(Job& job, core::CampaignResult result,
       job.state = JobState::kCompleted;
       ++stats_.completed;
       cache_.insert(job.model_digest, job.config_digest,
+                    analysis::analyzer_version(),
                     CachedResult{job.report_json, job.measurements_executed});
       // The checkpoint (and its rotation sibling) served its purpose.
       std::error_code ec;

@@ -52,12 +52,24 @@ TEST(Lint, CrossCheckRunsAndAgreesOnDeclaredContracts) {
   EXPECT_TRUE(report.passed) << report.failure;
 }
 
-TEST(Lint, CrossCheckOnFastPathIsRejected) {
+TEST(Lint, CrossCheckOnFastPathValidatesInstrumentedAnchors) {
+  // The fast kernels emit no trace, so the oracle cannot observe them
+  // directly; cross-check instead validates the *instrumented* anchor
+  // contracts that the symbolic refinement chain ties the fast claims
+  // to.  With the unverified gate on, the whole fast-path story must
+  // hold: no oracle disagreement, no mismatch, nothing unverified.
   const nn::Sequential model = core::testing::tiny_model();
   LintOptions options;
   options.cross_check = true;
   options.path = nn::ExecutionPath::kFast;
-  EXPECT_THROW(lint(model, kTinyShape, options), InvalidArgument);
+  options.fail_on_unverified = true;
+  const LintReport report = lint(model, kTinyShape, options);
+  EXPECT_TRUE(report.cross_checked);
+  EXPECT_TRUE(report.mismatches.empty());
+  EXPECT_TRUE(report.passed) << report.failure;
+  EXPECT_EQ(report.analysis.unverified_layers, 0u);
+  EXPECT_EQ(report.analysis.symbolically_verified_layers,
+            model.layer_count());
 }
 
 TEST(Lint, MismatchedInputShapeThrows) {

@@ -313,22 +313,29 @@ TEST(KernelPath, RegistryCoversEveryOpModePathCell) {
   EXPECT_EQ(kernels::all_kernels().size(), ops.size() * 4);
 }
 
-TEST(KernelPath, AnalyzerMarksFastPathContractsUnverified) {
+TEST(KernelPath, AnalyzerSymbolicallyVerifiesFastPathContracts) {
   Sequential model = build_mnist_cnn();
   const analysis::PlanAnalyzer analyzer;
   const analysis::AnalysisReport instrumented = analyzer.analyze(
       model, {1, 28, 28}, KernelMode::kDataDependent, "mnist",
       ExecutionPath::kInstrumented);
   EXPECT_EQ(instrumented.unverified_layers, 0u);
+  EXPECT_EQ(instrumented.symbolically_verified_layers, 0u);
 
+  // Fast contracts still cannot be oracle-verified (no trace exists),
+  // but the symbolic verifier anchors every one of them to its
+  // oracle-validated instrumented contract, so nothing is left
+  // unverified.
   const analysis::AnalysisReport fast =
       analyzer.analyze(model, {1, 28, 28}, KernelMode::kDataDependent, "mnist",
                        ExecutionPath::kFast);
   EXPECT_EQ(fast.path, ExecutionPath::kFast);
-  EXPECT_EQ(fast.unverified_layers, model.layer_count());
+  EXPECT_EQ(fast.unverified_layers, 0u);
+  EXPECT_EQ(fast.symbolically_verified_layers, model.layer_count());
   for (const analysis::LayerFinding& f : fast.findings) {
     EXPECT_FALSE(f.contract.oracle_verifiable()) << f.layer_name;
-    EXPECT_NE(f.detail.find("oracle"), std::string::npos) << f.layer_name;
+    EXPECT_TRUE(f.contract.symbolically_verified) << f.layer_name;
+    EXPECT_TRUE(f.contract.verified()) << f.layer_name;
   }
 }
 

@@ -6,12 +6,17 @@
 namespace sce::service {
 namespace {
 
+// The cache key is (model, config, analyzer version); tests pin one
+// version where the version itself is not under test.
+constexpr const char* kV1 = "analyzer-v1";
+constexpr const char* kV2 = "analyzer-v2";
+
 TEST(ResultCache, MissThenHitAccounting) {
   ResultCache cache(4);
-  EXPECT_FALSE(cache.lookup("m1", "c1").has_value());
-  cache.insert("m1", "c1", CachedResult{"{\"report\":1}", 32});
+  EXPECT_FALSE(cache.lookup("m1", "c1", kV1).has_value());
+  cache.insert("m1", "c1", kV1, CachedResult{"{\"report\":1}", 32});
 
-  const auto hit = cache.lookup("m1", "c1");
+  const auto hit = cache.lookup("m1", "c1", kV1);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->report_json, "{\"report\":1}");
   EXPECT_EQ(hit->measurements, 32u);
@@ -24,33 +29,67 @@ TEST(ResultCache, MissThenHitAccounting) {
   EXPECT_EQ(stats.measurements_saved, 32u);
 }
 
-TEST(ResultCache, KeyUsesBothDigestHalves) {
+TEST(ResultCache, KeyUsesAllThreeComponents) {
   ResultCache cache(4);
-  cache.insert("m1", "c1", CachedResult{"r", 1});
-  EXPECT_FALSE(cache.lookup("m1", "c2").has_value());
-  EXPECT_FALSE(cache.lookup("m2", "c1").has_value());
-  EXPECT_TRUE(cache.lookup("m1", "c1").has_value());
+  cache.insert("m1", "c1", kV1, CachedResult{"r", 1});
+  EXPECT_FALSE(cache.lookup("m1", "c2", kV1).has_value());
+  EXPECT_FALSE(cache.lookup("m2", "c1", kV1).has_value());
+  EXPECT_FALSE(cache.lookup("m1", "c1", kV2).has_value());
+  EXPECT_TRUE(cache.lookup("m1", "c1", kV1).has_value());
+}
+
+TEST(ResultCache, AnalyzerUpgradeMissesThenCoexists) {
+  // A report cached under the old analyzer must not be served after an
+  // analyzer upgrade — the verdict may have changed.  Both versions'
+  // entries are distinct cache lines (a rollback also finds its own).
+  ResultCache cache(4);
+  cache.insert("m", "c", kV1, CachedResult{"old-verdict", 8});
+  EXPECT_FALSE(cache.lookup("m", "c", kV2).has_value());
+  cache.insert("m", "c", kV2, CachedResult{"new-verdict", 8});
+
+  const auto old_hit = cache.lookup("m", "c", kV1);
+  const auto new_hit = cache.lookup("m", "c", kV2);
+  ASSERT_TRUE(old_hit.has_value());
+  ASSERT_TRUE(new_hit.has_value());
+  EXPECT_EQ(old_hit->report_json, "old-verdict");
+  EXPECT_EQ(new_hit->report_json, "new-verdict");
+  EXPECT_EQ(cache.stats().entries, 2u);
 }
 
 TEST(ResultCache, EvictsLeastRecentlyUsed) {
   ResultCache cache(2);
-  cache.insert("a", "c", CachedResult{"ra", 1});
-  cache.insert("b", "c", CachedResult{"rb", 1});
-  ASSERT_TRUE(cache.lookup("a", "c").has_value());  // refresh "a"
-  cache.insert("d", "c", CachedResult{"rd", 1});    // evicts "b"
+  cache.insert("a", "c", kV1, CachedResult{"ra", 1});
+  cache.insert("b", "c", kV1, CachedResult{"rb", 1});
+  ASSERT_TRUE(cache.lookup("a", "c", kV1).has_value());  // refresh "a"
+  cache.insert("d", "c", kV1, CachedResult{"rd", 1});    // evicts "b"
 
-  EXPECT_TRUE(cache.lookup("a", "c").has_value());
-  EXPECT_FALSE(cache.lookup("b", "c").has_value());
-  EXPECT_TRUE(cache.lookup("d", "c").has_value());
+  EXPECT_TRUE(cache.lookup("a", "c", kV1).has_value());
+  EXPECT_FALSE(cache.lookup("b", "c", kV1).has_value());
+  EXPECT_TRUE(cache.lookup("d", "c", kV1).has_value());
   EXPECT_EQ(cache.stats().evictions, 1u);
   EXPECT_EQ(cache.stats().entries, 2u);
 }
 
+TEST(ResultCache, StaleAnalyzerEntriesAgeOutUnderLru) {
+  // After an upgrade the old version's entries are never refreshed, so
+  // ordinary LRU pressure from new-version traffic evicts them first.
+  ResultCache cache(2);
+  cache.insert("m", "c", kV1, CachedResult{"stale", 1});
+  cache.insert("m", "c", kV2, CachedResult{"fresh", 1});
+  ASSERT_TRUE(cache.lookup("m", "c", kV2).has_value());
+  cache.insert("m2", "c", kV2, CachedResult{"fresh2", 1});  // evicts kV1
+
+  EXPECT_FALSE(cache.lookup("m", "c", kV1).has_value());
+  EXPECT_TRUE(cache.lookup("m", "c", kV2).has_value());
+  EXPECT_TRUE(cache.lookup("m2", "c", kV2).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
 TEST(ResultCache, OverwriteRefreshesEntry) {
   ResultCache cache(2);
-  cache.insert("a", "c", CachedResult{"old", 1});
-  cache.insert("a", "c", CachedResult{"new", 2});
-  const auto hit = cache.lookup("a", "c");
+  cache.insert("a", "c", kV1, CachedResult{"old", 1});
+  cache.insert("a", "c", kV1, CachedResult{"new", 2});
+  const auto hit = cache.lookup("a", "c", kV1);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->report_json, "new");
   EXPECT_EQ(cache.stats().entries, 1u);

@@ -11,6 +11,7 @@
 
 #include "analysis/lint.hpp"
 #include "analysis/report.hpp"
+#include "analysis/sarif.hpp"
 #include "nn/kernels/registry.hpp"
 #include "nn/zoo.hpp"
 #include "util/cli.hpp"
@@ -72,15 +73,23 @@ int main(int argc, char** argv) {
                  "data-dependent");
   cli.add_option("path",
                  "execution path whose contracts to lint: instrumented|fast "
-                 "(fast contracts are never oracle-verifiable)",
+                 "(fast contracts are verified symbolically against their "
+                 "instrumented anchors)",
                  "instrumented");
   cli.add_option("fail-on",
                  "exit non-zero when the model verdict reaches this level: "
                  "none|constant_flow|leaks_control_flow|leaks_addresses",
                  "none");
   cli.add_option("json", "write the JSON lint report to this path", "");
+  cli.add_option("sarif",
+                 "write a SARIF 2.1.0 report (one result per finding, with "
+                 "kernel witness locations) to this path",
+                 "");
   cli.add_flag("fail-on-undeclared",
                "also fail when any layer lacks a leakage contract");
+  cli.add_flag("fail-on-unverified",
+               "also fail when any contract is neither oracle-verifiable "
+               "nor symbolically verified");
   cli.add_flag("cross-check",
                "validate declared contracts against the uarch trace oracle");
   cli.add_flag("list-kernels",
@@ -112,6 +121,7 @@ int main(int argc, char** argv) {
     options.path = parse_path(cli.get("path"));
     options.model_name = cli.get("model");
     options.fail_on_undeclared = cli.get_flag("fail-on-undeclared");
+    options.fail_on_unverified = cli.get_flag("fail-on-unverified");
     options.cross_check = cli.get_flag("cross-check");
     const std::string fail_on = cli.get("fail-on");
     if (fail_on != "none") {
@@ -131,6 +141,13 @@ int main(int argc, char** argv) {
       std::ofstream out(json_path);
       if (!out) throw IoError("cannot write " + json_path);
       out << analysis::render_json(report.analysis) << "\n";
+    }
+
+    const std::string sarif_path = cli.get("sarif");
+    if (!sarif_path.empty()) {
+      std::ofstream out(sarif_path);
+      if (!out) throw IoError("cannot write " + sarif_path);
+      out << analysis::render_sarif(report) << "\n";
     }
 
     if (report.cross_checked) {
